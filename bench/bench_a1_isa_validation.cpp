@@ -1,0 +1,126 @@
+// Ablation/validation A1: does the abstract ProcessorModel's
+// microcontroller preset agree with the instruction-accurate AmbiCore-32
+// interpreter running real firmware?
+//
+// Expected shape: energy per operation agrees within a small factor across
+// process nodes and supply voltages, and the instruction-class mix explains
+// the residual (mul/mem-heavy firmware costs more than the ALU-only
+// abstraction assumes).
+#include <iostream>
+
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/isa/assembler.hpp"
+#include "ambisim/isa/machine.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+struct FirmwareRun {
+  std::string name;
+  isa::MachineStats stats;
+  u::Energy per_instr{0.0};
+};
+
+FirmwareRun run_firmware(const std::string& name, const std::string& src,
+                         const tech::TechnologyNode& node, u::Voltage v) {
+  isa::Machine m(node, v, 1_MHz);
+  m.load_program(isa::assemble(src));
+  if (name == "fibonacci") m.set_reg(1, 40);
+  if (name == "fir16") {
+    for (int i = 0; i < 16; ++i) m.store_word(0x100 + 4 * i, i);
+    for (int i = 0; i < 32; ++i) m.store_word(0x200 + 4 * i, 100 - i);
+    m.set_reg(1, 16);
+  }
+  if (name == "sensing") {
+    int t = 0;
+    m.set_input_port([&t](int) { return 100 + (t++ % 50); });
+    m.set_output_port([](int, std::int32_t) {});
+    m.set_reg(1, 500);
+    m.set_reg(2, 110);
+  }
+  m.run();
+  return {name, m.stats(), m.energy_per_instruction()};
+}
+
+void print_figure() {
+  sim::Table a("A1a: instruction-accurate vs abstract MCU energy/op",
+               {"node", "voltage_V", "firmware", "isa_pJ_per_instr",
+                "abstract_pJ_per_op", "ratio"});
+  for (const auto* nn : {"180nm", "130nm", "90nm"}) {
+    const auto& node = tech::TechnologyLibrary::standard().node(nn);
+    for (const u::Voltage v : {node.vdd_min, node.vdd_nominal}) {
+      const auto abstract = arch::ProcessorModel(
+          arch::microcontroller_core(), node, v, 1_MHz);
+      for (const auto& [name, src] :
+           {std::pair<const char*, std::string>{
+                "fibonacci", isa::firmware::fibonacci()},
+            {"fir16", isa::firmware::fir16()},
+            {"sensing", isa::firmware::sensing_filter()}}) {
+        const auto run = run_firmware(name, src, node, v);
+        const double isa_pj = run.per_instr.value() * 1e12;
+        // The abstract preset's energy/op at the same 1 MHz operating point
+        // (0.5 ops/cycle -> 2 cycles/op).
+        const double abs_pj = abstract.energy_per_op().value() * 1e12;
+        a.add_row({nn, v.value(), name, isa_pj, abs_pj,
+                   isa_pj / abs_pj});
+      }
+    }
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("A1b: instruction-class mix per firmware (130 nm, vdd_min)",
+               {"firmware", "alu_pct", "mul_pct", "mem_pct", "branch_pct",
+                "io_pct", "cpi"});
+  const auto& n130 = tech::TechnologyLibrary::standard().node("130nm");
+  for (const auto& [name, src] :
+       {std::pair<const char*, std::string>{"fibonacci",
+                                            isa::firmware::fibonacci()},
+        {"fir16", isa::firmware::fir16()},
+        {"sensing", isa::firmware::sensing_filter()}}) {
+    const auto run = run_firmware(name, src, n130, n130.vdd_min);
+    const double total = static_cast<double>(run.stats.instructions);
+    auto pct = [&](isa::InstrClass c) {
+      return 100.0 * run.stats.by_class[static_cast<int>(c)] / total;
+    };
+    b.add_row({name, pct(isa::InstrClass::Alu), pct(isa::InstrClass::Mul),
+               pct(isa::InstrClass::Mem), pct(isa::InstrClass::Branch),
+               pct(isa::InstrClass::Io), run.stats.cpi()});
+  }
+  std::cout << b << '\n';
+}
+
+void BM_machine_fibonacci(benchmark::State& state) {
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  const auto program = isa::assemble(isa::firmware::fibonacci());
+  for (auto _ : state) {
+    isa::Machine m(node, node.vdd_min, 1_MHz);
+    m.load_program(program);
+    m.set_reg(1, 40);
+    m.run();
+    benchmark::DoNotOptimize(m.stats().instructions);
+  }
+}
+BENCHMARK(BM_machine_fibonacci);
+
+void BM_machine_fir(benchmark::State& state) {
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  const auto program = isa::assemble(isa::firmware::fir16());
+  for (auto _ : state) {
+    isa::Machine m(node, node.vdd_min, 1_MHz);
+    m.load_program(program);
+    for (int i = 0; i < 16; ++i) m.store_word(0x100 + 4 * i, i);
+    m.set_reg(1, 16);
+    m.run();
+    benchmark::DoNotOptimize(m.stats().cycles);
+  }
+}
+BENCHMARK(BM_machine_fir);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

@@ -1,0 +1,98 @@
+// Ablation A2: dynamic power management policies for the personal node's
+// radio — always-on vs timeout (swept) vs the clairvoyant oracle, on
+// memoryless and bursty idle traces.
+//
+// Expected shape: energy falls steeply as the timeout approaches the
+// break-even time and is flat/slightly rising beyond it; the break-even
+// timeout stays within 2x of the oracle (competitive bound); heavy-tailed
+// (bursty) traffic rewards sleeping much more than memoryless traffic at
+// equal mean idleness.
+#include <iostream>
+
+#include "ambisim/energy/dpm.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+using namespace ambisim::energy;
+namespace u = ambisim::units;
+
+void print_figure() {
+  const auto spec = PowerStateSpec::bluetooth_radio();
+  std::cout << "bluetooth radio break-even: "
+            << u::to_string(spec.break_even()) << "\n\n";
+
+  sim::Table a("A2a: energy vs timeout (exponential idle, mean 2 s)",
+               {"timeout_over_breakeven", "energy_vs_always_on",
+                "energy_vs_oracle", "wakeups_per_100_periods"});
+  sim::Rng rng(23);
+  const auto trace = exponential_idle_trace(rng, 20'000, 2.0);
+  const auto always = dpm_always_on(spec, trace);
+  const auto oracle = dpm_oracle(spec, trace);
+  for (double f : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 1e6}) {
+    const auto r = dpm_timeout(spec, trace, spec.break_even() * f);
+    a.add_row({f, r.energy_ratio_vs(always), r.energy_ratio_vs(oracle),
+               100.0 * r.sleep_transitions /
+                   static_cast<double>(trace.size())});
+  }
+  std::cout << a << '\n';
+
+  // Traffic shape only matters when idle periods are comparable to the
+  // break-even time: use mean idle ~= 1.5x break-even.
+  const double be = spec.break_even().value();
+  sim::Table b("A2b: traffic shape (mean idle ~= 1.5x break-even)",
+               {"trace", "always_on_J", "timeout_at_breakeven_J",
+                "oracle_J", "savings_pct"});
+  sim::Rng rng2(29);
+  const auto exp_trace = exponential_idle_trace(rng2, 20'000, 1.5 * be);
+  const auto pareto =
+      pareto_idle_trace(rng2, 20'000, 1.5 * be * 4.0 / 9.0, 1.8);
+  for (const auto& [name, tr] :
+       {std::pair<const char*, const std::vector<double>&>{"exponential",
+                                                           exp_trace},
+        {"pareto-1.8", pareto}}) {
+    const auto aon = dpm_always_on(spec, tr);
+    const auto to = dpm_timeout(spec, tr, spec.break_even());
+    const auto orc = dpm_oracle(spec, tr);
+    b.add_row({name, aon.energy.value(), to.energy.value(),
+               orc.energy.value(),
+               100.0 * (1.0 - to.energy.value() / aon.energy.value())});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("A2c: per-radio break-even and savings (exp idle, mean 2 s)",
+               {"radio", "break_even_ms", "timeout_savings_pct",
+                "added_latency_ms_per_period"});
+  for (const auto& [name, s] :
+       {std::pair<const char*, PowerStateSpec>{"ulp",
+                                               PowerStateSpec::ulp_radio()},
+        {"bluetooth", PowerStateSpec::bluetooth_radio()},
+        {"wlan", PowerStateSpec::wlan_radio()}}) {
+    sim::Rng r3(31);
+    const auto tr = exponential_idle_trace(r3, 10'000, 2.0);
+    const auto aon = dpm_always_on(s, tr);
+    const auto to = dpm_timeout(s, tr, s.break_even());
+    c.add_row({name, s.break_even().value() * 1e3,
+               100.0 * (1.0 - to.energy.value() / aon.energy.value()),
+               to.added_latency.value() * 1e3 /
+                   static_cast<double>(tr.size())});
+  }
+  std::cout << c << '\n';
+}
+
+void BM_dpm_timeout(benchmark::State& state) {
+  const auto spec = PowerStateSpec::bluetooth_radio();
+  sim::Rng rng(1);
+  const auto trace = exponential_idle_trace(rng, 10'000, 2.0);
+  for (auto _ : state) {
+    auto r = dpm_timeout(spec, trace, spec.break_even());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_dpm_timeout);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

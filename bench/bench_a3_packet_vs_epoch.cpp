@@ -1,0 +1,92 @@
+// Ablation A3: cross-validation of the two network simulators.
+//
+// The epoch-level simulator (multi-year lifetime questions) and the
+// packet-level discrete-event simulator (per-packet latency/queueing) model
+// the same MAC and radio; their per-packet radio energy must agree, and
+// the packet simulator exposes what the epoch model abstracts away:
+// latency distributions and relay queueing under load.
+#include <iostream>
+
+#include "ambisim/net/network_sim.hpp"
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+void print_figure() {
+  net::PacketSimConfig pcfg;
+  pcfg.node_count = 40;
+  pcfg.field_side = u::Length(45.0);
+  pcfg.radio_range = u::Length(16.0);
+  pcfg.report_period = 10_s;
+  pcfg.duration = u::Time(3600.0);
+  pcfg.seed = 9;
+
+  const auto p = net::simulate_packets(pcfg);
+  const radio::RadioModel radio(pcfg.radio);
+  const u::Energy analytic_hop =
+      pcfg.mac.tx_packet_energy(radio, pcfg.packet_bits) +
+      pcfg.mac.rx_packet_energy(radio, pcfg.packet_bits);
+
+  sim::Table a("A3a: per-delivered-packet radio energy, DES vs analytic",
+               {"quantity", "value"});
+  a.add_row({"delivered packets", static_cast<long long>(p.delivered)});
+  a.add_row({"mean hops", p.mean_hops});
+  a.add_row({"DES energy/packet (mJ)",
+             p.energy_per_delivered.value() * 1e3});
+  a.add_row({"analytic hop cost x mean hops (mJ)",
+             analytic_hop.value() * p.mean_hops * 1e3});
+  a.add_row({"ratio", p.energy_per_delivered.value() /
+                          (analytic_hop.value() * p.mean_hops)});
+  std::cout << a << '\n';
+
+  sim::Table b("A3b: end-to-end latency distribution (DES only)",
+               {"metric", "seconds"});
+  if (!p.end_to_end_latency.empty()) {
+    b.add_row({"p10", p.end_to_end_latency.percentile(10.0)});
+    b.add_row({"p50", p.end_to_end_latency.median()});
+    b.add_row({"p90", p.end_to_end_latency.percentile(90.0)});
+    b.add_row({"p99", p.end_to_end_latency.percentile(99.0)});
+    b.add_row({"max", p.end_to_end_latency.max()});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("A3c: queueing under load (mean queueing delay per packet)",
+               {"report_period_s", "mean_queue_s", "p99_latency_s",
+                "delivery_pct"});
+  for (double period : {30.0, 10.0, 5.0, 2.0, 1.0}) {
+    auto cfg = pcfg;
+    cfg.report_period = u::Time(period);
+    cfg.duration = u::Time(1200.0);
+    const auto r = net::simulate_packets(cfg);
+    c.add_row({period,
+               r.queueing_delay.empty() ? 0.0 : r.queueing_delay.mean(),
+               r.end_to_end_latency.empty()
+                   ? 0.0
+                   : r.end_to_end_latency.percentile(99.0),
+               100.0 * r.delivered /
+                   std::max(1.0, static_cast<double>(r.generated -
+                                                     r.undeliverable))});
+  }
+  std::cout << c << '\n';
+}
+
+void BM_packet_sim(benchmark::State& state) {
+  net::PacketSimConfig cfg;
+  cfg.node_count = static_cast<int>(state.range(0));
+  cfg.duration = u::Time(600.0);
+  for (auto _ : state) {
+    auto r = net::simulate_packets(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_packet_sim)->Arg(20)->Arg(50);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

@@ -1,0 +1,76 @@
+// Extension figure F10: channel contention in a dense ambient cell —
+// ALOHA/CSMA throughput curves (analytic + Monte-Carlo) and the usable
+// per-node report rate as the cell fills up.
+//
+// Expected shape: slotted ALOHA peaks at 1/e at G = 1, pure ALOHA at
+// 1/(2e) at G = 0.5, CSMA approaches 1 for small propagation delay; the
+// per-node report rate falls as 1/N.
+#include <iostream>
+
+#include "ambisim/net/contention.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+using namespace ambisim::net;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+void print_figure() {
+  sim::Table a("F10a: throughput vs offered load",
+               {"G", "slotted_aloha", "slotted_sim", "pure_aloha",
+                "csma_a0.01"});
+  sim::Rng rng(7);
+  for (double g : {0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0}) {
+    a.add_row({g, slotted_aloha_throughput(g),
+               simulate_slotted_aloha(g, 200, 20'000, rng),
+               pure_aloha_throughput(g), csma_throughput(g, 0.01)});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("F10b: protocol optima",
+               {"protocol", "optimal_G", "peak_throughput"});
+  b.add_row({"slotted-aloha", optimal_load_slotted_aloha(),
+             slotted_aloha_throughput(optimal_load_slotted_aloha())});
+  b.add_row({"pure-aloha", optimal_load_pure_aloha(),
+             pure_aloha_throughput(optimal_load_pure_aloha())});
+  for (double prop : {0.001, 0.01, 0.1}) {
+    const double g = optimal_load_csma(prop);
+    b.add_row({"csma a=" + std::to_string(prop), g,
+               csma_throughput(g, prop)});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("F10c: usable report rate per node (100 kbps cell, 512-bit "
+               "packets, slotted ALOHA)",
+               {"nodes", "reports_per_node_per_s", "period_s"});
+  for (int n : {5, 10, 20, 50, 100, 200}) {
+    const auto r = max_report_rate_per_node(n, 100_kbps, 512_bit);
+    c.add_row({static_cast<long long>(n), r.value(), 1.0 / r.value()});
+  }
+  std::cout << c << '\n';
+}
+
+void BM_aloha_simulation(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    auto s = simulate_slotted_aloha(1.0, static_cast<int>(state.range(0)),
+                                    10'000, rng);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_aloha_simulation)->Arg(50)->Arg(200);
+
+void BM_csma_optimum(benchmark::State& state) {
+  for (auto _ : state) {
+    auto g = optimal_load_csma(0.01);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_csma_optimum);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

@@ -1,0 +1,101 @@
+// Extension figure F11: ultra-low-voltage operation — energy per operation
+// versus supply voltage, the minimum-energy point (MEP), and its shift
+// with leakage population.  The keynote's microWatt node design challenge.
+//
+// Expected shape: energy/op falls quadratically with voltage until the
+// exponentially growing cycle time makes leakage dominate; the MEP sits
+// near/below Vth and moves up for leakier designs; newer process nodes
+// reach lower absolute MEP energy but their MEP voltage stops scaling.
+#include <iostream>
+
+#include "ambisim/sim/ascii_plot.hpp"
+#include "ambisim/sim/table.hpp"
+#include "ambisim/tech/subthreshold.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+constexpr double kGatesPerOp = 1'000.0;
+constexpr double kIdleGates = 100'000.0;
+
+void print_figure() {
+  const auto& n130 = tech::TechnologyLibrary::standard().node("130nm");
+  const tech::SubthresholdModel model(n130);
+
+  sim::Table a("F11a: energy per op vs supply (130 nm, 100k idle gates)",
+               {"vdd_V", "fmax_kHz", "dynamic_fJ", "leakage_fJ",
+                "total_fJ"});
+  for (double v = 0.15; v <= n130.vdd_nominal.value() + 1e-9; v += 0.05) {
+    const u::Voltage vv{v};
+    const double dyn =
+        kGatesPerOp * n130.gate_cap.value() * v * v * 1e15;
+    const double total =
+        model.energy_per_op(vv, kGatesPerOp, kIdleGates).value() * 1e15;
+    a.add_row({v, model.max_frequency(vv).value() / 1e3, dyn, total - dyn,
+               total});
+  }
+  std::cout << a << '\n';
+
+  // The minimum-energy-point curve itself (linear V, log E).
+  sim::AsciiScatter curve("F11: energy per op vs supply voltage", 64, 18,
+                          /*log_x=*/false, /*log_y=*/true);
+  curve.set_labels("Vdd [V]", "energy/op [J]");
+  for (double v = 0.16; v <= n130.vdd_nominal.value() + 1e-9; v += 0.02) {
+    const double e =
+        model.energy_per_op(u::Voltage(v), kGatesPerOp, kIdleGates).value();
+    curve.add(v, e, '*');
+  }
+  std::cout << curve << '\n';
+
+  sim::Table b("F11b: minimum-energy point vs leakage population (130 nm)",
+               {"idle_gates", "mep_V", "mep_fJ_per_op",
+                "vs_nominal_ratio"});
+  for (double idle : {1e3, 1e4, 1e5, 1e6, 1e7}) {
+    const auto mep = model.minimum_energy_voltage(kGatesPerOp, idle);
+    const double e_mep =
+        model.energy_per_op(mep, kGatesPerOp, idle).value();
+    const double e_nom =
+        model.energy_per_op(n130.vdd_nominal, kGatesPerOp, idle).value();
+    b.add_row({idle, mep.value(), e_mep * 1e15, e_nom / e_mep});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("F11c: MEP across the roadmap (100k idle gates)",
+               {"node", "vth_V", "mep_V", "mep_fJ_per_op",
+                "fmax_at_mep_kHz"});
+  for (const auto& n : tech::TechnologyLibrary::standard().all()) {
+    const tech::SubthresholdModel m(n);
+    const auto mep = m.minimum_energy_voltage(kGatesPerOp, kIdleGates);
+    c.add_row({n.name, n.vth.value(), mep.value(),
+               m.energy_per_op(mep, kGatesPerOp, kIdleGates).value() * 1e15,
+               m.max_frequency(mep).value() / 1e3});
+  }
+  std::cout << c << '\n';
+}
+
+void BM_mep_search(benchmark::State& state) {
+  const auto& n = tech::TechnologyLibrary::standard().node("130nm");
+  const tech::SubthresholdModel m(n);
+  for (auto _ : state) {
+    auto v = m.minimum_energy_voltage(kGatesPerOp, kIdleGates);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_mep_search);
+
+void BM_subthreshold_energy(benchmark::State& state) {
+  const auto& n = tech::TechnologyLibrary::standard().node("130nm");
+  const tech::SubthresholdModel m(n);
+  for (auto _ : state) {
+    auto e = m.energy_per_op(u::Voltage(0.3), kGatesPerOp, kIdleGates);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_subthreshold_energy);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

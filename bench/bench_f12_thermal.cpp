@@ -1,0 +1,92 @@
+// Extension figure F12: thermal feedback in the Watt node — junction
+// temperature and total power vs utilization, the stable/runaway boundary
+// vs package thermal resistance, and the generational trend (leakier nodes
+// need better packages).
+//
+// Expected shape: total power exceeds the naive dyn+leak(25C) sum and
+// curves upward with utilization; beyond a critical thermal resistance the
+// die runs away; the critical resistance falls steeply for leakier
+// (newer) technology generations.
+#include <iostream>
+
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/sim/table.hpp"
+#include "ambisim/tech/thermal.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+void print_figure() {
+  const auto& n90 = tech::TechnologyLibrary::standard().node("90nm");
+  // A media SoC's compute fabric: VLIW + accelerators worth of gates.
+  const auto cpu = arch::ProcessorModel::at_max_clock(arch::vliw_core(), n90,
+                                                      n90.vdd_nominal);
+  // Scale the leakage population up to SoC size (20x the core).
+  const double soc_factor = 20.0;
+  const u::Power leak25 = cpu.leakage_power() * soc_factor;
+
+  sim::Table a("F12a: equilibrium vs utilization (90 nm SoC, 5 K/W package)",
+               {"utilization", "dyn_W", "naive_total_W", "equilibrium_W",
+                "junction_C", "stable"});
+  const tech::ThermalModel pkg(5.0);
+  for (double util : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const u::Power dyn = cpu.dynamic_power(util) * soc_factor;
+    const auto eq = pkg.solve(dyn, leak25);
+    a.add_row({util, dyn.value(), (dyn + leak25).value(),
+               eq.total_power.value(), eq.temperature_c,
+               eq.stable ? "yes" : "RUNAWAY"});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("F12b: package quality boundary (90 nm SoC at 60 % load)",
+               {"theta_ja_K_per_W", "junction_C", "total_W", "stable"});
+  const u::Power dyn60 = cpu.dynamic_power(0.6) * soc_factor;
+  for (double r : {1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
+    const tech::ThermalModel m(r);
+    const auto eq = m.solve(dyn60, leak25);
+    b.add_row({r, eq.temperature_c, eq.total_power.value(),
+               eq.stable ? "yes" : "RUNAWAY"});
+  }
+  const double rc = tech::ThermalModel::critical_resistance(dyn60, leak25);
+  std::cout << b << '\n';
+  std::cout << "critical resistance at this load: " << rc << " K/W\n\n";
+
+  sim::Table c("F12c: critical package resistance across generations "
+               "(same SoC re-targeted, 60 % load)",
+               {"node", "dyn_W", "leak25_W", "critical_K_per_W"});
+  for (const auto* name : {"180nm", "130nm", "90nm", "65nm", "45nm"}) {
+    const auto& n = tech::TechnologyLibrary::standard().node(name);
+    const auto c2 = arch::ProcessorModel::at_max_clock(arch::vliw_core(), n,
+                                                       n.vdd_nominal);
+    const u::Power d = c2.dynamic_power(0.6) * soc_factor;
+    const u::Power l = c2.leakage_power() * soc_factor;
+    c.add_row({name, d.value(), l.value(),
+               tech::ThermalModel::critical_resistance(d, l)});
+  }
+  std::cout << c << '\n';
+}
+
+void BM_thermal_solve(benchmark::State& state) {
+  const tech::ThermalModel m(5.0);
+  for (auto _ : state) {
+    auto eq = m.solve(3_W, 0.5_W);
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_thermal_solve);
+
+void BM_critical_resistance(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = tech::ThermalModel::critical_resistance(3_W, 0.5_W);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_critical_resistance);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

@@ -1,0 +1,103 @@
+// Reproduction of Figure F1: the power-information graph.
+//
+// Series 1: the standard technology catalogue (components at full rate).
+// Series 2: the three composed case-study devices across process nodes.
+// Summary: per-device-class cluster statistics (three bands separated by
+// orders of magnitude in power) and the global log-log power~rate fit.
+#include <cmath>
+#include <iostream>
+
+#include "ambisim/core/device_node.hpp"
+#include "ambisim/core/power_info.hpp"
+#include "ambisim/sim/ascii_plot.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+
+void print_figure() {
+  const auto graph = core::PowerInfoGraph::standard_catalogue();
+  std::cout << graph.to_table("F1a: technology catalogue on the power-information plane")
+            << '\n';
+
+  sim::Table devices("F1b: composed ambient devices (per process node)",
+                     {"device", "process", "power_W", "info_rate_bps",
+                      "energy_per_bit_J", "device_class"});
+  core::PowerInfoGraph device_graph;
+  for (const auto* name : {"180nm", "130nm", "90nm"}) {
+    const auto& node = tech::TechnologyLibrary::standard().node(name);
+    for (const auto& d :
+         {core::autonomous_sensor_node(node), core::personal_audio_node(node),
+          core::home_media_server(node)}) {
+      const auto p = d.to_point();
+      devices.add_row({p.name, p.process, p.power.value(),
+                       p.info_rate.value(), p.energy_per_bit().value(),
+                       to_string(p.device_class())});
+      device_graph.add(p);
+    }
+  }
+  std::cout << devices << '\n';
+
+  sim::Table clusters("F1c: device-class clusters (composed devices)",
+                      {"class", "count", "centroid_log10_P",
+                       "centroid_log10_R", "min_J_per_bit", "max_J_per_bit"});
+  for (auto cls : {core::DeviceClass::MicroWatt, core::DeviceClass::MilliWatt,
+                   core::DeviceClass::Watt}) {
+    const auto s = device_graph.cluster(cls);
+    clusters.add_row({to_string(cls), static_cast<long long>(s.count),
+                      s.mean_log10_power, s.mean_log10_rate,
+                      s.min_epb.value(), s.max_epb.value()});
+  }
+  std::cout << clusters << '\n';
+
+  // The figure itself: the log-log power-information plane.  Glyphs:
+  // c = compute, r = radio, i = interface, s = storage; u/m/W = the three
+  // composed device classes.
+  sim::AsciiScatter plot(
+      "F1: the power-information graph (log-log)", 72, 26);
+  plot.set_labels("information rate [bit/s]", "power [W]");
+  for (const auto& p : graph.points()) {
+    char g = '?';
+    switch (p.kind) {
+      case core::TechnologyKind::Compute: g = 'c'; break;
+      case core::TechnologyKind::Communication: g = 'r'; break;
+      case core::TechnologyKind::Interface: g = 'i'; break;
+      case core::TechnologyKind::Storage: g = 's'; break;
+    }
+    plot.add(p.info_rate.value(), p.power.value(), g);
+  }
+  for (const auto& p : device_graph.points()) {
+    char g = 'u';
+    if (p.device_class() == core::DeviceClass::MilliWatt) g = 'm';
+    if (p.device_class() == core::DeviceClass::Watt) g = 'W';
+    plot.add(p.info_rate.value(), p.power.value(), g);
+  }
+  std::cout << plot << '\n';
+
+  const auto fit = graph.loglog_fit();
+  std::cout << "F1d: catalogue log-log fit  log10(P) = " << fit.intercept
+            << " + " << fit.slope << " * log10(R), R^2 = " << fit.r2
+            << "\n\n";
+}
+
+void BM_catalogue_build(benchmark::State& state) {
+  for (auto _ : state) {
+    auto g = core::PowerInfoGraph::standard_catalogue();
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_catalogue_build);
+
+void BM_cluster_stats(benchmark::State& state) {
+  const auto g = core::PowerInfoGraph::standard_catalogue();
+  for (auto _ : state) {
+    auto s = g.cluster(core::DeviceClass::MilliWatt);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_cluster_stats);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

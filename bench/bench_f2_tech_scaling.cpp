@@ -1,0 +1,70 @@
+// Reproduction of Figure F2: CMOS technology scaling of energy per
+// operation and leakage, 350 nm -> 45 nm.
+//
+// Expected shape: switching energy per gate falls superlinearly with feature
+// size (C*V^2); leakage per gate rises steeply as Vth scales; consequently
+// the leakage *fraction* of a lightly-loaded core grows toward newer nodes.
+#include <iostream>
+
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/sim/table.hpp"
+#include "ambisim/tech/memory_energy.hpp"
+#include "ambisim/tech/technology.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+void print_figure() {
+  const auto& lib = tech::TechnologyLibrary::standard();
+  sim::Table t("F2: technology scaling (reference gate and RISC core)",
+               {"node", "year", "vdd_V", "fo4_ps", "fmax_MHz",
+                "E_switch_fJ", "leak_nW_per_gate", "risc_E_per_op_pJ",
+                "risc_leak_fraction_10pct_util", "sram32k_access_pJ"});
+  for (const auto& n : lib.all()) {
+    const u::Voltage v = n.vdd_nominal;
+    const auto cpu =
+        arch::ProcessorModel::at_max_clock(arch::risc_core(), n, v);
+    const double leak_frac =
+        cpu.leakage_power().value() /
+        (cpu.dynamic_power(0.1) + cpu.leakage_power()).value();
+    t.add_row({n.name, static_cast<long long>(n.year), v.value(),
+               tech::gate_delay(n, v).value() * 1e12,
+               tech::max_frequency(n, v, 20.0).value() / 1e6,
+               tech::switching_energy(n, v).value() * 1e15,
+               tech::leakage_power_per_gate(n, v).value() * 1e9,
+               cpu.energy_per_op().value() * 1e12, leak_frac,
+               tech::SramModel::access_energy(n, v, 32.0 * 8192.0 * 8.0)
+                       .value() *
+                   1e12});
+  }
+  std::cout << t << '\n';
+}
+
+void BM_energy_per_op(benchmark::State& state) {
+  const auto& n = tech::TechnologyLibrary::standard().node("130nm");
+  for (auto _ : state) {
+    auto e = tech::energy_per_op(n, 1e5, n.vdd_nominal,
+                                 tech::max_frequency(n, n.vdd_nominal), 1e6);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_energy_per_op);
+
+void BM_gate_delay_sweep(benchmark::State& state) {
+  const auto& n = tech::TechnologyLibrary::standard().node("90nm");
+  for (auto _ : state) {
+    for (double v = n.vdd_min.value(); v <= n.vdd_nominal.value();
+         v += 0.01) {
+      auto d = tech::gate_delay(n, u::Voltage(v));
+      benchmark::DoNotOptimize(d);
+    }
+  }
+}
+BENCHMARK(BM_gate_delay_sweep);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

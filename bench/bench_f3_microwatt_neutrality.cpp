@@ -1,0 +1,148 @@
+// Reproduction of Figure F3 (case study 1, microWatt autonomous node):
+// harvested versus consumed power and the energy-neutral duty-cycle
+// threshold.
+//
+// Expected shape: the maximum energy-neutral duty cycle grows linearly with
+// harvester area; below the threshold the node runs forever, above it the
+// buffer battery drains in days.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "ambisim/arch/interface.hpp"
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/dse/sweep.hpp"
+#include "ambisim/energy/battery.hpp"
+#include "ambisim/energy/buffer_sim.hpp"
+#include "ambisim/energy/harvester.hpp"
+#include "ambisim/energy/ledger.hpp"
+#include "ambisim/radio/transceiver.hpp"
+#include "ambisim/sim/table.hpp"
+#include "ambisim/tech/technology.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+struct NodePowers {
+  u::Power active;
+  u::Power sleep;
+};
+
+NodePowers sensor_node_powers() {
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  const auto cpu = arch::ProcessorModel::at_max_clock(
+      arch::microcontroller_core(), node, node.vdd_min);
+  const radio::RadioModel radio(radio::ulp_radio());
+  const auto fe = arch::SensorFrontEnd::temperature();
+  // Active: MCU computing + radio idle-listening + sensor biased.
+  const u::Power active =
+      cpu.power(1.0) + radio.idle_power() + fe.active_power;
+  const u::Power sleep =
+      cpu.sleep_power() + radio.sleep_power() + fe.standby_power;
+  return {active, sleep};
+}
+
+void print_figure() {
+  const auto p = sensor_node_powers();
+  std::cout << "microWatt node: active = " << u::to_string(p.active)
+            << ", sleep = " << u::to_string(p.sleep) << "\n\n";
+
+  sim::Table a("F3a: energy-neutral duty cycle vs harvester size (indoor PV)",
+               {"area_cm2", "harvest_avg_uW", "max_neutral_duty",
+                "sustainable"});
+  for (double cm2 : dse::linspace(0.5, 8.0, 8)) {
+    const energy::SolarHarvester h(u::Area(cm2 * 1e-4), 0.15,
+                                   /*indoor=*/true);
+    const double duty =
+        energy::max_neutral_duty(h.average_power(), p.active, p.sleep);
+    a.add_row({cm2, h.average_power().value() * 1e6, duty,
+               duty > 0.0 ? std::string("yes") : std::string("no")});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("F3b: autonomy vs duty cycle (2 cm2 indoor PV + 1 mAh film)",
+               {"duty_pct", "avg_power_uW", "neutral",
+                "autonomy_days"});
+  const energy::SolarHarvester h(2_cm2, 0.15, /*indoor=*/true);
+  for (double duty : {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    const energy::DutyCycleLoad load{p.active, p.sleep, 1_s,
+                                     u::Time(duty)};
+    const u::Power avg = load.average_power();
+    const bool neutral = h.average_power() >= avg;
+    double days;
+    if (neutral) {
+      days = -1.0;  // unlimited
+    } else {
+      energy::Battery buf(energy::Battery::thin_film_1mAh());
+      days = buf.lifetime_at(avg - h.average_power()).value() / 86400.0;
+    }
+    b.add_row({duty * 100.0, avg.value() * 1e6,
+               neutral ? std::string("yes") : std::string("no"),
+               days < 0 ? std::string("unlimited") : std::to_string(days)});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("F3c: harvester technologies (average power)",
+               {"harvester", "avg_power_uW"});
+  const energy::VibrationHarvester vib(1.0);
+  const energy::ThermalHarvester teg(4_cm2, 5.0);
+  const energy::SolarHarvester outdoor(2_cm2, 0.15, /*indoor=*/false);
+  const std::vector<const energy::Harvester*> harvesters{&h, &vib, &teg,
+                                                         &outdoor};
+  for (const energy::Harvester* hv : harvesters) {
+    c.add_row({hv->name(), hv->average_power().value() * 1e6});
+  }
+  std::cout << c << '\n';
+
+  // Outdoor deployment: the buffer must carry the node through the night.
+  sim::Table d("F3d: outdoor day/night buffer cycling (2 cm2 PV, 5 days)",
+               {"load_uW", "survived", "sustainable", "min_soc_pct",
+                "min_buffer_J"});
+  for (double load_uw : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    energy::BufferSimConfig bc;
+    bc.harvester = std::make_shared<energy::SolarHarvester>(
+        2_cm2, 0.15, /*indoor=*/false);
+    bc.load = u::Power(load_uw * 1e-6);
+    bc.duration = u::Time(86400.0 * 5);
+    bc.step = u::Time(120.0);
+    const auto r = energy::simulate_energy_buffer(bc);
+    double min_buffer = -1.0;
+    try {
+      min_buffer = energy::minimum_buffer_energy(bc, 1e3, 25).value();
+    } catch (const std::domain_error&) {
+      // load above the average harvest: no buffer size helps
+    }
+    d.add_row({load_uw, r.survived ? "yes" : "no",
+               r.sustainable ? "yes" : "no", r.min_soc * 100.0,
+               min_buffer < 0 ? std::string("n/a")
+                              : std::to_string(min_buffer)});
+  }
+  std::cout << d << '\n';
+}
+
+void BM_max_neutral_duty(benchmark::State& state) {
+  const auto p = sensor_node_powers();
+  const energy::SolarHarvester h(2_cm2, 0.15, true);
+  for (auto _ : state) {
+    auto d = energy::max_neutral_duty(h.average_power(), p.active, p.sleep);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_max_neutral_duty);
+
+void BM_harvester_integral(benchmark::State& state) {
+  const energy::SolarHarvester h(2_cm2, 0.15, false);
+  for (auto _ : state) {
+    auto e = h.energy_between(u::Time(0.0), u::Time(86400.0));
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_harvester_integral);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

@@ -1,0 +1,130 @@
+// Reproduction of Figure F4 (case study 1b): sensor-network lifetime versus
+// MAC duty cycle and node density, min-hop vs min-energy routing.
+//
+// Expected shape: lifetime falls roughly inversely with listen duty cycle
+// (idle listening dominates); relaying creates hot spots (hotspot factor
+// > 1) that first-death long before mean death; min-energy routing spends
+// slightly more hops but relieves long-link senders.
+#include <iostream>
+
+#include "ambisim/net/network_sim.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+net::SensorNetworkConfig base_config() {
+  net::SensorNetworkConfig cfg;
+  cfg.node_count = 50;
+  cfg.field_side = u::Length(50.0);
+  cfg.radio_range = u::Length(18.0);
+  cfg.report_period = 60_s;
+  cfg.seed = 3;
+  return cfg;
+}
+
+void print_figure() {
+  // The B-MAC trade-off: short wake intervals burn idle listening, long
+  // ones burn sender preambles -> lifetime has an interior maximum.
+  sim::Table a("F4a: lifetime vs MAC wake interval (50 nodes, 5 ms listen)",
+               {"wake_interval_s", "listen_duty_pct", "first_death_days",
+                "half_death_days", "delivery_ratio", "hotspot_factor"});
+  for (double wake : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    auto cfg = base_config();
+    cfg.mac = {u::Time(wake), u::Time(0.005)};
+    const auto r = net::simulate_sensor_network(cfg);
+    a.add_row({wake, 100.0 * 0.005 / wake,
+               r.first_node_death.value() / 86400.0,
+               r.half_network_death.value() / 86400.0, r.delivery_ratio,
+               r.hotspot_factor});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("F4b: lifetime vs node count (1% duty, min-hop)",
+               {"nodes", "first_death_days", "half_death_days", "mean_hops",
+                "hotspot_factor", "unreachable"});
+  for (int n : {20, 35, 50, 80, 120}) {
+    auto cfg = base_config();
+    cfg.node_count = n;
+    const auto r = net::simulate_sensor_network(cfg);
+    b.add_row({static_cast<long long>(n),
+               r.first_node_death.value() / 86400.0,
+               r.half_network_death.value() / 86400.0, r.mean_hops,
+               r.hotspot_factor, static_cast<long long>(r.unreachable_nodes)});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("F4c: routing policy comparison (50 nodes, 1% duty)",
+               {"routing", "first_death_days", "half_death_days",
+                "mean_hops", "hotspot_factor"});
+  for (auto policy : {net::RoutingPolicy::MinHop,
+                      net::RoutingPolicy::MinEnergy}) {
+    auto cfg = base_config();
+    cfg.routing = policy;
+    const auto r = net::simulate_sensor_network(cfg);
+    c.add_row({policy == net::RoutingPolicy::MinHop ? "min-hop"
+                                                    : "min-energy",
+               r.first_node_death.value() / 86400.0,
+               r.half_network_death.value() / 86400.0, r.mean_hops,
+               r.hotspot_factor});
+  }
+  std::cout << c << '\n';
+
+  sim::Table d("F4d: harvesting rescues the network (20 uW/node avg)",
+               {"harvest_uW", "first_death_days", "delivery_ratio"});
+  for (double uw : {0.0, 5.0, 10.0, 20.0, 40.0}) {
+    auto cfg = base_config();
+    if (uw > 0.0) cfg.harvest_avg_watt = uw * 1e-6;
+    cfg.max_sim_time = u::Time(86400.0 * 3650);  // cap at 10 years
+    const auto r = net::simulate_sensor_network(cfg);
+    const double fd = r.first_node_death.value();
+    d.add_row({uw, fd > 0.0 ? fd / 86400.0 : r.simulated.value() / 86400.0,
+               r.delivery_ratio});
+  }
+  std::cout << d << '\n';
+
+  sim::Table e("F4e: in-network aggregation ablation (50 nodes, 1% duty)",
+               {"aggregation", "first_death_days", "half_death_days",
+                "hotspot_factor"});
+  for (bool agg : {false, true}) {
+    auto cfg = base_config();
+    cfg.field_side = u::Length(70.0);
+    cfg.radio_range = u::Length(16.0);
+    cfg.aggregate_at_relays = agg;
+    const auto r = net::simulate_sensor_network(cfg);
+    e.add_row({agg ? "merge-at-relay" : "store-and-forward",
+               r.first_node_death.value() / 86400.0,
+               r.half_network_death.value() / 86400.0, r.hotspot_factor});
+  }
+  std::cout << e << '\n';
+
+  sim::Table f("F4f: optimal hop count vs distance (first-order radio)",
+               {"distance_m", "optimal_hops", "energy_vs_direct"});
+  const net::LinkEnergyModel radio_model{100e-9, 0.1e-9, 3.0};
+  for (double dist : {10.0, 30.0, 100.0, 300.0, 1000.0}) {
+    const u::Length d(dist);
+    const int k = net::optimal_hop_count(radio_model, d);
+    f.add_row({dist, static_cast<long long>(k),
+               net::multihop_energy(radio_model, d, k) /
+                   net::multihop_energy(radio_model, d, 1)});
+  }
+  std::cout << f << '\n';
+}
+
+void BM_network_lifetime(benchmark::State& state) {
+  auto cfg = base_config();
+  cfg.node_count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = net::simulate_sensor_network(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_network_lifetime)->Arg(25)->Arg(50)->Arg(100);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

@@ -1,0 +1,138 @@
+// Reproduction of Figure F5 (case study 2, milliWatt personal node):
+// battery life of the wireless-audio appliance versus streaming bit-rate,
+// with and without voltage scaling, and the compute/radio/interface energy
+// split.
+//
+// Expected shape: at low bit-rates the platform floor (display, leakage,
+// amplifier) dominates; radio cost grows linearly with rate; DVS helps most
+// when the DSP is lightly utilized (slack exists) and saves a large
+// fraction of *compute* energy but a smaller fraction of node energy.
+#include <iostream>
+
+#include "ambisim/arch/interface.hpp"
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/energy/battery.hpp"
+#include "ambisim/radio/transceiver.hpp"
+#include "ambisim/sim/table.hpp"
+#include "ambisim/tech/dvs.hpp"
+#include "ambisim/tech/technology.hpp"
+#include "ambisim/workload/streams.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+struct NodePower {
+  u::Power compute;
+  u::Power radio;
+  u::Power interface;
+  [[nodiscard]] u::Power total() const { return compute + radio + interface; }
+};
+
+NodePower node_power(u::BitRate stream_rate, bool dvs) {
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  const auto wl = workload::audio_playback(stream_rate);
+  // Decode effort scales mildly with compressed rate.
+  const double ops_rate =
+      wl.ops_rate().value() * (0.6 + 0.4 * stream_rate.value() / 128e3);
+
+  u::Power compute{0.0};
+  if (dvs) {
+    // Run the DSP at the slowest operating point that sustains the decode.
+    const tech::DvsModel model(node, 16, arch::dsp_core().logic_depth);
+    const auto params = arch::dsp_core();
+    tech::OperatingPoint chosen = model.fastest();
+    for (const auto& p : model.points()) {
+      if (p.frequency.value() * params.ops_per_cycle >= ops_rate) {
+        chosen = p;
+        break;
+      }
+    }
+    const arch::ProcessorModel cpu(params, node, chosen.voltage,
+                                   chosen.frequency);
+    compute = cpu.power(std::min(1.0, ops_rate / cpu.throughput().value()));
+  } else {
+    const auto cpu = arch::ProcessorModel::at_max_clock(arch::dsp_core(),
+                                                        node,
+                                                        node.vdd_nominal);
+    compute = cpu.power(std::min(1.0, ops_rate / cpu.throughput().value()));
+  }
+
+  const radio::RadioModel bt(radio::bluetooth_like());
+  const double rx_duty = stream_rate.value() / bt.params().bit_rate.value();
+  const u::Power radio_p = bt.rx_power() * rx_duty +
+                           bt.idle_power() * 0.05 +
+                           bt.sleep_power() * (0.95 - rx_duty);
+
+  const auto ear = arch::AudioOutput::earpiece();
+  const auto lcd = arch::DisplayModel::mobile_lcd();
+  const u::Power iface = ear.amplifier_power + lcd.power() * 0.1;
+
+  return {compute, radio_p, iface};
+}
+
+void print_figure() {
+  energy::Battery battery(energy::Battery::li_ion_1000mAh());
+
+  sim::Table a("F5a: battery life vs streaming bit-rate (Li-ion 1000 mAh)",
+               {"bitrate_kbps", "power_mW_nominal", "life_h_nominal",
+                "power_mW_dvs", "life_h_dvs", "dvs_gain_pct"});
+  for (double kbps : {32.0, 64.0, 96.0, 128.0, 192.0, 256.0, 320.0}) {
+    const auto fixed = node_power(u::BitRate(kbps * 1e3), false);
+    const auto dvs = node_power(u::BitRate(kbps * 1e3), true);
+    const double life_fixed =
+        battery.lifetime_at(fixed.total()).value() / 3600.0;
+    const double life_dvs = battery.lifetime_at(dvs.total()).value() / 3600.0;
+    a.add_row({kbps, fixed.total().value() * 1e3, life_fixed,
+               dvs.total().value() * 1e3, life_dvs,
+               100.0 * (life_dvs / life_fixed - 1.0)});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("F5b: node energy split at 128 kbps",
+               {"config", "compute_mW", "radio_mW", "interface_mW",
+                "compute_share_pct"});
+  for (bool dvs : {false, true}) {
+    const auto p = node_power(128_kbps, dvs);
+    b.add_row({dvs ? "dvs" : "nominal", p.compute.value() * 1e3,
+               p.radio.value() * 1e3, p.interface.value() * 1e3,
+               100.0 * p.compute.value() / p.total().value()});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("F5c: battery technology comparison at 128 kbps (nominal)",
+               {"battery", "capacity_Wh", "life_h"});
+  const auto p128 = node_power(128_kbps, false).total();
+  for (const auto& spec :
+       {energy::Battery::li_ion_1000mAh(), energy::Battery::alkaline_aa(),
+        energy::Battery::coin_cell_cr2032()}) {
+    energy::Battery bb(spec);
+    c.add_row({spec.name, bb.capacity().value() / 3600.0,
+               bb.lifetime_at(p128).value() / 3600.0});
+  }
+  std::cout << c << '\n';
+}
+
+void BM_node_power(benchmark::State& state) {
+  for (auto _ : state) {
+    auto p = node_power(128_kbps, state.range(0) != 0);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_node_power)->Arg(0)->Arg(1);
+
+void BM_battery_lifetime(benchmark::State& state) {
+  energy::Battery battery(energy::Battery::li_ion_1000mAh());
+  for (auto _ : state) {
+    auto t = battery.lifetime_at(20_mW);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_battery_lifetime);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

@@ -1,0 +1,85 @@
+// Reproduction of Figure F6 (case study 2b): DVS energy savings versus
+// available slack, and the chosen voltage trajectory along the audio task
+// chain.
+//
+// Expected shape: savings grow steeply with slack (V^2 law) and saturate
+// once every task reaches Vdd_min; beyond that extra slack buys nothing
+// (and with leakage included, racing at Vdd_min then sleeping would win).
+#include <iostream>
+
+#include "ambisim/dse/dvs_schedule.hpp"
+#include "ambisim/sim/table.hpp"
+#include "ambisim/tech/technology.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+constexpr double kGatesPerCycle = 40e3;
+constexpr double kIdleGates = 360e3;
+
+void print_figure() {
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  const tech::DvsModel dvs(node, 16, 28.0);
+  const auto graph = workload::audio_pipeline_graph();
+
+  // Minimum chain latency at the fastest operating point.
+  double cycles = 0.0;
+  for (int t = 0; t < graph.task_count(); ++t) cycles += graph.task(t).ops;
+  const u::Time t_min{cycles / dvs.fastest().frequency.value()};
+
+  sim::Table a("F6a: DVS energy savings vs slack (audio chain, 130 nm)",
+               {"slack_factor", "deadline_us", "energy_nominal_uJ",
+                "energy_dvs_uJ", "savings_pct", "makespan_us"});
+  for (double slack : {1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0, 8.0}) {
+    const u::Time deadline = t_min * slack;
+    const auto r = dse::schedule_with_dvs(graph, dvs, deadline,
+                                          kGatesPerCycle, kIdleGates);
+    a.add_row({slack, deadline.value() * 1e6,
+               r.energy_nominal.value() * 1e6, r.energy_dvs.value() * 1e6,
+               r.savings * 100.0, r.makespan.value() * 1e6});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("F6b: per-task operating points at slack 3.0",
+               {"task", "ops", "voltage_V", "frequency_MHz"});
+  const auto r3 = dse::schedule_with_dvs(graph, dvs, t_min * 3.0,
+                                         kGatesPerCycle, kIdleGates);
+  for (int t = 0; t < graph.task_count(); ++t) {
+    b.add_row({graph.task(t).name, graph.task(t).ops,
+               r3.points[static_cast<std::size_t>(t)].voltage.value(),
+               r3.points[static_cast<std::size_t>(t)].frequency.value() /
+                   1e6});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("F6c: voltage-scaling trajectory of the DVS model",
+               {"voltage_V", "frequency_MHz", "energy_per_cycle_pJ"});
+  for (const auto& p : dvs.points()) {
+    const u::Energy e = dvs.energy(p, 1.0, kGatesPerCycle, kIdleGates);
+    c.add_row({p.voltage.value(), p.frequency.value() / 1e6,
+               e.value() * 1e12});
+  }
+  std::cout << c << '\n';
+}
+
+void BM_dvs_schedule(benchmark::State& state) {
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  const tech::DvsModel dvs(node, 16, 28.0);
+  const auto graph = workload::audio_pipeline_graph();
+  double cycles = 0.0;
+  for (int t = 0; t < graph.task_count(); ++t) cycles += graph.task(t).ops;
+  const u::Time deadline{3.0 * cycles / dvs.fastest().frequency.value()};
+  for (auto _ : state) {
+    auto r = dse::schedule_with_dvs(graph, dvs, deadline, kGatesPerCycle,
+                                    kIdleGates);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_dvs_schedule);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

@@ -1,0 +1,143 @@
+// Reproduction of Figure F7 (case study 3, Watt static node): media-SoC
+// architecture alternatives on the throughput/power plane under SD and HD
+// video decode.
+//
+// Expected shape: the general-purpose RISC is cheapest at low throughput
+// but cannot reach video rates; multi-DSP and VLIW reach SD; only the
+// accelerator-assisted SoC reaches HD, and the Pareto front at high
+// throughput is owned by the least flexible (hardwired) fabric — the
+// flexibility-vs-efficiency trade-off of the keynote.
+#include <iostream>
+#include <vector>
+
+#include "ambisim/arch/soc.hpp"
+#include "ambisim/dse/pareto.hpp"
+#include "ambisim/sim/table.hpp"
+#include "ambisim/workload/streams.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+std::vector<arch::SocModel> build_alternatives() {
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  const u::Voltage v = node.vdd_nominal;
+  std::vector<arch::CacheLevelSpec> caches{
+      {"L1", 32.0 * 1024.0 * 8.0, 32.0, 2_ns},
+      {"L2", 256.0 * 1024.0 * 8.0, 64.0, 8_ns}};
+
+  std::vector<arch::SocModel> socs;
+  {
+    arch::SocModel s("risc", node, v);
+    s.add_core(arch::risc_core());
+    s.set_memory(caches, true).set_bus(4.0, 32.0);
+    socs.push_back(std::move(s));
+  }
+  {
+    arch::SocModel s("dual-risc", node, v);
+    s.add_core(arch::risc_core()).add_core(arch::risc_core());
+    s.set_memory(caches, true).set_bus(5.0, 64.0);
+    socs.push_back(std::move(s));
+  }
+  {
+    arch::SocModel s("quad-dsp", node, v);
+    for (int i = 0; i < 4; ++i) s.add_core(arch::dsp_core());
+    s.set_memory(caches, true).set_bus(6.0, 64.0);
+    socs.push_back(std::move(s));
+  }
+  {
+    arch::SocModel s("vliw", node, v);
+    s.add_core(arch::vliw_core());
+    s.set_memory(caches, true).set_bus(5.0, 64.0);
+    socs.push_back(std::move(s));
+  }
+  {
+    arch::SocModel s("vliw+accel", node, v);
+    s.add_core(arch::vliw_core())
+        .add_core(arch::accelerator_core("mc"))
+        .add_core(arch::accelerator_core("dct"));
+    s.set_memory(caches, true).set_bus(6.0, 128.0);
+    socs.push_back(std::move(s));
+  }
+  return socs;
+}
+
+void print_figure() {
+  const auto socs = build_alternatives();
+
+  for (const auto& wl : {workload::video_decode_sd(),
+                         workload::video_decode_hd()}) {
+    sim::Table t("F7: " + wl.name + " on SoC alternatives (130 nm)",
+                 {"soc", "capacity_GOPS", "max_fps", "meets_rate",
+                  "power_W_at_rate", "energy_per_frame_mJ"});
+    std::vector<dse::ParetoPoint> points;
+    for (const auto& s : socs) {
+      const u::Frequency fmax = s.max_rate(wl.demand);
+      const bool ok = fmax >= wl.unit_rate;
+      const u::Frequency rate = ok ? wl.unit_rate : fmax;
+      const auto ev = s.evaluate(wl.demand, rate);
+      t.add_row({s.name(), s.compute_capacity().value() / 1e9,
+                 fmax.value(), ok ? "yes" : "no", ev.power.value(),
+                 ev.energy_per_unit.value() * 1e3});
+      points.push_back({ev.power.value(), fmax.value(), s.name()});
+    }
+    std::cout << t << '\n';
+
+    const auto front = dse::pareto_front(points);
+    std::cout << "Pareto front (" << wl.name << "): ";
+    for (const auto& p : front) std::cout << p.label << ' ';
+    std::cout << "\n\n";
+  }
+
+  // Technology scaling of the winning SoC: the same architecture re-targeted.
+  sim::Table s("F7c: vliw+accel across process nodes (SD decode at 25 fps)",
+               {"node", "power_W", "energy_per_frame_mJ", "feasible"});
+  const auto wl = workload::video_decode_sd();
+  for (const auto* name : {"250nm", "180nm", "130nm", "90nm", "65nm"}) {
+    const auto& node = tech::TechnologyLibrary::standard().node(name);
+    arch::SocModel soc("vliw+accel", node, node.vdd_nominal);
+    soc.add_core(arch::vliw_core())
+        .add_core(arch::accelerator_core("mc"))
+        .add_core(arch::accelerator_core("dct"));
+    soc.set_memory({{"L1", 32.0 * 1024.0 * 8.0, 32.0, 2_ns},
+                    {"L2", 256.0 * 1024.0 * 8.0, 64.0, 8_ns}},
+                   true);
+    soc.set_bus(6.0, 128.0);
+    const auto ev = soc.evaluate(wl.demand, wl.unit_rate);
+    s.add_row({name, ev.power.value(), ev.energy_per_unit.value() * 1e3,
+               ev.feasible ? "yes" : "no"});
+  }
+  std::cout << s << '\n';
+}
+
+void BM_soc_evaluate(benchmark::State& state) {
+  const auto socs = build_alternatives();
+  const auto wl = workload::video_decode_sd();
+  for (auto _ : state) {
+    for (const auto& s : socs) {
+      auto ev = s.evaluate(wl.demand, u::Frequency(10.0));
+      benchmark::DoNotOptimize(ev);
+    }
+  }
+}
+BENCHMARK(BM_soc_evaluate);
+
+void BM_pareto_front(benchmark::State& state) {
+  std::vector<dse::ParetoPoint> pts;
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back({static_cast<double>((i * 37) % 997),
+                   static_cast<double>((i * 61) % 991), ""});
+  }
+  for (auto _ : state) {
+    auto f = dse::pareto_front(pts);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_pareto_front);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

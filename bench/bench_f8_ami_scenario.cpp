@@ -1,0 +1,89 @@
+// Reproduction of Figure F8: the end-to-end ambient-intelligence scenario —
+// a day in a home where microWatt sensors, a milliWatt personal device and
+// a Watt-class server cooperate.
+//
+// Expected shape: the Watt-node holds the overwhelming share (>90 %) of the
+// daily energy, yet feasibility is decided at the microWatt node (energy
+// neutrality) and the milliWatt node (days of battery); end-to-end latency
+// is dominated by the duty-cycled first hop.
+#include <iostream>
+
+#include "ambisim/core/scenario.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+void print_figure() {
+  core::AmiScenarioConfig cfg;
+  const auto res = core::run_ami_scenario(cfg);
+
+  std::cout << "F8: ambient-home scenario, " << res.events
+            << " context events over 24 h\n\n";
+
+  sim::Table a("F8a: daily energy by device class",
+               {"class", "energy_J", "share_pct"});
+  for (const auto& [name, e] : res.class_energy.breakdown()) {
+    a.add_row({name, e.value(), 100.0 * res.class_energy.share(name)});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("F8b: daily energy by pipeline stage",
+               {"stage", "energy_J", "share_pct"});
+  for (const auto& [name, e] : res.stage_energy.breakdown()) {
+    b.add_row({name, e.value(), 100.0 * res.stage_energy.share(name)});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("F8c: end-to-end latency (event -> response rendering)",
+               {"metric", "seconds"});
+  if (!res.end_to_end_latency.empty()) {
+    c.add_row({"p50", res.end_to_end_latency.median()});
+    c.add_row({"p95", res.end_to_end_latency.percentile(95.0)});
+    c.add_row({"max", res.end_to_end_latency.max()});
+  }
+  std::cout << c << '\n';
+
+  sim::Table d("F8d: feasibility verdicts", {"check", "value"});
+  d.add_row({"system average power",
+             u::si_format(res.system_power.value(), "W")});
+  d.add_row({"sensor avg power",
+             u::si_format(res.sensor_average_power, "W")});
+  d.add_row({"sensors energy-neutral",
+             res.sensors_energy_neutral ? std::string("yes")
+                                        : std::string("no")});
+  d.add_row({"personal battery",
+             std::to_string(res.personal_battery_days) + " days"});
+  std::cout << d << '\n';
+
+  sim::Table e("F8e: scaling the sensor web (events tracked per day)",
+               {"sensors", "events_per_hour", "system_power_W",
+                "uW_share_pct"});
+  for (int sensors : {4, 8, 16, 32, 64}) {
+    core::AmiScenarioConfig c2;
+    c2.sensor_count = sensors;
+    c2.events_per_hour = 1.5 * sensors;
+    const auto r2 = core::run_ami_scenario(c2);
+    e.add_row({static_cast<long long>(sensors), c2.events_per_hour,
+               r2.system_power.value(),
+               100.0 * r2.class_energy.share("microWatt-node")});
+  }
+  std::cout << e << '\n';
+}
+
+void BM_ami_scenario_day(benchmark::State& state) {
+  core::AmiScenarioConfig cfg;
+  cfg.sensor_count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = core::run_ami_scenario(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ami_scenario_day)->Arg(8)->Arg(32);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

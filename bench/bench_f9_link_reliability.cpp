@@ -1,0 +1,92 @@
+// Extension figure F9: delivered-information energetics of the wireless
+// link — PER vs distance per modulation, energy per *delivered* bit vs
+// distance under ARQ, and the distance-dependent optimal radiated power.
+//
+// Expected shape: PER is a near-step function of distance; energy per
+// delivered bit is flat inside range and cliffs at the edge; the optimal
+// radiated power grows ~d^n once the link leaves the electronics-dominated
+// regime.
+#include <iostream>
+
+#include "ambisim/radio/ber.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+using namespace ambisim::radio;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+void print_figure() {
+  const RadioModel ulp{ulp_radio()};
+  const u::Length reach = ulp.max_range();
+  std::cout << "ULP radio nominal range (1e-3 BER): "
+            << u::to_string(reach) << "\n\n";
+
+  sim::Table a("F9a: packet error rate vs distance (512-bit packets)",
+               {"distance_m", "ber_fsk", "per_fsk", "per_bpsk_equiv"});
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.4}) {
+    const u::Length d = reach * frac;
+    const double ber =
+        bit_error_rate_at(ulp.link_budget(), Modulation::fsk(), d);
+    const double ber_bpsk =
+        bit_error_rate_at(ulp.link_budget(), Modulation::bpsk(), d);
+    a.add_row({d.value(), ber, packet_error_rate(ber, 512.0),
+               packet_error_rate(ber_bpsk, 512.0)});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("F9b: energy per delivered bit vs distance (ARQ, 8 tries)",
+               {"distance_m", "nJ_per_delivered_bit", "expected_attempts"});
+  const ArqModel arq;
+  for (double frac : {0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}) {
+    const u::Length d = reach * frac;
+    const double ber =
+        bit_error_rate_at(ulp.link_budget(), Modulation::fsk(), d);
+    const double per = packet_error_rate(ber, 512.0);
+    b.add_row({d.value(),
+               energy_per_delivered_bit(ulp, d, 512_bit).value() * 1e9,
+               arq.expected_attempts(per)});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("F9c: optimal radiated power vs distance",
+               {"distance_m", "optimal_dbm", "resulting_nJ_per_bit"});
+  for (double dist : {2.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
+    const u::Length d{dist};
+    const u::Power p = optimal_radiated_power(ulp_radio(), d, 512_bit);
+    RadioParams tuned = ulp_radio();
+    tuned.tx_radiated = p;
+    const RadioModel r(tuned);
+    c.add_row({dist, watt_to_dbm(p),
+               energy_per_delivered_bit(r, d, 512_bit).value() * 1e9});
+  }
+  std::cout << c << '\n';
+}
+
+void BM_ber_sweep(benchmark::State& state) {
+  const RadioModel ulp{ulp_radio()};
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double d = 1.0; d < 60.0; d += 1.0) {
+      acc += bit_error_rate_at(ulp.link_budget(), Modulation::fsk(),
+                               u::Length(d));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ber_sweep);
+
+void BM_optimal_power(benchmark::State& state) {
+  for (auto _ : state) {
+    auto p = optimal_radiated_power(ulp_radio(), u::Length(20.0), 512_bit);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_optimal_power);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

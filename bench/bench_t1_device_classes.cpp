@@ -1,0 +1,71 @@
+// Reproduction of Table T1: characteristics of the three device classes —
+// the canonical band/energy-source/autonomy rows plus the *measured*
+// figures of the composed case-study device of each class.
+#include <iostream>
+
+#include "ambisim/core/device_node.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+void print_table() {
+  sim::Table t1("T1: device-class characteristics",
+                {"class", "role", "power_band", "energy_source",
+                 "example", "autonomy_target"});
+  for (auto cls : {core::DeviceClass::MicroWatt, core::DeviceClass::MilliWatt,
+                   core::DeviceClass::Watt}) {
+    const auto p = core::class_profile(cls);
+    t1.add_row({to_string(cls), p.label,
+                u::to_string(p.budget_low) + " .. " +
+                    u::to_string(p.budget_high),
+                p.energy_source, p.example_device,
+                p.expected_autonomy.value() >= 1e17
+                    ? std::string("continuous")
+                    : u::to_string(p.expected_autonomy)});
+  }
+  std::cout << t1 << '\n';
+
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  sim::Table t1b("T1b: measured figures of the composed devices (130 nm)",
+                 {"device", "class", "avg_power", "info_rate",
+                  "energy_per_bit", "autonomy", "energy_neutral"});
+  for (const auto& d :
+       {core::autonomous_sensor_node(node), core::personal_audio_node(node),
+        core::home_media_server(node)}) {
+    t1b.add_row({d.name(), to_string(d.device_class()),
+                 u::to_string(d.average_power()),
+                 u::to_string(d.information_rate()),
+                 u::to_string(d.to_point().energy_per_bit()),
+                 d.autonomy().value() >= 1e17
+                     ? std::string("unlimited")
+                     : u::to_string(d.autonomy()),
+                 d.energy_neutral() ? std::string("yes") : std::string("no")});
+  }
+  std::cout << t1b << '\n';
+}
+
+void BM_classify_power(benchmark::State& state) {
+  double w = 1e-7;
+  for (auto _ : state) {
+    auto c = core::classify_power(u::Power(w));
+    benchmark::DoNotOptimize(c);
+    w = w < 10.0 ? w * 1.5 : 1e-7;
+  }
+}
+BENCHMARK(BM_classify_power);
+
+void BM_compose_device(benchmark::State& state) {
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  for (auto _ : state) {
+    auto d = core::autonomous_sensor_node(node);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_compose_device);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_table)

@@ -1,0 +1,146 @@
+// Reproduction of Table T2: placement of ambient-intelligence functions
+// onto the device network by the DSE mapper — energy-optimal versus naive
+// (everything on the server) and greedy.
+//
+// Expected shape: light front-end tasks stay near the sensor (shipping raw
+// samples costs more than filtering them locally); heavy recognition lands
+// on the Watt node; the annealer matches or beats greedy, and both beat
+// all-on-server by a wide margin because radio bits are expensive.
+#include <iostream>
+
+#include "ambisim/dse/mapping.hpp"
+#include "ambisim/radio/transceiver.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+dse::MappingProblem build_problem() {
+  const auto& lib = tech::TechnologyLibrary::standard();
+  const auto& n130 = lib.node("130nm");
+
+  // The AmI function: sensing front-end feeding a recognition + response
+  // pipeline (per 1 s activation).
+  workload::TaskGraph g("ami-function");
+  const int sample = g.add_task({"sample", 2e3, 400, 96_bit});
+  const int filter = g.add_task({"filter", 2e4, 4e3, 96_bit});
+  const int feature = g.add_task({"feature-extract", 3e5, 6e4, 416_bit});
+  const int classify = g.add_task({"classify", 2e7, 4e6, 64_bit});
+  const int decide = g.add_task({"decide", 5e5, 1e5, 256_bit});
+  const int render = g.add_task({"render-response", 8e6, 2e6, 16384_bit});
+  g.add_edge(sample, filter, 96_bit);
+  g.add_edge(filter, feature, 96_bit);
+  g.add_edge(feature, classify, 416_bit);
+  g.add_edge(classify, decide, 64_bit);
+  g.add_edge(decide, render, 256_bit);
+  g.set_period(1_s);
+
+  dse::MappingProblem prob{std::move(g), 1_s, {}};
+
+  const radio::RadioModel ulp(radio::ulp_radio());
+  const radio::RadioModel bt(radio::bluetooth_like());
+  const radio::RadioModel wlan(radio::wlan_80211b());
+
+  // ops_scale: the 8-bit MCU spends ~10 native ops per abstract 32-bit op.
+  prob.targets.push_back(
+      {"sensor-mcu",
+       arch::ProcessorModel::at_max_clock(arch::microcontroller_core(), n130,
+                                          n130.vdd_min),
+       core::DeviceClass::MicroWatt,
+       u::EnergyPerBit(ulp.energy_per_bit_tx().value() +
+                       ulp.energy_per_bit_rx().value()),
+       0.5, 10.0, 1000.0});  // harvested joules: most precious
+  prob.targets.push_back(
+      {"personal-dsp",
+       arch::ProcessorModel::at_max_clock(
+           arch::dsp_core(), n130,
+           u::Voltage((n130.vdd_min.value() + n130.vdd_nominal.value()) /
+                      2.0)),
+       core::DeviceClass::MilliWatt,
+       u::EnergyPerBit(bt.energy_per_bit_tx().value() +
+                       bt.energy_per_bit_rx().value()),
+       0.8, 1.0, 10.0});     // battery joules
+  prob.targets.push_back(
+      {"server-vliw",
+       arch::ProcessorModel::at_max_clock(arch::vliw_core(), n130,
+                                          n130.vdd_nominal),
+       core::DeviceClass::Watt,
+       u::EnergyPerBit(wlan.energy_per_bit_tx().value() +
+                       wlan.energy_per_bit_rx().value()),
+       1.0, 1.0, 1.0});      // mains joules: cheap
+  // Physical constraints: sampling happens at the sensor; the response is
+  // rendered on the personal device.
+  prob.pinned.push_back({sample, 0});
+  prob.pinned.push_back({render, 1});
+  return prob;
+}
+
+void print_table() {
+  const auto prob = build_problem();
+  dse::MappingOptimizer opt(prob);
+  sim::Rng rng(17);
+
+  const auto naive = opt.all_on(2);
+  const auto greedy = opt.greedy();
+  const auto best = opt.anneal(rng, 30'000);
+
+  sim::Table a("T2a: mapping strategies (energy per 1 s activation)",
+               {"strategy", "feasible", "compute_uJ", "comm_uJ", "total_uJ",
+                "scarcity_weighted_uJ"});
+  for (const auto& [name, m] :
+       {std::pair<const char*, const dse::Mapping&>{"all-on-server", naive},
+        {"greedy", greedy},
+        {"annealed", best}}) {
+    a.add_row({name, m.feasible ? "yes" : "no",
+               m.compute_energy.value() * 1e6, m.comm_energy.value() * 1e6,
+               m.energy_per_period.value() * 1e6, m.weighted_cost * 1e6});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("T2b: annealed placement of each function",
+               {"function", "ops", "target", "device_class"});
+  for (int t = 0; t < prob.graph.task_count(); ++t) {
+    const int tgt = best.assignment[static_cast<std::size_t>(t)];
+    b.add_row({prob.graph.task(t).name, prob.graph.task(t).ops,
+               prob.targets[static_cast<std::size_t>(tgt)].name,
+               to_string(prob.targets[static_cast<std::size_t>(tgt)].cls)});
+  }
+  std::cout << b << '\n';
+
+  sim::Table c("T2c: target utilization under the annealed mapping",
+               {"target", "utilization", "limit"});
+  for (std::size_t k = 0; k < prob.targets.size(); ++k) {
+    c.add_row({prob.targets[k].name, best.utilization[k],
+               prob.targets[k].utilization_limit});
+  }
+  std::cout << c << '\n';
+}
+
+void BM_mapping_greedy(benchmark::State& state) {
+  const auto prob = build_problem();
+  dse::MappingOptimizer opt(prob);
+  for (auto _ : state) {
+    auto m = opt.greedy();
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_mapping_greedy);
+
+void BM_mapping_anneal(benchmark::State& state) {
+  const auto prob = build_problem();
+  dse::MappingOptimizer opt(prob);
+  for (auto _ : state) {
+    sim::Rng rng(17);
+    auto m = opt.anneal(rng, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_mapping_anneal)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_table)

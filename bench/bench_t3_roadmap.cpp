@@ -1,0 +1,81 @@
+// Reproduction table T3: the ambient-intelligence feasibility roadmap —
+// the first process generation in which each function fits each device
+// class.
+//
+// Expected shape: functions cascade downward through the classes over the
+// years (what needs a Watt-node in 1995 fits a milliWatt-node by the early
+// 2000s); video never reaches the microWatt class on this roadmap (its
+// stream alone exceeds the ULP radio); sensing is microWatt-feasible from
+// the very first generation.
+#include <iostream>
+#include <vector>
+
+#include "ambisim/core/roadmap.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+std::vector<workload::StreamingWorkload> functions() {
+  return {workload::sensing(u::Frequency(1.0)),
+          workload::speech_frontend(),
+          workload::audio_playback(128_kbps),
+          workload::video_decode_sd(),
+          workload::video_decode_hd()};
+}
+
+void print_table() {
+  const auto fns = functions();
+  const auto roadmap = core::feasibility_roadmap(fns);
+
+  sim::Table a("T3a: first feasible generation per (function, class)",
+               {"function", "microWatt-node", "milliWatt-node",
+                "Watt-node"});
+  for (const auto& wl : fns) {
+    std::vector<std::string> cells;
+    for (auto cls : {core::DeviceClass::MicroWatt,
+                     core::DeviceClass::MilliWatt, core::DeviceClass::Watt}) {
+      for (const auto& e : roadmap) {
+        if (e.function == wl.name && e.cls == cls) {
+          cells.push_back(e.first_year
+                              ? e.first_node + " (" +
+                                    std::to_string(*e.first_year) + ")"
+                              : std::string("never"));
+        }
+      }
+    }
+    a.add_row({wl.name, cells.at(0), cells.at(1), cells.at(2)});
+  }
+  std::cout << a << '\n';
+
+  sim::Table b("T3b: why speech fails the microWatt class (per node)",
+               {"node", "compute_ok", "radio_ok", "power_uW", "power_ok"});
+  const auto speech = workload::speech_frontend();
+  for (const auto& n : tech::TechnologyLibrary::standard().all()) {
+    const auto v = core::function_feasibility(
+        speech, core::DeviceClass::MicroWatt, n);
+    b.add_row({n.name, v.compute_ok ? "yes" : "no",
+               v.radio_ok ? "yes" : "no",
+               v.feasible || v.power.value() > 0.0 ? v.power.value() * 1e6
+                                                   : 0.0,
+               v.power_ok ? "yes" : "no"});
+  }
+  std::cout << b << '\n';
+}
+
+void BM_roadmap(benchmark::State& state) {
+  const auto fns = functions();
+  for (auto _ : state) {
+    auto r = core::feasibility_roadmap(fns);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_roadmap);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_table)

@@ -1,0 +1,17 @@
+// Shared helper for the reproduction benches: every bench binary first
+// prints the figure/table it regenerates (rows/series exactly as recorded in
+// EXPERIMENTS.md), then runs its google-benchmark microbenchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#define AMBISIM_BENCH_MAIN(print_fn)                          \
+  int main(int argc, char** argv) {                           \
+    print_fn();                                               \
+    ::benchmark::Initialize(&argc, argv);                     \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                    \
+    ::benchmark::Shutdown();                                  \
+    return 0;                                                 \
+  }

@@ -1,0 +1,48 @@
+// The full ambient-intelligence scenario: a network of microWatt sensors, a
+// milliWatt personal companion and a Watt-class home server realize a
+// context-aware function end to end, simulated over one day.
+#include <iostream>
+
+#include "ambisim/core/scenario.hpp"
+
+int main() {
+  using namespace ambisim;
+  namespace u = ambisim::units;
+
+  core::AmiScenarioConfig cfg;
+  cfg.sensor_count = 12;
+  cfg.events_per_hour = 20.0;
+
+  const auto res = core::run_ami_scenario(cfg);
+
+  std::cout << "ambient home, 24 h: " << res.events << " context events, "
+            << res.responses_rendered << " responses rendered\n\n";
+
+  std::cout << "energy by device class:\n";
+  for (const auto& [name, e] : res.class_energy.breakdown()) {
+    std::cout << "  " << name << ": " << u::to_string(e) << " ("
+              << res.class_energy.share(name) * 100.0 << " %)\n";
+  }
+
+  std::cout << "\nenergy by pipeline stage:\n";
+  for (const auto& [name, e] : res.stage_energy.breakdown()) {
+    std::cout << "  " << name << ": " << u::to_string(e) << '\n';
+  }
+
+  if (!res.end_to_end_latency.empty()) {
+    std::cout << "\nend-to-end latency: p50 "
+              << res.end_to_end_latency.median() << " s, p95 "
+              << res.end_to_end_latency.percentile(95.0) << " s\n";
+  }
+
+  std::cout << "\nfeasibility:\n"
+            << "  system power            : "
+            << u::to_string(res.system_power) << '\n'
+            << "  sensor average power    : "
+            << u::si_format(res.sensor_average_power, "W") << '\n'
+            << "  sensors energy-neutral  : "
+            << (res.sensors_energy_neutral ? "yes" : "no") << '\n'
+            << "  personal battery        : " << res.personal_battery_days
+            << " days\n";
+  return 0;
+}

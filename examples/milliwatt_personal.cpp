@@ -1,0 +1,75 @@
+// Case study 2 — the personal milliWatt node.
+//
+// A wearable wireless-audio appliance: receives a compressed stream over a
+// 1 Mbps short-range radio, decodes it on a DSP, and plays it out.  The
+// example sizes the DSP operating point with DVS, splits the power budget
+// and reports battery life.
+#include <algorithm>
+#include <iostream>
+
+#include "ambisim/arch/interface.hpp"
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/dse/dvs_schedule.hpp"
+#include "ambisim/energy/battery.hpp"
+#include "ambisim/radio/transceiver.hpp"
+#include "ambisim/tech/dvs.hpp"
+#include "ambisim/workload/streams.hpp"
+#include "ambisim/workload/task_graph.hpp"
+
+int main() {
+  using namespace ambisim;
+  namespace u = ambisim::units;
+  using namespace ambisim::units::literals;
+
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  const auto wl = workload::audio_playback(128_kbps);
+  std::cout << "workload: " << wl.name << ", "
+            << wl.ops_rate().value() / 1e6 << " MOPS sustained\n";
+
+  // 1. DVS: pick the slowest DSP operating point that sustains the decode.
+  const tech::DvsModel dvs(node, 16, arch::dsp_core().logic_depth);
+  tech::OperatingPoint op = dvs.fastest();
+  for (const auto& p : dvs.points()) {
+    if (p.frequency.value() * arch::dsp_core().ops_per_cycle >=
+        wl.ops_rate().value()) {
+      op = p;
+      break;
+    }
+  }
+  const arch::ProcessorModel dsp(arch::dsp_core(), node, op.voltage,
+                                 op.frequency);
+  std::cout << "DSP operating point: " << op.voltage.value() << " V, "
+            << op.frequency.value() / 1e6 << " MHz\n";
+
+  // 2. Power budget.
+  const radio::RadioModel bt(radio::bluetooth_like());
+  const double rx_duty = 128e3 / bt.params().bit_rate.value();
+  const double util =
+      std::min(1.0, wl.ops_rate().value() / dsp.throughput().value());
+  const u::Power p_dsp = dsp.power(util);
+  const u::Power p_radio = bt.rx_power() * rx_duty + bt.idle_power() * 0.05 +
+                           bt.sleep_power() * (0.95 - rx_duty);
+  const auto ear = arch::AudioOutput::earpiece();
+  const u::Power total = p_dsp + p_radio + ear.amplifier_power;
+  std::cout << "power: dsp " << u::to_string(p_dsp) << ", radio "
+            << u::to_string(p_radio) << ", audio "
+            << u::to_string(ear.amplifier_power) << " -> total "
+            << u::to_string(total) << '\n';
+
+  // 3. Battery life.
+  energy::Battery battery(energy::Battery::li_ion_1000mAh());
+  std::cout << "battery life: "
+            << battery.lifetime_at(total).value() / 3600.0 << " hours\n\n";
+
+  // 4. Per-task DVS schedule of the decode pipeline within its deadline.
+  const auto graph = workload::audio_pipeline_graph();
+  const auto sched = dse::schedule_with_dvs(graph, dvs, graph.deadline(),
+                                            40e3, 360e3);
+  std::cout << "pipeline DVS schedule (" << graph.name() << "):\n"
+            << "  feasible : " << (sched.feasible ? "yes" : "no") << '\n'
+            << "  nominal  : " << u::to_string(sched.energy_nominal)
+            << " per period\n"
+            << "  with DVS : " << u::to_string(sched.energy_dvs) << " ("
+            << sched.savings * 100.0 << " % saved)\n";
+  return 0;
+}

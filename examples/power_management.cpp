@@ -1,0 +1,61 @@
+// Power management for ambient devices: when to sleep, and how much storage
+// buffers the night.
+//
+// Part 1 sizes the sleep policy of the personal node's radio (break-even
+// analysis, timeout vs oracle).  Part 2 rides an outdoor-harvesting sensor
+// node through five day/night cycles and sizes its storage buffer.
+#include <iostream>
+#include <memory>
+
+#include "ambisim/energy/buffer_sim.hpp"
+#include "ambisim/energy/dpm.hpp"
+
+int main() {
+  using namespace ambisim;
+  using namespace ambisim::energy;
+  namespace u = ambisim::units;
+  using namespace ambisim::units::literals;
+
+  // --- 1. Sleep policy for the Bluetooth-class radio -------------------
+  const auto radio = PowerStateSpec::bluetooth_radio();
+  std::cout << "radio break-even idle time: "
+            << u::to_string(radio.break_even()) << '\n';
+
+  sim::Rng rng(42);
+  const auto trace = exponential_idle_trace(rng, 10'000, 2.0);
+  const auto always = dpm_always_on(radio, trace);
+  const auto timeout = dpm_timeout(radio, trace, radio.break_even());
+  const auto oracle = dpm_oracle(radio, trace);
+  std::cout << "idle-time energy over " << trace.size() << " periods:\n"
+            << "  always-on : " << u::to_string(always.energy) << '\n'
+            << "  timeout   : " << u::to_string(timeout.energy) << " ("
+            << timeout.sleep_transitions << " sleeps, "
+            << u::to_string(timeout.added_latency) << " total wake delay)\n"
+            << "  oracle    : " << u::to_string(oracle.energy) << '\n'
+            << "  timeout is "
+            << timeout.energy.value() / oracle.energy.value()
+            << "x the oracle (2-competitive bound)\n\n";
+
+  // --- 2. Buffering the night on the outdoor sensor --------------------
+  BufferSimConfig cfg;
+  cfg.harvester =
+      std::make_shared<SolarHarvester>(2_cm2, 0.15, /*indoor=*/false);
+  cfg.load = 150_uW;
+  cfg.duration = u::Time(86400.0 * 5);
+  cfg.step = u::Time(120.0);
+
+  const auto r = simulate_energy_buffer(cfg);
+  std::cout << "outdoor sensor at " << u::to_string(cfg.load)
+            << " constant load, 1 mAh film buffer, 5 days:\n"
+            << "  survived    : " << (r.survived ? "yes" : "no") << '\n'
+            << "  sustainable : " << (r.sustainable ? "yes" : "no") << '\n'
+            << "  deepest dip : " << r.min_soc * 100.0 << " % SoC\n"
+            << "  harvested   : " << u::to_string(r.harvested)
+            << ", consumed " << u::to_string(r.consumed) << '\n';
+
+  const auto min_buffer = minimum_buffer_energy(cfg);
+  std::cout << "  minimum buffer that survives: "
+            << u::to_string(min_buffer) << " (the film stores "
+            << u::to_string(u::Energy(3.0 * 3.6)) << ")\n";
+  return 0;
+}

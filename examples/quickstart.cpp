@@ -1,0 +1,50 @@
+// Quickstart: the AmbiSim public API in one page.
+//
+// Builds the keynote's power-information graph from the standard technology
+// catalogue, composes the three case-study devices (microWatt / milliWatt /
+// Watt node), and prints each device's class, power, information rate and
+// autonomy.
+#include <iostream>
+
+#include "ambisim/core/device_node.hpp"
+#include "ambisim/core/power_info.hpp"
+#include "ambisim/tech/technology.hpp"
+
+int main() {
+  using namespace ambisim;
+  namespace u = ambisim::units;
+
+  // 1. The power-information graph: every technology as a (rate, power)
+  //    point.
+  const auto graph = core::PowerInfoGraph::standard_catalogue();
+  std::cout << graph.to_table("Power-information graph (standard catalogue)")
+            << '\n';
+
+  const auto fit = graph.loglog_fit();
+  std::cout << "log-log fit: log10(P) = " << fit.intercept << " + "
+            << fit.slope << " * log10(R)   (R^2 = " << fit.r2 << ")\n\n";
+
+  // 2. The three device classes, as composed devices.
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  for (const auto& device :
+       {core::autonomous_sensor_node(node), core::personal_audio_node(node),
+        core::home_media_server(node)}) {
+    const u::Power p = device.average_power();
+    std::cout << device.name() << ":\n"
+              << "  class        : " << to_string(device.device_class())
+              << '\n'
+              << "  avg power    : " << u::to_string(p) << '\n'
+              << "  info rate    : " << u::to_string(device.information_rate())
+              << '\n'
+              << "  energy/bit   : "
+              << u::to_string(device.to_point().energy_per_bit()) << '\n'
+              << "  autonomy     : "
+              << (device.autonomy().value() >= 1e17
+                      ? std::string("unlimited")
+                      : u::to_string(device.autonomy()))
+              << '\n'
+              << "  energy-neutral: "
+              << (device.energy_neutral() ? "yes" : "no") << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Case study 3 — the static Watt node.
+//
+// A mains-powered home media hub: compares SoC architectures for
+// standard-definition video decode and prints the throughput/power Pareto
+// front, then checks the headroom for high definition.
+#include <iostream>
+#include <vector>
+
+#include "ambisim/arch/soc.hpp"
+#include "ambisim/dse/pareto.hpp"
+#include "ambisim/workload/streams.hpp"
+
+int main() {
+  using namespace ambisim;
+  namespace u = ambisim::units;
+  using namespace ambisim::units::literals;
+
+  const auto& node = tech::TechnologyLibrary::standard().node("130nm");
+  const std::vector<arch::CacheLevelSpec> caches{
+      {"L1", 32.0 * 1024 * 8, 32.0, 2_ns},
+      {"L2", 256.0 * 1024 * 8, 64.0, 8_ns}};
+
+  std::vector<arch::SocModel> socs;
+  {
+    arch::SocModel s("risc", node, node.vdd_nominal);
+    s.add_core(arch::risc_core()).set_memory(caches, true).set_bus(4.0, 32.0);
+    socs.push_back(std::move(s));
+  }
+  {
+    arch::SocModel s("quad-dsp", node, node.vdd_nominal);
+    for (int i = 0; i < 4; ++i) s.add_core(arch::dsp_core());
+    s.set_memory(caches, true).set_bus(6.0, 64.0);
+    socs.push_back(std::move(s));
+  }
+  {
+    arch::SocModel s("vliw+accel", node, node.vdd_nominal);
+    s.add_core(arch::vliw_core())
+        .add_core(arch::accelerator_core("mc"))
+        .add_core(arch::accelerator_core("dct"))
+        .set_memory(caches, true)
+        .set_bus(6.0, 128.0);
+    socs.push_back(std::move(s));
+  }
+
+  const auto sd = workload::video_decode_sd();
+  std::vector<dse::ParetoPoint> points;
+  for (const auto& s : socs) {
+    const u::Frequency fmax = s.max_rate(sd.demand);
+    const auto ev = s.evaluate(sd.demand,
+                               units::min(fmax, sd.unit_rate));
+    std::cout << s.name() << ": capacity "
+              << s.compute_capacity().value() / 1e9 << " GOPS, max "
+              << fmax.value() << " fps, power "
+              << u::to_string(ev.power) << " at "
+              << units::min(fmax, sd.unit_rate).value() << " fps\n";
+    for (const auto& [comp, p] : ev.breakdown)
+      std::cout << "    " << comp << ": " << u::to_string(p) << '\n';
+    points.push_back({ev.power.value(), fmax.value(), s.name()});
+  }
+
+  std::cout << "\nPareto front (power vs attainable fps): ";
+  for (const auto& p : dse::pareto_front(points)) std::cout << p.label << ' ';
+  std::cout << '\n';
+
+  const auto hd = workload::video_decode_hd();
+  for (const auto& s : socs) {
+    std::cout << s.name() << " sustains HD: "
+              << (s.max_rate(hd.demand) >= hd.unit_rate ? "yes" : "no")
+              << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// On-chip communication energy: shared bus and a simple mesh NoC hop model.
+// Wire energy is C_wire * length * V^2 per toggled bit with ~0.2 pF/mm of
+// routed wire — global interconnect is why the keynote's Watt-node SoCs
+// spend a growing share of power moving data rather than computing on it.
+#pragma once
+
+#include "ambisim/tech/technology.hpp"
+
+namespace ambisim::arch {
+
+namespace u = ambisim::units;
+
+class OnChipBus {
+ public:
+  /// Bus of `width_bits` lines, `length_mm` long, clocked at `clock` in
+  /// technology `node` at supply `v`.
+  OnChipBus(const tech::TechnologyNode& node, u::Voltage v, double length_mm,
+            double width_bits, u::Frequency clock);
+
+  /// Energy to move `bits` across the bus (0.5 average toggle probability).
+  [[nodiscard]] u::Energy transfer_energy(double bits) const;
+  /// Peak bandwidth.
+  [[nodiscard]] u::BitRate bandwidth() const;
+  /// Time to move `bits` at peak bandwidth.
+  [[nodiscard]] u::Time transfer_time(double bits) const;
+  /// Power while sustaining a payload rate `rate` (must be <= bandwidth()).
+  [[nodiscard]] u::Power power_at_rate(u::BitRate rate) const;
+
+  static constexpr double kWireCapPerMm = 0.2e-12;  // farad per mm per line
+
+ private:
+  u::Voltage voltage_;
+  double length_mm_;
+  double width_bits_;
+  u::Frequency clock_;
+};
+
+class NocLink {
+ public:
+  /// One mesh hop: router (gate switching) + link wire segment.
+  NocLink(const tech::TechnologyNode& node, u::Voltage v, double hop_mm,
+          double flit_bits, u::Frequency clock);
+
+  /// Energy to move one flit across one hop (router + wire).
+  [[nodiscard]] u::Energy flit_energy() const;
+  /// Energy to move `bits` across `hops` hops.
+  [[nodiscard]] u::Energy transfer_energy(double bits, int hops) const;
+  [[nodiscard]] u::BitRate link_bandwidth() const;
+
+  static constexpr double kRouterGatesPerFlitBit = 12.0;
+
+ private:
+  tech::TechnologyNode node_;
+  u::Voltage voltage_;
+  double hop_mm_;
+  double flit_bits_;
+  u::Frequency clock_;
+};
+
+}  // namespace ambisim::arch

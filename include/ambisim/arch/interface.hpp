@@ -1,0 +1,78 @@
+// "Interface electronics": the keynote's third ingredient of every ambient
+// device besides computing and communication.  Models for A/D conversion
+// (Walden figure-of-merit), sensor front-ends, displays and audio output.
+#pragma once
+
+#include <string>
+
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::arch {
+
+namespace u = ambisim::units;
+
+/// Nyquist A/D converter: P = FOM * 2^ENOB * f_sample.
+class AdcModel {
+ public:
+  /// `fom` in joule per conversion-step; 2003-era converters sit around
+  /// 1-5 pJ/step.
+  AdcModel(double enob_bits, u::Frequency sample_rate,
+           u::Energy fom = u::Energy(2e-12));
+
+  [[nodiscard]] double enob() const { return enob_; }
+  [[nodiscard]] u::Frequency sample_rate() const { return rate_; }
+  [[nodiscard]] u::Power power() const;
+  [[nodiscard]] u::Energy energy_per_sample() const;
+  /// Information rate produced by the converter: enob * f_sample.
+  [[nodiscard]] u::BitRate information_rate() const;
+
+ private:
+  double enob_;
+  u::Frequency rate_;
+  u::Energy fom_;
+};
+
+/// Analog sensor front-end (bias + amplifier), duty-cyclable.
+struct SensorFrontEnd {
+  std::string kind;        ///< "temperature", "PIR", "microphone", ...
+  u::Power active_power;   ///< bias + amplifier while sampling
+  u::Power standby_power;  ///< leakage while off
+  u::Time warmup;          ///< settling time before a valid sample
+
+  static SensorFrontEnd temperature();
+  static SensorFrontEnd passive_infrared();
+  static SensorFrontEnd microphone();
+  static SensorFrontEnd image_sensor_qvga();
+};
+
+/// Display output: power proportional to pixel rate plus backlight floor.
+class DisplayModel {
+ public:
+  DisplayModel(double pixels, u::Frequency frame_rate, u::Power backlight,
+               u::Energy energy_per_pixel = u::Energy(2e-9));
+
+  [[nodiscard]] u::Power power() const;
+  [[nodiscard]] u::BitRate information_rate(double bits_per_pixel = 16) const;
+
+  static DisplayModel mobile_lcd();   ///< 176x208 @ 30 Hz, mW-class
+  static DisplayModel tv_panel();     ///< 720x576 @ 50 Hz, W-class
+
+ private:
+  double pixels_;
+  u::Frequency frame_rate_;
+  u::Power backlight_;
+  u::Energy energy_per_pixel_;
+};
+
+/// Audio DAC + amplifier into a speaker or earpiece.
+struct AudioOutput {
+  u::Power amplifier_power;
+  u::Frequency sample_rate;
+  double bits_per_sample;
+
+  [[nodiscard]] u::BitRate information_rate() const;
+  static AudioOutput earpiece();
+  static AudioOutput loudspeaker();
+};
+
+}  // namespace ambisim::arch

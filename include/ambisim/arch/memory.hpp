@@ -1,0 +1,73 @@
+// Analytic cache/memory-hierarchy model.
+//
+// Hit rates follow the power-law (square-root) rule of thumb: a level of
+// capacity C servicing a working set W hits with probability
+// min(1, (C/W)^theta).  Each access's energy is the sum of the SRAM levels
+// it touches plus, on a full miss, the off-chip pad + DRAM energy.  This is
+// the dominant power term of the Watt-node media-SoC case study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ambisim/tech/memory_energy.hpp"
+#include "ambisim/tech/technology.hpp"
+
+namespace ambisim::arch {
+
+namespace u = ambisim::units;
+
+struct CacheLevelSpec {
+  std::string name;       ///< e.g. "L1"
+  double capacity_bits;   ///< array size
+  double word_bits = 32;  ///< access width
+  u::Time latency;        ///< per-access latency
+};
+
+struct AccessProfile {
+  double accesses;          ///< total reads+writes
+  double working_set_bits;  ///< application working set
+  double reuse_exponent = 0.5;  ///< theta of the power-law hit model
+};
+
+struct MemoryStats {
+  u::Energy energy{0.0};
+  u::Time total_latency{0.0};
+  double offchip_accesses = 0.0;
+  std::vector<double> hits_per_level;  ///< absolute hit counts, L1 first
+
+  [[nodiscard]] u::Energy energy_per_access(double accesses) const;
+};
+
+class MemoryHierarchy {
+ public:
+  /// `levels` ordered L1 outward.  If `offchip_backing`, misses from the last
+  /// level go to external DRAM at `io_voltage`.
+  MemoryHierarchy(const tech::TechnologyNode& node, u::Voltage core_voltage,
+                  std::vector<CacheLevelSpec> levels, bool offchip_backing,
+                  u::Voltage io_voltage = u::Voltage(2.5));
+
+  [[nodiscard]] const std::vector<CacheLevelSpec>& levels() const {
+    return levels_;
+  }
+
+  /// Hit rate of level `i` for a given working set (levels filter: level i
+  /// sees only the misses of level i-1).
+  [[nodiscard]] double hit_rate(std::size_t level, double working_set_bits,
+                                double reuse_exponent = 0.5) const;
+
+  /// Expected energy/latency/traffic of an access stream.
+  [[nodiscard]] MemoryStats simulate(const AccessProfile& profile) const;
+
+  /// Standby leakage of all SRAM arrays.
+  [[nodiscard]] u::Power leakage() const;
+
+ private:
+  tech::TechnologyNode node_;
+  u::Voltage core_voltage_;
+  std::vector<CacheLevelSpec> levels_;
+  bool offchip_;
+  u::Voltage io_voltage_;
+};
+
+}  // namespace ambisim::arch

@@ -1,0 +1,96 @@
+// Parameterized processor-core energy/performance model.
+//
+// A core is characterized by its sustained ops/cycle, the effective number
+// of switched gate-equivalents per operation (which folds in clock tree and
+// datapath wiring), and its total gate count (which determines leakage).
+// Combined with a technology node and an operating point this yields the
+// core's position on the keynote's power-information graph: throughput
+// (ops/s -> information rate) versus power.
+//
+// Preset cores span the three device classes: an 8-bit microcontroller for
+// the microWatt-node, DSP/RISC cores for the milliWatt-node, and
+// VLIW/media-accelerator fabric for the Watt-node.
+#pragma once
+
+#include <string>
+
+#include "ambisim/tech/technology.hpp"
+
+namespace ambisim::arch {
+
+namespace u = ambisim::units;
+
+enum class CoreStyle {
+  Microcontroller,   ///< tiny 8/16-bit control core
+  GeneralPurpose,    ///< 32-bit RISC with caches
+  Dsp,               ///< dual-MAC signal processor
+  Vliw,              ///< 4-issue media VLIW
+  Accelerator,       ///< hardwired function unit
+};
+
+std::string to_string(CoreStyle s);
+
+struct CoreParams {
+  std::string name;
+  CoreStyle style;
+  double ops_per_cycle;   ///< sustained operations per clock
+  double gates_per_op;    ///< switched gate-equivalents per operation
+  double total_gates;     ///< physical gates (leakage)
+  double logic_depth;     ///< FO4 per pipeline stage (sets max clock)
+};
+
+// 2003-flavoured presets.
+CoreParams microcontroller_core();  ///< 8-bit MCU, ~30 k gates
+CoreParams risc_core();             ///< ARM9-class 32-bit RISC
+CoreParams dsp_core();              ///< dual-MAC DSP
+CoreParams vliw_core();             ///< 4-issue media VLIW
+CoreParams accelerator_core(const std::string& function);  ///< hardwired
+
+class ProcessorModel {
+ public:
+  /// Core in `node` at supply `v`, clocked at `clock` (must not exceed the
+  /// voltage's maximum frequency).
+  ProcessorModel(CoreParams params, const tech::TechnologyNode& node,
+                 u::Voltage v, u::Frequency clock);
+
+  /// Convenience: run at the voltage's maximum clock.
+  static ProcessorModel at_max_clock(CoreParams params,
+                                     const tech::TechnologyNode& node,
+                                     u::Voltage v);
+
+  [[nodiscard]] const CoreParams& params() const { return params_; }
+  [[nodiscard]] const tech::TechnologyNode& node() const { return node_; }
+  [[nodiscard]] u::Voltage voltage() const { return voltage_; }
+  [[nodiscard]] u::Frequency clock() const { return clock_; }
+
+  /// Peak sustained operation rate at this operating point.
+  [[nodiscard]] u::OpRate throughput() const;
+
+  /// Dynamic power at fractional utilization in [0, 1].
+  [[nodiscard]] u::Power dynamic_power(double utilization = 1.0) const;
+  [[nodiscard]] u::Power leakage_power() const;
+  [[nodiscard]] u::Power power(double utilization = 1.0) const;
+  /// Power when clock-gated (leakage only).
+  [[nodiscard]] u::Power sleep_power() const { return leakage_power(); }
+
+  /// Marginal energy per operation at full utilization (dynamic + leakage
+  /// share of one cycle-slice).
+  [[nodiscard]] u::Energy energy_per_op() const;
+
+  /// Wall-clock time to execute `ops` operations at full utilization.
+  [[nodiscard]] u::Time time_for(double ops) const;
+  /// Total energy to execute `ops` operations at full utilization.
+  [[nodiscard]] u::Energy energy_for(double ops) const;
+
+  /// Re-derive the model at a new operating point (for DVS sweeps).
+  [[nodiscard]] ProcessorModel with_operating_point(u::Voltage v,
+                                                    u::Frequency clock) const;
+
+ private:
+  CoreParams params_;
+  tech::TechnologyNode node_;
+  u::Voltage voltage_;
+  u::Frequency clock_;
+};
+
+}  // namespace ambisim::arch

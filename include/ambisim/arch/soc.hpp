@@ -1,0 +1,71 @@
+// System-on-chip composition: cores + memory hierarchy + interconnect
+// evaluated against a steady-state compute demand.  This is the Watt-node
+// case-study vehicle: alternative SoCs (single RISC, multi-DSP, VLIW +
+// accelerators) are composed and compared on throughput vs power.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ambisim/arch/interconnect.hpp"
+#include "ambisim/arch/memory.hpp"
+#include "ambisim/arch/processor.hpp"
+
+namespace ambisim::arch {
+
+/// Resource demand of one unit of work (a frame, a sample block, ...).
+struct ComputeDemand {
+  double ops = 0.0;               ///< operations per work unit
+  double mem_accesses = 0.0;      ///< memory references per work unit
+  double working_set_bits = 0.0;  ///< application working set
+  double bus_bits = 0.0;          ///< data moved across the interconnect
+};
+
+class SocModel {
+ public:
+  SocModel(std::string name, const tech::TechnologyNode& node, u::Voltage v);
+
+  SocModel& add_core(const CoreParams& params);
+  SocModel& add_core(const CoreParams& params, u::Frequency clock);
+  SocModel& set_memory(std::vector<CacheLevelSpec> levels,
+                       bool offchip_backing);
+  SocModel& set_bus(double length_mm, double width_bits);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<ProcessorModel>& cores() const {
+    return cores_;
+  }
+  /// Aggregate peak operation rate of all cores.
+  [[nodiscard]] u::OpRate compute_capacity() const;
+  /// Total physical gate count (cores only).
+  [[nodiscard]] double total_gates() const;
+
+  struct Evaluation {
+    bool feasible = false;
+    double compute_utilization = 0.0;  ///< aggregate core load, <= 1 if ok
+    double bus_utilization = 0.0;
+    u::Power power{0.0};               ///< total power at the given rate
+    u::Energy energy_per_unit{0.0};    ///< total energy per work unit
+    std::vector<std::pair<std::string, u::Power>> breakdown;
+  };
+
+  /// Steady-state evaluation of `demand` executed `rate` times per second.
+  /// Work is spread across cores in proportion to their capacity.
+  [[nodiscard]] Evaluation evaluate(const ComputeDemand& demand,
+                                    u::Frequency rate) const;
+
+  /// Highest sustainable work rate (compute- or bus-limited).
+  [[nodiscard]] u::Frequency max_rate(const ComputeDemand& demand) const;
+
+ private:
+  std::string name_;
+  tech::TechnologyNode node_;
+  u::Voltage voltage_;
+  std::vector<ProcessorModel> cores_;
+  std::optional<MemoryHierarchy> memory_;
+  std::optional<OnChipBus> bus_;
+};
+
+}  // namespace ambisim::arch

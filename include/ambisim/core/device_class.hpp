@@ -1,0 +1,48 @@
+// The keynote's device taxonomy.
+//
+// "Based on the differences in power consumption, three types of devices are
+//  introduced: the autonomous or microWatt-node, the personal or
+//  milliWatt-node and the static or Watt-node."  (Aarts & Roovers, DATE'03)
+//
+// Classification is by average power drawn; the class determines the viable
+// energy source and hence the entire IC design regime.
+#pragma once
+
+#include <string>
+
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::core {
+
+namespace u = ambisim::units;
+
+enum class DeviceClass {
+  MicroWatt,  ///< autonomous node: harvesting / decade-life primary cell
+  MilliWatt,  ///< personal node: rechargeable battery, days between charges
+  Watt,       ///< static node: mains powered
+};
+
+std::string to_string(DeviceClass c);
+
+/// Class membership by average power: [0, 1 mW) -> MicroWatt,
+/// [1 mW, 1 W) -> MilliWatt, [1 W, inf) -> Watt.
+DeviceClass classify_power(u::Power average);
+
+/// Boundary powers.
+inline constexpr double kMicroMilliBoundaryWatt = 1e-3;
+inline constexpr double kMilliWattBoundaryWatt = 1.0;
+
+struct DeviceClassProfile {
+  DeviceClass cls;
+  std::string label;           ///< "autonomous", "personal", "static"
+  u::Power budget_low;         ///< lower edge of the class band
+  u::Power budget_high;        ///< upper edge
+  std::string energy_source;   ///< typical supply
+  std::string example_device;  ///< canonical 2003 example
+  u::Time expected_autonomy;   ///< unattended operation target
+};
+
+/// Canonical characteristics per class (rows of reproduction table T1).
+DeviceClassProfile class_profile(DeviceClass c);
+
+}  // namespace ambisim::core

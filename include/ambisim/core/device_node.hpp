@@ -1,0 +1,108 @@
+// A complete ambient device: "computing, communication and interface
+// electronics" plus an energy source, composed from the substrate models.
+// The node's average power decides its device class; its energy source
+// decides whether that power is sustainable (battery life / energy
+// neutrality) — the feasibility question each keynote case study asks.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/core/device_class.hpp"
+#include "ambisim/core/power_info.hpp"
+#include "ambisim/energy/battery.hpp"
+#include "ambisim/energy/harvester.hpp"
+#include "ambisim/energy/ledger.hpp"
+#include "ambisim/radio/transceiver.hpp"
+
+namespace ambisim::core {
+
+enum class SupplyKind { Mains, Battery, Harvested };
+
+std::string to_string(SupplyKind k);
+
+struct ComputeConfig {
+  arch::ProcessorModel model;
+  double utilization = 0.0;   ///< time-average fraction of peak
+  double duty = 1.0;          ///< fraction of time powered (else power-gated)
+};
+
+struct RadioConfig {
+  radio::RadioModel model;
+  double tx_duty = 0.0;
+  double rx_duty = 0.0;
+  double idle_duty = 0.0;     ///< listening; remainder of time is sleep
+};
+
+struct InterfaceConfig {
+  std::string name;
+  u::Power active_power{0.0};
+  double duty = 1.0;
+  u::Power standby_power{0.0};
+  u::BitRate info_rate{0.0};  ///< information produced/consumed while active
+};
+
+struct SupplyConfig {
+  SupplyKind kind = SupplyKind::Mains;
+  std::optional<energy::Battery::Spec> battery;       ///< Battery/Harvested
+  std::shared_ptr<const energy::Harvester> harvester; ///< Harvested only
+};
+
+class DeviceNode {
+ public:
+  explicit DeviceNode(std::string name);
+
+  DeviceNode& set_compute(ComputeConfig c);
+  DeviceNode& set_radio(RadioConfig r);
+  DeviceNode& add_interface(InterfaceConfig i);
+  DeviceNode& set_supply(SupplyConfig s);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::optional<ComputeConfig>& compute() const {
+    return compute_;
+  }
+  [[nodiscard]] const std::optional<RadioConfig>& radio() const {
+    return radio_;
+  }
+  [[nodiscard]] const std::vector<InterfaceConfig>& interfaces() const {
+    return interfaces_;
+  }
+  [[nodiscard]] const SupplyConfig& supply() const { return supply_; }
+
+  /// Time-average power of the whole node.
+  [[nodiscard]] u::Power average_power() const;
+  /// Average-power breakdown by component (watts expressed as J per second).
+  [[nodiscard]] std::vector<std::pair<std::string, u::Power>>
+  power_breakdown() const;
+
+  /// Information rate handled by the node: communication + interface streams
+  /// plus the computation's effective processing rate.
+  [[nodiscard]] u::BitRate information_rate() const;
+
+  [[nodiscard]] DeviceClass device_class() const;
+
+  /// Unattended lifetime.  Mains -> "infinite" (1e18 s sentinel); battery ->
+  /// battery life at average power; harvested -> infinite if neutral, else
+  /// time until the buffer battery is exhausted by the deficit.
+  [[nodiscard]] u::Time autonomy() const;
+  [[nodiscard]] bool energy_neutral() const;
+
+  [[nodiscard]] PowerInfoPoint to_point() const;
+
+ private:
+  std::string name_;
+  std::optional<ComputeConfig> compute_;
+  std::optional<RadioConfig> radio_;
+  std::vector<InterfaceConfig> interfaces_;
+  SupplyConfig supply_;
+};
+
+/// The three case-study devices, built in the given technology generation.
+DeviceNode autonomous_sensor_node(const tech::TechnologyNode& node);
+DeviceNode personal_audio_node(const tech::TechnologyNode& node);
+DeviceNode home_media_server(const tech::TechnologyNode& node);
+
+}  // namespace ambisim::core

@@ -1,0 +1,76 @@
+// The power-information graph: the keynote's central analysis instrument.
+//
+// Every technology (a processor at an operating point, a radio standard, an
+// A/D converter, a display) is mapped to a point (information rate, power).
+// On the log-log plane, lines of constant energy-per-bit are the diagonals;
+// device classes are horizontal bands; technology scaling moves points
+// toward the lower-right.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ambisim/core/device_class.hpp"
+#include "ambisim/sim/statistics.hpp"
+#include "ambisim/sim/table.hpp"
+#include "ambisim/tech/technology.hpp"
+
+namespace ambisim::core {
+
+enum class TechnologyKind { Compute, Communication, Interface, Storage };
+
+std::string to_string(TechnologyKind k);
+
+struct PowerInfoPoint {
+  std::string name;     ///< e.g. "risc32@130nm", "wlan-11M"
+  TechnologyKind kind;
+  std::string process;  ///< technology node or standard generation
+  u::Power power;
+  u::BitRate info_rate;
+
+  [[nodiscard]] DeviceClass device_class() const;
+  [[nodiscard]] u::EnergyPerBit energy_per_bit() const;
+};
+
+class PowerInfoGraph {
+ public:
+  PowerInfoGraph() = default;
+
+  void add(PowerInfoPoint p);
+
+  [[nodiscard]] const std::vector<PowerInfoPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::vector<PowerInfoPoint> in_class(DeviceClass c) const;
+  [[nodiscard]] std::vector<PowerInfoPoint> of_kind(TechnologyKind k) const;
+
+  struct ClusterStats {
+    DeviceClass cls;
+    int count = 0;
+    double mean_log10_power = 0.0;   ///< mean of log10(P/W)
+    double mean_log10_rate = 0.0;    ///< mean of log10(R / (bit/s))
+    u::EnergyPerBit min_epb{0.0};
+    u::EnergyPerBit max_epb{0.0};
+  };
+  /// Log-domain centroid and energy-per-bit span of one device-class band.
+  [[nodiscard]] ClusterStats cluster(DeviceClass c) const;
+
+  /// Log-log regression of power on information rate across all points;
+  /// slope ~1 means power is roughly proportional to information rate.
+  [[nodiscard]] sim::LinearFit loglog_fit() const;
+
+  /// Rows: name, kind, process, power, rate, J/bit, class.
+  [[nodiscard]] sim::Table to_table(const std::string& title) const;
+
+  /// The ~two dozen reference technologies of the reproduction: compute
+  /// cores across process generations, radio standards, converters,
+  /// displays and memories.
+  static PowerInfoGraph standard_catalogue(
+      const tech::TechnologyLibrary& lib = tech::TechnologyLibrary::standard());
+
+ private:
+  std::vector<PowerInfoPoint> points_;
+};
+
+}  // namespace ambisim::core

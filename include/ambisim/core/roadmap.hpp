@@ -1,0 +1,51 @@
+// The AmI feasibility roadmap: in which process generation does a function
+// (speech front-end, audio decode, video...) first fit each device class?
+//
+// A function fits a class when the class's canonical compute fabric has the
+// capacity for it, its radio can carry the stream, and the resulting
+// average power stays inside the class's band.  Technology scaling moves
+// functions downward through the classes over the years — the keynote's
+// core promise made checkable (reproduction table T3).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ambisim/core/device_class.hpp"
+#include "ambisim/tech/technology.hpp"
+#include "ambisim/workload/streams.hpp"
+
+namespace ambisim::core {
+
+struct FeasibilityVerdict {
+  bool feasible = false;
+  bool compute_ok = false;  ///< fabric capacity covers the op rate
+  bool radio_ok = false;    ///< class radio carries the stream
+  bool power_ok = false;    ///< total power inside the class band
+  u::Power power{0.0};      ///< compute + radio average power
+  double compute_utilization = 0.0;
+};
+
+/// Can `wl` run on the canonical fabric of device class `cls` (MCU at
+/// vdd_min / DSP at mid-rail / VLIW at nominal, with the matching ULP /
+/// Bluetooth-class / WLAN radio) in technology `node`?
+FeasibilityVerdict function_feasibility(const workload::StreamingWorkload& wl,
+                                        DeviceClass cls,
+                                        const tech::TechnologyNode& node);
+
+struct RoadmapEntry {
+  std::string function;
+  DeviceClass cls;
+  std::optional<int> first_year;      ///< empty if never feasible on the roadmap
+  std::string first_node;             ///< "" if never
+};
+
+/// For every (function, class) pair, the first roadmap generation where the
+/// function fits the class.
+std::vector<RoadmapEntry> feasibility_roadmap(
+    std::span<const workload::StreamingWorkload> functions,
+    const tech::TechnologyLibrary& lib = tech::TechnologyLibrary::standard());
+
+}  // namespace ambisim::core

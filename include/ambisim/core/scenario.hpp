@@ -1,0 +1,52 @@
+// End-to-end ambient-intelligence scenario: "ambient intelligent functions
+// are realized by a network of these devices".
+//
+// Discrete-event simulation of a home: microWatt sensor nodes detect events
+// and report over the low-power network to the milliWatt personal device,
+// which preprocesses and forwards context to the Watt-class home server;
+// the server runs recognition and streams content back for rendering.
+// Produces reproduction figure F8: end-to-end latency distribution, daily
+// energy per device class, and the scenario feasibility verdict.
+#pragma once
+
+#include <vector>
+
+#include "ambisim/core/device_node.hpp"
+#include "ambisim/energy/ledger.hpp"
+#include "ambisim/net/mac.hpp"
+#include "ambisim/sim/simulator.hpp"
+#include "ambisim/sim/statistics.hpp"
+
+namespace ambisim::core {
+
+struct AmiScenarioConfig {
+  int sensor_count = 8;
+  double events_per_hour = 12.0;     ///< Poisson context events
+  u::Time duration{86400.0};         ///< one day
+  u::Information sensor_report{128.0};
+  u::Information context_message{1024.0};
+  double personal_ops_per_event = 3e5;   ///< feature extraction
+  double server_ops_per_event = 2e8;     ///< recognition + decision
+  u::Time response_stream_length{5.0};   ///< seconds of audio streamed back
+  u::BitRate response_stream_rate{128e3};
+  net::DutyCycledMac sensor_mac{u::Time(1.0), u::Time(0.01)};
+  tech::TechnologyNode technology =
+      tech::TechnologyLibrary::standard().node("130nm");
+  unsigned seed = 7;
+};
+
+struct AmiScenarioResult {
+  long long events = 0;
+  long long responses_rendered = 0;
+  sim::Samples end_to_end_latency;   ///< seconds, event -> render start
+  energy::EnergyLedger class_energy; ///< day energy per device class
+  energy::EnergyLedger stage_energy; ///< day energy per pipeline stage
+  double sensor_average_power = 0.0;  ///< watts per sensor node
+  bool sensors_energy_neutral = false;
+  double personal_battery_days = 0.0;
+  u::Power system_power{0.0};         ///< whole-scenario average power
+};
+
+AmiScenarioResult run_ami_scenario(const AmiScenarioConfig& cfg);
+
+}  // namespace ambisim::core

@@ -1,0 +1,33 @@
+// Static DVS slack allocation for a periodic task chain: run each task as
+// slowly as the deadline allows (uniform-slowdown optimum for convex power,
+// quantized to the technology's discrete operating points).  Reproduction
+// figure F6: energy savings versus slack.
+#pragma once
+
+#include <vector>
+
+#include "ambisim/tech/dvs.hpp"
+#include "ambisim/workload/task_graph.hpp"
+
+namespace ambisim::dse {
+
+struct DvsScheduleResult {
+  bool feasible = false;
+  ambisim::units::Energy energy_nominal{0.0};  ///< all tasks at max frequency
+  ambisim::units::Energy energy_dvs{0.0};
+  double savings = 0.0;  ///< 1 - dvs/nominal
+  std::vector<tech::OperatingPoint> points;  ///< chosen per task
+  ambisim::units::Time makespan{0.0};        ///< schedule length under DVS
+};
+
+/// Schedule `graph` (executed as a topological chain on one DVS-capable
+/// core) within `deadline`.  `cycles_per_op` converts task ops to cycles;
+/// `gates_per_cycle`/`idle_gates` parameterize the energy model.
+DvsScheduleResult schedule_with_dvs(const workload::TaskGraph& graph,
+                                    const tech::DvsModel& dvs,
+                                    ambisim::units::Time deadline,
+                                    double gates_per_cycle,
+                                    double idle_gates,
+                                    double cycles_per_op = 1.0);
+
+}  // namespace ambisim::dse

@@ -1,0 +1,86 @@
+// Mapping of ambient-intelligence functions (task graphs) onto the network's
+// heterogeneous execution targets — the DSE question behind the keynote's
+// "network of devices realizes the function": which computation belongs on
+// the microWatt node, which on the personal device, which on the server?
+//
+// Energy objective per period:
+//   sum_tasks ops * E_op(target)  +  sum_crossing_edges bits * E_bit(link)
+// subject to per-target utilization <= 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/core/device_class.hpp"
+#include "ambisim/sim/random.hpp"
+#include "ambisim/workload/task_graph.hpp"
+
+namespace ambisim::dse {
+
+namespace u = ambisim::units;
+
+struct ExecutionTarget {
+  std::string name;
+  arch::ProcessorModel cpu;
+  core::DeviceClass cls;
+  /// Energy per bit shipped onto the network link of this target.
+  u::EnergyPerBit link_energy_per_bit{0.0};
+  double utilization_limit = 1.0;
+  /// Native operations spent per abstract task operation (ISA/word-width
+  /// mismatch): ~10 for an 8-bit MCU running 32-bit DSP code, 1 for a
+  /// native-width core, <1 for a hardwired accelerator.
+  double ops_scale = 1.0;
+  /// Scarcity weight of a joule drawn from this target's supply: harvested
+  /// joules are far more precious than battery joules, which are more
+  /// precious than mains joules.  The optimizers minimize weighted cost.
+  double energy_weight = 1.0;
+};
+
+struct MappingProblem {
+  workload::TaskGraph graph;
+  u::Time period;  ///< activation period of the whole graph
+  std::vector<ExecutionTarget> targets;
+  /// Placement constraints (task, target): sensing is physically tied to
+  /// the sensor node, rendering to the device holding the actuator.
+  std::vector<std::pair<int, int>> pinned;
+};
+
+struct Mapping {
+  std::vector<int> assignment;      ///< task index -> target index
+  u::Energy energy_per_period{0.0};  ///< raw joules, unweighted
+  u::Energy compute_energy{0.0};
+  u::Energy comm_energy{0.0};
+  /// Scarcity-weighted cost (what greedy/anneal minimize).
+  double weighted_cost = 0.0;
+  std::vector<double> utilization;  ///< per target
+  bool feasible = false;
+};
+
+class MappingOptimizer {
+ public:
+  explicit MappingOptimizer(MappingProblem problem);
+
+  [[nodiscard]] const MappingProblem& problem() const { return problem_; }
+
+  /// Cost/feasibility of a given assignment.
+  [[nodiscard]] Mapping evaluate(const std::vector<int>& assignment) const;
+
+  /// Everything on the single target that fits — the naive baseline.
+  [[nodiscard]] Mapping all_on(int target) const;
+
+  /// Topological greedy: each task goes to the feasible target with the
+  /// smallest marginal (compute + communication) energy.
+  [[nodiscard]] Mapping greedy() const;
+
+  /// Simulated annealing seeded with the greedy solution.
+  [[nodiscard]] Mapping anneal(sim::Rng& rng, int iterations = 20'000) const;
+
+ private:
+  /// Pinned target of `task`, or -1 if unconstrained.
+  [[nodiscard]] int pin_of(int task) const;
+
+  MappingProblem problem_;
+};
+
+}  // namespace ambisim::dse

@@ -1,0 +1,27 @@
+// Pareto-front extraction for two-objective design-space exploration
+// (minimize cost, maximize value) — e.g. power vs throughput of SoC
+// alternatives in the Watt-node case study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ambisim::dse {
+
+struct ParetoPoint {
+  double cost = 0.0;   ///< minimized (e.g. watts)
+  double value = 0.0;  ///< maximized (e.g. throughput)
+  std::string label;
+};
+
+/// True if `a` is at least as good as `b` in both objectives and strictly
+/// better in one.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Non-dominated subset, sorted by ascending cost.
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+/// True if no point in `front` dominates any other (validity check).
+bool is_pareto_front(const std::vector<ParetoPoint>& front);
+
+}  // namespace ambisim::dse

@@ -1,0 +1,14 @@
+// Parameter-sweep helpers for the benchmark harnesses.
+#pragma once
+
+#include <vector>
+
+namespace ambisim::dse {
+
+/// `n` evenly spaced values from lo to hi inclusive (n >= 2, or n == 1 -> lo).
+std::vector<double> linspace(double lo, double hi, int n);
+
+/// `n` log-spaced values from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, int n);
+
+}  // namespace ambisim::dse

@@ -1,0 +1,72 @@
+// Battery model with rate derating (Peukert-style), self-discharge, and
+// recharge clamping.  The milliWatt "personal" node of the keynote runs from
+// a battery; the microWatt "autonomous" node uses a small cell or storage
+// capacitor buffered by a harvester.
+#pragma once
+
+#include <string>
+
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::energy {
+
+namespace u = ambisim::units;
+
+class Battery {
+ public:
+  struct Spec {
+    std::string name;
+    u::Voltage voltage;        ///< nominal terminal voltage
+    u::Charge capacity;        ///< rated charge
+    double peukert = 1.0;      ///< rate-derating exponent (>= 1)
+    u::Current rated_current;  ///< current at which capacity is rated
+    u::Power self_discharge;   ///< standby loss (idle shelf drain)
+  };
+
+  /// 3 V lithium coin cell, 225 mAh: the classic microWatt-node reserve.
+  static Spec coin_cell_cr2032();
+  /// 1.5 V alkaline AA, 2850 mAh.
+  static Spec alkaline_aa();
+  /// 3.7 V Li-ion handheld pack, 1000 mAh: the milliWatt-node supply.
+  static Spec li_ion_1000mAh();
+  /// Thin-film storage for autonomous nodes, 3 V, 1 mAh.
+  static Spec thin_film_1mAh();
+
+  explicit Battery(Spec spec);
+
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+  /// Nominal stored energy when full: V * Q.
+  [[nodiscard]] u::Energy capacity() const;
+  [[nodiscard]] u::Energy remaining() const { return remaining_; }
+  [[nodiscard]] double state_of_charge() const;
+  [[nodiscard]] bool depleted() const { return remaining_ <= u::Energy(0.0); }
+
+  /// Draw power `p` for `dt`.  High-rate draws are derated: the charge
+  /// removed is multiplied by (I/I_rated)^(peukert-1) when I > I_rated.
+  /// Returns the energy actually *delivered to the load* (less than p*dt if
+  /// the battery empties mid-interval).
+  u::Energy draw(u::Power p, u::Time dt);
+
+  /// Deposit harvested energy; clamped at full capacity.  Returns the energy
+  /// actually stored.
+  u::Energy recharge(u::Energy e);
+
+  /// Force the state of charge (test/setup helper; no derating applied).
+  void set_state_of_charge(double soc);
+
+  /// Apply self-discharge over an idle interval.
+  void idle(u::Time dt);
+
+  /// Analytic lifetime under a constant load `p` (includes derating and
+  /// self-discharge, starting from the current state of charge).
+  [[nodiscard]] u::Time lifetime_at(u::Power p) const;
+
+ private:
+  /// Multiplier >= 1 applied to the internal drain for a given load power.
+  [[nodiscard]] double derating(u::Power p) const;
+
+  Spec spec_;
+  u::Energy remaining_;
+};
+
+}  // namespace ambisim::energy

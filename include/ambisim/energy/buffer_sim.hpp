@@ -1,0 +1,51 @@
+// Storage-buffer simulation across harvest cycles.
+//
+// An outdoor-harvesting microWatt node must ride through the night on its
+// buffer; an indoor one through dark weekends.  This module simulates the
+// buffer's state of charge against a harvester and a constant load, and
+// sizes the smallest buffer that survives — the storage half of the
+// autonomous node's energy-neutral design (extends reproduction F3).
+#pragma once
+
+#include <memory>
+
+#include "ambisim/energy/battery.hpp"
+#include "ambisim/energy/harvester.hpp"
+#include "ambisim/sim/simulator.hpp"
+
+namespace ambisim::energy {
+
+struct BufferSimConfig {
+  std::shared_ptr<const Harvester> harvester;
+  Battery::Spec buffer = Battery::thin_film_1mAh();
+  u::Power load{10e-6};
+  u::Time duration{86400.0 * 7};
+  u::Time step{60.0};
+  double initial_soc = 1.0;
+};
+
+struct BufferSimResult {
+  bool survived = true;            ///< never fully depleted
+  u::Time first_depletion{0.0};    ///< 0 if survived
+  double min_soc = 1.0;
+  double final_soc = 1.0;
+  /// True when the last full cycle ends at least as charged as it began
+  /// (the buffer has reached a sustainable steady state).
+  bool sustainable = false;
+  sim::Trace soc_trace{"state-of-charge"};
+  u::Energy harvested{0.0};
+  u::Energy consumed{0.0};
+};
+
+/// Fixed-step simulation of the buffer's state of charge.
+BufferSimResult simulate_energy_buffer(const BufferSimConfig& cfg);
+
+/// Smallest buffer capacity (joules) that survives `cfg.duration` with the
+/// given harvester/load, found by bisection on the capacity of
+/// `cfg.buffer`.  Throws std::domain_error if even `max_scale` times the
+/// base buffer dies (the load is simply unsustainable).
+u::Energy minimum_buffer_energy(const BufferSimConfig& cfg,
+                                double max_scale = 1e4,
+                                int iterations = 40);
+
+}  // namespace ambisim::energy

@@ -1,0 +1,98 @@
+// Ambient-energy harvesters for the autonomous microWatt-node: photovoltaic,
+// vibration and thermoelectric scavengers, with 2003-era power densities
+// (solar ~10 uW/cm^2 indoor / ~10 mW/cm^2 outdoor peak; vibration
+// ~10-200 uW/cm^3; thermoelectric ~ tens of uW/cm^2/K).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::energy {
+
+namespace u = ambisim::units;
+
+class Harvester {
+ public:
+  virtual ~Harvester() = default;
+
+  /// Instantaneous harvested power at absolute simulated time `t`.
+  [[nodiscard]] virtual u::Power power_at(u::Time t) const = 0;
+  /// Long-run average power.
+  [[nodiscard]] virtual u::Power average_power() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trapezoidal numeric integral of power over [t0, t1].
+  [[nodiscard]] u::Energy energy_between(u::Time t0, u::Time t1,
+                                         int steps = 512) const;
+};
+
+/// Photovoltaic cell.  Outdoor mode follows a half-sine diurnal irradiance
+/// profile (zero at night); indoor mode is constant office lighting.
+class SolarHarvester final : public Harvester {
+ public:
+  SolarHarvester(u::Area area, double efficiency, bool indoor);
+
+  [[nodiscard]] u::Power power_at(u::Time t) const override;
+  [[nodiscard]] u::Power average_power() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] u::Area area() const { return area_; }
+
+  static constexpr double kOutdoorPeakIrradiance = 100.0;  // W/m^2 on cell
+  static constexpr double kIndoorIrradiance = 1.0;         // W/m^2
+
+ private:
+  u::Area area_;
+  double efficiency_;
+  bool indoor_;
+};
+
+/// Electromechanical vibration scavenger: constant power per volume.
+class VibrationHarvester final : public Harvester {
+ public:
+  /// `volume_cm3` of transducer; `density` defaults to 100 uW/cm^3.
+  explicit VibrationHarvester(double volume_cm3,
+                              u::Power density_per_cm3 = u::Power(100e-6));
+
+  [[nodiscard]] u::Power power_at(u::Time t) const override;
+  [[nodiscard]] u::Power average_power() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double volume_cm3_;
+  u::Power density_per_cm3_;
+};
+
+/// Thermoelectric generator across a temperature difference.
+class ThermalHarvester final : public Harvester {
+ public:
+  /// P = k * A * dT^2 with k ~ 25 uW / (cm^2 K^2) for 2003-era TEGs.
+  ThermalHarvester(u::Area area, double delta_t_kelvin,
+                   double k_uw_per_cm2_k2 = 25.0);
+
+  [[nodiscard]] u::Power power_at(u::Time t) const override;
+  [[nodiscard]] u::Power average_power() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  u::Area area_;
+  double delta_t_;
+  double k_;
+};
+
+/// Fixed-power source (mains supply for the Watt-node, or a test stub).
+class ConstantSource final : public Harvester {
+ public:
+  explicit ConstantSource(u::Power p, std::string name = "constant");
+  [[nodiscard]] u::Power power_at(u::Time t) const override;
+  [[nodiscard]] u::Power average_power() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  u::Power power_;
+  std::string name_;
+};
+
+}  // namespace ambisim::energy

@@ -1,0 +1,58 @@
+// Per-component energy accounting.  Every simulated subsystem (CPU, radio,
+// memory, sensor interface, ...) charges its consumption to a named ledger
+// entry; benches print the resulting breakdowns (e.g. compute-vs-radio split
+// of the milliWatt-node case study).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::energy {
+
+namespace u = ambisim::units;
+
+class EnergyLedger {
+ public:
+  /// Add `e` joules to component `name` (creates the entry on first use).
+  void charge(const std::string& name, u::Energy e);
+
+  [[nodiscard]] u::Energy total() const;
+  /// Energy of one component; zero if the component never charged anything.
+  [[nodiscard]] u::Energy of(const std::string& name) const;
+  /// Fraction of total attributed to `name` (0 if total is zero).
+  [[nodiscard]] double share(const std::string& name) const;
+
+  /// (component, energy) pairs sorted by descending energy.
+  [[nodiscard]] std::vector<std::pair<std::string, u::Energy>> breakdown()
+      const;
+
+  void merge(const EnergyLedger& other);
+  void clear();
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, u::Energy>> entries_;
+};
+
+/// A periodic duty-cycled load: `active_power` for `active_time` out of
+/// every `period`, `sleep_power` otherwise.
+struct DutyCycleLoad {
+  u::Power active_power;
+  u::Power sleep_power;
+  u::Time period;
+  u::Time active_time;
+
+  [[nodiscard]] double duty() const;
+  [[nodiscard]] u::Power average_power() const;
+};
+
+/// Largest duty cycle for which a duty-cycled load is energy-neutral under a
+/// harvester delivering `harvest_avg` on average.  Returns 0 if even pure
+/// sleep exceeds the harvest, and 1 if always-on is sustainable.
+double max_neutral_duty(u::Power harvest_avg, u::Power active_power,
+                        u::Power sleep_power);
+
+}  // namespace ambisim::energy

@@ -1,0 +1,51 @@
+// Two-pass assembler for the AmbiCore-32 ISA.
+//
+// Syntax (one instruction per line, ';' or '#' starts a comment):
+//   loop:  add  r3, r1, r2
+//          addi r4, r4, -1
+//          lw   r5, 16(r2)
+//          sw   r5, 0(r2)
+//          beq  r4, r0, done
+//          jmp  loop
+//   done:  halt
+//
+// Branch/jump targets are labels; immediates are decimal or 0x hex.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ambisim/isa/isa.hpp"
+
+namespace ambisim::isa {
+
+/// Thrown with line number and message on any syntax error.
+class AssemblyError : public std::runtime_error {
+ public:
+  AssemblyError(int line, const std::string& message);
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Assemble `source` into an instruction vector.
+std::vector<Instruction> assemble(const std::string& source);
+
+/// Firmware presets used by the examples and the A1 ablation.
+namespace firmware {
+
+/// Read `n` samples from port 0, run a 4-tap moving-average filter, write
+/// values crossing `threshold` to port 1.  Registers: r1 = n, r2 = threshold.
+std::string sensing_filter();
+
+/// Iterative Fibonacci: computes fib(r1) into r2 (pure ALU/branch mix).
+std::string fibonacci();
+
+/// 16-tap integer FIR over a buffer in memory (mul/mem heavy).
+std::string fir16();
+
+}  // namespace firmware
+
+}  // namespace ambisim::isa

@@ -1,0 +1,51 @@
+// AmbiCore-32: a tiny load/store ISA for the microWatt node's controller.
+//
+// The keynote's autonomous node computes with a minimal core; this ISA plus
+// the interpreter in machine.hpp gives AmbiSim an instruction-accurate
+// energy model to validate the abstract ProcessorModel calibration against
+// (reproduction ablation A1).
+//
+// 16 general registers (r0 hardwired to zero), 32-bit words, byte-addressed
+// data memory, separate instruction store.  Multi-cycle multiply and memory
+// accesses; input/output ports model the sensor ADC and the radio FIFO.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ambisim::isa {
+
+enum class Opcode : std::uint8_t {
+  // Arithmetic / logic, register-register.
+  Add, Sub, And, Or, Xor, Shl, Shr, Mul, Slt,
+  // Register-immediate.
+  Addi, Andi, Ori, Slli, Srli, Lui,
+  // Memory.
+  Lw, Sw, Lb, Sb,
+  // Control.
+  Beq, Bne, Blt, Jmp, Jal, Jr,
+  // Ports.
+  In,   ///< rd <- port[imm]
+  Out,  ///< port[imm] <- rs1
+  // Misc.
+  Nop, Halt,
+};
+
+/// Functional class of an instruction: decides its cycle count and the
+/// switched-gate energy charged per execution.
+enum class InstrClass { Alu, Mul, Mem, Branch, Io, System };
+
+InstrClass instr_class(Opcode op);
+std::string mnemonic(Opcode op);
+
+struct Instruction {
+  Opcode op = Opcode::Nop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+};
+
+inline constexpr int kRegisterCount = 16;
+
+}  // namespace ambisim::isa

@@ -1,0 +1,110 @@
+// Instruction-accurate AmbiCore-32 interpreter with energy accounting.
+//
+// Each executed instruction is charged switched-gate energy by functional
+// class (derived from the technology node and supply voltage) plus the
+// whole core's leakage over the cycles it occupies.  IO ports connect the
+// firmware to sensor/radio stubs via callbacks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ambisim/isa/isa.hpp"
+#include "ambisim/tech/technology.hpp"
+
+namespace ambisim::isa {
+
+namespace u = ambisim::units;
+
+/// Switched gate-equivalents per instruction class plus pipeline overhead
+/// (fetch/decode/clock), and cycles per class.  Defaults model a small
+/// in-order 2-stage core of ~30 k gates.
+struct CoreEnergyParams {
+  double gates_fetch_decode = 2'500.0;  ///< charged to every instruction
+  double gates_alu = 3'000.0;
+  double gates_mul = 12'000.0;
+  double gates_mem = 4'500.0;
+  double gates_branch = 2'000.0;
+  double gates_io = 1'500.0;
+  double total_gates = 30'000.0;  ///< leakage population
+  int cycles_alu = 1;
+  int cycles_mul = 4;
+  int cycles_mem = 2;
+  int cycles_branch_taken = 2;
+  int cycles_branch_not_taken = 1;
+  int cycles_io = 1;
+};
+
+struct MachineStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t by_class[6] = {0, 0, 0, 0, 0, 0};  ///< indexed by InstrClass
+  u::Energy dynamic_energy{0.0};
+  u::Energy leakage_energy{0.0};
+
+  [[nodiscard]] u::Energy total_energy() const {
+    return dynamic_energy + leakage_energy;
+  }
+  [[nodiscard]] double cpi() const {
+    return instructions ? static_cast<double>(cycles) / instructions : 0.0;
+  }
+};
+
+class Machine {
+ public:
+  using InPort = std::function<std::int32_t(int port)>;
+  using OutPort = std::function<void(int port, std::int32_t value)>;
+
+  /// Core in `node` at supply `v` clocked at `clock`, with `memory_bytes`
+  /// of data memory.
+  Machine(const tech::TechnologyNode& node, u::Voltage v, u::Frequency clock,
+          std::size_t memory_bytes = 65'536,
+          CoreEnergyParams params = CoreEnergyParams{});
+
+  void load_program(std::vector<Instruction> program);
+  void set_input_port(InPort in) { in_ = std::move(in); }
+  void set_output_port(OutPort out) { out_ = std::move(out); }
+
+  /// Run until HALT or `max_instructions`.  Returns true if halted.
+  bool run(std::uint64_t max_instructions = 10'000'000);
+  /// Execute exactly one instruction.  Returns false once halted.
+  bool step();
+  void reset();
+
+  [[nodiscard]] std::int32_t reg(int i) const;
+  void set_reg(int i, std::int32_t value);
+  [[nodiscard]] std::int32_t load_word(std::uint32_t address) const;
+  void store_word(std::uint32_t address, std::int32_t value);
+
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] const MachineStats& stats() const { return stats_; }
+
+  /// Wall-clock time of the run so far: cycles / clock.
+  [[nodiscard]] u::Time elapsed() const;
+  /// Average power over the run so far.
+  [[nodiscard]] u::Power average_power() const;
+  /// Energy per executed instruction.
+  [[nodiscard]] u::Energy energy_per_instruction() const;
+
+ private:
+  void charge(InstrClass cls, int cycles);
+
+  tech::TechnologyNode node_;
+  u::Voltage voltage_;
+  u::Frequency clock_;
+  CoreEnergyParams params_;
+
+  std::vector<Instruction> program_;
+  std::array<std::int32_t, kRegisterCount> regs_{};
+  std::vector<std::uint8_t> memory_;
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  InPort in_;
+  OutPort out_;
+  MachineStats stats_;
+};
+
+}  // namespace ambisim::isa

@@ -1,0 +1,45 @@
+// Channel contention in dense device webs: ALOHA and CSMA throughput.
+//
+// Ambient intelligence puts tens of chattering nodes in one radio cell;
+// this module answers how much of the channel they can actually use.
+// Analytic forms (Abramson / Kleinrock-Tobagi) are paired with a
+// Monte-Carlo simulator over the same assumptions so each validates the
+// other (reproduction figure F10).
+#pragma once
+
+#include "ambisim/sim/random.hpp"
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::net {
+
+namespace u = ambisim::units;
+
+/// Slotted ALOHA: S = G * e^-G (peak 1/e at G = 1).
+double slotted_aloha_throughput(double offered_load);
+
+/// Pure (unslotted) ALOHA: S = G * e^-2G (peak 1/(2e) at G = 0.5).
+double pure_aloha_throughput(double offered_load);
+
+/// Non-persistent CSMA with normalized propagation delay `a`
+/// (Kleinrock-Tobagi):  S = G e^{-aG} / (G(1 + 2a) + e^{-aG}).
+double csma_throughput(double offered_load, double a = 0.01);
+
+/// Offered load maximizing each protocol's throughput (closed form for
+/// ALOHA, golden-section search for CSMA).
+double optimal_load_slotted_aloha();
+double optimal_load_pure_aloha();
+double optimal_load_csma(double a = 0.01);
+
+/// Monte-Carlo validation: `nodes` stations each transmit a 1-slot packet
+/// per slot with probability p = offered_load / nodes; a slot succeeds iff
+/// exactly one station transmits.  Returns measured throughput.
+double simulate_slotted_aloha(double offered_load, int nodes, int slots,
+                              sim::Rng& rng);
+
+/// Per-node usable report rate in a shared cell: `nodes` stations on a
+/// channel of `bit_rate`, packets of `packet_bits`, running slotted ALOHA
+/// at its optimal operating point with fair sharing.
+u::Frequency max_report_rate_per_node(int nodes, u::BitRate bit_rate,
+                                      u::Information packet_bits);
+
+}  // namespace ambisim::net

@@ -1,0 +1,60 @@
+// Medium-access models.
+//
+// DutyCycledMac captures the dominant energy term of always-available
+// low-power networks: periodic short listen windows.  TdmaSchedule builds a
+// collision-free slot assignment by greedy coloring of the two-hop
+// interference graph — the contention-free access the keynote's
+// always-connected device webs need.
+#pragma once
+
+#include <vector>
+
+#include "ambisim/radio/transceiver.hpp"
+
+namespace ambisim::net {
+
+namespace u = ambisim::units;
+
+/// Periodic listen/sleep schedule (B-MAC / preamble-sampling flavour).
+struct DutyCycledMac {
+  u::Time wake_interval;  ///< period between listen windows
+  u::Time listen_window;  ///< receiver-on time per period
+
+  [[nodiscard]] double duty() const;
+  /// Long-run radio power with no traffic: duty*idle + (1-duty)*sleep.
+  [[nodiscard]] u::Power baseline_power(const radio::RadioModel& r) const;
+  /// Average cost to *send* one packet: the sender must prepend a preamble
+  /// of up to one wake interval so the receiver's window catches it.
+  [[nodiscard]] u::Energy tx_packet_energy(const radio::RadioModel& r,
+                                           u::Information payload) const;
+  /// Receiver-side cost of one packet (payload + half a listen window).
+  [[nodiscard]] u::Energy rx_packet_energy(const radio::RadioModel& r,
+                                           u::Information payload) const;
+  /// Per-hop latency bound: worst-case one wake interval plus airtime.
+  [[nodiscard]] u::Time hop_latency(const radio::RadioModel& r,
+                                    u::Information payload) const;
+};
+
+/// Collision-free TDMA slot assignment.
+class TdmaSchedule {
+ public:
+  /// Greedy coloring of the 2-hop interference graph of `adjacency`.
+  static TdmaSchedule build(const std::vector<std::vector<int>>& adjacency);
+
+  [[nodiscard]] int slot_of(int node) const { return slots_.at(node); }
+  [[nodiscard]] int frame_slots() const { return frame_slots_; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Verify no node shares a slot with any 1- or 2-hop neighbour.
+  [[nodiscard]] bool collision_free(
+      const std::vector<std::vector<int>>& adjacency) const;
+
+  /// Channel utilization achievable by each node: 1/frame_slots.
+  [[nodiscard]] double per_node_share() const;
+
+ private:
+  std::vector<int> slots_;
+  int frame_slots_ = 0;
+};
+
+}  // namespace ambisim::net

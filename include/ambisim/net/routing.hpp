@@ -1,0 +1,56 @@
+// Multi-hop routing toward the sink: minimum-hop (BFS) and minimum-energy
+// (Dijkstra with a radio-energy link metric  cost = k_elec + k_amp * d^n,
+// the classic first-order radio model).  Minimum-energy routing prefers
+// several short hops over one long one once the path-loss term dominates.
+#pragma once
+
+#include <vector>
+
+#include "ambisim/net/topology.hpp"
+
+namespace ambisim::net {
+
+enum class RoutingPolicy { MinHop, MinEnergy };
+
+struct RoutingTree {
+  std::vector<int> next_hop;  ///< next_hop[sink] == sink; -1 if unreachable
+  std::vector<double> cost;   ///< accumulated metric to the sink
+  std::vector<int> hops;      ///< hop count to the sink; -1 if unreachable
+
+  [[nodiscard]] bool reachable(int node) const {
+    return next_hop.at(node) >= 0;
+  }
+  /// Node sequence from `node` to the sink, inclusive.
+  [[nodiscard]] std::vector<int> path_from(int node) const;
+  /// Number of descendants routing through each node (its relay load).
+  [[nodiscard]] std::vector<int> relay_load() const;
+};
+
+/// Link energy metric of the first-order radio model (J per bit).
+struct LinkEnergyModel {
+  double k_elec = 50e-9;   ///< J/bit electronics (tx+rx)
+  double k_amp = 10e-12;   ///< J/bit/m^n amplifier term
+  double exponent = 2.0;
+
+  [[nodiscard]] double cost(u::Length d) const;
+};
+
+/// BFS minimum-hop tree over links of length <= `range`.
+RoutingTree min_hop_routes(const Topology& topo, u::Length range);
+
+/// Dijkstra minimum-energy tree over links of length <= `range`.
+RoutingTree min_energy_routes(const Topology& topo, u::Length range,
+                              const LinkEnergyModel& model);
+
+/// Energy per bit of covering distance `D` in `k` equal hops:
+///   E(k) = k * k_elec + k_amp * k * (D/k)^n.
+double multihop_energy(const LinkEnergyModel& model, u::Length total,
+                       int hops);
+
+/// Hop count minimizing multihop_energy: the closed-form optimum
+/// k* = D * ((n-1) k_amp / k_elec)^{1/n}, clamped to >= 1 and rounded to
+/// the better integer neighbour.  Short distances are best crossed in one
+/// hop (electronics dominate); long ones in many (path loss dominates).
+int optimal_hop_count(const LinkEnergyModel& model, u::Length total);
+
+}  // namespace ambisim::net

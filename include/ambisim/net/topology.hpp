@@ -1,0 +1,49 @@
+// Node placement and connectivity for networks of ambient devices.
+#pragma once
+
+#include <vector>
+
+#include "ambisim/sim/random.hpp"
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::net {
+
+namespace u = ambisim::units;
+
+struct Point {
+  double x = 0.0;  ///< meters
+  double y = 0.0;
+};
+
+u::Length distance(Point a, Point b);
+
+/// A set of node positions.  Node 0 is by convention the sink / gateway.
+class Topology {
+ public:
+  /// `n` nodes uniformly placed in a `side` x `side` field; the sink sits at
+  /// the field center.
+  static Topology random_field(int n, u::Length side, sim::Rng& rng);
+  /// Regular sqrt(n) x sqrt(n) grid with spacing `pitch`; sink at a corner.
+  static Topology grid(int n, u::Length pitch);
+  /// Star: sink at the origin, `n-1` nodes on a circle of radius `r`.
+  static Topology star(int n, u::Length r);
+
+  explicit Topology(std::vector<Point> nodes);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const Point& position(int i) const { return nodes_.at(i); }
+  [[nodiscard]] const std::vector<Point>& positions() const { return nodes_; }
+  [[nodiscard]] int sink() const { return 0; }
+  [[nodiscard]] u::Length node_distance(int a, int b) const;
+
+  /// Adjacency lists: i-j connected iff distance <= range (i != j).
+  [[nodiscard]] std::vector<std::vector<int>> adjacency(u::Length range) const;
+
+  /// True if every node can reach the sink through links of length <= range.
+  [[nodiscard]] bool connected(u::Length range) const;
+
+ private:
+  std::vector<Point> nodes_;
+};
+
+}  // namespace ambisim::net

@@ -1,0 +1,65 @@
+// Bit/packet error rates and retransmission energetics.
+//
+// The keynote's always-available device web lives on unreliable wireless
+// links: this module closes the loop from SNR to *delivered* information —
+// BER per modulation (AWGN), packet error rate, expected transmissions
+// under ARQ, and the energy per successfully delivered bit, whose cliff at
+// the edge of range sets the real usable radius of a node.
+#pragma once
+
+#include "ambisim/radio/link.hpp"
+#include "ambisim/radio/transceiver.hpp"
+
+namespace ambisim::radio {
+
+/// Gaussian tail function Q(x) = P(N(0,1) > x).
+double q_function(double x);
+
+/// AWGN bit error rate of modulation `m` at the given Eb/N0 (linear, not
+/// dB).  Coherent PSK/QAM use Q-function expressions; FSK/OOK use the
+/// noncoherent forms.
+double bit_error_rate(const Modulation& m, double ebn0_linear);
+
+/// BER at distance `d` under a link budget (converts SNR -> Eb/N0 using the
+/// modulation's spectral efficiency at symbol rate == bandwidth).
+double bit_error_rate_at(const LinkBudget& budget, const Modulation& m,
+                         u::Length d);
+
+/// Packet error rate for an uncoded packet of `bits`: 1 - (1-BER)^bits.
+double packet_error_rate(double ber, double bits);
+
+/// Stop-and-wait ARQ over a lossy link.
+struct ArqModel {
+  int max_attempts = 8;       ///< original + retries
+  u::Information ack_bits{64.0};
+
+  /// Probability that at least one of max_attempts succeeds.
+  [[nodiscard]] double delivery_probability(double per) const;
+  /// Expected transmissions until success (counting the failures of lost
+  /// packets), truncated at max_attempts.
+  [[nodiscard]] double expected_attempts(double per) const;
+  /// Expected radio energy (sender tx + receiver rx + ACK both ways) per
+  /// *delivered* packet; diverges as PER -> 1 (returns energy of
+  /// max_attempts / delivery probability).
+  [[nodiscard]] u::Energy energy_per_delivered(const RadioModel& radio,
+                                               u::Information payload,
+                                               double per) const;
+};
+
+/// Energy per *delivered* bit at distance `d`, combining the transceiver
+/// energy model, the link's PER and ARQ.
+u::EnergyPerBit energy_per_delivered_bit(const RadioModel& radio,
+                                         u::Length d,
+                                         u::Information payload,
+                                         const ArqModel& arq = ArqModel{});
+
+/// Radiated power (swept over [p_min, p_max], `steps` points) minimizing
+/// the energy per delivered bit at distance `d`.  Returns the best radiated
+/// power; too little power wastes retries, too much wastes PA energy.
+u::Power optimal_radiated_power(const RadioParams& params, u::Length d,
+                                u::Information payload,
+                                u::Power p_min = u::Power(1e-6),
+                                u::Power p_max = u::Power(0.2),
+                                int steps = 60);
+
+}  // namespace ambisim::radio

@@ -1,0 +1,68 @@
+// RF link budget: path loss, noise floor, SNR, modulation requirements and
+// Shannon capacity.  Determines whether a transmission at a given radiated
+// power closes over a given distance — the communication half of the
+// keynote's power-information trade-off.
+#pragma once
+
+#include <string>
+
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::radio {
+
+namespace u = ambisim::units;
+
+/// dBm <-> watt conversions.
+double watt_to_dbm(u::Power p);
+u::Power dbm_to_watt(double dbm);
+
+/// Log-distance path-loss model: PL(d) = PL(d0) + 10*n*log10(d/d0).
+struct PathLossModel {
+  double exponent = 2.0;          ///< n: 2 free space, 3-4 indoor
+  u::Length ref_distance{1.0};    ///< d0
+  double loss_at_ref_db = 40.0;   ///< PL(d0) (40 dB ~ 2.4 GHz at 1 m)
+
+  static PathLossModel free_space();
+  static PathLossModel indoor();
+  static PathLossModel dense_indoor();
+
+  [[nodiscard]] double loss_db(u::Length distance) const;
+};
+
+/// Thermal noise floor: -174 dBm/Hz + 10 log10(B) + NF.
+double noise_floor_dbm(u::Frequency bandwidth, double noise_figure_db = 10.0);
+
+struct Modulation {
+  std::string name;
+  double bits_per_symbol;
+  double required_ebn0_db;  ///< for ~1e-3 BER
+
+  static Modulation ook();
+  static Modulation fsk();
+  static Modulation bpsk();
+  static Modulation qpsk();
+  static Modulation qam16();
+  static Modulation qam64();
+};
+
+struct LinkBudget {
+  u::Power tx_radiated;
+  PathLossModel path_loss;
+  u::Frequency bandwidth;
+  double noise_figure_db = 10.0;
+
+  [[nodiscard]] double received_dbm(u::Length distance) const;
+  [[nodiscard]] double snr_db(u::Length distance) const;
+  /// SNR needed to receive `m` at symbol rate == bandwidth.
+  [[nodiscard]] static double required_snr_db(const Modulation& m);
+  [[nodiscard]] bool closes(u::Length distance, const Modulation& m) const;
+  /// Largest distance at which the link closes with modulation `m`.
+  [[nodiscard]] u::Length max_range(const Modulation& m) const;
+  /// Shannon-limit capacity at `distance`.
+  [[nodiscard]] u::BitRate shannon_capacity(u::Length distance) const;
+  /// Achievable rate with modulation `m` (0 if the link does not close).
+  [[nodiscard]] u::BitRate achievable_rate(u::Length distance,
+                                           const Modulation& m) const;
+};
+
+}  // namespace ambisim::radio

@@ -1,0 +1,73 @@
+// Transceiver energy model.
+//
+// First-order radio: transmitting k bits over distance d costs
+//   E_tx = (P_elec_tx + P_radiated/eta_PA) * k / R        (+ startup)
+//   E_rx = P_elec_rx * k / R                              (+ startup)
+// For short links the electronics dominate (energy/bit is flat in d); the
+// radiated term only matters at range — the reason the keynote's microWatt
+// nodes communicate over meters, not tens of meters.
+#pragma once
+
+#include <string>
+
+#include "ambisim/radio/link.hpp"
+
+namespace ambisim::radio {
+
+enum class RadioState { Sleep, Idle, Rx, Tx };
+
+std::string to_string(RadioState s);
+
+struct RadioParams {
+  std::string name;
+  u::BitRate bit_rate;
+  Modulation modulation;
+  u::Frequency bandwidth;
+  u::Power tx_electronics;  ///< mixers/synthesizer/baseband while transmitting
+  u::Power rx_power;        ///< total receive-chain power
+  u::Power idle_power;      ///< listening, carrier sensing
+  u::Power sleep_power;     ///< crystal + wake logic
+  double pa_efficiency;     ///< radiated / PA-drawn
+  u::Power tx_radiated;     ///< default radiated power
+  u::Time startup;          ///< sleep -> active turnaround
+  PathLossModel environment;
+};
+
+/// Presets spanning the three device classes.
+RadioParams ulp_radio();        ///< microWatt node: 100 kbps, -6 dBm, meters
+RadioParams bluetooth_like();   ///< milliWatt node: 1 Mbps, 0 dBm
+RadioParams wlan_80211b();      ///< Watt/static node: 11 Mbps, +20 dBm
+RadioParams wlan_80211a();      ///< Watt-node backhaul: 54 Mbps OFDM
+
+class RadioModel {
+ public:
+  explicit RadioModel(RadioParams params);
+
+  [[nodiscard]] const RadioParams& params() const { return params_; }
+
+  /// Total supply power while transmitting at the default radiated power.
+  [[nodiscard]] u::Power tx_power() const;
+  [[nodiscard]] u::Power rx_power() const { return params_.rx_power; }
+  [[nodiscard]] u::Power idle_power() const { return params_.idle_power; }
+  [[nodiscard]] u::Power sleep_power() const { return params_.sleep_power; }
+  [[nodiscard]] u::Power power(RadioState s) const;
+
+  [[nodiscard]] u::Time time_on_air(u::Information payload) const;
+  [[nodiscard]] u::Energy tx_energy(u::Information payload) const;
+  [[nodiscard]] u::Energy rx_energy(u::Information payload) const;
+  [[nodiscard]] u::Energy startup_energy() const;
+
+  [[nodiscard]] u::EnergyPerBit energy_per_bit_tx() const;
+  [[nodiscard]] u::EnergyPerBit energy_per_bit_rx() const;
+
+  /// Link budget at the default radiated power in the preset environment.
+  [[nodiscard]] LinkBudget link_budget() const;
+  /// Maximum range with the preset modulation.
+  [[nodiscard]] u::Length max_range() const;
+  [[nodiscard]] bool reaches(u::Length distance) const;
+
+ private:
+  RadioParams params_;
+};
+
+}  // namespace ambisim::radio

@@ -1,0 +1,50 @@
+// Minimal ASCII scatter plot for the benchmark harness: renders the
+// keynote's log-log power-information plane (and any other (x, y) cloud)
+// directly into the bench output, with decade gridlines and per-point
+// glyphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ambisim::sim {
+
+class AsciiScatter {
+ public:
+  /// Plot of `width` x `height` character cells.  Log-log by default.
+  AsciiScatter(std::string title, int width = 72, int height = 24,
+               bool log_x = true, bool log_y = true);
+
+  /// Add a point; `glyph` is the character drawn at its cell.  Points with
+  /// non-positive coordinates on a log axis are rejected.
+  void add(double x, double y, char glyph);
+
+  /// Optional axis labels.
+  void set_labels(std::string x_label, std::string y_label);
+
+  /// Render with decade ticks (log axes) or min/max annotations (linear).
+  void render(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+ private:
+  struct Point {
+    double x;
+    double y;
+    char glyph;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  bool log_x_;
+  bool log_y_;
+  std::vector<Point> points_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AsciiScatter& plot);
+
+}  // namespace ambisim::sim

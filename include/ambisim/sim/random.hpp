@@ -1,0 +1,77 @@
+// Deterministic pseudo-random source for simulations.
+//
+// All stochastic components take an explicit Rng so that every experiment in
+// the benchmark harness is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ambisim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5DEECE66DULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (= 1/rate).
+  double exponential(double mean) {
+    if (mean <= 0.0) throw std::invalid_argument("exponential mean <= 0");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  std::uint64_t poisson(double mean) {
+    return std::poisson_distribution<std::uint64_t>(mean)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("pick from empty span");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Weighted index selection; weights need not be normalized.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-node generators).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ambisim::sim

@@ -1,0 +1,115 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a time-ordered event queue.  Events are arbitrary
+// callables scheduled at absolute or relative simulated times; ties are
+// broken by insertion order so runs are fully deterministic.  Handles allow
+// cancellation (used by MAC timers and power-manager timeouts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::sim {
+
+using units::Time;
+
+class Simulator;
+
+/// Cancellation handle for a scheduled event.  Copyable; cancelling an
+/// already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel();
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(Time t, Callback fn);
+  /// Schedule `fn` after delay `dt` (must be >= 0).
+  EventHandle schedule_in(Time dt, Callback fn);
+
+  /// Run until the queue is empty or `stop()` is called.
+  void run();
+  /// Run until simulated time reaches `deadline`; the clock is advanced to
+  /// `deadline` even if the queue empties earlier.
+  void run_until(Time deadline);
+  /// Execute the single next event.  Returns false if the queue is empty.
+  bool step();
+
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_{0.0};
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+/// Time-stamped scalar trace (e.g. battery charge over time).  Benches use
+/// traces to emit time-series figures.
+class Trace {
+ public:
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  void record(Time t, double value) { points_.push_back({t, value}); }
+
+  struct Point {
+    Time time;
+    double value;
+  };
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] double last() const { return points_.back().value; }
+
+  /// Piecewise-constant (sample-and-hold) time integral of the trace over
+  /// [first, last] sample times.
+  [[nodiscard]] double integral() const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace ambisim::sim

@@ -1,0 +1,62 @@
+// Streaming and batch statistics used by the benchmark harness and the
+// network simulator (latency, energy, lifetime distributions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ambisim::sim {
+
+/// Welford streaming accumulator: numerically stable mean and variance.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch sample set with percentile queries (copies & sorts on demand).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Least-squares fit y = a + b*x over paired samples; used by tests to check
+/// scaling-law slopes (e.g. log-log slopes on the power-information graph).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+}  // namespace ambisim::sim

@@ -1,0 +1,44 @@
+// Lightweight result table used by every benchmark binary to print the rows
+// and series of a reproduced figure/table in a uniform, parseable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ambisim::sim {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  Table(std::string title, std::vector<std::string> columns);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<Cell>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+  /// Numeric value of a cell (doubles and integers; strings throw).
+  [[nodiscard]] double number(std::size_t row, std::size_t col) const;
+
+  /// Aligned human-readable rendering.
+  void print(std::ostream& os) const;
+  /// Machine-readable CSV rendering (quotes strings containing commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace ambisim::sim

@@ -1,0 +1,391 @@
+// Strong-typed SI quantities with compile-time dimensional analysis.
+//
+// Every physical value flowing through AmbiSim (power, energy, bit-rate,
+// voltage, capacitance, ...) is carried by a Quantity whose dimension is
+// encoded in the type.  Mixing incompatible dimensions is a compile error;
+// multiplying or dividing quantities produces the correctly-dimensioned
+// result (power * time = energy, energy / bits = energy-per-bit, ...).
+//
+// Dimension exponents, in order: time (s), length (m), mass (kg),
+// current (A), information (bit).  Information is treated as an independent
+// base dimension so that bit-rates and joule-per-bit figures are type-safe.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ambisim::units {
+
+template <int T, int L, int M, int I, int B>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  /// Raw value in SI base units (seconds, meters, kilograms, amperes, bits).
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity rhs) {
+    value_ += rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity rhs) {
+    value_ -= rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity operator+() const { return *this; }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.value_ / s);
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) {
+    return a.value_ <=> b.value_;
+  }
+  friend constexpr bool operator==(Quantity a, Quantity b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Dimension arithmetic for * and /.
+template <int T1, int L1, int M1, int I1, int B1, int T2, int L2, int M2,
+          int I2, int B2>
+constexpr auto operator*(Quantity<T1, L1, M1, I1, B1> a,
+                         Quantity<T2, L2, M2, I2, B2> b) {
+  return Quantity<T1 + T2, L1 + L2, M1 + M2, I1 + I2, B1 + B2>(a.value() *
+                                                               b.value());
+}
+
+template <int T1, int L1, int M1, int I1, int B1, int T2, int L2, int M2,
+          int I2, int B2>
+constexpr auto operator/(Quantity<T1, L1, M1, I1, B1> a,
+                         Quantity<T2, L2, M2, I2, B2> b) {
+  return Quantity<T1 - T2, L1 - L2, M1 - M2, I1 - I2, B1 - B2>(a.value() /
+                                                               b.value());
+}
+
+template <int T, int L, int M, int I, int B>
+constexpr auto operator/(double s, Quantity<T, L, M, I, B> a) {
+  return Quantity<-T, -L, -M, -I, -B>(s / a.value());
+}
+
+// Dimensionless quantities collapse to double implicitly via ratio().
+template <int T, int L, int M, int I, int B>
+constexpr double ratio(Quantity<T, L, M, I, B> a, Quantity<T, L, M, I, B> b) {
+  return a.value() / b.value();
+}
+
+template <int T, int L, int M, int I, int B>
+constexpr Quantity<T, L, M, I, B> abs(Quantity<T, L, M, I, B> a) {
+  return Quantity<T, L, M, I, B>(a.value() < 0 ? -a.value() : a.value());
+}
+
+template <int T, int L, int M, int I, int B>
+constexpr Quantity<T, L, M, I, B> min(Quantity<T, L, M, I, B> a,
+                                      Quantity<T, L, M, I, B> b) {
+  return a < b ? a : b;
+}
+
+template <int T, int L, int M, int I, int B>
+constexpr Quantity<T, L, M, I, B> max(Quantity<T, L, M, I, B> a,
+                                      Quantity<T, L, M, I, B> b) {
+  return a > b ? a : b;
+}
+
+/// Square root; only valid when every exponent is even.
+template <int T, int L, int M, int I, int B>
+  requires(T % 2 == 0 && L % 2 == 0 && M % 2 == 0 && I % 2 == 0 && B % 2 == 0)
+inline Quantity<T / 2, L / 2, M / 2, I / 2, B / 2> sqrt(
+    Quantity<T, L, M, I, B> a) {
+  return Quantity<T / 2, L / 2, M / 2, I / 2, B / 2>(std::sqrt(a.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Named dimensions.
+// ---------------------------------------------------------------------------
+using Dimensionless = Quantity<0, 0, 0, 0, 0>;
+using Time = Quantity<1, 0, 0, 0, 0>;
+using Frequency = Quantity<-1, 0, 0, 0, 0>;
+using Length = Quantity<0, 1, 0, 0, 0>;
+using Area = Quantity<0, 2, 0, 0, 0>;
+using Energy = Quantity<-2, 2, 1, 0, 0>;       // joule
+using Power = Quantity<-3, 2, 1, 0, 0>;        // watt
+using Voltage = Quantity<-3, 2, 1, -1, 0>;     // volt
+using Current = Quantity<0, 0, 0, 1, 0>;       // ampere
+using Charge = Quantity<1, 0, 0, 1, 0>;        // coulomb
+using Capacitance = Quantity<4, -2, -1, 2, 0>; // farad
+using Resistance = Quantity<-3, 2, 1, -2, 0>;  // ohm
+using Information = Quantity<0, 0, 0, 0, 1>;   // bit
+using BitRate = Quantity<-1, 0, 0, 0, 1>;      // bit/s
+using EnergyPerBit = Quantity<-2, 2, 1, 0, -1>;
+using PowerDensity = Quantity<-3, 0, 1, 0, 0>;     // W/m^2
+using EnergyDensity = Quantity<-2, 0, 1, 0, 0>;    // J/m^2
+using OpRate = Frequency;                           // operations/s (ops are
+                                                    // dimensionless counts)
+
+// ---------------------------------------------------------------------------
+// Literals.  All literals are defined in SI base units.
+// ---------------------------------------------------------------------------
+namespace literals {
+
+// Time.
+constexpr Time operator""_s(long double v) { return Time(double(v)); }
+constexpr Time operator""_s(unsigned long long v) { return Time(double(v)); }
+constexpr Time operator""_ms(long double v) { return Time(double(v) * 1e-3); }
+constexpr Time operator""_ms(unsigned long long v) {
+  return Time(double(v) * 1e-3);
+}
+constexpr Time operator""_us(long double v) { return Time(double(v) * 1e-6); }
+constexpr Time operator""_us(unsigned long long v) {
+  return Time(double(v) * 1e-6);
+}
+constexpr Time operator""_ns(long double v) { return Time(double(v) * 1e-9); }
+constexpr Time operator""_ns(unsigned long long v) {
+  return Time(double(v) * 1e-9);
+}
+constexpr Time operator""_ps(long double v) { return Time(double(v) * 1e-12); }
+constexpr Time operator""_ps(unsigned long long v) {
+  return Time(double(v) * 1e-12);
+}
+constexpr Time operator""_minutes(unsigned long long v) {
+  return Time(double(v) * 60.0);
+}
+constexpr Time operator""_hours(long double v) {
+  return Time(double(v) * 3600.0);
+}
+constexpr Time operator""_hours(unsigned long long v) {
+  return Time(double(v) * 3600.0);
+}
+constexpr Time operator""_days(unsigned long long v) {
+  return Time(double(v) * 86400.0);
+}
+constexpr Time operator""_years(long double v) {
+  return Time(double(v) * 86400.0 * 365.25);
+}
+constexpr Time operator""_years(unsigned long long v) {
+  return Time(double(v) * 86400.0 * 365.25);
+}
+
+// Frequency.
+constexpr Frequency operator""_Hz(long double v) {
+  return Frequency(double(v));
+}
+constexpr Frequency operator""_Hz(unsigned long long v) {
+  return Frequency(double(v));
+}
+constexpr Frequency operator""_kHz(long double v) {
+  return Frequency(double(v) * 1e3);
+}
+constexpr Frequency operator""_kHz(unsigned long long v) {
+  return Frequency(double(v) * 1e3);
+}
+constexpr Frequency operator""_MHz(long double v) {
+  return Frequency(double(v) * 1e6);
+}
+constexpr Frequency operator""_MHz(unsigned long long v) {
+  return Frequency(double(v) * 1e6);
+}
+constexpr Frequency operator""_GHz(long double v) {
+  return Frequency(double(v) * 1e9);
+}
+constexpr Frequency operator""_GHz(unsigned long long v) {
+  return Frequency(double(v) * 1e9);
+}
+
+// Length / area.
+constexpr Length operator""_m(long double v) { return Length(double(v)); }
+constexpr Length operator""_m(unsigned long long v) {
+  return Length(double(v));
+}
+constexpr Length operator""_mm(long double v) {
+  return Length(double(v) * 1e-3);
+}
+constexpr Length operator""_cm(long double v) {
+  return Length(double(v) * 1e-2);
+}
+constexpr Length operator""_km(long double v) {
+  return Length(double(v) * 1e3);
+}
+constexpr Length operator""_nm(long double v) {
+  return Length(double(v) * 1e-9);
+}
+constexpr Length operator""_nm(unsigned long long v) {
+  return Length(double(v) * 1e-9);
+}
+constexpr Area operator""_cm2(long double v) { return Area(double(v) * 1e-4); }
+constexpr Area operator""_cm2(unsigned long long v) {
+  return Area(double(v) * 1e-4);
+}
+constexpr Area operator""_m2(long double v) { return Area(double(v)); }
+
+// Power.
+constexpr Power operator""_W(long double v) { return Power(double(v)); }
+constexpr Power operator""_W(unsigned long long v) { return Power(double(v)); }
+constexpr Power operator""_kW(long double v) { return Power(double(v) * 1e3); }
+constexpr Power operator""_mW(long double v) {
+  return Power(double(v) * 1e-3);
+}
+constexpr Power operator""_mW(unsigned long long v) {
+  return Power(double(v) * 1e-3);
+}
+constexpr Power operator""_uW(long double v) {
+  return Power(double(v) * 1e-6);
+}
+constexpr Power operator""_uW(unsigned long long v) {
+  return Power(double(v) * 1e-6);
+}
+constexpr Power operator""_nW(long double v) {
+  return Power(double(v) * 1e-9);
+}
+constexpr Power operator""_nW(unsigned long long v) {
+  return Power(double(v) * 1e-9);
+}
+
+// Energy.
+constexpr Energy operator""_J(long double v) { return Energy(double(v)); }
+constexpr Energy operator""_J(unsigned long long v) {
+  return Energy(double(v));
+}
+constexpr Energy operator""_kJ(long double v) {
+  return Energy(double(v) * 1e3);
+}
+constexpr Energy operator""_mJ(long double v) {
+  return Energy(double(v) * 1e-3);
+}
+constexpr Energy operator""_uJ(long double v) {
+  return Energy(double(v) * 1e-6);
+}
+constexpr Energy operator""_nJ(long double v) {
+  return Energy(double(v) * 1e-9);
+}
+constexpr Energy operator""_pJ(long double v) {
+  return Energy(double(v) * 1e-12);
+}
+constexpr Energy operator""_pJ(unsigned long long v) {
+  return Energy(double(v) * 1e-12);
+}
+constexpr Energy operator""_Wh(long double v) {
+  return Energy(double(v) * 3600.0);
+}
+constexpr Energy operator""_Wh(unsigned long long v) {
+  return Energy(double(v) * 3600.0);
+}
+constexpr Energy operator""_mWh(long double v) {
+  return Energy(double(v) * 3.6);
+}
+
+// Electrical.
+constexpr Voltage operator""_V(long double v) { return Voltage(double(v)); }
+constexpr Voltage operator""_V(unsigned long long v) {
+  return Voltage(double(v));
+}
+constexpr Voltage operator""_mV(long double v) {
+  return Voltage(double(v) * 1e-3);
+}
+constexpr Current operator""_A(long double v) { return Current(double(v)); }
+constexpr Current operator""_mA(long double v) {
+  return Current(double(v) * 1e-3);
+}
+constexpr Current operator""_uA(long double v) {
+  return Current(double(v) * 1e-6);
+}
+constexpr Charge operator""_mAh(long double v) {
+  return Charge(double(v) * 1e-3 * 3600.0);
+}
+constexpr Charge operator""_mAh(unsigned long long v) {
+  return Charge(double(v) * 1e-3 * 3600.0);
+}
+constexpr Capacitance operator""_F(long double v) {
+  return Capacitance(double(v));
+}
+constexpr Capacitance operator""_pF(long double v) {
+  return Capacitance(double(v) * 1e-12);
+}
+constexpr Capacitance operator""_fF(long double v) {
+  return Capacitance(double(v) * 1e-15);
+}
+
+// Information.
+constexpr Information operator""_bit(long double v) {
+  return Information(double(v));
+}
+constexpr Information operator""_bit(unsigned long long v) {
+  return Information(double(v));
+}
+constexpr Information operator""_kbit(long double v) {
+  return Information(double(v) * 1e3);
+}
+constexpr Information operator""_Mbit(long double v) {
+  return Information(double(v) * 1e6);
+}
+constexpr Information operator""_bytes(unsigned long long v) {
+  return Information(double(v) * 8.0);
+}
+constexpr BitRate operator""_bps(long double v) { return BitRate(double(v)); }
+constexpr BitRate operator""_bps(unsigned long long v) {
+  return BitRate(double(v));
+}
+constexpr BitRate operator""_kbps(long double v) {
+  return BitRate(double(v) * 1e3);
+}
+constexpr BitRate operator""_kbps(unsigned long long v) {
+  return BitRate(double(v) * 1e3);
+}
+constexpr BitRate operator""_Mbps(long double v) {
+  return BitRate(double(v) * 1e6);
+}
+constexpr BitRate operator""_Mbps(unsigned long long v) {
+  return BitRate(double(v) * 1e6);
+}
+constexpr BitRate operator""_Gbps(long double v) {
+  return BitRate(double(v) * 1e9);
+}
+
+}  // namespace literals
+
+/// Format a raw SI value with an engineering prefix, e.g. 1.3e-6 W -> "1.30 uW".
+std::string si_format(double value, const std::string& unit, int precision = 3);
+
+inline std::string to_string(Power p) { return si_format(p.value(), "W"); }
+inline std::string to_string(Energy e) { return si_format(e.value(), "J"); }
+inline std::string to_string(Time t) { return si_format(t.value(), "s"); }
+inline std::string to_string(BitRate r) {
+  return si_format(r.value(), "bit/s");
+}
+inline std::string to_string(EnergyPerBit e) {
+  return si_format(e.value(), "J/bit");
+}
+inline std::string to_string(Length l) { return si_format(l.value(), "m"); }
+inline std::string to_string(Frequency f) {
+  return si_format(f.value(), "Hz");
+}
+inline std::string to_string(Voltage v) { return si_format(v.value(), "V"); }
+
+}  // namespace ambisim::units

@@ -1,0 +1,65 @@
+// Dynamic voltage scaling (DVS) support.
+//
+// A DvsModel enumerates the discrete (voltage, frequency) operating points a
+// technology node supports and answers the classic DVS question: given a
+// cycle budget and a deadline, which point minimizes energy?  Because
+// dynamic energy scales with V^2 while delay grows only as ~1/(V-Vth)^alpha,
+// running as slowly as the deadline allows is (leakage aside) optimal; with
+// leakage included there is a V_min below which slowing down loses — the
+// model captures both effects.
+#pragma once
+
+#include <vector>
+
+#include "ambisim/tech/technology.hpp"
+
+namespace ambisim::tech {
+
+struct OperatingPoint {
+  u::Voltage voltage;
+  u::Frequency frequency;
+};
+
+class DvsModel {
+ public:
+  /// Discretize [vdd_min, vdd_nominal] into `steps` evenly spaced supply
+  /// levels (steps >= 2) for a pipeline of `logic_depth` FO4 per cycle.
+  DvsModel(const TechnologyNode& node, int steps = 16,
+           double logic_depth = 20.0);
+
+  [[nodiscard]] const TechnologyNode& node() const { return node_; }
+  [[nodiscard]] const std::vector<OperatingPoint>& points() const {
+    return points_;
+  }
+
+  /// Slowest operating point that still finishes `cycles` within `deadline`.
+  /// Throws std::domain_error if even the fastest point cannot make it.
+  [[nodiscard]] OperatingPoint slowest_feasible(double cycles,
+                                                u::Time deadline) const;
+
+  /// Energy of executing `cycles` cycles at point `p`, with `gates_per_cycle`
+  /// switching gates and `idle_gates` leaking gates.
+  [[nodiscard]] u::Energy energy(const OperatingPoint& p, double cycles,
+                                 double gates_per_cycle,
+                                 double idle_gates) const;
+
+  /// Energy-optimal feasible point (scans all points; accounts for leakage,
+  /// so the optimum may be faster than the slowest feasible point).
+  [[nodiscard]] OperatingPoint optimal(double cycles, u::Time deadline,
+                                       double gates_per_cycle,
+                                       double idle_gates) const;
+
+  [[nodiscard]] const OperatingPoint& fastest() const {
+    return points_.back();
+  }
+  [[nodiscard]] const OperatingPoint& slowest() const {
+    return points_.front();
+  }
+
+ private:
+  TechnologyNode node_;
+  double logic_depth_;
+  std::vector<OperatingPoint> points_;  // ascending frequency
+};
+
+}  // namespace ambisim::tech

@@ -1,0 +1,35 @@
+// Analytic SRAM / off-chip memory access-energy models (CACTI-flavoured
+// square-root bitline law).  Used by the arch layer's cache hierarchy and by
+// the Watt-node media-SoC case study, where memory traffic dominates power.
+#pragma once
+
+#include "ambisim/tech/technology.hpp"
+
+namespace ambisim::tech {
+
+struct SramModel {
+  /// Energy of one read/write access to an SRAM of `capacity_bits` organized
+  /// in `word_bits` words, in technology `node` at supply `v`.
+  ///
+  /// E = E_gate(v) * (k_fixed + k_word*word_bits + k_array*sqrt(bits))
+  /// The sqrt term models bitline/wordline length growth with capacity.
+  static u::Energy access_energy(const TechnologyNode& node, u::Voltage v,
+                                 double capacity_bits, double word_bits = 32);
+
+  /// Leakage power of the array (6T cells leak ~ 1/4 of a logic gate each).
+  static u::Power leakage(const TechnologyNode& node, u::Voltage v,
+                          double capacity_bits);
+};
+
+struct OffChipModel {
+  /// Energy of transferring one `word_bits` word over pads + PCB to
+  /// commodity DRAM.  Dominated by pad capacitance (~10 pF/pin) and I/O
+  /// swing, hence scales with the I/O voltage, not the core technology.
+  static u::Energy access_energy(u::Voltage io_voltage, double word_bits = 32,
+                                 u::Capacitance pin_cap = u::Capacitance(10e-12));
+
+  /// DRAM core contribution per access (activation + precharge amortized).
+  static u::Energy dram_core_energy(double word_bits = 32);
+};
+
+}  // namespace ambisim::tech

@@ -1,0 +1,63 @@
+// Subthreshold / near-threshold operation: the microWatt node's endgame.
+//
+// Below Vth the on-current falls exponentially, so delay explodes while
+// dynamic energy keeps shrinking as C*V^2; leakage energy per operation
+// (leakage power x exploding cycle time) eventually dominates, producing
+// the classic *minimum-energy point* (MEP) somewhere near or below Vth.
+// This module extends the technology model to arbitrary supply voltages
+// and locates the MEP — reproduction figure F11 and the keynote's
+// "ultra-low-voltage design challenge".
+#pragma once
+
+#include "ambisim/tech/technology.hpp"
+
+namespace ambisim::tech {
+
+class SubthresholdModel {
+ public:
+  /// `n` is the subthreshold slope factor (~1.3-1.6); `temperature_k` sets
+  /// the thermal voltage kT/q.
+  explicit SubthresholdModel(const TechnologyNode& node, double n = 1.5,
+                             double temperature_k = 300.0);
+
+  [[nodiscard]] const TechnologyNode& node() const { return node_; }
+  /// Thermal voltage kT/q.
+  [[nodiscard]] u::Voltage thermal_voltage() const;
+
+  /// Effective on-current of the reference gate: alpha-power law above
+  /// threshold, exponential below, continuous at the handoff.
+  [[nodiscard]] u::Current on_current(u::Voltage v) const;
+
+  /// Gate delay ~ C*V / I_on(V); matches the super-threshold model at
+  /// nominal supply.
+  [[nodiscard]] u::Time gate_delay(u::Voltage v) const;
+  [[nodiscard]] u::Frequency max_frequency(u::Voltage v,
+                                           double logic_depth = 20.0) const;
+
+  /// Leakage per gate, extended below vdd_min (cubic DIBL fit).
+  [[nodiscard]] u::Power leakage_power_per_gate(u::Voltage v) const;
+
+  /// Energy of one operation: switched C*V^2 plus leakage of the idle
+  /// population over the (voltage-dependent) cycle time.
+  [[nodiscard]] u::Energy energy_per_op(u::Voltage v, double gates_per_op,
+                                        double idle_gates,
+                                        double logic_depth = 20.0) const;
+
+  /// Supply voltage minimizing energy_per_op over [v_floor, vdd_nominal].
+  [[nodiscard]] u::Voltage minimum_energy_voltage(
+      double gates_per_op, double idle_gates, double logic_depth = 20.0,
+      u::Voltage v_floor = u::Voltage(0.1), int steps = 400) const;
+
+  /// Lowest usable supply: ~4 thermal voltages for reliable logic levels.
+  [[nodiscard]] u::Voltage functional_floor() const;
+
+ private:
+  TechnologyNode node_;
+  double n_;
+  double vt_;          ///< thermal voltage, volts
+  double handoff_v_;   ///< super/sub-threshold boundary (Vth + ~2 n VT)
+  double i_at_handoff_;
+  double k_sat_;       ///< alpha-law coefficient calibrated at Vnom
+};
+
+}  // namespace ambisim::tech

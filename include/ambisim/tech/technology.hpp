@@ -1,0 +1,90 @@
+// CMOS technology models.
+//
+// A TechnologyNode captures the first-order electrical constants of a CMOS
+// process generation (350 nm .. 45 nm), calibrated to 2003-era ITRS-style
+// figures.  On top of it, free functions give the classic analytic models:
+//
+//   gate delay        tau(V)  = tau0 * (V/Vnom) * ((Vnom-Vth)/(V-Vth))^alpha
+//   dynamic energy    E_sw(V) = C_gate * V^2                (per switch)
+//   leakage power     P_lk(V) = I_leak(V) * V per gate, I_leak ~ V^3 DIBL fit
+//
+// These are the terms the keynote's power-information graph is built from:
+// they determine both the achievable information rate (frequency) and the
+// power drawn at that rate for a given silicon budget.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::tech {
+
+namespace u = ambisim::units;
+
+struct TechnologyNode {
+  std::string name;         ///< e.g. "130nm"
+  u::Length feature;        ///< drawn feature size
+  int year;                 ///< approximate production year
+  u::Voltage vdd_nominal;   ///< nominal supply
+  u::Voltage vth;           ///< threshold voltage
+  u::Voltage vdd_min;       ///< lowest reliable operating supply
+  u::Capacitance gate_cap;  ///< switched capacitance of a reference gate
+  u::Time fo4_delay;        ///< fanout-of-4 inverter delay at vdd_nominal
+  u::Current leak_nominal;  ///< subthreshold leakage per gate at vdd_nominal
+  double alpha = 1.5;       ///< alpha-power-law saturation exponent
+};
+
+/// Catalogue of process generations, oldest first.
+class TechnologyLibrary {
+ public:
+  /// The built-in seven-node roadmap (350 nm .. 45 nm).
+  static const TechnologyLibrary& standard();
+
+  [[nodiscard]] const TechnologyNode& node(const std::string& name) const;
+  [[nodiscard]] const TechnologyNode& by_year(int year) const;
+  [[nodiscard]] std::span<const TechnologyNode> all() const { return nodes_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  explicit TechnologyLibrary(std::vector<TechnologyNode> nodes);
+
+ private:
+  std::vector<TechnologyNode> nodes_;
+};
+
+/// FO4 gate delay at supply voltage `v` (alpha-power law, normalized so that
+/// tau(vdd_nominal) == fo4_delay).  `v` must lie in [vdd_min, vdd_nominal].
+u::Time gate_delay(const TechnologyNode& node, u::Voltage v);
+
+/// Maximum clock frequency of a pipeline with `logic_depth` FO4 stages per
+/// cycle at supply voltage `v`.
+u::Frequency max_frequency(const TechnologyNode& node, u::Voltage v,
+                           double logic_depth = 20.0);
+
+/// Energy of one full charge/discharge event of a reference gate: C * V^2.
+u::Energy switching_energy(const TechnologyNode& node, u::Voltage v);
+
+/// Leakage current per gate at supply `v` (cubic DIBL fit to the nominal
+/// point).
+u::Current leakage_current(const TechnologyNode& node, u::Voltage v);
+
+/// Static power per gate at supply `v`.
+u::Power leakage_power_per_gate(const TechnologyNode& node, u::Voltage v);
+
+/// Dynamic power of `gate_count` gates switching with activity factor `a`
+/// at clock `f` and supply `v`.
+u::Power dynamic_power(const TechnologyNode& node, double gate_count,
+                       double activity, u::Frequency f, u::Voltage v);
+
+/// Total (dynamic + leakage) power of a gate ensemble.
+u::Power total_power(const TechnologyNode& node, double gate_count,
+                     double activity, u::Frequency f, u::Voltage v);
+
+/// Energy to execute one "operation" implemented with `gates_per_op` gate
+/// switching events at supply `v`, including the leakage charged to the op
+/// at clock frequency `f` (leakage energy = P_leak * 1/f per cycle).
+u::Energy energy_per_op(const TechnologyNode& node, double gates_per_op,
+                        u::Voltage v, u::Frequency f, double idle_gates = 0.0);
+
+}  // namespace ambisim::tech

@@ -1,0 +1,58 @@
+// Package thermal model with leakage-temperature feedback.
+//
+// The Watt node's challenge: power raises die temperature, temperature
+// raises leakage exponentially, which raises power.  Below a critical
+// thermal resistance the loop converges to an equilibrium; above it the
+// die runs away.  Reproduction figure F12.
+#pragma once
+
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::tech {
+
+namespace u = ambisim::units;
+
+class ThermalModel {
+ public:
+  /// `resistance` junction-to-ambient in K/W; leakage doubles every
+  /// `leak_doubling_c` degrees above the 25 C reference.
+  explicit ThermalModel(double resistance_k_per_w, double ambient_c = 25.0,
+                        double leak_doubling_c = 25.0);
+
+  [[nodiscard]] double resistance() const { return resistance_; }
+  [[nodiscard]] double ambient() const { return ambient_c_; }
+
+  /// Leakage multiplier at junction temperature `t_c` relative to 25 C.
+  [[nodiscard]] double leakage_multiplier(double t_c) const;
+
+  struct Equilibrium {
+    bool stable = false;
+    double temperature_c = 0.0;  ///< junction temperature (or kMaxJunction+)
+    u::Power total_power{0.0};
+    u::Power leakage_power{0.0};
+    int iterations = 0;
+  };
+
+  /// Fixed-point solve of T = Ta + R * (P_dyn + P_leak25 * m(T)).
+  /// Declares runaway (stable = false) if the junction would exceed
+  /// kMaxJunction or the iteration fails to converge.
+  [[nodiscard]] Equilibrium solve(u::Power dynamic_power,
+                                  u::Power leakage_at_25c,
+                                  int max_iterations = 10'000) const;
+
+  /// Largest thermal resistance (worst allowable package/heatsink) for
+  /// which the given power mix still converges below kMaxJunction.
+  static double critical_resistance(u::Power dynamic_power,
+                                    u::Power leakage_at_25c,
+                                    double ambient_c = 25.0,
+                                    double leak_doubling_c = 25.0);
+
+  static constexpr double kMaxJunction = 150.0;  // silicon limit, Celsius
+
+ private:
+  double resistance_;
+  double ambient_c_;
+  double doubling_c_;
+};
+
+}  // namespace ambisim::tech

@@ -1,0 +1,40 @@
+// Streaming workload presets with 2003-flavoured compute intensities,
+// expressed as a steady rate of work units, each with an arch::ComputeDemand.
+// These drive the case studies: audio playback for the milliWatt node,
+// SD/HD video for the Watt node, periodic sensing for the microWatt node.
+#pragma once
+
+#include <string>
+
+#include "ambisim/arch/soc.hpp"
+
+namespace ambisim::workload {
+
+namespace u = ambisim::units;
+
+struct StreamingWorkload {
+  std::string name;
+  u::Frequency unit_rate;           ///< work units per second
+  arch::ComputeDemand demand;       ///< per work unit
+  u::BitRate stream_rate;           ///< information rate of the content
+
+  /// Sustained operation rate required: ops * unit_rate.
+  [[nodiscard]] u::OpRate ops_rate() const;
+  /// Total operations executed over a duration.
+  [[nodiscard]] double ops_over(u::Time t) const;
+};
+
+/// MP3-class audio decode, 44.1 kHz stereo, frames of 1152 samples.
+StreamingWorkload audio_playback(u::BitRate compressed_rate = u::BitRate(128e3));
+/// MPEG-2 standard definition decode (720x576 @ 25 fps).
+StreamingWorkload video_decode_sd();
+/// High-definition decode (1280x720 @ 30 fps) — the forward-looking
+/// Watt-node load.
+StreamingWorkload video_decode_hd();
+/// Periodic environmental sensing: one 12-bit sample filtered and packed,
+/// `rate` samples per second.
+StreamingWorkload sensing(u::Frequency rate = u::Frequency(1.0));
+/// Speech-recognition front-end (MFCC extraction at 100 frames/s).
+StreamingWorkload speech_frontend();
+
+}  // namespace ambisim::workload

@@ -1,0 +1,81 @@
+// Task graphs: DAGs of computation with data-carrying edges, periods and
+// deadlines.  Used by the DSE layer for mapping functions onto networks of
+// devices and for DVS slack allocation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ambisim/sim/random.hpp"
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::workload {
+
+namespace u = ambisim::units;
+
+struct Task {
+  std::string name;
+  double ops = 0.0;            ///< operations per activation
+  double mem_accesses = 0.0;   ///< memory references per activation
+  u::Information output_bits{0.0};  ///< data produced per activation
+};
+
+struct Edge {
+  int from = -1;
+  int to = -1;
+  u::Information bits{0.0};  ///< data communicated per activation
+};
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name);
+
+  int add_task(Task t);
+  void add_edge(int from, int to, u::Information bits);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int task_count() const { return static_cast<int>(tasks_.size()); }
+  [[nodiscard]] const Task& task(int i) const { return tasks_.at(i); }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] std::vector<int> predecessors(int i) const;
+  [[nodiscard]] std::vector<int> successors(int i) const;
+
+  /// Throws std::logic_error if the graph has a cycle.
+  [[nodiscard]] std::vector<int> topological_order() const;
+  [[nodiscard]] bool is_acyclic() const;
+
+  [[nodiscard]] double total_ops() const;
+  [[nodiscard]] u::Information total_traffic() const;
+  /// Longest path weight with task ops as node weights.
+  [[nodiscard]] double critical_path_ops() const;
+  /// Tasks not on the critical path have slack exploitable by DVS.
+  [[nodiscard]] double slack_ops() const {
+    return total_ops() - critical_path_ops();
+  }
+
+  void set_period(u::Time p) { period_ = p; }
+  void set_deadline(u::Time d) { deadline_ = d; }
+  [[nodiscard]] u::Time period() const { return period_; }
+  [[nodiscard]] u::Time deadline() const { return deadline_; }
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+  u::Time period_{0.0};
+  u::Time deadline_{0.0};
+};
+
+/// A 6-stage wireless-audio pipeline (radio rx -> depacketize -> decode ->
+/// post-process -> volume -> DAC feed): the mW personal-node workload.
+TaskGraph audio_pipeline_graph();
+
+/// A sense -> filter -> classify -> report chain: the uW autonomous-node
+/// workload.
+TaskGraph sensing_pipeline_graph();
+
+/// Layered random DAG for property tests and mapper stress tests.
+TaskGraph random_task_graph(sim::Rng& rng, int tasks, int layers,
+                            double edge_probability = 0.4);
+
+}  // namespace ambisim::workload

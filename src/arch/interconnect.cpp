@@ -1,0 +1,78 @@
+#include "ambisim/arch/interconnect.hpp"
+
+#include <stdexcept>
+
+namespace ambisim::arch {
+
+OnChipBus::OnChipBus(const tech::TechnologyNode& node, u::Voltage v,
+                     double length_mm, double width_bits, u::Frequency clock)
+    : voltage_(v),
+      length_mm_(length_mm),
+      width_bits_(width_bits),
+      clock_(clock) {
+  if (length_mm <= 0.0 || width_bits <= 0.0)
+    throw std::invalid_argument("bus geometry must be positive");
+  const u::Frequency fmax = tech::max_frequency(node, v, 40.0);
+  if (clock > fmax * 1.0001)
+    throw std::domain_error("bus clock exceeds achievable frequency");
+  if (clock <= u::Frequency(0.0))
+    throw std::invalid_argument("bus clock must be positive");
+}
+
+u::Energy OnChipBus::transfer_energy(double bits) const {
+  if (bits < 0.0) throw std::invalid_argument("negative bit count");
+  const double v = voltage_.value();
+  // Half the lines toggle per transferred word on average.
+  return u::Energy(0.5 * bits * kWireCapPerMm * length_mm_ * v * v);
+}
+
+u::BitRate OnChipBus::bandwidth() const {
+  return u::BitRate(width_bits_ * clock_.value());
+}
+
+u::Time OnChipBus::transfer_time(double bits) const {
+  if (bits < 0.0) throw std::invalid_argument("negative bit count");
+  return u::Time(bits / bandwidth().value());
+}
+
+u::Power OnChipBus::power_at_rate(u::BitRate rate) const {
+  if (rate < u::BitRate(0.0)) throw std::invalid_argument("negative rate");
+  if (rate > bandwidth() * 1.0001)
+    throw std::domain_error("rate exceeds bus bandwidth");
+  return u::Power(transfer_energy(1.0).value() * rate.value());
+}
+
+NocLink::NocLink(const tech::TechnologyNode& node, u::Voltage v, double hop_mm,
+                 double flit_bits, u::Frequency clock)
+    : node_(node),
+      voltage_(v),
+      hop_mm_(hop_mm),
+      flit_bits_(flit_bits),
+      clock_(clock) {
+  if (hop_mm <= 0.0 || flit_bits <= 0.0)
+    throw std::invalid_argument("NoC geometry must be positive");
+  if (clock <= u::Frequency(0.0))
+    throw std::invalid_argument("NoC clock must be positive");
+}
+
+u::Energy NocLink::flit_energy() const {
+  const double v = voltage_.value();
+  const u::Energy wire{0.5 * flit_bits_ * OnChipBus::kWireCapPerMm * hop_mm_ *
+                       v * v};
+  const u::Energy router = tech::switching_energy(node_, voltage_) *
+                           (kRouterGatesPerFlitBit * flit_bits_);
+  return wire + router;
+}
+
+u::Energy NocLink::transfer_energy(double bits, int hops) const {
+  if (bits < 0.0 || hops < 0)
+    throw std::invalid_argument("negative transfer");
+  const double flits = bits / flit_bits_;
+  return flit_energy() * (flits * hops);
+}
+
+u::BitRate NocLink::link_bandwidth() const {
+  return u::BitRate(flit_bits_ * clock_.value());
+}
+
+}  // namespace ambisim::arch

@@ -1,0 +1,86 @@
+#include "ambisim/arch/interface.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::arch {
+
+using namespace ambisim::units::literals;
+
+AdcModel::AdcModel(double enob_bits, u::Frequency sample_rate, u::Energy fom)
+    : enob_(enob_bits), rate_(sample_rate), fom_(fom) {
+  if (enob_bits <= 0.0 || enob_bits > 24.0)
+    throw std::invalid_argument("ENOB outside (0, 24]");
+  if (sample_rate <= u::Frequency(0.0))
+    throw std::invalid_argument("sample rate must be positive");
+  if (fom <= u::Energy(0.0))
+    throw std::invalid_argument("FOM must be positive");
+}
+
+u::Power AdcModel::power() const {
+  return u::Power(fom_.value() * std::exp2(enob_) * rate_.value());
+}
+
+u::Energy AdcModel::energy_per_sample() const {
+  return u::Energy(fom_.value() * std::exp2(enob_));
+}
+
+u::BitRate AdcModel::information_rate() const {
+  return u::BitRate(enob_ * rate_.value());
+}
+
+SensorFrontEnd SensorFrontEnd::temperature() {
+  return {"temperature", 15_uW, 0.05_uW, 2_ms};
+}
+
+SensorFrontEnd SensorFrontEnd::passive_infrared() {
+  return {"PIR", 60_uW, 0.2_uW, 50_ms};
+}
+
+SensorFrontEnd SensorFrontEnd::microphone() {
+  return {"microphone", 300_uW, 0.5_uW, 5_ms};
+}
+
+SensorFrontEnd SensorFrontEnd::image_sensor_qvga() {
+  return {"image-QVGA", 40_mW, 5_uW, 30_ms};
+}
+
+DisplayModel::DisplayModel(double pixels, u::Frequency frame_rate,
+                           u::Power backlight, u::Energy energy_per_pixel)
+    : pixels_(pixels),
+      frame_rate_(frame_rate),
+      backlight_(backlight),
+      energy_per_pixel_(energy_per_pixel) {
+  if (pixels <= 0.0) throw std::invalid_argument("pixel count");
+  if (frame_rate <= u::Frequency(0.0))
+    throw std::invalid_argument("frame rate");
+  if (backlight < u::Power(0.0)) throw std::invalid_argument("backlight");
+}
+
+u::Power DisplayModel::power() const {
+  return backlight_ + u::Power(energy_per_pixel_.value() * pixels_ *
+                               frame_rate_.value());
+}
+
+u::BitRate DisplayModel::information_rate(double bits_per_pixel) const {
+  if (bits_per_pixel <= 0.0) throw std::invalid_argument("bits per pixel");
+  return u::BitRate(pixels_ * bits_per_pixel * frame_rate_.value());
+}
+
+DisplayModel DisplayModel::mobile_lcd() {
+  return DisplayModel(176.0 * 208.0, 30_Hz, 25_mW);
+}
+
+DisplayModel DisplayModel::tv_panel() {
+  return DisplayModel(720.0 * 576.0, 50_Hz, 12_W);
+}
+
+u::BitRate AudioOutput::information_rate() const {
+  return u::BitRate(sample_rate.value() * bits_per_sample);
+}
+
+AudioOutput AudioOutput::earpiece() { return {8_mW, 44.1_kHz, 16.0}; }
+
+AudioOutput AudioOutput::loudspeaker() { return {2_W, 48_kHz, 16.0}; }
+
+}  // namespace ambisim::arch

@@ -1,0 +1,90 @@
+#include "ambisim/arch/memory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::arch {
+
+u::Energy MemoryStats::energy_per_access(double accesses) const {
+  if (accesses <= 0.0) return u::Energy(0.0);
+  return u::Energy(energy.value() / accesses);
+}
+
+MemoryHierarchy::MemoryHierarchy(const tech::TechnologyNode& node,
+                                 u::Voltage core_voltage,
+                                 std::vector<CacheLevelSpec> levels,
+                                 bool offchip_backing, u::Voltage io_voltage)
+    : node_(node),
+      core_voltage_(core_voltage),
+      levels_(std::move(levels)),
+      offchip_(offchip_backing),
+      io_voltage_(io_voltage) {
+  double prev = 0.0;
+  for (const auto& l : levels_) {
+    if (l.capacity_bits <= 0.0 || l.word_bits <= 0.0)
+      throw std::invalid_argument("cache level sizes must be positive");
+    if (l.capacity_bits < prev)
+      throw std::invalid_argument("cache levels must grow outward");
+    prev = l.capacity_bits;
+  }
+  if (levels_.empty() && !offchip_)
+    throw std::invalid_argument("hierarchy needs at least one level");
+}
+
+double MemoryHierarchy::hit_rate(std::size_t level, double working_set_bits,
+                                 double reuse_exponent) const {
+  if (level >= levels_.size()) throw std::out_of_range("level index");
+  if (working_set_bits <= 0.0)
+    throw std::invalid_argument("working set must be positive");
+  if (reuse_exponent <= 0.0 || reuse_exponent > 1.0)
+    throw std::invalid_argument("reuse exponent outside (0, 1]");
+  const double c = levels_[level].capacity_bits;
+  if (c >= working_set_bits) return 1.0;
+  return std::pow(c / working_set_bits, reuse_exponent);
+}
+
+MemoryStats MemoryHierarchy::simulate(const AccessProfile& profile) const {
+  if (profile.accesses < 0.0)
+    throw std::invalid_argument("negative access count");
+  MemoryStats stats;
+  stats.hits_per_level.resize(levels_.size(), 0.0);
+  double stream = profile.accesses;  // accesses reaching the current level
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const auto& lvl = levels_[i];
+    // Every access reaching this level probes it once.
+    stats.energy += tech::SramModel::access_energy(
+                        node_, core_voltage_, lvl.capacity_bits,
+                        lvl.word_bits) *
+                    stream;
+    stats.total_latency += lvl.latency * stream;
+    const double h =
+        hit_rate(i, profile.working_set_bits, profile.reuse_exponent);
+    stats.hits_per_level[i] = stream * h;
+    stream *= (1.0 - h);
+  }
+  if (offchip_) {
+    stats.offchip_accesses = stream;
+    const double word =
+        levels_.empty() ? 32.0 : levels_.back().word_bits;
+    stats.energy +=
+        (tech::OffChipModel::access_energy(io_voltage_, word) +
+         tech::OffChipModel::dram_core_energy(word)) *
+        stream;
+    stats.total_latency += u::Time(60e-9) * stream;  // ~60 ns DRAM round trip
+  } else {
+    // No backing store: the last level must contain the working set.
+    if (!levels_.empty() && stream > 1e-9 * profile.accesses &&
+        levels_.back().capacity_bits < profile.working_set_bits)
+      stats.offchip_accesses = stream;  // reported as unserviced traffic
+  }
+  return stats;
+}
+
+u::Power MemoryHierarchy::leakage() const {
+  u::Power p{0.0};
+  for (const auto& l : levels_)
+    p += tech::SramModel::leakage(node_, core_voltage_, l.capacity_bits);
+  return p;
+}
+
+}  // namespace ambisim::arch

@@ -1,0 +1,107 @@
+#include "ambisim/arch/processor.hpp"
+
+#include <stdexcept>
+
+namespace ambisim::arch {
+
+std::string to_string(CoreStyle s) {
+  switch (s) {
+    case CoreStyle::Microcontroller: return "microcontroller";
+    case CoreStyle::GeneralPurpose: return "general-purpose";
+    case CoreStyle::Dsp: return "dsp";
+    case CoreStyle::Vliw: return "vliw";
+    case CoreStyle::Accelerator: return "accelerator";
+  }
+  return "unknown";
+}
+
+// The gates_per_op figures are *effective switched gate equivalents* per
+// sustained operation; they fold in clock tree, register file and local
+// wiring, and are calibrated so that e.g. the RISC core lands near
+// 0.2-0.3 mW/MHz in 130 nm — an ARM9-class figure.
+CoreParams microcontroller_core() {
+  return {"mcu8", CoreStyle::Microcontroller, 0.5, 8'000.0, 30'000.0, 60.0};
+}
+
+CoreParams risc_core() {
+  return {"risc32", CoreStyle::GeneralPurpose, 1.0, 120'000.0, 600'000.0,
+          24.0};
+}
+
+CoreParams dsp_core() {
+  return {"dsp-2mac", CoreStyle::Dsp, 2.0, 40'000.0, 400'000.0, 28.0};
+}
+
+CoreParams vliw_core() {
+  return {"vliw4", CoreStyle::Vliw, 4.0, 60'000.0, 2'000'000.0, 20.0};
+}
+
+CoreParams accelerator_core(const std::string& function) {
+  return {"accel-" + function, CoreStyle::Accelerator, 16.0, 1'200.0,
+          250'000.0, 32.0};
+}
+
+ProcessorModel::ProcessorModel(CoreParams params,
+                               const tech::TechnologyNode& node, u::Voltage v,
+                               u::Frequency clock)
+    : params_(std::move(params)), node_(node), voltage_(v), clock_(clock) {
+  if (params_.ops_per_cycle <= 0.0 || params_.gates_per_op <= 0.0 ||
+      params_.total_gates <= 0.0 || params_.logic_depth <= 0.0)
+    throw std::invalid_argument("core parameters must be positive");
+  const u::Frequency fmax =
+      tech::max_frequency(node_, v, params_.logic_depth);
+  if (clock > fmax * 1.0001)
+    throw std::domain_error("clock " + u::si_format(clock.value(), "Hz") +
+                            " exceeds max " +
+                            u::si_format(fmax.value(), "Hz") + " for " +
+                            params_.name + " at this voltage");
+  if (clock <= u::Frequency(0.0))
+    throw std::invalid_argument("clock must be positive");
+}
+
+ProcessorModel ProcessorModel::at_max_clock(CoreParams params,
+                                            const tech::TechnologyNode& node,
+                                            u::Voltage v) {
+  const u::Frequency fmax = tech::max_frequency(node, v, params.logic_depth);
+  return ProcessorModel(std::move(params), node, v, fmax);
+}
+
+u::OpRate ProcessorModel::throughput() const {
+  return u::OpRate(clock_.value() * params_.ops_per_cycle);
+}
+
+u::Power ProcessorModel::dynamic_power(double utilization) const {
+  if (utilization < 0.0 || utilization > 1.0)
+    throw std::invalid_argument("utilization outside [0, 1]");
+  const u::Energy per_op = tech::switching_energy(node_, voltage_) *
+                           params_.gates_per_op;
+  return u::Power(per_op.value() * throughput().value() * utilization);
+}
+
+u::Power ProcessorModel::leakage_power() const {
+  return tech::leakage_power_per_gate(node_, voltage_) * params_.total_gates;
+}
+
+u::Power ProcessorModel::power(double utilization) const {
+  return dynamic_power(utilization) + leakage_power();
+}
+
+u::Energy ProcessorModel::energy_per_op() const {
+  return u::Energy(power(1.0).value() / throughput().value());
+}
+
+u::Time ProcessorModel::time_for(double ops) const {
+  if (ops < 0.0) throw std::invalid_argument("negative op count");
+  return u::Time(ops / throughput().value());
+}
+
+u::Energy ProcessorModel::energy_for(double ops) const {
+  return u::Energy(power(1.0).value() * time_for(ops).value());
+}
+
+ProcessorModel ProcessorModel::with_operating_point(u::Voltage v,
+                                                    u::Frequency clock) const {
+  return ProcessorModel(params_, node_, v, clock);
+}
+
+}  // namespace ambisim::arch

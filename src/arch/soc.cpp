@@ -1,0 +1,108 @@
+#include "ambisim/arch/soc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ambisim::arch {
+
+SocModel::SocModel(std::string name, const tech::TechnologyNode& node,
+                   u::Voltage v)
+    : name_(std::move(name)), node_(node), voltage_(v) {}
+
+SocModel& SocModel::add_core(const CoreParams& params) {
+  cores_.push_back(ProcessorModel::at_max_clock(params, node_, voltage_));
+  return *this;
+}
+
+SocModel& SocModel::add_core(const CoreParams& params, u::Frequency clock) {
+  cores_.emplace_back(params, node_, voltage_, clock);
+  return *this;
+}
+
+SocModel& SocModel::set_memory(std::vector<CacheLevelSpec> levels,
+                               bool offchip_backing) {
+  memory_.emplace(node_, voltage_, std::move(levels), offchip_backing);
+  return *this;
+}
+
+SocModel& SocModel::set_bus(double length_mm, double width_bits) {
+  const u::Frequency bus_clock = tech::max_frequency(node_, voltage_, 40.0);
+  bus_.emplace(node_, voltage_, length_mm, width_bits, bus_clock);
+  return *this;
+}
+
+u::OpRate SocModel::compute_capacity() const {
+  u::OpRate cap{0.0};
+  for (const auto& c : cores_) cap += c.throughput();
+  return cap;
+}
+
+double SocModel::total_gates() const {
+  double g = 0.0;
+  for (const auto& c : cores_) g += c.params().total_gates;
+  return g;
+}
+
+SocModel::Evaluation SocModel::evaluate(const ComputeDemand& demand,
+                                        u::Frequency rate) const {
+  if (cores_.empty()) throw std::logic_error("SoC has no cores");
+  if (rate < u::Frequency(0.0))
+    throw std::invalid_argument("negative work rate");
+
+  Evaluation ev;
+  const double ops_rate = demand.ops * rate.value();
+  const u::OpRate capacity = compute_capacity();
+  ev.compute_utilization = ops_rate / capacity.value();
+
+  // Cores are loaded proportionally to their capacity; each core's dynamic
+  // power scales with its share, leakage is always on.
+  u::Power compute{0.0};
+  const double util = std::min(1.0, ev.compute_utilization);
+  for (const auto& c : cores_) compute += c.power(util);
+  ev.breakdown.emplace_back("cores", compute);
+
+  u::Power mem_power{0.0};
+  if (memory_) {
+    AccessProfile prof{demand.mem_accesses, demand.working_set_bits, 0.5};
+    if (demand.mem_accesses > 0.0 && demand.working_set_bits > 0.0) {
+      const MemoryStats stats = memory_->simulate(prof);
+      mem_power = u::Power(stats.energy.value() * rate.value());
+    }
+    mem_power += memory_->leakage();
+    ev.breakdown.emplace_back("memory", mem_power);
+  }
+
+  u::Power bus_power{0.0};
+  if (bus_ && demand.bus_bits > 0.0) {
+    const u::BitRate bus_rate{demand.bus_bits * rate.value()};
+    ev.bus_utilization = bus_rate.value() / bus_->bandwidth().value();
+    if (ev.bus_utilization <= 1.0) {
+      bus_power = bus_->power_at_rate(bus_rate);
+    } else {
+      bus_power = bus_->power_at_rate(bus_->bandwidth());
+    }
+    ev.breakdown.emplace_back("interconnect", bus_power);
+  }
+
+  ev.power = compute + mem_power + bus_power;
+  ev.feasible = ev.compute_utilization <= 1.0 && ev.bus_utilization <= 1.0;
+  if (rate > u::Frequency(0.0))
+    ev.energy_per_unit = u::Energy(ev.power.value() / rate.value());
+  return ev;
+}
+
+u::Frequency SocModel::max_rate(const ComputeDemand& demand) const {
+  if (cores_.empty()) throw std::logic_error("SoC has no cores");
+  double rate = std::numeric_limits<double>::infinity();
+  if (demand.ops > 0.0)
+    rate = std::min(rate, compute_capacity().value() / demand.ops);
+  if (bus_ && demand.bus_bits > 0.0)
+    rate = std::min(rate, bus_->bandwidth().value() / demand.bus_bits);
+  if (!std::isfinite(rate))
+    throw std::invalid_argument("demand has no resource requirements");
+  return u::Frequency(rate);
+}
+
+}  // namespace ambisim::arch

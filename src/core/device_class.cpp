@@ -1,0 +1,56 @@
+#include "ambisim/core/device_class.hpp"
+
+#include <stdexcept>
+
+namespace ambisim::core {
+
+using namespace ambisim::units::literals;
+
+std::string to_string(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::MicroWatt: return "microWatt-node";
+    case DeviceClass::MilliWatt: return "milliWatt-node";
+    case DeviceClass::Watt: return "Watt-node";
+  }
+  return "unknown";
+}
+
+DeviceClass classify_power(u::Power average) {
+  if (average < u::Power(0.0))
+    throw std::invalid_argument("negative average power");
+  if (average.value() < kMicroMilliBoundaryWatt) return DeviceClass::MicroWatt;
+  if (average.value() < kMilliWattBoundaryWatt) return DeviceClass::MilliWatt;
+  return DeviceClass::Watt;
+}
+
+DeviceClassProfile class_profile(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::MicroWatt:
+      return {DeviceClass::MicroWatt,
+              "autonomous",
+              1_uW,
+              1_mW,
+              "energy scavenging + thin-film buffer",
+              "wireless sensor tag",
+              10_years};
+    case DeviceClass::MilliWatt:
+      return {DeviceClass::MilliWatt,
+              "personal",
+              1_mW,
+              1_W,
+              "rechargeable battery",
+              "wearable audio / PDA companion",
+              u::Time(86400.0 * 7)};  // a week between charges
+    case DeviceClass::Watt:
+      return {DeviceClass::Watt,
+              "static",
+              1_W,
+              100_W,
+              "mains",
+              "home media server / flat-screen hub",
+              u::Time(1e18)};
+  }
+  throw std::logic_error("unknown device class");
+}
+
+}  // namespace ambisim::core

@@ -1,0 +1,218 @@
+#include "ambisim/core/device_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ambisim/arch/interface.hpp"
+
+namespace ambisim::core {
+
+using namespace ambisim::units::literals;
+
+std::string to_string(SupplyKind k) {
+  switch (k) {
+    case SupplyKind::Mains: return "mains";
+    case SupplyKind::Battery: return "battery";
+    case SupplyKind::Harvested: return "harvested";
+  }
+  return "unknown";
+}
+
+DeviceNode::DeviceNode(std::string name) : name_(std::move(name)) {}
+
+DeviceNode& DeviceNode::set_compute(ComputeConfig c) {
+  if (c.utilization < 0.0 || c.utilization > 1.0 || c.duty < 0.0 ||
+      c.duty > 1.0)
+    throw std::invalid_argument("compute utilization/duty outside [0, 1]");
+  compute_.emplace(std::move(c));
+  return *this;
+}
+
+DeviceNode& DeviceNode::set_radio(RadioConfig r) {
+  const double total = r.tx_duty + r.rx_duty + r.idle_duty;
+  if (r.tx_duty < 0.0 || r.rx_duty < 0.0 || r.idle_duty < 0.0 || total > 1.0)
+    throw std::invalid_argument("radio duty fractions invalid");
+  radio_.emplace(std::move(r));
+  return *this;
+}
+
+DeviceNode& DeviceNode::add_interface(InterfaceConfig i) {
+  if (i.duty < 0.0 || i.duty > 1.0)
+    throw std::invalid_argument("interface duty outside [0, 1]");
+  interfaces_.push_back(std::move(i));
+  return *this;
+}
+
+DeviceNode& DeviceNode::set_supply(SupplyConfig s) {
+  if (s.kind == SupplyKind::Battery && !s.battery)
+    throw std::invalid_argument("battery supply needs a battery spec");
+  if (s.kind == SupplyKind::Harvested && !s.harvester)
+    throw std::invalid_argument("harvested supply needs a harvester");
+  supply_ = std::move(s);
+  return *this;
+}
+
+std::vector<std::pair<std::string, u::Power>> DeviceNode::power_breakdown()
+    const {
+  std::vector<std::pair<std::string, u::Power>> out;
+  if (compute_) {
+    // When power-gated (duty < 1) leakage only accrues during the on time.
+    const u::Power on = compute_->model.power(compute_->utilization);
+    out.emplace_back("compute", on * compute_->duty);
+  }
+  if (radio_) {
+    const auto& r = radio_->model;
+    const double sleep_duty =
+        1.0 - radio_->tx_duty - radio_->rx_duty - radio_->idle_duty;
+    u::Power p = r.tx_power() * radio_->tx_duty +
+                 r.rx_power() * radio_->rx_duty +
+                 r.idle_power() * radio_->idle_duty +
+                 r.sleep_power() * sleep_duty;
+    out.emplace_back("radio", p);
+  }
+  for (const auto& i : interfaces_) {
+    out.emplace_back(i.name, i.active_power * i.duty +
+                                 i.standby_power * (1.0 - i.duty));
+  }
+  return out;
+}
+
+u::Power DeviceNode::average_power() const {
+  u::Power total{0.0};
+  for (const auto& [n, p] : power_breakdown()) total += p;
+  return total;
+}
+
+u::BitRate DeviceNode::information_rate() const {
+  // A device's information rate is what it exchanges with the world:
+  // communication plus interface streams.  Compute is internal and only
+  // counts as a fallback for radio-less, interface-less processing nodes.
+  u::BitRate rate{0.0};
+  if (radio_) {
+    rate += radio_->model.params().bit_rate *
+            (radio_->tx_duty + radio_->rx_duty);
+  }
+  for (const auto& i : interfaces_) rate += i.info_rate * i.duty;
+  if (rate <= u::BitRate(0.0) && compute_) {
+    // 32-bit operation stream at the effective op rate.
+    rate = u::BitRate(compute_->model.throughput().value() *
+                      compute_->utilization * compute_->duty * 32.0);
+  }
+  if (rate <= u::BitRate(0.0))
+    throw std::logic_error("device '" + name_ + "' handles no information");
+  return rate;
+}
+
+DeviceClass DeviceNode::device_class() const {
+  return classify_power(average_power());
+}
+
+bool DeviceNode::energy_neutral() const {
+  switch (supply_.kind) {
+    case SupplyKind::Mains: return true;
+    case SupplyKind::Battery: return false;
+    case SupplyKind::Harvested:
+      return supply_.harvester->average_power() >= average_power();
+  }
+  throw std::logic_error("unknown supply kind");
+}
+
+u::Time DeviceNode::autonomy() const {
+  constexpr double kForever = 1e18;
+  switch (supply_.kind) {
+    case SupplyKind::Mains:
+      return u::Time(kForever);
+    case SupplyKind::Battery: {
+      energy::Battery b(*supply_.battery);
+      return b.lifetime_at(average_power());
+    }
+    case SupplyKind::Harvested: {
+      const u::Power deficit =
+          average_power() - supply_.harvester->average_power();
+      if (deficit <= u::Power(0.0)) return u::Time(kForever);
+      if (!supply_.battery) return u::Time(0.0);
+      energy::Battery b(*supply_.battery);
+      return b.lifetime_at(deficit);
+    }
+  }
+  throw std::logic_error("unknown supply kind");
+}
+
+PowerInfoPoint DeviceNode::to_point() const {
+  const std::string process =
+      compute_ ? compute_->model.node().name : "mixed";
+  return {name_, TechnologyKind::Compute, process, average_power(),
+          information_rate()};
+}
+
+// ---------------------------------------------------------------------------
+// Case-study presets.
+// ---------------------------------------------------------------------------
+
+DeviceNode autonomous_sensor_node(const tech::TechnologyNode& node) {
+  DeviceNode d("autonomous-sensor");
+  // MCU wakes for ~5 ms every second to sample, filter and decide.
+  auto cpu = arch::ProcessorModel::at_max_clock(arch::microcontroller_core(),
+                                                node, node.vdd_min);
+  d.set_compute({std::move(cpu), 1.0, 0.005});
+  // Radio: one 128-bit report per minute through a 1 % duty-cycled MAC.
+  radio::RadioModel r(radio::ulp_radio());
+  const double report_airtime =
+      (0.5 + 128.0 / r.params().bit_rate.value()) / 60.0;  // preamble + data
+  d.set_radio({std::move(r), report_airtime, 0.0, 0.01});
+  const auto sensor = arch::SensorFrontEnd::temperature();
+  d.add_interface({"sensor", sensor.active_power, 0.005, sensor.standby_power,
+                   u::BitRate(12.0)});
+  SupplyConfig s;
+  s.kind = SupplyKind::Harvested;
+  s.harvester =
+      std::make_shared<energy::SolarHarvester>(2_cm2, 0.15, /*indoor=*/true);
+  s.battery = energy::Battery::thin_film_1mAh();
+  d.set_supply(std::move(s));
+  return d;
+}
+
+DeviceNode personal_audio_node(const tech::TechnologyNode& node) {
+  DeviceNode d("personal-audio");
+  // DSP at a scaled operating point decodes a 128 kbps stream.
+  const u::Voltage v{(node.vdd_min.value() + node.vdd_nominal.value()) / 2.0};
+  auto cpu = arch::ProcessorModel::at_max_clock(arch::dsp_core(), node, v);
+  const double util =
+      21e6 / cpu.throughput().value();  // ~21 MOPS audio decode
+  d.set_compute({std::move(cpu), std::min(1.0, util), 1.0});
+  radio::RadioModel r(radio::bluetooth_like());
+  const double rx_duty = 128e3 / r.params().bit_rate.value();
+  d.set_radio({std::move(r), 0.01, rx_duty, 0.05});
+  const auto lcd = arch::DisplayModel::mobile_lcd();
+  d.add_interface({"display", lcd.power(), 0.1, 0.1_mW,
+                   lcd.information_rate()});
+  const auto ear = arch::AudioOutput::earpiece();
+  d.add_interface({"audio-out", ear.amplifier_power, 1.0, 0_uW,
+                   ear.information_rate()});
+  SupplyConfig s;
+  s.kind = SupplyKind::Battery;
+  s.battery = energy::Battery::li_ion_1000mAh();
+  d.set_supply(std::move(s));
+  return d;
+}
+
+DeviceNode home_media_server(const tech::TechnologyNode& node) {
+  DeviceNode d("home-media-server");
+  auto cpu = arch::ProcessorModel::at_max_clock(arch::vliw_core(), node,
+                                                node.vdd_nominal);
+  d.set_compute({std::move(cpu), 0.6, 1.0});
+  radio::RadioModel r(radio::wlan_80211b());
+  d.set_radio({std::move(r), 0.2, 0.2, 0.6});
+  const auto tv = arch::DisplayModel::tv_panel();
+  d.add_interface({"display", tv.power(), 0.5, 0.5_W,
+                   tv.information_rate()});
+  const auto spk = arch::AudioOutput::loudspeaker();
+  d.add_interface({"audio-out", spk.amplifier_power, 0.5, 10_mW,
+                   spk.information_rate()});
+  SupplyConfig s;
+  s.kind = SupplyKind::Mains;
+  d.set_supply(std::move(s));
+  return d;
+}
+
+}  // namespace ambisim::core

@@ -1,0 +1,193 @@
+#include "ambisim/core/power_info.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ambisim/arch/interface.hpp"
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/radio/transceiver.hpp"
+#include "ambisim/tech/memory_energy.hpp"
+
+namespace ambisim::core {
+
+using namespace ambisim::units::literals;
+
+std::string to_string(TechnologyKind k) {
+  switch (k) {
+    case TechnologyKind::Compute: return "compute";
+    case TechnologyKind::Communication: return "communication";
+    case TechnologyKind::Interface: return "interface";
+    case TechnologyKind::Storage: return "storage";
+  }
+  return "unknown";
+}
+
+DeviceClass PowerInfoPoint::device_class() const {
+  return classify_power(power);
+}
+
+u::EnergyPerBit PowerInfoPoint::energy_per_bit() const {
+  if (info_rate <= u::BitRate(0.0))
+    throw std::logic_error("point has no information rate");
+  return power / info_rate;
+}
+
+void PowerInfoGraph::add(PowerInfoPoint p) {
+  if (p.power <= u::Power(0.0) || p.info_rate <= u::BitRate(0.0))
+    throw std::invalid_argument(
+        "power-information points must have positive coordinates");
+  points_.push_back(std::move(p));
+}
+
+std::vector<PowerInfoPoint> PowerInfoGraph::in_class(DeviceClass c) const {
+  std::vector<PowerInfoPoint> out;
+  for (const auto& p : points_) {
+    if (p.device_class() == c) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PowerInfoPoint> PowerInfoGraph::of_kind(TechnologyKind k) const {
+  std::vector<PowerInfoPoint> out;
+  for (const auto& p : points_) {
+    if (p.kind == k) out.push_back(p);
+  }
+  return out;
+}
+
+PowerInfoGraph::ClusterStats PowerInfoGraph::cluster(DeviceClass c) const {
+  ClusterStats s;
+  s.cls = c;
+  double lp = 0.0;
+  double lr = 0.0;
+  bool first = true;
+  for (const auto& p : points_) {
+    if (p.device_class() != c) continue;
+    ++s.count;
+    lp += std::log10(p.power.value());
+    lr += std::log10(p.info_rate.value());
+    const u::EnergyPerBit e = p.energy_per_bit();
+    if (first || e < s.min_epb) s.min_epb = e;
+    if (first || e > s.max_epb) s.max_epb = e;
+    first = false;
+  }
+  if (s.count > 0) {
+    s.mean_log10_power = lp / s.count;
+    s.mean_log10_rate = lr / s.count;
+  }
+  return s;
+}
+
+sim::LinearFit PowerInfoGraph::loglog_fit() const {
+  if (points_.size() < 2)
+    throw std::logic_error("log-log fit needs >= 2 points");
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(points_.size());
+  y.reserve(points_.size());
+  for (const auto& p : points_) {
+    x.push_back(std::log10(p.info_rate.value()));
+    y.push_back(std::log10(p.power.value()));
+  }
+  return sim::linear_fit(x, y);
+}
+
+sim::Table PowerInfoGraph::to_table(const std::string& title) const {
+  sim::Table t(title, {"technology", "kind", "process", "power_W",
+                       "info_rate_bps", "energy_per_bit_J", "device_class"});
+  for (const auto& p : points_) {
+    t.add_row({p.name, to_string(p.kind), p.process, p.power.value(),
+               p.info_rate.value(), p.energy_per_bit().value(),
+               to_string(p.device_class())});
+  }
+  return t;
+}
+
+namespace {
+
+PowerInfoPoint compute_point(const arch::CoreParams& params,
+                             const tech::TechnologyNode& node,
+                             double word_bits) {
+  const auto cpu =
+      arch::ProcessorModel::at_max_clock(params, node, node.vdd_nominal);
+  return {params.name + "@" + node.name, TechnologyKind::Compute, node.name,
+          cpu.power(1.0),
+          u::BitRate(cpu.throughput().value() * word_bits)};
+}
+
+PowerInfoPoint radio_point(const radio::RadioParams& params) {
+  const radio::RadioModel r(params);
+  // A symmetric link: average of transmit and receive supply power.
+  const u::Power p = (r.tx_power() + r.rx_power()) / 2.0;
+  return {params.name, TechnologyKind::Communication, "radio", p,
+          params.bit_rate};
+}
+
+}  // namespace
+
+PowerInfoGraph PowerInfoGraph::standard_catalogue(
+    const tech::TechnologyLibrary& lib) {
+  PowerInfoGraph g;
+
+  // Compute fabric across the roadmap: the same cores migrate down-right as
+  // technology scales.
+  for (const auto& node : lib.all()) {
+    g.add(compute_point(arch::microcontroller_core(), node, 8.0));
+    g.add(compute_point(arch::risc_core(), node, 32.0));
+  }
+  const auto& n130 = lib.node("130nm");
+  const auto& n90 = lib.by_year(2003);
+  g.add(compute_point(arch::dsp_core(), n130, 32.0));
+  g.add(compute_point(arch::dsp_core(), n90, 32.0));
+  g.add(compute_point(arch::vliw_core(), n130, 32.0));
+  g.add(compute_point(arch::vliw_core(), n90, 32.0));
+  g.add(compute_point(arch::accelerator_core("mpeg"), n130, 16.0));
+
+  // Communication standards spanning the classes.
+  g.add(radio_point(radio::ulp_radio()));
+  g.add(radio_point(radio::bluetooth_like()));
+  g.add(radio_point(radio::wlan_80211b()));
+
+  // Interface electronics.
+  {
+    const arch::AdcModel sensor_adc(12.0, 1_kHz);
+    g.add({"adc-12b-1k", TechnologyKind::Interface, "mixed", sensor_adc.power(),
+           sensor_adc.information_rate()});
+    const arch::AdcModel audio_adc(16.0, 48_kHz);
+    g.add({"adc-16b-48k", TechnologyKind::Interface, "mixed",
+           audio_adc.power(), audio_adc.information_rate()});
+    const arch::AdcModel video_adc(8.0, 13.5_MHz);
+    g.add({"adc-8b-video", TechnologyKind::Interface, "mixed",
+           video_adc.power(), video_adc.information_rate()});
+    const auto lcd = arch::DisplayModel::mobile_lcd();
+    g.add({"lcd-mobile", TechnologyKind::Interface, "display", lcd.power(),
+           lcd.information_rate()});
+    const auto tv = arch::DisplayModel::tv_panel();
+    g.add({"display-tv", TechnologyKind::Interface, "display", tv.power(),
+           tv.information_rate()});
+    const auto ear = arch::AudioOutput::earpiece();
+    g.add({"audio-earpiece", TechnologyKind::Interface, "audio",
+           ear.amplifier_power, ear.information_rate()});
+  }
+
+  // Storage streams: on-chip SRAM vs off-chip DRAM at a sustained word rate.
+  {
+    const double sram_bits = 32.0 * 8192.0 * 8.0;  // 32 KiB
+    const u::Frequency f = 50_MHz;
+    const u::Energy ea = tech::SramModel::access_energy(
+        n130, n130.vdd_nominal, sram_bits, 32.0);
+    g.add({"sram-32k@130nm", TechnologyKind::Storage, "130nm",
+           u::Power(ea.value() * f.value()),
+           u::BitRate(32.0 * f.value())});
+    const u::Energy ed = tech::OffChipModel::access_energy(2.5_V, 32.0) +
+                         tech::OffChipModel::dram_core_energy(32.0);
+    const u::Frequency fd = 100_MHz;
+    g.add({"sdram-offchip", TechnologyKind::Storage, "pcb",
+           u::Power(ed.value() * fd.value()),
+           u::BitRate(32.0 * fd.value())});
+  }
+
+  return g;
+}
+
+}  // namespace ambisim::core

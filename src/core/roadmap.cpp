@@ -1,0 +1,92 @@
+#include "ambisim/core/roadmap.hpp"
+
+#include <stdexcept>
+
+#include "ambisim/arch/processor.hpp"
+#include "ambisim/radio/transceiver.hpp"
+
+namespace ambisim::core {
+
+namespace {
+
+arch::ProcessorModel class_fabric(DeviceClass cls,
+                                  const tech::TechnologyNode& node) {
+  switch (cls) {
+    case DeviceClass::MicroWatt:
+      return arch::ProcessorModel::at_max_clock(arch::microcontroller_core(),
+                                                node, node.vdd_min);
+    case DeviceClass::MilliWatt:
+      return arch::ProcessorModel::at_max_clock(
+          arch::dsp_core(), node,
+          u::Voltage((node.vdd_min.value() + node.vdd_nominal.value()) /
+                     2.0));
+    case DeviceClass::Watt:
+      return arch::ProcessorModel::at_max_clock(arch::vliw_core(), node,
+                                                node.vdd_nominal);
+  }
+  throw std::logic_error("unknown class");
+}
+
+radio::RadioModel class_radio(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::MicroWatt: return radio::RadioModel(radio::ulp_radio());
+    case DeviceClass::MilliWatt:
+      return radio::RadioModel(radio::bluetooth_like());
+    case DeviceClass::Watt:
+      // The static node's backhaul: 54 Mbps OFDM WLAN.
+      return radio::RadioModel(radio::wlan_80211a());
+  }
+  throw std::logic_error("unknown class");
+}
+
+}  // namespace
+
+FeasibilityVerdict function_feasibility(const workload::StreamingWorkload& wl,
+                                        DeviceClass cls,
+                                        const tech::TechnologyNode& node) {
+  FeasibilityVerdict v;
+  const auto cpu = class_fabric(cls, node);
+  const auto radio = class_radio(cls);
+
+  v.compute_utilization = wl.ops_rate().value() / cpu.throughput().value();
+  v.compute_ok = v.compute_utilization <= 1.0;
+
+  const double stream = wl.stream_rate.value();
+  const double radio_rate = radio.params().bit_rate.value();
+  v.radio_ok = stream <= radio_rate;
+
+  if (!v.compute_ok || !v.radio_ok) return v;
+
+  const double rx_duty = stream / radio_rate;
+  const u::Power radio_power =
+      radio.rx_power() * rx_duty + radio.sleep_power() * (1.0 - rx_duty);
+  v.power = cpu.power(v.compute_utilization) + radio_power;
+  v.power_ok = v.power < class_profile(cls).budget_high;
+  v.feasible = v.power_ok;
+  return v;
+}
+
+std::vector<RoadmapEntry> feasibility_roadmap(
+    std::span<const workload::StreamingWorkload> functions,
+    const tech::TechnologyLibrary& lib) {
+  std::vector<RoadmapEntry> out;
+  for (const auto& wl : functions) {
+    for (DeviceClass cls : {DeviceClass::MicroWatt, DeviceClass::MilliWatt,
+                            DeviceClass::Watt}) {
+      RoadmapEntry e;
+      e.function = wl.name;
+      e.cls = cls;
+      for (const auto& node : lib.all()) {
+        if (function_feasibility(wl, cls, node).feasible) {
+          e.first_year = node.year;
+          e.first_node = node.name;
+          break;
+        }
+      }
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace ambisim::core

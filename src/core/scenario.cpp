@@ -1,0 +1,167 @@
+#include "ambisim/core/scenario.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "ambisim/sim/random.hpp"
+
+#include "ambisim/arch/interface.hpp"
+#include "ambisim/arch/processor.hpp"
+
+namespace ambisim::core {
+
+using namespace ambisim::units::literals;
+
+AmiScenarioResult run_ami_scenario(const AmiScenarioConfig& cfg) {
+  if (cfg.sensor_count < 1)
+    throw std::invalid_argument("scenario needs at least one sensor");
+  if (cfg.duration <= u::Time(0.0))
+    throw std::invalid_argument("duration must be positive");
+  if (cfg.events_per_hour < 0.0)
+    throw std::invalid_argument("negative event rate");
+
+  const auto& node = cfg.technology;
+
+  // --- Device models --------------------------------------------------
+  const radio::RadioModel ulp(radio::ulp_radio());
+  const radio::RadioModel bt(radio::bluetooth_like());
+
+  const auto sensor_cpu = arch::ProcessorModel::at_max_clock(
+      arch::microcontroller_core(), node, node.vdd_min);
+  const auto personal_cpu = arch::ProcessorModel::at_max_clock(
+      arch::dsp_core(), node,
+      u::Voltage((node.vdd_min.value() + node.vdd_nominal.value()) / 2.0));
+  const auto server_cpu = arch::ProcessorModel::at_max_clock(
+      arch::vliw_core(), node, node.vdd_nominal);
+
+  // --- Standby (baseline) power per device ----------------------------
+  const auto sensor_fe = arch::SensorFrontEnd::temperature();
+  const u::Power sensor_baseline = cfg.sensor_mac.baseline_power(ulp) +
+                                   sensor_cpu.sleep_power() +
+                                   sensor_fe.standby_power + 1_uW;  // regs
+  const u::Power personal_baseline = personal_cpu.sleep_power() +
+                                     bt.idle_power() * 0.05 +
+                                     bt.sleep_power() * 0.95 + 0.5_mW;
+  const auto tv = arch::DisplayModel::tv_panel();
+  const u::Power server_baseline =
+      server_cpu.power(0.1) + radio::RadioModel(radio::wlan_80211b())
+                                  .idle_power() +
+      tv.power() * 0.3;
+
+  // --- Per-event marginal costs ----------------------------------------
+  const u::Energy e_sensor_tx =
+      cfg.sensor_mac.tx_packet_energy(ulp, cfg.sensor_report) +
+      u::Energy(sensor_cpu.power(1.0).value() * 0.003);  // wake + classify
+  const u::Energy e_personal_rx =
+      cfg.sensor_mac.rx_packet_energy(ulp, cfg.sensor_report);
+  const u::Energy e_personal_compute =
+      personal_cpu.energy_for(cfg.personal_ops_per_event);
+  const u::Energy e_personal_tx = bt.tx_energy(cfg.context_message) +
+                                  bt.startup_energy();
+  const u::Energy e_server_rx = bt.rx_energy(cfg.context_message);
+  const u::Energy e_server_compute =
+      server_cpu.energy_for(cfg.server_ops_per_event);
+  const u::Information stream_bits{cfg.response_stream_rate.value() *
+                                   cfg.response_stream_length.value()};
+  const u::Energy e_stream_tx = bt.tx_energy(stream_bits);
+  const u::Energy e_stream_rx = bt.rx_energy(stream_bits);
+
+  // --- Per-event latency ------------------------------------------------
+  const u::Time t_sensor_hop =
+      cfg.sensor_mac.hop_latency(ulp, cfg.sensor_report);
+  const u::Time t_personal_compute =
+      personal_cpu.time_for(cfg.personal_ops_per_event);
+  const u::Time t_context = bt.time_on_air(cfg.context_message) +
+                            bt.params().startup;
+  const u::Time t_server_compute =
+      server_cpu.time_for(cfg.server_ops_per_event);
+  const u::Time t_first_response =
+      bt.time_on_air(u::Information(4096.0));  // first streamed packet
+
+  // --- Event-driven run -------------------------------------------------
+  AmiScenarioResult res;
+  sim::Simulator simu;
+  sim::Rng rng(cfg.seed);
+  const double mean_gap =
+      cfg.events_per_hour > 0.0 ? 3600.0 / cfg.events_per_hour : 0.0;
+
+  std::function<void()> fire = [&]() {
+    ++res.events;
+    // The sender waits a random fraction of the receiver's wake interval
+    // before the preamble is caught; everything else is deterministic.
+    const u::Time preamble_wait{
+        rng.uniform(0.0, cfg.sensor_mac.wake_interval.value())};
+    const u::Time latency = preamble_wait + t_sensor_hop -
+                            cfg.sensor_mac.wake_interval +
+                            t_personal_compute + t_context +
+                            t_server_compute + t_first_response;
+    res.end_to_end_latency.add(latency.value());
+    ++res.responses_rendered;
+
+    res.stage_energy.charge("sense-report", e_sensor_tx);
+    res.stage_energy.charge("context-processing",
+                            e_personal_rx + e_personal_compute +
+                                e_personal_tx);
+    res.stage_energy.charge("recognition", e_server_rx + e_server_compute);
+    res.stage_energy.charge("response-stream", e_stream_tx + e_stream_rx);
+
+    res.class_energy.charge("microWatt-node", e_sensor_tx);
+    res.class_energy.charge("milliWatt-node", e_personal_rx +
+                                                  e_personal_compute +
+                                                  e_personal_tx +
+                                                  e_stream_rx);
+    res.class_energy.charge("Watt-node",
+                            e_server_rx + e_server_compute + e_stream_tx);
+
+    if (mean_gap > 0.0) {
+      const u::Time gap{rng.exponential(mean_gap)};
+      if (simu.now() + gap <= cfg.duration)
+        simu.schedule_in(gap, fire);
+    }
+  };
+
+  if (mean_gap > 0.0) {
+    const u::Time first{rng.exponential(mean_gap)};
+    if (first <= cfg.duration) simu.schedule_in(first, fire);
+  }
+  simu.run_until(cfg.duration);
+
+  // --- Standby energies over the horizon --------------------------------
+  const double dur = cfg.duration.value();
+  res.class_energy.charge(
+      "microWatt-node",
+      u::Energy(sensor_baseline.value() * cfg.sensor_count * dur));
+  res.class_energy.charge("milliWatt-node",
+                          u::Energy(personal_baseline.value() * dur));
+  res.class_energy.charge("Watt-node",
+                          u::Energy(server_baseline.value() * dur));
+  res.stage_energy.charge("standby",
+                          u::Energy((sensor_baseline.value() *
+                                         cfg.sensor_count +
+                                     personal_baseline.value() +
+                                     server_baseline.value()) *
+                                    dur));
+
+  // --- Feasibility ------------------------------------------------------
+  const double sensor_event_share =
+      res.events > 0
+          ? res.events * e_sensor_tx.value() / (cfg.sensor_count * dur)
+          : 0.0;
+  res.sensor_average_power = sensor_baseline.value() + sensor_event_share;
+
+  energy::SolarHarvester harvester(2_cm2, 0.15, /*indoor=*/true);
+  res.sensors_energy_neutral =
+      harvester.average_power().value() >= res.sensor_average_power;
+
+  // Total milliWatt-class energy (standby + per-event) over the horizon.
+  const u::Power personal_avg{res.class_energy.of("milliWatt-node").value() /
+                              dur};
+  energy::Battery pb(energy::Battery::li_ion_1000mAh());
+  res.personal_battery_days =
+      pb.lifetime_at(personal_avg).value() / 86400.0;
+
+  res.system_power = u::Power(res.class_energy.total().value() / dur);
+  return res;
+}
+
+}  // namespace ambisim::core

@@ -1,0 +1,209 @@
+#include "ambisim/dse/mapping.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::dse {
+
+MappingOptimizer::MappingOptimizer(MappingProblem problem)
+    : problem_(std::move(problem)) {
+  if (problem_.targets.empty())
+    throw std::invalid_argument("mapping needs at least one target");
+  if (problem_.period <= u::Time(0.0))
+    throw std::invalid_argument("mapping period must be positive");
+  for (const auto& t : problem_.targets) {
+    if (t.ops_scale <= 0.0)
+      throw std::invalid_argument("ops_scale must be positive");
+    if (t.energy_weight <= 0.0)
+      throw std::invalid_argument("energy_weight must be positive");
+  }
+  for (const auto& [task, target] : problem_.pinned) {
+    if (task < 0 || task >= problem_.graph.task_count() || target < 0 ||
+        target >= static_cast<int>(problem_.targets.size()))
+      throw std::out_of_range("pin references unknown task or target");
+  }
+  (void)problem_.graph.topological_order();  // validates acyclicity
+}
+
+int MappingOptimizer::pin_of(int task) const {
+  for (const auto& [t, target] : problem_.pinned) {
+    if (t == task) return target;
+  }
+  return -1;
+}
+
+Mapping MappingOptimizer::evaluate(const std::vector<int>& assignment) const {
+  const auto& g = problem_.graph;
+  const auto& targets = problem_.targets;
+  if (assignment.size() != static_cast<std::size_t>(g.task_count()))
+    throw std::invalid_argument("assignment size mismatch");
+
+  Mapping m;
+  m.assignment = assignment;
+  m.utilization.assign(targets.size(), 0.0);
+
+  for (int t = 0; t < g.task_count(); ++t) {
+    const int tgt = assignment[static_cast<std::size_t>(t)];
+    if (tgt < 0 || tgt >= static_cast<int>(targets.size()))
+      throw std::out_of_range("assignment target out of range");
+    const auto& target = targets[static_cast<std::size_t>(tgt)];
+    const double native_ops = g.task(t).ops * target.ops_scale;
+    const u::Energy e = target.cpu.energy_per_op() * native_ops;
+    m.compute_energy += e;
+    m.weighted_cost += e.value() * target.energy_weight;
+    m.utilization[static_cast<std::size_t>(tgt)] +=
+        native_ops / (target.cpu.throughput().value() *
+                      problem_.period.value());
+  }
+  for (const auto& e : g.edges()) {
+    const int a = assignment[static_cast<std::size_t>(e.from)];
+    const int b = assignment[static_cast<std::size_t>(e.to)];
+    if (a != b) {
+      // Both ends pay their link energy: the sender transmits, the receiver
+      // listens.
+      const auto& ta = targets[static_cast<std::size_t>(a)];
+      const auto& tb = targets[static_cast<std::size_t>(b)];
+      const double epb = ta.link_energy_per_bit.value() +
+                         tb.link_energy_per_bit.value();
+      m.comm_energy += u::Energy(epb * e.bits.value());
+      m.weighted_cost +=
+          e.bits.value() * (ta.link_energy_per_bit.value() * ta.energy_weight +
+                            tb.link_energy_per_bit.value() * tb.energy_weight);
+    }
+  }
+  m.energy_per_period = m.compute_energy + m.comm_energy;
+  m.feasible = true;
+  for (const auto& [task, target] : problem_.pinned) {
+    if (assignment[static_cast<std::size_t>(task)] != target)
+      m.feasible = false;
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (m.utilization[i] > targets[i].utilization_limit + 1e-12)
+      m.feasible = false;
+  }
+  return m;
+}
+
+Mapping MappingOptimizer::all_on(int target) const {
+  if (target < 0 || target >= static_cast<int>(problem_.targets.size()))
+    throw std::out_of_range("target index");
+  return evaluate(std::vector<int>(
+      static_cast<std::size_t>(problem_.graph.task_count()), target));
+}
+
+Mapping MappingOptimizer::greedy() const {
+  const auto& g = problem_.graph;
+  const auto order = g.topological_order();
+  std::vector<int> assignment(static_cast<std::size_t>(g.task_count()), -1);
+  std::vector<double> load(problem_.targets.size(), 0.0);
+
+  for (int t : order) {
+    int best = -1;
+    double best_cost = 0.0;
+    const int pin = pin_of(t);
+    for (std::size_t k = 0; k < problem_.targets.size(); ++k) {
+      if (pin >= 0 && static_cast<int>(k) != pin) continue;
+      const auto& target = problem_.targets[k];
+      const double native_ops = g.task(t).ops * target.ops_scale;
+      const double added_util =
+          native_ops /
+          (target.cpu.throughput().value() * problem_.period.value());
+      if (pin < 0 && load[k] + added_util > target.utilization_limit + 1e-12)
+        continue;
+      double cost = target.cpu.energy_per_op().value() * native_ops *
+                    target.energy_weight;
+      // Communication with already-placed predecessors.
+      for (int p : g.predecessors(t)) {
+        const int ptgt = assignment[static_cast<std::size_t>(p)];
+        if (ptgt >= 0 && ptgt != static_cast<int>(k)) {
+          for (const auto& e : g.edges()) {
+            if (e.from == p && e.to == t) {
+              const auto& pt =
+                  problem_.targets[static_cast<std::size_t>(ptgt)];
+              cost += (pt.link_energy_per_bit.value() * pt.energy_weight +
+                       target.link_energy_per_bit.value() *
+                           target.energy_weight) *
+                      e.bits.value();
+            }
+          }
+        }
+      }
+      if (best < 0 || cost < best_cost) {
+        best = static_cast<int>(k);
+        best_cost = cost;
+      }
+    }
+    if (best < 0) {
+      // No feasible target: fall back to the fastest one; evaluate() will
+      // flag infeasibility.
+      std::size_t fastest = 0;
+      for (std::size_t k = 1; k < problem_.targets.size(); ++k) {
+        if (problem_.targets[k].cpu.throughput() >
+            problem_.targets[fastest].cpu.throughput())
+          fastest = k;
+      }
+      best = static_cast<int>(fastest);
+    }
+    assignment[static_cast<std::size_t>(t)] = best;
+    const auto& chosen = problem_.targets[static_cast<std::size_t>(best)];
+    load[static_cast<std::size_t>(best)] +=
+        g.task(t).ops * chosen.ops_scale /
+        (chosen.cpu.throughput().value() * problem_.period.value());
+  }
+  return evaluate(assignment);
+}
+
+Mapping MappingOptimizer::anneal(sim::Rng& rng, int iterations) const {
+  if (iterations < 1) throw std::invalid_argument("iterations < 1");
+  Mapping current = greedy();
+  Mapping best = current;
+  const int tasks = problem_.graph.task_count();
+  const int ntargets = static_cast<int>(problem_.targets.size());
+  if (ntargets < 2 || tasks == 0) return best;
+
+  // Infeasible states are admitted with a large penalty so the search can
+  // cross infeasible regions.
+  auto score = [](const Mapping& m) {
+    double s = m.weighted_cost;
+    if (!m.feasible) {
+      double excess = 0.0;
+      for (double util : m.utilization) excess += std::max(0.0, util - 1.0);
+      s += (1.0 + excess) * 1e6 * (s + 1e-12);
+    }
+    return s;
+  };
+
+  double t_hot = score(current) * 0.5 + 1e-15;
+  for (int it = 0; it < iterations; ++it) {
+    const double temp =
+        t_hot * std::pow(1e-4, static_cast<double>(it) / iterations);
+    auto cand_assign = current.assignment;
+    std::size_t idx =
+        static_cast<std::size_t>(rng.uniform_int(0, tasks - 1));
+    bool found_free = false;
+    for (int probe = 0; probe < tasks; ++probe) {
+      if (pin_of(static_cast<int>(idx)) < 0) {
+        found_free = true;
+        break;
+      }
+      idx = (idx + 1) % static_cast<std::size_t>(tasks);
+    }
+    if (!found_free) break;  // everything pinned: nothing to optimize
+    const int old_tgt = cand_assign[idx];
+    int new_tgt = old_tgt;
+    while (new_tgt == old_tgt)
+      new_tgt = static_cast<int>(rng.uniform_int(0, ntargets - 1));
+    cand_assign[idx] = new_tgt;
+    const Mapping cand = evaluate(cand_assign);
+    const double delta = score(cand) - score(current);
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      current = cand;
+      if (cand.feasible &&
+          (!best.feasible || cand.weighted_cost < best.weighted_cost))
+        best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace ambisim::dse

@@ -1,0 +1,41 @@
+#include "ambisim/dse/pareto.hpp"
+
+#include <algorithm>
+
+namespace ambisim::dse {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool no_worse = a.cost <= b.cost && a.value >= b.value;
+  const bool strictly_better = a.cost < b.cost || a.value > b.value;
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  // Sort by cost ascending, value descending; then a single sweep keeps the
+  // points whose value strictly improves on everything cheaper.
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.value > b.value;
+            });
+  std::vector<ParetoPoint> front;
+  double best_value = -1e300;
+  for (const auto& p : points) {
+    if (p.value > best_value) {
+      front.push_back(p);
+      best_value = p.value;
+    }
+  }
+  return front;
+}
+
+bool is_pareto_front(const std::vector<ParetoPoint>& front) {
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    for (std::size_t j = 0; j < front.size(); ++j) {
+      if (i != j && dominates(front[i], front[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ambisim::dse

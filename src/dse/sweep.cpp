@@ -1,0 +1,33 @@
+#include "ambisim/dse/sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::dse {
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  if (n < 1) throw std::invalid_argument("linspace needs n >= 1");
+  if (n == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) / (n - 1));
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int n) {
+  if (lo <= 0.0 || hi <= 0.0)
+    throw std::invalid_argument("logspace needs positive bounds");
+  if (n < 1) throw std::invalid_argument("logspace needs n >= 1");
+  if (n == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (int i = 0; i < n; ++i)
+    out.push_back(std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                     (n - 1)));
+  return out;
+}
+
+}  // namespace ambisim::dse

@@ -1,0 +1,102 @@
+#include "ambisim/energy/battery.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::energy {
+
+using namespace ambisim::units::literals;
+
+Battery::Spec Battery::coin_cell_cr2032() {
+  return {"CR2032", 3.0_V, 225_mAh, 1.08, u::Current(0.2e-3),
+          u::Power(0.3e-6)};
+}
+
+Battery::Spec Battery::alkaline_aa() {
+  return {"AA-alkaline", 1.5_V, 2850_mAh, 1.25, u::Current(50e-3),
+          u::Power(1e-6)};
+}
+
+Battery::Spec Battery::li_ion_1000mAh() {
+  return {"LiIon-1000", 3.7_V, 1000_mAh, 1.05, u::Current(200e-3),
+          u::Power(5e-6)};
+}
+
+Battery::Spec Battery::thin_film_1mAh() {
+  return {"ThinFilm-1", 3.0_V, 1_mAh, 1.0, u::Current(1e-3),
+          u::Power(0.01e-6)};
+}
+
+Battery::Battery(Spec spec) : spec_(std::move(spec)) {
+  if (spec_.peukert < 1.0)
+    throw std::invalid_argument("Peukert exponent must be >= 1");
+  if (spec_.capacity <= u::Charge(0.0) || spec_.voltage <= u::Voltage(0.0) ||
+      spec_.rated_current <= u::Current(0.0))
+    throw std::invalid_argument("battery spec must be positive");
+  remaining_ = capacity();
+}
+
+u::Energy Battery::capacity() const {
+  return u::Energy(spec_.voltage.value() * spec_.capacity.value());
+}
+
+double Battery::state_of_charge() const {
+  return remaining_.value() / capacity().value();
+}
+
+double Battery::derating(u::Power p) const {
+  if (p <= u::Power(0.0)) return 1.0;
+  const double current = p.value() / spec_.voltage.value();
+  const double ratio = current / spec_.rated_current.value();
+  if (ratio <= 1.0) return 1.0;  // at or below rated current: full capacity
+  return std::pow(ratio, spec_.peukert - 1.0);
+}
+
+u::Energy Battery::draw(u::Power p, u::Time dt) {
+  if (p < u::Power(0.0)) throw std::invalid_argument("negative draw power");
+  if (dt < u::Time(0.0)) throw std::invalid_argument("negative duration");
+  if (depleted() || p == u::Power(0.0) || dt == u::Time(0.0)) {
+    idle(dt);
+    return u::Energy(0.0);
+  }
+  const double factor = derating(p);
+  const u::Power internal = p * factor + spec_.self_discharge;
+  const u::Energy internal_needed = u::Energy(internal.value() * dt.value());
+  if (internal_needed <= remaining_) {
+    remaining_ -= internal_needed;
+    return u::Energy(p.value() * dt.value());
+  }
+  // Battery empties partway through the interval.
+  const double frac = remaining_.value() / internal_needed.value();
+  remaining_ = u::Energy(0.0);
+  return u::Energy(p.value() * dt.value() * frac);
+}
+
+u::Energy Battery::recharge(u::Energy e) {
+  if (e < u::Energy(0.0)) throw std::invalid_argument("negative recharge");
+  const u::Energy room = capacity() - remaining_;
+  const u::Energy stored = u::min(e, room);
+  remaining_ += stored;
+  return stored;
+}
+
+void Battery::set_state_of_charge(double soc) {
+  if (soc < 0.0 || soc > 1.0)
+    throw std::invalid_argument("state of charge outside [0, 1]");
+  remaining_ = u::Energy(capacity().value() * soc);
+}
+
+void Battery::idle(u::Time dt) {
+  if (dt < u::Time(0.0)) throw std::invalid_argument("negative duration");
+  const u::Energy loss = u::Energy(spec_.self_discharge.value() * dt.value());
+  remaining_ = u::max(u::Energy(0.0), remaining_ - loss);
+}
+
+u::Time Battery::lifetime_at(u::Power p) const {
+  const u::Power internal =
+      p * derating(p) + spec_.self_discharge;
+  if (internal <= u::Power(0.0)) return u::Time(1e18);  // effectively forever
+  return u::Time(remaining_.value() / internal.value());
+}
+
+}  // namespace ambisim::energy

@@ -1,0 +1,89 @@
+#include "ambisim/energy/buffer_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::energy {
+
+BufferSimResult simulate_energy_buffer(const BufferSimConfig& cfg) {
+  if (!cfg.harvester) throw std::invalid_argument("no harvester");
+  if (cfg.duration <= u::Time(0.0) || cfg.step <= u::Time(0.0))
+    throw std::invalid_argument("duration and step must be positive");
+  if (cfg.load < u::Power(0.0)) throw std::invalid_argument("negative load");
+  if (cfg.initial_soc < 0.0 || cfg.initial_soc > 1.0)
+    throw std::invalid_argument("initial SoC outside [0, 1]");
+
+  Battery buffer(cfg.buffer);
+  buffer.set_state_of_charge(cfg.initial_soc);
+
+  BufferSimResult res;
+  res.min_soc = buffer.state_of_charge();
+  const double dt = cfg.step.value();
+  const long long steps =
+      static_cast<long long>(std::ceil(cfg.duration.value() / dt));
+
+  double day_start_soc = buffer.state_of_charge();
+  double last_cycle_delta = 0.0;
+  constexpr double kDay = 86400.0;
+  double next_day_mark = kDay;
+
+  for (long long k = 0; k < steps; ++k) {
+    const u::Time now{k * dt};
+    const u::Power harvest = cfg.harvester->power_at(now);
+    res.harvested += u::Energy(harvest.value() * dt);
+    res.consumed += u::Energy(cfg.load.value() * dt);
+
+    const double net = harvest.value() - cfg.load.value();
+    if (net >= 0.0) {
+      buffer.recharge(u::Energy(net * dt));
+    } else {
+      buffer.draw(u::Power(-net), u::Time(dt));
+    }
+
+    const double soc = buffer.state_of_charge();
+    res.soc_trace.record(now, soc);
+    res.min_soc = std::min(res.min_soc, soc);
+    if (buffer.depleted() && res.survived) {
+      res.survived = false;
+      res.first_depletion = now;
+    }
+    if (now.value() >= next_day_mark) {
+      last_cycle_delta = soc - day_start_soc;
+      day_start_soc = soc;
+      next_day_mark += kDay;
+    }
+  }
+  res.final_soc = buffer.state_of_charge();
+  res.sustainable = res.survived && last_cycle_delta >= -1e-6;
+  return res;
+}
+
+u::Energy minimum_buffer_energy(const BufferSimConfig& cfg, double max_scale,
+                                int iterations) {
+  if (max_scale <= 1.0) throw std::invalid_argument("max_scale <= 1");
+  if (iterations < 1) throw std::invalid_argument("iterations < 1");
+
+  auto survives = [&](double scale) {
+    BufferSimConfig c = cfg;
+    c.buffer.capacity = u::Charge(cfg.buffer.capacity.value() * scale);
+    return simulate_energy_buffer(c).survived;
+  };
+
+  if (!survives(max_scale))
+    throw std::domain_error("load unsustainable even with the largest buffer");
+  double lo = 0.0;  // known-failing (zero capacity)
+  double hi = max_scale;
+  if (survives(1.0)) hi = 1.0;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (mid <= 0.0) break;
+    if (survives(mid))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return u::Energy(cfg.buffer.voltage.value() *
+                   cfg.buffer.capacity.value() * hi);
+}
+
+}  // namespace ambisim::energy

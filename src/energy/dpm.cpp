@@ -1,0 +1,121 @@
+#include "ambisim/energy/dpm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::energy {
+
+using namespace ambisim::units::literals;
+
+u::Time PowerStateSpec::break_even() const {
+  if (idle <= sleep)
+    throw std::logic_error("idle power must exceed sleep power");
+  const double num =
+      wake_energy.value() + sleep.value() * wake_latency.value();
+  return u::Time(num / (idle - sleep).value());
+}
+
+PowerStateSpec PowerStateSpec::ulp_radio() {
+  return {1.6_mW, 300_uW, 0.5_uW, 400_us, u::Energy(300e-6 * 400e-6)};
+}
+
+PowerStateSpec PowerStateSpec::bluetooth_radio() {
+  return {30_mW, 8_mW, 30_uW, 200_us, u::Energy(8e-3 * 200e-6 * 3)};
+}
+
+PowerStateSpec PowerStateSpec::wlan_radio() {
+  return {536_mW, 120_mW, 1_mW, 1_ms, u::Energy(120e-3 * 1e-3 * 5)};
+}
+
+double DpmResult::energy_ratio_vs(const DpmResult& baseline) const {
+  if (baseline.energy <= u::Energy(0.0))
+    throw std::logic_error("baseline consumed no energy");
+  return energy.value() / baseline.energy.value();
+}
+
+namespace {
+void check_trace(const std::vector<double>& idle_seconds) {
+  if (idle_seconds.empty())
+    throw std::invalid_argument("empty idle trace");
+  for (double t : idle_seconds) {
+    if (t < 0.0) throw std::invalid_argument("negative idle period");
+  }
+}
+}  // namespace
+
+DpmResult dpm_always_on(const PowerStateSpec& spec,
+                        const std::vector<double>& idle_seconds) {
+  check_trace(idle_seconds);
+  DpmResult r;
+  for (double t : idle_seconds) {
+    r.energy += u::Energy(spec.idle.value() * t);
+  }
+  return r;
+}
+
+DpmResult dpm_timeout(const PowerStateSpec& spec,
+                      const std::vector<double>& idle_seconds,
+                      u::Time timeout) {
+  check_trace(idle_seconds);
+  if (timeout < u::Time(0.0)) throw std::invalid_argument("negative timeout");
+  DpmResult r;
+  const double to = timeout.value();
+  for (double t : idle_seconds) {
+    if (t <= to) {
+      r.energy += u::Energy(spec.idle.value() * t);
+      continue;
+    }
+    // Idle until the timeout, then sleep; the request at the end of the
+    // period pays the wake latency and energy.
+    r.energy += u::Energy(spec.idle.value() * to +
+                          spec.sleep.value() * (t - to)) +
+                spec.wake_energy;
+    r.added_latency += spec.wake_latency;
+    ++r.sleep_transitions;
+  }
+  return r;
+}
+
+DpmResult dpm_oracle(const PowerStateSpec& spec,
+                     const std::vector<double>& idle_seconds) {
+  check_trace(idle_seconds);
+  DpmResult r;
+  const double be = spec.break_even().value();
+  for (double t : idle_seconds) {
+    if (t <= be) {
+      r.energy += u::Energy(spec.idle.value() * t);
+    } else {
+      // Sleep for the whole period and wake exactly on time: the wake
+      // transition overlaps the tail of the idle period.
+      r.energy += u::Energy(spec.sleep.value() * t) + spec.wake_energy;
+      ++r.sleep_transitions;
+    }
+  }
+  return r;
+}
+
+std::vector<double> exponential_idle_trace(sim::Rng& rng, int periods,
+                                           double mean_seconds) {
+  if (periods < 1) throw std::invalid_argument("periods < 1");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(periods));
+  for (int i = 0; i < periods; ++i)
+    out.push_back(rng.exponential(mean_seconds));
+  return out;
+}
+
+std::vector<double> pareto_idle_trace(sim::Rng& rng, int periods,
+                                      double min_seconds, double alpha) {
+  if (periods < 1) throw std::invalid_argument("periods < 1");
+  if (min_seconds <= 0.0 || alpha <= 1.0)
+    throw std::invalid_argument("need min > 0 and alpha > 1");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(periods));
+  for (int i = 0; i < periods; ++i) {
+    const double u = rng.uniform(1e-12, 1.0);
+    out.push_back(min_seconds / std::pow(u, 1.0 / alpha));
+  }
+  return out;
+}
+
+}  // namespace ambisim::energy

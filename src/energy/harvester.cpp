@@ -1,0 +1,95 @@
+#include "ambisim/energy/harvester.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ambisim::energy {
+
+u::Energy Harvester::energy_between(u::Time t0, u::Time t1, int steps) const {
+  if (t1 < t0) throw std::invalid_argument("reversed interval");
+  if (steps < 1) throw std::invalid_argument("steps < 1");
+  const double dt = (t1 - t0).value() / steps;
+  double acc = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double a = power_at(t0 + u::Time(i * dt)).value();
+    const double b = power_at(t0 + u::Time((i + 1) * dt)).value();
+    acc += 0.5 * (a + b) * dt;
+  }
+  return u::Energy(acc);
+}
+
+SolarHarvester::SolarHarvester(u::Area area, double efficiency, bool indoor)
+    : area_(area), efficiency_(efficiency), indoor_(indoor) {
+  if (area.value() <= 0.0) throw std::invalid_argument("non-positive area");
+  if (efficiency <= 0.0 || efficiency > 1.0)
+    throw std::invalid_argument("efficiency outside (0, 1]");
+}
+
+u::Power SolarHarvester::power_at(u::Time t) const {
+  if (indoor_) return average_power();
+  // Half-sine irradiance over a 24 h period: daylight for 12 h, dark for 12.
+  constexpr double kDay = 86400.0;
+  const double phase = std::fmod(t.value(), kDay) / kDay;  // [0,1)
+  const double s = std::sin(2.0 * std::numbers::pi * phase);
+  const double irradiance = kOutdoorPeakIrradiance * (s > 0.0 ? s : 0.0);
+  return u::Power(irradiance * area_.value() * efficiency_);
+}
+
+u::Power SolarHarvester::average_power() const {
+  if (indoor_)
+    return u::Power(kIndoorIrradiance * area_.value() * efficiency_);
+  // Mean of max(0, sin) over a full period is 1/pi.
+  return u::Power(kOutdoorPeakIrradiance / std::numbers::pi * area_.value() *
+                  efficiency_);
+}
+
+std::string SolarHarvester::name() const {
+  return indoor_ ? "solar-indoor" : "solar-outdoor";
+}
+
+VibrationHarvester::VibrationHarvester(double volume_cm3,
+                                       u::Power density_per_cm3)
+    : volume_cm3_(volume_cm3), density_per_cm3_(density_per_cm3) {
+  if (volume_cm3 <= 0.0) throw std::invalid_argument("non-positive volume");
+  if (density_per_cm3 <= u::Power(0.0))
+    throw std::invalid_argument("non-positive power density");
+}
+
+u::Power VibrationHarvester::power_at(u::Time) const {
+  return average_power();
+}
+
+u::Power VibrationHarvester::average_power() const {
+  return density_per_cm3_ * volume_cm3_;
+}
+
+std::string VibrationHarvester::name() const { return "vibration"; }
+
+ThermalHarvester::ThermalHarvester(u::Area area, double delta_t_kelvin,
+                                   double k_uw_per_cm2_k2)
+    : area_(area), delta_t_(delta_t_kelvin), k_(k_uw_per_cm2_k2) {
+  if (area.value() <= 0.0) throw std::invalid_argument("non-positive area");
+  if (delta_t_kelvin < 0.0) throw std::invalid_argument("negative delta T");
+  if (k_uw_per_cm2_k2 <= 0.0) throw std::invalid_argument("non-positive k");
+}
+
+u::Power ThermalHarvester::power_at(u::Time) const { return average_power(); }
+
+u::Power ThermalHarvester::average_power() const {
+  const double area_cm2 = area_.value() * 1e4;
+  return u::Power(k_ * 1e-6 * area_cm2 * delta_t_ * delta_t_);
+}
+
+std::string ThermalHarvester::name() const { return "thermal"; }
+
+ConstantSource::ConstantSource(u::Power p, std::string name)
+    : power_(p), name_(std::move(name)) {
+  if (p < u::Power(0.0)) throw std::invalid_argument("negative source power");
+}
+
+u::Power ConstantSource::power_at(u::Time) const { return power_; }
+u::Power ConstantSource::average_power() const { return power_; }
+std::string ConstantSource::name() const { return name_; }
+
+}  // namespace ambisim::energy

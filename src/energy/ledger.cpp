@@ -1,0 +1,76 @@
+#include "ambisim/energy/ledger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ambisim::energy {
+
+void EnergyLedger::charge(const std::string& name, u::Energy e) {
+  if (e < u::Energy(0.0))
+    throw std::invalid_argument("cannot charge negative energy");
+  for (auto& [n, acc] : entries_) {
+    if (n == name) {
+      acc += e;
+      return;
+    }
+  }
+  entries_.emplace_back(name, e);
+}
+
+u::Energy EnergyLedger::total() const {
+  u::Energy t{0.0};
+  for (const auto& [n, e] : entries_) t += e;
+  return t;
+}
+
+u::Energy EnergyLedger::of(const std::string& name) const {
+  for (const auto& [n, e] : entries_) {
+    if (n == name) return e;
+  }
+  return u::Energy(0.0);
+}
+
+double EnergyLedger::share(const std::string& name) const {
+  const u::Energy t = total();
+  if (t <= u::Energy(0.0)) return 0.0;
+  return of(name).value() / t.value();
+}
+
+std::vector<std::pair<std::string, u::Energy>> EnergyLedger::breakdown()
+    const {
+  auto out = entries_;
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void EnergyLedger::merge(const EnergyLedger& other) {
+  for (const auto& [n, e] : other.entries_) charge(n, e);
+}
+
+void EnergyLedger::clear() { entries_.clear(); }
+
+double DutyCycleLoad::duty() const {
+  if (period <= u::Time(0.0) || active_time < u::Time(0.0) ||
+      active_time > period)
+    throw std::logic_error("invalid duty-cycle load");
+  return active_time.value() / period.value();
+}
+
+u::Power DutyCycleLoad::average_power() const {
+  const double d = duty();
+  return active_power * d + sleep_power * (1.0 - d);
+}
+
+double max_neutral_duty(u::Power harvest_avg, u::Power active_power,
+                        u::Power sleep_power) {
+  if (active_power < sleep_power)
+    throw std::invalid_argument("active power below sleep power");
+  if (harvest_avg <= sleep_power) return 0.0;
+  if (harvest_avg >= active_power) return 1.0;
+  // harvest = d*active + (1-d)*sleep  =>  d = (harvest-sleep)/(active-sleep)
+  return (harvest_avg - sleep_power).value() /
+         (active_power - sleep_power).value();
+}
+
+}  // namespace ambisim::energy

@@ -1,0 +1,352 @@
+#include "ambisim/isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace ambisim::isa {
+
+AssemblyError::AssemblyError(int line, const std::string& message)
+    : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string strip(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+const std::map<std::string, Opcode>& opcode_table() {
+  static const std::map<std::string, Opcode> table = {
+      {"add", Opcode::Add},   {"sub", Opcode::Sub},   {"and", Opcode::And},
+      {"or", Opcode::Or},     {"xor", Opcode::Xor},   {"shl", Opcode::Shl},
+      {"shr", Opcode::Shr},   {"mul", Opcode::Mul},   {"slt", Opcode::Slt},
+      {"addi", Opcode::Addi}, {"andi", Opcode::Andi}, {"ori", Opcode::Ori},
+      {"slli", Opcode::Slli}, {"srli", Opcode::Srli}, {"lui", Opcode::Lui},
+      {"lw", Opcode::Lw},     {"sw", Opcode::Sw},     {"lb", Opcode::Lb},
+      {"sb", Opcode::Sb},     {"beq", Opcode::Beq},   {"bne", Opcode::Bne},
+      {"blt", Opcode::Blt},   {"jmp", Opcode::Jmp},   {"jal", Opcode::Jal},
+      {"jr", Opcode::Jr},     {"in", Opcode::In},     {"out", Opcode::Out},
+      {"nop", Opcode::Nop},   {"halt", Opcode::Halt},
+  };
+  return table;
+}
+
+struct Line {
+  int number;           // 1-based source line
+  std::string text;     // instruction text, labels stripped
+};
+
+std::uint8_t parse_register(const std::string& tok, int line) {
+  const std::string t = lower(strip(tok));
+  if (t.size() < 2 || t[0] != 'r')
+    throw AssemblyError(line, "expected register, got '" + tok + "'");
+  int idx = 0;
+  try {
+    idx = std::stoi(t.substr(1));
+  } catch (const std::exception&) {
+    throw AssemblyError(line, "bad register '" + tok + "'");
+  }
+  if (idx < 0 || idx >= kRegisterCount)
+    throw AssemblyError(line, "register out of range '" + tok + "'");
+  return static_cast<std::uint8_t>(idx);
+}
+
+std::int32_t parse_immediate(const std::string& tok, int line) {
+  const std::string t = strip(tok);
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(t, &pos, 0);  // handles decimal and 0x
+    if (pos != t.size()) throw std::invalid_argument(t);
+    return static_cast<std::int32_t>(v);
+  } catch (const std::exception&) {
+    throw AssemblyError(line, "bad immediate '" + tok + "'");
+  }
+}
+
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  const std::string last = strip(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+/// Parse "imm(rN)" into offset and base register.
+std::pair<std::int32_t, std::uint8_t> parse_mem_operand(
+    const std::string& tok, int line) {
+  const auto open = tok.find('(');
+  const auto close = tok.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open)
+    throw AssemblyError(line, "expected imm(reg), got '" + tok + "'");
+  const std::string imm_part = strip(tok.substr(0, open));
+  const std::int32_t imm =
+      imm_part.empty() ? 0 : parse_immediate(imm_part, line);
+  const std::uint8_t base =
+      parse_register(tok.substr(open + 1, close - open - 1), line);
+  return {imm, base};
+}
+
+}  // namespace
+
+std::vector<Instruction> assemble(const std::string& source) {
+  // Pass 1: strip comments/labels, collect label addresses.
+  std::map<std::string, std::int32_t> labels;
+  std::vector<Line> lines;
+  {
+    std::istringstream in(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      const auto comment = raw.find_first_of(";#");
+      if (comment != std::string::npos) raw = raw.substr(0, comment);
+      std::string text = strip(raw);
+      // Peel off any leading labels.
+      for (;;) {
+        const auto colon = text.find(':');
+        if (colon == std::string::npos) break;
+        const std::string label = lower(strip(text.substr(0, colon)));
+        if (label.empty() ||
+            !std::all_of(label.begin(), label.end(), [](unsigned char c) {
+              return std::isalnum(c) || c == '_';
+            }))
+          throw AssemblyError(number, "bad label '" + label + "'");
+        if (labels.count(label))
+          throw AssemblyError(number, "duplicate label '" + label + "'");
+        labels[label] = static_cast<std::int32_t>(lines.size());
+        text = strip(text.substr(colon + 1));
+      }
+      if (!text.empty()) lines.push_back({number, text});
+    }
+  }
+
+  auto resolve_target = [&](const std::string& tok,
+                            int line) -> std::int32_t {
+    const std::string t = lower(strip(tok));
+    const auto it = labels.find(t);
+    if (it != labels.end()) return it->second;
+    // Numeric absolute target is also allowed.
+    if (!t.empty() && (std::isdigit(static_cast<unsigned char>(t[0])) ||
+                       t[0] == '-'))
+      return parse_immediate(t, line);
+    throw AssemblyError(line, "unknown label '" + tok + "'");
+  };
+
+  // Pass 2: parse instructions.
+  std::vector<Instruction> program;
+  program.reserve(lines.size());
+  for (const auto& [number, text] : lines) {
+    const auto space = text.find_first_of(" \t");
+    const std::string mnem = lower(
+        space == std::string::npos ? text : text.substr(0, space));
+    const std::string rest =
+        space == std::string::npos ? "" : strip(text.substr(space));
+    const auto it = opcode_table().find(mnem);
+    if (it == opcode_table().end())
+      throw AssemblyError(number, "unknown mnemonic '" + mnem + "'");
+    const Opcode op = it->second;
+    const auto ops = split_operands(rest);
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n)
+        throw AssemblyError(number, mnem + " expects " + std::to_string(n) +
+                                        " operands");
+    };
+
+    Instruction ins;
+    ins.op = op;
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Mul:
+      case Opcode::Slt:
+        need(3);
+        ins.rd = parse_register(ops[0], number);
+        ins.rs1 = parse_register(ops[1], number);
+        ins.rs2 = parse_register(ops[2], number);
+        break;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+        need(3);
+        ins.rd = parse_register(ops[0], number);
+        ins.rs1 = parse_register(ops[1], number);
+        ins.imm = parse_immediate(ops[2], number);
+        break;
+      case Opcode::Lui:
+        need(2);
+        ins.rd = parse_register(ops[0], number);
+        ins.imm = parse_immediate(ops[1], number);
+        break;
+      case Opcode::Lw:
+      case Opcode::Lb: {
+        need(2);
+        ins.rd = parse_register(ops[0], number);
+        const auto [imm, base] = parse_mem_operand(ops[1], number);
+        ins.imm = imm;
+        ins.rs1 = base;
+        break;
+      }
+      case Opcode::Sw:
+      case Opcode::Sb: {
+        need(2);
+        ins.rs2 = parse_register(ops[0], number);  // value to store
+        const auto [imm, base] = parse_mem_operand(ops[1], number);
+        ins.imm = imm;
+        ins.rs1 = base;
+        break;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+        need(3);
+        ins.rs1 = parse_register(ops[0], number);
+        ins.rs2 = parse_register(ops[1], number);
+        ins.imm = resolve_target(ops[2], number);
+        break;
+      case Opcode::Jmp:
+        need(1);
+        ins.imm = resolve_target(ops[0], number);
+        break;
+      case Opcode::Jal:
+        need(2);
+        ins.rd = parse_register(ops[0], number);
+        ins.imm = resolve_target(ops[1], number);
+        break;
+      case Opcode::Jr:
+        need(1);
+        ins.rs1 = parse_register(ops[0], number);
+        break;
+      case Opcode::In:
+        need(2);
+        ins.rd = parse_register(ops[0], number);
+        ins.imm = parse_immediate(ops[1], number);
+        break;
+      case Opcode::Out:
+        need(2);
+        ins.rs1 = parse_register(ops[0], number);
+        ins.imm = parse_immediate(ops[1], number);
+        break;
+      case Opcode::Nop:
+      case Opcode::Halt:
+        need(0);
+        break;
+    }
+    program.push_back(ins);
+  }
+
+  // Validate branch targets.
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const auto& ins = program[i];
+    if (instr_class(ins.op) == InstrClass::Branch &&
+        ins.op != Opcode::Jr) {
+      if (ins.imm < 0 ||
+          ins.imm > static_cast<std::int32_t>(program.size()))
+        throw AssemblyError(0, "branch target out of range at instruction " +
+                                   std::to_string(i));
+    }
+  }
+  return program;
+}
+
+namespace firmware {
+
+std::string sensing_filter() {
+  return R"(
+; r1 = sample count, r2 = threshold, r3 = running 4-sample sum
+; r4..r7 = tap delay line, r8 = scratch, r9 = filtered value
+        addi r3, r0, 0
+        addi r4, r0, 0
+        addi r5, r0, 0
+        addi r6, r0, 0
+        addi r7, r0, 0
+loop:   beq  r1, r0, done
+        in   r8, 0           ; read the sensor ADC
+        sub  r3, r3, r7      ; drop the oldest tap
+        add  r3, r3, r8      ; add the newest
+        add  r7, r6, r0      ; shift the delay line
+        add  r6, r5, r0
+        add  r5, r4, r0
+        add  r4, r8, r0
+        srli r9, r3, 2       ; moving average = sum / 4
+        blt  r9, r2, skip    ; report only above-threshold values
+        out  r9, 1           ; push to the radio FIFO
+skip:   addi r1, r1, -1
+        jmp  loop
+done:   halt
+)";
+}
+
+std::string fibonacci() {
+  return R"(
+; fib(r1) -> r2, iteratively
+        addi r2, r0, 0       ; fib(0)
+        addi r3, r0, 1       ; fib(1)
+        beq  r1, r0, done
+loop:   add  r4, r2, r3
+        add  r2, r3, r0
+        add  r3, r4, r0
+        addi r1, r1, -1
+        bne  r1, r0, loop
+done:   halt
+)";
+}
+
+std::string fir16() {
+  return R"(
+; 16-tap FIR: coefficients at 0x100, samples at 0x200, output at 0x300
+; r1 = number of output samples
+        addi r10, r0, 0x300  ; output pointer
+        addi r11, r0, 0x200  ; sample window base
+outer:  beq  r1, r0, done
+        addi r3, r0, 0       ; accumulator
+        addi r4, r0, 0       ; tap index
+        addi r5, r0, 0x100   ; coefficient pointer
+        add  r6, r11, r0     ; sample pointer
+taps:   lw   r7, 0(r5)
+        lw   r8, 0(r6)
+        mul  r9, r7, r8
+        add  r3, r3, r9
+        addi r5, r5, 4
+        addi r6, r6, 4
+        addi r4, r4, 1
+        addi r12, r0, 16
+        blt  r4, r12, taps
+        sw   r3, 0(r10)
+        addi r10, r10, 4
+        addi r11, r11, 4     ; slide the window
+        addi r1, r1, -1
+        jmp  outer
+done:   halt
+)";
+}
+
+}  // namespace firmware
+
+}  // namespace ambisim::isa

@@ -1,0 +1,81 @@
+#include "ambisim/isa/isa.hpp"
+
+namespace ambisim::isa {
+
+InstrClass instr_class(Opcode op) {
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Slt:
+    case Opcode::Addi:
+    case Opcode::Andi:
+    case Opcode::Ori:
+    case Opcode::Slli:
+    case Opcode::Srli:
+    case Opcode::Lui:
+      return InstrClass::Alu;
+    case Opcode::Mul:
+      return InstrClass::Mul;
+    case Opcode::Lw:
+    case Opcode::Sw:
+    case Opcode::Lb:
+    case Opcode::Sb:
+      return InstrClass::Mem;
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Jmp:
+    case Opcode::Jal:
+    case Opcode::Jr:
+      return InstrClass::Branch;
+    case Opcode::In:
+    case Opcode::Out:
+      return InstrClass::Io;
+    case Opcode::Nop:
+    case Opcode::Halt:
+      return InstrClass::System;
+  }
+  return InstrClass::System;
+}
+
+std::string mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::Mul: return "mul";
+    case Opcode::Slt: return "slt";
+    case Opcode::Addi: return "addi";
+    case Opcode::Andi: return "andi";
+    case Opcode::Ori: return "ori";
+    case Opcode::Slli: return "slli";
+    case Opcode::Srli: return "srli";
+    case Opcode::Lui: return "lui";
+    case Opcode::Lw: return "lw";
+    case Opcode::Sw: return "sw";
+    case Opcode::Lb: return "lb";
+    case Opcode::Sb: return "sb";
+    case Opcode::Beq: return "beq";
+    case Opcode::Bne: return "bne";
+    case Opcode::Blt: return "blt";
+    case Opcode::Jmp: return "jmp";
+    case Opcode::Jal: return "jal";
+    case Opcode::Jr: return "jr";
+    case Opcode::In: return "in";
+    case Opcode::Out: return "out";
+    case Opcode::Nop: return "nop";
+    case Opcode::Halt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace ambisim::isa

@@ -1,0 +1,230 @@
+#include "ambisim/isa/machine.hpp"
+
+#include <stdexcept>
+
+namespace ambisim::isa {
+
+Machine::Machine(const tech::TechnologyNode& node, u::Voltage v,
+                 u::Frequency clock, std::size_t memory_bytes,
+                 CoreEnergyParams params)
+    : node_(node),
+      voltage_(v),
+      clock_(clock),
+      params_(params),
+      memory_(memory_bytes, 0) {
+  if (clock <= u::Frequency(0.0))
+    throw std::invalid_argument("clock must be positive");
+  const auto fmax = tech::max_frequency(node, v, 60.0);
+  if (clock > fmax * 1.0001)
+    throw std::domain_error("clock exceeds the core's maximum at this supply");
+  if (memory_bytes < 4)
+    throw std::invalid_argument("memory too small");
+}
+
+void Machine::load_program(std::vector<Instruction> program) {
+  program_ = std::move(program);
+  reset();
+}
+
+void Machine::reset() {
+  regs_.fill(0);
+  std::fill(memory_.begin(), memory_.end(), 0);
+  pc_ = 0;
+  halted_ = false;
+  stats_ = MachineStats{};
+}
+
+std::int32_t Machine::reg(int i) const {
+  if (i < 0 || i >= kRegisterCount) throw std::out_of_range("register");
+  return regs_[static_cast<std::size_t>(i)];
+}
+
+void Machine::set_reg(int i, std::int32_t value) {
+  if (i < 0 || i >= kRegisterCount) throw std::out_of_range("register");
+  if (i != 0) regs_[static_cast<std::size_t>(i)] = value;
+}
+
+std::int32_t Machine::load_word(std::uint32_t address) const {
+  if (address + 4 > memory_.size() || (address & 3u) != 0)
+    throw std::out_of_range("unaligned or out-of-range word load");
+  std::uint32_t v = 0;
+  for (int b = 3; b >= 0; --b) v = (v << 8) | memory_[address + b];
+  return static_cast<std::int32_t>(v);
+}
+
+void Machine::store_word(std::uint32_t address, std::int32_t value) {
+  if (address + 4 > memory_.size() || (address & 3u) != 0)
+    throw std::out_of_range("unaligned or out-of-range word store");
+  auto v = static_cast<std::uint32_t>(value);
+  for (int b = 0; b < 4; ++b) {
+    memory_[address + b] = static_cast<std::uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
+}
+
+void Machine::charge(InstrClass cls, int cycles) {
+  double gates = params_.gates_fetch_decode;
+  switch (cls) {
+    case InstrClass::Alu: gates += params_.gates_alu; break;
+    case InstrClass::Mul: gates += params_.gates_mul; break;
+    case InstrClass::Mem: gates += params_.gates_mem; break;
+    case InstrClass::Branch: gates += params_.gates_branch; break;
+    case InstrClass::Io: gates += params_.gates_io; break;
+    case InstrClass::System: break;  // fetch/decode only
+  }
+  stats_.dynamic_energy +=
+      tech::switching_energy(node_, voltage_) * gates;
+  const u::Time dt{static_cast<double>(cycles) / clock_.value()};
+  stats_.leakage_energy +=
+      u::Energy(tech::leakage_power_per_gate(node_, voltage_).value() *
+                params_.total_gates * dt.value());
+  stats_.cycles += static_cast<std::uint64_t>(cycles);
+  ++stats_.instructions;
+  ++stats_.by_class[static_cast<int>(cls)];
+}
+
+bool Machine::step() {
+  if (halted_) return false;
+  if (pc_ >= program_.size()) {
+    halted_ = true;
+    return false;
+  }
+  const Instruction ins = program_[pc_];
+  const InstrClass cls = instr_class(ins.op);
+  std::uint32_t next = pc_ + 1;
+  int cycles = params_.cycles_alu;
+
+  auto rs1 = [&] { return regs_[ins.rs1]; };
+  auto rs2 = [&] { return regs_[ins.rs2]; };
+  auto write = [&](std::int32_t v) {
+    if (ins.rd != 0) regs_[ins.rd] = v;
+  };
+  auto ushift = [&](std::int32_t v) {
+    return static_cast<std::uint32_t>(v);
+  };
+
+  switch (ins.op) {
+    case Opcode::Add: write(rs1() + rs2()); break;
+    case Opcode::Sub: write(rs1() - rs2()); break;
+    case Opcode::And: write(rs1() & rs2()); break;
+    case Opcode::Or: write(rs1() | rs2()); break;
+    case Opcode::Xor: write(rs1() ^ rs2()); break;
+    case Opcode::Shl:
+      write(static_cast<std::int32_t>(ushift(rs1()) << (rs2() & 31)));
+      break;
+    case Opcode::Shr:
+      write(static_cast<std::int32_t>(ushift(rs1()) >> (rs2() & 31)));
+      break;
+    case Opcode::Slt: write(rs1() < rs2() ? 1 : 0); break;
+    case Opcode::Mul:
+      write(rs1() * rs2());
+      cycles = params_.cycles_mul;
+      break;
+    case Opcode::Addi: write(rs1() + ins.imm); break;
+    case Opcode::Andi: write(rs1() & ins.imm); break;
+    case Opcode::Ori: write(rs1() | ins.imm); break;
+    case Opcode::Slli:
+      write(static_cast<std::int32_t>(ushift(rs1()) << (ins.imm & 31)));
+      break;
+    case Opcode::Srli:
+      write(static_cast<std::int32_t>(ushift(rs1()) >> (ins.imm & 31)));
+      break;
+    case Opcode::Lui:
+      write(static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(ins.imm) << 16));
+      break;
+    case Opcode::Lw:
+      write(load_word(static_cast<std::uint32_t>(rs1() + ins.imm)));
+      cycles = params_.cycles_mem;
+      break;
+    case Opcode::Sw:
+      store_word(static_cast<std::uint32_t>(rs1() + ins.imm), rs2());
+      cycles = params_.cycles_mem;
+      break;
+    case Opcode::Lb: {
+      const auto addr = static_cast<std::uint32_t>(rs1() + ins.imm);
+      if (addr >= memory_.size())
+        throw std::out_of_range("byte load out of range");
+      write(static_cast<std::int8_t>(memory_[addr]));
+      cycles = params_.cycles_mem;
+      break;
+    }
+    case Opcode::Sb: {
+      const auto addr = static_cast<std::uint32_t>(rs1() + ins.imm);
+      if (addr >= memory_.size())
+        throw std::out_of_range("byte store out of range");
+      memory_[addr] = static_cast<std::uint8_t>(rs2() & 0xFF);
+      cycles = params_.cycles_mem;
+      break;
+    }
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt: {
+      bool taken = false;
+      if (ins.op == Opcode::Beq) taken = rs1() == rs2();
+      if (ins.op == Opcode::Bne) taken = rs1() != rs2();
+      if (ins.op == Opcode::Blt) taken = rs1() < rs2();
+      cycles = taken ? params_.cycles_branch_taken
+                     : params_.cycles_branch_not_taken;
+      if (taken) next = static_cast<std::uint32_t>(ins.imm);
+      break;
+    }
+    case Opcode::Jmp:
+      next = static_cast<std::uint32_t>(ins.imm);
+      cycles = params_.cycles_branch_taken;
+      break;
+    case Opcode::Jal:
+      write(static_cast<std::int32_t>(pc_ + 1));
+      next = static_cast<std::uint32_t>(ins.imm);
+      cycles = params_.cycles_branch_taken;
+      break;
+    case Opcode::Jr:
+      next = static_cast<std::uint32_t>(rs1());
+      cycles = params_.cycles_branch_taken;
+      break;
+    case Opcode::In:
+      if (!in_) throw std::logic_error("IN executed with no input port");
+      write(in_(ins.imm));
+      cycles = params_.cycles_io;
+      break;
+    case Opcode::Out:
+      if (!out_) throw std::logic_error("OUT executed with no output port");
+      out_(ins.imm, rs1());
+      cycles = params_.cycles_io;
+      break;
+    case Opcode::Nop: break;
+    case Opcode::Halt:
+      halted_ = true;
+      break;
+  }
+
+  charge(cls, cycles);
+  pc_ = next;
+  return !halted_;
+}
+
+bool Machine::run(std::uint64_t max_instructions) {
+  const std::uint64_t start = stats_.instructions;
+  while (!halted_ && stats_.instructions - start < max_instructions) {
+    if (!step()) break;
+  }
+  return halted_;
+}
+
+u::Time Machine::elapsed() const {
+  return u::Time(static_cast<double>(stats_.cycles) / clock_.value());
+}
+
+u::Power Machine::average_power() const {
+  const double t = elapsed().value();
+  if (t <= 0.0) return u::Power(0.0);
+  return u::Power(stats_.total_energy().value() / t);
+}
+
+u::Energy Machine::energy_per_instruction() const {
+  if (stats_.instructions == 0) return u::Energy(0.0);
+  return u::Energy(stats_.total_energy().value() /
+                   static_cast<double>(stats_.instructions));
+}
+
+}  // namespace ambisim::isa

@@ -1,0 +1,83 @@
+#include "ambisim/net/contention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::net {
+
+namespace {
+void check_load(double g) {
+  if (g < 0.0) throw std::invalid_argument("negative offered load");
+}
+}  // namespace
+
+double slotted_aloha_throughput(double g) {
+  check_load(g);
+  return g * std::exp(-g);
+}
+
+double pure_aloha_throughput(double g) {
+  check_load(g);
+  return g * std::exp(-2.0 * g);
+}
+
+double csma_throughput(double g, double a) {
+  check_load(g);
+  if (a < 0.0) throw std::invalid_argument("negative propagation delay");
+  if (g == 0.0) return 0.0;
+  const double e = std::exp(-a * g);
+  return g * e / (g * (1.0 + 2.0 * a) + e);
+}
+
+double optimal_load_slotted_aloha() { return 1.0; }
+double optimal_load_pure_aloha() { return 0.5; }
+
+double optimal_load_csma(double a) {
+  // Golden-section search on [1e-3, 1e3] in log space; the curve is
+  // unimodal in G.
+  double lo = std::log(1e-3);
+  double hi = std::log(1e3);
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double m1 = hi - phi * (hi - lo);
+    const double m2 = lo + phi * (hi - lo);
+    if (csma_throughput(std::exp(m1), a) < csma_throughput(std::exp(m2), a))
+      lo = m1;
+    else
+      hi = m2;
+  }
+  return std::exp((lo + hi) / 2.0);
+}
+
+double simulate_slotted_aloha(double offered_load, int nodes, int slots,
+                              sim::Rng& rng) {
+  check_load(offered_load);
+  if (nodes < 1 || slots < 1)
+    throw std::invalid_argument("need at least one node and one slot");
+  const double p = offered_load / nodes;
+  if (p > 1.0)
+    throw std::invalid_argument("offered load exceeds node capacity");
+  long long successes = 0;
+  for (int s = 0; s < slots; ++s) {
+    int transmitting = 0;
+    for (int n = 0; n < nodes && transmitting < 2; ++n) {
+      if (rng.bernoulli(p)) ++transmitting;
+    }
+    if (transmitting == 1) ++successes;
+  }
+  return static_cast<double>(successes) / slots;
+}
+
+u::Frequency max_report_rate_per_node(int nodes, u::BitRate bit_rate,
+                                      u::Information packet_bits) {
+  if (nodes < 1) throw std::invalid_argument("need at least one node");
+  if (bit_rate <= u::BitRate(0.0) || packet_bits <= u::Information(0.0))
+    throw std::invalid_argument("rates must be positive");
+  // Channel carries S_max packets per slot; slots per second =
+  // bit_rate / packet_bits; fair share across nodes.
+  const double s_max = slotted_aloha_throughput(optimal_load_slotted_aloha());
+  const double slots_per_s = bit_rate.value() / packet_bits.value();
+  return u::Frequency(s_max * slots_per_s / nodes);
+}
+
+}  // namespace ambisim::net

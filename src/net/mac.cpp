@@ -1,0 +1,113 @@
+#include "ambisim/net/mac.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ambisim::net {
+
+double DutyCycledMac::duty() const {
+  if (wake_interval <= u::Time(0.0) || listen_window <= u::Time(0.0) ||
+      listen_window > wake_interval)
+    throw std::logic_error("invalid duty-cycled MAC parameters");
+  return listen_window.value() / wake_interval.value();
+}
+
+u::Power DutyCycledMac::baseline_power(const radio::RadioModel& r) const {
+  const double d = duty();
+  return r.idle_power() * d + r.sleep_power() * (1.0 - d);
+}
+
+u::Energy DutyCycledMac::tx_packet_energy(const radio::RadioModel& r,
+                                          u::Information payload) const {
+  (void)duty();  // validate
+  // Preamble sampling: on average half a wake interval of preamble precedes
+  // the payload so the receiver's next listen window catches it.
+  const u::Time preamble = wake_interval / 2.0;
+  return u::Energy(r.tx_power().value() *
+                   (preamble + r.time_on_air(payload)).value()) +
+         r.startup_energy();
+}
+
+u::Energy DutyCycledMac::rx_packet_energy(const radio::RadioModel& r,
+                                          u::Information payload) const {
+  (void)duty();
+  // The receiver hears on average half the preamble before the payload.
+  const u::Time extra = wake_interval / 4.0;
+  return u::Energy(r.rx_power().value() *
+                   (extra + r.time_on_air(payload)).value());
+}
+
+u::Time DutyCycledMac::hop_latency(const radio::RadioModel& r,
+                                   u::Information payload) const {
+  (void)duty();
+  return wake_interval + r.time_on_air(payload) + r.params().startup;
+}
+
+TdmaSchedule TdmaSchedule::build(
+    const std::vector<std::vector<int>>& adjacency) {
+  const int n = static_cast<int>(adjacency.size());
+  if (n == 0) throw std::invalid_argument("empty adjacency");
+
+  // Two-hop conflict sets: a node conflicts with neighbours and neighbours'
+  // neighbours (hidden terminals at a shared receiver).
+  std::vector<std::vector<int>> conflicts(n);
+  for (int v = 0; v < n; ++v) {
+    std::vector<bool> seen(n, false);
+    seen[v] = true;
+    for (int w : adjacency[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        conflicts[v].push_back(w);
+      }
+      for (int x : adjacency[w]) {
+        if (!seen[x]) {
+          seen[x] = true;
+          conflicts[v].push_back(x);
+        }
+      }
+    }
+  }
+
+  // Greedy coloring in descending conflict-degree order.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return conflicts[a].size() > conflicts[b].size();
+  });
+
+  TdmaSchedule sched;
+  sched.slots_.assign(n, -1);
+  for (int v : order) {
+    std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+    for (int w : conflicts[v]) {
+      if (sched.slots_[w] >= 0) used[sched.slots_[w]] = true;
+    }
+    int slot = 0;
+    while (used[slot]) ++slot;
+    sched.slots_[v] = slot;
+    sched.frame_slots_ = std::max(sched.frame_slots_, slot + 1);
+  }
+  return sched;
+}
+
+bool TdmaSchedule::collision_free(
+    const std::vector<std::vector<int>>& adjacency) const {
+  const int n = static_cast<int>(adjacency.size());
+  if (static_cast<std::size_t>(n) != slots_.size()) return false;
+  for (int v = 0; v < n; ++v) {
+    for (int w : adjacency[v]) {
+      if (slots_[v] == slots_[w]) return false;
+      for (int x : adjacency[w]) {
+        if (x != v && slots_[v] == slots_[x]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+double TdmaSchedule::per_node_share() const {
+  if (frame_slots_ == 0) return 0.0;
+  return 1.0 / frame_slots_;
+}
+
+}  // namespace ambisim::net

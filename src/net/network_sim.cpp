@@ -1,0 +1,276 @@
+#include "ambisim/net/network_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace ambisim::net {
+
+namespace {
+
+using namespace ambisim::units::literals;
+
+// Routing over the alive subgraph: dead nodes neither source nor relay.
+RoutingTree routes_on_alive(const Topology& topo,
+                            const std::vector<std::vector<int>>& adj,
+                            const std::vector<bool>& alive,
+                            RoutingPolicy policy,
+                            const LinkEnergyModel& model) {
+  const int n = topo.size();
+  RoutingTree tree;
+  tree.next_hop.assign(n, -1);
+  tree.cost.assign(n, std::numeric_limits<double>::infinity());
+  tree.hops.assign(n, -1);
+  const int s = topo.sink();
+  tree.next_hop[s] = s;
+  tree.cost[s] = 0.0;
+  tree.hops[s] = 0;
+
+  if (policy == RoutingPolicy::MinHop) {
+    std::queue<int> q;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int w : adj[v]) {
+        if (!alive[w] || tree.hops[w] >= 0) continue;
+        tree.hops[w] = tree.hops[v] + 1;
+        tree.cost[w] = static_cast<double>(tree.hops[w]);
+        tree.next_hop[w] = v;
+        q.push(w);
+      }
+    }
+  } else {
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.push({0.0, s});
+    while (!pq.empty()) {
+      const auto [c, v] = pq.top();
+      pq.pop();
+      if (c > tree.cost[v]) continue;
+      for (int w : adj[v]) {
+        if (!alive[w]) continue;
+        const double cand = c + model.cost(topo.node_distance(v, w));
+        if (cand < tree.cost[w]) {
+          tree.cost[w] = cand;
+          tree.next_hop[w] = v;
+          tree.hops[w] = tree.hops[v] + 1;
+          pq.push({cand, w});
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+SensorNetworkResult simulate_sensor_network(const SensorNetworkConfig& cfg) {
+  if (cfg.node_count < 2)
+    throw std::invalid_argument("network needs a sink and >= 1 sensor");
+  if (cfg.report_period <= u::Time(0.0))
+    throw std::invalid_argument("report period must be positive");
+
+  sim::Rng rng(cfg.seed);
+  const Topology topo =
+      Topology::random_field(cfg.node_count, cfg.field_side, rng);
+  const radio::RadioModel radio(cfg.radio);
+  const u::Length range =
+      u::min(cfg.radio_range, radio.max_range());
+  const auto adj = topo.adjacency(range);
+
+  LinkEnergyModel link_model;
+  link_model.k_elec = radio.energy_per_bit_tx().value() +
+                      radio.energy_per_bit_rx().value();
+  link_model.exponent = cfg.radio.environment.exponent;
+
+  const int n = topo.size();
+  std::vector<energy::Battery> batteries;
+  batteries.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) batteries.emplace_back(cfg.battery);
+
+  std::vector<bool> alive(n, true);
+  SensorNetworkResult res;
+  res.energy_spent.assign(n, 0.0);
+
+  const u::Power baseline =
+      cfg.mac.baseline_power(radio) + cfg.mcu_sleep;
+  const u::Energy source_energy =
+      cfg.mac.tx_packet_energy(radio, cfg.packet_bits) +
+      u::Energy(cfg.mcu_active.value() * cfg.mcu_active_per_report.value());
+  const u::Energy relay_energy =
+      cfg.mac.rx_packet_energy(radio, cfg.packet_bits) +
+      cfg.mac.tx_packet_energy(radio, cfg.packet_bits);
+  const u::Energy sink_rx =
+      cfg.mac.rx_packet_energy(radio, cfg.packet_bits);
+
+  const u::Power harvest{cfg.harvest_avg_watt.value_or(0.0)};
+
+  const u::Time horizon = cfg.max_sim_time > u::Time(0.0)
+                              ? cfg.max_sim_time
+                              : u::Time(86400.0 * 365.25 * 20);  // 20 years
+  u::Time now{0.0};
+  double hop_sum = 0.0;
+  long long hop_packets = 0;
+
+  int alive_sensors = n - 1;
+  const int death_target = (n - 1) / 10;  // stop at 90 % sensor death
+
+  while (now < horizon && alive_sensors > death_target) {
+    const RoutingTree tree =
+        routes_on_alive(topo, adj, alive, cfg.routing, link_model);
+
+    // Per-node steady-state drain in the current epoch.
+    std::vector<double> relays(n, 0.0);
+    std::vector<bool> sourcing(n, false);
+    int reachable_sources = 0;
+    for (int i = 1; i < n; ++i) {
+      if (!alive[i] || !tree.reachable(i)) continue;
+      sourcing[i] = true;
+      ++reachable_sources;
+      int v = tree.next_hop[i];
+      while (v != topo.sink()) {
+        relays[v] += 1.0;
+        v = tree.next_hop[v];
+      }
+    }
+
+    std::vector<u::Power> drain(n, u::Power(0.0));
+    for (int i = 1; i < n; ++i) {
+      if (!alive[i]) continue;
+      u::Energy per_round{0.0};
+      if (sourcing[i]) per_round += source_energy;
+      if (cfg.aggregate_at_relays) {
+        // Aggregating relays still receive every descendant's packet but
+        // fold the payloads into their own single transmission.
+        per_round += cfg.mac.rx_packet_energy(radio, cfg.packet_bits) *
+                     relays[i];
+      } else {
+        per_round += relay_energy * relays[i];
+      }
+      drain[i] = baseline +
+                 u::Power(per_round.value() / cfg.report_period.value());
+    }
+
+    // Earliest death under constant drain (harvest offsets the drain).
+    u::Time dt = horizon - now;
+    for (int i = 1; i < n; ++i) {
+      if (!alive[i]) continue;
+      const u::Power net = drain[i] - harvest;
+      if (net <= u::Power(0.0)) continue;  // energy-neutral: immortal
+      const u::Time death = batteries[i].lifetime_at(net);
+      dt = u::min(dt, death);
+    }
+    if (dt <= u::Time(0.0)) dt = cfg.report_period;  // guarantee progress
+
+    // Advance the epoch: spend energy, count traffic.
+    const double rounds = dt.value() / cfg.report_period.value();
+    for (int i = 1; i < n; ++i) {
+      if (!alive[i]) continue;
+      const u::Power net = u::max(u::Power(0.0), drain[i] - harvest);
+      const u::Energy spent = batteries[i].draw(net, dt);
+      res.energy_spent[i] += drain[i].value() * dt.value();
+      (void)spent;
+      res.ledger.charge("listen-baseline", u::Energy(baseline.value() *
+                                                     dt.value()));
+      if (sourcing[i]) {
+        res.ledger.charge("source-tx",
+                          u::Energy(source_energy.value() * rounds));
+      }
+      const u::Energy relay_unit =
+          cfg.aggregate_at_relays
+              ? cfg.mac.rx_packet_energy(radio, cfg.packet_bits)
+              : relay_energy;
+      res.ledger.charge("relay-fwd",
+                        u::Energy(relay_unit.value() * relays[i] * rounds));
+    }
+    res.ledger.charge("sink-rx", u::Energy(sink_rx.value() *
+                                           reachable_sources * rounds));
+
+    res.packets_generated +=
+        static_cast<long long>(std::llround(rounds * (alive_sensors)));
+    res.packets_delivered +=
+        static_cast<long long>(std::llround(rounds * reachable_sources));
+    for (int i = 1; i < n; ++i) {
+      if (sourcing[i]) {
+        hop_sum += tree.hops[i] * rounds;
+        hop_packets += static_cast<long long>(std::llround(rounds));
+      }
+    }
+
+    now += dt;
+
+    // Mark deaths at the epoch boundary.
+    for (int i = 1; i < n; ++i) {
+      if (!alive[i]) continue;
+      const u::Power net = drain[i] - harvest;
+      if (net > u::Power(0.0) && batteries[i].depleted()) {
+        alive[i] = false;
+        --alive_sensors;
+        res.node_lifetimes.add(now.value());
+        if (res.first_node_death == u::Time(0.0)) {
+          res.first_node_death = now;
+          // Hot-spot factor is meaningful at first death: the spread of
+          // energy-spend rates before the network starts re-routing around
+          // dead relays.
+          double mean_e = 0.0;
+          double max_e = 0.0;
+          for (int k = 1; k < n; ++k) {
+            mean_e += res.energy_spent[k];
+            max_e = std::max(max_e, res.energy_spent[k]);
+          }
+          mean_e /= (n - 1);
+          if (mean_e > 0.0) res.hotspot_factor = max_e / mean_e;
+        }
+        if (res.half_network_death == u::Time(0.0) &&
+            alive_sensors <= (n - 1) / 2)
+          res.half_network_death = now;
+      }
+    }
+
+    // All remaining nodes energy-neutral: nothing more will change.
+    bool any_mortal = false;
+    for (int i = 1; i < n; ++i) {
+      if (alive[i] && drain[i] - harvest > u::Power(0.0)) any_mortal = true;
+    }
+    if (!any_mortal) {
+      now = horizon;
+      break;
+    }
+  }
+
+  res.simulated = now;
+  res.delivery_ratio =
+      res.packets_generated > 0
+          ? static_cast<double>(res.packets_delivered) /
+                static_cast<double>(res.packets_generated)
+          : 0.0;
+  res.mean_hops = hop_packets > 0
+                      ? hop_sum / static_cast<double>(hop_packets)
+                      : 0.0;
+
+  {
+    const RoutingTree full = routes_on_alive(
+        topo, adj, std::vector<bool>(n, true), cfg.routing, link_model);
+    for (int i = 1; i < n; ++i) {
+      if (!full.reachable(i)) ++res.unreachable_nodes;
+    }
+  }
+
+  if (res.hotspot_factor == 0.0) {
+    // No node died (energy-neutral run): report the end-of-run spread.
+    double mean_e = 0.0;
+    double max_e = 0.0;
+    for (int i = 1; i < n; ++i) {
+      mean_e += res.energy_spent[i];
+      max_e = std::max(max_e, res.energy_spent[i]);
+    }
+    mean_e /= (n - 1);
+    if (mean_e > 0.0) res.hotspot_factor = max_e / mean_e;
+  }
+  return res;
+}
+
+}  // namespace ambisim::net

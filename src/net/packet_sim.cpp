@@ -1,0 +1,125 @@
+#include "ambisim/net/packet_sim.hpp"
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace ambisim::net {
+
+namespace {
+
+struct Packet {
+  int origin = -1;
+  int hops_taken = 0;
+  u::Time created{0.0};
+  u::Time queued_total{0.0};
+};
+
+}  // namespace
+
+PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
+  if (cfg.node_count < 2)
+    throw std::invalid_argument("network needs a sink and >= 1 sensor");
+  if (cfg.report_period <= u::Time(0.0) || cfg.duration <= u::Time(0.0))
+    throw std::invalid_argument("period and duration must be positive");
+
+  sim::Rng rng(cfg.seed);
+  const Topology topo =
+      Topology::random_field(cfg.node_count, cfg.field_side, rng);
+  const radio::RadioModel radio(cfg.radio);
+  const u::Length range = u::min(cfg.radio_range, radio.max_range());
+
+  LinkEnergyModel link_model;
+  link_model.k_elec = radio.energy_per_bit_tx().value() +
+                      radio.energy_per_bit_rx().value();
+  link_model.exponent = cfg.radio.environment.exponent;
+  const RoutingTree tree =
+      cfg.routing == RoutingPolicy::MinHop
+          ? min_hop_routes(topo, range)
+          : min_energy_routes(topo, range, link_model);
+
+  PacketSimResult res;
+  sim::Simulator simu;
+  const int n = topo.size();
+
+  // Transmitter FIFO serialization point per node.
+  std::vector<u::Time> tx_free(static_cast<std::size_t>(n), u::Time(0.0));
+
+  const u::Time airtime = radio.time_on_air(cfg.packet_bits);
+  const u::Energy tx_e = cfg.mac.tx_packet_energy(radio, cfg.packet_bits);
+  const u::Energy rx_e = cfg.mac.rx_packet_energy(radio, cfg.packet_bits);
+
+  // Hop forwarding: node `from` hands `pkt` toward the sink.
+  std::function<void(int, std::shared_ptr<Packet>)> forward =
+      [&](int from, std::shared_ptr<Packet> pkt) {
+        const int to = tree.next_hop[static_cast<std::size_t>(from)];
+        // Wait for the transmitter if it is mid-packet (FIFO).
+        const u::Time start = u::max(simu.now(), tx_free[
+            static_cast<std::size_t>(from)]);
+        const u::Time waited = start - simu.now();
+        if (waited > u::Time(0.0))
+          pkt->queued_total += waited;
+        // Random preamble alignment with the receiver's wake window.
+        const u::Time preamble{
+            rng.uniform(0.0, cfg.mac.wake_interval.value())};
+        const u::Time done = start + preamble + airtime +
+                             cfg.radio.startup;
+        tx_free[static_cast<std::size_t>(from)] = done;
+
+        res.ledger.charge("radio-tx", tx_e);
+        res.ledger.charge("radio-rx", rx_e);
+
+        simu.schedule_at(done, [&, to, pkt]() {
+          pkt->hops_taken += 1;
+          if (to == topo.sink()) {
+            ++res.delivered;
+            res.end_to_end_latency.add((simu.now() - pkt->created).value());
+            res.queueing_delay.add(pkt->queued_total.value());
+            res.mean_hops += pkt->hops_taken;
+            return;
+          }
+          forward(to, pkt);
+        });
+      };
+
+  // Periodic sources, phase-staggered.
+  for (int i = 1; i < n; ++i) {
+    const bool routable = tree.reachable(i);
+    const u::Time phase{rng.uniform(0.0, cfg.report_period.value())};
+    auto emit = std::make_shared<std::function<void()>>();
+    *emit = [&, i, routable, emit]() {
+      ++res.generated;
+      if (!routable) {
+        ++res.undeliverable;
+      } else {
+        auto pkt = std::make_shared<Packet>();
+        pkt->origin = i;
+        pkt->created = simu.now();
+        forward(i, pkt);
+      }
+      if (simu.now() + cfg.report_period <= cfg.duration)
+        simu.schedule_in(cfg.report_period, *emit);
+    };
+    simu.schedule_at(phase, *emit);
+  }
+
+  simu.run_until(cfg.duration);
+
+  // Baseline listening for every sensor over the horizon.
+  const u::Power baseline = cfg.mac.baseline_power(radio);
+  res.ledger.charge("listen-baseline",
+                    u::Energy(baseline.value() * cfg.duration.value() *
+                              (n - 1)));
+
+  if (res.delivered > 0) {
+    res.mean_hops /= static_cast<double>(res.delivered);
+    res.energy_per_delivered =
+        u::Energy((res.ledger.of("radio-tx") + res.ledger.of("radio-rx"))
+                      .value() /
+                  static_cast<double>(res.delivered));
+  }
+  return res;
+}
+
+}  // namespace ambisim::net

@@ -1,0 +1,132 @@
+#include "ambisim/net/routing.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace ambisim::net {
+
+std::vector<int> RoutingTree::path_from(int node) const {
+  if (!reachable(node)) return {};
+  std::vector<int> path;
+  int v = node;
+  path.push_back(v);
+  while (next_hop[v] != v) {
+    v = next_hop[v];
+    path.push_back(v);
+    if (path.size() > next_hop.size())
+      throw std::logic_error("routing loop detected");
+  }
+  return path;
+}
+
+std::vector<int> RoutingTree::relay_load() const {
+  std::vector<int> load(next_hop.size(), 0);
+  for (std::size_t i = 1; i < next_hop.size(); ++i) {
+    if (!reachable(static_cast<int>(i))) continue;
+    int v = static_cast<int>(i);
+    while (next_hop[v] != v) {
+      v = next_hop[v];
+      if (next_hop[v] == v) break;  // reached sink; don't count it as relay
+      ++load[v];
+    }
+  }
+  return load;
+}
+
+double LinkEnergyModel::cost(u::Length d) const {
+  if (d < u::Length(0.0)) throw std::invalid_argument("negative distance");
+  return k_elec + k_amp * std::pow(d.value(), exponent);
+}
+
+RoutingTree min_hop_routes(const Topology& topo, u::Length range) {
+  const auto adj = topo.adjacency(range);
+  const int n = topo.size();
+  RoutingTree tree;
+  tree.next_hop.assign(n, -1);
+  tree.cost.assign(n, std::numeric_limits<double>::infinity());
+  tree.hops.assign(n, -1);
+
+  std::queue<int> q;
+  const int s = topo.sink();
+  tree.next_hop[s] = s;
+  tree.cost[s] = 0.0;
+  tree.hops[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int w : adj[v]) {
+      if (tree.hops[w] < 0) {
+        tree.hops[w] = tree.hops[v] + 1;
+        tree.cost[w] = static_cast<double>(tree.hops[w]);
+        tree.next_hop[w] = v;
+        q.push(w);
+      }
+    }
+  }
+  return tree;
+}
+
+RoutingTree min_energy_routes(const Topology& topo, u::Length range,
+                              const LinkEnergyModel& model) {
+  const auto adj = topo.adjacency(range);
+  const int n = topo.size();
+  RoutingTree tree;
+  tree.next_hop.assign(n, -1);
+  tree.cost.assign(n, std::numeric_limits<double>::infinity());
+  tree.hops.assign(n, -1);
+
+  using Item = std::pair<double, int>;  // (cost, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  const int s = topo.sink();
+  tree.cost[s] = 0.0;
+  tree.next_hop[s] = s;
+  tree.hops[s] = 0;
+  pq.push({0.0, s});
+  while (!pq.empty()) {
+    const auto [c, v] = pq.top();
+    pq.pop();
+    if (c > tree.cost[v]) continue;
+    for (int w : adj[v]) {
+      const double link = model.cost(topo.node_distance(v, w));
+      const double cand = tree.cost[v] + link;
+      if (cand < tree.cost[w]) {
+        tree.cost[w] = cand;
+        tree.next_hop[w] = v;
+        tree.hops[w] = tree.hops[v] + 1;
+        pq.push({cand, w});
+      }
+    }
+  }
+  return tree;
+}
+
+double multihop_energy(const LinkEnergyModel& model, u::Length total,
+                       int hops) {
+  if (hops < 1) throw std::invalid_argument("hops < 1");
+  if (total <= u::Length(0.0))
+    throw std::invalid_argument("non-positive distance");
+  const double per_hop = total.value() / hops;
+  return hops * model.cost(u::Length(per_hop));
+}
+
+int optimal_hop_count(const LinkEnergyModel& model, u::Length total) {
+  if (total <= u::Length(0.0))
+    throw std::invalid_argument("non-positive distance");
+  if (model.exponent <= 1.0) return 1;  // no superlinear term: direct hop
+  const double k_star =
+      total.value() * std::pow((model.exponent - 1.0) * model.k_amp /
+                                   model.k_elec,
+                               1.0 / model.exponent);
+  if (k_star <= 1.0) return 1;
+  const int lo = static_cast<int>(std::floor(k_star));
+  const int hi = lo + 1;
+  return multihop_energy(model, total, lo) <=
+                 multihop_energy(model, total, hi)
+             ? lo
+             : hi;
+}
+
+}  // namespace ambisim::net

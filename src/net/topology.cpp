@@ -1,0 +1,98 @@
+#include "ambisim/net/topology.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <queue>
+#include <stdexcept>
+
+namespace ambisim::net {
+
+u::Length distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return u::Length(std::hypot(dx, dy));
+}
+
+Topology::Topology(std::vector<Point> nodes) : nodes_(std::move(nodes)) {
+  if (nodes_.empty()) throw std::invalid_argument("empty topology");
+}
+
+Topology Topology::random_field(int n, u::Length side, sim::Rng& rng) {
+  if (n < 1) throw std::invalid_argument("need at least one node");
+  if (side <= u::Length(0.0)) throw std::invalid_argument("field side <= 0");
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  const double s = side.value();
+  pts.push_back({s / 2.0, s / 2.0});  // sink at center
+  for (int i = 1; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, s), rng.uniform(0.0, s)});
+  return Topology(std::move(pts));
+}
+
+Topology Topology::grid(int n, u::Length pitch) {
+  if (n < 1) throw std::invalid_argument("need at least one node");
+  if (pitch <= u::Length(0.0)) throw std::invalid_argument("pitch <= 0");
+  const int cols = static_cast<int>(std::ceil(std::sqrt(double(n))));
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int r = i / cols;
+    const int c = i % cols;
+    pts.push_back({c * pitch.value(), r * pitch.value()});
+  }
+  return Topology(std::move(pts));
+}
+
+Topology Topology::star(int n, u::Length r) {
+  if (n < 1) throw std::invalid_argument("need at least one node");
+  if (r <= u::Length(0.0)) throw std::invalid_argument("radius <= 0");
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  pts.push_back({0.0, 0.0});
+  for (int i = 1; i < n; ++i) {
+    const double theta = 2.0 * std::numbers::pi * (i - 1) / (n - 1);
+    pts.push_back({r.value() * std::cos(theta), r.value() * std::sin(theta)});
+  }
+  return Topology(std::move(pts));
+}
+
+u::Length Topology::node_distance(int a, int b) const {
+  return distance(nodes_.at(a), nodes_.at(b));
+}
+
+std::vector<std::vector<int>> Topology::adjacency(u::Length range) const {
+  if (range <= u::Length(0.0)) throw std::invalid_argument("range <= 0");
+  std::vector<std::vector<int>> adj(nodes_.size());
+  for (int i = 0; i < size(); ++i) {
+    for (int j = i + 1; j < size(); ++j) {
+      if (node_distance(i, j) <= range) {
+        adj[i].push_back(j);
+        adj[j].push_back(i);
+      }
+    }
+  }
+  return adj;
+}
+
+bool Topology::connected(u::Length range) const {
+  const auto adj = adjacency(range);
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<int> q;
+  q.push(sink());
+  seen[sink()] = true;
+  int visited = 0;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    ++visited;
+    for (int w : adj[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        q.push(w);
+      }
+    }
+  }
+  return visited == size();
+}
+
+}  // namespace ambisim::net

@@ -1,0 +1,127 @@
+#include "ambisim/radio/ber.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ambisim::radio {
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double bit_error_rate(const Modulation& m, double ebn0_linear) {
+  if (ebn0_linear < 0.0) throw std::invalid_argument("negative Eb/N0");
+  const double e = ebn0_linear;
+  if (m.name == "BPSK" || m.name == "QPSK") {
+    // Gray-coded QPSK has the same BER as BPSK.
+    return q_function(std::sqrt(2.0 * e));
+  }
+  if (m.name == "FSK") {
+    // Noncoherent binary FSK.
+    return 0.5 * std::exp(-e / 2.0);
+  }
+  if (m.name == "OOK") {
+    // Noncoherent OOK with optimal threshold (envelope detection).
+    return 0.5 * std::exp(-e / 4.0);
+  }
+  // Square M-QAM approximation (Gray coding).
+  const double mbits = m.bits_per_symbol;
+  const double M = std::exp2(mbits);
+  const double arg = std::sqrt(3.0 * mbits / (M - 1.0) * e);
+  const double ber =
+      4.0 / mbits * (1.0 - 1.0 / std::sqrt(M)) * q_function(arg);
+  return std::min(0.5, ber);
+}
+
+double bit_error_rate_at(const LinkBudget& budget, const Modulation& m,
+                         u::Length d) {
+  const double snr_linear = std::pow(10.0, budget.snr_db(d) / 10.0);
+  // SNR = (Eb/N0) * (Rb/B); at symbol rate == bandwidth, Rb/B = bits/symbol.
+  const double ebn0 = snr_linear / m.bits_per_symbol;
+  return bit_error_rate(m, ebn0);
+}
+
+double packet_error_rate(double ber, double bits) {
+  if (ber < 0.0 || ber > 1.0) throw std::invalid_argument("BER range");
+  if (bits < 0.0) throw std::invalid_argument("negative packet size");
+  return 1.0 - std::pow(1.0 - ber, bits);
+}
+
+double ArqModel::delivery_probability(double per) const {
+  if (per < 0.0 || per > 1.0) throw std::invalid_argument("PER range");
+  if (max_attempts < 1) throw std::logic_error("max_attempts < 1");
+  return 1.0 - std::pow(per, max_attempts);
+}
+
+double ArqModel::expected_attempts(double per) const {
+  if (per < 0.0 || per > 1.0) throw std::invalid_argument("PER range");
+  if (max_attempts < 1) throw std::logic_error("max_attempts < 1");
+  // Truncated geometric: sum_{k=1..N} k p^{k-1} (1-p) + N p^N.
+  double expected = 0.0;
+  for (int k = 1; k <= max_attempts; ++k) {
+    expected += k * std::pow(per, k - 1) * (1.0 - per);
+  }
+  expected += max_attempts * std::pow(per, max_attempts);
+  return expected;
+}
+
+u::Energy ArqModel::energy_per_delivered(const RadioModel& radio,
+                                         u::Information payload,
+                                         double per) const {
+  const double attempts = expected_attempts(per);
+  const double delivered = delivery_probability(per);
+  if (delivered <= 0.0)
+    throw std::domain_error("link never delivers (PER == 1)");
+  // Each attempt: sender tx payload + receiver rx payload; on success an
+  // ACK flies back (tx at receiver, rx at sender).  Startup per attempt.
+  const u::Energy per_attempt =
+      radio.tx_energy(payload) + radio.rx_energy(payload) +
+      2.0 * radio.startup_energy();
+  const u::Energy ack = radio.tx_energy(ack_bits) + radio.rx_energy(ack_bits);
+  return u::Energy((per_attempt.value() * attempts + ack.value()) /
+                   delivered);
+}
+
+u::EnergyPerBit energy_per_delivered_bit(const RadioModel& radio, u::Length d,
+                                         u::Information payload,
+                                         const ArqModel& arq) {
+  if (payload <= u::Information(0.0))
+    throw std::invalid_argument("payload must be positive");
+  const double ber = bit_error_rate_at(radio.link_budget(),
+                                       radio.params().modulation, d);
+  const double per = packet_error_rate(ber, payload.value());
+  const u::Energy e = arq.energy_per_delivered(radio, payload, per);
+  return u::EnergyPerBit(e.value() / payload.value());
+}
+
+u::Power optimal_radiated_power(const RadioParams& params, u::Length d,
+                                u::Information payload, u::Power p_min,
+                                u::Power p_max, int steps) {
+  if (steps < 2) throw std::invalid_argument("steps < 2");
+  if (p_min <= u::Power(0.0) || p_max <= p_min)
+    throw std::invalid_argument("bad power range");
+  const ArqModel arq;
+  u::Power best = p_min;
+  double best_cost = std::numeric_limits<double>::infinity();
+  const double lr = std::log(p_max.value() / p_min.value());
+  for (int i = 0; i < steps; ++i) {
+    RadioParams p = params;
+    p.tx_radiated =
+        u::Power(p_min.value() * std::exp(lr * i / (steps - 1)));
+    const RadioModel radio(p);
+    const double ber = bit_error_rate_at(radio.link_budget(),
+                                         p.modulation, d);
+    const double per = packet_error_rate(ber, payload.value());
+    if (per >= 1.0 - 1e-15) continue;  // hopeless at this power
+    const double cost =
+        arq.energy_per_delivered(radio, payload, per).value();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = p.tx_radiated;
+    }
+  }
+  if (!std::isfinite(best_cost))
+    throw std::domain_error("link unusable across the whole power range");
+  return best;
+}
+
+}  // namespace ambisim::radio

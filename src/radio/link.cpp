@@ -1,0 +1,85 @@
+#include "ambisim/radio/link.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::radio {
+
+double watt_to_dbm(u::Power p) {
+  if (p <= u::Power(0.0))
+    throw std::invalid_argument("dBm of non-positive power");
+  return 10.0 * std::log10(p.value() * 1e3);
+}
+
+u::Power dbm_to_watt(double dbm) {
+  return u::Power(std::pow(10.0, dbm / 10.0) * 1e-3);
+}
+
+PathLossModel PathLossModel::free_space() { return {2.0, u::Length(1.0), 40.0}; }
+PathLossModel PathLossModel::indoor() { return {3.0, u::Length(1.0), 40.0}; }
+PathLossModel PathLossModel::dense_indoor() {
+  return {3.5, u::Length(1.0), 45.0};
+}
+
+double PathLossModel::loss_db(u::Length distance) const {
+  if (distance <= u::Length(0.0))
+    throw std::invalid_argument("non-positive distance");
+  const double d = std::max(distance.value(), ref_distance.value());
+  return loss_at_ref_db +
+         10.0 * exponent * std::log10(d / ref_distance.value());
+}
+
+double noise_floor_dbm(u::Frequency bandwidth, double noise_figure_db) {
+  if (bandwidth <= u::Frequency(0.0))
+    throw std::invalid_argument("non-positive bandwidth");
+  return -174.0 + 10.0 * std::log10(bandwidth.value()) + noise_figure_db;
+}
+
+Modulation Modulation::ook() { return {"OOK", 1.0, 13.0}; }
+Modulation Modulation::fsk() { return {"FSK", 1.0, 11.0}; }
+Modulation Modulation::bpsk() { return {"BPSK", 1.0, 7.0}; }
+Modulation Modulation::qpsk() { return {"QPSK", 2.0, 7.0}; }
+Modulation Modulation::qam16() { return {"16QAM", 4.0, 11.5}; }
+Modulation Modulation::qam64() { return {"64QAM", 6.0, 16.5}; }
+
+double LinkBudget::received_dbm(u::Length distance) const {
+  return watt_to_dbm(tx_radiated) - path_loss.loss_db(distance);
+}
+
+double LinkBudget::snr_db(u::Length distance) const {
+  return received_dbm(distance) - noise_floor_dbm(bandwidth, noise_figure_db);
+}
+
+double LinkBudget::required_snr_db(const Modulation& m) {
+  // SNR = Eb/N0 * (Rb/B); at symbol rate == bandwidth, Rb/B = bits/symbol.
+  return m.required_ebn0_db + 10.0 * std::log10(m.bits_per_symbol);
+}
+
+bool LinkBudget::closes(u::Length distance, const Modulation& m) const {
+  return snr_db(distance) >= required_snr_db(m);
+}
+
+u::Length LinkBudget::max_range(const Modulation& m) const {
+  // Solve PL(d) = Ptx_dbm - noise - required_snr for d in the log model.
+  const double margin_db = watt_to_dbm(tx_radiated) -
+                           noise_floor_dbm(bandwidth, noise_figure_db) -
+                           required_snr_db(m);
+  const double excess = margin_db - path_loss.loss_at_ref_db;
+  if (excess < 0.0) return u::Length(0.0);  // does not even close at d0
+  const double d = path_loss.ref_distance.value() *
+                   std::pow(10.0, excess / (10.0 * path_loss.exponent));
+  return u::Length(d);
+}
+
+u::BitRate LinkBudget::shannon_capacity(u::Length distance) const {
+  const double snr_linear = std::pow(10.0, snr_db(distance) / 10.0);
+  return u::BitRate(bandwidth.value() * std::log2(1.0 + snr_linear));
+}
+
+u::BitRate LinkBudget::achievable_rate(u::Length distance,
+                                       const Modulation& m) const {
+  if (!closes(distance, m)) return u::BitRate(0.0);
+  return u::BitRate(bandwidth.value() * m.bits_per_symbol);
+}
+
+}  // namespace ambisim::radio

@@ -1,0 +1,147 @@
+#include "ambisim/radio/transceiver.hpp"
+
+#include <stdexcept>
+
+namespace ambisim::radio {
+
+using namespace ambisim::units::literals;
+
+std::string to_string(RadioState s) {
+  switch (s) {
+    case RadioState::Sleep: return "sleep";
+    case RadioState::Idle: return "idle";
+    case RadioState::Rx: return "rx";
+    case RadioState::Tx: return "tx";
+  }
+  return "unknown";
+}
+
+RadioParams ulp_radio() {
+  return {"ulp-100k",
+          100_kbps,
+          Modulation::fsk(),
+          200_kHz,
+          600_uW,
+          900_uW,
+          300_uW,
+          0.5_uW,
+          0.25,
+          dbm_to_watt(-6.0),
+          400_us,
+          PathLossModel::indoor()};
+}
+
+RadioParams bluetooth_like() {
+  return {"bt-1M",
+          1.0_Mbps,
+          Modulation::fsk(),
+          1_MHz,
+          26_mW,
+          28_mW,
+          8_mW,
+          30_uW,
+          0.30,
+          dbm_to_watt(0.0),
+          200_us,
+          PathLossModel::indoor()};
+}
+
+RadioParams wlan_80211b() {
+  return {"wlan-11M",
+          11.0_Mbps,
+          Modulation::qpsk(),
+          11_MHz,
+          250_mW,
+          280_mW,
+          120_mW,
+          1_mW,
+          0.35,
+          dbm_to_watt(20.0),
+          1_ms,
+          PathLossModel::indoor()};
+}
+
+RadioParams wlan_80211a() {
+  return {"wlan-54M",
+          54.0_Mbps,
+          Modulation::qam64(),
+          20_MHz,
+          480_mW,
+          450_mW,
+          200_mW,
+          2_mW,
+          0.30,
+          dbm_to_watt(17.0),
+          1_ms,
+          PathLossModel::indoor()};
+}
+
+RadioModel::RadioModel(RadioParams params) : params_(std::move(params)) {
+  if (params_.bit_rate <= u::BitRate(0.0))
+    throw std::invalid_argument("bit rate must be positive");
+  if (params_.pa_efficiency <= 0.0 || params_.pa_efficiency > 1.0)
+    throw std::invalid_argument("PA efficiency outside (0, 1]");
+  if (params_.tx_radiated <= u::Power(0.0))
+    throw std::invalid_argument("radiated power must be positive");
+  if (params_.sleep_power < u::Power(0.0) ||
+      params_.idle_power < params_.sleep_power ||
+      params_.rx_power < params_.idle_power)
+    throw std::invalid_argument("radio powers must satisfy sleep<=idle<=rx");
+}
+
+u::Power RadioModel::tx_power() const {
+  return params_.tx_electronics + params_.tx_radiated / params_.pa_efficiency;
+}
+
+u::Power RadioModel::power(RadioState s) const {
+  switch (s) {
+    case RadioState::Sleep: return params_.sleep_power;
+    case RadioState::Idle: return params_.idle_power;
+    case RadioState::Rx: return params_.rx_power;
+    case RadioState::Tx: return tx_power();
+  }
+  throw std::logic_error("unknown radio state");
+}
+
+u::Time RadioModel::time_on_air(u::Information payload) const {
+  if (payload < u::Information(0.0))
+    throw std::invalid_argument("negative payload");
+  return u::Time(payload.value() / params_.bit_rate.value());
+}
+
+u::Energy RadioModel::tx_energy(u::Information payload) const {
+  return u::Energy(tx_power().value() * time_on_air(payload).value());
+}
+
+u::Energy RadioModel::rx_energy(u::Information payload) const {
+  return u::Energy(params_.rx_power.value() * time_on_air(payload).value());
+}
+
+u::Energy RadioModel::startup_energy() const {
+  // Turnaround spent at idle power (synthesizer lock).
+  return u::Energy(params_.idle_power.value() * params_.startup.value());
+}
+
+u::EnergyPerBit RadioModel::energy_per_bit_tx() const {
+  return u::EnergyPerBit(tx_power().value() / params_.bit_rate.value());
+}
+
+u::EnergyPerBit RadioModel::energy_per_bit_rx() const {
+  return u::EnergyPerBit(params_.rx_power.value() /
+                         params_.bit_rate.value());
+}
+
+LinkBudget RadioModel::link_budget() const {
+  return LinkBudget{params_.tx_radiated, params_.environment,
+                    params_.bandwidth};
+}
+
+u::Length RadioModel::max_range() const {
+  return link_budget().max_range(params_.modulation);
+}
+
+bool RadioModel::reaches(u::Length distance) const {
+  return link_budget().closes(distance, params_.modulation);
+}
+
+}  // namespace ambisim::radio

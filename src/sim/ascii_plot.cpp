@@ -1,0 +1,140 @@
+#include "ambisim/sim/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+namespace ambisim::sim {
+
+AsciiScatter::AsciiScatter(std::string title, int width, int height,
+                           bool log_x, bool log_y)
+    : title_(std::move(title)),
+      width_(width),
+      height_(height),
+      log_x_(log_x),
+      log_y_(log_y) {
+  if (width < 16 || height < 8)
+    throw std::invalid_argument("plot too small to be readable");
+}
+
+void AsciiScatter::add(double x, double y, char glyph) {
+  if ((log_x_ && x <= 0.0) || (log_y_ && y <= 0.0))
+    throw std::invalid_argument("non-positive coordinate on a log axis");
+  if (!std::isfinite(x) || !std::isfinite(y))
+    throw std::invalid_argument("non-finite coordinate");
+  points_.push_back({x, y, glyph});
+}
+
+void AsciiScatter::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+void AsciiScatter::render(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  if (points_.empty()) {
+    os << "(no points)\n";
+    return;
+  }
+
+  auto tx = [&](double v) { return log_x_ ? std::log10(v) : v; };
+  auto ty = [&](double v) { return log_y_ ? std::log10(v) : v; };
+
+  double xmin = tx(points_.front().x), xmax = xmin;
+  double ymin = ty(points_.front().y), ymax = ymin;
+  for (const auto& p : points_) {
+    xmin = std::min(xmin, tx(p.x));
+    xmax = std::max(xmax, tx(p.x));
+    ymin = std::min(ymin, ty(p.y));
+    ymax = std::max(ymax, ty(p.y));
+  }
+  // Snap log ranges to whole decades for clean gridlines.
+  if (log_x_) {
+    xmin = std::floor(xmin);
+    xmax = std::ceil(xmax + 1e-12);
+  }
+  if (log_y_) {
+    ymin = std::floor(ymin);
+    ymax = std::ceil(ymax + 1e-12);
+  }
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), ' '));
+
+  // Decade gridlines.
+  if (log_y_) {
+    for (double d = ymin; d <= ymax + 1e-9; d += 1.0) {
+      const int r = static_cast<int>(
+          std::lround((ymax - d) / (ymax - ymin) * (height_ - 1)));
+      if (r >= 0 && r < height_) {
+        for (int c = 0; c < width_; ++c) grid[r][c] = '.';
+      }
+    }
+  }
+  if (log_x_) {
+    for (double d = xmin; d <= xmax + 1e-9; d += 1.0) {
+      const int c = static_cast<int>(
+          std::lround((d - xmin) / (xmax - xmin) * (width_ - 1)));
+      if (c >= 0 && c < width_) {
+        for (int r = 0; r < height_; ++r) {
+          if (grid[r][c] == ' ') grid[r][c] = ':';
+        }
+      }
+    }
+  }
+
+  for (const auto& p : points_) {
+    const int c = static_cast<int>(std::lround(
+        (tx(p.x) - xmin) / (xmax - xmin) * (width_ - 1)));
+    const int r = static_cast<int>(std::lround(
+        (ymax - ty(p.y)) / (ymax - ymin) * (height_ - 1)));
+    if (r >= 0 && r < height_ && c >= 0 && c < width_) grid[r][c] = p.glyph;
+  }
+
+  char buf[64];
+  for (int r = 0; r < height_; ++r) {
+    // Left margin: decade label at gridline rows.
+    std::string margin(10, ' ');
+    if (log_y_) {
+      const double d = ymax - (ymax - ymin) * r / (height_ - 1);
+      if (std::fabs(d - std::lround(d)) < (ymax - ymin) / (2.0 * height_)) {
+        std::snprintf(buf, sizeof(buf), "1e%+03d ", (int)std::lround(d));
+        margin = std::string(10 - std::min<std::size_t>(10, strlen(buf)),
+                             ' ') +
+                 buf;
+      }
+    }
+    os << margin << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(10, ' ') << '+' << std::string(width_, '-') << '\n';
+  if (log_x_) {
+    std::string axis(static_cast<std::size_t>(width_) + 11, ' ');
+    for (double d = xmin; d <= xmax + 1e-9; d += 1.0) {
+      const int c = static_cast<int>(
+          std::lround((d - xmin) / (xmax - xmin) * (width_ - 1)));
+      std::snprintf(buf, sizeof(buf), "1e%+03d", (int)std::lround(d));
+      const std::size_t at = static_cast<std::size_t>(11 + c) >= 3
+                                 ? static_cast<std::size_t>(11 + c) - 3
+                                 : 0;
+      if (at + 5 < axis.size()) axis.replace(at, 5, buf);
+    }
+    os << axis << '\n';
+  }
+  if (!x_label_.empty() || !y_label_.empty()) {
+    os << std::string(10, ' ') << "x: " << x_label_ << "   y: " << y_label_
+       << '\n';
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const AsciiScatter& plot) {
+  plot.render(os);
+  return os;
+}
+
+}  // namespace ambisim::sim

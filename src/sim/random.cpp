@@ -1,0 +1,24 @@
+#include "ambisim/sim/random.hpp"
+
+#include <numeric>
+
+namespace ambisim::sim {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("all weights zero");
+  double u = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;  // float round-off fallback
+}
+
+}  // namespace ambisim::sim

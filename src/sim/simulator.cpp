@@ -1,0 +1,71 @@
+#include "ambisim/sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace ambisim::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle Simulator::schedule_at(Time t, Callback fn) {
+  if (t < now_)
+    throw std::invalid_argument("schedule_at: time is in the past");
+  if (!fn) throw std::invalid_argument("schedule_at: empty callback");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{t, seq_++, std::move(fn), flag});
+  return EventHandle(flag);
+}
+
+EventHandle Simulator::schedule_in(Time dt, Callback fn) {
+  if (dt < Time(0.0))
+    throw std::invalid_argument("schedule_in: negative delay");
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.time;
+    *ev.cancelled = true;  // mark fired so handles report non-pending
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  if (deadline < now_)
+    throw std::invalid_argument("run_until: deadline is in the past");
+  stopped_ = false;
+  for (;;) {
+    // Drop cancelled events so the live queue head decides whether we are
+    // past the deadline.
+    while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+    if (stopped_ || queue_.empty() || queue_.top().time > deadline) break;
+    step();
+  }
+  if (!stopped_) now_ = deadline;
+}
+
+double Trace::integral() const {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    acc += points_[i - 1].value *
+           (points_[i].time - points_[i - 1].time).value();
+  }
+  return acc;
+}
+
+}  // namespace ambisim::sim

@@ -1,0 +1,101 @@
+#include "ambisim/sim/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace ambisim::sim {
+
+namespace {
+
+std::string cell_to_string(const Table::Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* d = std::get_if<double>(&c)) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", *d);
+    return buf;
+  }
+  return std::to_string(std::get<long long>(c));
+}
+
+}  // namespace
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("table needs columns");
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size())
+    throw std::invalid_argument("row width mismatch in table '" + title_ +
+                                "'");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+double Table::number(std::size_t row, std::size_t col) const {
+  const Cell& c = rows_.at(row).at(col);
+  if (const auto* d = std::get_if<double>(&c)) return *d;
+  if (const auto* i = std::get_if<long long>(&c))
+    return static_cast<double>(*i);
+  throw std::logic_error("table cell is not numeric");
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    width[i] = columns_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(cell_to_string(row[i]));
+      width[i] = std::max(width[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size())
+        os << std::string(width[i] - cells[i].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rendered) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find(',') == std::string::npos) return s;
+    return '"' + s + '"';
+  };
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << quote(columns_[i]);
+    if (i + 1 < columns_.size()) os << ',';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << quote(cell_to_string(row[i]));
+      if (i + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace ambisim::sim

@@ -1,0 +1,36 @@
+#include "ambisim/sim/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace ambisim::units {
+
+std::string si_format(double value, const std::string& unit, int precision) {
+  struct Prefix {
+    double scale;
+    const char* symbol;
+  };
+  static constexpr std::array<Prefix, 17> kPrefixes = {{
+      {1e15, "P"}, {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+      {1.0, ""},   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+      {1e-15, "f"}, {1e-18, "a"}, {1e-21, "z"}, {1e-24, "y"}, {1e-27, "?"},
+      {1e-30, "?"}, {1e-33, "?"},
+  }};
+
+  if (value == 0.0) return "0 " + unit;
+  const double mag = std::fabs(value);
+  const Prefix* chosen = &kPrefixes[5];  // unity
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) {
+      chosen = &p;
+      break;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g %s%s", precision,
+                value / chosen->scale, chosen->symbol, unit.c_str());
+  return buf;
+}
+
+}  // namespace ambisim::units

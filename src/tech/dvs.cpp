@@ -1,0 +1,66 @@
+#include "ambisim/tech/dvs.hpp"
+
+#include <stdexcept>
+
+namespace ambisim::tech {
+
+DvsModel::DvsModel(const TechnologyNode& node, int steps, double logic_depth)
+    : node_(node), logic_depth_(logic_depth) {
+  if (steps < 2) throw std::invalid_argument("DVS needs >= 2 steps");
+  if (logic_depth <= 0.0)
+    throw std::invalid_argument("logic depth must be positive");
+  const double vlo = node.vdd_min.value();
+  const double vhi = node.vdd_nominal.value();
+  points_.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double v = vlo + (vhi - vlo) * static_cast<double>(i) /
+                               static_cast<double>(steps - 1);
+    const u::Voltage vv{v};
+    points_.push_back({vv, max_frequency(node, vv, logic_depth_)});
+  }
+}
+
+OperatingPoint DvsModel::slowest_feasible(double cycles,
+                                          u::Time deadline) const {
+  if (cycles < 0.0) throw std::invalid_argument("negative cycle count");
+  if (deadline <= u::Time(0.0))
+    throw std::invalid_argument("non-positive deadline");
+  // Small relative tolerance so exactly-critical schedules remain feasible
+  // under floating-point rounding.
+  const double budget = deadline.value() * (1.0 + 1e-9);
+  for (const auto& p : points_) {
+    if (cycles / p.frequency.value() <= budget) return p;
+  }
+  throw std::domain_error("deadline infeasible even at nominal voltage");
+}
+
+u::Energy DvsModel::energy(const OperatingPoint& p, double cycles,
+                           double gates_per_cycle, double idle_gates) const {
+  const u::Time duration{cycles / p.frequency.value()};
+  const u::Energy dyn =
+      switching_energy(node_, p.voltage) * (gates_per_cycle * cycles);
+  const u::Energy leak{leakage_power_per_gate(node_, p.voltage).value() *
+                       (gates_per_cycle + idle_gates) * duration.value()};
+  return dyn + leak;
+}
+
+OperatingPoint DvsModel::optimal(double cycles, u::Time deadline,
+                                 double gates_per_cycle,
+                                 double idle_gates) const {
+  // Ensure feasibility (throws otherwise).
+  (void)slowest_feasible(cycles, deadline);
+  const OperatingPoint* best = nullptr;
+  u::Energy best_e{0.0};
+  const double budget = deadline.value() * (1.0 + 1e-9);
+  for (const auto& p : points_) {
+    if (cycles / p.frequency.value() > budget) continue;
+    const u::Energy e = energy(p, cycles, gates_per_cycle, idle_gates);
+    if (best == nullptr || e < best_e) {
+      best = &p;
+      best_e = e;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ambisim::tech

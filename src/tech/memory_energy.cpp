@@ -1,0 +1,49 @@
+#include "ambisim/tech/memory_energy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::tech {
+
+u::Energy SramModel::access_energy(const TechnologyNode& node, u::Voltage v,
+                                   double capacity_bits, double word_bits) {
+  if (capacity_bits <= 0.0 || word_bits <= 0.0)
+    throw std::invalid_argument("SRAM sizes must be positive");
+  if (word_bits > capacity_bits)
+    throw std::invalid_argument("word wider than array");
+  const u::Energy eg = switching_energy(node, v);
+  // Decoder + periphery (fixed), sense amps + data path (per word bit), and
+  // bitline/wordline charging growing with the array's linear dimension.
+  const double k_fixed = 40.0;
+  const double k_word = 6.0;
+  const double k_array = 1.5;
+  const double gates =
+      k_fixed + k_word * word_bits + k_array * std::sqrt(capacity_bits);
+  return eg * gates;
+}
+
+u::Power SramModel::leakage(const TechnologyNode& node, u::Voltage v,
+                            double capacity_bits) {
+  if (capacity_bits < 0.0)
+    throw std::invalid_argument("negative SRAM capacity");
+  // A 6T cell leaks roughly a quarter of a reference logic gate.
+  return leakage_power_per_gate(node, v) * (0.25 * capacity_bits);
+}
+
+u::Energy OffChipModel::access_energy(u::Voltage io_voltage, double word_bits,
+                                      u::Capacitance pin_cap) {
+  if (word_bits <= 0.0) throw std::invalid_argument("word bits <= 0");
+  // Each pin swings the pad + trace capacitance once per transfer; assume
+  // half the bits toggle.  Address/control pins add ~50 % overhead.
+  const double v = io_voltage.value();
+  const double data = 0.5 * word_bits * pin_cap.value() * v * v;
+  return u::Energy(1.5 * data);
+}
+
+u::Energy OffChipModel::dram_core_energy(double word_bits) {
+  if (word_bits <= 0.0) throw std::invalid_argument("word bits <= 0");
+  // ~0.5 nJ per 32-bit access for 2003-era SDRAM, linear in word width.
+  return u::Energy(0.5e-9 * word_bits / 32.0);
+}
+
+}  // namespace ambisim::tech

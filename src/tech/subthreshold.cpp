@@ -1,0 +1,111 @@
+#include "ambisim/tech/subthreshold.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ambisim::tech {
+
+namespace {
+constexpr double kBoltzmannOverQ = 8.617333e-5;  // V/K
+}
+
+SubthresholdModel::SubthresholdModel(const TechnologyNode& node, double n,
+                                     double temperature_k)
+    : node_(node), n_(n), vt_(kBoltzmannOverQ * temperature_k) {
+  if (n < 1.0 || n > 3.0)
+    throw std::invalid_argument("subthreshold slope factor out of range");
+  if (temperature_k < 200.0 || temperature_k > 500.0)
+    throw std::invalid_argument("temperature out of range");
+  // Calibrate the alpha law so delay(Vnom) == fo4_delay:
+  //   delay = C * V / I  =>  I(Vnom) = C * Vnom / fo4.
+  const double vn = node_.vdd_nominal.value();
+  const double vth = node_.vth.value();
+  const double i_nom = node_.gate_cap.value() * vn / node_.fo4_delay.value();
+  k_sat_ = i_nom / std::pow(vn - vth, node_.alpha);
+  // Handoff a couple of thermal slopes above threshold.
+  handoff_v_ = vth + 2.0 * n_ * vt_;
+  i_at_handoff_ = k_sat_ * std::pow(handoff_v_ - vth, node_.alpha);
+}
+
+u::Voltage SubthresholdModel::thermal_voltage() const {
+  return u::Voltage(vt_);
+}
+
+u::Voltage SubthresholdModel::functional_floor() const {
+  return u::Voltage(4.0 * vt_);
+}
+
+u::Current SubthresholdModel::on_current(u::Voltage v) const {
+  const double vv = v.value();
+  if (vv <= 0.0) throw std::domain_error("non-positive supply");
+  if (vv > node_.vdd_nominal.value() * 1.0001)
+    throw std::domain_error("supply above nominal");
+  if (vv >= handoff_v_) {
+    return u::Current(k_sat_ *
+                      std::pow(vv - node_.vth.value(), node_.alpha));
+  }
+  return u::Current(i_at_handoff_ *
+                    std::exp((vv - handoff_v_) / (n_ * vt_)));
+}
+
+u::Time SubthresholdModel::gate_delay(u::Voltage v) const {
+  return u::Time(node_.gate_cap.value() * v.value() /
+                 on_current(v).value());
+}
+
+u::Frequency SubthresholdModel::max_frequency(u::Voltage v,
+                                              double logic_depth) const {
+  if (logic_depth <= 0.0) throw std::invalid_argument("logic depth");
+  return u::Frequency(1.0 / (logic_depth * gate_delay(v).value()));
+}
+
+u::Power SubthresholdModel::leakage_power_per_gate(u::Voltage v) const {
+  // Subthreshold leakage current falls only mildly with supply (DIBL):
+  // I_leak(V) = I_nom * e^{kd (V - Vnom)} with kd ~ 1.5 /V, i.e. roughly a
+  // 5-6x reduction from nominal down to near zero — unlike the cubic
+  // super-threshold fit, it must not vanish at low Vdd, which is exactly
+  // why the minimum-energy point exists.
+  constexpr double kDibl = 1.5;  // 1/V
+  const double i_leak =
+      node_.leak_nominal.value() *
+      std::exp(kDibl * (v.value() - node_.vdd_nominal.value()));
+  return u::Power(i_leak * v.value());
+}
+
+u::Energy SubthresholdModel::energy_per_op(u::Voltage v, double gates_per_op,
+                                           double idle_gates,
+                                           double logic_depth) const {
+  if (gates_per_op < 0.0 || idle_gates < 0.0)
+    throw std::invalid_argument("negative gate counts");
+  const double vv = v.value();
+  const u::Energy dynamic{gates_per_op * node_.gate_cap.value() * vv * vv};
+  const double cycle = logic_depth * gate_delay(v).value();
+  const u::Energy leak{leakage_power_per_gate(v).value() *
+                       (gates_per_op + idle_gates) * cycle};
+  return dynamic + leak;
+}
+
+u::Voltage SubthresholdModel::minimum_energy_voltage(
+    double gates_per_op, double idle_gates, double logic_depth,
+    u::Voltage v_floor, int steps) const {
+  if (steps < 2) throw std::invalid_argument("steps < 2");
+  const double lo = std::max(v_floor.value(), functional_floor().value());
+  const double hi = node_.vdd_nominal.value();
+  if (lo >= hi) throw std::invalid_argument("voltage range empty");
+  double best_v = hi;
+  double best_e = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < steps; ++i) {
+    const double v = lo + (hi - lo) * i / (steps - 1);
+    const double e =
+        energy_per_op(u::Voltage(v), gates_per_op, idle_gates, logic_depth)
+            .value();
+    if (e < best_e) {
+      best_e = e;
+      best_v = v;
+    }
+  }
+  return u::Voltage(best_v);
+}
+
+}  // namespace ambisim::tech

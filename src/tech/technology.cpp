@@ -1,0 +1,124 @@
+#include "ambisim/tech/technology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::tech {
+
+using namespace ambisim::units::literals;
+
+TechnologyLibrary::TechnologyLibrary(std::vector<TechnologyNode> nodes)
+    : nodes_(std::move(nodes)) {
+  if (nodes_.empty())
+    throw std::invalid_argument("technology library must not be empty");
+}
+
+const TechnologyLibrary& TechnologyLibrary::standard() {
+  // First-order constants per generation, 2003-era ITRS flavour.  FO4 delay
+  // follows the ~0.36 ns/um rule; leakage per gate grows roughly 4-5x per
+  // generation as Vth scales down.
+  static const TechnologyLibrary lib{{
+      {"350nm", 350_nm, 1995, 3.3_V, 0.60_V, 1.2_V, 4.0_fF, 126.0_ps,
+       u::Current(1e-11), 1.7},
+      {"250nm", 250_nm, 1997, 2.5_V, 0.55_V, 1.1_V, 2.6_fF, 90.0_ps,
+       u::Current(5e-11), 1.6},
+      {"180nm", 180_nm, 1999, 1.8_V, 0.50_V, 0.9_V, 1.7_fF, 65.0_ps,
+       u::Current(2e-10), 1.55},
+      {"130nm", 130_nm, 2001, 1.3_V, 0.40_V, 0.8_V, 1.1_fF, 47.0_ps,
+       u::Current(1e-9), 1.5},
+      {"90nm", 90_nm, 2003, 1.2_V, 0.35_V, 0.7_V, 0.70_fF, 32.0_ps,
+       u::Current(5e-9), 1.4},
+      {"65nm", 65_nm, 2005, 1.1_V, 0.30_V, 0.65_V, 0.45_fF, 23.0_ps,
+       u::Current(2e-8), 1.35},
+      {"45nm", 45_nm, 2007, 1.0_V, 0.30_V, 0.6_V, 0.30_fF, 16.0_ps,
+       u::Current(6e-8), 1.3},
+  }};
+  return lib;
+}
+
+const TechnologyNode& TechnologyLibrary::node(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n.name == name) return n;
+  }
+  throw std::out_of_range("unknown technology node: " + name);
+}
+
+const TechnologyNode& TechnologyLibrary::by_year(int year) const {
+  const TechnologyNode* best = &nodes_.front();
+  for (const auto& n : nodes_) {
+    if (n.year <= year) best = &n;
+  }
+  return *best;
+}
+
+namespace {
+
+void check_voltage(const TechnologyNode& node, u::Voltage v) {
+  if (v < node.vdd_min || v > node.vdd_nominal * 1.0001)
+    throw std::domain_error("supply voltage outside [vdd_min, vdd_nominal] for " +
+                            node.name);
+}
+
+}  // namespace
+
+u::Time gate_delay(const TechnologyNode& node, u::Voltage v) {
+  check_voltage(node, v);
+  const double vn = node.vdd_nominal.value();
+  const double vt = node.vth.value();
+  const double vv = v.value();
+  // alpha-power law: tau ~ V / (V - Vth)^alpha, normalized at Vnom.
+  const double scale = (vv / vn) * std::pow((vn - vt) / (vv - vt), node.alpha);
+  return node.fo4_delay * scale;
+}
+
+u::Frequency max_frequency(const TechnologyNode& node, u::Voltage v,
+                           double logic_depth) {
+  if (logic_depth <= 0.0)
+    throw std::invalid_argument("logic depth must be positive");
+  return u::Frequency(1.0 / (logic_depth * gate_delay(node, v).value()));
+}
+
+u::Energy switching_energy(const TechnologyNode& node, u::Voltage v) {
+  check_voltage(node, v);
+  return u::Energy(node.gate_cap.value() * v.value() * v.value());
+}
+
+u::Current leakage_current(const TechnologyNode& node, u::Voltage v) {
+  check_voltage(node, v);
+  const double r = v.value() / node.vdd_nominal.value();
+  return node.leak_nominal * (r * r * r);
+}
+
+u::Power leakage_power_per_gate(const TechnologyNode& node, u::Voltage v) {
+  return u::Power(leakage_current(node, v).value() * v.value());
+}
+
+u::Power dynamic_power(const TechnologyNode& node, double gate_count,
+                       double activity, u::Frequency f, u::Voltage v) {
+  if (gate_count < 0.0 || activity < 0.0 || activity > 1.0)
+    throw std::invalid_argument("bad gate count or activity factor");
+  const u::Frequency fmax = max_frequency(node, v);
+  if (f > fmax * 1.0001)
+    throw std::domain_error("clock exceeds max frequency at this voltage");
+  return u::Power(gate_count * activity * switching_energy(node, v).value() *
+                  f.value());
+}
+
+u::Power total_power(const TechnologyNode& node, double gate_count,
+                     double activity, u::Frequency f, u::Voltage v) {
+  return dynamic_power(node, gate_count, activity, f, v) +
+         leakage_power_per_gate(node, v) * gate_count;
+}
+
+u::Energy energy_per_op(const TechnologyNode& node, double gates_per_op,
+                        u::Voltage v, u::Frequency f, double idle_gates) {
+  if (gates_per_op < 0.0 || idle_gates < 0.0)
+    throw std::invalid_argument("negative gate counts");
+  const u::Energy dyn = switching_energy(node, v) * gates_per_op;
+  const u::Energy leak = u::Energy(
+      leakage_power_per_gate(node, v).value() * (gates_per_op + idle_gates) /
+      f.value());
+  return dyn + leak;
+}
+
+}  // namespace ambisim::tech

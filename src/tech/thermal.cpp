@@ -1,0 +1,85 @@
+#include "ambisim/tech/thermal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::tech {
+
+ThermalModel::ThermalModel(double resistance_k_per_w, double ambient_c,
+                           double leak_doubling_c)
+    : resistance_(resistance_k_per_w),
+      ambient_c_(ambient_c),
+      doubling_c_(leak_doubling_c) {
+  if (resistance_k_per_w <= 0.0)
+    throw std::invalid_argument("thermal resistance must be positive");
+  if (leak_doubling_c <= 0.0)
+    throw std::invalid_argument("leakage doubling interval must be positive");
+  if (ambient_c < -55.0 || ambient_c >= kMaxJunction)
+    throw std::invalid_argument("ambient temperature out of range");
+}
+
+double ThermalModel::leakage_multiplier(double t_c) const {
+  return std::exp2((t_c - 25.0) / doubling_c_);
+}
+
+ThermalModel::Equilibrium ThermalModel::solve(u::Power dynamic_power,
+                                              u::Power leakage_at_25c,
+                                              int max_iterations) const {
+  if (dynamic_power < u::Power(0.0) || leakage_at_25c < u::Power(0.0))
+    throw std::invalid_argument("negative power");
+  if (max_iterations < 1) throw std::invalid_argument("max_iterations < 1");
+
+  Equilibrium eq;
+  double t = ambient_c_;
+  for (int i = 1; i <= max_iterations; ++i) {
+    const double leak = leakage_at_25c.value() * leakage_multiplier(t);
+    const double t_next =
+        ambient_c_ + resistance_ * (dynamic_power.value() + leak);
+    eq.iterations = i;
+    if (t_next > kMaxJunction) {
+      // Runaway: report the state at the silicon limit.
+      eq.stable = false;
+      eq.temperature_c = t_next;
+      eq.leakage_power = u::Power(leak);
+      eq.total_power = dynamic_power + eq.leakage_power;
+      return eq;
+    }
+    if (std::fabs(t_next - t) < 1e-9) {
+      eq.stable = true;
+      eq.temperature_c = t_next;
+      eq.leakage_power = u::Power(leak);
+      eq.total_power = dynamic_power + eq.leakage_power;
+      return eq;
+    }
+    t = t_next;
+  }
+  // Did not converge within the budget: treat as unstable (slowly divergent
+  // loops end up here).
+  eq.stable = false;
+  eq.temperature_c = t;
+  eq.leakage_power =
+      u::Power(leakage_at_25c.value() * leakage_multiplier(t));
+  eq.total_power = dynamic_power + eq.leakage_power;
+  return eq;
+}
+
+double ThermalModel::critical_resistance(u::Power dynamic_power,
+                                         u::Power leakage_at_25c,
+                                         double ambient_c,
+                                         double leak_doubling_c) {
+  if (dynamic_power <= u::Power(0.0) && leakage_at_25c <= u::Power(0.0))
+    throw std::invalid_argument("no power dissipated");
+  double lo = 1e-3;
+  double hi = 1e4;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    const ThermalModel m(mid, ambient_c, leak_doubling_c);
+    if (m.solve(dynamic_power, leakage_at_25c).stable)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace ambisim::tech

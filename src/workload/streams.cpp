@@ -1,0 +1,84 @@
+#include "ambisim/workload/streams.hpp"
+
+#include <stdexcept>
+
+namespace ambisim::workload {
+
+using namespace ambisim::units::literals;
+
+u::OpRate StreamingWorkload::ops_rate() const {
+  return u::OpRate(demand.ops * unit_rate.value());
+}
+
+double StreamingWorkload::ops_over(u::Time t) const {
+  if (t < u::Time(0.0)) throw std::invalid_argument("negative duration");
+  return demand.ops * unit_rate.value() * t.value();
+}
+
+StreamingWorkload audio_playback(u::BitRate compressed_rate) {
+  if (compressed_rate <= u::BitRate(0.0))
+    throw std::invalid_argument("compressed rate must be positive");
+  // One MP3-class granule: 1152 stereo samples at 44.1 kHz.
+  StreamingWorkload w;
+  w.name = "audio-playback";
+  w.unit_rate = u::Frequency(44100.0 / 1152.0);  // ~38.3 frames/s
+  w.demand.ops = 550e3;           // ~21 MOPS sustained decode + post
+  w.demand.mem_accesses = 90e3;
+  w.demand.working_set_bits = 64.0 * 8192.0;  // tables + frame buffers
+  w.demand.bus_bits = 18432.0;    // PCM out per granule
+  w.stream_rate = compressed_rate;
+  return w;
+}
+
+StreamingWorkload video_decode_sd() {
+  // MPEG-2 SD: 720x576 @ 25 fps, ~1500 ops/macroblock-pixel-ish budget.
+  StreamingWorkload w;
+  w.name = "video-sd";
+  w.unit_rate = u::Frequency(25.0);
+  w.demand.ops = 120e6;            // 3 GOPS sustained
+  w.demand.mem_accesses = 18e6;    // motion compensation traffic
+  w.demand.working_set_bits = 8.0 * 3.0 * 720.0 * 576.0 * 2.0;  // ref frames
+  w.demand.bus_bits = 720.0 * 576.0 * 16.0;  // one frame out
+  w.stream_rate = 4_Mbps;
+  return w;
+}
+
+StreamingWorkload video_decode_hd() {
+  StreamingWorkload w;
+  w.name = "video-hd";
+  w.unit_rate = u::Frequency(30.0);
+  w.demand.ops = 400e6;            // 12 GOPS sustained
+  w.demand.mem_accesses = 60e6;
+  w.demand.working_set_bits = 8.0 * 3.0 * 1280.0 * 720.0 * 2.0;
+  w.demand.bus_bits = 1280.0 * 720.0 * 16.0;
+  w.stream_rate = 12_Mbps;
+  return w;
+}
+
+StreamingWorkload sensing(u::Frequency rate) {
+  if (rate <= u::Frequency(0.0))
+    throw std::invalid_argument("sensing rate must be positive");
+  StreamingWorkload w;
+  w.name = "sensing";
+  w.unit_rate = rate;
+  w.demand.ops = 2000.0;           // sample + IIR filter + threshold
+  w.demand.mem_accesses = 450.0;
+  w.demand.working_set_bits = 4096.0;
+  w.demand.bus_bits = 12.0;
+  w.stream_rate = u::BitRate(12.0 * rate.value());
+  return w;
+}
+
+StreamingWorkload speech_frontend() {
+  StreamingWorkload w;
+  w.name = "speech-frontend";
+  w.unit_rate = u::Frequency(100.0);  // 10 ms frames
+  w.demand.ops = 300e3;               // FFT + mel filterbank + DCT
+  w.demand.mem_accesses = 60e3;
+  w.demand.working_set_bits = 8.0 * 32768.0;
+  w.demand.bus_bits = 13.0 * 32.0;    // 13 cepstral coefficients
+  w.stream_rate = u::BitRate(16000.0 * 16.0);  // 16 kHz, 16-bit input
+  return w;
+}
+
+}  // namespace ambisim::workload

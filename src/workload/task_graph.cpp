@@ -1,0 +1,167 @@
+#include "ambisim/workload/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ambisim::workload {
+
+using namespace ambisim::units::literals;
+
+TaskGraph::TaskGraph(std::string name) : name_(std::move(name)) {}
+
+int TaskGraph::add_task(Task t) {
+  if (t.ops < 0.0 || t.mem_accesses < 0.0)
+    throw std::invalid_argument("negative task demand");
+  tasks_.push_back(std::move(t));
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void TaskGraph::add_edge(int from, int to, u::Information bits) {
+  if (from < 0 || from >= task_count() || to < 0 || to >= task_count())
+    throw std::out_of_range("edge endpoint out of range");
+  if (from == to) throw std::invalid_argument("self edge");
+  if (bits < u::Information(0.0))
+    throw std::invalid_argument("negative edge payload");
+  edges_.push_back({from, to, bits});
+}
+
+std::vector<int> TaskGraph::predecessors(int i) const {
+  if (i < 0 || i >= task_count()) throw std::out_of_range("task index");
+  std::vector<int> out;
+  for (const auto& e : edges_) {
+    if (e.to == i) out.push_back(e.from);
+  }
+  return out;
+}
+
+std::vector<int> TaskGraph::successors(int i) const {
+  if (i < 0 || i >= task_count()) throw std::out_of_range("task index");
+  std::vector<int> out;
+  for (const auto& e : edges_) {
+    if (e.from == i) out.push_back(e.to);
+  }
+  return out;
+}
+
+std::vector<int> TaskGraph::topological_order() const {
+  std::vector<int> indeg(tasks_.size(), 0);
+  for (const auto& e : edges_) ++indeg[e.to];
+  std::queue<int> ready;
+  for (int i = 0; i < task_count(); ++i) {
+    if (indeg[i] == 0) ready.push(i);
+  }
+  std::vector<int> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (const auto& e : edges_) {
+      if (e.from == v && --indeg[e.to] == 0) ready.push(e.to);
+    }
+  }
+  if (order.size() != tasks_.size())
+    throw std::logic_error("task graph '" + name_ + "' contains a cycle");
+  return order;
+}
+
+bool TaskGraph::is_acyclic() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+double TaskGraph::total_ops() const {
+  double s = 0.0;
+  for (const auto& t : tasks_) s += t.ops;
+  return s;
+}
+
+u::Information TaskGraph::total_traffic() const {
+  u::Information s{0.0};
+  for (const auto& e : edges_) s += e.bits;
+  return s;
+}
+
+double TaskGraph::critical_path_ops() const {
+  const auto order = topological_order();
+  std::vector<double> longest(tasks_.size(), 0.0);
+  double best = 0.0;
+  for (int v : order) {
+    longest[v] += tasks_[v].ops;
+    best = std::max(best, longest[v]);
+    for (const auto& e : edges_) {
+      if (e.from == v) longest[e.to] = std::max(longest[e.to], longest[v]);
+    }
+  }
+  return best;
+}
+
+TaskGraph audio_pipeline_graph() {
+  TaskGraph g("audio-pipeline");
+  const int rx = g.add_task({"radio-rx", 2'000, 400, 4096_bit});
+  const int depkt = g.add_task({"depacketize", 1'500, 600, 4096_bit});
+  const int decode = g.add_task({"decode", 250'000, 40'000, 18432_bit});
+  const int post = g.add_task({"post-process", 60'000, 9'000, 18432_bit});
+  const int vol = g.add_task({"volume", 5'000, 2'000, 18432_bit});
+  const int dac = g.add_task({"dac-feed", 2'500, 1'200, 18432_bit});
+  g.add_edge(rx, depkt, 4096_bit);
+  g.add_edge(depkt, decode, 4096_bit);
+  g.add_edge(decode, post, 18432_bit);
+  g.add_edge(post, vol, 18432_bit);
+  g.add_edge(vol, dac, 18432_bit);
+  g.set_period(u::Time(1152.0 / 44100.0));  // one MP3 granule
+  g.set_deadline(g.period());
+  return g;
+}
+
+TaskGraph sensing_pipeline_graph() {
+  TaskGraph g("sensing-pipeline");
+  const int sense = g.add_task({"sample", 60, 20, 12_bit});
+  const int filt = g.add_task({"filter", 400, 90, 12_bit});
+  const int cls = g.add_task({"classify", 1'200, 250, 8_bit});
+  const int rpt = g.add_task({"report", 300, 80, 128_bit});
+  g.add_edge(sense, filt, 12_bit);
+  g.add_edge(filt, cls, 12_bit);
+  g.add_edge(cls, rpt, 8_bit);
+  g.set_period(u::Time(1.0));
+  g.set_deadline(u::Time(0.5));
+  return g;
+}
+
+TaskGraph random_task_graph(sim::Rng& rng, int tasks, int layers,
+                            double edge_probability) {
+  if (tasks < 1 || layers < 1 || layers > tasks)
+    throw std::invalid_argument("bad random task graph shape");
+  if (edge_probability < 0.0 || edge_probability > 1.0)
+    throw std::invalid_argument("edge probability outside [0, 1]");
+  TaskGraph g("random");
+  std::vector<int> layer_of(tasks);
+  for (int i = 0; i < tasks; ++i) {
+    Task t;
+    t.name = "t" + std::to_string(i);
+    t.ops = rng.uniform(1e3, 1e6);
+    t.mem_accesses = t.ops * rng.uniform(0.05, 0.4);
+    t.output_bits = u::Information(rng.uniform(64.0, 8192.0));
+    g.add_task(std::move(t));
+    // Spread tasks over layers; edges only go to strictly later layers so
+    // the graph is acyclic by construction.
+    layer_of[i] = (i * layers) / tasks;
+  }
+  for (int i = 0; i < tasks; ++i) {
+    for (int j = i + 1; j < tasks; ++j) {
+      if (layer_of[j] > layer_of[i] && rng.uniform() < edge_probability) {
+        g.add_edge(i, j, g.task(i).output_bits);
+      }
+    }
+  }
+  g.set_period(u::Time(0.1));
+  g.set_deadline(u::Time(0.1));
+  return g;
+}
+
+}  // namespace ambisim::workload

@@ -1,0 +1,77 @@
+#include "ambisim/arch/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using arch::NocLink;
+using arch::OnChipBus;
+
+namespace {
+const tech::TechnologyNode& n130() {
+  return tech::TechnologyLibrary::standard().node("130nm");
+}
+OnChipBus bus(double len_mm = 5.0, double width = 32.0) {
+  return OnChipBus(n130(), 1.3_V, len_mm, width, 100_MHz);
+}
+}  // namespace
+
+TEST(OnChipBus, TransferEnergyLinearInBitsAndLength) {
+  const auto b5 = bus(5.0);
+  const auto b10 = bus(10.0);
+  EXPECT_NEAR(b5.transfer_energy(2000.0).value(),
+              2.0 * b5.transfer_energy(1000.0).value(), 1e-18);
+  EXPECT_NEAR(b10.transfer_energy(1000.0).value(),
+              2.0 * b5.transfer_energy(1000.0).value(), 1e-18);
+  EXPECT_THROW(b5.transfer_energy(-1.0), std::invalid_argument);
+}
+
+TEST(OnChipBus, BandwidthIsWidthTimesClock) {
+  EXPECT_DOUBLE_EQ(bus(5.0, 64.0).bandwidth().value(), 64.0 * 100e6);
+  EXPECT_DOUBLE_EQ(bus().transfer_time(3200.0).value(), 1e-6);
+}
+
+TEST(OnChipBus, PowerAtRateIsEnergyTimesRate) {
+  const auto b = bus();
+  const u::BitRate r = 1.0_Gbps;
+  EXPECT_NEAR(b.power_at_rate(r).value(),
+              b.transfer_energy(1.0).value() * 1e9, 1e-15);
+  EXPECT_THROW(b.power_at_rate(b.bandwidth() * 2.0), std::domain_error);
+  EXPECT_THROW(b.power_at_rate(u::BitRate(-1.0)), std::invalid_argument);
+}
+
+TEST(OnChipBus, GeometryValidation) {
+  EXPECT_THROW(OnChipBus(n130(), 1.3_V, 0.0, 32.0, 100_MHz),
+               std::invalid_argument);
+  EXPECT_THROW(OnChipBus(n130(), 1.3_V, 5.0, -1.0, 100_MHz),
+               std::invalid_argument);
+  EXPECT_THROW(OnChipBus(n130(), 1.3_V, 5.0, 32.0, 100_GHz),
+               std::domain_error);
+}
+
+TEST(NocLink, FlitEnergyHasRouterAndWireTerms) {
+  const NocLink link(n130(), 1.3_V, 2.0, 64.0, 200_MHz);
+  const double v = 1.3;
+  const double wire_only = 0.5 * 64.0 * OnChipBus::kWireCapPerMm * 2.0 * v * v;
+  EXPECT_GT(link.flit_energy().value(), wire_only);
+}
+
+TEST(NocLink, TransferScalesWithHopsAndBits) {
+  const NocLink link(n130(), 1.3_V, 2.0, 64.0, 200_MHz);
+  const auto e1 = link.transfer_energy(6400.0, 1);
+  const auto e3 = link.transfer_energy(6400.0, 3);
+  EXPECT_NEAR(e3.value(), 3.0 * e1.value(), 1e-18);
+  EXPECT_DOUBLE_EQ(link.transfer_energy(6400.0, 0).value(), 0.0);
+  EXPECT_THROW(link.transfer_energy(-1.0, 1), std::invalid_argument);
+  EXPECT_THROW(link.transfer_energy(1.0, -1), std::invalid_argument);
+}
+
+TEST(NocLink, BandwidthAndValidation) {
+  const NocLink link(n130(), 1.3_V, 2.0, 64.0, 200_MHz);
+  EXPECT_DOUBLE_EQ(link.link_bandwidth().value(), 64.0 * 200e6);
+  EXPECT_THROW(NocLink(n130(), 1.3_V, -2.0, 64.0, 200_MHz),
+               std::invalid_argument);
+  EXPECT_THROW(NocLink(n130(), 1.3_V, 2.0, 64.0, u::Frequency(0.0)),
+               std::invalid_argument);
+}

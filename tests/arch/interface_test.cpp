@@ -1,0 +1,78 @@
+#include "ambisim/arch/interface.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using arch::AdcModel;
+using arch::AudioOutput;
+using arch::DisplayModel;
+using arch::SensorFrontEnd;
+
+TEST(Adc, PowerFollowsWaldenFom) {
+  const AdcModel adc(10.0, 1_MHz, u::Energy(1e-12));
+  // P = 1 pJ * 2^10 * 1e6 = 1.024 mW.
+  EXPECT_NEAR(adc.power().value(), 1.024e-3, 1e-9);
+  EXPECT_NEAR(adc.energy_per_sample().value(), 1.024e-9, 1e-15);
+}
+
+TEST(Adc, EveryExtraBitDoublesPower) {
+  const AdcModel a(8.0, 1_MHz);
+  const AdcModel b(9.0, 1_MHz);
+  EXPECT_NEAR(b.power().value() / a.power().value(), 2.0, 1e-9);
+}
+
+TEST(Adc, InformationRateIsBitsTimesRate) {
+  const AdcModel adc(12.0, 48_kHz);
+  EXPECT_DOUBLE_EQ(adc.information_rate().value(), 12.0 * 48e3);
+}
+
+TEST(Adc, Validation) {
+  EXPECT_THROW(AdcModel(0.0, 1_MHz), std::invalid_argument);
+  EXPECT_THROW(AdcModel(30.0, 1_MHz), std::invalid_argument);
+  EXPECT_THROW(AdcModel(8.0, u::Frequency(0.0)), std::invalid_argument);
+  EXPECT_THROW(AdcModel(8.0, 1_MHz, u::Energy(0.0)), std::invalid_argument);
+}
+
+TEST(SensorFrontEnd, PresetsOrderedByComplexity) {
+  const auto temp = SensorFrontEnd::temperature();
+  const auto pir = SensorFrontEnd::passive_infrared();
+  const auto mic = SensorFrontEnd::microphone();
+  const auto cam = SensorFrontEnd::image_sensor_qvga();
+  EXPECT_LT(temp.active_power, pir.active_power);
+  EXPECT_LT(pir.active_power, mic.active_power);
+  EXPECT_LT(mic.active_power, cam.active_power);
+  for (const auto& fe : {temp, pir, mic, cam}) {
+    EXPECT_LT(fe.standby_power, fe.active_power) << fe.kind;
+    EXPECT_GT(fe.warmup.value(), 0.0) << fe.kind;
+  }
+}
+
+TEST(Display, PowerHasBacklightFloor) {
+  const DisplayModel d(1000.0, 30_Hz, 100_mW, u::Energy(1e-9));
+  EXPECT_NEAR(d.power().value(), 0.1 + 1000.0 * 30.0 * 1e-9, 1e-12);
+}
+
+TEST(Display, MobileVsTvScale) {
+  const auto lcd = DisplayModel::mobile_lcd();
+  const auto tv = DisplayModel::tv_panel();
+  EXPECT_LT(lcd.power().value(), 0.1);   // tens of mW
+  EXPECT_GT(tv.power().value(), 5.0);    // watts
+  EXPECT_GT(tv.information_rate(), lcd.information_rate());
+}
+
+TEST(Display, Validation) {
+  EXPECT_THROW(DisplayModel(0.0, 30_Hz, 1_mW), std::invalid_argument);
+  EXPECT_THROW(DisplayModel(100.0, u::Frequency(0.0), 1_mW),
+               std::invalid_argument);
+  EXPECT_THROW(DisplayModel::mobile_lcd().information_rate(0.0),
+               std::invalid_argument);
+}
+
+TEST(AudioOutput, PresetsAndRates) {
+  const auto ear = AudioOutput::earpiece();
+  const auto spk = AudioOutput::loudspeaker();
+  EXPECT_LT(ear.amplifier_power, spk.amplifier_power);
+  EXPECT_DOUBLE_EQ(ear.information_rate().value(), 44100.0 * 16.0);
+}

@@ -1,0 +1,135 @@
+#include "ambisim/arch/memory.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using arch::AccessProfile;
+using arch::CacheLevelSpec;
+using arch::MemoryHierarchy;
+
+namespace {
+
+const tech::TechnologyNode& n130() {
+  return tech::TechnologyLibrary::standard().node("130nm");
+}
+
+MemoryHierarchy two_level(bool offchip = true) {
+  return MemoryHierarchy(n130(), 1.3_V,
+                         {{"L1", 32.0 * 1024 * 8, 32.0, 2_ns},
+                          {"L2", 256.0 * 1024 * 8, 64.0, 8_ns}},
+                         offchip);
+}
+
+}  // namespace
+
+TEST(MemoryHierarchy, HitRateOneWhenWorkingSetFits) {
+  const auto m = two_level();
+  EXPECT_DOUBLE_EQ(m.hit_rate(0, 16.0 * 1024 * 8), 1.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate(1, 128.0 * 1024 * 8), 1.0);
+}
+
+TEST(MemoryHierarchy, HitRateFallsWithWorkingSet) {
+  const auto m = two_level();
+  const double h1 = m.hit_rate(0, 64.0 * 1024 * 8);
+  const double h2 = m.hit_rate(0, 256.0 * 1024 * 8);
+  EXPECT_GT(h1, h2);
+  EXPECT_GT(h2, 0.0);
+  EXPECT_LT(h1, 1.0);
+}
+
+TEST(MemoryHierarchy, SqrtRuleAtFourXWorkingSet) {
+  const auto m = two_level();
+  // capacity/ws = 1/4, theta = 0.5 -> hit rate 0.5.
+  EXPECT_NEAR(m.hit_rate(0, 4.0 * 32.0 * 1024 * 8, 0.5), 0.5, 1e-12);
+}
+
+TEST(MemoryHierarchy, Validation) {
+  EXPECT_THROW(MemoryHierarchy(n130(), 1.3_V, {}, false),
+               std::invalid_argument);
+  // Levels must grow outward.
+  EXPECT_THROW(MemoryHierarchy(n130(), 1.3_V,
+                               {{"L1", 1e6, 32.0, 2_ns},
+                                {"L2", 1e5, 32.0, 4_ns}},
+                               true),
+               std::invalid_argument);
+  const auto m = two_level();
+  EXPECT_THROW(m.hit_rate(5, 1e6), std::out_of_range);
+  EXPECT_THROW(m.hit_rate(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(m.hit_rate(0, 1e6, 1.5), std::invalid_argument);
+}
+
+TEST(MemoryHierarchy, StatsConserveAccesses) {
+  const auto m = two_level();
+  const AccessProfile prof{1e6, 512.0 * 1024 * 8, 0.5};
+  const auto stats = m.simulate(prof);
+  ASSERT_EQ(stats.hits_per_level.size(), 2u);
+  const double accounted = stats.hits_per_level[0] +
+                           stats.hits_per_level[1] +
+                           stats.offchip_accesses;
+  EXPECT_NEAR(accounted, prof.accesses, prof.accesses * 1e-9);
+}
+
+TEST(MemoryHierarchy, LargerWorkingSetCostsMore) {
+  const auto m = two_level();
+  const auto small = m.simulate({1e6, 16.0 * 1024 * 8, 0.5});
+  const auto large = m.simulate({1e6, 4.0 * 1024 * 1024 * 8, 0.5});
+  EXPECT_LT(small.energy, large.energy);
+  EXPECT_LT(small.total_latency, large.total_latency);
+  EXPECT_EQ(small.offchip_accesses, 0.0);
+  EXPECT_GT(large.offchip_accesses, 0.0);
+}
+
+TEST(MemoryHierarchy, FittingWorkingSetNeverGoesOffchip) {
+  const auto m = two_level();
+  const auto stats = m.simulate({1e5, 8.0 * 1024 * 8, 0.5});
+  EXPECT_DOUBLE_EQ(stats.offchip_accesses, 0.0);
+  EXPECT_DOUBLE_EQ(stats.hits_per_level[0], 1e5);
+}
+
+TEST(MemoryHierarchy, EnergyLinearInAccessCount) {
+  const auto m = two_level();
+  const auto one = m.simulate({1e5, 1e6, 0.5});
+  const auto two = m.simulate({2e5, 1e6, 0.5});
+  EXPECT_NEAR(two.energy.value(), 2.0 * one.energy.value(),
+              one.energy.value() * 1e-9);
+}
+
+TEST(MemoryHierarchy, EnergyPerAccessHelper) {
+  const auto m = two_level();
+  const auto stats = m.simulate({1e5, 1e6, 0.5});
+  EXPECT_NEAR(stats.energy_per_access(1e5).value(),
+              stats.energy.value() / 1e5, 1e-18);
+  EXPECT_DOUBLE_EQ(stats.energy_per_access(0.0).value(), 0.0);
+}
+
+TEST(MemoryHierarchy, LeakageSumsOverLevels) {
+  const auto m = two_level();
+  const auto leak = m.leakage();
+  const auto l1 = tech::SramModel::leakage(n130(), 1.3_V, 32.0 * 1024 * 8);
+  const auto l2 = tech::SramModel::leakage(n130(), 1.3_V, 256.0 * 1024 * 8);
+  EXPECT_NEAR(leak.value(), (l1 + l2).value(), 1e-15);
+}
+
+TEST(MemoryHierarchy, NegativeAccessesRejected) {
+  const auto m = two_level();
+  EXPECT_THROW(m.simulate({-1.0, 1e6, 0.5}), std::invalid_argument);
+}
+
+// Property: growing the L1 monotonically reduces off-chip traffic.
+class CacheSizing : public ::testing::TestWithParam<double> {};
+
+TEST_P(CacheSizing, BiggerCacheLessOffchipTraffic) {
+  const double l1_kib = GetParam();
+  const MemoryHierarchy small(
+      n130(), 1.3_V, {{"L1", l1_kib * 1024 * 8, 32.0, 2_ns}}, true);
+  const MemoryHierarchy big(
+      n130(), 1.3_V, {{"L1", 2.0 * l1_kib * 1024 * 8, 32.0, 2_ns}}, true);
+  const AccessProfile prof{1e6, 8.0 * 1024 * 1024 * 8, 0.5};
+  EXPECT_GT(small.simulate(prof).offchip_accesses,
+            big.simulate(prof).offchip_accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(L1Sizes, CacheSizing,
+                         ::testing::Values(4.0, 8.0, 16.0, 32.0, 64.0));

@@ -1,0 +1,152 @@
+#include "ambisim/arch/processor.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using arch::CoreParams;
+using arch::ProcessorModel;
+
+namespace {
+const tech::TechnologyNode& n130() {
+  return tech::TechnologyLibrary::standard().node("130nm");
+}
+}  // namespace
+
+TEST(Processor, ThroughputIsClockTimesIpc) {
+  const auto cpu =
+      ProcessorModel::at_max_clock(arch::dsp_core(), n130(), 1.3_V);
+  EXPECT_DOUBLE_EQ(cpu.throughput().value(),
+                   cpu.clock().value() * arch::dsp_core().ops_per_cycle);
+}
+
+TEST(Processor, OverclockRejected) {
+  const auto fmax =
+      tech::max_frequency(n130(), 1.3_V, arch::risc_core().logic_depth);
+  EXPECT_THROW(ProcessorModel(arch::risc_core(), n130(), 1.3_V, fmax * 1.1),
+               std::domain_error);
+  EXPECT_NO_THROW(ProcessorModel(arch::risc_core(), n130(), 1.3_V, fmax));
+  EXPECT_THROW(
+      ProcessorModel(arch::risc_core(), n130(), 1.3_V, u::Frequency(0.0)),
+      std::invalid_argument);
+}
+
+TEST(Processor, BadCoreParamsRejected) {
+  CoreParams p = arch::risc_core();
+  p.ops_per_cycle = 0.0;
+  EXPECT_THROW(ProcessorModel::at_max_clock(p, n130(), 1.3_V),
+               std::invalid_argument);
+  p = arch::risc_core();
+  p.total_gates = -1.0;
+  EXPECT_THROW(ProcessorModel::at_max_clock(p, n130(), 1.3_V),
+               std::invalid_argument);
+}
+
+TEST(Processor, PowerMonotoneInUtilization) {
+  const auto cpu =
+      ProcessorModel::at_max_clock(arch::risc_core(), n130(), 1.3_V);
+  EXPECT_LT(cpu.power(0.0), cpu.power(0.5));
+  EXPECT_LT(cpu.power(0.5), cpu.power(1.0));
+  // Idle power is exactly the leakage.
+  EXPECT_DOUBLE_EQ(cpu.power(0.0).value(), cpu.leakage_power().value());
+  EXPECT_DOUBLE_EQ(cpu.sleep_power().value(), cpu.leakage_power().value());
+  EXPECT_THROW((void)cpu.power(1.5), std::invalid_argument);
+}
+
+TEST(Processor, EnergyForMatchesPowerTimesTime) {
+  const auto cpu =
+      ProcessorModel::at_max_clock(arch::dsp_core(), n130(), 1.3_V);
+  const double ops = 1e6;
+  EXPECT_NEAR(cpu.energy_for(ops).value(),
+              cpu.power(1.0).value() * cpu.time_for(ops).value(), 1e-15);
+  EXPECT_NEAR(cpu.energy_per_op().value(),
+              cpu.energy_for(ops).value() / ops, 1e-18);
+  EXPECT_THROW((void)cpu.time_for(-1.0), std::invalid_argument);
+}
+
+TEST(Processor, LowerVoltageReducesEnergyPerOp) {
+  const auto hi =
+      ProcessorModel::at_max_clock(arch::dsp_core(), n130(), 1.3_V);
+  const auto lo =
+      ProcessorModel::at_max_clock(arch::dsp_core(), n130(), 0.8_V);
+  EXPECT_LT(lo.energy_per_op(), hi.energy_per_op());
+  EXPECT_LT(lo.throughput(), hi.throughput());
+}
+
+TEST(Processor, WithOperatingPointRederives) {
+  const auto cpu =
+      ProcessorModel::at_max_clock(arch::dsp_core(), n130(), 1.3_V);
+  const auto slow = cpu.with_operating_point(0.9_V, 100_MHz);
+  EXPECT_DOUBLE_EQ(slow.voltage().value(), 0.9);
+  EXPECT_DOUBLE_EQ(slow.clock().value(), 100e6);
+  EXPECT_EQ(slow.params().name, cpu.params().name);
+}
+
+TEST(Processor, AcceleratorIsMoreEfficientThanRisc) {
+  // The flexibility-efficiency gap: a hardwired block spends far less
+  // energy per operation than a general-purpose core.
+  const auto risc =
+      ProcessorModel::at_max_clock(arch::risc_core(), n130(), 1.3_V);
+  const auto accel = ProcessorModel::at_max_clock(
+      arch::accelerator_core("dct"), n130(), 1.3_V);
+  EXPECT_GT(risc.energy_per_op().value(),
+            20.0 * accel.energy_per_op().value());
+}
+
+TEST(Processor, StyleNames) {
+  EXPECT_EQ(to_string(arch::CoreStyle::Dsp), "dsp");
+  EXPECT_EQ(to_string(arch::CoreStyle::Vliw), "vliw");
+  EXPECT_EQ(to_string(arch::CoreStyle::Microcontroller), "microcontroller");
+  EXPECT_EQ(to_string(arch::CoreStyle::GeneralPurpose), "general-purpose");
+  EXPECT_EQ(to_string(arch::CoreStyle::Accelerator), "accelerator");
+}
+
+TEST(Processor, RiscEnergyPerOpIsArm9Class) {
+  // Calibration check: ~100-500 pJ per op at 130 nm nominal.
+  const auto risc =
+      ProcessorModel::at_max_clock(arch::risc_core(), n130(), 1.3_V);
+  EXPECT_GT(risc.energy_per_op().value(), 50e-12);
+  EXPECT_LT(risc.energy_per_op().value(), 1e-9);
+}
+
+// Property: every preset core at every technology node produces a
+// consistent model.
+struct CoreCase {
+  const char* node;
+  CoreParams params;
+};
+
+class CorePresets : public ::testing::TestWithParam<CoreCase> {};
+
+TEST_P(CorePresets, ModelIsConsistent) {
+  const auto& n =
+      tech::TechnologyLibrary::standard().node(GetParam().node);
+  const auto cpu =
+      ProcessorModel::at_max_clock(GetParam().params, n, n.vdd_nominal);
+  EXPECT_GT(cpu.throughput().value(), 0.0);
+  EXPECT_GT(cpu.dynamic_power(1.0).value(), 0.0);
+  EXPECT_GT(cpu.leakage_power().value(), 0.0);
+  EXPECT_GT(cpu.dynamic_power(1.0), cpu.dynamic_power(0.1));
+  EXPECT_NEAR(cpu.power(1.0).value(),
+              (cpu.dynamic_power(1.0) + cpu.leakage_power()).value(), 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsByNode, CorePresets,
+    ::testing::Values(CoreCase{"350nm", arch::microcontroller_core()},
+                      CoreCase{"180nm", arch::microcontroller_core()},
+                      CoreCase{"130nm", arch::risc_core()},
+                      CoreCase{"90nm", arch::risc_core()},
+                      CoreCase{"130nm", arch::dsp_core()},
+                      CoreCase{"90nm", arch::vliw_core()},
+                      CoreCase{"65nm", arch::vliw_core()},
+                      CoreCase{"130nm", arch::accelerator_core("x")}),
+    [](const auto& info) {
+      return std::string(info.param.node) + "_" +
+             [](std::string s) {
+               for (auto& c : s)
+                 if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+               return s;
+             }(info.param.params.name);
+    });

@@ -1,0 +1,134 @@
+#include "ambisim/arch/soc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ambisim/workload/streams.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using arch::ComputeDemand;
+using arch::SocModel;
+
+namespace {
+
+const tech::TechnologyNode& n130() {
+  return tech::TechnologyLibrary::standard().node("130nm");
+}
+
+SocModel media_soc() {
+  SocModel s("test-soc", n130(), 1.3_V);
+  s.add_core(arch::risc_core()).add_core(arch::dsp_core());
+  s.set_memory({{"L1", 32.0 * 1024 * 8, 32.0, 2_ns}}, true);
+  s.set_bus(5.0, 64.0);
+  return s;
+}
+
+}  // namespace
+
+TEST(Soc, CapacitySumsCores) {
+  const auto s = media_soc();
+  const auto risc = arch::ProcessorModel::at_max_clock(arch::risc_core(),
+                                                       n130(), 1.3_V);
+  const auto dsp =
+      arch::ProcessorModel::at_max_clock(arch::dsp_core(), n130(), 1.3_V);
+  EXPECT_NEAR(s.compute_capacity().value(),
+              (risc.throughput() + dsp.throughput()).value(), 1.0);
+  EXPECT_DOUBLE_EQ(s.total_gates(), arch::risc_core().total_gates +
+                                        arch::dsp_core().total_gates);
+}
+
+TEST(Soc, EvaluateFeasibilityMatchesMaxRate) {
+  const auto s = media_soc();
+  const ComputeDemand d{1e6, 1e5, 1e6, 1e4};
+  const auto fmax = s.max_rate(d);
+  EXPECT_TRUE(s.evaluate(d, fmax * 0.99).feasible);
+  EXPECT_FALSE(s.evaluate(d, fmax * 1.01).feasible);
+}
+
+TEST(Soc, BreakdownSumsToTotalPower) {
+  const auto s = media_soc();
+  const ComputeDemand d{1e6, 1e5, 1e6, 1e4};
+  const auto ev = s.evaluate(d, u::Frequency(100.0));
+  u::Power sum{0.0};
+  for (const auto& [name, p] : ev.breakdown) sum += p;
+  EXPECT_NEAR(sum.value(), ev.power.value(), 1e-12);
+  EXPECT_EQ(ev.breakdown.size(), 3u);  // cores, memory, interconnect
+}
+
+TEST(Soc, EnergyPerUnitIsPowerOverRate) {
+  const auto s = media_soc();
+  const ComputeDemand d{1e6, 0.0, 0.0, 0.0};
+  const auto ev = s.evaluate(d, u::Frequency(50.0));
+  EXPECT_NEAR(ev.energy_per_unit.value(), ev.power.value() / 50.0, 1e-12);
+}
+
+TEST(Soc, HigherRateMorePower) {
+  const auto s = media_soc();
+  const ComputeDemand d{1e6, 1e5, 1e6, 1e4};
+  const auto lo = s.evaluate(d, u::Frequency(10.0));
+  const auto hi = s.evaluate(d, u::Frequency(100.0));
+  EXPECT_LT(lo.power, hi.power);
+  EXPECT_LT(lo.compute_utilization, hi.compute_utilization);
+}
+
+TEST(Soc, ZeroRateDrawsIdlePowerOnly) {
+  const auto s = media_soc();
+  const ComputeDemand d{1e6, 1e5, 1e6, 1e4};
+  const auto ev = s.evaluate(d, u::Frequency(0.0));
+  EXPECT_TRUE(ev.feasible);
+  // Leakage of cores + memory still present.
+  EXPECT_GT(ev.power.value(), 0.0);
+  EXPECT_DOUBLE_EQ(ev.compute_utilization, 0.0);
+}
+
+TEST(Soc, BusLimitsRate) {
+  SocModel s("bus-bound", n130(), 1.3_V);
+  s.add_core(arch::vliw_core());
+  s.set_bus(5.0, 8.0);  // narrow bus
+  const ComputeDemand d{1.0, 0.0, 0.0, 1e6};  // almost pure data movement
+  const auto fmax = s.max_rate(d);
+  const auto bus_bound = s.evaluate(d, fmax * 1.5);
+  EXPECT_FALSE(bus_bound.feasible);
+  EXPECT_GT(bus_bound.bus_utilization, 1.0);
+}
+
+TEST(Soc, ErrorsOnMisuse) {
+  SocModel empty("empty", n130(), 1.3_V);
+  EXPECT_THROW(empty.evaluate(ComputeDemand{1.0, 0, 0, 0}, 1_Hz),
+               std::logic_error);
+  EXPECT_THROW(empty.max_rate(ComputeDemand{1.0, 0, 0, 0}),
+               std::logic_error);
+  auto s = media_soc();
+  EXPECT_THROW(s.max_rate(ComputeDemand{0.0, 0.0, 0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(s.evaluate(ComputeDemand{1.0, 0, 0, 0}, u::Frequency(-1.0)),
+               std::invalid_argument);
+}
+
+TEST(Soc, VideoWorkloadsRankCorrectly) {
+  // SD must be easier than HD on the same SoC.
+  const auto s = media_soc();
+  const auto sd = workload::video_decode_sd();
+  const auto hd = workload::video_decode_hd();
+  EXPECT_GT(s.max_rate(sd.demand).value(), s.max_rate(hd.demand).value());
+}
+
+// Property: adding cores never reduces capacity or max rate.
+class SocScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(SocScaling, MoreCoresMoreCapacity) {
+  const int cores = GetParam();
+  SocModel small("small", n130(), 1.3_V);
+  SocModel large("large", n130(), 1.3_V);
+  for (int i = 0; i < cores; ++i) small.add_core(arch::dsp_core());
+  for (int i = 0; i < cores + 1; ++i) large.add_core(arch::dsp_core());
+  EXPECT_GT(large.compute_capacity(), small.compute_capacity());
+  const ComputeDemand d{1e6, 0.0, 0.0, 0.0};
+  EXPECT_GT(large.max_rate(d).value(), small.max_rate(d).value());
+  // But more cores leak more at idle.
+  EXPECT_GT(large.evaluate(d, u::Frequency(0.0)).power,
+            small.evaluate(d, u::Frequency(0.0)).power);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, SocScaling, ::testing::Values(1, 2, 4));

@@ -1,0 +1,52 @@
+#include "ambisim/core/device_class.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim::core;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(DeviceClass, BoundariesExactlyAtDecades) {
+  EXPECT_EQ(classify_power(10_uW), DeviceClass::MicroWatt);
+  EXPECT_EQ(classify_power(999_uW), DeviceClass::MicroWatt);
+  EXPECT_EQ(classify_power(1_mW), DeviceClass::MilliWatt);
+  EXPECT_EQ(classify_power(999_mW), DeviceClass::MilliWatt);
+  EXPECT_EQ(classify_power(1_W), DeviceClass::Watt);
+  EXPECT_EQ(classify_power(100_W), DeviceClass::Watt);
+  EXPECT_EQ(classify_power(u::Power(0.0)), DeviceClass::MicroWatt);
+  EXPECT_THROW(classify_power(u::Power(-1.0)), std::invalid_argument);
+}
+
+TEST(DeviceClass, Names) {
+  EXPECT_EQ(to_string(DeviceClass::MicroWatt), "microWatt-node");
+  EXPECT_EQ(to_string(DeviceClass::MilliWatt), "milliWatt-node");
+  EXPECT_EQ(to_string(DeviceClass::Watt), "Watt-node");
+}
+
+TEST(DeviceClass, ProfilesMatchTheKeynoteTaxonomy) {
+  const auto uw = class_profile(DeviceClass::MicroWatt);
+  EXPECT_EQ(uw.label, "autonomous");
+  EXPECT_NE(uw.energy_source.find("scavenging"), std::string::npos);
+  // Decade-scale autonomy for the autonomous node.
+  EXPECT_GT(uw.expected_autonomy.value(), 86400.0 * 365.0);
+
+  const auto mw = class_profile(DeviceClass::MilliWatt);
+  EXPECT_EQ(mw.label, "personal");
+  EXPECT_NE(mw.energy_source.find("battery"), std::string::npos);
+
+  const auto w = class_profile(DeviceClass::Watt);
+  EXPECT_EQ(w.label, "static");
+  EXPECT_EQ(w.energy_source, "mains");
+}
+
+TEST(DeviceClass, ProfileBandsTileThePlane) {
+  // Each class's band ends where the next begins.
+  const auto uw = class_profile(DeviceClass::MicroWatt);
+  const auto mw = class_profile(DeviceClass::MilliWatt);
+  const auto w = class_profile(DeviceClass::Watt);
+  EXPECT_DOUBLE_EQ(uw.budget_high.value(), mw.budget_low.value());
+  EXPECT_DOUBLE_EQ(mw.budget_high.value(), w.budget_low.value());
+  // And the boundaries agree with the classifier.
+  EXPECT_EQ(classify_power(uw.budget_high), DeviceClass::MilliWatt);
+  EXPECT_EQ(classify_power(mw.budget_high), DeviceClass::Watt);
+}

@@ -1,0 +1,146 @@
+#include "ambisim/core/device_node.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+using core::DeviceClass;
+using core::DeviceNode;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+namespace {
+const tech::TechnologyNode& n130() {
+  return tech::TechnologyLibrary::standard().node("130nm");
+}
+}  // namespace
+
+TEST(DeviceNode, AveragePowerSumsBreakdown) {
+  const auto d = core::personal_audio_node(n130());
+  u::Power sum{0.0};
+  for (const auto& [name, p] : d.power_breakdown()) sum += p;
+  EXPECT_NEAR(sum.value(), d.average_power().value(), 1e-12);
+  EXPECT_GE(d.power_breakdown().size(), 3u);
+}
+
+TEST(DeviceNode, CaseStudyDevicesLandInTheirClasses) {
+  const auto sensor = core::autonomous_sensor_node(n130());
+  const auto personal = core::personal_audio_node(n130());
+  const auto server = core::home_media_server(n130());
+  EXPECT_EQ(sensor.device_class(), DeviceClass::MicroWatt);
+  EXPECT_EQ(personal.device_class(), DeviceClass::MilliWatt);
+  EXPECT_EQ(server.device_class(), DeviceClass::Watt);
+  // Three orders of magnitude between adjacent classes, roughly.
+  EXPECT_GT(personal.average_power().value(),
+            50.0 * sensor.average_power().value());
+  EXPECT_GT(server.average_power().value(),
+            50.0 * personal.average_power().value());
+}
+
+TEST(DeviceNode, SupplyKindsDriveAutonomy) {
+  const auto sensor = core::autonomous_sensor_node(n130());
+  const auto personal = core::personal_audio_node(n130());
+  const auto server = core::home_media_server(n130());
+  // Harvested & neutral: unlimited.
+  EXPECT_TRUE(sensor.energy_neutral());
+  EXPECT_GE(sensor.autonomy().value(), 1e17);
+  // Battery: finite, days-scale.
+  EXPECT_FALSE(personal.energy_neutral());
+  EXPECT_GT(personal.autonomy().value(), 3600.0);
+  EXPECT_LT(personal.autonomy().value(), 86400.0 * 60);
+  // Mains: unlimited.
+  EXPECT_TRUE(server.energy_neutral());
+  EXPECT_GE(server.autonomy().value(), 1e17);
+}
+
+TEST(DeviceNode, ToPointRoundTrips) {
+  const auto d = core::personal_audio_node(n130());
+  const auto p = d.to_point();
+  EXPECT_EQ(p.name, d.name());
+  EXPECT_DOUBLE_EQ(p.power.value(), d.average_power().value());
+  EXPECT_DOUBLE_EQ(p.info_rate.value(), d.information_rate().value());
+  EXPECT_EQ(p.process, "130nm");
+}
+
+TEST(DeviceNode, BuilderValidation) {
+  DeviceNode d("test");
+  auto cpu = arch::ProcessorModel::at_max_clock(arch::risc_core(), n130(),
+                                                1.3_V);
+  EXPECT_THROW(d.set_compute({cpu, 1.5, 1.0}), std::invalid_argument);
+  EXPECT_THROW(d.set_compute({cpu, 0.5, -0.1}), std::invalid_argument);
+
+  radio::RadioModel r(radio::ulp_radio());
+  EXPECT_THROW(d.set_radio({r, 0.5, 0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(d.set_radio({r, -0.1, 0.0, 0.0}), std::invalid_argument);
+
+  EXPECT_THROW(d.add_interface({"x", 1_mW, 1.5, 0_uW, 1.0_kbps}),
+               std::invalid_argument);
+
+  core::SupplyConfig s;
+  s.kind = core::SupplyKind::Battery;  // missing battery spec
+  EXPECT_THROW(d.set_supply(s), std::invalid_argument);
+  s.kind = core::SupplyKind::Harvested;  // missing harvester
+  EXPECT_THROW(d.set_supply(s), std::invalid_argument);
+}
+
+TEST(DeviceNode, EmptyDeviceHandlesNoInformation) {
+  DeviceNode d("empty");
+  EXPECT_THROW(d.information_rate(), std::logic_error);
+  EXPECT_DOUBLE_EQ(d.average_power().value(), 0.0);
+}
+
+TEST(DeviceNode, ComputeOnlyDeviceFallsBackToOpStream) {
+  DeviceNode d("compute-only");
+  auto cpu = arch::ProcessorModel::at_max_clock(arch::dsp_core(), n130(),
+                                                1.3_V);
+  const double tput = cpu.throughput().value();
+  d.set_compute({std::move(cpu), 0.5, 1.0});
+  EXPECT_NEAR(d.information_rate().value(), tput * 0.5 * 32.0, 1e-3);
+}
+
+TEST(DeviceNode, DutyCyclingScalesPower) {
+  auto cpu = arch::ProcessorModel::at_max_clock(arch::risc_core(), n130(),
+                                                1.3_V);
+  DeviceNode full("full");
+  full.set_compute({cpu, 1.0, 1.0});
+  DeviceNode half("half");
+  half.set_compute({cpu, 1.0, 0.5});
+  EXPECT_NEAR(half.average_power().value(),
+              0.5 * full.average_power().value(), 1e-12);
+}
+
+TEST(DeviceNode, HarvestedDeficitGivesFiniteAutonomy) {
+  DeviceNode d("hungry-harvester");
+  auto cpu = arch::ProcessorModel::at_max_clock(arch::risc_core(), n130(),
+                                                1.3_V);
+  d.set_compute({std::move(cpu), 1.0, 1.0});  // ~hundreds of mW
+  core::SupplyConfig s;
+  s.kind = core::SupplyKind::Harvested;
+  s.harvester = std::make_shared<energy::SolarHarvester>(2_cm2, 0.15, true);
+  s.battery = energy::Battery::coin_cell_cr2032();
+  d.set_supply(std::move(s));
+  EXPECT_FALSE(d.energy_neutral());
+  EXPECT_LT(d.autonomy().value(), 86400.0);  // drains within a day
+  EXPECT_GT(d.autonomy().value(), 0.0);
+}
+
+TEST(DeviceNode, SupplyKindNames) {
+  EXPECT_EQ(to_string(core::SupplyKind::Mains), "mains");
+  EXPECT_EQ(to_string(core::SupplyKind::Battery), "battery");
+  EXPECT_EQ(to_string(core::SupplyKind::Harvested), "harvested");
+}
+
+// Property: the case-study devices keep their classes across the process
+// generations a 2003 designer would target.
+class DeviceAcrossNodes : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeviceAcrossNodes, ClassesStable) {
+  const auto& n = tech::TechnologyLibrary::standard().node(GetParam());
+  EXPECT_EQ(core::autonomous_sensor_node(n).device_class(),
+            DeviceClass::MicroWatt);
+  EXPECT_EQ(core::personal_audio_node(n).device_class(),
+            DeviceClass::MilliWatt);
+  EXPECT_EQ(core::home_media_server(n).device_class(), DeviceClass::Watt);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessNodes, DeviceAcrossNodes,
+                         ::testing::Values("180nm", "130nm", "90nm"));

@@ -1,0 +1,133 @@
+#include "ambisim/core/power_info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace ambisim;
+using core::DeviceClass;
+using core::PowerInfoGraph;
+using core::PowerInfoPoint;
+using core::TechnologyKind;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(PowerInfoPoint, DerivedQuantities) {
+  const PowerInfoPoint p{"x", TechnologyKind::Compute, "130nm", 10_mW,
+                         1.0_Mbps};
+  EXPECT_EQ(p.device_class(), DeviceClass::MilliWatt);
+  EXPECT_NEAR(p.energy_per_bit().value(), 1e-8, 1e-15);
+}
+
+TEST(PowerInfoPoint, EnergyPerBitNeedsRate) {
+  const PowerInfoPoint p{"x", TechnologyKind::Compute, "130nm", 10_mW,
+                         u::BitRate(0.0)};
+  EXPECT_THROW(p.energy_per_bit(), std::logic_error);
+}
+
+TEST(PowerInfoGraph, AddValidatesCoordinates) {
+  PowerInfoGraph g;
+  EXPECT_THROW(g.add({"bad", TechnologyKind::Compute, "x", u::Power(0.0),
+                      1.0_Mbps}),
+               std::invalid_argument);
+  EXPECT_THROW(g.add({"bad", TechnologyKind::Compute, "x", 1_mW,
+                      u::BitRate(-1.0)}),
+               std::invalid_argument);
+}
+
+TEST(PowerInfoGraph, StandardCatalogueIsComprehensive) {
+  const auto g = PowerInfoGraph::standard_catalogue();
+  EXPECT_GE(g.size(), 25u);
+  // All four technology kinds present.
+  EXPECT_FALSE(g.of_kind(TechnologyKind::Compute).empty());
+  EXPECT_FALSE(g.of_kind(TechnologyKind::Communication).empty());
+  EXPECT_FALSE(g.of_kind(TechnologyKind::Interface).empty());
+  EXPECT_FALSE(g.of_kind(TechnologyKind::Storage).empty());
+  // Points span more than three decades of power.
+  double pmin = 1e18, pmax = 0.0;
+  for (const auto& p : g.points()) {
+    pmin = std::min(pmin, p.power.value());
+    pmax = std::max(pmax, p.power.value());
+  }
+  EXPECT_GT(pmax / pmin, 1e3);
+}
+
+TEST(PowerInfoGraph, CatalogueClassPartitionIsComplete) {
+  const auto g = PowerInfoGraph::standard_catalogue();
+  const auto uw = g.in_class(DeviceClass::MicroWatt);
+  const auto mw = g.in_class(DeviceClass::MilliWatt);
+  const auto w = g.in_class(DeviceClass::Watt);
+  EXPECT_EQ(uw.size() + mw.size() + w.size(), g.size());
+}
+
+TEST(PowerInfoGraph, ClusterStats) {
+  PowerInfoGraph g;
+  g.add({"a", TechnologyKind::Compute, "t", 10_uW, 1.0_kbps});
+  g.add({"b", TechnologyKind::Compute, "t", 100_uW, 10.0_kbps});
+  g.add({"c", TechnologyKind::Compute, "t", 10_W, 1.0_Mbps});
+  const auto s = g.cluster(DeviceClass::MicroWatt);
+  EXPECT_EQ(s.count, 2);
+  EXPECT_NEAR(s.mean_log10_power, (std::log10(1e-5) + std::log10(1e-4)) / 2,
+              1e-12);
+  EXPECT_NEAR(s.min_epb.value(), 1e-8, 1e-15);
+  EXPECT_NEAR(s.max_epb.value(), 1e-8, 1e-15);
+  const auto empty = g.cluster(DeviceClass::MilliWatt);
+  EXPECT_EQ(empty.count, 0);
+}
+
+TEST(PowerInfoGraph, LogLogFitOnSyntheticLine) {
+  // Points on an exact iso-energy-per-bit diagonal: slope 1.
+  PowerInfoGraph g;
+  for (double r : {1e3, 1e4, 1e5, 1e6}) {
+    g.add({"p", TechnologyKind::Compute, "t", u::Power(1e-9 * r),
+           u::BitRate(r)});
+  }
+  const auto fit = g.loglog_fit();
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -9.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(PowerInfoGraph, FitNeedsTwoPoints) {
+  PowerInfoGraph g;
+  g.add({"only", TechnologyKind::Compute, "t", 1_mW, 1.0_kbps});
+  EXPECT_THROW(g.loglog_fit(), std::logic_error);
+}
+
+TEST(PowerInfoGraph, CataloguePowerCorrelatesWithRate) {
+  const auto fit = PowerInfoGraph::standard_catalogue().loglog_fit();
+  EXPECT_GT(fit.slope, 0.0);  // more information costs more power
+}
+
+TEST(PowerInfoGraph, TableHasOneRowPerPoint) {
+  const auto g = PowerInfoGraph::standard_catalogue();
+  const auto t = g.to_table("test");
+  EXPECT_EQ(t.row_count(), g.size());
+  EXPECT_EQ(t.columns().size(), 7u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("risc32@130nm"), std::string::npos);
+}
+
+TEST(PowerInfoGraph, TechnologyScalingMovesPointsDownRight) {
+  // The same core in a newer process: more rate, less power.
+  const auto g = PowerInfoGraph::standard_catalogue();
+  const PowerInfoPoint* risc130 = nullptr;
+  const PowerInfoPoint* risc90 = nullptr;
+  for (const auto& p : g.points()) {
+    if (p.name == "risc32@130nm") risc130 = &p;
+    if (p.name == "risc32@90nm") risc90 = &p;
+  }
+  ASSERT_NE(risc130, nullptr);
+  ASSERT_NE(risc90, nullptr);
+  EXPECT_GT(risc90->info_rate, risc130->info_rate);
+  EXPECT_LT(risc90->power, risc130->power);
+  EXPECT_LT(risc90->energy_per_bit(), risc130->energy_per_bit());
+}
+
+TEST(PowerInfoGraph, KindNames) {
+  EXPECT_EQ(to_string(TechnologyKind::Compute), "compute");
+  EXPECT_EQ(to_string(TechnologyKind::Communication), "communication");
+  EXPECT_EQ(to_string(TechnologyKind::Interface), "interface");
+  EXPECT_EQ(to_string(TechnologyKind::Storage), "storage");
+}

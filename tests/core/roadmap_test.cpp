@@ -1,0 +1,95 @@
+#include "ambisim/core/roadmap.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+using core::DeviceClass;
+using core::feasibility_roadmap;
+using core::function_feasibility;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+namespace {
+const tech::TechnologyNode& node(const char* n) {
+  return tech::TechnologyLibrary::standard().node(n);
+}
+}  // namespace
+
+TEST(Roadmap, SensingFitsMicroWattEverywhere) {
+  const auto wl = workload::sensing(u::Frequency(1.0));
+  for (const auto& n : tech::TechnologyLibrary::standard().all()) {
+    const auto v = function_feasibility(wl, DeviceClass::MicroWatt, n);
+    EXPECT_TRUE(v.feasible) << n.name;
+    EXPECT_LT(v.power.value(), 1e-3) << n.name;
+  }
+}
+
+TEST(Roadmap, VideoNeverFitsMicroWatt) {
+  // The SD stream (4 Mbps) alone exceeds the 100 kbps ULP radio.
+  const auto wl = workload::video_decode_sd();
+  for (const auto& n : tech::TechnologyLibrary::standard().all()) {
+    const auto v = function_feasibility(wl, DeviceClass::MicroWatt, n);
+    EXPECT_FALSE(v.feasible) << n.name;
+    EXPECT_FALSE(v.radio_ok) << n.name;
+  }
+}
+
+TEST(Roadmap, VideoSdFitsWattNode) {
+  const auto wl = workload::video_decode_sd();
+  const auto v = function_feasibility(wl, DeviceClass::Watt, node("130nm"));
+  EXPECT_TRUE(v.compute_ok);
+  EXPECT_TRUE(v.radio_ok);
+  EXPECT_TRUE(v.feasible);
+}
+
+TEST(Roadmap, AudioEntersMilliWattClass) {
+  const auto wl = workload::audio_playback(128_kbps);
+  const auto v =
+      function_feasibility(wl, DeviceClass::MilliWatt, node("130nm"));
+  EXPECT_TRUE(v.feasible);
+  EXPECT_LT(v.power.value(), 1.0);
+  EXPECT_GT(v.compute_utilization, 0.0);
+}
+
+TEST(Roadmap, FeasibilityImprovesWithScaling) {
+  // Once a function is feasible in a class, it stays feasible on newer
+  // nodes (monotone roadmap).
+  const auto wl = workload::speech_frontend();
+  bool seen_feasible = false;
+  for (const auto& n : tech::TechnologyLibrary::standard().all()) {
+    const bool f =
+        function_feasibility(wl, DeviceClass::MilliWatt, n).feasible;
+    if (seen_feasible) EXPECT_TRUE(f) << n.name;
+    seen_feasible = seen_feasible || f;
+  }
+  EXPECT_TRUE(seen_feasible);
+}
+
+TEST(Roadmap, RoadmapTableIsComplete) {
+  const std::vector<workload::StreamingWorkload> fns{
+      workload::sensing(), workload::audio_playback(),
+      workload::video_decode_sd()};
+  const auto entries = feasibility_roadmap(fns);
+  EXPECT_EQ(entries.size(), fns.size() * 3);
+  for (const auto& e : entries) {
+    if (e.first_year) {
+      EXPECT_FALSE(e.first_node.empty());
+      EXPECT_GE(*e.first_year, 1995);
+      EXPECT_LE(*e.first_year, 2007);
+    } else {
+      EXPECT_TRUE(e.first_node.empty());
+    }
+  }
+}
+
+TEST(Roadmap, EveryFunctionEventuallyFitsTheWattNode) {
+  const std::vector<workload::StreamingWorkload> fns{
+      workload::sensing(), workload::speech_frontend(),
+      workload::audio_playback(), workload::video_decode_sd(),
+      workload::video_decode_hd()};
+  for (const auto& e : feasibility_roadmap(fns)) {
+    if (e.cls == DeviceClass::Watt) {
+      EXPECT_TRUE(e.first_year.has_value()) << e.function;
+    }
+  }
+}

@@ -1,0 +1,116 @@
+#include "ambisim/core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+using core::AmiScenarioConfig;
+using core::run_ami_scenario;
+namespace u = ambisim::units;
+
+namespace {
+AmiScenarioConfig short_config() {
+  AmiScenarioConfig cfg;
+  cfg.duration = u::Time(3600.0);  // one hour
+  cfg.events_per_hour = 30.0;
+  cfg.seed = 11;
+  return cfg;
+}
+}  // namespace
+
+TEST(AmiScenario, EventCountTracksRate) {
+  auto cfg = short_config();
+  cfg.duration = u::Time(86400.0);
+  cfg.events_per_hour = 10.0;
+  const auto r = run_ami_scenario(cfg);
+  // Poisson with mean 240; allow +-40%.
+  EXPECT_GT(r.events, 144);
+  EXPECT_LT(r.events, 336);
+  EXPECT_EQ(r.responses_rendered, r.events);
+  EXPECT_EQ(r.end_to_end_latency.count(),
+            static_cast<std::size_t>(r.events));
+}
+
+TEST(AmiScenario, WattNodeDominatesEnergy) {
+  const auto r = run_ami_scenario(short_config());
+  EXPECT_GT(r.class_energy.share("Watt-node"), 0.9);
+  EXPECT_GT(r.class_energy.of("milliWatt-node").value(), 0.0);
+  EXPECT_GT(r.class_energy.of("microWatt-node").value(), 0.0);
+}
+
+TEST(AmiScenario, MicroWattNodesStayNeutral) {
+  const auto r = run_ami_scenario(short_config());
+  EXPECT_TRUE(r.sensors_energy_neutral);
+  EXPECT_LT(r.sensor_average_power, 1e-3);  // stays in the uW class
+  EXPECT_GT(r.sensor_average_power, 0.0);
+}
+
+TEST(AmiScenario, PersonalBatteryLastsDays) {
+  const auto r = run_ami_scenario(short_config());
+  EXPECT_GT(r.personal_battery_days, 1.0);
+}
+
+TEST(AmiScenario, LatencyDominatedByDutyCycledFirstHop) {
+  const auto r = run_ami_scenario(short_config());
+  ASSERT_GT(r.end_to_end_latency.count(), 0u);
+  // Latency below wake interval + processing slack.
+  EXPECT_LT(r.end_to_end_latency.max(), 2.0);
+  EXPECT_GT(r.end_to_end_latency.min(), 0.0);
+  // The spread comes from the random preamble wait: roughly one wake
+  // interval wide.
+  EXPECT_GT(r.end_to_end_latency.max() - r.end_to_end_latency.min(), 0.3);
+}
+
+TEST(AmiScenario, DeterministicForSeed) {
+  const auto a = run_ami_scenario(short_config());
+  const auto b = run_ami_scenario(short_config());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.system_power.value(), b.system_power.value());
+}
+
+TEST(AmiScenario, ZeroEventRateStillAccountsStandby) {
+  auto cfg = short_config();
+  cfg.events_per_hour = 0.0;
+  const auto r = run_ami_scenario(cfg);
+  EXPECT_EQ(r.events, 0);
+  EXPECT_GT(r.system_power.value(), 0.0);
+  EXPECT_GT(r.class_energy.of("Watt-node").value(), 0.0);
+}
+
+TEST(AmiScenario, MoreSensorsMoreMicroWattEnergy) {
+  auto small = short_config();
+  small.sensor_count = 4;
+  auto large = short_config();
+  large.sensor_count = 32;
+  const auto rs = run_ami_scenario(small);
+  const auto rl = run_ami_scenario(large);
+  EXPECT_GT(rl.class_energy.of("microWatt-node").value(),
+            rs.class_energy.of("microWatt-node").value());
+}
+
+TEST(AmiScenario, SystemPowerIsTotalOverDuration) {
+  const auto cfg = short_config();
+  const auto r = run_ami_scenario(cfg);
+  EXPECT_NEAR(r.system_power.value(),
+              r.class_energy.total().value() / cfg.duration.value(), 1e-9);
+}
+
+TEST(AmiScenario, Validation) {
+  auto cfg = short_config();
+  cfg.sensor_count = 0;
+  EXPECT_THROW(run_ami_scenario(cfg), std::invalid_argument);
+  cfg = short_config();
+  cfg.duration = u::Time(0.0);
+  EXPECT_THROW(run_ami_scenario(cfg), std::invalid_argument);
+  cfg = short_config();
+  cfg.events_per_hour = -1.0;
+  EXPECT_THROW(run_ami_scenario(cfg), std::invalid_argument);
+}
+
+TEST(AmiScenario, StageBreakdownCoversPipeline) {
+  const auto r = run_ami_scenario(short_config());
+  EXPECT_GT(r.stage_energy.of("standby").value(), 0.0);
+  EXPECT_GT(r.stage_energy.of("sense-report").value(), 0.0);
+  EXPECT_GT(r.stage_energy.of("context-processing").value(), 0.0);
+  EXPECT_GT(r.stage_energy.of("recognition").value(), 0.0);
+  EXPECT_GT(r.stage_energy.of("response-stream").value(), 0.0);
+}

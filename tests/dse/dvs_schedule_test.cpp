@@ -1,0 +1,101 @@
+#include "ambisim/dse/dvs_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using dse::schedule_with_dvs;
+
+namespace {
+
+const tech::TechnologyNode& n130() {
+  return tech::TechnologyLibrary::standard().node("130nm");
+}
+
+constexpr double kGates = 40e3;
+constexpr double kIdle = 360e3;
+
+u::Time min_latency(const workload::TaskGraph& g, const tech::DvsModel& m) {
+  double cycles = 0.0;
+  for (int t = 0; t < g.task_count(); ++t) cycles += g.task(t).ops;
+  return u::Time(cycles / m.fastest().frequency.value());
+}
+
+}  // namespace
+
+TEST(DvsSchedule, NoSlackNoSavings) {
+  const tech::DvsModel dvs(n130(), 16);
+  const auto g = workload::audio_pipeline_graph();
+  const auto r = schedule_with_dvs(g, dvs, min_latency(g, dvs), kGates,
+                                   kIdle);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.savings, 0.0, 1e-9);
+  EXPECT_NEAR(r.energy_dvs.value(), r.energy_nominal.value(), 1e-15);
+}
+
+TEST(DvsSchedule, SavingsMonotoneInSlack) {
+  const tech::DvsModel dvs(n130(), 16);
+  const auto g = workload::audio_pipeline_graph();
+  const auto t0 = min_latency(g, dvs);
+  double prev = -1.0;
+  for (double slack : {1.0, 1.5, 2.0, 3.0, 5.0}) {
+    const auto r = schedule_with_dvs(g, dvs, t0 * slack, kGates, kIdle);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_GE(r.savings, prev - 1e-12) << "slack " << slack;
+    prev = r.savings;
+  }
+  EXPECT_GT(prev, 0.3);  // large slack -> large savings
+}
+
+TEST(DvsSchedule, SavingsSaturateAtVddMin) {
+  const tech::DvsModel dvs(n130(), 16);
+  const auto g = workload::audio_pipeline_graph();
+  const auto t0 = min_latency(g, dvs);
+  const auto r10 = schedule_with_dvs(g, dvs, t0 * 10.0, kGates, kIdle);
+  const auto r20 = schedule_with_dvs(g, dvs, t0 * 20.0, kGates, kIdle);
+  EXPECT_NEAR(r10.savings, r20.savings, 1e-9);
+  for (const auto& p : r10.points) {
+    EXPECT_DOUBLE_EQ(p.voltage.value(), n130().vdd_min.value());
+  }
+}
+
+TEST(DvsSchedule, InfeasibleDeadlineFlagged) {
+  const tech::DvsModel dvs(n130(), 16);
+  const auto g = workload::audio_pipeline_graph();
+  const auto r = schedule_with_dvs(g, dvs, min_latency(g, dvs) * 0.5,
+                                   kGates, kIdle);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_GT(r.makespan, min_latency(g, dvs) * 0.5);
+}
+
+TEST(DvsSchedule, MakespanWithinDeadline) {
+  const tech::DvsModel dvs(n130(), 16);
+  const auto g = workload::audio_pipeline_graph();
+  for (double slack : {1.0, 1.7, 2.3, 4.0}) {
+    const auto deadline = min_latency(g, dvs) * slack;
+    const auto r = schedule_with_dvs(g, dvs, deadline, kGates, kIdle);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.makespan.value(), deadline.value() * (1.0 + 1e-9));
+  }
+}
+
+TEST(DvsSchedule, PointsWithinTechnologyRange) {
+  const tech::DvsModel dvs(n130(), 16);
+  const auto g = workload::sensing_pipeline_graph();
+  const auto r = schedule_with_dvs(g, dvs, u::Time(0.5), 5e3, 3e4);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.points.size(), static_cast<std::size_t>(g.task_count()));
+  for (const auto& p : r.points) {
+    EXPECT_GE(p.voltage.value(), n130().vdd_min.value() - 1e-12);
+    EXPECT_LE(p.voltage.value(), n130().vdd_nominal.value() + 1e-12);
+  }
+}
+
+TEST(DvsSchedule, Validation) {
+  const tech::DvsModel dvs(n130(), 16);
+  const auto g = workload::audio_pipeline_graph();
+  EXPECT_THROW(schedule_with_dvs(g, dvs, u::Time(0.0), kGates, kIdle),
+               std::invalid_argument);
+  EXPECT_THROW(schedule_with_dvs(g, dvs, u::Time(1.0), kGates, kIdle, 0.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,106 @@
+// Pinning and ISA-scale behaviour of the mapper.
+#include <gtest/gtest.h>
+
+#include "ambisim/dse/mapping.hpp"
+#include "ambisim/radio/transceiver.hpp"
+
+using namespace ambisim;
+using dse::Mapping;
+using dse::MappingOptimizer;
+using dse::MappingProblem;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+namespace {
+
+const tech::TechnologyNode& n130() {
+  return tech::TechnologyLibrary::standard().node("130nm");
+}
+
+MappingProblem pinned_problem() {
+  workload::TaskGraph g("pinned");
+  const int sense = g.add_task({"sense", 1e3, 0, 64_bit});
+  const int heavy = g.add_task({"heavy", 1e7, 0, 64_bit});
+  const int act = g.add_task({"actuate", 1e3, 0, 16_bit});
+  g.add_edge(sense, heavy, 64_bit);
+  g.add_edge(heavy, act, 64_bit);
+
+  MappingProblem p{std::move(g), 1_s, {}, {}};
+  const radio::RadioModel ulp(radio::ulp_radio());
+  p.targets.push_back(
+      {"mcu",
+       arch::ProcessorModel::at_max_clock(arch::microcontroller_core(),
+                                          n130(), n130().vdd_min),
+       core::DeviceClass::MicroWatt,
+       u::EnergyPerBit(ulp.energy_per_bit_tx().value() * 2.0), 1.0, 10.0});
+  p.targets.push_back(
+      {"server",
+       arch::ProcessorModel::at_max_clock(arch::vliw_core(), n130(),
+                                          n130().vdd_nominal),
+       core::DeviceClass::Watt, u::EnergyPerBit(5e-8), 1.0, 1.0});
+  p.pinned.push_back({sense, 0});
+  p.pinned.push_back({act, 0});
+  return p;
+}
+
+}  // namespace
+
+TEST(MappingPins, GreedyHonorsPins) {
+  MappingOptimizer opt(pinned_problem());
+  const Mapping m = opt.greedy();
+  ASSERT_TRUE(m.feasible);
+  EXPECT_EQ(m.assignment[0], 0);
+  EXPECT_EQ(m.assignment[2], 0);
+}
+
+TEST(MappingPins, AnnealHonorsPins) {
+  MappingOptimizer opt(pinned_problem());
+  sim::Rng rng(5);
+  const Mapping m = opt.anneal(rng, 5'000);
+  ASSERT_TRUE(m.feasible);
+  EXPECT_EQ(m.assignment[0], 0);
+  EXPECT_EQ(m.assignment[2], 0);
+}
+
+TEST(MappingPins, EvaluateFlagsPinViolation) {
+  MappingOptimizer opt(pinned_problem());
+  const Mapping ok = opt.evaluate({0, 1, 0});
+  EXPECT_TRUE(ok.feasible);
+  const Mapping bad = opt.evaluate({1, 1, 0});  // sense off its pin
+  EXPECT_FALSE(bad.feasible);
+}
+
+TEST(MappingPins, PinValidation) {
+  auto p = pinned_problem();
+  p.pinned.push_back({99, 0});
+  EXPECT_THROW(MappingOptimizer{p}, std::out_of_range);
+  p = pinned_problem();
+  p.pinned.push_back({0, 99});
+  EXPECT_THROW(MappingOptimizer{p}, std::out_of_range);
+  p = pinned_problem();
+  p.targets[0].ops_scale = 0.0;
+  EXPECT_THROW(MappingOptimizer{p}, std::invalid_argument);
+}
+
+TEST(MappingPins, OpsScaleRaisesUtilizationAndEnergy) {
+  auto low = pinned_problem();
+  low.pinned.clear();
+  auto high = pinned_problem();
+  high.pinned.clear();
+  high.targets[0].ops_scale = 20.0;
+  const Mapping ml = MappingOptimizer(low).all_on(0);
+  const Mapping mh = MappingOptimizer(high).all_on(0);
+  EXPECT_NEAR(mh.utilization[0], 2.0 * ml.utilization[0], 1e-9);
+  EXPECT_NEAR(mh.compute_energy.value(), 2.0 * ml.compute_energy.value(),
+              mh.compute_energy.value() * 1e-9);
+}
+
+TEST(MappingPins, AllPinnedStillReturnsGreedy) {
+  auto p = pinned_problem();
+  p.pinned = {{0, 0}, {1, 1}, {2, 0}};
+  MappingOptimizer opt(p);
+  sim::Rng rng(1);
+  const Mapping m = opt.anneal(rng, 100);
+  EXPECT_TRUE(m.feasible);
+  EXPECT_EQ(m.assignment, (std::vector<int>{0, 1, 0}));
+}

@@ -1,0 +1,92 @@
+#include "ambisim/dse/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ambisim/sim/random.hpp"
+
+using ambisim::dse::dominates;
+using ambisim::dse::is_pareto_front;
+using ambisim::dse::pareto_front;
+using ambisim::dse::ParetoPoint;
+
+TEST(Pareto, DominanceDefinition) {
+  const ParetoPoint a{1.0, 10.0, "a"};
+  const ParetoPoint b{2.0, 5.0, "b"};
+  const ParetoPoint c{1.0, 10.0, "c"};  // equal to a
+  const ParetoPoint d{0.5, 12.0, "d"};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, c));  // equal points do not dominate
+  EXPECT_TRUE(dominates(d, a));
+}
+
+TEST(Pareto, FrontRemovesDominated) {
+  const std::vector<ParetoPoint> pts{
+      {1.0, 1.0, "p1"}, {2.0, 3.0, "p2"}, {3.0, 2.0, "dominated"},
+      {4.0, 4.0, "p4"}, {5.0, 3.5, "dominated2"}};
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].label, "p1");
+  EXPECT_EQ(front[1].label, "p2");
+  EXPECT_EQ(front[2].label, "p4");
+  EXPECT_TRUE(is_pareto_front(front));
+}
+
+TEST(Pareto, FrontIsSortedByCost) {
+  const std::vector<ParetoPoint> pts{
+      {5.0, 10.0, ""}, {1.0, 2.0, ""}, {3.0, 7.0, ""}};
+  const auto front = pareto_front(pts);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].cost, front[i - 1].cost);
+    EXPECT_GT(front[i].value, front[i - 1].value);
+  }
+}
+
+TEST(Pareto, SingleAndEmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  const auto f = pareto_front({{1.0, 1.0, "only"}});
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].label, "only");
+}
+
+TEST(Pareto, DuplicateCostKeepsBestValue) {
+  const auto f = pareto_front({{1.0, 5.0, "worse"}, {1.0, 9.0, "better"}});
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].label, "better");
+}
+
+TEST(Pareto, IsParetoFrontDetectsViolations) {
+  EXPECT_TRUE(is_pareto_front({{1.0, 1.0, ""}, {2.0, 2.0, ""}}));
+  EXPECT_FALSE(is_pareto_front({{1.0, 5.0, ""}, {2.0, 2.0, ""}}));
+}
+
+// Properties on random clouds.
+class ParetoRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParetoRandom, FrontIsValidAndIdempotent) {
+  ambisim::sim::Rng rng(GetParam());
+  std::vector<ParetoPoint> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0), ""});
+  }
+  const auto front = pareto_front(pts);
+  ASSERT_FALSE(front.empty());
+  EXPECT_TRUE(is_pareto_front(front));
+  // Idempotence: the front of the front is itself.
+  const auto again = pareto_front(front);
+  EXPECT_EQ(again.size(), front.size());
+  // Every input point is dominated by or equal to some front member.
+  for (const auto& p : pts) {
+    bool covered = false;
+    for (const auto& f : front) {
+      if (dominates(f, p) || (f.cost == p.cost && f.value == p.value)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));

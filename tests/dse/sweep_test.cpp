@@ -1,0 +1,43 @@
+#include "ambisim/dse/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+using ambisim::dse::linspace;
+using ambisim::dse::logspace;
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(0.0, 10.0, 6);
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 10.0);
+  for (std::size_t i = 1; i < v.size(); ++i)
+    EXPECT_NEAR(v[i] - v[i - 1], 2.0, 1e-12);
+}
+
+TEST(Linspace, SinglePointAndErrors) {
+  EXPECT_EQ(linspace(3.0, 9.0, 1), std::vector<double>{3.0});
+  EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Linspace, DescendingRangeWorks) {
+  const auto v = linspace(10.0, 0.0, 3);
+  EXPECT_DOUBLE_EQ(v[0], 10.0);
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+}
+
+TEST(Logspace, ConstantRatio) {
+  const auto v = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-7);
+  EXPECT_NEAR(v[3], 1000.0, 1e-6);
+}
+
+TEST(Logspace, Validation) {
+  EXPECT_THROW(logspace(0.0, 10.0, 3), std::invalid_argument);
+  EXPECT_THROW(logspace(1.0, -10.0, 3), std::invalid_argument);
+  EXPECT_THROW(logspace(1.0, 10.0, 0), std::invalid_argument);
+  EXPECT_EQ(logspace(5.0, 50.0, 1), std::vector<double>{5.0});
+}

@@ -1,0 +1,138 @@
+#include "ambisim/energy/battery.hpp"
+
+#include <gtest/gtest.h>
+
+using ambisim::energy::Battery;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(Battery, CapacityIsVoltageTimesCharge) {
+  Battery b(Battery::coin_cell_cr2032());
+  EXPECT_NEAR(b.capacity().value(), 3.0 * 0.225 * 3600.0, 1e-6);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+  EXPECT_FALSE(b.depleted());
+}
+
+TEST(Battery, DrawRemovesEnergy) {
+  Battery b(Battery::coin_cell_cr2032());
+  const auto delivered = b.draw(100_uW, 1000_s);
+  EXPECT_NEAR(delivered.value(), 0.1, 1e-9);
+  EXPECT_LT(b.remaining(), b.capacity());
+  // Below rated current: no derating, only self-discharge on top.
+  EXPECT_NEAR(b.capacity().value() - b.remaining().value(),
+              0.1 + Battery::coin_cell_cr2032().self_discharge.value() * 1000,
+              1e-9);
+}
+
+TEST(Battery, HighRateDrawIsDerated) {
+  // Drawing far above the rated current must cost more charge than the
+  // delivered energy (Peukert effect).
+  auto spec = Battery::coin_cell_cr2032();
+  Battery gentle(spec), harsh(spec);
+  // 0.3 mW at 3 V = 0.1 mA (below 0.2 mA rating); 60 mW = 20 mA (100x).
+  gentle.draw(0.3_mW, 100_s);
+  harsh.draw(60.0_mW, 0.5_s);  // same 30 mJ delivered
+  const double drop_gentle = spec.voltage.value() == 0
+                                 ? 0
+                                 : gentle.capacity().value() -
+                                       gentle.remaining().value();
+  const double drop_harsh =
+      harsh.capacity().value() - harsh.remaining().value();
+  EXPECT_GT(drop_harsh, drop_gentle * 1.2);
+}
+
+TEST(Battery, DepletesPartwayThroughInterval) {
+  Battery b(Battery::thin_film_1mAh());  // 3 V * 1 mAh = 10.8 J
+  const auto delivered = b.draw(1.0_W, 60_s);  // wants 60 J
+  EXPECT_TRUE(b.depleted());
+  EXPECT_LT(delivered.value(), 60.0);
+  EXPECT_GT(delivered.value(), 0.0);
+  // No more energy afterwards.
+  EXPECT_DOUBLE_EQ(b.draw(1.0_W, 1_s).value(), 0.0);
+}
+
+TEST(Battery, RechargeClampsAtCapacity) {
+  Battery b(Battery::thin_film_1mAh());
+  b.draw(10.0_mW, 100_s);  // remove 1 J
+  const auto stored = b.recharge(100_J);
+  EXPECT_LE(b.remaining(), b.capacity());
+  EXPECT_NEAR(b.state_of_charge(), 1.0, 1e-12);
+  EXPECT_LT(stored.value(), 100.0);
+  EXPECT_THROW(b.recharge(u::Energy(-1.0)), std::invalid_argument);
+}
+
+TEST(Battery, SelfDischargeDrainsIdleCell) {
+  Battery b(Battery::coin_cell_cr2032());
+  b.idle(u::Time(86400.0 * 365.0));
+  EXPECT_LT(b.state_of_charge(), 1.0);
+  EXPECT_GT(b.state_of_charge(), 0.9);  // coin cells keep ~years of shelf life
+}
+
+TEST(Battery, LifetimeMatchesDrawSimulation) {
+  Battery analytic(Battery::coin_cell_cr2032());
+  const u::Power load = 50_uW;
+  const u::Time predicted = analytic.lifetime_at(load);
+
+  Battery stepped(Battery::coin_cell_cr2032());
+  double t = 0.0;
+  const double dt = predicted.value() / 1000.0;
+  while (!stepped.depleted()) {
+    stepped.draw(load, u::Time(dt));
+    t += dt;
+    ASSERT_LT(t, predicted.value() * 1.1);
+  }
+  EXPECT_NEAR(t, predicted.value(), predicted.value() * 0.01);
+}
+
+TEST(Battery, LifetimeInverseInPowerBelowRating) {
+  Battery b(Battery::li_ion_1000mAh());
+  const auto t1 = b.lifetime_at(10_mW);
+  const auto t2 = b.lifetime_at(20_mW);
+  EXPECT_NEAR(t1.value() / t2.value(), 2.0, 0.01);
+}
+
+TEST(Battery, ZeroLoadLastsForever) {
+  Battery spec_no_selfdischarge({"ideal", 3.0_V, 100_mAh, 1.0,
+                                 u::Current(1e-3), u::Power(0.0)});
+  EXPECT_GE(spec_no_selfdischarge.lifetime_at(u::Power(0.0)).value(), 1e17);
+}
+
+TEST(Battery, InvalidSpecsRejected) {
+  auto s = Battery::coin_cell_cr2032();
+  s.peukert = 0.9;
+  EXPECT_THROW(Battery{s}, std::invalid_argument);
+  s = Battery::coin_cell_cr2032();
+  s.capacity = u::Charge(0.0);
+  EXPECT_THROW(Battery{s}, std::invalid_argument);
+}
+
+TEST(Battery, InvalidDrawRejected) {
+  Battery b(Battery::coin_cell_cr2032());
+  EXPECT_THROW(b.draw(u::Power(-1.0), 1_s), std::invalid_argument);
+  EXPECT_THROW(b.draw(1_mW, u::Time(-1.0)), std::invalid_argument);
+}
+
+// Property: every preset battery spec is internally consistent.
+class BatteryPresets
+    : public ::testing::TestWithParam<ambisim::energy::Battery::Spec> {};
+
+TEST_P(BatteryPresets, PresetIsValidAndUsable) {
+  Battery b(GetParam());
+  EXPECT_GT(b.capacity().value(), 0.0);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+  const auto delivered = b.draw(10_uW, 10_s);
+  EXPECT_NEAR(delivered.value(), 1e-4, 1e-9);
+  EXPECT_GT(b.lifetime_at(1_mW).value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, BatteryPresets,
+    ::testing::Values(Battery::coin_cell_cr2032(), Battery::alkaline_aa(),
+                      Battery::li_ion_1000mAh(), Battery::thin_film_1mAh()),
+    [](const auto& info) { return info.param.name == "LiIon-1000"
+                                      ? std::string("LiIon1000")
+                                      : info.param.name == "AA-alkaline"
+                                            ? std::string("AAalkaline")
+                                            : info.param.name == "CR2032"
+                                                  ? std::string("CR2032")
+                                                  : std::string("ThinFilm1"); });

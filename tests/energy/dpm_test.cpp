@@ -1,0 +1,141 @@
+#include "ambisim/energy/dpm.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim::energy;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+namespace {
+PowerStateSpec simple_spec() {
+  // Idle 10 mW, sleep 1 mW, wake costs 45 mJ + 1 ms at sleep power:
+  // break-even = (0.045 + 0.001*0.001) / 0.009 ~ 5.0 s.
+  return {100_mW, 10_mW, 1_mW, 1_ms, u::Energy(45e-3)};
+}
+}  // namespace
+
+TEST(Dpm, BreakEvenFormula) {
+  const auto spec = simple_spec();
+  EXPECT_NEAR(spec.break_even().value(),
+              (45e-3 + 1e-3 * 1e-3) / 9e-3, 1e-9);
+  PowerStateSpec bad = spec;
+  bad.sleep = bad.idle;
+  EXPECT_THROW(bad.break_even(), std::logic_error);
+}
+
+TEST(Dpm, AlwaysOnIsIdlePowerTimesTime) {
+  const auto r = dpm_always_on(simple_spec(), {1.0, 2.0, 3.0});
+  EXPECT_NEAR(r.energy.value(), 10e-3 * 6.0, 1e-12);
+  EXPECT_EQ(r.sleep_transitions, 0);
+  EXPECT_DOUBLE_EQ(r.added_latency.value(), 0.0);
+}
+
+TEST(Dpm, OracleSleepsOnlyBeyondBreakEven) {
+  const auto spec = simple_spec();
+  // Periods: one below break-even (stays idle), one above (sleeps).
+  const auto r = dpm_oracle(spec, {2.0, 100.0});
+  EXPECT_EQ(r.sleep_transitions, 1);
+  EXPECT_NEAR(r.energy.value(),
+              10e-3 * 2.0 + 1e-3 * 100.0 + 45e-3, 1e-9);
+}
+
+TEST(Dpm, OracleNeverWorseThanAnyTimeout) {
+  const auto spec = simple_spec();
+  ambisim::sim::Rng rng(3);
+  const auto trace = exponential_idle_trace(rng, 2000, 4.0);
+  const auto oracle = dpm_oracle(spec, trace);
+  for (double to : {0.0, 1.0, 5.0, 20.0, 1e9}) {
+    const auto t = dpm_timeout(spec, trace, u::Time(to));
+    EXPECT_LE(oracle.energy.value(), t.energy.value() * (1.0 + 1e-12))
+        << "timeout " << to;
+  }
+}
+
+TEST(Dpm, BreakEvenTimeoutIsTwoCompetitive) {
+  const auto spec = simple_spec();
+  ambisim::sim::Rng rng(17);
+  for (double mean : {1.0, 5.0, 25.0}) {
+    const auto trace = exponential_idle_trace(rng, 3000, mean);
+    const auto oracle = dpm_oracle(spec, trace);
+    const auto timeout = dpm_timeout(spec, trace, spec.break_even());
+    EXPECT_LE(timeout.energy.value(), 2.0 * oracle.energy.value() * 1.001)
+        << "mean " << mean;
+  }
+}
+
+TEST(Dpm, ZeroTimeoutSleepsEveryPeriod) {
+  const auto spec = simple_spec();
+  const auto r = dpm_timeout(spec, {1.0, 2.0}, u::Time(0.0));
+  EXPECT_EQ(r.sleep_transitions, 2);
+  EXPECT_NEAR(r.energy.value(), 1e-3 * 3.0 + 2 * 45e-3, 1e-9);
+  EXPECT_NEAR(r.added_latency.value(), 2e-3, 1e-12);
+}
+
+TEST(Dpm, HugeTimeoutEqualsAlwaysOn) {
+  const auto spec = simple_spec();
+  ambisim::sim::Rng rng(5);
+  const auto trace = exponential_idle_trace(rng, 500, 3.0);
+  const auto always = dpm_always_on(spec, trace);
+  const auto lazy = dpm_timeout(spec, trace, u::Time(1e12));
+  EXPECT_NEAR(lazy.energy.value(), always.energy.value(), 1e-9);
+  EXPECT_DOUBLE_EQ(lazy.energy_ratio_vs(always), 1.0);
+}
+
+TEST(Dpm, LongIdlePeriodsRewardSleeping) {
+  const auto spec = simple_spec();
+  ambisim::sim::Rng rng(7);
+  // Mean 50 s >> break-even 5 s: timeout policy should save a lot.
+  const auto trace = exponential_idle_trace(rng, 1000, 50.0);
+  const auto always = dpm_always_on(spec, trace);
+  const auto timeout = dpm_timeout(spec, trace, spec.break_even());
+  EXPECT_LT(timeout.energy.value(), 0.5 * always.energy.value());
+}
+
+TEST(Dpm, ParetoTraceIsHeavyTailed) {
+  ambisim::sim::Rng rng(11);
+  const auto trace = pareto_idle_trace(rng, 20'000, 1.0, 1.8);
+  double mean = 0.0;
+  double mx = 0.0;
+  for (double t : trace) {
+    EXPECT_GE(t, 1.0);
+    mean += t;
+    mx = std::max(mx, t);
+  }
+  mean /= trace.size();
+  // alpha = 1.8 -> mean = alpha/(alpha-1) = 2.25 (sampling noise allowed).
+  EXPECT_NEAR(mean, 2.25, 0.5);
+  EXPECT_GT(mx, 20.0);  // heavy tail produces rare huge periods
+}
+
+TEST(Dpm, Validation) {
+  const auto spec = simple_spec();
+  EXPECT_THROW(dpm_always_on(spec, {}), std::invalid_argument);
+  EXPECT_THROW(dpm_always_on(spec, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(dpm_timeout(spec, {1.0}, u::Time(-1.0)),
+               std::invalid_argument);
+  ambisim::sim::Rng rng(1);
+  EXPECT_THROW(exponential_idle_trace(rng, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(pareto_idle_trace(rng, 10, 1.0, 0.5),
+               std::invalid_argument);
+  DpmResult empty;
+  EXPECT_THROW(empty.energy_ratio_vs(empty), std::logic_error);
+}
+
+// Property: across radio presets, the break-even time is short enough that
+// second-scale idle gaps are worth sleeping through.
+class DpmPresets : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpmPresets, BreakEvenSubSecond) {
+  PowerStateSpec spec;
+  switch (GetParam()) {
+    case 0: spec = PowerStateSpec::ulp_radio(); break;
+    case 1: spec = PowerStateSpec::bluetooth_radio(); break;
+    default: spec = PowerStateSpec::wlan_radio(); break;
+  }
+  EXPECT_GT(spec.break_even().value(), 0.0);
+  EXPECT_LT(spec.break_even().value(), 1.0);
+  EXPECT_LT(spec.sleep, spec.idle);
+  EXPECT_LT(spec.idle, spec.active);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radios, DpmPresets, ::testing::Values(0, 1, 2));

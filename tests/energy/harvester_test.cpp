@@ -1,0 +1,97 @@
+#include "ambisim/energy/harvester.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim::energy;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(SolarHarvester, IndoorIsConstant) {
+  const SolarHarvester h(2_cm2, 0.15, /*indoor=*/true);
+  EXPECT_DOUBLE_EQ(h.power_at(u::Time(0.0)).value(),
+                   h.power_at(u::Time(43200.0)).value());
+  // 1 W/m^2 * 2 cm^2 * 15 % = 30 uW.
+  EXPECT_NEAR(h.average_power().value(), 30e-6, 1e-12);
+  EXPECT_EQ(h.name(), "solar-indoor");
+}
+
+TEST(SolarHarvester, OutdoorFollowsDiurnalHalfSine) {
+  const SolarHarvester h(2_cm2, 0.15, /*indoor=*/false);
+  // Peak at 6 h into the cycle (quarter period of the sine).
+  const double peak = h.power_at(u::Time(6.0 * 3600.0)).value();
+  EXPECT_NEAR(peak, 100.0 * 2e-4 * 0.15, 1e-9);
+  // Night: second half of the period harvests nothing.
+  EXPECT_DOUBLE_EQ(h.power_at(u::Time(18.0 * 3600.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(h.power_at(u::Time(13.0 * 3600.0)).value(), 0.0);
+  EXPECT_EQ(h.name(), "solar-outdoor");
+}
+
+TEST(SolarHarvester, AverageMatchesDailyIntegral) {
+  const SolarHarvester h(4_cm2, 0.12, /*indoor=*/false);
+  const u::Energy day = h.energy_between(u::Time(0.0), u::Time(86400.0),
+                                         4096);
+  EXPECT_NEAR(day.value() / 86400.0, h.average_power().value(),
+              h.average_power().value() * 0.01);
+}
+
+TEST(SolarHarvester, DiurnalPatternRepeats) {
+  const SolarHarvester h(2_cm2, 0.15, false);
+  EXPECT_NEAR(h.power_at(u::Time(3600.0)).value(),
+              h.power_at(u::Time(3600.0 + 86400.0)).value(), 1e-15);
+}
+
+TEST(SolarHarvester, RejectsBadParameters) {
+  EXPECT_THROW(SolarHarvester(u::Area(0.0), 0.15, true),
+               std::invalid_argument);
+  EXPECT_THROW(SolarHarvester(2_cm2, 0.0, true), std::invalid_argument);
+  EXPECT_THROW(SolarHarvester(2_cm2, 1.5, true), std::invalid_argument);
+}
+
+TEST(VibrationHarvester, ScalesWithVolume) {
+  const VibrationHarvester h1(1.0);
+  const VibrationHarvester h2(2.0);
+  EXPECT_NEAR(h1.average_power().value(), 100e-6, 1e-12);
+  EXPECT_NEAR(h2.average_power().value(), 200e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(h1.power_at(u::Time(5.0)).value(),
+                   h1.average_power().value());
+  EXPECT_THROW(VibrationHarvester(-1.0), std::invalid_argument);
+}
+
+TEST(ThermalHarvester, QuadraticInDeltaT) {
+  const ThermalHarvester h5(4_cm2, 5.0);
+  const ThermalHarvester h10(4_cm2, 10.0);
+  EXPECT_NEAR(h10.average_power().value() / h5.average_power().value(), 4.0,
+              1e-9);
+  EXPECT_THROW(ThermalHarvester(4_cm2, -1.0), std::invalid_argument);
+}
+
+TEST(ConstantSource, IsConstant) {
+  const ConstantSource s(5_W, "mains");
+  EXPECT_DOUBLE_EQ(s.power_at(u::Time(123.0)).value(), 5.0);
+  EXPECT_DOUBLE_EQ(s.average_power().value(), 5.0);
+  EXPECT_EQ(s.name(), "mains");
+  EXPECT_THROW(ConstantSource(u::Power(-1.0)), std::invalid_argument);
+}
+
+TEST(Harvester, EnergyBetweenValidation) {
+  const ConstantSource s(1_W);
+  EXPECT_NEAR(s.energy_between(u::Time(1.0), u::Time(3.0)).value(), 2.0,
+              1e-9);
+  EXPECT_THROW((void)s.energy_between(u::Time(3.0), u::Time(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)s.energy_between(u::Time(0.0), u::Time(1.0), 0),
+               std::invalid_argument);
+}
+
+// Property: 2003-era harvester presets deliver microwatts, not milliwatts —
+// the reason the autonomous node must be a microWatt-node.
+TEST(Harvester, RealisticScaleIsMicrowatts) {
+  const SolarHarvester pv(2_cm2, 0.15, true);
+  const VibrationHarvester vib(1.0);
+  const ThermalHarvester teg(4_cm2, 5.0);
+  for (const Harvester* h :
+       std::initializer_list<const Harvester*>{&pv, &vib, &teg}) {
+    EXPECT_GT(h->average_power().value(), 1e-6) << h->name();
+    EXPECT_LT(h->average_power().value(), 5e-3) << h->name();
+  }
+}

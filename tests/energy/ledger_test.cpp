@@ -1,0 +1,96 @@
+#include "ambisim/energy/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+using ambisim::energy::DutyCycleLoad;
+using ambisim::energy::EnergyLedger;
+using ambisim::energy::max_neutral_duty;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(EnergyLedger, AccumulatesPerComponent) {
+  EnergyLedger l;
+  EXPECT_TRUE(l.empty());
+  l.charge("radio", 2_J);
+  l.charge("cpu", 1_J);
+  l.charge("radio", 3_J);
+  EXPECT_DOUBLE_EQ(l.of("radio").value(), 5.0);
+  EXPECT_DOUBLE_EQ(l.of("cpu").value(), 1.0);
+  EXPECT_DOUBLE_EQ(l.of("unknown").value(), 0.0);
+  EXPECT_DOUBLE_EQ(l.total().value(), 6.0);
+}
+
+TEST(EnergyLedger, BreakdownSortedDescending) {
+  EnergyLedger l;
+  l.charge("a", 1_J);
+  l.charge("b", 3_J);
+  l.charge("c", 2_J);
+  const auto bd = l.breakdown();
+  ASSERT_EQ(bd.size(), 3u);
+  EXPECT_EQ(bd[0].first, "b");
+  EXPECT_EQ(bd[1].first, "c");
+  EXPECT_EQ(bd[2].first, "a");
+}
+
+TEST(EnergyLedger, ShareSumsToOne) {
+  EnergyLedger l;
+  l.charge("a", 1_J);
+  l.charge("b", 3_J);
+  EXPECT_DOUBLE_EQ(l.share("a") + l.share("b"), 1.0);
+  EnergyLedger empty;
+  EXPECT_DOUBLE_EQ(empty.share("a"), 0.0);
+}
+
+TEST(EnergyLedger, MergeAndClear) {
+  EnergyLedger a, b;
+  a.charge("x", 1_J);
+  b.charge("x", 2_J);
+  b.charge("y", 5_J);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.of("x").value(), 3.0);
+  EXPECT_DOUBLE_EQ(a.of("y").value(), 5.0);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(EnergyLedger, RejectsNegativeCharge) {
+  EnergyLedger l;
+  EXPECT_THROW(l.charge("x", u::Energy(-1.0)), std::invalid_argument);
+}
+
+TEST(DutyCycleLoad, AveragePowerInterpolates) {
+  const DutyCycleLoad load{10_mW, 10_uW, 1_s, 100_ms};
+  EXPECT_DOUBLE_EQ(load.duty(), 0.1);
+  EXPECT_NEAR(load.average_power().value(), 0.1 * 10e-3 + 0.9 * 10e-6,
+              1e-12);
+}
+
+TEST(DutyCycleLoad, ValidatesShape) {
+  const DutyCycleLoad bad1{1_mW, 1_uW, u::Time(0.0), u::Time(0.0)};
+  EXPECT_THROW((void)bad1.duty(), std::logic_error);
+  const DutyCycleLoad bad2{1_mW, 1_uW, 1_s, 2_s};
+  EXPECT_THROW((void)bad2.average_power(), std::logic_error);
+}
+
+TEST(MaxNeutralDuty, BoundaryBehaviour) {
+  // Harvest below sleep: nothing sustainable.
+  EXPECT_DOUBLE_EQ(max_neutral_duty(1_uW, 1_mW, 2_uW), 0.0);
+  // Harvest above active: always-on sustainable.
+  EXPECT_DOUBLE_EQ(max_neutral_duty(2_mW, 1_mW, 1_uW), 1.0);
+  // Interpolation: harvest halfway between sleep and active.
+  const double d = max_neutral_duty(u::Power(0.5005e-3), 1_mW, 1_uW);
+  EXPECT_NEAR(d, 0.5, 1e-3);
+  EXPECT_THROW(max_neutral_duty(1_mW, 1_uW, 2_uW), std::invalid_argument);
+}
+
+TEST(MaxNeutralDuty, ResultIsExactlyNeutral) {
+  const u::Power active = 800_uW;
+  const u::Power sleep = 5_uW;
+  const u::Power harvest = 60_uW;
+  const double d = max_neutral_duty(harvest, active, sleep);
+  ASSERT_GT(d, 0.0);
+  ASSERT_LT(d, 1.0);
+  const DutyCycleLoad load{active, sleep, 1_s, u::Time(d)};
+  EXPECT_NEAR(load.average_power().value(), harvest.value(),
+              harvest.value() * 1e-9);
+}

@@ -1,0 +1,158 @@
+// Cross-module integration tests: the reproduction's headline claims, each
+// checked end-to-end through the same code paths the benches use.
+#include <gtest/gtest.h>
+
+#include "ambisim/arch/soc.hpp"
+#include "ambisim/core/device_node.hpp"
+#include "ambisim/core/power_info.hpp"
+#include "ambisim/core/scenario.hpp"
+#include "ambisim/dse/dvs_schedule.hpp"
+#include "ambisim/dse/pareto.hpp"
+#include "ambisim/energy/harvester.hpp"
+#include "ambisim/net/network_sim.hpp"
+#include "ambisim/workload/streams.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+namespace {
+const tech::TechnologyNode& n130() {
+  return tech::TechnologyLibrary::standard().node("130nm");
+}
+}  // namespace
+
+// F1 claim: the three composed devices sit in three distinct power bands
+// separated by orders of magnitude, across process nodes.
+TEST(Integration, PowerInfoGraphShowsThreeBands) {
+  core::PowerInfoGraph g;
+  for (const auto* name : {"180nm", "130nm", "90nm"}) {
+    const auto& n = tech::TechnologyLibrary::standard().node(name);
+    g.add(core::autonomous_sensor_node(n).to_point());
+    g.add(core::personal_audio_node(n).to_point());
+    g.add(core::home_media_server(n).to_point());
+  }
+  const auto uw = g.cluster(core::DeviceClass::MicroWatt);
+  const auto mw = g.cluster(core::DeviceClass::MilliWatt);
+  const auto w = g.cluster(core::DeviceClass::Watt);
+  EXPECT_EQ(uw.count, 3);
+  EXPECT_EQ(mw.count, 3);
+  EXPECT_EQ(w.count, 3);
+  // Band centroids at least ~2 decades apart.
+  EXPECT_GT(mw.mean_log10_power - uw.mean_log10_power, 2.0);
+  EXPECT_GT(w.mean_log10_power - mw.mean_log10_power, 2.0);
+}
+
+// F3 claim: the autonomous node is energy-neutral at its design duty cycle,
+// and stops being neutral if the duty cycle is pushed an order of magnitude
+// higher.
+TEST(Integration, MicroWattNeutralityIsDutyLimited) {
+  const auto sensor = core::autonomous_sensor_node(n130());
+  ASSERT_TRUE(sensor.energy_neutral());
+
+  const energy::SolarHarvester pv(2_cm2, 0.15, true);
+  // Reconstruct the node's active/sleep split and push the duty up.
+  const u::Power avg = sensor.average_power();
+  EXPECT_LT(avg, pv.average_power());
+  EXPECT_GT(avg * 30.0, pv.average_power());  // 30x duty would break it
+}
+
+// F4 claim: denser networks die sooner at first death (sink-adjacent hot
+// spot) even though mean lifetime is unchanged-ish.
+TEST(Integration, DenserNetworkHasHotterHotspot) {
+  net::SensorNetworkConfig sparse;
+  sparse.node_count = 25;
+  sparse.seed = 3;
+  net::SensorNetworkConfig dense = sparse;
+  dense.node_count = 100;
+  const auto rs = net::simulate_sensor_network(sparse);
+  const auto rd = net::simulate_sensor_network(dense);
+  EXPECT_GT(rd.hotspot_factor, rs.hotspot_factor);
+  EXPECT_LT(rd.first_node_death.value(), rs.first_node_death.value());
+}
+
+// F5/F6 claim: DVS extends the personal node's battery life, with savings
+// bounded by the voltage range of the process.
+TEST(Integration, DvsSavingsBoundedByVoltageRatio) {
+  const tech::DvsModel dvs(n130(), 16, 28.0);
+  const auto g = workload::audio_pipeline_graph();
+  double cycles = 0.0;
+  for (int t = 0; t < g.task_count(); ++t) cycles += g.task(t).ops;
+  const u::Time t0{cycles / dvs.fastest().frequency.value()};
+  const auto r = dse::schedule_with_dvs(g, dvs, t0 * 10.0, 40e3, 360e3);
+  ASSERT_TRUE(r.feasible);
+  // Savings can't exceed 1 - (Vmin/Vnom)^2 (dynamic-only bound).
+  const double vr = n130().vdd_min.value() / n130().vdd_nominal.value();
+  EXPECT_LT(r.savings, 1.0 - vr * vr + 0.05);
+  EXPECT_GT(r.savings, 0.3);
+}
+
+// F7 claim: only accelerator-assisted SoCs reach HD; the Pareto front is
+// consistent.
+TEST(Integration, OnlyAcceleratedSocReachesHd) {
+  const auto& n = n130();
+  std::vector<arch::CacheLevelSpec> caches{
+      {"L1", 32.0 * 1024 * 8, 32.0, 2_ns},
+      {"L2", 256.0 * 1024 * 8, 64.0, 8_ns}};
+  arch::SocModel risc("risc", n, n.vdd_nominal);
+  risc.add_core(arch::risc_core()).set_memory(caches, true).set_bus(4, 32);
+  arch::SocModel accel("accel", n, n.vdd_nominal);
+  accel.add_core(arch::vliw_core())
+      .add_core(arch::accelerator_core("mc"))
+      .add_core(arch::accelerator_core("dct"))
+      .set_memory(caches, true)
+      .set_bus(6, 128);
+
+  const auto hd = workload::video_decode_hd();
+  EXPECT_LT(risc.max_rate(hd.demand).value(), hd.unit_rate.value());
+  EXPECT_GE(accel.max_rate(hd.demand).value(), hd.unit_rate.value());
+
+  std::vector<dse::ParetoPoint> pts;
+  for (const auto* s : {&risc, &accel}) {
+    const auto ev = s->evaluate(hd.demand,
+                                units::min(s->max_rate(hd.demand),
+                                           hd.unit_rate));
+    pts.push_back({ev.power.value(), s->max_rate(hd.demand).value(),
+                   s->name()});
+  }
+  EXPECT_TRUE(dse::is_pareto_front(dse::pareto_front(pts)));
+}
+
+// F8 claim: in the end-to-end scenario the Watt node dominates energy while
+// the microWatt nodes remain neutral — feasibility and energy concentration
+// live at opposite ends of the network.
+TEST(Integration, ScenarioEnergyConcentrationVsFeasibility) {
+  core::AmiScenarioConfig cfg;
+  cfg.duration = u::Time(6.0 * 3600.0);
+  const auto r = core::run_ami_scenario(cfg);
+  EXPECT_GT(r.class_energy.share("Watt-node"), 0.9);
+  EXPECT_TRUE(r.sensors_energy_neutral);
+  EXPECT_GT(r.personal_battery_days, 1.0);
+  // End-to-end latency stays interactive (< 2 s).
+  if (!r.end_to_end_latency.empty())
+    EXPECT_LT(r.end_to_end_latency.percentile(95.0), 2.0);
+}
+
+// Technology-scaling claim: re-targeting the personal node to a newer
+// process reduces its power at equal function.
+TEST(Integration, NewerProcessLowersPersonalNodePower) {
+  const auto& n180 = tech::TechnologyLibrary::standard().node("180nm");
+  const auto& n90 = tech::TechnologyLibrary::standard().node("90nm");
+  const auto old_node = core::personal_audio_node(n180);
+  const auto new_node = core::personal_audio_node(n90);
+  EXPECT_LT(new_node.average_power().value(),
+            old_node.average_power().value());
+}
+
+// Consistency: the scenario's sensor power matches the composed device
+// model within a factor (independent implementations of the same node).
+TEST(Integration, ScenarioAndDeviceModelAgreeOnSensorScale) {
+  core::AmiScenarioConfig cfg;
+  cfg.duration = u::Time(3600.0);
+  const auto r = core::run_ami_scenario(cfg);
+  const auto device = core::autonomous_sensor_node(cfg.technology);
+  const double ratio =
+      r.sensor_average_power / device.average_power().value();
+  EXPECT_GT(ratio, 0.1);
+  EXPECT_LT(ratio, 10.0);
+}

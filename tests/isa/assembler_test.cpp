@@ -1,0 +1,121 @@
+#include "ambisim/isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim::isa;
+
+TEST(Assembler, ParsesRegisterRegisterForms) {
+  const auto p = assemble("add r1, r2, r3\nmul r4, r5, r6\n");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].op, Opcode::Add);
+  EXPECT_EQ(p[0].rd, 1);
+  EXPECT_EQ(p[0].rs1, 2);
+  EXPECT_EQ(p[0].rs2, 3);
+  EXPECT_EQ(p[1].op, Opcode::Mul);
+}
+
+TEST(Assembler, ParsesImmediatesDecimalAndHex) {
+  const auto p = assemble("addi r1, r0, -42\nori r2, r0, 0xFF\nlui r3, 0x12");
+  EXPECT_EQ(p[0].imm, -42);
+  EXPECT_EQ(p[1].imm, 0xFF);
+  EXPECT_EQ(p[2].op, Opcode::Lui);
+  EXPECT_EQ(p[2].imm, 0x12);
+}
+
+TEST(Assembler, ParsesMemoryOperands) {
+  const auto p = assemble("lw r1, 16(r2)\nsw r3, -4(r4)\nlb r5, (r6)");
+  EXPECT_EQ(p[0].op, Opcode::Lw);
+  EXPECT_EQ(p[0].rd, 1);
+  EXPECT_EQ(p[0].rs1, 2);
+  EXPECT_EQ(p[0].imm, 16);
+  EXPECT_EQ(p[1].op, Opcode::Sw);
+  EXPECT_EQ(p[1].rs2, 3);  // value register
+  EXPECT_EQ(p[1].rs1, 4);  // base register
+  EXPECT_EQ(p[1].imm, -4);
+  EXPECT_EQ(p[2].imm, 0);  // empty offset defaults to zero
+}
+
+TEST(Assembler, ResolvesLabelsForwardAndBackward) {
+  const auto p = assemble(R"(
+start:  addi r1, r0, 3
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        jmp  end
+        nop
+end:    halt
+)");
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p[2].op, Opcode::Bne);
+  EXPECT_EQ(p[2].imm, 1);  // loop is instruction index 1
+  EXPECT_EQ(p[3].op, Opcode::Jmp);
+  EXPECT_EQ(p[3].imm, 5);  // end
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  const auto p = assemble(
+      "; a comment line\n"
+      "   # another\n"
+      "nop ; trailing comment\n"
+      "\n"
+      "halt # done\n");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].op, Opcode::Nop);
+  EXPECT_EQ(p[1].op, Opcode::Halt);
+}
+
+TEST(Assembler, MultipleLabelsOnOneLine) {
+  const auto p = assemble("a: b: halt");
+  ASSERT_EQ(p.size(), 1u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus r1, r2\n");
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsMalformedInput) {
+  EXPECT_THROW(assemble("add r1, r2"), AssemblyError);        // arity
+  EXPECT_THROW(assemble("add r1, r2, r99"), AssemblyError);   // register
+  EXPECT_THROW(assemble("addi r1, r0, zzz"), AssemblyError);  // immediate
+  EXPECT_THROW(assemble("jmp nowhere"), AssemblyError);       // label
+  EXPECT_THROW(assemble("lw r1, r2"), AssemblyError);         // mem operand
+  EXPECT_THROW(assemble("x: nop\nx: halt"), AssemblyError);   // dup label
+  EXPECT_THROW(assemble("halt r1"), AssemblyError);           // arity 0
+}
+
+TEST(Assembler, PortInstructions) {
+  const auto p = assemble("in r1, 0\nout r2, 1");
+  EXPECT_EQ(p[0].op, Opcode::In);
+  EXPECT_EQ(p[0].rd, 1);
+  EXPECT_EQ(p[0].imm, 0);
+  EXPECT_EQ(p[1].op, Opcode::Out);
+  EXPECT_EQ(p[1].rs1, 2);
+  EXPECT_EQ(p[1].imm, 1);
+}
+
+TEST(Assembler, FirmwarePresetsAssemble) {
+  EXPECT_GT(assemble(firmware::sensing_filter()).size(), 10u);
+  EXPECT_GT(assemble(firmware::fibonacci()).size(), 5u);
+  EXPECT_GT(assemble(firmware::fir16()).size(), 15u);
+}
+
+TEST(Assembler, CaseInsensitiveMnemonicsAndRegisters) {
+  const auto p = assemble("ADD R1, r2, R3");
+  EXPECT_EQ(p[0].op, Opcode::Add);
+  EXPECT_EQ(p[0].rd, 1);
+}
+
+TEST(Isa, InstrClassPartition) {
+  EXPECT_EQ(instr_class(Opcode::Add), InstrClass::Alu);
+  EXPECT_EQ(instr_class(Opcode::Mul), InstrClass::Mul);
+  EXPECT_EQ(instr_class(Opcode::Lw), InstrClass::Mem);
+  EXPECT_EQ(instr_class(Opcode::Beq), InstrClass::Branch);
+  EXPECT_EQ(instr_class(Opcode::In), InstrClass::Io);
+  EXPECT_EQ(instr_class(Opcode::Halt), InstrClass::System);
+  EXPECT_EQ(mnemonic(Opcode::Addi), "addi");
+}

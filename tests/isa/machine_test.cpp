@@ -1,0 +1,258 @@
+#include "ambisim/isa/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ambisim/isa/assembler.hpp"
+
+using namespace ambisim;
+using namespace ambisim::isa;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+namespace {
+
+Machine make_machine() {
+  const auto& n = tech::TechnologyLibrary::standard().node("130nm");
+  return Machine(n, n.vdd_min, 10_MHz);
+}
+
+Machine run_program(const std::string& src,
+                    std::vector<std::pair<int, std::int32_t>> init = {}) {
+  Machine m = make_machine();
+  m.load_program(assemble(src));
+  for (auto [r, v] : init) m.set_reg(r, v);
+  EXPECT_TRUE(m.run());
+  return m;
+}
+
+}  // namespace
+
+TEST(Machine, ArithmeticSemantics) {
+  const auto m = run_program(R"(
+      addi r1, r0, 7
+      addi r2, r0, 3
+      add  r3, r1, r2
+      sub  r4, r1, r2
+      mul  r5, r1, r2
+      and  r6, r1, r2
+      or   r7, r1, r2
+      xor  r8, r1, r2
+      slt  r9, r2, r1
+      slt  r10, r1, r2
+      halt)");
+  EXPECT_EQ(m.reg(3), 10);
+  EXPECT_EQ(m.reg(4), 4);
+  EXPECT_EQ(m.reg(5), 21);
+  EXPECT_EQ(m.reg(6), 3);
+  EXPECT_EQ(m.reg(7), 7);
+  EXPECT_EQ(m.reg(8), 4);
+  EXPECT_EQ(m.reg(9), 1);
+  EXPECT_EQ(m.reg(10), 0);
+}
+
+TEST(Machine, ShiftsAndLui) {
+  const auto m = run_program(R"(
+      addi r1, r0, 1
+      slli r2, r1, 8
+      addi r3, r0, 2
+      shl  r4, r1, r3
+      srli r5, r2, 4
+      lui  r6, 0x1
+      halt)");
+  EXPECT_EQ(m.reg(2), 256);
+  EXPECT_EQ(m.reg(4), 4);
+  EXPECT_EQ(m.reg(5), 16);
+  EXPECT_EQ(m.reg(6), 0x10000);
+}
+
+TEST(Machine, RegisterZeroIsHardwired) {
+  const auto m = run_program("addi r0, r0, 99\nadd r1, r0, r0\nhalt");
+  EXPECT_EQ(m.reg(0), 0);
+  EXPECT_EQ(m.reg(1), 0);
+}
+
+TEST(Machine, MemoryWordAndByte) {
+  const auto m = run_program(R"(
+      addi r1, r0, 0x40
+      addi r2, r0, -123456
+      sw   r2, 0(r1)
+      lw   r3, 0(r1)
+      addi r4, r0, 0xAB
+      sb   r4, 8(r1)
+      lb   r5, 8(r1)
+      halt)");
+  EXPECT_EQ(m.reg(3), -123456);
+  // 0xAB sign-extends to -85 as a byte.
+  EXPECT_EQ(m.reg(5), static_cast<std::int8_t>(0xAB));
+}
+
+TEST(Machine, MemoryBoundsChecked) {
+  Machine m = make_machine();
+  m.load_program(assemble("lw r1, 0(r2)\nhalt"));
+  m.set_reg(2, 1 << 20);  // out of the 64 KiB space
+  EXPECT_THROW(m.run(), std::out_of_range);
+  // Unaligned word access.
+  Machine m2 = make_machine();
+  m2.load_program(assemble("lw r1, 1(r0)\nhalt"));
+  EXPECT_THROW(m2.run(), std::out_of_range);
+}
+
+TEST(Machine, BranchesAndJumps) {
+  const auto m = run_program(R"(
+        addi r1, r0, 5
+        addi r2, r0, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        jal  r15, sub1
+        jmp  end
+sub1:   addi r3, r0, 77
+        jr   r15
+end:    halt)");
+  EXPECT_EQ(m.reg(2), 15);  // 5+4+3+2+1
+  EXPECT_EQ(m.reg(3), 77);  // subroutine ran and returned
+}
+
+TEST(Machine, FibonacciFirmware) {
+  Machine m = make_machine();
+  m.load_program(assemble(firmware::fibonacci()));
+  m.set_reg(1, 10);
+  ASSERT_TRUE(m.run());
+  EXPECT_EQ(m.reg(2), 55);
+}
+
+TEST(Machine, SensingFilterFirmware) {
+  Machine m = make_machine();
+  m.load_program(assemble(firmware::sensing_filter()));
+  std::vector<std::int32_t> samples{100, 100, 100, 100, 200, 200,
+                                    200, 200, 0,   0,   0,   0};
+  std::size_t next = 0;
+  std::vector<std::int32_t> reported;
+  m.set_input_port([&](int port) -> std::int32_t {
+    EXPECT_EQ(port, 0);
+    return next < samples.size() ? samples[next++] : 0;
+  });
+  m.set_output_port([&](int port, std::int32_t v) {
+    EXPECT_EQ(port, 1);
+    reported.push_back(v);
+  });
+  m.set_reg(1, static_cast<std::int32_t>(samples.size()));
+  m.set_reg(2, 150);  // threshold
+  ASSERT_TRUE(m.run());
+  // The moving average crosses 150 while the 200-plateau fills the window.
+  ASSERT_FALSE(reported.empty());
+  for (auto v : reported) EXPECT_GE(v, 150);
+  EXPECT_EQ(next, samples.size());  // every sample consumed
+}
+
+TEST(Machine, Fir16Firmware) {
+  Machine m = make_machine();
+  m.load_program(assemble(firmware::fir16()));
+  // Unit impulse response: coefficients come back out one by one.
+  for (int i = 0; i < 16; ++i)
+    m.store_word(0x100 + 4 * i, i + 1);  // coefficients 1..16
+  m.store_word(0x200, 1);  // impulse at the first sample
+  m.set_reg(1, 4);         // four output samples
+  ASSERT_TRUE(m.run());
+  EXPECT_EQ(m.load_word(0x300), 1);
+  // Output k convolves the window starting at sample k: impulse has moved
+  // out of the window, so later outputs are 0.
+  EXPECT_EQ(m.load_word(0x304), 0);
+}
+
+TEST(Machine, CycleAccountingByClass) {
+  Machine m = make_machine();
+  m.load_program(assemble("addi r1, r0, 1\nmul r2, r1, r1\nlw r3, 0(r0)\nhalt"));
+  ASSERT_TRUE(m.run());
+  const auto& s = m.stats();
+  EXPECT_EQ(s.instructions, 4u);
+  // 1 (alu) + 4 (mul) + 2 (mem) + 1 (halt) = 8 cycles.
+  EXPECT_EQ(s.cycles, 8u);
+  EXPECT_EQ(s.by_class[static_cast<int>(InstrClass::Alu)], 1u);
+  EXPECT_EQ(s.by_class[static_cast<int>(InstrClass::Mul)], 1u);
+  EXPECT_EQ(s.by_class[static_cast<int>(InstrClass::Mem)], 1u);
+  EXPECT_EQ(s.by_class[static_cast<int>(InstrClass::System)], 1u);
+  EXPECT_GT(s.cpi(), 1.0);
+}
+
+TEST(Machine, EnergyAccountingIsPositiveAndClassOrdered) {
+  Machine alu = make_machine();
+  alu.load_program(assemble("add r1, r1, r1\nhalt"));
+  alu.run();
+  Machine mul = make_machine();
+  mul.load_program(assemble("mul r1, r1, r1\nhalt"));
+  mul.run();
+  // A multiply switches more gates than an add.
+  EXPECT_GT(mul.stats().dynamic_energy.value(),
+            alu.stats().dynamic_energy.value());
+  EXPECT_GT(alu.stats().total_energy().value(), 0.0);
+  EXPECT_GT(alu.stats().leakage_energy.value(), 0.0);
+}
+
+TEST(Machine, EnergyPerInstructionMatchesMcuScale) {
+  // The instruction-accurate model should land near the abstract MCU
+  // preset: single-digit pJ per instruction at 0.8 V / 130 nm.
+  Machine m = make_machine();
+  m.load_program(assemble(firmware::fibonacci()));
+  m.set_reg(1, 30);
+  ASSERT_TRUE(m.run());
+  const double pj = m.energy_per_instruction().value() * 1e12;
+  EXPECT_GT(pj, 1.0);
+  EXPECT_LT(pj, 100.0);
+}
+
+TEST(Machine, RunawayProgramBoundedByMaxInstructions) {
+  Machine m = make_machine();
+  m.load_program(assemble("loop: jmp loop"));
+  EXPECT_FALSE(m.run(1000));
+  EXPECT_EQ(m.stats().instructions, 1000u);
+  EXPECT_FALSE(m.halted());
+}
+
+TEST(Machine, ResetClearsState) {
+  Machine m = make_machine();
+  m.load_program(assemble("addi r1, r0, 5\nsw r1, 0(r0)\nhalt"));
+  ASSERT_TRUE(m.run());
+  m.reset();
+  EXPECT_EQ(m.reg(1), 0);
+  EXPECT_EQ(m.load_word(0), 0);
+  EXPECT_EQ(m.stats().instructions, 0u);
+  EXPECT_FALSE(m.halted());
+  EXPECT_EQ(m.pc(), 0u);
+}
+
+TEST(Machine, PortWithoutHandlerThrows) {
+  Machine m = make_machine();
+  m.load_program(assemble("in r1, 0\nhalt"));
+  EXPECT_THROW(m.run(), std::logic_error);
+}
+
+TEST(Machine, FallingOffTheProgramHalts) {
+  Machine m = make_machine();
+  m.load_program(assemble("nop"));
+  EXPECT_TRUE(m.run());  // implicit halt at the end of the program
+  EXPECT_TRUE(m.halted());
+  EXPECT_EQ(m.stats().instructions, 1u);
+}
+
+TEST(Machine, ConstructionValidation) {
+  const auto& n = tech::TechnologyLibrary::standard().node("130nm");
+  EXPECT_THROW(Machine(n, n.vdd_min, u::Frequency(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(Machine(n, n.vdd_min, 100_GHz), std::domain_error);
+  EXPECT_THROW(Machine(n, n.vdd_min, 1_MHz, 2), std::invalid_argument);
+}
+
+TEST(Machine, AveragePowerIsMicrowattScaleWhenSlow) {
+  // At 1 MHz and 0.8 V the little core should sit near the uW regime the
+  // keynote assigns to autonomous nodes.
+  const auto& n = tech::TechnologyLibrary::standard().node("130nm");
+  Machine m(n, n.vdd_min, 1_MHz);
+  m.load_program(assemble(firmware::fibonacci()));
+  m.set_reg(1, 40);
+  ASSERT_TRUE(m.run());
+  EXPECT_LT(m.average_power().value(), 1e-3);
+  EXPECT_GT(m.average_power().value(), 1e-8);
+}

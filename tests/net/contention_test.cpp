@@ -1,0 +1,81 @@
+#include "ambisim/net/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ambisim;
+using namespace ambisim::net;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(Aloha, SlottedPeaksAtOneOverE) {
+  EXPECT_NEAR(slotted_aloha_throughput(1.0), 1.0 / std::exp(1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(optimal_load_slotted_aloha(), 1.0);
+  // Unimodal around the peak.
+  EXPECT_LT(slotted_aloha_throughput(0.5),
+            slotted_aloha_throughput(1.0));
+  EXPECT_LT(slotted_aloha_throughput(2.0),
+            slotted_aloha_throughput(1.0));
+  EXPECT_DOUBLE_EQ(slotted_aloha_throughput(0.0), 0.0);
+}
+
+TEST(Aloha, PurePeaksAtHalfOfSlotted) {
+  EXPECT_NEAR(pure_aloha_throughput(0.5), 0.5 / std::exp(1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(optimal_load_pure_aloha(), 0.5);
+  // Pure ALOHA is everywhere at most slotted ALOHA.
+  for (double g = 0.1; g < 5.0; g += 0.3) {
+    EXPECT_LE(pure_aloha_throughput(g), slotted_aloha_throughput(g) + 1e-15);
+  }
+}
+
+TEST(Csma, BeatsAlohaAtLowPropagationDelay) {
+  // With a small, CSMA's peak throughput approaches 1.
+  const double g_star = optimal_load_csma(0.01);
+  const double peak = csma_throughput(g_star, 0.01);
+  EXPECT_GT(peak, 0.8);
+  EXPECT_GT(peak, slotted_aloha_throughput(1.0));
+}
+
+TEST(Csma, DegradesWithPropagationDelay) {
+  const double peak_001 = csma_throughput(optimal_load_csma(0.01), 0.01);
+  const double peak_01 = csma_throughput(optimal_load_csma(0.1), 0.1);
+  const double peak_1 = csma_throughput(optimal_load_csma(1.0), 1.0);
+  EXPECT_GT(peak_001, peak_01);
+  EXPECT_GT(peak_01, peak_1);
+}
+
+TEST(Csma, ZeroLoadZeroThroughput) {
+  EXPECT_DOUBLE_EQ(csma_throughput(0.0), 0.0);
+  EXPECT_THROW(csma_throughput(-0.1), std::invalid_argument);
+  EXPECT_THROW(csma_throughput(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(AlohaSim, MatchesAnalyticAcrossLoads) {
+  sim::Rng rng(42);
+  for (double g : {0.2, 0.5, 1.0, 2.0}) {
+    const double analytic = slotted_aloha_throughput(g);
+    const double simulated = simulate_slotted_aloha(g, 200, 40'000, rng);
+    EXPECT_NEAR(simulated, analytic, 0.015) << "G = " << g;
+  }
+}
+
+TEST(AlohaSim, Validation) {
+  sim::Rng rng(1);
+  EXPECT_THROW(simulate_slotted_aloha(-1.0, 10, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_slotted_aloha(1.0, 0, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_slotted_aloha(20.0, 10, 100, rng),
+               std::invalid_argument);
+}
+
+TEST(ReportRate, SharesChannelFairly) {
+  const auto r10 = max_report_rate_per_node(10, 100_kbps, 512_bit);
+  const auto r100 = max_report_rate_per_node(100, 100_kbps, 512_bit);
+  EXPECT_NEAR(r10.value() / r100.value(), 10.0, 1e-9);
+  // 100 kbps / 512 bit = 195 slots/s; * 1/e / 10 nodes ~= 7.2 per node.
+  EXPECT_NEAR(r10.value(), 100e3 / 512.0 / std::exp(1.0) / 10.0, 1e-6);
+  EXPECT_THROW(max_report_rate_per_node(0, 100_kbps, 512_bit),
+               std::invalid_argument);
+}

@@ -1,0 +1,157 @@
+#include "ambisim/net/mac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ambisim/net/topology.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using net::DutyCycledMac;
+using net::TdmaSchedule;
+
+namespace {
+radio::RadioModel ulp() { return radio::RadioModel(radio::ulp_radio()); }
+}  // namespace
+
+TEST(DutyCycledMac, DutyIsRatio) {
+  const DutyCycledMac mac{1_s, 10_ms};
+  EXPECT_DOUBLE_EQ(mac.duty(), 0.01);
+}
+
+TEST(DutyCycledMac, ValidationRejectsBadShapes) {
+  EXPECT_THROW((DutyCycledMac{u::Time(0.0), 10_ms}).duty(),
+               std::logic_error);
+  EXPECT_THROW((DutyCycledMac{1_s, u::Time(0.0)}).duty(), std::logic_error);
+  EXPECT_THROW((DutyCycledMac{10_ms, 1_s}).duty(), std::logic_error);
+}
+
+TEST(DutyCycledMac, BaselineBetweenSleepAndIdle) {
+  const auto r = ulp();
+  const DutyCycledMac mac{1_s, 10_ms};
+  const auto p = mac.baseline_power(r);
+  EXPECT_GT(p, r.sleep_power());
+  EXPECT_LT(p, r.idle_power());
+  // Exact mixture.
+  EXPECT_NEAR(p.value(),
+              0.01 * r.idle_power().value() +
+                  0.99 * r.sleep_power().value(),
+              1e-15);
+}
+
+TEST(DutyCycledMac, LongerWakeIntervalCostsSenderMore) {
+  // The B-MAC trade: longer wake intervals mean longer preambles.
+  const auto r = ulp();
+  const DutyCycledMac fast{0.1_s, 5_ms};
+  const DutyCycledMac slow{2.0_s, 5_ms};
+  EXPECT_LT(fast.tx_packet_energy(r, 512_bit),
+            slow.tx_packet_energy(r, 512_bit));
+  // ...but costs every listener less baseline power.
+  EXPECT_GT(fast.baseline_power(r), slow.baseline_power(r));
+}
+
+TEST(DutyCycledMac, RxCostsLessThanTx) {
+  const auto r = ulp();
+  const DutyCycledMac mac{1_s, 10_ms};
+  EXPECT_LT(mac.rx_packet_energy(r, 512_bit),
+            mac.tx_packet_energy(r, 512_bit));
+}
+
+TEST(DutyCycledMac, HopLatencyBoundedByWakeInterval) {
+  const auto r = ulp();
+  const DutyCycledMac mac{1_s, 10_ms};
+  const auto lat = mac.hop_latency(r, 512_bit);
+  EXPECT_GT(lat, 1_s);  // at least the wake interval
+  EXPECT_LT(lat.value(), 1.1);  // plus small airtime/startup
+}
+
+TEST(TdmaSchedule, ChainUsesFewSlots) {
+  // Chain 0-1-2-3-4: 2-hop coloring needs 3 slots.
+  const std::vector<std::vector<int>> chain{
+      {1}, {0, 2}, {1, 3}, {2, 4}, {3}};
+  const auto s = TdmaSchedule::build(chain);
+  EXPECT_TRUE(s.collision_free(chain));
+  EXPECT_EQ(s.frame_slots(), 3);
+  EXPECT_NEAR(s.per_node_share(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TdmaSchedule, StarNeedsOneSlotPerLeaf) {
+  // All leaves conflict through the hub: every node distinct.
+  const std::vector<std::vector<int>> star{
+      {1, 2, 3, 4}, {0}, {0}, {0}, {0}};
+  const auto s = TdmaSchedule::build(star);
+  EXPECT_TRUE(s.collision_free(star));
+  EXPECT_EQ(s.frame_slots(), 5);
+}
+
+TEST(TdmaSchedule, IsolatedNodesShareSlotZero) {
+  const std::vector<std::vector<int>> isolated{{}, {}, {}};
+  const auto s = TdmaSchedule::build(isolated);
+  EXPECT_TRUE(s.collision_free(isolated));
+  EXPECT_EQ(s.frame_slots(), 1);
+}
+
+TEST(TdmaSchedule, EmptyRejected) {
+  EXPECT_THROW(TdmaSchedule::build({}), std::invalid_argument);
+}
+
+TEST(TdmaSchedule, CollisionFreeDetectsViolations) {
+  const std::vector<std::vector<int>> chain{{1}, {0, 2}, {1}};
+  auto good = TdmaSchedule::build(chain);
+  EXPECT_TRUE(good.collision_free(chain));
+  // A schedule from a different topology should fail the check.
+  const std::vector<std::vector<int>> other{{1, 2}, {0, 2}, {0, 1}};
+  EXPECT_FALSE(TdmaSchedule::build({{}, {}, {}}).collision_free(other));
+}
+
+// Property: greedy coloring is collision-free on random geometric graphs of
+// various densities and the frame is no longer than the largest 2-hop
+// neighbourhood + 1.
+struct TdmaCase {
+  unsigned seed;
+  int nodes;
+  double range;
+};
+
+class TdmaOnRandomGraphs : public ::testing::TestWithParam<TdmaCase> {};
+
+TEST_P(TdmaOnRandomGraphs, CollisionFreeAndBounded) {
+  sim::Rng rng(GetParam().seed);
+  const auto topo = net::Topology::random_field(
+      GetParam().nodes, u::Length(50.0), rng);
+  const auto adj = topo.adjacency(u::Length(GetParam().range));
+  const auto s = TdmaSchedule::build(adj);
+  EXPECT_TRUE(s.collision_free(adj));
+
+  // Bound: frame slots <= max 2-hop neighbourhood size + 1.
+  std::size_t max_conflicts = 0;
+  for (int v = 0; v < topo.size(); ++v) {
+    std::vector<bool> seen(static_cast<std::size_t>(topo.size()), false);
+    seen[static_cast<std::size_t>(v)] = true;
+    std::size_t c = 0;
+    for (int w : adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        ++c;
+      }
+      for (int x : adj[static_cast<std::size_t>(w)]) {
+        if (!seen[static_cast<std::size_t>(x)]) {
+          seen[static_cast<std::size_t>(x)] = true;
+          ++c;
+        }
+      }
+    }
+    max_conflicts = std::max(max_conflicts, c);
+  }
+  EXPECT_LE(static_cast<std::size_t>(s.frame_slots()), max_conflicts + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, TdmaOnRandomGraphs,
+    ::testing::Values(TdmaCase{1, 20, 10.0}, TdmaCase{2, 40, 12.0},
+                      TdmaCase{3, 60, 15.0}, TdmaCase{4, 40, 25.0},
+                      TdmaCase{5, 80, 8.0}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.nodes);
+    });

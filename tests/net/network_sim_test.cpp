@@ -1,0 +1,144 @@
+#include "ambisim/net/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using net::SensorNetworkConfig;
+using net::simulate_sensor_network;
+
+namespace {
+SensorNetworkConfig small_config() {
+  SensorNetworkConfig cfg;
+  cfg.node_count = 25;
+  cfg.field_side = u::Length(30.0);
+  cfg.radio_range = u::Length(15.0);
+  cfg.report_period = 60_s;
+  cfg.seed = 2;
+  return cfg;
+}
+}  // namespace
+
+TEST(SensorNetwork, BasicInvariants) {
+  const auto r = simulate_sensor_network(small_config());
+  EXPECT_GT(r.first_node_death.value(), 0.0);
+  EXPECT_GE(r.half_network_death, r.first_node_death);
+  EXPECT_GE(r.simulated, r.half_network_death);
+  EXPECT_GT(r.packets_generated, 0);
+  EXPECT_GE(r.packets_generated, r.packets_delivered);
+  EXPECT_GE(r.delivery_ratio, 0.0);
+  EXPECT_LE(r.delivery_ratio, 1.0);
+  EXPECT_GE(r.hotspot_factor, 1.0);
+  EXPECT_GE(r.mean_hops, 1.0);
+}
+
+TEST(SensorNetwork, EnergyAccounting) {
+  const auto cfg = small_config();
+  const auto r = simulate_sensor_network(cfg);
+  ASSERT_EQ(r.energy_spent.size(), static_cast<std::size_t>(cfg.node_count));
+  EXPECT_DOUBLE_EQ(r.energy_spent[0], 0.0);  // the sink is mains powered
+  for (int i = 1; i < cfg.node_count; ++i) {
+    EXPECT_GT(r.energy_spent[static_cast<std::size_t>(i)], 0.0) << i;
+  }
+  EXPECT_GT(r.ledger.total().value(), 0.0);
+  EXPECT_GT(r.ledger.of("listen-baseline").value(), 0.0);
+  EXPECT_GT(r.ledger.of("source-tx").value(), 0.0);
+}
+
+TEST(SensorNetwork, DeterministicForSeed) {
+  const auto a = simulate_sensor_network(small_config());
+  const auto b = simulate_sensor_network(small_config());
+  EXPECT_DOUBLE_EQ(a.first_node_death.value(), b.first_node_death.value());
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_DOUBLE_EQ(a.hotspot_factor, b.hotspot_factor);
+}
+
+TEST(SensorNetwork, MoreTrafficDiesFaster) {
+  auto chatty = small_config();
+  chatty.report_period = 10_s;
+  auto quiet = small_config();
+  quiet.report_period = 600_s;
+  const auto rc = simulate_sensor_network(chatty);
+  const auto rq = simulate_sensor_network(quiet);
+  EXPECT_LT(rc.first_node_death.value(), rq.first_node_death.value());
+}
+
+TEST(SensorNetwork, BiggerBatteryLastsLonger) {
+  auto coin = small_config();
+  coin.battery = energy::Battery::coin_cell_cr2032();
+  auto aa = small_config();
+  aa.battery = energy::Battery::alkaline_aa();
+  const auto rc = simulate_sensor_network(coin);
+  const auto ra = simulate_sensor_network(aa);
+  EXPECT_GT(ra.first_node_death.value(), 2.0 * rc.first_node_death.value());
+}
+
+TEST(SensorNetwork, StrongHarvestingMakesNetworkImmortal) {
+  auto cfg = small_config();
+  cfg.harvest_avg_watt = 5e-3;  // 5 mW dwarfs every node's drain
+  cfg.max_sim_time = u::Time(86400.0 * 30);
+  const auto r = simulate_sensor_network(cfg);
+  EXPECT_DOUBLE_EQ(r.first_node_death.value(), 0.0);
+  EXPECT_EQ(r.node_lifetimes.count(), 0u);
+  EXPECT_NEAR(r.simulated.value(), 86400.0 * 30, 1.0);
+  EXPECT_GT(r.delivery_ratio, 0.99);
+}
+
+TEST(SensorNetwork, MaxSimTimeCapsRun) {
+  auto cfg = small_config();
+  cfg.max_sim_time = 1000_s;
+  const auto r = simulate_sensor_network(cfg);
+  EXPECT_LE(r.simulated.value(), 1000.0 + 1e-6);
+}
+
+TEST(SensorNetwork, Validation) {
+  auto cfg = small_config();
+  cfg.node_count = 1;
+  EXPECT_THROW(simulate_sensor_network(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.report_period = u::Time(0.0);
+  EXPECT_THROW(simulate_sensor_network(cfg), std::invalid_argument);
+}
+
+TEST(SensorNetwork, LifetimesAreOrderedRecord) {
+  const auto r = simulate_sensor_network(small_config());
+  ASSERT_GT(r.node_lifetimes.count(), 0u);
+  EXPECT_NEAR(r.node_lifetimes.min(), r.first_node_death.value(), 1e-6);
+  const auto& v = r.node_lifetimes.values();
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GE(v[i], v[i - 1]);
+}
+
+// Property: across seeds, the delivery ratio stays valid and the sink is
+// never reported dead.
+class NetworkSeeds : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NetworkSeeds, InvariantsHold) {
+  auto cfg = small_config();
+  cfg.seed = GetParam();
+  cfg.max_sim_time = u::Time(86400.0 * 400);
+  const auto r = simulate_sensor_network(cfg);
+  EXPECT_GE(r.delivery_ratio, 0.0);
+  EXPECT_LE(r.delivery_ratio, 1.0);
+  EXPECT_GE(r.hotspot_factor, 1.0);
+  EXPECT_LE(r.node_lifetimes.count(),
+            static_cast<std::size_t>(cfg.node_count - 1));
+  EXPECT_DOUBLE_EQ(r.energy_spent[0], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkSeeds,
+                         ::testing::Values(1u, 7u, 23u, 99u, 1234u));
+
+TEST(SensorNetwork, AggregationExtendsLifetime) {
+  auto plain = small_config();
+  plain.field_side = u::Length(60.0);  // force multi-hop relaying
+  plain.radio_range = u::Length(16.0);
+  auto agg = plain;
+  agg.aggregate_at_relays = true;
+  const auto rp = simulate_sensor_network(plain);
+  const auto ra = simulate_sensor_network(agg);
+  // Relays no longer retransmit per descendant: the first casualty lives
+  // longer and the hot spot flattens.
+  EXPECT_GT(ra.first_node_death.value(), rp.first_node_death.value());
+  EXPECT_LE(ra.hotspot_factor, rp.hotspot_factor * 1.05);
+}

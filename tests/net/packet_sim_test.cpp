@@ -1,0 +1,124 @@
+#include "ambisim/net/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using net::PacketSimConfig;
+using net::simulate_packets;
+
+namespace {
+PacketSimConfig small_config() {
+  PacketSimConfig cfg;
+  cfg.node_count = 20;
+  cfg.field_side = u::Length(30.0);
+  cfg.radio_range = u::Length(15.0);
+  cfg.report_period = 10_s;
+  cfg.duration = u::Time(600.0);
+  cfg.seed = 4;
+  return cfg;
+}
+}  // namespace
+
+TEST(PacketSim, DeliversAlmostAllRoutablePackets) {
+  const auto r = simulate_packets(small_config());
+  EXPECT_GT(r.generated, 0);
+  // Packets injected near the end may still be in flight at the horizon;
+  // everything else routable must arrive.
+  const auto routable = r.generated - r.undeliverable;
+  ASSERT_GT(routable, 0);
+  EXPECT_GT(static_cast<double>(r.delivered) / routable, 0.97);
+  EXPECT_GE(r.mean_hops, 1.0);
+}
+
+TEST(PacketSim, LatencyBoundedByHopsTimesWakeInterval) {
+  const auto cfg = small_config();
+  const auto r = simulate_packets(cfg);
+  ASSERT_FALSE(r.end_to_end_latency.empty());
+  // Each hop adds at most wake + airtime + startup (plus queueing).
+  const double hop_max = cfg.mac.wake_interval.value() +
+                         512.0 / cfg.radio.bit_rate.value() +
+                         cfg.radio.startup.value();
+  EXPECT_LT(r.end_to_end_latency.median(), 6.0 * hop_max);
+  EXPECT_GT(r.end_to_end_latency.min(), 0.0);
+}
+
+TEST(PacketSim, MeanPerHopLatencyIsHalfWakeWindow) {
+  // With light load and ~1 hop paths, the mean latency approaches
+  // (wake/2 + airtime + startup) per hop.
+  auto cfg = small_config();
+  cfg.field_side = u::Length(10.0);  // everyone one hop from the sink
+  const auto r = simulate_packets(cfg);
+  ASSERT_FALSE(r.end_to_end_latency.empty());
+  EXPECT_NEAR(r.mean_hops, 1.0, 1e-9);
+  const double expect = cfg.mac.wake_interval.value() / 2.0 +
+                        512.0 / cfg.radio.bit_rate.value() +
+                        cfg.radio.startup.value();
+  EXPECT_NEAR(r.end_to_end_latency.mean(), expect, expect * 0.2);
+}
+
+TEST(PacketSim, QueueingAppearsUnderLoad) {
+  auto relaxed = small_config();
+  auto stressed = small_config();
+  stressed.report_period = 1_s;           // 10x the traffic
+  stressed.mac.wake_interval = u::Time(2.0);  // long preambles -> busy tx
+  const auto rr = simulate_packets(relaxed);
+  const auto rs = simulate_packets(stressed);
+  ASSERT_FALSE(rs.queueing_delay.empty());
+  EXPECT_GT(rs.queueing_delay.mean(), rr.queueing_delay.mean());
+}
+
+TEST(PacketSim, EnergyScalesWithTraffic) {
+  auto quiet = small_config();
+  auto chatty = small_config();
+  chatty.report_period = 2_s;
+  const auto rq = simulate_packets(quiet);
+  const auto rc = simulate_packets(chatty);
+  EXPECT_GT(rc.ledger.of("radio-tx").value(),
+            3.0 * rq.ledger.of("radio-tx").value());
+  // Baseline listening is traffic-independent.
+  EXPECT_NEAR(rc.ledger.of("listen-baseline").value(),
+              rq.ledger.of("listen-baseline").value(), 1e-9);
+}
+
+TEST(PacketSim, DeterministicForSeed) {
+  const auto a = simulate_packets(small_config());
+  const auto b = simulate_packets(small_config());
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.end_to_end_latency.mean(),
+                   b.end_to_end_latency.mean());
+}
+
+TEST(PacketSim, DisconnectedSourcesCounted) {
+  auto cfg = small_config();
+  cfg.field_side = u::Length(200.0);  // sparse: some nodes stranded
+  cfg.radio_range = u::Length(20.0);
+  const auto r = simulate_packets(cfg);
+  EXPECT_GT(r.undeliverable, 0);
+  EXPECT_EQ(r.generated - r.undeliverable >= r.delivered, true);
+}
+
+TEST(PacketSim, Validation) {
+  auto cfg = small_config();
+  cfg.node_count = 1;
+  EXPECT_THROW(simulate_packets(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.duration = u::Time(0.0);
+  EXPECT_THROW(simulate_packets(cfg), std::invalid_argument);
+}
+
+// Cross-validation: packet-level radio energy per delivered packet agrees
+// with the epoch simulator's analytic per-packet cost (tx + rx per hop).
+TEST(PacketSim, EnergyPerDeliveredMatchesAnalytic) {
+  const auto cfg = small_config();
+  const auto r = simulate_packets(cfg);
+  ASSERT_GT(r.delivered, 0);
+  const radio::RadioModel radio(cfg.radio);
+  const u::Energy per_hop =
+      cfg.mac.tx_packet_energy(radio, cfg.packet_bits) +
+      cfg.mac.rx_packet_energy(radio, cfg.packet_bits);
+  const double expected = per_hop.value() * r.mean_hops;
+  EXPECT_NEAR(r.energy_per_delivered.value(), expected, expected * 0.15);
+}

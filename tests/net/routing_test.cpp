@@ -1,0 +1,179 @@
+#include "ambisim/net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using net::LinkEnergyModel;
+using net::RoutingTree;
+using net::Topology;
+
+TEST(LinkEnergyModel, CostGrowsWithDistancePower) {
+  const LinkEnergyModel m{50e-9, 10e-12, 2.0};
+  EXPECT_NEAR(m.cost(u::Length(0.0)), 50e-9, 1e-18);
+  EXPECT_NEAR(m.cost(u::Length(10.0)), 50e-9 + 10e-12 * 100.0, 1e-18);
+  EXPECT_THROW(m.cost(u::Length(-1.0)), std::invalid_argument);
+}
+
+TEST(MinHopRouting, StarIsSingleHop) {
+  const auto t = Topology::star(6, u::Length(5.0));
+  const auto tree = net::min_hop_routes(t, u::Length(6.0));
+  for (int i = 1; i < t.size(); ++i) {
+    EXPECT_EQ(tree.hops[static_cast<std::size_t>(i)], 1);
+    EXPECT_EQ(tree.next_hop[static_cast<std::size_t>(i)], 0);
+  }
+  EXPECT_EQ(tree.hops[0], 0);
+  EXPECT_EQ(tree.next_hop[0], 0);
+}
+
+TEST(MinHopRouting, GridDistancesAreManhattanHops) {
+  // 3x3 grid, range just above pitch: only axis-aligned links.
+  const auto t = Topology::grid(9, u::Length(10.0));
+  const auto tree = net::min_hop_routes(t, u::Length(10.5));
+  // Corner opposite the sink (index 8) is 4 hops away.
+  EXPECT_EQ(tree.hops[8], 4);
+  EXPECT_EQ(tree.hops[4], 2);
+  EXPECT_EQ(tree.hops[1], 1);
+}
+
+TEST(MinHopRouting, UnreachableMarked) {
+  // Two nodes beyond range of everything.
+  Topology t({{0, 0}, {1, 0}, {100, 100}});
+  const auto tree = net::min_hop_routes(t, u::Length(5.0));
+  EXPECT_TRUE(tree.reachable(1));
+  EXPECT_FALSE(tree.reachable(2));
+  EXPECT_TRUE(tree.path_from(2).empty());
+}
+
+TEST(RoutingTree, PathFromEndsAtSink) {
+  sim::Rng rng(3);
+  const auto t = Topology::random_field(40, u::Length(40.0), rng);
+  const auto tree = net::min_hop_routes(t, u::Length(18.0));
+  for (int i = 0; i < t.size(); ++i) {
+    if (!tree.reachable(i)) continue;
+    const auto path = tree.path_from(i);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), i);
+    EXPECT_EQ(path.back(), 0);
+    EXPECT_EQ(static_cast<int>(path.size()) - 1,
+              tree.hops[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RoutingTree, RelayLoadCountsDescendants) {
+  // Chain: 0 - 1 - 2 - 3 (range 1.5, spacing 1).
+  Topology t({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  const auto tree = net::min_hop_routes(t, u::Length(1.5));
+  const auto load = tree.relay_load();
+  EXPECT_EQ(load[1], 2);  // relays for 2 and 3
+  EXPECT_EQ(load[2], 1);  // relays for 3
+  EXPECT_EQ(load[3], 0);
+  EXPECT_EQ(load[0], 0);  // the sink is not a relay
+}
+
+TEST(MinEnergyRouting, PrefersShortHopsWhenAmpDominates) {
+  // 0 at origin, 2 at distance 10, 1 halfway.  With a strong amplifier
+  // term, 2 should route through 1 rather than directly.
+  Topology t({{0, 0}, {5, 0}, {10, 0}});
+  const LinkEnergyModel expensive{1e-9, 1e-9, 2.0};
+  const auto tree = net::min_energy_routes(t, u::Length(12.0), expensive);
+  EXPECT_EQ(tree.next_hop[2], 1);
+  EXPECT_EQ(tree.hops[2], 2);
+
+  // With a dominant electronics term, the direct hop wins.
+  const LinkEnergyModel cheap{1e-3, 1e-12, 2.0};
+  const auto direct = net::min_energy_routes(t, u::Length(12.0), cheap);
+  EXPECT_EQ(direct.next_hop[2], 0);
+  EXPECT_EQ(direct.hops[2], 1);
+}
+
+TEST(MinEnergyRouting, CostIsMinimal) {
+  sim::Rng rng(7);
+  const auto t = Topology::random_field(30, u::Length(30.0), rng);
+  const LinkEnergyModel m{50e-9, 100e-12, 2.0};
+  const auto me = net::min_energy_routes(t, u::Length(15.0), m);
+  const auto mh = net::min_hop_routes(t, u::Length(15.0));
+  // Recompute the energy of the min-hop tree and compare.
+  for (int i = 1; i < t.size(); ++i) {
+    if (!mh.reachable(i) || !me.reachable(i)) continue;
+    const auto path = mh.path_from(i);
+    double hop_tree_cost = 0.0;
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      hop_tree_cost += m.cost(t.node_distance(path[k], path[k + 1]));
+    }
+    EXPECT_LE(me.cost[static_cast<std::size_t>(i)],
+              hop_tree_cost * (1.0 + 1e-12))
+        << "node " << i;
+  }
+}
+
+TEST(MinHopRouting, CostIsMinimalHops) {
+  sim::Rng rng(13);
+  const auto t = Topology::random_field(25, u::Length(30.0), rng);
+  const LinkEnergyModel m;
+  const auto mh = net::min_hop_routes(t, u::Length(15.0));
+  const auto me = net::min_energy_routes(t, u::Length(15.0), m);
+  for (int i = 1; i < t.size(); ++i) {
+    if (!mh.reachable(i) || !me.reachable(i)) continue;
+    EXPECT_LE(mh.hops[static_cast<std::size_t>(i)],
+              me.hops[static_cast<std::size_t>(i)]);
+  }
+}
+
+// Property: both routing policies reach exactly the connected component of
+// the sink, for a range of seeds.
+class RoutingReachability : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RoutingReachability, PoliciesAgreeOnReachability) {
+  sim::Rng rng(GetParam());
+  const auto t = Topology::random_field(35, u::Length(45.0), rng);
+  const u::Length range(14.0);
+  const auto mh = net::min_hop_routes(t, range);
+  const auto me = net::min_energy_routes(t, range, LinkEnergyModel{});
+  for (int i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(mh.reachable(i), me.reachable(i)) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingReachability,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+TEST(MultihopEnergy, ClosedFormOptimumForSquareLaw) {
+  // n = 2: k* = D * sqrt(k_amp / k_elec).
+  const LinkEnergyModel m{1e-7, 1e-9, 2.0};
+  const u::Length d(1000.0);
+  const int k = net::optimal_hop_count(m, d);
+  const double k_star = 1000.0 * std::sqrt(1e-9 / 1e-7);
+  EXPECT_NEAR(k, k_star, 1.0);
+  // The optimum beats both neighbours and the direct hop.
+  EXPECT_LE(net::multihop_energy(m, d, k), net::multihop_energy(m, d, k + 1));
+  if (k > 1)
+    EXPECT_LE(net::multihop_energy(m, d, k),
+              net::multihop_energy(m, d, k - 1));
+  EXPECT_LT(net::multihop_energy(m, d, k), net::multihop_energy(m, d, 1));
+}
+
+TEST(MultihopEnergy, ShortDistanceSingleHop) {
+  const LinkEnergyModel m{1e-7, 1e-12, 2.0};
+  EXPECT_EQ(net::optimal_hop_count(m, u::Length(5.0)), 1);
+  // Linear-or-less path loss never rewards splitting.
+  const LinkEnergyModel linear{1e-7, 1e-9, 1.0};
+  EXPECT_EQ(net::optimal_hop_count(linear, u::Length(1e6)), 1);
+}
+
+TEST(MultihopEnergy, OptimalHopsGrowLinearlyWithDistance) {
+  const LinkEnergyModel m{1e-7, 1e-9, 2.0};
+  const int k1 = net::optimal_hop_count(m, u::Length(500.0));
+  const int k2 = net::optimal_hop_count(m, u::Length(1000.0));
+  EXPECT_NEAR(static_cast<double>(k2), 2.0 * k1, 2.0);
+}
+
+TEST(MultihopEnergy, Validation) {
+  const LinkEnergyModel m;
+  EXPECT_THROW(net::multihop_energy(m, u::Length(10.0), 0),
+               std::invalid_argument);
+  EXPECT_THROW(net::multihop_energy(m, u::Length(0.0), 1),
+               std::invalid_argument);
+  EXPECT_THROW(net::optimal_hop_count(m, u::Length(-1.0)),
+               std::invalid_argument);
+}

@@ -1,0 +1,101 @@
+#include "ambisim/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using net::Point;
+using net::Topology;
+
+TEST(Topology, RandomFieldStaysInBounds) {
+  sim::Rng rng(5);
+  const auto t = Topology::random_field(60, u::Length(40.0), rng);
+  EXPECT_EQ(t.size(), 60);
+  for (const auto& p : t.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 40.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 40.0);
+  }
+  // Sink at the center.
+  EXPECT_DOUBLE_EQ(t.position(0).x, 20.0);
+  EXPECT_DOUBLE_EQ(t.position(0).y, 20.0);
+}
+
+TEST(Topology, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(net::distance({0, 0}, {3, 4}).value(), 5.0);
+  EXPECT_DOUBLE_EQ(net::distance({1, 1}, {1, 1}).value(), 0.0);
+}
+
+TEST(Topology, GridHasUniformPitch) {
+  const auto t = Topology::grid(9, u::Length(10.0));
+  EXPECT_EQ(t.size(), 9);
+  EXPECT_DOUBLE_EQ(t.node_distance(0, 1).value(), 10.0);
+  EXPECT_DOUBLE_EQ(t.node_distance(0, 3).value(), 10.0);
+  EXPECT_DOUBLE_EQ(t.node_distance(0, 4).value(), std::sqrt(200.0));
+}
+
+TEST(Topology, StarAllLeavesAtRadius) {
+  const auto t = Topology::star(7, u::Length(5.0));
+  for (int i = 1; i < t.size(); ++i) {
+    EXPECT_NEAR(t.node_distance(0, i).value(), 5.0, 1e-9);
+  }
+}
+
+TEST(Topology, AdjacencyIsSymmetric) {
+  sim::Rng rng(9);
+  const auto t = Topology::random_field(30, u::Length(30.0), rng);
+  const auto adj = t.adjacency(u::Length(12.0));
+  for (int i = 0; i < t.size(); ++i) {
+    for (int j : adj[static_cast<std::size_t>(i)]) {
+      bool back = false;
+      for (int k : adj[static_cast<std::size_t>(j)]) {
+        if (k == i) back = true;
+      }
+      EXPECT_TRUE(back) << i << " -> " << j;
+      EXPECT_LE(t.node_distance(i, j).value(), 12.0);
+      EXPECT_NE(i, j);
+    }
+  }
+}
+
+TEST(Topology, ConnectivityMonotoneInRange) {
+  sim::Rng rng(11);
+  const auto t = Topology::random_field(40, u::Length(40.0), rng);
+  bool was_connected = false;
+  for (double r : {5.0, 10.0, 20.0, 40.0, 60.0}) {
+    const bool now = t.connected(u::Length(r));
+    if (was_connected) EXPECT_TRUE(now) << "connectivity lost at " << r;
+    was_connected = was_connected || now;
+  }
+  EXPECT_TRUE(t.connected(u::Length(60.0)));  // diameter bound
+}
+
+TEST(Topology, StarConnectivityExactlyAtRadius) {
+  const auto t = Topology::star(5, u::Length(8.0));
+  EXPECT_FALSE(t.connected(u::Length(7.9)));
+  EXPECT_TRUE(t.connected(u::Length(8.1)));
+}
+
+TEST(Topology, Validation) {
+  sim::Rng rng(1);
+  EXPECT_THROW(Topology::random_field(0, u::Length(10.0), rng),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::random_field(5, u::Length(0.0), rng),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::grid(5, u::Length(-1.0)), std::invalid_argument);
+  EXPECT_THROW(Topology::star(3, u::Length(0.0)), std::invalid_argument);
+  EXPECT_THROW(Topology({}), std::invalid_argument);
+  const auto t = Topology::grid(4, u::Length(1.0));
+  EXPECT_THROW(t.adjacency(u::Length(0.0)), std::invalid_argument);
+}
+
+TEST(Topology, DeterministicForSeed) {
+  sim::Rng a(42), b(42);
+  const auto ta = Topology::random_field(20, u::Length(25.0), a);
+  const auto tb = Topology::random_field(20, u::Length(25.0), b);
+  for (int i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta.position(i).x, tb.position(i).x);
+    EXPECT_DOUBLE_EQ(ta.position(i).y, tb.position(i).y);
+  }
+}

@@ -1,0 +1,131 @@
+#include "ambisim/radio/ber.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim::radio;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(QFunction, KnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.158655, 1e-5);
+  EXPECT_NEAR(q_function(3.0), 0.00134990, 1e-7);
+  EXPECT_NEAR(q_function(-1.0), 1.0 - 0.158655, 1e-5);
+}
+
+TEST(Ber, BpskMatchesTextbook) {
+  // BPSK at Eb/N0 = 9.6 dB gives ~1e-5.
+  const double ebn0 = std::pow(10.0, 9.6 / 10.0);
+  EXPECT_NEAR(bit_error_rate(Modulation::bpsk(), ebn0), 1e-5, 3e-6);
+  // QPSK (Gray) has identical BER.
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::qpsk(), ebn0),
+                   bit_error_rate(Modulation::bpsk(), ebn0));
+}
+
+TEST(Ber, MonotoneDecreasingInSnr) {
+  for (const auto& m : {Modulation::bpsk(), Modulation::fsk(),
+                        Modulation::ook(), Modulation::qam16(),
+                        Modulation::qam64()}) {
+    double prev = 1.0;
+    for (double db = -5.0; db <= 20.0; db += 1.0) {
+      const double ber = bit_error_rate(m, std::pow(10.0, db / 10.0));
+      EXPECT_LE(ber, prev + 1e-15) << m.name << " at " << db << " dB";
+      EXPECT_GE(ber, 0.0);
+      EXPECT_LE(ber, 0.5);
+      prev = ber;
+    }
+  }
+}
+
+TEST(Ber, CoherentBeatsNoncoherentBeatsDenseQam) {
+  const double ebn0 = std::pow(10.0, 8.0 / 10.0);
+  const double bpsk = bit_error_rate(Modulation::bpsk(), ebn0);
+  const double fsk = bit_error_rate(Modulation::fsk(), ebn0);
+  const double qam64 = bit_error_rate(Modulation::qam64(), ebn0);
+  EXPECT_LT(bpsk, fsk);
+  EXPECT_LT(fsk, qam64);
+}
+
+TEST(Ber, AtDistanceFallsOffWithRange) {
+  const LinkBudget b{dbm_to_watt(0.0), PathLossModel::indoor(), 1_MHz, 10.0};
+  const double near = bit_error_rate_at(b, Modulation::fsk(), u::Length(2.0));
+  const double far = bit_error_rate_at(b, Modulation::fsk(), u::Length(40.0));
+  EXPECT_LT(near, far);
+  EXPECT_LT(near, 1e-9);
+}
+
+TEST(Per, CompoundsOverPacket) {
+  EXPECT_NEAR(packet_error_rate(0.0, 1024.0), 0.0, 1e-15);
+  EXPECT_NEAR(packet_error_rate(1e-4, 1024.0),
+              1.0 - std::pow(1.0 - 1e-4, 1024.0), 1e-12);
+  EXPECT_NEAR(packet_error_rate(0.5, 64.0), 1.0, 1e-12);
+  EXPECT_THROW(packet_error_rate(-0.1, 10.0), std::invalid_argument);
+  EXPECT_THROW(packet_error_rate(2.0, 10.0), std::invalid_argument);
+}
+
+TEST(Arq, PerfectLinkOneAttempt) {
+  const ArqModel arq;
+  EXPECT_DOUBLE_EQ(arq.expected_attempts(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(arq.delivery_probability(0.0), 1.0);
+}
+
+TEST(Arq, ExpectedAttemptsGrowWithPer) {
+  const ArqModel arq;
+  EXPECT_NEAR(arq.expected_attempts(0.5), 2.0, 0.05);  // ~1/(1-p), truncated
+  EXPECT_GT(arq.expected_attempts(0.9), arq.expected_attempts(0.5));
+  EXPECT_LE(arq.expected_attempts(0.999), arq.max_attempts);
+}
+
+TEST(Arq, DeliveryProbabilityTruncated) {
+  const ArqModel arq{3, u::Information(64.0)};
+  EXPECT_NEAR(arq.delivery_probability(0.5), 1.0 - 0.125, 1e-12);
+}
+
+TEST(Arq, EnergyPerDeliveredDivergesNearRange) {
+  const RadioModel r(ulp_radio());
+  const ArqModel arq;
+  const auto cheap = arq.energy_per_delivered(r, 512_bit, 0.01);
+  const auto pricey = arq.energy_per_delivered(r, 512_bit, 0.9);
+  EXPECT_GT(pricey.value(), 3.0 * cheap.value());
+  EXPECT_THROW(arq.energy_per_delivered(r, 512_bit, 1.0),
+               std::domain_error);
+}
+
+TEST(EnergyPerDeliveredBit, FlatInsideRangeCliffAtEdge) {
+  const RadioModel r(ulp_radio());
+  const u::Length reach = r.max_range();
+  const auto near = energy_per_delivered_bit(r, reach * 0.3, 512_bit);
+  const auto mid = energy_per_delivered_bit(r, reach * 0.8, 512_bit);
+  // max_range() is defined at 1e-3 BER, where 512-bit packets already see
+  // ~40 % PER; the hard cliff sits ~30 % beyond it.
+  const auto edge = energy_per_delivered_bit(r, reach * 1.3, 512_bit);
+  // Comfortably inside range retransmissions are rare: near ~= mid.
+  EXPECT_LT(mid.value(), near.value() * 1.5);
+  // Past the edge the cost blows up.
+  EXPECT_GT(edge.value(), mid.value() * 2.0);
+}
+
+TEST(OptimalRadiatedPower, GrowsWithDistance) {
+  const auto params = ulp_radio();
+  const auto p5 = optimal_radiated_power(params, u::Length(5.0), 512_bit);
+  const auto p30 = optimal_radiated_power(params, u::Length(30.0), 512_bit);
+  EXPECT_GE(p30.value(), p5.value());
+  EXPECT_GT(p5.value(), 0.0);
+}
+
+TEST(OptimalRadiatedPower, HopelessRangeThrows) {
+  const auto params = ulp_radio();
+  EXPECT_THROW(optimal_radiated_power(params, u::Length(10'000.0), 512_bit,
+                                      u::Power(1e-6), u::Power(1e-5), 10),
+               std::domain_error);
+  EXPECT_THROW(optimal_radiated_power(params, u::Length(5.0), 512_bit,
+                                      u::Power(1e-3), u::Power(1e-6)),
+               std::invalid_argument);
+}
+
+TEST(Ber, Validation) {
+  EXPECT_THROW(bit_error_rate(Modulation::bpsk(), -1.0),
+               std::invalid_argument);
+  const ArqModel arq;
+  EXPECT_THROW(arq.expected_attempts(1.5), std::invalid_argument);
+}

@@ -1,0 +1,105 @@
+#include "ambisim/radio/link.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim::radio;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(Dbm, RoundTripConversion) {
+  EXPECT_NEAR(watt_to_dbm(u::Power(1e-3)), 0.0, 1e-12);
+  EXPECT_NEAR(watt_to_dbm(u::Power(1.0)), 30.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watt(20.0).value(), 0.1, 1e-12);
+  EXPECT_NEAR(watt_to_dbm(dbm_to_watt(-6.0)), -6.0, 1e-9);
+  EXPECT_THROW(watt_to_dbm(u::Power(0.0)), std::invalid_argument);
+}
+
+TEST(PathLoss, MonotoneInDistanceAndExponent) {
+  const auto fs = PathLossModel::free_space();
+  const auto in = PathLossModel::indoor();
+  EXPECT_LT(fs.loss_db(u::Length(10.0)), fs.loss_db(u::Length(20.0)));
+  EXPECT_LT(fs.loss_db(u::Length(10.0)), in.loss_db(u::Length(10.0)));
+  EXPECT_THROW(fs.loss_db(u::Length(0.0)), std::invalid_argument);
+}
+
+TEST(PathLoss, TenXDistanceCostsTenNdB) {
+  const auto fs = PathLossModel::free_space();  // n = 2
+  EXPECT_NEAR(fs.loss_db(u::Length(10.0)) - fs.loss_db(u::Length(1.0)),
+              20.0, 1e-9);
+  const auto in = PathLossModel::indoor();  // n = 3
+  EXPECT_NEAR(in.loss_db(u::Length(10.0)) - in.loss_db(u::Length(1.0)),
+              30.0, 1e-9);
+}
+
+TEST(PathLoss, ClampsBelowReferenceDistance) {
+  const auto fs = PathLossModel::free_space();
+  EXPECT_DOUBLE_EQ(fs.loss_db(u::Length(0.5)), fs.loss_at_ref_db);
+}
+
+TEST(NoiseFloor, ThermalPlusBandwidth) {
+  // -174 + 10log10(1e6) + 10 = -104 dBm for 1 MHz, NF 10 dB.
+  EXPECT_NEAR(noise_floor_dbm(1_MHz, 10.0), -104.0, 1e-9);
+  EXPECT_THROW(noise_floor_dbm(u::Frequency(0.0)), std::invalid_argument);
+}
+
+TEST(Modulation, RequirementsOrdered) {
+  // Denser constellations need more SNR.
+  EXPECT_LT(LinkBudget::required_snr_db(Modulation::bpsk()),
+            LinkBudget::required_snr_db(Modulation::qpsk()));
+  EXPECT_LT(LinkBudget::required_snr_db(Modulation::qpsk()),
+            LinkBudget::required_snr_db(Modulation::qam16()));
+  EXPECT_LT(LinkBudget::required_snr_db(Modulation::qam16()),
+            LinkBudget::required_snr_db(Modulation::qam64()));
+}
+
+namespace {
+LinkBudget budget() {
+  return LinkBudget{dbm_to_watt(0.0), PathLossModel::indoor(), 1_MHz, 10.0};
+}
+}  // namespace
+
+TEST(LinkBudget, SnrFallsWithDistance) {
+  const auto b = budget();
+  EXPECT_GT(b.snr_db(u::Length(1.0)), b.snr_db(u::Length(10.0)));
+  EXPECT_GT(b.snr_db(u::Length(10.0)), b.snr_db(u::Length(50.0)));
+}
+
+TEST(LinkBudget, ClosesExactlyUpToMaxRange) {
+  const auto b = budget();
+  const auto m = Modulation::fsk();
+  const u::Length r = b.max_range(m);
+  ASSERT_GT(r.value(), 1.0);
+  EXPECT_TRUE(b.closes(r * 0.99, m));
+  EXPECT_FALSE(b.closes(r * 1.05, m));
+}
+
+TEST(LinkBudget, MorePowerMoreRange) {
+  auto weak = budget();
+  auto strong = budget();
+  strong.tx_radiated = dbm_to_watt(20.0);
+  EXPECT_GT(strong.max_range(Modulation::fsk()).value(),
+            weak.max_range(Modulation::fsk()).value());
+}
+
+TEST(LinkBudget, ShannonBeatsModulationRate) {
+  const auto b = budget();
+  const u::Length d{5.0};
+  const auto m = Modulation::qpsk();
+  if (b.closes(d, m)) {
+    EXPECT_GT(b.shannon_capacity(d).value(),
+              b.achievable_rate(d, m).value());
+  }
+}
+
+TEST(LinkBudget, AchievableRateZeroBeyondRange) {
+  const auto b = budget();
+  const auto m = Modulation::fsk();
+  const u::Length r = b.max_range(m);
+  EXPECT_DOUBLE_EQ(b.achievable_rate(r * 2.0, m).value(), 0.0);
+  EXPECT_GT(b.achievable_rate(r * 0.5, m).value(), 0.0);
+}
+
+TEST(LinkBudget, HopelessLinkHasZeroRange) {
+  LinkBudget b{u::Power(1e-12), PathLossModel::dense_indoor(), 10_MHz, 15.0};
+  EXPECT_DOUBLE_EQ(b.max_range(Modulation::qam64()).value(), 0.0);
+}

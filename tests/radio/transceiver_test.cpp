@@ -1,0 +1,107 @@
+#include "ambisim/radio/transceiver.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim::radio;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(Radio, TxPowerIsElectronicsPlusPa) {
+  const RadioModel r(bluetooth_like());
+  const auto& p = r.params();
+  EXPECT_NEAR(r.tx_power().value(),
+              p.tx_electronics.value() +
+                  p.tx_radiated.value() / p.pa_efficiency,
+              1e-12);
+}
+
+TEST(Radio, StateOrdering) {
+  for (const auto& params : {ulp_radio(), bluetooth_like(), wlan_80211b()}) {
+    const RadioModel r(params);
+    EXPECT_LT(r.power(RadioState::Sleep), r.power(RadioState::Idle))
+        << params.name;
+    EXPECT_LT(r.power(RadioState::Idle), r.power(RadioState::Rx))
+        << params.name;
+    EXPECT_LT(r.power(RadioState::Rx), r.power(RadioState::Tx))
+        << params.name;
+  }
+}
+
+TEST(Radio, EnergiesLinearInPayload) {
+  const RadioModel r(ulp_radio());
+  EXPECT_NEAR(r.tx_energy(2048_bit).value(),
+              2.0 * r.tx_energy(1024_bit).value(), 1e-15);
+  EXPECT_NEAR(r.rx_energy(2048_bit).value(),
+              2.0 * r.rx_energy(1024_bit).value(), 1e-15);
+  EXPECT_THROW(r.time_on_air(u::Information(-1.0)), std::invalid_argument);
+}
+
+TEST(Radio, TimeOnAirMatchesBitRate) {
+  const RadioModel r(bluetooth_like());
+  EXPECT_NEAR(r.time_on_air(u::Information(1e6)).value(), 1.0, 1e-9);
+}
+
+TEST(Radio, EnergyPerBitConsistency) {
+  const RadioModel r(wlan_80211b());
+  EXPECT_NEAR(r.energy_per_bit_tx().value(),
+              r.tx_energy(1.0_bit).value(), 1e-18);
+  EXPECT_NEAR(r.energy_per_bit_rx().value(),
+              r.rx_energy(1.0_bit).value(), 1e-18);
+}
+
+TEST(Radio, PresetClassesScaleUp) {
+  const RadioModel ulp(ulp_radio()), bt(bluetooth_like()),
+      wlan(wlan_80211b());
+  // Bit rates ascend by device class.
+  EXPECT_LT(ulp.params().bit_rate, bt.params().bit_rate);
+  EXPECT_LT(bt.params().bit_rate, wlan.params().bit_rate);
+  // So do transmit powers.
+  EXPECT_LT(ulp.tx_power(), bt.tx_power());
+  EXPECT_LT(bt.tx_power(), wlan.tx_power());
+}
+
+TEST(Radio, EnergyPerBitGrowsWithRangeClass) {
+  // Across the presets the PA term (range) grows faster than the bit rate,
+  // so transmit energy per bit *rises* from the short-range microWatt radio
+  // to the long-range WLAN — the reason autonomous nodes talk over meters.
+  const RadioModel ulp(ulp_radio()), bt(bluetooth_like()),
+      wlan(wlan_80211b());
+  EXPECT_LT(ulp.energy_per_bit_tx().value(),
+            bt.energy_per_bit_tx().value());
+  EXPECT_LT(bt.energy_per_bit_tx().value(),
+            wlan.energy_per_bit_tx().value());
+}
+
+TEST(Radio, RangeCoversRoomScale) {
+  const RadioModel ulp(ulp_radio());
+  EXPECT_GT(ulp.max_range().value(), 3.0);   // crosses a room
+  EXPECT_TRUE(ulp.reaches(u::Length(3.0)));
+  const RadioModel wlan(wlan_80211b());
+  EXPECT_GT(wlan.max_range().value(), ulp.max_range().value());
+}
+
+TEST(Radio, StartupEnergyPositive) {
+  const RadioModel r(ulp_radio());
+  EXPECT_GT(r.startup_energy().value(), 0.0);
+  EXPECT_NEAR(r.startup_energy().value(),
+              r.idle_power().value() * r.params().startup.value(), 1e-15);
+}
+
+TEST(Radio, ParameterValidation) {
+  auto p = ulp_radio();
+  p.bit_rate = u::BitRate(0.0);
+  EXPECT_THROW(RadioModel{p}, std::invalid_argument);
+  p = ulp_radio();
+  p.pa_efficiency = 1.5;
+  EXPECT_THROW(RadioModel{p}, std::invalid_argument);
+  p = ulp_radio();
+  p.idle_power = u::Power(0.0);  // below sleep
+  EXPECT_THROW(RadioModel{p}, std::invalid_argument);
+}
+
+TEST(Radio, StateNames) {
+  EXPECT_EQ(to_string(RadioState::Sleep), "sleep");
+  EXPECT_EQ(to_string(RadioState::Idle), "idle");
+  EXPECT_EQ(to_string(RadioState::Rx), "rx");
+  EXPECT_EQ(to_string(RadioState::Tx), "tx");
+}

@@ -1,0 +1,71 @@
+#include "ambisim/sim/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using ambisim::sim::AsciiScatter;
+
+TEST(AsciiScatter, RendersTitleAxesAndPoints) {
+  AsciiScatter p("demo", 40, 12);
+  p.add(1e3, 1e-3, 'a');
+  p.add(1e6, 1.0, 'b');
+  p.set_labels("rate", "power");
+  std::ostringstream os;
+  p.render(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find('a'), std::string::npos);
+  EXPECT_NE(s.find('b'), std::string::npos);
+  EXPECT_NE(s.find("x: rate"), std::string::npos);
+  EXPECT_NE(s.find("1e+03"), std::string::npos);  // x decade tick
+  EXPECT_NE(s.find("1e-03"), std::string::npos);  // y decade tick
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(AsciiScatter, PointOrderingOnTheGrid) {
+  // The higher-power point must render on an earlier (upper) line.
+  AsciiScatter p("order", 40, 12);
+  p.add(1e3, 1e-6, 'L');
+  p.add(1e3, 1e2, 'H');
+  std::ostringstream os;
+  p.render(os);
+  const std::string s = os.str();
+  EXPECT_LT(s.find('H'), s.find('L'));
+}
+
+TEST(AsciiScatter, LogAxisRejectsNonPositive) {
+  AsciiScatter p("bad", 40, 12);
+  EXPECT_THROW(p.add(0.0, 1.0, 'x'), std::invalid_argument);
+  EXPECT_THROW(p.add(1.0, -2.0, 'x'), std::invalid_argument);
+  EXPECT_THROW(p.add(1.0, std::nan(""), 'x'), std::invalid_argument);
+}
+
+TEST(AsciiScatter, LinearAxesAcceptAnyFinite) {
+  AsciiScatter p("linear", 40, 12, false, false);
+  EXPECT_NO_THROW(p.add(-5.0, 0.0, 'x'));
+  EXPECT_NO_THROW(p.add(5.0, -3.0, 'y'));
+  std::ostringstream os;
+  p.render(os);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+TEST(AsciiScatter, EmptyPlotRendersPlaceholder) {
+  AsciiScatter p("empty", 40, 12);
+  std::ostringstream os;
+  p.render(os);
+  EXPECT_NE(os.str().find("(no points)"), std::string::npos);
+}
+
+TEST(AsciiScatter, TooSmallRejected) {
+  EXPECT_THROW(AsciiScatter("tiny", 4, 2), std::invalid_argument);
+}
+
+TEST(AsciiScatter, SinglePointDoesNotDegenerate) {
+  AsciiScatter p("single", 40, 12);
+  p.add(42.0, 42.0, '*');
+  std::ostringstream os;
+  EXPECT_NO_THROW(p.render(os));
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}

@@ -1,0 +1,92 @@
+// Stress and ordering guarantees of the discrete-event kernel at scale.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ambisim/sim/random.hpp"
+#include "ambisim/sim/simulator.hpp"
+
+using ambisim::sim::Rng;
+using ambisim::sim::Simulator;
+namespace u = ambisim::units;
+
+TEST(KernelStress, HundredThousandRandomEventsExecuteInOrder) {
+  Simulator s;
+  Rng rng(99);
+  const int n = 100'000;
+  double last_seen = -1.0;
+  bool ordered = true;
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.uniform(0.0, 1000.0);
+    s.schedule_at(u::Time(t), [&, t] {
+      if (t < last_seen) ordered = false;
+      last_seen = t;
+    });
+  }
+  s.run();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(s.executed_events(), static_cast<std::uint64_t>(n));
+}
+
+TEST(KernelStress, CascadingEventsTerminate) {
+  // Each event schedules two more until a depth limit: ~2^14 events.
+  Simulator s;
+  std::uint64_t fired = 0;
+  std::function<void(int)> spawn = [&](int depth) {
+    ++fired;
+    if (depth <= 0) return;
+    s.schedule_in(u::Time(0.001), [&, depth] { spawn(depth - 1); });
+    s.schedule_in(u::Time(0.002), [&, depth] { spawn(depth - 1); });
+  };
+  s.schedule_at(u::Time(0.0), [&] { spawn(13); });
+  s.run();
+  EXPECT_EQ(fired, (1ull << 14) - 1);
+}
+
+TEST(KernelStress, MassCancellationLeavesSurvivors) {
+  Simulator s;
+  Rng rng(7);
+  int fired = 0;
+  std::vector<ambisim::sim::EventHandle> handles;
+  for (int i = 0; i < 10'000; ++i) {
+    handles.push_back(
+        s.schedule_at(u::Time(1.0 + i * 1e-4), [&] { ++fired; }));
+  }
+  int cancelled = 0;
+  for (auto& h : handles) {
+    if (rng.bernoulli(0.5)) {
+      h.cancel();
+      ++cancelled;
+    }
+  }
+  s.run();
+  EXPECT_EQ(fired, 10'000 - cancelled);
+  EXPECT_GT(cancelled, 4'000);
+  EXPECT_LT(cancelled, 6'000);
+}
+
+TEST(KernelStress, InterleavedRunUntilSegmentsCoverEverything) {
+  Simulator s;
+  int fired = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    s.schedule_at(u::Time(i * 0.01), [&] { ++fired; });
+  }
+  for (double horizon = 1.0; horizon <= 10.0; horizon += 1.0) {
+    s.run_until(u::Time(horizon));
+  }
+  EXPECT_EQ(fired, 1'000);
+  EXPECT_DOUBLE_EQ(s.now().value(), 10.0);
+}
+
+TEST(KernelStress, SelfReschedulingProcessStopsAtHorizon) {
+  Simulator s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    s.schedule_in(u::Time(0.5), tick);
+  };
+  s.schedule_at(u::Time(0.0), tick);
+  s.run_until(u::Time(100.0));
+  EXPECT_EQ(ticks, 201);  // t = 0, 0.5, ..., 100.0
+  EXPECT_GT(s.pending_events(), 0u);  // the next tick is still queued
+}

@@ -1,0 +1,126 @@
+#include "ambisim/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using ambisim::sim::Simulator;
+using ambisim::sim::Trace;
+using namespace ambisim::units::literals;
+namespace u = ambisim::units;
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0_s, [&] { order.push_back(3); });
+  s.schedule_at(1.0_s, [&] { order.push_back(1); });
+  s.schedule_at(2.0_s, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now().value(), 3.0);
+  EXPECT_EQ(s.executed_events(), 3u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(1.0_s, [&] { order.push_back(1); });
+  s.schedule_at(1.0_s, [&] { order.push_back(2); });
+  s.schedule_at(1.0_s, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  double fired_at = -1.0;
+  s.schedule_at(2.0_s, [&] {
+    s.schedule_in(0.5_s, [&] { fired_at = s.now().value(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0_s, [&] { ++fired; });
+  s.schedule_at(10.0_s, [&] { ++fired; });
+  s.run_until(5.0_s);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now().value(), 5.0);
+  s.run_until(20.0_s);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_at(1.0_s, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelledHeadDoesNotDragLaterEventsPastDeadline) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_at(1.0_s, [&] { ++fired; });
+  s.schedule_at(10.0_s, [&] { ++fired; });
+  h.cancel();
+  s.run_until(5.0_s);  // the 10 s event must NOT run
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(s.now().value(), 5.0);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0_s, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule_at(2.0_s, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.stopped());
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.schedule_at(2.0_s, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(1.0_s, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_in(u::Time(-1.0), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EmptyCallbackThrows) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_at(1.0_s, Simulator::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Trace, RecordsAndIntegrates) {
+  Trace t("power");
+  t.record(0.0_s, 2.0);
+  t.record(1.0_s, 4.0);
+  t.record(3.0_s, 0.0);
+  // sample-and-hold: 2*1 + 4*2 = 10
+  EXPECT_DOUBLE_EQ(t.integral(), 10.0);
+  EXPECT_EQ(t.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(t.last(), 0.0);
+  EXPECT_EQ(t.name(), "power");
+}
+
+TEST(Trace, EmptyTraceIntegratesToZero) {
+  Trace t("x");
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.integral(), 0.0);
+}

@@ -1,0 +1,142 @@
+#include "ambisim/sim/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ambisim/sim/random.hpp"
+#include "ambisim/sim/table.hpp"
+
+using ambisim::sim::Accumulator;
+using ambisim::sim::Rng;
+using ambisim::sim::Samples;
+using ambisim::sim::Table;
+
+TEST(Accumulator, MeanAndVariance) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-12);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-12);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(25), 25.75, 1e-12);
+}
+
+TEST(Samples, ThrowsOnEmptyAndBadRange) {
+  Samples s;
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 + 2.0 * v);
+  const auto fit = ambisim::sim::linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  EXPECT_THROW(ambisim::sim::linear_fit({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ambisim::sim::linear_fit({1.0, 1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ambisim::sim::linear_fit({1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    const auto k = r.uniform_int(-5, 5);
+    EXPECT_GE(k, -5);
+    EXPECT_LE(k, 5);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng r(13);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[r.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexValidatesInput) {
+  Rng r(1);
+  EXPECT_THROW(r.weighted_index(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(r.weighted_index(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(r.weighted_index(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // Child stream differs from parent continuation.
+  EXPECT_NE(child.uniform(), a.uniform());
+}
+
+TEST(Table, NumberAndRowAccess) {
+  Table t("demo", {"name", "x"});
+  t.add_row({std::string("a"), 1.5});
+  t.add_row({std::string("b"), 2.5});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.number(0, 1), 1.5);
+  EXPECT_THROW((void)t.number(0, 0), std::logic_error);
+  EXPECT_THROW(t.add_row({std::string("short")}), std::invalid_argument);
+}
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t("demo", {"a", "b"});
+  t.add_row({1.0, 2.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find('a'), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n");
+}

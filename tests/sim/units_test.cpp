@@ -1,0 +1,97 @@
+#include "ambisim/sim/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(Units, LiteralsProduceSiBaseValues) {
+  EXPECT_DOUBLE_EQ((1.0_mW).value(), 1e-3);
+  EXPECT_DOUBLE_EQ((1.0_uW).value(), 1e-6);
+  EXPECT_DOUBLE_EQ((2.5_V).value(), 2.5);
+  EXPECT_DOUBLE_EQ((1.0_pJ).value(), 1e-12);
+  EXPECT_DOUBLE_EQ((1.0_kbps).value(), 1e3);
+  EXPECT_DOUBLE_EQ((1_hours).value(), 3600.0);
+  EXPECT_DOUBLE_EQ((1_days).value(), 86400.0);
+  EXPECT_DOUBLE_EQ((1_mAh).value(), 3.6);
+  EXPECT_DOUBLE_EQ((1_Wh).value(), 3600.0);
+  EXPECT_DOUBLE_EQ((16_bytes).value(), 128.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const u::Energy e = 2.0_W * 3.0_s;
+  EXPECT_DOUBLE_EQ(e.value(), 6.0);
+}
+
+TEST(Units, EnergyDividedByBitsIsEnergyPerBit) {
+  const u::EnergyPerBit epb = 8.0_J / 4.0_bit;
+  EXPECT_DOUBLE_EQ(epb.value(), 2.0);
+}
+
+TEST(Units, PowerDividedByBitRateIsEnergyPerBit) {
+  const u::EnergyPerBit epb = 1.0_mW / 1.0_kbps;
+  EXPECT_DOUBLE_EQ(epb.value(), 1e-6);
+}
+
+TEST(Units, VoltageTimesCurrentIsPower) {
+  const u::Power p = 3.0_V * u::Current(0.5);
+  EXPECT_DOUBLE_EQ(p.value(), 1.5);
+}
+
+TEST(Units, ChargeTimesVoltageIsEnergy) {
+  const u::Energy e = 225_mAh * 3.0_V;
+  EXPECT_NEAR(e.value(), 0.225 * 3600.0 * 3.0, 1e-9);
+}
+
+TEST(Units, CapacitanceTimesVoltageSquaredIsEnergy) {
+  const u::Energy e = 1.0_pF * 2.0_V * 2.0_V;
+  EXPECT_DOUBLE_EQ(e.value(), 4e-12);
+}
+
+TEST(Units, ComparisonAndArithmetic) {
+  EXPECT_LT(1.0_uW, 1.0_mW);
+  EXPECT_GT(2.0_J, 1.0_J);
+  EXPECT_EQ((1.0_W + 1.0_W).value(), 2.0);
+  EXPECT_EQ((3.0_W - 1.0_W).value(), 2.0);
+  EXPECT_EQ((-1.0_W).value(), -1.0);
+  EXPECT_EQ(u::abs(-1.0_W).value(), 1.0);
+  EXPECT_EQ(u::min(1.0_W, 2.0_W).value(), 1.0);
+  EXPECT_EQ(u::max(1.0_W, 2.0_W).value(), 2.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  u::Power p = 1.0_W;
+  p += 1.0_W;
+  p -= 0.5_W;
+  p *= 2.0;
+  p /= 4.0;
+  EXPECT_DOUBLE_EQ(p.value(), 0.75);
+}
+
+TEST(Units, RatioIsDimensionless) {
+  EXPECT_DOUBLE_EQ(u::ratio(2.0_mW, 1.0_mW), 2.0);
+}
+
+TEST(Units, SqrtHalvesExponents) {
+  const u::Area a = 4.0_m2;
+  const u::Length l = u::sqrt(a);
+  EXPECT_DOUBLE_EQ(l.value(), 2.0);
+}
+
+TEST(Units, ScalarDivisionInverts) {
+  const u::Frequency f = 1.0 / 0.5_s;
+  EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(Units, SiFormatPicksEngineeringPrefix) {
+  EXPECT_EQ(u::si_format(1.3e-6, "W"), "1.3 uW");
+  EXPECT_EQ(u::si_format(2.5e3, "bit/s"), "2.5 kbit/s");
+  EXPECT_EQ(u::si_format(0.0, "J"), "0 J");
+  EXPECT_EQ(u::si_format(1.0, "s"), "1 s");
+  EXPECT_EQ(u::si_format(-4.2e-3, "A"), "-4.2 mA");
+}
+
+TEST(Units, ToStringHelpers) {
+  EXPECT_EQ(u::to_string(1.0_mW), "1 mW");
+  EXPECT_EQ(u::to_string(2.0_Mbps), "2 Mbit/s");
+}

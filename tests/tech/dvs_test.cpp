@@ -1,0 +1,127 @@
+#include "ambisim/tech/dvs.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using tech::DvsModel;
+using tech::TechnologyLibrary;
+
+namespace {
+const tech::TechnologyNode& node130() {
+  return TechnologyLibrary::standard().node("130nm");
+}
+}  // namespace
+
+TEST(DvsModel, PointsSpanVoltageRangeAscending) {
+  const DvsModel dvs(node130(), 8);
+  ASSERT_EQ(dvs.points().size(), 8u);
+  EXPECT_DOUBLE_EQ(dvs.slowest().voltage.value(), node130().vdd_min.value());
+  EXPECT_DOUBLE_EQ(dvs.fastest().voltage.value(),
+                   node130().vdd_nominal.value());
+  for (std::size_t i = 1; i < dvs.points().size(); ++i) {
+    EXPECT_GT(dvs.points()[i].voltage, dvs.points()[i - 1].voltage);
+    EXPECT_GT(dvs.points()[i].frequency, dvs.points()[i - 1].frequency);
+  }
+}
+
+TEST(DvsModel, RejectsBadConstruction) {
+  EXPECT_THROW(DvsModel(node130(), 1), std::invalid_argument);
+  EXPECT_THROW(DvsModel(node130(), 8, -1.0), std::invalid_argument);
+}
+
+TEST(DvsModel, SlowestFeasiblePicksMinimalFrequency) {
+  const DvsModel dvs(node130(), 16);
+  // A very loose deadline: the slowest point suffices.
+  const auto loose = dvs.slowest_feasible(1e3, 1_s);
+  EXPECT_DOUBLE_EQ(loose.voltage.value(), dvs.slowest().voltage.value());
+  // A deadline only the fastest point meets.
+  const double cycles = dvs.fastest().frequency.value() * 1e-3 * 0.99;
+  const auto tight = dvs.slowest_feasible(cycles, 1_ms);
+  EXPECT_DOUBLE_EQ(tight.voltage.value(), dvs.fastest().voltage.value());
+}
+
+TEST(DvsModel, InfeasibleDeadlineThrows) {
+  const DvsModel dvs(node130(), 16);
+  const double cycles = dvs.fastest().frequency.value() * 10.0;  // 10 s work
+  EXPECT_THROW((void)dvs.slowest_feasible(cycles, 1_s), std::domain_error);
+  EXPECT_THROW((void)dvs.slowest_feasible(-1.0, 1_s), std::invalid_argument);
+  EXPECT_THROW((void)dvs.slowest_feasible(1.0, u::Time(0.0)),
+               std::invalid_argument);
+}
+
+TEST(DvsModel, ExactlyCriticalDeadlineIsFeasible) {
+  const DvsModel dvs(node130(), 16);
+  const double cycles = 1e6;
+  const u::Time exact{cycles / dvs.fastest().frequency.value()};
+  EXPECT_NO_THROW((void)dvs.slowest_feasible(cycles, exact));
+}
+
+TEST(DvsModel, EnergyGrowsWithVoltageWhenDynamicDominates) {
+  const DvsModel dvs(node130(), 16);
+  // Large switched-gate count per cycle: dynamic energy dominates leakage.
+  u::Energy prev{1e18};
+  for (auto it = dvs.points().rbegin(); it != dvs.points().rend(); ++it) {
+    const auto e = dvs.energy(*it, 1e6, 1e5, 1e4);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(DvsModel, OptimalNeverWorseThanSlowestFeasible) {
+  const DvsModel dvs(node130(), 16);
+  const double cycles = 2e6;
+  for (double slack : {1.0, 1.5, 2.0, 4.0}) {
+    const u::Time deadline{slack * cycles /
+                           dvs.fastest().frequency.value()};
+    const auto sf = dvs.slowest_feasible(cycles, deadline);
+    const auto opt = dvs.optimal(cycles, deadline, 5e4, 5e5);
+    EXPECT_LE(dvs.energy(opt, cycles, 5e4, 5e5).value(),
+              dvs.energy(sf, cycles, 5e4, 5e5).value() * (1.0 + 1e-12));
+  }
+}
+
+TEST(DvsModel, OptimalMeetsDeadline) {
+  const DvsModel dvs(node130(), 16);
+  const double cycles = 2e6;
+  const u::Time deadline{3.0 * cycles / dvs.fastest().frequency.value()};
+  const auto opt = dvs.optimal(cycles, deadline, 5e4, 5e5);
+  EXPECT_LE(cycles / opt.frequency.value(),
+            deadline.value() * (1.0 + 1e-9));
+}
+
+TEST(DvsModel, LeakageEnergyPerCycleAlsoFallsWithVoltage) {
+  // In this model leakage accrues only while executing, and P_leak/f falls
+  // with voltage (quartic power vs ~linear frequency), so the slowest
+  // feasible point is the optimum even for leakage-dominated workloads.
+  const auto& n45 = TechnologyLibrary::standard().node("45nm");
+  const DvsModel dvs(n45, 16);
+  const double cycles = 1e6;
+  const u::Time deadline{20.0 * cycles / dvs.fastest().frequency.value()};
+  const auto opt = dvs.optimal(cycles, deadline, 10.0, 5e8);
+  EXPECT_DOUBLE_EQ(opt.frequency.value(), dvs.slowest().frequency.value());
+  // And the underlying reason: leakage-per-cycle is monotone in voltage.
+  const auto lo = dvs.energy(dvs.slowest(), 1.0, 0.0, 1e6);
+  const auto hi = dvs.energy(dvs.fastest(), 1.0, 0.0, 1e6);
+  EXPECT_LT(lo, hi);
+}
+
+// Property: across every technology node, DVS at 2x slack saves energy
+// relative to the fastest point for a dynamic-dominated workload.
+class DvsSavings : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DvsSavings, TwoXSlackSavesEnergy) {
+  const auto& n = TechnologyLibrary::standard().node(GetParam());
+  const DvsModel dvs(n, 16);
+  const double cycles = 1e6;
+  const u::Time deadline{2.0 * cycles / dvs.fastest().frequency.value()};
+  const auto opt = dvs.optimal(cycles, deadline, 1e5, 1e5);
+  const auto e_opt = dvs.energy(opt, cycles, 1e5, 1e5);
+  const auto e_fast = dvs.energy(dvs.fastest(), cycles, 1e5, 1e5);
+  EXPECT_LT(e_opt.value(), e_fast.value() * 0.95) << n.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, DvsSavings,
+                         ::testing::Values("350nm", "250nm", "180nm",
+                                           "130nm", "90nm", "65nm", "45nm"));

@@ -1,0 +1,87 @@
+#include "ambisim/tech/memory_energy.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using tech::OffChipModel;
+using tech::SramModel;
+using tech::TechnologyLibrary;
+
+namespace {
+const tech::TechnologyNode& n130() {
+  return TechnologyLibrary::standard().node("130nm");
+}
+}  // namespace
+
+TEST(SramModel, AccessEnergyGrowsWithCapacity) {
+  const auto e8k = SramModel::access_energy(n130(), 1.3_V, 8.0 * 1024 * 8);
+  const auto e32k = SramModel::access_energy(n130(), 1.3_V, 32.0 * 1024 * 8);
+  const auto e256k =
+      SramModel::access_energy(n130(), 1.3_V, 256.0 * 1024 * 8);
+  EXPECT_LT(e8k, e32k);
+  EXPECT_LT(e32k, e256k);
+}
+
+TEST(SramModel, SqrtLawIsSublinear) {
+  // 4x the capacity must cost clearly less than 4x the array energy term.
+  const double small = 16.0 * 1024 * 8;
+  const auto e1 = SramModel::access_energy(n130(), 1.3_V, small);
+  const auto e4 = SramModel::access_energy(n130(), 1.3_V, 4.0 * small);
+  EXPECT_LT(e4.value(), 4.0 * e1.value());
+  EXPECT_GT(e4.value(), e1.value());
+}
+
+TEST(SramModel, WiderWordCostsMore) {
+  const double cap = 64.0 * 1024 * 8;
+  EXPECT_LT(SramModel::access_energy(n130(), 1.3_V, cap, 16),
+            SramModel::access_energy(n130(), 1.3_V, cap, 64));
+}
+
+TEST(SramModel, InputValidation) {
+  EXPECT_THROW(SramModel::access_energy(n130(), 1.3_V, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(SramModel::access_energy(n130(), 1.3_V, 64.0, 128.0),
+               std::invalid_argument);
+  EXPECT_THROW(SramModel::leakage(n130(), 1.3_V, -5.0),
+               std::invalid_argument);
+}
+
+TEST(SramModel, LeakageLinearInCapacity) {
+  const auto p1 = SramModel::leakage(n130(), 1.3_V, 1e6);
+  const auto p2 = SramModel::leakage(n130(), 1.3_V, 2e6);
+  EXPECT_NEAR(p2.value(), 2.0 * p1.value(), 1e-18);
+}
+
+TEST(SramModel, NewerNodeCheaperAccess) {
+  const auto& n90 = TechnologyLibrary::standard().node("90nm");
+  const double cap = 32.0 * 1024 * 8;
+  EXPECT_LT(
+      SramModel::access_energy(n90, n90.vdd_nominal, cap),
+      SramModel::access_energy(n130(), n130().vdd_nominal, cap));
+}
+
+TEST(OffChipModel, EnergyQuadraticInIoVoltage) {
+  const auto e25 = OffChipModel::access_energy(2.5_V);
+  const auto e33 = OffChipModel::access_energy(3.3_V);
+  EXPECT_NEAR(e33.value() / e25.value(), (3.3 * 3.3) / (2.5 * 2.5), 1e-9);
+}
+
+TEST(OffChipModel, OffChipDwarfsOnChip) {
+  // The keynote's memory-wall argument: an external access costs orders of
+  // magnitude more than an L1 hit.
+  const auto on = SramModel::access_energy(n130(), 1.3_V, 32.0 * 1024 * 8);
+  const auto off = OffChipModel::access_energy(2.5_V) +
+                   OffChipModel::dram_core_energy();
+  EXPECT_GT(off.value(), 20.0 * on.value());
+}
+
+TEST(OffChipModel, LinearInWordWidth) {
+  const auto e32 = OffChipModel::access_energy(2.5_V, 32.0);
+  const auto e64 = OffChipModel::access_energy(2.5_V, 64.0);
+  EXPECT_NEAR(e64.value(), 2.0 * e32.value(), 1e-15);
+  EXPECT_THROW(OffChipModel::access_energy(2.5_V, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(OffChipModel::dram_core_energy(-1.0), std::invalid_argument);
+}

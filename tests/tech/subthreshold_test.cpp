@@ -1,0 +1,113 @@
+#include "ambisim/tech/subthreshold.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using tech::SubthresholdModel;
+using tech::TechnologyLibrary;
+
+namespace {
+const tech::TechnologyNode& n130() {
+  return TechnologyLibrary::standard().node("130nm");
+}
+}  // namespace
+
+TEST(Subthreshold, MatchesSuperThresholdDelayAtNominal) {
+  const SubthresholdModel m(n130());
+  EXPECT_NEAR(m.gate_delay(n130().vdd_nominal).value(),
+              n130().fo4_delay.value(),
+              n130().fo4_delay.value() * 1e-9);
+}
+
+TEST(Subthreshold, CurrentContinuousAtHandoff) {
+  const SubthresholdModel m(n130());
+  // Probe tightly around the handoff (Vth + 2 n VT ~ 0.478 V): the two
+  // branches must agree to first order.
+  const double vth = n130().vth.value();
+  const double h = vth + 2.0 * 1.5 * m.thermal_voltage().value();
+  const double below = m.on_current(u::Voltage(h - 1e-6)).value();
+  const double above = m.on_current(u::Voltage(h + 1e-6)).value();
+  EXPECT_NEAR(below / above, 1.0, 1e-3);
+}
+
+TEST(Subthreshold, DelayExplodesExponentiallyBelowVth) {
+  const SubthresholdModel m(n130());
+  const double vth = n130().vth.value();
+  const double d_at_vth = m.gate_delay(u::Voltage(vth)).value();
+  const double d_100mv_below = m.gate_delay(u::Voltage(vth - 0.1)).value();
+  // 100 mV below threshold with n*VT ~ 39 mV: roughly e^{0.1/0.039} ~ 13x
+  // slower in current, softened by the V/I delay form -> ~10x in delay.
+  EXPECT_GT(d_100mv_below / d_at_vth, 8.0);
+  EXPECT_LT(d_100mv_below / d_at_vth, 20.0);
+}
+
+TEST(Subthreshold, DynamicEnergyStillQuadratic) {
+  const SubthresholdModel m(n130());
+  // Above threshold cycles are fast, so leakage is negligible and the C*V^2
+  // law shows through: doubling the voltage quadruples the energy.
+  const auto e_600 = m.energy_per_op(u::Voltage(0.6), 1e3, 0.0);
+  const auto e_1200 = m.energy_per_op(u::Voltage(1.2), 1e3, 0.0);
+  EXPECT_NEAR(e_1200.value() / e_600.value(), 4.0, 0.1);
+}
+
+TEST(Subthreshold, MinimumEnergyPointExistsBelowNominal) {
+  const SubthresholdModel m(n130());
+  const auto mep = m.minimum_energy_voltage(1e3, 1e5);
+  EXPECT_LT(mep.value(), n130().vdd_nominal.value());
+  EXPECT_GT(mep.value(), m.functional_floor().value() - 1e-9);
+  // Energy at the MEP beats both extremes.
+  const auto e_mep = m.energy_per_op(mep, 1e3, 1e5);
+  const auto e_nom = m.energy_per_op(n130().vdd_nominal, 1e3, 1e5);
+  const auto e_floor = m.energy_per_op(
+      u::Voltage(m.functional_floor().value() + 0.01), 1e3, 1e5);
+  EXPECT_LT(e_mep.value(), e_nom.value());
+  EXPECT_LE(e_mep.value(), e_floor.value());
+}
+
+TEST(Subthreshold, MoreIdleLeakageRaisesTheMep) {
+  // A leakier design must stop scaling voltage earlier.
+  const SubthresholdModel m(n130());
+  const auto mep_light = m.minimum_energy_voltage(1e3, 1e4);
+  const auto mep_heavy = m.minimum_energy_voltage(1e3, 1e7);
+  EXPECT_GT(mep_heavy.value(), mep_light.value());
+}
+
+TEST(Subthreshold, MepEnergyFarBelowNominalEnergy) {
+  // The payoff claim: an order of magnitude per operation.
+  const SubthresholdModel m(n130());
+  const auto mep = m.minimum_energy_voltage(1e3, 1e4);
+  const double ratio =
+      m.energy_per_op(n130().vdd_nominal, 1e3, 1e4).value() /
+      m.energy_per_op(mep, 1e3, 1e4).value();
+  EXPECT_GT(ratio, 5.0);
+}
+
+TEST(Subthreshold, Validation) {
+  EXPECT_THROW(SubthresholdModel(n130(), 0.5), std::invalid_argument);
+  EXPECT_THROW(SubthresholdModel(n130(), 1.5, 100.0),
+               std::invalid_argument);
+  const SubthresholdModel m(n130());
+  EXPECT_THROW(m.on_current(u::Voltage(0.0)), std::domain_error);
+  EXPECT_THROW(m.on_current(u::Voltage(5.0)), std::domain_error);
+  EXPECT_THROW(m.energy_per_op(u::Voltage(0.5), -1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.max_frequency(u::Voltage(0.5), 0.0),
+               std::invalid_argument);
+}
+
+// Property: the MEP exists on every node of the roadmap, and sits at or
+// below ~Vth + a few hundred mV.
+class MepAcrossNodes : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MepAcrossNodes, MepNearThreshold) {
+  const auto& n = TechnologyLibrary::standard().node(GetParam());
+  const SubthresholdModel m(n);
+  const auto mep = m.minimum_energy_voltage(1e3, 1e5);
+  EXPECT_LT(mep.value(), n.vth.value() + 0.4) << n.name;
+  EXPECT_GT(mep.value(), 0.1) << n.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Roadmap, MepAcrossNodes,
+                         ::testing::Values("350nm", "250nm", "180nm",
+                                           "130nm", "90nm", "65nm", "45nm"));

@@ -1,0 +1,184 @@
+#include "ambisim/tech/technology.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using tech::TechnologyLibrary;
+using tech::TechnologyNode;
+
+TEST(TechnologyLibrary, StandardHasSevenGenerations) {
+  const auto& lib = TechnologyLibrary::standard();
+  EXPECT_EQ(lib.size(), 7u);
+  EXPECT_EQ(lib.all().front().name, "350nm");
+  EXPECT_EQ(lib.all().back().name, "45nm");
+}
+
+TEST(TechnologyLibrary, LookupByNameAndYear) {
+  const auto& lib = TechnologyLibrary::standard();
+  EXPECT_EQ(lib.node("130nm").year, 2001);
+  EXPECT_THROW((void)lib.node("42nm"), std::out_of_range);
+  EXPECT_EQ(lib.by_year(2003).name, "90nm");
+  EXPECT_EQ(lib.by_year(2004).name, "90nm");
+  // Before the first node: clamps to the oldest.
+  EXPECT_EQ(lib.by_year(1980).name, "350nm");
+  EXPECT_EQ(lib.by_year(2100).name, "45nm");
+}
+
+TEST(TechnologyLibrary, EmptyLibraryRejected) {
+  EXPECT_THROW(TechnologyLibrary({}), std::invalid_argument);
+}
+
+TEST(Technology, GateDelayNormalizedAtNominal) {
+  for (const auto& n : TechnologyLibrary::standard().all()) {
+    EXPECT_NEAR(tech::gate_delay(n, n.vdd_nominal).value(),
+                n.fo4_delay.value(), 1e-18)
+        << n.name;
+  }
+}
+
+TEST(Technology, GateDelayGrowsAsVoltageDrops) {
+  const auto& n = TechnologyLibrary::standard().node("130nm");
+  const auto d_hi = tech::gate_delay(n, n.vdd_nominal);
+  const auto d_mid = tech::gate_delay(n, 1.0_V);
+  const auto d_lo = tech::gate_delay(n, n.vdd_min);
+  EXPECT_LT(d_hi, d_mid);
+  EXPECT_LT(d_mid, d_lo);
+}
+
+TEST(Technology, VoltageRangeEnforced) {
+  const auto& n = TechnologyLibrary::standard().node("130nm");
+  EXPECT_THROW(tech::gate_delay(n, 0.5_V), std::domain_error);
+  EXPECT_THROW(tech::gate_delay(n, 2.0_V), std::domain_error);
+  EXPECT_THROW(tech::switching_energy(n, 0.1_V), std::domain_error);
+}
+
+TEST(Technology, MaxFrequencyInverseToDepth) {
+  const auto& n = TechnologyLibrary::standard().node("90nm");
+  const auto f20 = tech::max_frequency(n, n.vdd_nominal, 20.0);
+  const auto f40 = tech::max_frequency(n, n.vdd_nominal, 40.0);
+  EXPECT_NEAR(f20.value(), 2.0 * f40.value(), 1.0);
+  EXPECT_THROW(tech::max_frequency(n, n.vdd_nominal, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Technology, SwitchingEnergyIsCTimesVSquared) {
+  const auto& n = TechnologyLibrary::standard().node("180nm");
+  const auto e = tech::switching_energy(n, 1.8_V);
+  EXPECT_NEAR(e.value(), n.gate_cap.value() * 1.8 * 1.8, 1e-21);
+}
+
+TEST(Technology, LeakageCurrentCubicInVoltage) {
+  const auto& n = TechnologyLibrary::standard().node("90nm");
+  const auto i_nom = tech::leakage_current(n, n.vdd_nominal);
+  const auto i_half = tech::leakage_current(
+      n, u::Voltage(n.vdd_nominal.value() * 0.7));
+  EXPECT_NEAR(i_half.value() / i_nom.value(), 0.343, 1e-9);
+}
+
+TEST(Technology, DynamicPowerLinearInFrequencyAndActivity) {
+  const auto& n = TechnologyLibrary::standard().node("130nm");
+  const u::Voltage v = n.vdd_nominal;
+  const u::Frequency f = 100_MHz;
+  const auto p1 = tech::dynamic_power(n, 1e6, 0.1, f, v);
+  const auto p2 = tech::dynamic_power(n, 1e6, 0.2, f, v);
+  const auto p3 = tech::dynamic_power(n, 1e6, 0.1, 200_MHz, v);
+  EXPECT_NEAR(p2.value(), 2.0 * p1.value(), 1e-12);
+  EXPECT_NEAR(p3.value(), 2.0 * p1.value(), 1e-12);
+}
+
+TEST(Technology, DynamicPowerRejectsOverclock) {
+  const auto& n = TechnologyLibrary::standard().node("130nm");
+  const auto fmax = tech::max_frequency(n, n.vdd_min);
+  EXPECT_THROW(tech::dynamic_power(n, 1e6, 0.5, fmax * 2.0, n.vdd_min),
+               std::domain_error);
+  EXPECT_THROW(tech::dynamic_power(n, -1.0, 0.5, 1_MHz, n.vdd_nominal),
+               std::invalid_argument);
+  EXPECT_THROW(tech::dynamic_power(n, 1e6, 1.5, 1_MHz, n.vdd_nominal),
+               std::invalid_argument);
+}
+
+TEST(Technology, TotalPowerIsDynamicPlusLeakage) {
+  const auto& n = TechnologyLibrary::standard().node("90nm");
+  const u::Voltage v = n.vdd_nominal;
+  const u::Frequency f = 50_MHz;
+  const auto total = tech::total_power(n, 2e5, 0.2, f, v);
+  const auto dyn = tech::dynamic_power(n, 2e5, 0.2, f, v);
+  const auto leak = tech::leakage_power_per_gate(n, v) * 2e5;
+  EXPECT_NEAR(total.value(), (dyn + leak).value(), 1e-15);
+}
+
+TEST(Technology, EnergyPerOpIncludesLeakageShare) {
+  const auto& n = TechnologyLibrary::standard().node("65nm");
+  const u::Voltage v = n.vdd_nominal;
+  const u::Frequency f = tech::max_frequency(n, v);
+  const auto no_idle = tech::energy_per_op(n, 1e4, v, f, 0.0);
+  const auto with_idle = tech::energy_per_op(n, 1e4, v, f, 1e6);
+  EXPECT_GT(with_idle, no_idle);
+  EXPECT_THROW(tech::energy_per_op(n, -1.0, v, f, 0.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling-law properties across the whole roadmap.
+// ---------------------------------------------------------------------------
+class RoadmapScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoadmapScaling, NewerNodeHasLowerSwitchingEnergy) {
+  const auto& lib = TechnologyLibrary::standard();
+  const auto i = static_cast<std::size_t>(GetParam());
+  const auto& older = lib.all()[i];
+  const auto& newer = lib.all()[i + 1];
+  EXPECT_GT(tech::switching_energy(older, older.vdd_nominal),
+            tech::switching_energy(newer, newer.vdd_nominal))
+      << older.name << " vs " << newer.name;
+}
+
+TEST_P(RoadmapScaling, NewerNodeIsFaster) {
+  const auto& lib = TechnologyLibrary::standard();
+  const auto i = static_cast<std::size_t>(GetParam());
+  const auto& older = lib.all()[i];
+  const auto& newer = lib.all()[i + 1];
+  EXPECT_LT(tech::max_frequency(older, older.vdd_nominal),
+            tech::max_frequency(newer, newer.vdd_nominal));
+}
+
+TEST_P(RoadmapScaling, NewerNodeLeaksMore) {
+  const auto& lib = TechnologyLibrary::standard();
+  const auto i = static_cast<std::size_t>(GetParam());
+  const auto& older = lib.all()[i];
+  const auto& newer = lib.all()[i + 1];
+  EXPECT_LT(tech::leakage_current(older, older.vdd_nominal),
+            tech::leakage_current(newer, newer.vdd_nominal));
+}
+
+TEST_P(RoadmapScaling, VoltageScalesDown) {
+  const auto& lib = TechnologyLibrary::standard();
+  const auto i = static_cast<std::size_t>(GetParam());
+  EXPECT_GE(lib.all()[i].vdd_nominal, lib.all()[i + 1].vdd_nominal);
+  EXPECT_GT(lib.all()[i].feature, lib.all()[i + 1].feature);
+}
+
+INSTANTIATE_TEST_SUITE_P(AdjacentGenerations, RoadmapScaling,
+                         ::testing::Range(0, 6));
+
+// Gate delay must decrease monotonically over the full DVS voltage range on
+// every node (sanity of the alpha-power fit).
+class DelayMonotonicity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DelayMonotonicity, DelayFallsWithVoltage) {
+  const auto& n = TechnologyLibrary::standard().node(GetParam());
+  double prev = 1e9;
+  for (int i = 0; i <= 20; ++i) {
+    const double v = n.vdd_min.value() +
+                     (n.vdd_nominal.value() - n.vdd_min.value()) * i / 20.0;
+    const double d = tech::gate_delay(n, u::Voltage(v)).value();
+    EXPECT_LT(d, prev) << n.name << " at " << v << " V";
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, DelayMonotonicity,
+                         ::testing::Values("350nm", "250nm", "180nm",
+                                           "130nm", "90nm", "65nm", "45nm"));

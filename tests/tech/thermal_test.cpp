@@ -1,0 +1,96 @@
+#include "ambisim/tech/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using tech::ThermalModel;
+
+TEST(Thermal, LeakageMultiplierDoublesPerInterval) {
+  const ThermalModel m(1.0);
+  EXPECT_NEAR(m.leakage_multiplier(25.0), 1.0, 1e-12);
+  EXPECT_NEAR(m.leakage_multiplier(50.0), 2.0, 1e-12);
+  EXPECT_NEAR(m.leakage_multiplier(75.0), 4.0, 1e-12);
+  EXPECT_NEAR(m.leakage_multiplier(0.0), 0.5, 1e-12);
+}
+
+TEST(Thermal, NoLeakageIsLinear) {
+  const ThermalModel m(2.0);  // 2 K/W
+  const auto eq = m.solve(10_W, u::Power(0.0));
+  ASSERT_TRUE(eq.stable);
+  EXPECT_NEAR(eq.temperature_c, 25.0 + 2.0 * 10.0, 1e-6);
+  EXPECT_NEAR(eq.total_power.value(), 10.0, 1e-9);
+}
+
+TEST(Thermal, FeedbackRaisesEquilibriumAboveLinear) {
+  const ThermalModel m(2.0);
+  const auto eq = m.solve(5_W, 1_W);
+  ASSERT_TRUE(eq.stable);
+  // Linear estimate: 25 + 2*(5+1) = 37 C; feedback pushes leakage above
+  // its 25 C value, so T > 37.
+  EXPECT_GT(eq.temperature_c, 37.0);
+  EXPECT_GT(eq.leakage_power.value(), 1.0);
+  EXPECT_LT(eq.temperature_c, ThermalModel::kMaxJunction);
+}
+
+TEST(Thermal, HighResistanceRunsAway) {
+  const ThermalModel good(1.0);
+  const ThermalModel bad(40.0);  // terrible heatsink
+  EXPECT_TRUE(good.solve(3_W, 1_W).stable);
+  const auto eq = bad.solve(3_W, 1_W);
+  EXPECT_FALSE(eq.stable);
+  EXPECT_GT(eq.temperature_c, ThermalModel::kMaxJunction);
+}
+
+TEST(Thermal, CriticalResistanceSeparatesRegimes) {
+  const u::Power dyn = 3_W;
+  const u::Power leak = 1_W;
+  const double rc = ThermalModel::critical_resistance(dyn, leak);
+  ASSERT_GT(rc, 0.0);
+  EXPECT_TRUE(ThermalModel(rc * 0.95).solve(dyn, leak).stable);
+  EXPECT_FALSE(ThermalModel(rc * 1.05).solve(dyn, leak).stable);
+}
+
+TEST(Thermal, MoreLeakageLowersCriticalResistance) {
+  const double rc_low = ThermalModel::critical_resistance(3_W, 0.2_W);
+  const double rc_high = ThermalModel::critical_resistance(3_W, 2.0_W);
+  EXPECT_GT(rc_low, rc_high);
+}
+
+TEST(Thermal, HotterAmbientLowersCriticalResistance) {
+  const double rc_25 = ThermalModel::critical_resistance(3_W, 1_W, 25.0);
+  const double rc_60 = ThermalModel::critical_resistance(3_W, 1_W, 60.0);
+  EXPECT_GT(rc_25, rc_60);
+}
+
+TEST(Thermal, Validation) {
+  EXPECT_THROW(ThermalModel(0.0), std::invalid_argument);
+  EXPECT_THROW(ThermalModel(1.0, 200.0), std::invalid_argument);
+  EXPECT_THROW(ThermalModel(1.0, 25.0, -5.0), std::invalid_argument);
+  const ThermalModel m(1.0);
+  EXPECT_THROW(m.solve(u::Power(-1.0), 1_W), std::invalid_argument);
+  EXPECT_THROW(m.solve(1_W, 1_W, 0), std::invalid_argument);
+  EXPECT_THROW(
+      ThermalModel::critical_resistance(u::Power(0.0), u::Power(0.0)),
+      std::invalid_argument);
+}
+
+// Property: equilibrium temperature is monotone in dynamic power while
+// stable.
+class ThermalLoad : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermalLoad, EquilibriumMonotoneInPower) {
+  const ThermalModel m(GetParam());
+  double prev = 0.0;
+  for (double p = 1.0; p <= 10.0; p += 1.0) {
+    const auto eq = m.solve(u::Power(p), 0.5_W);
+    if (!eq.stable) break;
+    EXPECT_GT(eq.temperature_c, prev);
+    prev = eq.temperature_c;
+  }
+  EXPECT_GT(prev, 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resistances, ThermalLoad,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));

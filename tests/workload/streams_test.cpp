@@ -1,0 +1,57 @@
+#include "ambisim/workload/streams.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+
+TEST(Streams, AudioPlaybackRates) {
+  const auto wl = workload::audio_playback(128_kbps);
+  // One granule is 1152 samples at 44.1 kHz.
+  EXPECT_NEAR(wl.unit_rate.value(), 44100.0 / 1152.0, 1e-9);
+  // ~20 MOPS decode, 2003-class figure.
+  EXPECT_GT(wl.ops_rate().value(), 5e6);
+  EXPECT_LT(wl.ops_rate().value(), 100e6);
+  EXPECT_DOUBLE_EQ(wl.stream_rate.value(), 128e3);
+}
+
+TEST(Streams, OpsOverIsLinearInTime) {
+  const auto wl = workload::sensing(u::Frequency(10.0));
+  EXPECT_NEAR(wl.ops_over(10_s), 10.0 * wl.ops_rate().value(), 1e-6);
+  EXPECT_DOUBLE_EQ(wl.ops_over(u::Time(0.0)), 0.0);
+  EXPECT_THROW(wl.ops_over(u::Time(-1.0)), std::invalid_argument);
+}
+
+TEST(Streams, VideoHdHarderThanSd) {
+  const auto sd = workload::video_decode_sd();
+  const auto hd = workload::video_decode_hd();
+  EXPECT_GT(hd.ops_rate().value(), 2.0 * sd.ops_rate().value());
+  EXPECT_GT(hd.demand.working_set_bits, sd.demand.working_set_bits);
+  EXPECT_GT(hd.stream_rate, sd.stream_rate);
+}
+
+TEST(Streams, WorkloadsSpanDeviceClasses) {
+  // Sensing is kOPS-scale, audio MOPS-scale, video GOPS-scale: the three
+  // orders of magnitude behind the three device classes.
+  const auto sense = workload::sensing();
+  const auto audio = workload::audio_playback();
+  const auto video = workload::video_decode_sd();
+  EXPECT_LT(sense.ops_rate().value(), 1e5);
+  EXPECT_GT(audio.ops_rate().value(), 1e6);
+  EXPECT_LT(audio.ops_rate().value(), 1e8);
+  EXPECT_GT(video.ops_rate().value(), 1e9);
+}
+
+TEST(Streams, SpeechFrontendFrames) {
+  const auto wl = workload::speech_frontend();
+  EXPECT_DOUBLE_EQ(wl.unit_rate.value(), 100.0);
+  EXPECT_GT(wl.ops_rate().value(), 1e6);
+}
+
+TEST(Streams, Validation) {
+  EXPECT_THROW(workload::audio_playback(u::BitRate(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(workload::sensing(u::Frequency(-1.0)),
+               std::invalid_argument);
+}

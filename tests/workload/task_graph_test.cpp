@@ -1,0 +1,150 @@
+#include "ambisim/workload/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using workload::Task;
+using workload::TaskGraph;
+
+TEST(TaskGraph, AddAndQuery) {
+  TaskGraph g("g");
+  const int a = g.add_task({"a", 100, 10, 32_bit});
+  const int b = g.add_task({"b", 200, 20, 64_bit});
+  g.add_edge(a, b, 32_bit);
+  EXPECT_EQ(g.task_count(), 2);
+  EXPECT_EQ(g.task(a).name, "a");
+  EXPECT_EQ(g.successors(a), std::vector<int>{b});
+  EXPECT_EQ(g.predecessors(b), std::vector<int>{a});
+  EXPECT_TRUE(g.predecessors(a).empty());
+  EXPECT_DOUBLE_EQ(g.total_ops(), 300.0);
+  EXPECT_DOUBLE_EQ(g.total_traffic().value(), 32.0);
+}
+
+TEST(TaskGraph, EdgeValidation) {
+  TaskGraph g("g");
+  const int a = g.add_task({"a", 1, 0, 0_bit});
+  EXPECT_THROW(g.add_edge(a, a, 1_bit), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 5, 1_bit), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, a, 1_bit), std::out_of_range);
+  EXPECT_THROW(g.add_edge(a, a, u::Information(-1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(g.add_task({"bad", -1.0, 0, 0_bit}), std::invalid_argument);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  TaskGraph g("g");
+  const int a = g.add_task({"a", 1, 0, 0_bit});
+  const int b = g.add_task({"b", 1, 0, 0_bit});
+  const int c = g.add_task({"c", 1, 0, 0_bit});
+  g.add_edge(a, c, 1_bit);
+  g.add_edge(b, c, 1_bit);
+  const auto order = g.topological_order();
+  const auto pos = [&](int v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(c));
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(TaskGraph, CycleDetected) {
+  TaskGraph g("cyclic");
+  const int a = g.add_task({"a", 1, 0, 0_bit});
+  const int b = g.add_task({"b", 1, 0, 0_bit});
+  g.add_edge(a, b, 1_bit);
+  g.add_edge(b, a, 1_bit);
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+}
+
+TEST(TaskGraph, CriticalPathOnDiamond) {
+  TaskGraph g("diamond");
+  const int s = g.add_task({"s", 10, 0, 0_bit});
+  const int l = g.add_task({"left", 100, 0, 0_bit});
+  const int r = g.add_task({"right", 5, 0, 0_bit});
+  const int t = g.add_task({"t", 10, 0, 0_bit});
+  g.add_edge(s, l, 1_bit);
+  g.add_edge(s, r, 1_bit);
+  g.add_edge(l, t, 1_bit);
+  g.add_edge(r, t, 1_bit);
+  EXPECT_DOUBLE_EQ(g.critical_path_ops(), 120.0);  // s -> left -> t
+  EXPECT_DOUBLE_EQ(g.total_ops(), 125.0);
+  EXPECT_DOUBLE_EQ(g.slack_ops(), 5.0);
+}
+
+TEST(TaskGraph, CriticalPathOfChainIsTotal) {
+  const auto g = workload::audio_pipeline_graph();
+  EXPECT_DOUBLE_EQ(g.critical_path_ops(), g.total_ops());
+  EXPECT_DOUBLE_EQ(g.slack_ops(), 0.0);
+}
+
+TEST(TaskGraph, PresetsAreWellFormed) {
+  for (const auto& g : {workload::audio_pipeline_graph(),
+                        workload::sensing_pipeline_graph()}) {
+    EXPECT_TRUE(g.is_acyclic()) << g.name();
+    EXPECT_GT(g.task_count(), 2) << g.name();
+    EXPECT_GT(g.total_ops(), 0.0) << g.name();
+    EXPECT_GT(g.period().value(), 0.0) << g.name();
+    EXPECT_GT(g.deadline().value(), 0.0) << g.name();
+    // Every non-first task is connected.
+    for (int t = 1; t < g.task_count(); ++t) {
+      EXPECT_FALSE(g.predecessors(t).empty() && g.successors(t).empty())
+          << g.name() << " task " << t;
+    }
+  }
+}
+
+TEST(TaskGraph, IndexValidation) {
+  TaskGraph g("g");
+  g.add_task({"a", 1, 0, 0_bit});
+  EXPECT_THROW(g.predecessors(3), std::out_of_range);
+  EXPECT_THROW(g.successors(-1), std::out_of_range);
+}
+
+// Property: random layered graphs are always acyclic, for many seeds and
+// shapes.
+struct RandomGraphCase {
+  unsigned seed;
+  int tasks;
+  int layers;
+  double p;
+};
+
+class RandomGraphs : public ::testing::TestWithParam<RandomGraphCase> {};
+
+TEST_P(RandomGraphs, AlwaysAcyclic) {
+  sim::Rng rng(GetParam().seed);
+  const auto g = workload::random_task_graph(rng, GetParam().tasks,
+                                             GetParam().layers,
+                                             GetParam().p);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.task_count(), GetParam().tasks);
+  EXPECT_GE(g.critical_path_ops(), 0.0);
+  EXPECT_LE(g.critical_path_ops(), g.total_ops());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomGraphs,
+    ::testing::Values(RandomGraphCase{1, 10, 3, 0.5},
+                      RandomGraphCase{2, 30, 5, 0.3},
+                      RandomGraphCase{3, 50, 10, 0.2},
+                      RandomGraphCase{4, 5, 5, 1.0},
+                      RandomGraphCase{5, 40, 2, 0.8}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_t" +
+             std::to_string(info.param.tasks);
+    });
+
+TEST(RandomGraph, ShapeValidation) {
+  sim::Rng rng(1);
+  EXPECT_THROW(workload::random_task_graph(rng, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(workload::random_task_graph(rng, 5, 10),
+               std::invalid_argument);
+  EXPECT_THROW(workload::random_task_graph(rng, 5, 2, 1.5),
+               std::invalid_argument);
+}
