@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_isa_validation.dir/bench_a1_isa_validation.cpp.o"
+  "CMakeFiles/bench_a1_isa_validation.dir/bench_a1_isa_validation.cpp.o.d"
+  "bench_a1_isa_validation"
+  "bench_a1_isa_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_isa_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_a1_isa_validation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_dpm_policies.dir/bench_a2_dpm_policies.cpp.o"
+  "CMakeFiles/bench_a2_dpm_policies.dir/bench_a2_dpm_policies.cpp.o.d"
+  "bench_a2_dpm_policies"
+  "bench_a2_dpm_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_dpm_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_packet_vs_epoch.dir/bench_a3_packet_vs_epoch.cpp.o"
+  "CMakeFiles/bench_a3_packet_vs_epoch.dir/bench_a3_packet_vs_epoch.cpp.o.d"
+  "bench_a3_packet_vs_epoch"
+  "bench_a3_packet_vs_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_packet_vs_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

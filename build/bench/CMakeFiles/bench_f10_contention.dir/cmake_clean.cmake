@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_contention.dir/bench_f10_contention.cpp.o"
+  "CMakeFiles/bench_f10_contention.dir/bench_f10_contention.cpp.o.d"
+  "bench_f10_contention"
+  "bench_f10_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_subthreshold.dir/bench_f11_subthreshold.cpp.o"
+  "CMakeFiles/bench_f11_subthreshold.dir/bench_f11_subthreshold.cpp.o.d"
+  "bench_f11_subthreshold"
+  "bench_f11_subthreshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_subthreshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_thermal.dir/bench_f12_thermal.cpp.o"
+  "CMakeFiles/bench_f12_thermal.dir/bench_f12_thermal.cpp.o.d"
+  "bench_f12_thermal"
+  "bench_f12_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_power_info_graph.dir/bench_f1_power_info_graph.cpp.o"
+  "CMakeFiles/bench_f1_power_info_graph.dir/bench_f1_power_info_graph.cpp.o.d"
+  "bench_f1_power_info_graph"
+  "bench_f1_power_info_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_power_info_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

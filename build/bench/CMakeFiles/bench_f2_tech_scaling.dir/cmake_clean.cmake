@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_tech_scaling.dir/bench_f2_tech_scaling.cpp.o"
+  "CMakeFiles/bench_f2_tech_scaling.dir/bench_f2_tech_scaling.cpp.o.d"
+  "bench_f2_tech_scaling"
+  "bench_f2_tech_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_tech_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_microwatt_neutrality.dir/bench_f3_microwatt_neutrality.cpp.o"
+  "CMakeFiles/bench_f3_microwatt_neutrality.dir/bench_f3_microwatt_neutrality.cpp.o.d"
+  "bench_f3_microwatt_neutrality"
+  "bench_f3_microwatt_neutrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_microwatt_neutrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

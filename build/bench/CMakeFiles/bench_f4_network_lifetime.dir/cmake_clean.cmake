@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_network_lifetime.dir/bench_f4_network_lifetime.cpp.o"
+  "CMakeFiles/bench_f4_network_lifetime.dir/bench_f4_network_lifetime.cpp.o.d"
+  "bench_f4_network_lifetime"
+  "bench_f4_network_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_network_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

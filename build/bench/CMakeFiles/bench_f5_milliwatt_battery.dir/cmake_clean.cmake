@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_milliwatt_battery.dir/bench_f5_milliwatt_battery.cpp.o"
+  "CMakeFiles/bench_f5_milliwatt_battery.dir/bench_f5_milliwatt_battery.cpp.o.d"
+  "bench_f5_milliwatt_battery"
+  "bench_f5_milliwatt_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_milliwatt_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

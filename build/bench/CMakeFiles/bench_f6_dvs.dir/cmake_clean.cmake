@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_dvs.dir/bench_f6_dvs.cpp.o"
+  "CMakeFiles/bench_f6_dvs.dir/bench_f6_dvs.cpp.o.d"
+  "bench_f6_dvs"
+  "bench_f6_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_watt_soc.dir/bench_f7_watt_soc.cpp.o"
+  "CMakeFiles/bench_f7_watt_soc.dir/bench_f7_watt_soc.cpp.o.d"
+  "bench_f7_watt_soc"
+  "bench_f7_watt_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_watt_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_ami_scenario.dir/bench_f8_ami_scenario.cpp.o"
+  "CMakeFiles/bench_f8_ami_scenario.dir/bench_f8_ami_scenario.cpp.o.d"
+  "bench_f8_ami_scenario"
+  "bench_f8_ami_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_ami_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

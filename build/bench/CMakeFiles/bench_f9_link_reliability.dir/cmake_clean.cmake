@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_link_reliability.dir/bench_f9_link_reliability.cpp.o"
+  "CMakeFiles/bench_f9_link_reliability.dir/bench_f9_link_reliability.cpp.o.d"
+  "bench_f9_link_reliability"
+  "bench_f9_link_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_link_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f9_link_reliability.
+# This may be replaced when dependencies are built.

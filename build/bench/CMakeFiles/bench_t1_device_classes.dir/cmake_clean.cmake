@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_device_classes.dir/bench_t1_device_classes.cpp.o"
+  "CMakeFiles/bench_t1_device_classes.dir/bench_t1_device_classes.cpp.o.d"
+  "bench_t1_device_classes"
+  "bench_t1_device_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_device_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

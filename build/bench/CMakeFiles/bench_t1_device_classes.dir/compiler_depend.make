@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_t1_device_classes.
+# This may be replaced when dependencies are built.

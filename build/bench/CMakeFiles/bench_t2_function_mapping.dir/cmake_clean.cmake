@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_function_mapping.dir/bench_t2_function_mapping.cpp.o"
+  "CMakeFiles/bench_t2_function_mapping.dir/bench_t2_function_mapping.cpp.o.d"
+  "bench_t2_function_mapping"
+  "bench_t2_function_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_function_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_roadmap.dir/bench_t3_roadmap.cpp.o"
+  "CMakeFiles/bench_t3_roadmap.dir/bench_t3_roadmap.cpp.o.d"
+  "bench_t3_roadmap"
+  "bench_t3_roadmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ami_home.dir/ami_home.cpp.o"
+  "CMakeFiles/ami_home.dir/ami_home.cpp.o.d"
+  "ami_home"
+  "ami_home.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ami_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

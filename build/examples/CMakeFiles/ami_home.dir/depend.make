@@ -1,0 +1,2 @@
+# Empty dependencies file for ami_home.
+# This may be replaced when dependencies are built.

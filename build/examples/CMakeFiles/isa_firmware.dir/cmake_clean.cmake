@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_firmware.dir/isa_firmware.cpp.o"
+  "CMakeFiles/isa_firmware.dir/isa_firmware.cpp.o.d"
+  "isa_firmware"
+  "isa_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

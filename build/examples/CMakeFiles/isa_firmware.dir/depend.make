@@ -1,0 +1,2 @@
+# Empty dependencies file for isa_firmware.
+# This may be replaced when dependencies are built.

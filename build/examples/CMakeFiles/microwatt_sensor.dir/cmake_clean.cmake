@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microwatt_sensor.dir/microwatt_sensor.cpp.o"
+  "CMakeFiles/microwatt_sensor.dir/microwatt_sensor.cpp.o.d"
+  "microwatt_sensor"
+  "microwatt_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microwatt_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milliwatt_personal.dir/milliwatt_personal.cpp.o"
+  "CMakeFiles/milliwatt_personal.dir/milliwatt_personal.cpp.o.d"
+  "milliwatt_personal"
+  "milliwatt_personal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milliwatt_personal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for milliwatt_personal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for milliwatt_personal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_management.dir/power_management.cpp.o"
+  "CMakeFiles/power_management.dir/power_management.cpp.o.d"
+  "power_management"
+  "power_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

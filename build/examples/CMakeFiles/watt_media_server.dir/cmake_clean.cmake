@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watt_media_server.dir/watt_media_server.cpp.o"
+  "CMakeFiles/watt_media_server.dir/watt_media_server.cpp.o.d"
+  "watt_media_server"
+  "watt_media_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watt_media_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/interconnect.cpp" "src/arch/CMakeFiles/ambisim_arch.dir/interconnect.cpp.o" "gcc" "src/arch/CMakeFiles/ambisim_arch.dir/interconnect.cpp.o.d"
+  "/root/repo/src/arch/interface.cpp" "src/arch/CMakeFiles/ambisim_arch.dir/interface.cpp.o" "gcc" "src/arch/CMakeFiles/ambisim_arch.dir/interface.cpp.o.d"
+  "/root/repo/src/arch/memory.cpp" "src/arch/CMakeFiles/ambisim_arch.dir/memory.cpp.o" "gcc" "src/arch/CMakeFiles/ambisim_arch.dir/memory.cpp.o.d"
+  "/root/repo/src/arch/processor.cpp" "src/arch/CMakeFiles/ambisim_arch.dir/processor.cpp.o" "gcc" "src/arch/CMakeFiles/ambisim_arch.dir/processor.cpp.o.d"
+  "/root/repo/src/arch/soc.cpp" "src/arch/CMakeFiles/ambisim_arch.dir/soc.cpp.o" "gcc" "src/arch/CMakeFiles/ambisim_arch.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/ambisim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ambisim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_arch.dir/interconnect.cpp.o"
+  "CMakeFiles/ambisim_arch.dir/interconnect.cpp.o.d"
+  "CMakeFiles/ambisim_arch.dir/interface.cpp.o"
+  "CMakeFiles/ambisim_arch.dir/interface.cpp.o.d"
+  "CMakeFiles/ambisim_arch.dir/memory.cpp.o"
+  "CMakeFiles/ambisim_arch.dir/memory.cpp.o.d"
+  "CMakeFiles/ambisim_arch.dir/processor.cpp.o"
+  "CMakeFiles/ambisim_arch.dir/processor.cpp.o.d"
+  "CMakeFiles/ambisim_arch.dir/soc.cpp.o"
+  "CMakeFiles/ambisim_arch.dir/soc.cpp.o.d"
+  "libambisim_arch.a"
+  "libambisim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ambisim_arch.
+# This may be replaced when dependencies are built.

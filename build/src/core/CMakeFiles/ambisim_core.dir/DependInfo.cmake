@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/device_class.cpp" "src/core/CMakeFiles/ambisim_core.dir/device_class.cpp.o" "gcc" "src/core/CMakeFiles/ambisim_core.dir/device_class.cpp.o.d"
+  "/root/repo/src/core/device_node.cpp" "src/core/CMakeFiles/ambisim_core.dir/device_node.cpp.o" "gcc" "src/core/CMakeFiles/ambisim_core.dir/device_node.cpp.o.d"
+  "/root/repo/src/core/power_info.cpp" "src/core/CMakeFiles/ambisim_core.dir/power_info.cpp.o" "gcc" "src/core/CMakeFiles/ambisim_core.dir/power_info.cpp.o.d"
+  "/root/repo/src/core/roadmap.cpp" "src/core/CMakeFiles/ambisim_core.dir/roadmap.cpp.o" "gcc" "src/core/CMakeFiles/ambisim_core.dir/roadmap.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/ambisim_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/ambisim_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ambisim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/ambisim_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ambisim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ambisim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ambisim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ambisim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ambisim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

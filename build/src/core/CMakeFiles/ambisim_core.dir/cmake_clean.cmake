@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_core.dir/device_class.cpp.o"
+  "CMakeFiles/ambisim_core.dir/device_class.cpp.o.d"
+  "CMakeFiles/ambisim_core.dir/device_node.cpp.o"
+  "CMakeFiles/ambisim_core.dir/device_node.cpp.o.d"
+  "CMakeFiles/ambisim_core.dir/power_info.cpp.o"
+  "CMakeFiles/ambisim_core.dir/power_info.cpp.o.d"
+  "CMakeFiles/ambisim_core.dir/roadmap.cpp.o"
+  "CMakeFiles/ambisim_core.dir/roadmap.cpp.o.d"
+  "CMakeFiles/ambisim_core.dir/scenario.cpp.o"
+  "CMakeFiles/ambisim_core.dir/scenario.cpp.o.d"
+  "libambisim_core.a"
+  "libambisim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libambisim_core.a"
+)

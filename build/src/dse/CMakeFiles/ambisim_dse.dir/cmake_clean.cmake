@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_dse.dir/dvs_schedule.cpp.o"
+  "CMakeFiles/ambisim_dse.dir/dvs_schedule.cpp.o.d"
+  "CMakeFiles/ambisim_dse.dir/mapping.cpp.o"
+  "CMakeFiles/ambisim_dse.dir/mapping.cpp.o.d"
+  "CMakeFiles/ambisim_dse.dir/pareto.cpp.o"
+  "CMakeFiles/ambisim_dse.dir/pareto.cpp.o.d"
+  "CMakeFiles/ambisim_dse.dir/sweep.cpp.o"
+  "CMakeFiles/ambisim_dse.dir/sweep.cpp.o.d"
+  "libambisim_dse.a"
+  "libambisim_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery.cpp" "src/energy/CMakeFiles/ambisim_energy.dir/battery.cpp.o" "gcc" "src/energy/CMakeFiles/ambisim_energy.dir/battery.cpp.o.d"
+  "/root/repo/src/energy/buffer_sim.cpp" "src/energy/CMakeFiles/ambisim_energy.dir/buffer_sim.cpp.o" "gcc" "src/energy/CMakeFiles/ambisim_energy.dir/buffer_sim.cpp.o.d"
+  "/root/repo/src/energy/dpm.cpp" "src/energy/CMakeFiles/ambisim_energy.dir/dpm.cpp.o" "gcc" "src/energy/CMakeFiles/ambisim_energy.dir/dpm.cpp.o.d"
+  "/root/repo/src/energy/harvester.cpp" "src/energy/CMakeFiles/ambisim_energy.dir/harvester.cpp.o" "gcc" "src/energy/CMakeFiles/ambisim_energy.dir/harvester.cpp.o.d"
+  "/root/repo/src/energy/ledger.cpp" "src/energy/CMakeFiles/ambisim_energy.dir/ledger.cpp.o" "gcc" "src/energy/CMakeFiles/ambisim_energy.dir/ledger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ambisim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_energy.dir/battery.cpp.o"
+  "CMakeFiles/ambisim_energy.dir/battery.cpp.o.d"
+  "CMakeFiles/ambisim_energy.dir/buffer_sim.cpp.o"
+  "CMakeFiles/ambisim_energy.dir/buffer_sim.cpp.o.d"
+  "CMakeFiles/ambisim_energy.dir/dpm.cpp.o"
+  "CMakeFiles/ambisim_energy.dir/dpm.cpp.o.d"
+  "CMakeFiles/ambisim_energy.dir/harvester.cpp.o"
+  "CMakeFiles/ambisim_energy.dir/harvester.cpp.o.d"
+  "CMakeFiles/ambisim_energy.dir/ledger.cpp.o"
+  "CMakeFiles/ambisim_energy.dir/ledger.cpp.o.d"
+  "libambisim_energy.a"
+  "libambisim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

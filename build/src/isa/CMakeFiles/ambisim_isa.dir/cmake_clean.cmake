@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_isa.dir/assembler.cpp.o"
+  "CMakeFiles/ambisim_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/ambisim_isa.dir/isa.cpp.o"
+  "CMakeFiles/ambisim_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/ambisim_isa.dir/machine.cpp.o"
+  "CMakeFiles/ambisim_isa.dir/machine.cpp.o.d"
+  "libambisim_isa.a"
+  "libambisim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

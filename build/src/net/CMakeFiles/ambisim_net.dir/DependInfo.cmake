@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/contention.cpp" "src/net/CMakeFiles/ambisim_net.dir/contention.cpp.o" "gcc" "src/net/CMakeFiles/ambisim_net.dir/contention.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/net/CMakeFiles/ambisim_net.dir/mac.cpp.o" "gcc" "src/net/CMakeFiles/ambisim_net.dir/mac.cpp.o.d"
+  "/root/repo/src/net/network_sim.cpp" "src/net/CMakeFiles/ambisim_net.dir/network_sim.cpp.o" "gcc" "src/net/CMakeFiles/ambisim_net.dir/network_sim.cpp.o.d"
+  "/root/repo/src/net/packet_sim.cpp" "src/net/CMakeFiles/ambisim_net.dir/packet_sim.cpp.o" "gcc" "src/net/CMakeFiles/ambisim_net.dir/packet_sim.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/ambisim_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/ambisim_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/ambisim_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/ambisim_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/radio/CMakeFiles/ambisim_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ambisim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ambisim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_net.dir/contention.cpp.o"
+  "CMakeFiles/ambisim_net.dir/contention.cpp.o.d"
+  "CMakeFiles/ambisim_net.dir/mac.cpp.o"
+  "CMakeFiles/ambisim_net.dir/mac.cpp.o.d"
+  "CMakeFiles/ambisim_net.dir/network_sim.cpp.o"
+  "CMakeFiles/ambisim_net.dir/network_sim.cpp.o.d"
+  "CMakeFiles/ambisim_net.dir/packet_sim.cpp.o"
+  "CMakeFiles/ambisim_net.dir/packet_sim.cpp.o.d"
+  "CMakeFiles/ambisim_net.dir/routing.cpp.o"
+  "CMakeFiles/ambisim_net.dir/routing.cpp.o.d"
+  "CMakeFiles/ambisim_net.dir/topology.cpp.o"
+  "CMakeFiles/ambisim_net.dir/topology.cpp.o.d"
+  "libambisim_net.a"
+  "libambisim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

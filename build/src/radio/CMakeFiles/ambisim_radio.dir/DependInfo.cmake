@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/ber.cpp" "src/radio/CMakeFiles/ambisim_radio.dir/ber.cpp.o" "gcc" "src/radio/CMakeFiles/ambisim_radio.dir/ber.cpp.o.d"
+  "/root/repo/src/radio/link.cpp" "src/radio/CMakeFiles/ambisim_radio.dir/link.cpp.o" "gcc" "src/radio/CMakeFiles/ambisim_radio.dir/link.cpp.o.d"
+  "/root/repo/src/radio/transceiver.cpp" "src/radio/CMakeFiles/ambisim_radio.dir/transceiver.cpp.o" "gcc" "src/radio/CMakeFiles/ambisim_radio.dir/transceiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ambisim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

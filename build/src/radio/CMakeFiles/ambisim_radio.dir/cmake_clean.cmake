@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_radio.dir/ber.cpp.o"
+  "CMakeFiles/ambisim_radio.dir/ber.cpp.o.d"
+  "CMakeFiles/ambisim_radio.dir/link.cpp.o"
+  "CMakeFiles/ambisim_radio.dir/link.cpp.o.d"
+  "CMakeFiles/ambisim_radio.dir/transceiver.cpp.o"
+  "CMakeFiles/ambisim_radio.dir/transceiver.cpp.o.d"
+  "libambisim_radio.a"
+  "libambisim_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_sim.dir/ascii_plot.cpp.o"
+  "CMakeFiles/ambisim_sim.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/ambisim_sim.dir/random.cpp.o"
+  "CMakeFiles/ambisim_sim.dir/random.cpp.o.d"
+  "CMakeFiles/ambisim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ambisim_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ambisim_sim.dir/statistics.cpp.o"
+  "CMakeFiles/ambisim_sim.dir/statistics.cpp.o.d"
+  "CMakeFiles/ambisim_sim.dir/table.cpp.o"
+  "CMakeFiles/ambisim_sim.dir/table.cpp.o.d"
+  "CMakeFiles/ambisim_sim.dir/units.cpp.o"
+  "CMakeFiles/ambisim_sim.dir/units.cpp.o.d"
+  "libambisim_sim.a"
+  "libambisim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

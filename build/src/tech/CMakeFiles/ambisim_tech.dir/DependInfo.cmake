@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/dvs.cpp" "src/tech/CMakeFiles/ambisim_tech.dir/dvs.cpp.o" "gcc" "src/tech/CMakeFiles/ambisim_tech.dir/dvs.cpp.o.d"
+  "/root/repo/src/tech/memory_energy.cpp" "src/tech/CMakeFiles/ambisim_tech.dir/memory_energy.cpp.o" "gcc" "src/tech/CMakeFiles/ambisim_tech.dir/memory_energy.cpp.o.d"
+  "/root/repo/src/tech/subthreshold.cpp" "src/tech/CMakeFiles/ambisim_tech.dir/subthreshold.cpp.o" "gcc" "src/tech/CMakeFiles/ambisim_tech.dir/subthreshold.cpp.o.d"
+  "/root/repo/src/tech/technology.cpp" "src/tech/CMakeFiles/ambisim_tech.dir/technology.cpp.o" "gcc" "src/tech/CMakeFiles/ambisim_tech.dir/technology.cpp.o.d"
+  "/root/repo/src/tech/thermal.cpp" "src/tech/CMakeFiles/ambisim_tech.dir/thermal.cpp.o" "gcc" "src/tech/CMakeFiles/ambisim_tech.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ambisim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_tech.dir/dvs.cpp.o"
+  "CMakeFiles/ambisim_tech.dir/dvs.cpp.o.d"
+  "CMakeFiles/ambisim_tech.dir/memory_energy.cpp.o"
+  "CMakeFiles/ambisim_tech.dir/memory_energy.cpp.o.d"
+  "CMakeFiles/ambisim_tech.dir/subthreshold.cpp.o"
+  "CMakeFiles/ambisim_tech.dir/subthreshold.cpp.o.d"
+  "CMakeFiles/ambisim_tech.dir/technology.cpp.o"
+  "CMakeFiles/ambisim_tech.dir/technology.cpp.o.d"
+  "CMakeFiles/ambisim_tech.dir/thermal.cpp.o"
+  "CMakeFiles/ambisim_tech.dir/thermal.cpp.o.d"
+  "libambisim_tech.a"
+  "libambisim_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/streams.cpp" "src/workload/CMakeFiles/ambisim_workload.dir/streams.cpp.o" "gcc" "src/workload/CMakeFiles/ambisim_workload.dir/streams.cpp.o.d"
+  "/root/repo/src/workload/task_graph.cpp" "src/workload/CMakeFiles/ambisim_workload.dir/task_graph.cpp.o" "gcc" "src/workload/CMakeFiles/ambisim_workload.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ambisim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ambisim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ambisim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambisim_workload.dir/streams.cpp.o"
+  "CMakeFiles/ambisim_workload.dir/streams.cpp.o.d"
+  "CMakeFiles/ambisim_workload.dir/task_graph.cpp.o"
+  "CMakeFiles/ambisim_workload.dir/task_graph.cpp.o.d"
+  "libambisim_workload.a"
+  "libambisim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambisim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

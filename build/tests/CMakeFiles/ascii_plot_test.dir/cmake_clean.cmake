@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascii_plot_test.dir/sim/ascii_plot_test.cpp.o"
+  "CMakeFiles/ascii_plot_test.dir/sim/ascii_plot_test.cpp.o.d"
+  "ascii_plot_test"
+  "ascii_plot_test.pdb"
+  "ascii_plot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascii_plot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembler_fuzz_test.dir/isa/assembler_fuzz_test.cpp.o"
+  "CMakeFiles/assembler_fuzz_test.dir/isa/assembler_fuzz_test.cpp.o.d"
+  "assembler_fuzz_test"
+  "assembler_fuzz_test.pdb"
+  "assembler_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembler_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

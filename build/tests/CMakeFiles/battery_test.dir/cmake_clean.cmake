@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_test.dir/energy/battery_test.cpp.o"
+  "CMakeFiles/battery_test.dir/energy/battery_test.cpp.o.d"
+  "battery_test"
+  "battery_test.pdb"
+  "battery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

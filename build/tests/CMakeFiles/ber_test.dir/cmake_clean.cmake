@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ber_test.dir/radio/ber_test.cpp.o"
+  "CMakeFiles/ber_test.dir/radio/ber_test.cpp.o.d"
+  "ber_test"
+  "ber_test.pdb"
+  "ber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_sim_test.dir/energy/buffer_sim_test.cpp.o"
+  "CMakeFiles/buffer_sim_test.dir/energy/buffer_sim_test.cpp.o.d"
+  "buffer_sim_test"
+  "buffer_sim_test.pdb"
+  "buffer_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_studies_test.dir/integration/case_studies_test.cpp.o"
+  "CMakeFiles/case_studies_test.dir/integration/case_studies_test.cpp.o.d"
+  "case_studies_test"
+  "case_studies_test.pdb"
+  "case_studies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_studies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

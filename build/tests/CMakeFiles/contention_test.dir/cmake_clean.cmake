@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_test.dir/net/contention_test.cpp.o"
+  "CMakeFiles/contention_test.dir/net/contention_test.cpp.o.d"
+  "contention_test"
+  "contention_test.pdb"
+  "contention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

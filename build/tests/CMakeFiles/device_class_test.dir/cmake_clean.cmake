@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_class_test.dir/core/device_class_test.cpp.o"
+  "CMakeFiles/device_class_test.dir/core/device_class_test.cpp.o.d"
+  "device_class_test"
+  "device_class_test.pdb"
+  "device_class_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

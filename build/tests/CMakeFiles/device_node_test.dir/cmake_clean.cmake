@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_node_test.dir/core/device_node_test.cpp.o"
+  "CMakeFiles/device_node_test.dir/core/device_node_test.cpp.o.d"
+  "device_node_test"
+  "device_node_test.pdb"
+  "device_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

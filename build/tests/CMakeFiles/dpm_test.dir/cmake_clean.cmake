@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_test.dir/energy/dpm_test.cpp.o"
+  "CMakeFiles/dpm_test.dir/energy/dpm_test.cpp.o.d"
+  "dpm_test"
+  "dpm_test.pdb"
+  "dpm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_schedule_test.dir/dse/dvs_schedule_test.cpp.o"
+  "CMakeFiles/dvs_schedule_test.dir/dse/dvs_schedule_test.cpp.o.d"
+  "dvs_schedule_test"
+  "dvs_schedule_test.pdb"
+  "dvs_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_test.dir/tech/dvs_test.cpp.o"
+  "CMakeFiles/dvs_test.dir/tech/dvs_test.cpp.o.d"
+  "dvs_test"
+  "dvs_test.pdb"
+  "dvs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

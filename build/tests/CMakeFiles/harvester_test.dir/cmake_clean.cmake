@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvester_test.dir/energy/harvester_test.cpp.o"
+  "CMakeFiles/harvester_test.dir/energy/harvester_test.cpp.o.d"
+  "harvester_test"
+  "harvester_test.pdb"
+  "harvester_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_test.dir/arch/interconnect_test.cpp.o"
+  "CMakeFiles/interconnect_test.dir/arch/interconnect_test.cpp.o.d"
+  "interconnect_test"
+  "interconnect_test.pdb"
+  "interconnect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_test.dir/arch/interface_test.cpp.o"
+  "CMakeFiles/interface_test.dir/arch/interface_test.cpp.o.d"
+  "interface_test"
+  "interface_test.pdb"
+  "interface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_assembler_test.dir/isa/assembler_test.cpp.o"
+  "CMakeFiles/isa_assembler_test.dir/isa/assembler_test.cpp.o.d"
+  "isa_assembler_test"
+  "isa_assembler_test.pdb"
+  "isa_assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

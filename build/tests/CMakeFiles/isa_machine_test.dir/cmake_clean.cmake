@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_machine_test.dir/isa/machine_test.cpp.o"
+  "CMakeFiles/isa_machine_test.dir/isa/machine_test.cpp.o.d"
+  "isa_machine_test"
+  "isa_machine_test.pdb"
+  "isa_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_stress_test.dir/sim/kernel_stress_test.cpp.o"
+  "CMakeFiles/kernel_stress_test.dir/sim/kernel_stress_test.cpp.o.d"
+  "kernel_stress_test"
+  "kernel_stress_test.pdb"
+  "kernel_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

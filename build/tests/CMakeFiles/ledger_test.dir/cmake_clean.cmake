@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledger_test.dir/energy/ledger_test.cpp.o"
+  "CMakeFiles/ledger_test.dir/energy/ledger_test.cpp.o.d"
+  "ledger_test"
+  "ledger_test.pdb"
+  "ledger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_pins_test.dir/dse/mapping_pins_test.cpp.o"
+  "CMakeFiles/mapping_pins_test.dir/dse/mapping_pins_test.cpp.o.d"
+  "mapping_pins_test"
+  "mapping_pins_test.pdb"
+  "mapping_pins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_pins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

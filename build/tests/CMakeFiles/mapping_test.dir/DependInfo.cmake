@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dse/mapping_test.cpp" "tests/CMakeFiles/mapping_test.dir/dse/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/mapping_test.dir/dse/mapping_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ambisim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/ambisim_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ambisim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ambisim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ambisim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/ambisim_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ambisim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ambisim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ambisim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ambisim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_test.dir/dse/mapping_test.cpp.o"
+  "CMakeFiles/mapping_test.dir/dse/mapping_test.cpp.o.d"
+  "mapping_test"
+  "mapping_test.pdb"
+  "mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_energy_test.dir/tech/memory_energy_test.cpp.o"
+  "CMakeFiles/memory_energy_test.dir/tech/memory_energy_test.cpp.o.d"
+  "memory_energy_test"
+  "memory_energy_test.pdb"
+  "memory_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_sim_test.dir/net/network_sim_test.cpp.o"
+  "CMakeFiles/network_sim_test.dir/net/network_sim_test.cpp.o.d"
+  "network_sim_test"
+  "network_sim_test.pdb"
+  "network_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

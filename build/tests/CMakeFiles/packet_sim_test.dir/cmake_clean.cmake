@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_sim_test.dir/net/packet_sim_test.cpp.o"
+  "CMakeFiles/packet_sim_test.dir/net/packet_sim_test.cpp.o.d"
+  "packet_sim_test"
+  "packet_sim_test.pdb"
+  "packet_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_test.dir/dse/pareto_test.cpp.o"
+  "CMakeFiles/pareto_test.dir/dse/pareto_test.cpp.o.d"
+  "pareto_test"
+  "pareto_test.pdb"
+  "pareto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_info_test.dir/core/power_info_test.cpp.o"
+  "CMakeFiles/power_info_test.dir/core/power_info_test.cpp.o.d"
+  "power_info_test"
+  "power_info_test.pdb"
+  "power_info_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

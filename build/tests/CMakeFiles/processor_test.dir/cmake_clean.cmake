@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_test.dir/arch/processor_test.cpp.o"
+  "CMakeFiles/processor_test.dir/arch/processor_test.cpp.o.d"
+  "processor_test"
+  "processor_test.pdb"
+  "processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmap_test.dir/core/roadmap_test.cpp.o"
+  "CMakeFiles/roadmap_test.dir/core/roadmap_test.cpp.o.d"
+  "roadmap_test"
+  "roadmap_test.pdb"
+  "roadmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_test.dir/net/routing_test.cpp.o"
+  "CMakeFiles/routing_test.dir/net/routing_test.cpp.o.d"
+  "routing_test"
+  "routing_test.pdb"
+  "routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistics_test.dir/sim/statistics_test.cpp.o"
+  "CMakeFiles/statistics_test.dir/sim/statistics_test.cpp.o.d"
+  "statistics_test"
+  "statistics_test.pdb"
+  "statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streams_test.dir/workload/streams_test.cpp.o"
+  "CMakeFiles/streams_test.dir/workload/streams_test.cpp.o.d"
+  "streams_test"
+  "streams_test.pdb"
+  "streams_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streams_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

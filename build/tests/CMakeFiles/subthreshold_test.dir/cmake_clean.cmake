@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subthreshold_test.dir/tech/subthreshold_test.cpp.o"
+  "CMakeFiles/subthreshold_test.dir/tech/subthreshold_test.cpp.o.d"
+  "subthreshold_test"
+  "subthreshold_test.pdb"
+  "subthreshold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subthreshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_graph_test.dir/workload/task_graph_test.cpp.o"
+  "CMakeFiles/task_graph_test.dir/workload/task_graph_test.cpp.o.d"
+  "task_graph_test"
+  "task_graph_test.pdb"
+  "task_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technology_test.dir/tech/technology_test.cpp.o"
+  "CMakeFiles/technology_test.dir/tech/technology_test.cpp.o.d"
+  "technology_test"
+  "technology_test.pdb"
+  "technology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transceiver_test.dir/radio/transceiver_test.cpp.o"
+  "CMakeFiles/transceiver_test.dir/radio/transceiver_test.cpp.o.d"
+  "transceiver_test"
+  "transceiver_test.pdb"
+  "transceiver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transceiver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
