@@ -1,17 +1,46 @@
 // Shared helper for the reproduction benches: every bench binary first
 // prints the figure/table it regenerates (rows/series exactly as recorded in
 // EXPERIMENTS.md), then runs its google-benchmark microbenchmarks.
+//
+// Set AMBISIM_OBS=1 in the environment to arm the observability probes for
+// the whole binary; the metrics registry is then dumped as CSV on stderr
+// after the benchmarks finish.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <iostream>
+
+#include "ambisim/obs/obs.hpp"
+
+namespace ambisim::bench_util {
+
+inline void obs_setup_from_env() {
+  const char* v = std::getenv("AMBISIM_OBS");
+  if (v != nullptr && *v != '\0' && *v != '0') ::ambisim::obs::set_enabled(true);
+}
+
+inline void obs_report() {
+  if (!::ambisim::obs::enabled()) return;
+  std::cerr << "\n--- ambisim obs metrics ---\n";
+  ::ambisim::obs::context().metrics.write_csv(std::cerr);
+  const auto& tracer = ::ambisim::obs::context().tracer;
+  std::cerr << "--- trace: " << tracer.size() << " events kept, "
+            << tracer.dropped() << " dropped ---\n";
+}
+
+}  // namespace ambisim::bench_util
+
 #define AMBISIM_BENCH_MAIN(print_fn)                          \
   int main(int argc, char** argv) {                           \
+    ::ambisim::bench_util::obs_setup_from_env();              \
     print_fn();                                               \
     ::benchmark::Initialize(&argc, argv);                     \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
       return 1;                                               \
     ::benchmark::RunSpecifiedBenchmarks();                    \
     ::benchmark::Shutdown();                                  \
+    ::ambisim::bench_util::obs_report();                      \
     return 0;                                                 \
   }

@@ -1,0 +1,123 @@
+// Named runtime metrics: counters, gauges, and fixed-bucket histograms.
+//
+// A MetricsRegistry is the aggregate half of the observability subsystem:
+// instrumented layers bump counters ("sim.fired", "net.hops", ...) and feed
+// histograms ("sim.callback_s") while a run executes, and benches/examples
+// dump the registry afterwards.  Registration is idempotent — asking for a
+// name returns the existing instrument — and references stay valid until
+// `clear()`, so hot paths may cache them.  Histograms keep Welford moments
+// (sim::Accumulator) next to the bucket counts, so mean/stddev are exact
+// even where the buckets are coarse.  Not thread-safe, like the simulator
+// it measures.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ambisim/sim/statistics.hpp"
+
+namespace ambisim::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value instrument (queue depth, frame slots, state of charge, ...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with exact streaming moments.
+///
+/// Buckets are defined by ascending upper bounds; values above the last
+/// bound land in an implicit overflow bucket.  Quantiles interpolate
+/// linearly inside a bucket, which is the usual monitoring-grade accuracy;
+/// `moments()` is exact.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return moments_.count(); }
+  /// Number of buckets including the overflow bucket.
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_.at(i);
+  }
+  /// Upper bound of bucket `i`; the overflow bucket reports +infinity.
+  [[nodiscard]] double upper_bound(std::size_t i) const;
+  [[nodiscard]] const sim::Accumulator& moments() const { return moments_; }
+  /// Interpolated quantile, q in [0, 1].  Requires count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+  void reset();
+
+  /// Log-spaced bounds, `n` per decade, covering [lo, hi].
+  static std::vector<double> exponential_bounds(double lo, double hi,
+                                                int per_decade = 3);
+  /// Default bounds for wall-clock seconds: 10 ns .. 10 s, 3 per decade.
+  static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (overflow)
+  sim::Accumulator moments_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name.  References remain valid until clear().
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is only consulted on first creation; empty selects
+  /// Histogram::default_bounds().
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> bounds = {});
+
+  /// Lookup without creating; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// `metric,kind,field,value` rows: counters (count), gauges (value),
+  /// histograms (count/mean/stddev/min/max/p50/p99).  Sorted by name so the
+  /// dump is deterministic.
+  void write_csv(std::ostream& os) const;
+
+  /// Zero every instrument but keep the entries (cached references survive).
+  void reset_values();
+  /// Drop every entry; outstanding references become dangling.
+  void clear();
+
+ private:
+  template <class T>
+  using Entries = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
+
+  Entries<Counter> counters_;
+  Entries<Gauge> gauges_;
+  Entries<Histogram> histograms_;
+};
+
+}  // namespace ambisim::obs

@@ -1,0 +1,58 @@
+// Observability context and master switches.
+//
+// One process-wide Context pairs a MetricsRegistry with a Tracer so that
+// instrumentation points deep inside the simulator do not need plumbing.
+// Two switches control cost:
+//
+//  * compile time — defining AMBISIM_OBS_DISABLED (CMake option of the same
+//    name) compiles every probe macro in probe.hpp to nothing;
+//  * runtime — `set_enabled(true)` arms the probes; the default is off, and
+//    a disarmed probe costs a single predictable branch on a global flag,
+//    cheap enough to leave compiled into release benches.
+//
+// Like the simulator itself, the subsystem is single-threaded by design.
+#pragma once
+
+#include "ambisim/obs/metrics.hpp"
+#include "ambisim/obs/trace.hpp"
+
+#ifdef AMBISIM_OBS_DISABLED
+#define AMBISIM_OBS_COMPILED 0
+#else
+#define AMBISIM_OBS_COMPILED 1
+#endif
+
+namespace ambisim::obs {
+
+struct Context {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+/// The process-wide context (constructed on first use).
+Context& context();
+
+namespace detail {
+extern bool g_enabled;
+}  // namespace detail
+
+/// True when probes are both compiled in and armed at runtime.
+inline bool enabled() {
+#if AMBISIM_OBS_COMPILED
+  return detail::g_enabled;
+#else
+  return false;
+#endif
+}
+
+/// Arm or disarm the runtime switch (a no-op when compiled out).
+void set_enabled(bool on);
+
+/// Zero all metrics and drop all trace events; the enabled flag and the
+/// registered metric entries are preserved.
+void reset();
+
+/// Convert simulated seconds to trace-timestamp microseconds.
+inline double to_us(double seconds) { return seconds * 1e6; }
+
+}  // namespace ambisim::obs

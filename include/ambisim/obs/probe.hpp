@@ -1,0 +1,138 @@
+// RAII profiling probes and the instrumentation macros.
+//
+// ScopedTimer measures wall-clock time into a registry histogram — the
+// profiling primitive for hot paths (event dispatch, routing, export).
+// ProbeScope additionally emits a Complete trace span anchored at a
+// simulated-time timestamp whose duration is the measured wall time, which
+// overlays "where the host cycles went" onto the simulated timeline.
+//
+// Both are inert unless obs::enabled(): construction then costs one branch
+// and no clock read.  The AMBISIM_OBS_* macros wrap the common one-liners
+// and compile to nothing when AMBISIM_OBS_DISABLED is defined.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "ambisim/obs/obs.hpp"
+
+namespace ambisim::obs {
+
+/// Wall-clock RAII timer feeding a histogram of seconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {
+    if (hist_) start_ = Clock::now();
+  }
+  /// Resolves `name` in the global registry; inert when obs is disabled.
+  explicit ScopedTimer(const char* name)
+      : ScopedTimer(enabled() ? &context().metrics.histogram(name)
+                              : nullptr) {}
+  ~ScopedTimer() {
+    if (hist_) hist_->observe(elapsed_seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  [[nodiscard]] bool armed() const { return hist_ != nullptr; }
+  [[nodiscard]] double elapsed_seconds() const {
+    if (!hist_) return 0.0;
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* hist_;
+  Clock::time_point start_;
+};
+
+/// RAII trace span: Complete event at sim timestamp `ts_us` whose duration
+/// is the wall-clock lifetime of the scope (in microseconds).
+class ProbeScope {
+ public:
+  ProbeScope(const char* name, const char* category, double ts_us,
+             std::uint32_t tid = 0)
+      : name_(name), category_(category), ts_us_(ts_us), tid_(tid),
+        armed_(enabled()) {
+    if (armed_) start_ = Clock::now();
+  }
+  ~ProbeScope() {
+    if (!armed_) return;
+    const double dur_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start_)
+            .count();
+    context().tracer.complete(name_, category_, ts_us_, dur_us, tid_);
+  }
+  ProbeScope(const ProbeScope&) = delete;
+  ProbeScope& operator=(const ProbeScope&) = delete;
+
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  const char* name_;
+  const char* category_;
+  double ts_us_;
+  std::uint32_t tid_;
+  bool armed_;
+  Clock::time_point start_;
+};
+
+}  // namespace ambisim::obs
+
+#if AMBISIM_OBS_COMPILED
+
+#define AMBISIM_OBS_COUNT(name)                              \
+  do {                                                       \
+    if (::ambisim::obs::enabled())                           \
+      ::ambisim::obs::context().metrics.counter(name).inc(); \
+  } while (0)
+
+#define AMBISIM_OBS_COUNT_N(name, n)                          \
+  do {                                                        \
+    if (::ambisim::obs::enabled())                            \
+      ::ambisim::obs::context().metrics.counter(name).inc(n); \
+  } while (0)
+
+#define AMBISIM_OBS_GAUGE_SET(name, v)                         \
+  do {                                                         \
+    if (::ambisim::obs::enabled())                             \
+      ::ambisim::obs::context().metrics.gauge(name).set(v);    \
+  } while (0)
+
+#define AMBISIM_OBS_OBSERVE(name, v)                               \
+  do {                                                             \
+    if (::ambisim::obs::enabled())                                 \
+      ::ambisim::obs::context().metrics.histogram(name).observe(v); \
+  } while (0)
+
+#define AMBISIM_OBS_INSTANT(name, cat, ts_us, tid)                    \
+  do {                                                                \
+    if (::ambisim::obs::enabled())                                    \
+      ::ambisim::obs::context().tracer.instant(name, cat, ts_us, tid); \
+  } while (0)
+
+#define AMBISIM_OBS_COMPLETE(name, cat, ts_us, dur_us, tid)       \
+  do {                                                            \
+    if (::ambisim::obs::enabled())                                \
+      ::ambisim::obs::context().tracer.complete(name, cat, ts_us, \
+                                                dur_us, tid);     \
+  } while (0)
+
+#define AMBISIM_OBS_COUNTER_EVENT(name, cat, ts_us, value)             \
+  do {                                                                 \
+    if (::ambisim::obs::enabled())                                     \
+      ::ambisim::obs::context().tracer.counter(name, cat, ts_us, value); \
+  } while (0)
+
+#else  // AMBISIM_OBS_COMPILED
+
+#define AMBISIM_OBS_COUNT(name) ((void)0)
+#define AMBISIM_OBS_COUNT_N(name, n) ((void)0)
+#define AMBISIM_OBS_GAUGE_SET(name, v) ((void)0)
+#define AMBISIM_OBS_OBSERVE(name, v) ((void)0)
+#define AMBISIM_OBS_INSTANT(name, cat, ts_us, tid) ((void)0)
+#define AMBISIM_OBS_COMPLETE(name, cat, ts_us, dur_us, tid) ((void)0)
+#define AMBISIM_OBS_COUNTER_EVENT(name, cat, ts_us, value) ((void)0)
+
+#endif  // AMBISIM_OBS_COMPILED

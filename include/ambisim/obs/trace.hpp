@@ -1,0 +1,82 @@
+// Typed event tracing into a preallocated ring buffer.
+//
+// The Tracer is the timeline half of the observability subsystem: layers
+// record instants (event scheduled, packet generated), complete spans
+// (packet hop, pipeline stage, kernel callback) and counter samples
+// (ledger charges, state of charge) against the simulated clock.  Storage
+// is a fixed-capacity ring: recording never allocates, never fails, and
+// overwrites the oldest events once full (`dropped()` reports how many).
+// Export formats: Chrome `trace_event` JSON — loadable in chrome://tracing
+// or https://ui.perfetto.dev — and a flat CSV for scripted analysis.
+//
+// Names and categories must point at storage that outlives the Tracer
+// (string literals in practice); events store the pointers, not copies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace ambisim::obs {
+
+/// Chrome trace_event phases used by AmbiSim.
+enum class Phase : char {
+  Instant = 'i',   ///< point event
+  Complete = 'X',  ///< span with duration
+  Counter = 'C',   ///< sampled numeric series
+};
+
+struct TraceEvent {
+  const char* name = "";      ///< static-storage string
+  const char* category = "";  ///< layer: "kernel", "net", "energy", ...
+  Phase phase = Phase::Instant;
+  double ts_us = 0.0;   ///< timestamp in microseconds (simulated time)
+  double dur_us = 0.0;  ///< Complete spans only
+  std::uint32_t tid = 0;  ///< timeline lane (node id, layer id, ...)
+  double value = 0.0;     ///< Counter samples only
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  void instant(const char* name, const char* category, double ts_us,
+               std::uint32_t tid = 0);
+  void complete(const char* name, const char* category, double ts_us,
+                double dur_us, std::uint32_t tid = 0);
+  void counter(const char* name, const char* category, double ts_us,
+               double value);
+
+  /// Events currently held (<= capacity()).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Total events ever recorded, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ - size();
+  }
+  [[nodiscard]] bool empty() const { return recorded_ == 0; }
+  void clear();
+
+  /// Snapshot in recording order, oldest surviving event first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON: a plain array of event objects, each with
+  /// name/cat/ph/ts/pid/tid (+dur for spans, +args.value for counters).
+  void write_chrome_json(std::ostream& os, int pid = 1) const;
+  /// Flat CSV: name,category,phase,ts_us,dur_us,tid,value.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  void push(const TraceEvent& ev);
+
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace ambisim::obs

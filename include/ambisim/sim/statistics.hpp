@@ -2,20 +2,40 @@
 // network simulator (latency, energy, lifetime distributions).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
 namespace ambisim::sim {
 
 /// Welford streaming accumulator: numerically stable mean and variance.
+/// Header-only so that layers below the sim library (obs histograms) can use
+/// it without a link dependency.
 class Accumulator {
  public:
-  void add(double x);
+  void add(double x) {
+    if (n_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
-  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
-  [[nodiscard]] double stddev() const;
+  /// Sample variance (n-1).
+  [[nodiscard]] double variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
   [[nodiscard]] double sum() const { return sum_; }
@@ -29,10 +49,15 @@ class Accumulator {
   double sum_ = 0.0;
 };
 
-/// Batch sample set with percentile queries (copies & sorts on demand).
+/// Batch sample set with percentile queries.  The sorted view is computed
+/// once and cached; `add` invalidates it, so interleaved add/percentile
+/// sequences stay correct while repeated queries cost one sort total.
 class Samples {
  public:
-  void add(double x) { values_.push_back(x); }
+  void add(double x) {
+    values_.push_back(x);
+    sorted_valid_ = false;
+  }
   [[nodiscard]] std::size_t count() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return values_.empty(); }
   [[nodiscard]] double mean() const;
@@ -45,7 +70,11 @@ class Samples {
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
  private:
+  [[nodiscard]] const std::vector<double>& sorted() const;
+
   std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 /// Least-squares fit y = a + b*x over paired samples; used by tests to check

@@ -3,6 +3,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "ambisim/obs/probe.hpp"
 #include "ambisim/sim/random.hpp"
 
 #include "ambisim/arch/interface.hpp"
@@ -97,6 +98,37 @@ AmiScenarioResult run_ami_scenario(const AmiScenarioConfig& cfg) {
                             t_server_compute + t_first_response;
     res.end_to_end_latency.add(latency.value());
     ++res.responses_rendered;
+
+    // Pipeline spans on the simulated timeline, one lane per device class
+    // (tid 1 = microWatt sensor, 2 = milliWatt personal, 3 = Watt server).
+    {
+      const u::Time t_report =
+          preamble_wait + t_sensor_hop - cfg.sensor_mac.wake_interval;
+      double t = simu.now().value();
+      AMBISIM_OBS_COMPLETE("sensor-report", "net", obs::to_us(t),
+                           obs::to_us(t_report.value()), 1);
+      t += t_report.value();
+      AMBISIM_OBS_COMPLETE("context-processing", "energy", obs::to_us(t),
+                           obs::to_us(t_personal_compute.value()), 2);
+      t += t_personal_compute.value();
+      AMBISIM_OBS_COMPLETE("context-uplink", "net", obs::to_us(t),
+                           obs::to_us(t_context.value()), 2);
+      t += t_context.value();
+      AMBISIM_OBS_COMPLETE("recognition", "energy", obs::to_us(t),
+                           obs::to_us(t_server_compute.value()), 3);
+      t += t_server_compute.value();
+      AMBISIM_OBS_COMPLETE("response-stream", "net", obs::to_us(t),
+                           obs::to_us(cfg.response_stream_length.value()),
+                           3);
+      AMBISIM_OBS_COUNTER_EVENT(
+          "event-energy_uJ", "energy", obs::to_us(simu.now().value()),
+          (e_sensor_tx + e_personal_rx + e_personal_compute + e_personal_tx +
+           e_server_rx + e_server_compute + e_stream_tx + e_stream_rx)
+                  .value() *
+              1e6);
+      AMBISIM_OBS_COUNT("core.context_events");
+      AMBISIM_OBS_OBSERVE("core.event_latency_s", latency.value());
+    }
 
     res.stage_energy.charge("sense-report", e_sensor_tx);
     res.stage_energy.charge("context-processing",

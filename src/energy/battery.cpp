@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ambisim/obs/probe.hpp"
+
 namespace ambisim::energy {
 
 using namespace ambisim::units::literals;
@@ -64,11 +66,14 @@ u::Energy Battery::draw(u::Power p, u::Time dt) {
   const u::Energy internal_needed = u::Energy(internal.value() * dt.value());
   if (internal_needed <= remaining_) {
     remaining_ -= internal_needed;
+    AMBISIM_OBS_GAUGE_SET("energy.battery.soc", state_of_charge());
     return u::Energy(p.value() * dt.value());
   }
   // Battery empties partway through the interval.
   const double frac = remaining_.value() / internal_needed.value();
   remaining_ = u::Energy(0.0);
+  AMBISIM_OBS_COUNT("energy.battery.depletions");
+  AMBISIM_OBS_GAUGE_SET("energy.battery.soc", 0.0);
   return u::Energy(p.value() * dt.value() * frac);
 }
 

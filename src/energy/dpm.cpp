@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ambisim/obs/probe.hpp"
+
 namespace ambisim::energy {
 
 using namespace ambisim::units::literals;
@@ -73,6 +75,9 @@ DpmResult dpm_timeout(const PowerStateSpec& spec,
     r.added_latency += spec.wake_latency;
     ++r.sleep_transitions;
   }
+  AMBISIM_OBS_COUNT_N(
+      "energy.dpm.sleep_transitions",
+      static_cast<std::uint64_t>(r.sleep_transitions));
   return r;
 }
 
@@ -91,6 +96,9 @@ DpmResult dpm_oracle(const PowerStateSpec& spec,
       ++r.sleep_transitions;
     }
   }
+  AMBISIM_OBS_COUNT_N(
+      "energy.dpm.sleep_transitions",
+      static_cast<std::uint64_t>(r.sleep_transitions));
   return r;
 }
 

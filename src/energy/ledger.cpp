@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ambisim/obs/probe.hpp"
+
 namespace ambisim::energy {
 
 void EnergyLedger::charge(const std::string& name, u::Energy e) {
   if (e < u::Energy(0.0))
     throw std::invalid_argument("cannot charge negative energy");
+#if AMBISIM_OBS_COMPILED
+  if (obs::enabled()) [[unlikely]] {
+    auto& ctx = obs::context();
+    ctx.metrics.counter("energy.charges").inc();
+    ctx.metrics.histogram("energy.charge_J").observe(e.value());
+  }
+#endif
   for (auto& [n, acc] : entries_) {
     if (n == name) {
       acc += e;

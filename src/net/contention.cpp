@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ambisim/obs/probe.hpp"
+
 namespace ambisim::net {
 
 namespace {
@@ -65,6 +67,9 @@ double simulate_slotted_aloha(double offered_load, int nodes, int slots,
     }
     if (transmitting == 1) ++successes;
   }
+  AMBISIM_OBS_COUNT_N("net.aloha.slots", static_cast<std::uint64_t>(slots));
+  AMBISIM_OBS_COUNT_N("net.aloha.successes",
+                      static_cast<std::uint64_t>(successes));
   return static_cast<double>(successes) / slots;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ambisim/obs/probe.hpp"
+
 namespace ambisim::net {
 
 double DutyCycledMac::duty() const {
@@ -87,6 +89,9 @@ TdmaSchedule TdmaSchedule::build(
     sched.slots_[v] = slot;
     sched.frame_slots_ = std::max(sched.frame_slots_, slot + 1);
   }
+  AMBISIM_OBS_COUNT("net.tdma.builds");
+  AMBISIM_OBS_GAUGE_SET("net.tdma.frame_slots",
+                        static_cast<double>(sched.frame_slots_));
   return sched;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ambisim/obs/probe.hpp"
+
 namespace ambisim::net {
 
 namespace {
@@ -67,6 +69,23 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
                              cfg.radio.startup;
         tx_free[static_cast<std::size_t>(from)] = done;
 
+#if AMBISIM_OBS_COMPILED
+        if (obs::enabled()) [[unlikely]] {
+          auto& ctx = obs::context();
+          ctx.metrics.counter("net.hops").inc();
+          ctx.metrics.histogram("net.queue_wait_s").observe(waited.value());
+          ctx.metrics.histogram("net.preamble_s").observe(preamble.value());
+          // The hop span covers queueing + preamble + airtime on the
+          // sender's timeline lane.
+          ctx.tracer.complete("hop", "net", obs::to_us(simu.now().value()),
+                              obs::to_us((done - simu.now()).value()),
+                              static_cast<std::uint32_t>(from));
+          ctx.tracer.counter("energy.radio_uJ", "energy",
+                             obs::to_us(simu.now().value()),
+                             (tx_e + rx_e).value() * 1e6);
+        }
+#endif
+
         res.ledger.charge("radio-tx", tx_e);
         res.ledger.charge("radio-rx", rx_e);
 
@@ -77,6 +96,17 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
             res.end_to_end_latency.add((simu.now() - pkt->created).value());
             res.queueing_delay.add(pkt->queued_total.value());
             res.mean_hops += pkt->hops_taken;
+#if AMBISIM_OBS_COMPILED
+            if (obs::enabled()) [[unlikely]] {
+              auto& ctx = obs::context();
+              ctx.metrics.counter("net.packets_delivered").inc();
+              ctx.metrics.histogram("net.latency_s")
+                  .observe((simu.now() - pkt->created).value());
+              ctx.tracer.instant("packet.delivered", "net",
+                                 obs::to_us(simu.now().value()),
+                                 static_cast<std::uint32_t>(pkt->origin));
+            }
+#endif
             return;
           }
           forward(to, pkt);
@@ -90,12 +120,17 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
     auto emit = std::make_shared<std::function<void()>>();
     *emit = [&, i, routable, emit]() {
       ++res.generated;
+      AMBISIM_OBS_COUNT("net.packets_generated");
       if (!routable) {
         ++res.undeliverable;
+        AMBISIM_OBS_COUNT("net.packets_undeliverable");
       } else {
         auto pkt = std::make_shared<Packet>();
         pkt->origin = i;
         pkt->created = simu.now();
+        AMBISIM_OBS_INSTANT("packet.generated", "net",
+                            obs::to_us(simu.now().value()),
+                            static_cast<std::uint32_t>(i));
         forward(i, pkt);
       }
       if (simu.now() + cfg.report_period <= cfg.duration)

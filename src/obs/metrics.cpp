@@ -1,0 +1,188 @@
+#include "ambisim/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace ambisim::obs {
+
+namespace {
+
+template <class T>
+T* find_entry(
+    std::vector<std::pair<std::string, std::unique_ptr<T>>>& entries,
+    std::string_view name) {
+  for (auto& [n, p] : entries) {
+    if (n == name) return p.get();
+  }
+  return nullptr;
+}
+
+template <class T>
+const T* find_entry(
+    const std::vector<std::pair<std::string, std::unique_ptr<T>>>& entries,
+    std::string_view name) {
+  for (const auto& [n, p] : entries) {
+    if (n == name) return p.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("histogram needs at least one bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument("histogram bounds must be strictly ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  moments_.add(x);
+}
+
+double Histogram::upper_bound(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("histogram bucket index");
+  if (i == bounds_.size()) return std::numeric_limits<double>::infinity();
+  return bounds_[i];
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("quantile must be in [0, 1]");
+  if (count() == 0) throw std::logic_error("quantile of empty histogram");
+  const double target = q * static_cast<double>(count());
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t next = cum + counts_[i];
+    if (static_cast<double>(next) >= target && counts_[i] > 0) {
+      // Clamp the bucket edges to the observed range so quantiles never
+      // leave [min, max]; the overflow bucket has no finite upper edge.
+      const double lo =
+          i == 0 ? moments_.min() : std::max(bounds_[i - 1], moments_.min());
+      const double hi =
+          i == bounds_.size() ? moments_.max()
+                              : std::min(bounds_[i], moments_.max());
+      const double frac =
+          (target - static_cast<double>(cum)) /
+          static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return moments_.max();
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  moments_ = sim::Accumulator{};
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double hi,
+                                                  int per_decade) {
+  if (lo <= 0.0 || hi <= lo)
+    throw std::invalid_argument("need 0 < lo < hi");
+  if (per_decade < 1) throw std::invalid_argument("per_decade must be >= 1");
+  std::vector<double> bounds;
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  for (double b = lo; b < hi * (1.0 + 1e-12); b *= step) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> Histogram::default_bounds() {
+  return exponential_bounds(1e-8, 10.0, 3);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (Counter* c = find_entry(counters_, name)) return *c;
+  counters_.emplace_back(std::string(name), std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (Gauge* g = find_entry(gauges_, name)) return *g;
+  gauges_.emplace_back(std::string(name), std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  if (Histogram* h = find_entry(histograms_, name)) return *h;
+  if (bounds.empty()) bounds = Histogram::default_bounds();
+  histograms_.emplace_back(std::string(name),
+                           std::make_unique<Histogram>(std::move(bounds)));
+  return *histograms_.back().second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_entry(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_entry(gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  return find_entry(histograms_, name);
+}
+
+std::size_t MetricsRegistry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "metric,kind,field,value\n";
+  struct Row {
+    std::string metric;
+    const char* kind;
+    const char* field;
+    double value;
+  };
+  std::vector<Row> rows;
+  for (const auto& [n, c] : counters_)
+    rows.push_back({n, "counter", "count",
+                    static_cast<double>(c->value())});
+  for (const auto& [n, g] : gauges_)
+    rows.push_back({n, "gauge", "value", g->value()});
+  for (const auto& [n, h] : histograms_) {
+    rows.push_back({n, "histogram", "count",
+                    static_cast<double>(h->count())});
+    if (h->count() > 0) {
+      rows.push_back({n, "histogram", "mean", h->moments().mean()});
+      rows.push_back({n, "histogram", "stddev", h->moments().stddev()});
+      rows.push_back({n, "histogram", "min", h->moments().min()});
+      rows.push_back({n, "histogram", "max", h->moments().max()});
+      rows.push_back({n, "histogram", "p50", h->quantile(0.5)});
+      rows.push_back({n, "histogram", "p99", h->quantile(0.99)});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) {
+                     return a.metric < b.metric;
+                   });
+  for (const Row& r : rows)
+    os << r.metric << ',' << r.kind << ',' << r.field << ',' << r.value
+       << '\n';
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& [n, c] : counters_) c->reset();
+  for (auto& [n, g] : gauges_) g->reset();
+  for (auto& [n, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace ambisim::obs

@@ -1,0 +1,27 @@
+#include "ambisim/obs/obs.hpp"
+
+namespace ambisim::obs {
+
+namespace detail {
+bool g_enabled = false;
+}  // namespace detail
+
+Context& context() {
+  static Context ctx;
+  return ctx;
+}
+
+void set_enabled(bool on) {
+#if AMBISIM_OBS_COMPILED
+  detail::g_enabled = on;
+#else
+  (void)on;
+#endif
+}
+
+void reset() {
+  context().metrics.reset_values();
+  context().tracer.clear();
+}
+
+}  // namespace ambisim::obs

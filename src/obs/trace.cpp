@@ -1,0 +1,107 @@
+#include "ambisim/obs/trace.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace ambisim::obs {
+
+namespace {
+
+/// Minimal JSON string escaping; names are ASCII identifiers in practice.
+void write_escaped(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s; ++s) {
+    switch (*s) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << *s;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("tracer capacity must be positive");
+  ring_.resize(capacity);
+}
+
+void Tracer::push(const TraceEvent& ev) {
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+void Tracer::instant(const char* name, const char* category, double ts_us,
+                     std::uint32_t tid) {
+  push({name, category, Phase::Instant, ts_us, 0.0, tid, 0.0});
+}
+
+void Tracer::complete(const char* name, const char* category, double ts_us,
+                      double dur_us, std::uint32_t tid) {
+  push({name, category, Phase::Complete, ts_us, dur_us, tid, 0.0});
+}
+
+void Tracer::counter(const char* name, const char* category, double ts_us,
+                     double value) {
+  push({name, category, Phase::Counter, ts_us, 0.0, 0, value});
+}
+
+std::size_t Tracer::size() const {
+  return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                  : ring_.size();
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::size_t n = size();
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  // When the ring has wrapped, the oldest surviving event sits at head_.
+  const std::size_t start = recorded_ > ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void Tracer::write_chrome_json(std::ostream& os, int pid) const {
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& ev : events()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":";
+    write_escaped(os, ev.name);
+    os << ",\"cat\":";
+    write_escaped(os, ev.category);
+    os << ",\"ph\":\"" << static_cast<char>(ev.phase) << '"'
+       << ",\"ts\":" << ev.ts_us << ",\"pid\":" << pid
+       << ",\"tid\":" << ev.tid;
+    if (ev.phase == Phase::Complete) os << ",\"dur\":" << ev.dur_us;
+    if (ev.phase == Phase::Counter)
+      os << ",\"args\":{\"value\":" << ev.value << '}';
+    else
+      os << ",\"args\":{}";
+    os << '}';
+  }
+  os << "\n]\n";
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "name,category,phase,ts_us,dur_us,tid,value\n";
+  for (const TraceEvent& ev : events()) {
+    os << ev.name << ',' << ev.category << ','
+       << static_cast<char>(ev.phase) << ',' << ev.ts_us << ',' << ev.dur_us
+       << ',' << ev.tid << ',' << ev.value << '\n';
+  }
+}
+
+}  // namespace ambisim::obs

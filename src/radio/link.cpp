@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ambisim/obs/probe.hpp"
+
 namespace ambisim::radio {
 
 double watt_to_dbm(u::Power p) {
@@ -56,10 +58,14 @@ double LinkBudget::required_snr_db(const Modulation& m) {
 }
 
 bool LinkBudget::closes(u::Length distance, const Modulation& m) const {
-  return snr_db(distance) >= required_snr_db(m);
+  const bool ok = snr_db(distance) >= required_snr_db(m);
+  AMBISIM_OBS_COUNT("radio.link.evaluations");
+  if (!ok) AMBISIM_OBS_COUNT("radio.link.failures");
+  return ok;
 }
 
 u::Length LinkBudget::max_range(const Modulation& m) const {
+  AMBISIM_OBS_COUNT("radio.link.range_solves");
   // Solve PL(d) = Ptx_dbm - noise - required_snr for d in the log model.
   const double margin_db = watt_to_dbm(tx_radiated) -
                            noise_floor_dbm(bandwidth, noise_figure_db) -

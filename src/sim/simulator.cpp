@@ -2,10 +2,15 @@
 
 #include <stdexcept>
 
+#include "ambisim/obs/probe.hpp"
+
 namespace ambisim::sim {
 
 void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (cancelled_ && !*cancelled_) {
+    *cancelled_ = true;
+    AMBISIM_OBS_COUNT("sim.cancelled");
+  }
 }
 
 bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
@@ -14,6 +19,13 @@ EventHandle Simulator::schedule_at(Time t, Callback fn) {
   if (t < now_)
     throw std::invalid_argument("schedule_at: time is in the past");
   if (!fn) throw std::invalid_argument("schedule_at: empty callback");
+#if AMBISIM_OBS_COMPILED
+  if (obs::enabled()) [[unlikely]] {
+    obs::context().metrics.counter("sim.scheduled").inc();
+    obs::context().tracer.instant("schedule", "kernel",
+                                  obs::to_us(t.value()));
+  }
+#endif
   auto flag = std::make_shared<bool>(false);
   queue_.push(Event{t, seq_++, std::move(fn), flag});
   return EventHandle(flag);
@@ -33,6 +45,17 @@ bool Simulator::step() {
     now_ = ev.time;
     *ev.cancelled = true;  // mark fired so handles report non-pending
     ++executed_;
+#if AMBISIM_OBS_COMPILED
+    if (obs::enabled()) [[unlikely]] {
+      obs::context().metrics.counter("sim.fired").inc();
+      // Span on the simulated timeline whose duration is the host cost of
+      // the callback; histogram of the same cost for profiling.
+      obs::ProbeScope span("event", "kernel", obs::to_us(now_.value()), 0);
+      obs::ScopedTimer timer("sim.callback_s");
+      ev.fn();
+      return true;
+    }
+#endif
     ev.fn();
     return true;
   }

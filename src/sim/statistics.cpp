@@ -7,26 +7,14 @@
 
 namespace ambisim::sim {
 
-void Accumulator::add(double x) {
-  if (n_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
+const std::vector<double>& Samples::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
   }
-  ++n_;
-  sum_ += x;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
+  return sorted_;
 }
-
-double Accumulator::variance() const {
-  if (n_ < 2) return 0.0;
-  return m2_ / static_cast<double>(n_ - 1);
-}
-
-double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 double Samples::mean() const {
   if (values_.empty()) return 0.0;
@@ -45,25 +33,24 @@ double Samples::stddev() const {
 
 double Samples::min() const {
   if (values_.empty()) throw std::logic_error("min of empty sample set");
-  return *std::min_element(values_.begin(), values_.end());
+  return sorted().front();
 }
 
 double Samples::max() const {
   if (values_.empty()) throw std::logic_error("max of empty sample set");
-  return *std::max_element(values_.begin(), values_.end());
+  return sorted().back();
 }
 
 double Samples::percentile(double p) const {
   if (values_.empty()) throw std::logic_error("percentile of empty set");
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
-  std::vector<double> sorted = values_;
-  std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) return sorted.front();
-  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::vector<double>& s = sorted();
+  if (s.size() == 1) return s.front();
+  const double pos = p / 100.0 * static_cast<double>(s.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
 }
 
 LinearFit linear_fit(const std::vector<double>& x,

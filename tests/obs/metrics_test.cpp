@@ -1,0 +1,164 @@
+#include "ambisim/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using ambisim::obs::Counter;
+using ambisim::obs::Gauge;
+using ambisim::obs::Histogram;
+using ambisim::obs::MetricsRegistry;
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsValuesByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (bound is inclusive)
+  h.observe(5.0);    // bucket 1
+  h.observe(50.0);   // bucket 2
+  h.observe(500.0);  // overflow
+  ASSERT_EQ(h.bucket_count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+}
+
+TEST(Histogram, MomentsMatchWelfordAccumulator) {
+  Histogram h({1.0, 2.0, 4.0});
+  ambisim::sim::Accumulator acc;
+  for (double x : {0.3, 0.7, 1.5, 3.0, 8.0, 2.2}) {
+    h.observe(x);
+    acc.add(x);
+  }
+  EXPECT_DOUBLE_EQ(h.moments().mean(), acc.mean());
+  EXPECT_DOUBLE_EQ(h.moments().stddev(), acc.stddev());
+  EXPECT_DOUBLE_EQ(h.moments().min(), acc.min());
+  EXPECT_DOUBLE_EQ(h.moments().max(), acc.max());
+}
+
+TEST(Histogram, QuantileInterpolatesAndStaysInRange) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.observe(1.0 + 3.0 * i / 99.0);  // [1, 4]
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 4.0);
+  EXPECT_NEAR(p50, 2.5, 1.0);  // bucket-grade accuracy
+  EXPECT_GE(h.quantile(0.0), h.moments().min());
+  EXPECT_LE(h.quantile(1.0), h.moments().max());
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+}
+
+TEST(Histogram, RejectsBadBoundsAndQueries) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  Histogram h({1.0});
+  EXPECT_THROW((void)h.quantile(0.5), std::logic_error);  // empty
+  h.observe(0.5);
+  EXPECT_THROW((void)h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Histogram, ExponentialBoundsSpanTheRequestedDecades) {
+  const auto b = Histogram::exponential_bounds(1e-3, 1.0, 1);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b.front(), 1e-3);
+  EXPECT_NEAR(b.back(), 1.0, 1e-9);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+}
+
+TEST(MetricsRegistry, FindOrCreateIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("net.hops");
+  a.inc(3);
+  Counter& b = reg.counter("net.hops");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  // Same name in a different kind is a distinct instrument.
+  reg.gauge("net.hops").set(7.0);
+  EXPECT_EQ(reg.counter("net.hops").value(), 3u);
+  EXPECT_DOUBLE_EQ(reg.gauge("net.hops").value(), 7.0);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+  EXPECT_TRUE(reg.empty());
+  reg.counter("present").inc();
+  ASSERT_NE(reg.find_counter("present"), nullptr);
+  EXPECT_EQ(reg.find_counter("present")->value(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramBoundsOnlyApplyOnCreation) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 2.0});
+  EXPECT_EQ(h.bucket_count(), 3u);
+  // Second request with different bounds returns the existing histogram.
+  Histogram& h2 = reg.histogram("lat", {5.0});
+  EXPECT_EQ(&h, &h2);
+  EXPECT_EQ(h2.bucket_count(), 3u);
+  // Default bounds kick in when none are given.
+  Histogram& d = reg.histogram("wall");
+  EXPECT_EQ(d.bucket_count(), Histogram::default_bounds().size() + 1);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsEntriesClearDropsThem) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a");
+  c.inc(5);
+  reg.gauge("b").set(2.0);
+  reg.histogram("c", {1.0}).observe(0.5);
+  reg.reset_values();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(c.value(), 0u);  // cached reference survives reset_values
+  EXPECT_DOUBLE_EQ(reg.gauge("b").value(), 0.0);
+  EXPECT_EQ(reg.histogram("c").count(), 0u);
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(MetricsRegistry, CsvDumpIsDeterministicAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("z.count").inc(9);
+  reg.gauge("a.gauge").set(1.5);
+  auto& h = reg.histogram("m.hist", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("metric,kind,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("z.count,counter,count,9"), std::string::npos);
+  EXPECT_NE(csv.find("a.gauge,gauge,value,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("m.hist,histogram,count,2"), std::string::npos);
+  EXPECT_NE(csv.find("m.hist,histogram,mean,2.75"), std::string::npos);
+  // Rows are sorted by metric name: a.gauge before m.hist before z.count.
+  EXPECT_LT(csv.find("a.gauge"), csv.find("m.hist"));
+  EXPECT_LT(csv.find("m.hist"), csv.find("z.count"));
+}

@@ -1,0 +1,143 @@
+// Probes, the global context, and the kernel/ledger instrumentation wired
+// through them.  These tests mutate process-global obs state, so every test
+// restores a clean disabled state via the fixture.
+#include "ambisim/obs/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ambisim/energy/ledger.hpp"
+#include "ambisim/sim/simulator.hpp"
+
+namespace obs = ambisim::obs;
+using namespace ambisim::units::literals;
+
+class ObsProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(false);
+    obs::context().metrics.clear();
+    obs::context().tracer.clear();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::context().metrics.clear();
+    obs::context().tracer.clear();
+  }
+};
+
+TEST_F(ObsProbeTest, MacrosAreInertWhenDisabled) {
+  AMBISIM_OBS_COUNT("t.count");
+  AMBISIM_OBS_OBSERVE("t.hist", 1.0);
+  AMBISIM_OBS_INSTANT("t.ev", "test", 0.0, 0);
+  EXPECT_TRUE(obs::context().metrics.empty());
+  EXPECT_TRUE(obs::context().tracer.empty());
+}
+
+#if AMBISIM_OBS_COMPILED
+
+TEST_F(ObsProbeTest, MacrosRecordWhenEnabled) {
+  obs::set_enabled(true);
+  AMBISIM_OBS_COUNT("t.count");
+  AMBISIM_OBS_COUNT_N("t.count", 2);
+  AMBISIM_OBS_GAUGE_SET("t.gauge", 1.25);
+  AMBISIM_OBS_OBSERVE("t.hist", 0.5);
+  AMBISIM_OBS_INSTANT("t.ev", "test", 3.0, 1);
+  AMBISIM_OBS_COMPLETE("t.span", "test", 4.0, 2.0, 1);
+  AMBISIM_OBS_COUNTER_EVENT("t.series", "test", 5.0, 9.0);
+
+  auto& ctx = obs::context();
+  EXPECT_EQ(ctx.metrics.counter("t.count").value(), 3u);
+  EXPECT_DOUBLE_EQ(ctx.metrics.gauge("t.gauge").value(), 1.25);
+  EXPECT_EQ(ctx.metrics.histogram("t.hist").count(), 1u);
+  ASSERT_EQ(ctx.tracer.size(), 3u);
+  EXPECT_EQ(ctx.tracer.events()[1].phase, obs::Phase::Complete);
+}
+
+TEST_F(ObsProbeTest, ScopedTimerObservesWallTimeIntoHistogram) {
+  obs::set_enabled(true);
+  {
+    obs::ScopedTimer t("t.wall_s");
+    EXPECT_TRUE(t.armed());
+    EXPECT_GE(t.elapsed_seconds(), 0.0);
+  }
+  const auto* h = obs::context().metrics.find_histogram("t.wall_s");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_GE(h->moments().min(), 0.0);
+}
+
+TEST_F(ObsProbeTest, ScopedTimerIsInertWhenDisabled) {
+  {
+    obs::ScopedTimer t("t.wall_s");
+    EXPECT_FALSE(t.armed());
+  }
+  EXPECT_EQ(obs::context().metrics.find_histogram("t.wall_s"), nullptr);
+}
+
+TEST_F(ObsProbeTest, ProbeScopeEmitsCompleteSpanAtSimTimestamp) {
+  obs::set_enabled(true);
+  { obs::ProbeScope span("t.work", "test", 1234.0, 6); }
+  ASSERT_EQ(obs::context().tracer.size(), 1u);
+  const auto ev = obs::context().tracer.events().front();
+  EXPECT_STREQ(ev.name, "t.work");
+  EXPECT_EQ(ev.phase, obs::Phase::Complete);
+  EXPECT_DOUBLE_EQ(ev.ts_us, 1234.0);
+  EXPECT_EQ(ev.tid, 6u);
+  EXPECT_GE(ev.dur_us, 0.0);  // wall-clock duration
+}
+
+TEST_F(ObsProbeTest, KernelInstrumentationCountsScheduleFireCancel) {
+  obs::set_enabled(true);
+  ambisim::sim::Simulator s;
+  s.schedule_at(1.0_s, [] {});
+  auto h = s.schedule_at(2.0_s, [] {});
+  h.cancel();
+  h.cancel();  // double-cancel must not double-count
+  s.run();
+
+  auto& m = obs::context().metrics;
+  EXPECT_EQ(m.counter("sim.scheduled").value(), 2u);
+  EXPECT_EQ(m.counter("sim.fired").value(), 1u);
+  EXPECT_EQ(m.counter("sim.cancelled").value(), 1u);
+  EXPECT_EQ(m.histogram("sim.callback_s").count(), 1u);
+
+  // The kernel contributed schedule instants and an event span.
+  bool saw_kernel_span = false;
+  for (const auto& ev : obs::context().tracer.events()) {
+    if (std::string(ev.category) == "kernel" &&
+        ev.phase == obs::Phase::Complete)
+      saw_kernel_span = true;
+  }
+  EXPECT_TRUE(saw_kernel_span);
+}
+
+TEST_F(ObsProbeTest, LedgerInstrumentationCountsCharges) {
+  obs::set_enabled(true);
+  ambisim::energy::EnergyLedger ledger;
+  ledger.charge("radio", ambisim::units::Energy(1e-3));
+  ledger.charge("cpu", ambisim::units::Energy(2e-3));
+  auto& m = obs::context().metrics;
+  EXPECT_EQ(m.counter("energy.charges").value(), 2u);
+  EXPECT_EQ(m.histogram("energy.charge_J").count(), 2u);
+  EXPECT_NEAR(m.histogram("energy.charge_J").moments().sum(), 3e-3, 1e-12);
+}
+
+TEST_F(ObsProbeTest, ResetZeroesMetricsAndDropsTrace) {
+  obs::set_enabled(true);
+  AMBISIM_OBS_COUNT("t.count");
+  AMBISIM_OBS_INSTANT("t.ev", "test", 0.0, 0);
+  obs::reset();
+  EXPECT_TRUE(obs::enabled());  // reset does not disarm
+  EXPECT_EQ(obs::context().metrics.counter("t.count").value(), 0u);
+  EXPECT_TRUE(obs::context().tracer.empty());
+}
+
+TEST_F(ObsProbeTest, DisableStopsRecordingWithoutClearing) {
+  obs::set_enabled(true);
+  AMBISIM_OBS_COUNT("t.count");
+  obs::set_enabled(false);
+  AMBISIM_OBS_COUNT("t.count");
+  EXPECT_EQ(obs::context().metrics.counter("t.count").value(), 1u);
+}
+
+#endif  // AMBISIM_OBS_COMPILED

@@ -1,0 +1,174 @@
+#include "ambisim/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using ambisim::obs::Phase;
+using ambisim::obs::TraceEvent;
+using ambisim::obs::Tracer;
+
+namespace {
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+/// Split a CSV dump into non-empty lines.
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  for (std::string line; std::getline(is, line);)
+    if (!line.empty()) out.push_back(line);
+  return out;
+}
+
+}  // namespace
+
+TEST(Tracer, RecordsTypedEventsInOrder) {
+  Tracer t(16);
+  t.instant("a", "kernel", 1.0, 7);
+  t.complete("b", "net", 2.0, 3.5, 9);
+  t.counter("c", "energy", 4.0, 42.0);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.recorded(), 3u);
+  EXPECT_EQ(t.dropped(), 0u);
+
+  const auto evs = t.events();
+  EXPECT_STREQ(evs[0].name, "a");
+  EXPECT_EQ(evs[0].phase, Phase::Instant);
+  EXPECT_EQ(evs[0].tid, 7u);
+  EXPECT_STREQ(evs[1].category, "net");
+  EXPECT_EQ(evs[1].phase, Phase::Complete);
+  EXPECT_DOUBLE_EQ(evs[1].dur_us, 3.5);
+  EXPECT_EQ(evs[2].phase, Phase::Counter);
+  EXPECT_DOUBLE_EQ(evs[2].value, 42.0);
+}
+
+TEST(Tracer, RingWrapsAroundKeepingNewestEvents) {
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i)
+    t.instant("e", "kernel", static_cast<double>(i), 0);
+  EXPECT_EQ(t.capacity(), 4u);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // Oldest surviving first: timestamps 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(evs[static_cast<std::size_t>(i)].ts_us, 6.0 + i);
+}
+
+TEST(Tracer, WrapExactlyAtCapacityBoundary) {
+  Tracer t(3);
+  for (int i = 0; i < 3; ++i)
+    t.instant("e", "k", static_cast<double>(i), 0);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_DOUBLE_EQ(t.events().front().ts_us, 0.0);
+  t.instant("e", "k", 3.0, 0);  // first overwrite
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.dropped(), 1u);
+  EXPECT_DOUBLE_EQ(t.events().front().ts_us, 1.0);
+  EXPECT_DOUBLE_EQ(t.events().back().ts_us, 3.0);
+}
+
+TEST(Tracer, ClearEmptiesTheRing) {
+  Tracer t(4);
+  t.instant("a", "k", 1.0, 0);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+  t.instant("b", "k", 2.0, 0);
+  EXPECT_STREQ(t.events().front().name, "b");
+}
+
+TEST(Tracer, ZeroCapacityIsRejected) {
+  EXPECT_THROW(Tracer(0), std::invalid_argument);
+}
+
+TEST(Tracer, ChromeJsonHasOneObjectPerEventWithRequiredFields) {
+  Tracer t(8);
+  t.instant("sched", "kernel", 1.5, 2);
+  t.complete("hop", "net", 10.0, 250.0, 3);
+  t.counter("soc", "energy", 20.0, 0.75);
+
+  std::ostringstream os;
+  t.write_chrome_json(os, /*pid=*/5);
+  const std::string json = os.str();
+
+  // A JSON array with exactly one object per event.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(count_occurrences(json, "\"ph\":"), 3u);
+  // Required Chrome trace_event fields on every object.
+  EXPECT_EQ(count_occurrences(json, "\"name\":"), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"ts\":"), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"pid\":5"), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"tid\":"), 3u);
+  // Phase-specific payloads.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":0.75}"), std::string::npos);
+  // Balanced brackets/braces (cheap well-formedness check).
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  EXPECT_EQ(json.find('['), 0u);
+  EXPECT_NE(json.rfind(']'), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonEscapesQuotesAndBackslashes) {
+  Tracer t(2);
+  t.instant("quo\"te", "back\\slash", 0.0, 0);
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("quo\\\"te"), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+}
+
+TEST(Tracer, CsvRoundTripPreservesEveryField) {
+  Tracer t(8);
+  t.instant("sched", "kernel", 1.5, 2);
+  t.complete("hop", "net", 10.0, 250.0, 3);
+  t.counter("soc", "energy", 20.0, 0.75);
+
+  std::ostringstream os;
+  t.write_csv(os);
+  const auto rows = lines_of(os.str());
+  ASSERT_EQ(rows.size(), 4u);  // header + 3 events
+  EXPECT_EQ(rows[0], "name,category,phase,ts_us,dur_us,tid,value");
+  EXPECT_EQ(rows[1], "sched,kernel,i,1.5,0,2,0");
+  EXPECT_EQ(rows[2], "hop,net,X,10,250,3,0");
+  EXPECT_EQ(rows[3], "soc,energy,C,20,0,0,0.75");
+
+  // Round trip: parse the CSV back and compare against events().
+  const auto evs = t.events();
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    std::istringstream row(rows[i + 1]);
+    std::string name, cat, phase, ts, dur, tid, value;
+    std::getline(row, name, ',');
+    std::getline(row, cat, ',');
+    std::getline(row, phase, ',');
+    std::getline(row, ts, ',');
+    std::getline(row, dur, ',');
+    std::getline(row, tid, ',');
+    std::getline(row, value, ',');
+    EXPECT_EQ(name, evs[i].name);
+    EXPECT_EQ(cat, evs[i].category);
+    ASSERT_EQ(phase.size(), 1u);
+    EXPECT_EQ(phase[0], static_cast<char>(evs[i].phase));
+    EXPECT_DOUBLE_EQ(std::stod(ts), evs[i].ts_us);
+    EXPECT_DOUBLE_EQ(std::stod(dur), evs[i].dur_us);
+    EXPECT_EQ(static_cast<std::uint32_t>(std::stoul(tid)), evs[i].tid);
+    EXPECT_DOUBLE_EQ(std::stod(value), evs[i].value);
+  }
+}

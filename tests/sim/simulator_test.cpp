@@ -107,6 +107,98 @@ TEST(Simulator, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(s.step());
 }
 
+TEST(EventHandle, DefaultHandleIsInertAndNotPending) {
+  ambisim::sim::EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must be a no-op
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventHandle, CancelAfterFireIsANoOp) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_at(1.0_s, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // already fired: nothing to undo
+  EXPECT_FALSE(h.pending());
+  EXPECT_EQ(s.executed_events(), 1u);
+  // The kernel stays usable afterwards.
+  s.schedule_at(2.0_s, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventHandle, DoubleCancelIsIdempotent) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_at(1.0_s, [&] { ++fired; });
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.executed_events(), 0u);
+}
+
+TEST(EventHandle, PendingTracksRunUntilDeadlines) {
+  Simulator s;
+  auto h = s.schedule_at(10.0_s, [] {});
+  EXPECT_TRUE(h.pending());
+  s.run_until(5.0_s);  // deadline before the event: still pending
+  EXPECT_TRUE(h.pending());
+  EXPECT_DOUBLE_EQ(s.now().value(), 5.0);
+  s.run_until(10.0_s);  // deadline reaches the event: it fires
+  EXPECT_FALSE(h.pending());
+  s.run_until(20.0_s);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventHandle, CopiedHandlesShareCancellationState) {
+  Simulator s;
+  int fired = 0;
+  auto h1 = s.schedule_at(1.0_s, [&] { ++fired; });
+  auto h2 = h1;
+  h2.cancel();
+  EXPECT_FALSE(h1.pending());
+  EXPECT_FALSE(h2.pending());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventHandle, TieBreakStaysDeterministicUnderInterleavedCancel) {
+  // Events at the same timestamp fire in insertion order even when earlier
+  // same-time events are cancelled between insertions, and re-scheduling at
+  // the tied time goes to the back of the tie.
+  Simulator s;
+  std::vector<int> order;
+  auto ha = s.schedule_at(1.0_s, [&] { order.push_back(1); });
+  auto hb = s.schedule_at(1.0_s, [&] { order.push_back(2); });
+  s.schedule_at(1.0_s, [&] { order.push_back(3); });
+  hb.cancel();
+  s.schedule_at(1.0_s, [&] { order.push_back(4); });
+  (void)ha;
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(s.executed_events(), 3u);
+}
+
+TEST(EventHandle, CancelInsideATiedEventSuppressesLaterTiedEvent) {
+  Simulator s;
+  std::vector<int> order;
+  ambisim::sim::EventHandle victim;
+  s.schedule_at(1.0_s, [&] {
+    order.push_back(1);
+    victim.cancel();
+  });
+  victim = s.schedule_at(1.0_s, [&] { order.push_back(2); });
+  s.schedule_at(1.0_s, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
 TEST(Trace, RecordsAndIntegrates) {
   Trace t("power");
   t.record(0.0_s, 2.0);

@@ -39,6 +39,39 @@ TEST(Samples, PercentileInterpolates) {
   EXPECT_NEAR(s.percentile(25), 25.75, 1e-12);
 }
 
+TEST(Samples, SortedCacheInvalidatedByInterleavedAdds) {
+  // percentile() caches the sorted view; adds between queries must
+  // invalidate it, including adds of new extremes.
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.0);  // new minimum after a cached query
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);  // (1+3)/2
+  s.add(10.0);  // new maximum
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  // The insertion-order view is unaffected by the cached sort.
+  EXPECT_EQ(s.values().front(), 5.0);
+  EXPECT_EQ(s.values().back(), 10.0);
+}
+
+TEST(Samples, RepeatedQueriesStayConsistent) {
+  Samples s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_NEAR(s.median(), 50.5, 1e-12);
+    EXPECT_NEAR(s.percentile(90), 90.1, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  }
+}
+
 TEST(Samples, ThrowsOnEmptyAndBadRange) {
   Samples s;
   EXPECT_THROW((void)s.percentile(50), std::logic_error);
