@@ -1,0 +1,151 @@
+// exec speedup characterization: wall-clock for one fixed sweep of 256
+// independent packet-level network design points (the discrete-event
+// simulator, ~5 ms each), run serially and on the ParallelSweepRunner at
+// pool sizes {1, 2, hardware_concurrency}.
+//
+// Emits BENCH_exec_speedup.json with the measured wall times, the speedup
+// relative to the serial loop, and a bit-identity verdict (a checksum over
+// every result's raw double bits must match the serial run exactly —
+// determinism is part of what this bench certifies, not just speed).
+// Acceptance target: >= 2x at 4+ hardware threads; on narrower hosts the
+// JSON still records the (necessarily ~1x) measurement.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ambisim/exec/runner.hpp"
+#include "ambisim/exec/seed.hpp"
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+constexpr std::size_t kDesignPoints = 256;
+
+std::vector<net::PacketSimConfig> fixed_sweep() {
+  std::vector<net::PacketSimConfig> cfgs;
+  cfgs.reserve(kDesignPoints);
+  for (std::size_t i = 0; i < kDesignPoints; ++i) {
+    net::PacketSimConfig cfg;
+    cfg.node_count = 24 + static_cast<int>(i % 8);
+    cfg.field_side = u::Length(40.0);
+    cfg.radio_range = u::Length(16.0);
+    cfg.report_period = u::Time(10.0);
+    cfg.duration = u::Time(3600.0);  // one simulated hour per point
+    cfg.seed = static_cast<unsigned>(exec::derive_seed(11, i));
+    cfgs.push_back(cfg);
+  }
+  return cfgs;
+}
+
+net::PacketSimResult eval(const net::PacketSimConfig& cfg) {
+  return net::simulate_packets(cfg);
+}
+
+/// Order-sensitive checksum over the raw bits of every result's key
+/// doubles: any deviation from the serial run — value or order — changes it.
+std::uint64_t checksum(const std::vector<net::PacketSimResult>& results) {
+  std::uint64_t h = 0;
+  auto fold = [&h](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    h = exec::splitmix64(h ^ bits);
+  };
+  for (const auto& r : results) {
+    fold(static_cast<double>(r.generated));
+    fold(static_cast<double>(r.delivered));
+    fold(r.mean_hops);
+    fold(r.end_to_end_latency.empty() ? 0.0 : r.end_to_end_latency.mean());
+    fold(r.energy_per_delivered.value());
+  }
+  return h;
+}
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_figure() {
+  const auto cfgs = fixed_sweep();
+
+  std::vector<net::PacketSimResult> serial_results;
+  const double serial_s = wall_seconds([&] {
+    serial_results.resize(cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+      serial_results[i] = eval(cfgs[i]);
+  });
+  const std::uint64_t serial_sum = checksum(serial_results);
+
+  std::vector<unsigned> pool_sizes{1, 2};
+  const unsigned hw = exec::ThreadPool::hardware_threads();
+  if (hw != 1 && hw != 2) pool_sizes.push_back(hw);
+
+  struct Measurement {
+    unsigned threads = 0;
+    double wall_s = 0.0;
+    bool bit_identical = false;
+  };
+  std::vector<Measurement> measurements;
+  for (unsigned threads : pool_sizes) {
+    exec::ParallelSweepRunner runner({.threads = threads});
+    std::vector<net::PacketSimResult> results;
+    const double secs = wall_seconds([&] { results = runner.run(cfgs, eval); });
+    measurements.push_back({threads, secs, checksum(results) == serial_sum});
+  }
+
+  sim::Table t("EX1: parallel sweep speedup (256 design points)",
+               {"threads", "wall_s", "speedup", "bit_identical"});
+  t.add_row({std::string("serial"), serial_s, 1.0, std::string("yes")});
+  for (const auto& m : measurements)
+    t.add_row({static_cast<long long>(m.threads), m.wall_s,
+               serial_s / m.wall_s,
+               std::string(m.bit_identical ? "yes" : "NO")});
+  std::cout << t << '\n';
+
+  std::ofstream json("BENCH_exec_speedup.json");
+  json << "{\n"
+       << "  \"bench\": \"exec_speedup\",\n"
+       << "  \"design_points\": " << kDesignPoints << ",\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"serial_wall_s\": " << serial_s << ",\n"
+       << "  \"pools\": [";
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const auto& m = measurements[i];
+    json << (i ? "," : "") << "\n    {\"threads\": " << m.threads
+         << ", \"wall_s\": " << m.wall_s
+         << ", \"speedup\": " << serial_s / m.wall_s
+         << ", \"bit_identical\": " << (m.bit_identical ? "true" : "false")
+         << "}";
+  }
+  json << "\n  ]\n}\n";
+  std::cout << "wrote BENCH_exec_speedup.json\n\n";
+}
+
+void BM_pool_fanout_overhead(benchmark::State& state) {
+  exec::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    exec::parallel_for(pool, 1024, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+}
+BENCHMARK(BM_pool_fanout_overhead)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_figure)

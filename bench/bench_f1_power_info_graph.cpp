@@ -9,6 +9,7 @@
 
 #include "ambisim/core/device_node.hpp"
 #include "ambisim/core/power_info.hpp"
+#include "ambisim/dse/sweep.hpp"
 #include "ambisim/sim/ascii_plot.hpp"
 #include "bench_util.hpp"
 
@@ -24,18 +25,32 @@ void print_figure() {
   sim::Table devices("F1b: composed ambient devices (per process node)",
                      {"device", "process", "power_W", "info_rate_bps",
                       "energy_per_bit_J", "device_class"});
+  // Composing a device per (process node, device template) pair is an
+  // embarrassingly parallel 3x3 sweep: fan it out, then add the points to
+  // the table and graph serially in input order.
+  struct Combo {
+    const char* process;
+    int device;
+  };
+  std::vector<Combo> combos;
+  for (const auto* name : {"180nm", "130nm", "90nm"})
+    for (int d = 0; d < 3; ++d) combos.push_back({name, d});
+  const auto device_points =
+      dse::parallel_sweep(combos, [](const Combo& combo) {
+        const auto& node =
+            tech::TechnologyLibrary::standard().node(combo.process);
+        switch (combo.device) {
+          case 0: return core::autonomous_sensor_node(node).to_point();
+          case 1: return core::personal_audio_node(node).to_point();
+          default: return core::home_media_server(node).to_point();
+        }
+      });
   core::PowerInfoGraph device_graph;
-  for (const auto* name : {"180nm", "130nm", "90nm"}) {
-    const auto& node = tech::TechnologyLibrary::standard().node(name);
-    for (const auto& d :
-         {core::autonomous_sensor_node(node), core::personal_audio_node(node),
-          core::home_media_server(node)}) {
-      const auto p = d.to_point();
-      devices.add_row({p.name, p.process, p.power.value(),
-                       p.info_rate.value(), p.energy_per_bit().value(),
-                       to_string(p.device_class())});
-      device_graph.add(p);
-    }
+  for (const auto& p : device_points) {
+    devices.add_row({p.name, p.process, p.power.value(),
+                     p.info_rate.value(), p.energy_per_bit().value(),
+                     to_string(p.device_class())});
+    device_graph.add(p);
   }
   std::cout << devices << '\n';
 

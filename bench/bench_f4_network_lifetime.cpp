@@ -5,8 +5,14 @@
 // (idle listening dominates); relaying creates hot spots (hotspot factor
 // > 1) that first-death long before mean death; min-energy routing spends
 // slightly more hops but relieves long-link senders.
+//
+// Every table row is an independent network simulation, so each table
+// builds its config vector and fans the rows across workers with
+// dse::parallel_sweep — results come back in row order and bit-identical
+// to the former serial loops.
 #include <iostream>
 
+#include "ambisim/dse/sweep.hpp"
 #include "ambisim/net/network_sim.hpp"
 #include "ambisim/sim/table.hpp"
 #include "bench_util.hpp"
@@ -27,17 +33,31 @@ net::SensorNetworkConfig base_config() {
   return cfg;
 }
 
+std::vector<net::SensorNetworkResult> simulate_all(
+    const std::vector<net::SensorNetworkConfig>& cfgs) {
+  return dse::parallel_sweep(
+      cfgs, [](const net::SensorNetworkConfig& c) {
+        return net::simulate_sensor_network(c);
+      });
+}
+
 void print_figure() {
   // The B-MAC trade-off: short wake intervals burn idle listening, long
   // ones burn sender preambles -> lifetime has an interior maximum.
   sim::Table a("F4a: lifetime vs MAC wake interval (50 nodes, 5 ms listen)",
                {"wake_interval_s", "listen_duty_pct", "first_death_days",
                 "half_death_days", "delivery_ratio", "hotspot_factor"});
-  for (double wake : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+  const std::vector<double> wakes{0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<net::SensorNetworkConfig> a_cfgs;
+  for (double wake : wakes) {
     auto cfg = base_config();
     cfg.mac = {u::Time(wake), u::Time(0.005)};
-    const auto r = net::simulate_sensor_network(cfg);
-    a.add_row({wake, 100.0 * 0.005 / wake,
+    a_cfgs.push_back(cfg);
+  }
+  const auto a_res = simulate_all(a_cfgs);
+  for (std::size_t i = 0; i < wakes.size(); ++i) {
+    const auto& r = a_res[i];
+    a.add_row({wakes[i], 100.0 * 0.005 / wakes[i],
                r.first_node_death.value() / 86400.0,
                r.half_network_death.value() / 86400.0, r.delivery_ratio,
                r.hotspot_factor});
@@ -47,11 +67,17 @@ void print_figure() {
   sim::Table b("F4b: lifetime vs node count (1% duty, min-hop)",
                {"nodes", "first_death_days", "half_death_days", "mean_hops",
                 "hotspot_factor", "unreachable"});
-  for (int n : {20, 35, 50, 80, 120}) {
+  const std::vector<int> counts{20, 35, 50, 80, 120};
+  std::vector<net::SensorNetworkConfig> b_cfgs;
+  for (int n : counts) {
     auto cfg = base_config();
     cfg.node_count = n;
-    const auto r = net::simulate_sensor_network(cfg);
-    b.add_row({static_cast<long long>(n),
+    b_cfgs.push_back(cfg);
+  }
+  const auto b_res = simulate_all(b_cfgs);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto& r = b_res[i];
+    b.add_row({static_cast<long long>(counts[i]),
                r.first_node_death.value() / 86400.0,
                r.half_network_death.value() / 86400.0, r.mean_hops,
                r.hotspot_factor, static_cast<long long>(r.unreachable_nodes)});
@@ -61,13 +87,19 @@ void print_figure() {
   sim::Table c("F4c: routing policy comparison (50 nodes, 1% duty)",
                {"routing", "first_death_days", "half_death_days",
                 "mean_hops", "hotspot_factor"});
-  for (auto policy : {net::RoutingPolicy::MinHop,
-                      net::RoutingPolicy::MinEnergy}) {
+  const std::vector<net::RoutingPolicy> policies{net::RoutingPolicy::MinHop,
+                                                 net::RoutingPolicy::MinEnergy};
+  std::vector<net::SensorNetworkConfig> c_cfgs;
+  for (auto policy : policies) {
     auto cfg = base_config();
     cfg.routing = policy;
-    const auto r = net::simulate_sensor_network(cfg);
-    c.add_row({policy == net::RoutingPolicy::MinHop ? "min-hop"
-                                                    : "min-energy",
+    c_cfgs.push_back(cfg);
+  }
+  const auto c_res = simulate_all(c_cfgs);
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto& r = c_res[i];
+    c.add_row({policies[i] == net::RoutingPolicy::MinHop ? "min-hop"
+                                                         : "min-energy",
                r.first_node_death.value() / 86400.0,
                r.half_network_death.value() / 86400.0, r.mean_hops,
                r.hotspot_factor});
@@ -76,13 +108,20 @@ void print_figure() {
 
   sim::Table d("F4d: harvesting rescues the network (20 uW/node avg)",
                {"harvest_uW", "first_death_days", "delivery_ratio"});
-  for (double uw : {0.0, 5.0, 10.0, 20.0, 40.0}) {
+  const std::vector<double> harvests{0.0, 5.0, 10.0, 20.0, 40.0};
+  std::vector<net::SensorNetworkConfig> d_cfgs;
+  for (double uw : harvests) {
     auto cfg = base_config();
     if (uw > 0.0) cfg.harvest_avg_watt = uw * 1e-6;
     cfg.max_sim_time = u::Time(86400.0 * 3650);  // cap at 10 years
-    const auto r = net::simulate_sensor_network(cfg);
+    d_cfgs.push_back(cfg);
+  }
+  const auto d_res = simulate_all(d_cfgs);
+  for (std::size_t i = 0; i < harvests.size(); ++i) {
+    const auto& r = d_res[i];
     const double fd = r.first_node_death.value();
-    d.add_row({uw, fd > 0.0 ? fd / 86400.0 : r.simulated.value() / 86400.0,
+    d.add_row({harvests[i],
+               fd > 0.0 ? fd / 86400.0 : r.simulated.value() / 86400.0,
                r.delivery_ratio});
   }
   std::cout << d << '\n';
@@ -90,13 +129,19 @@ void print_figure() {
   sim::Table e("F4e: in-network aggregation ablation (50 nodes, 1% duty)",
                {"aggregation", "first_death_days", "half_death_days",
                 "hotspot_factor"});
-  for (bool agg : {false, true}) {
+  const std::vector<bool> aggs{false, true};
+  std::vector<net::SensorNetworkConfig> e_cfgs;
+  for (bool agg : aggs) {
     auto cfg = base_config();
     cfg.field_side = u::Length(70.0);
     cfg.radio_range = u::Length(16.0);
     cfg.aggregate_at_relays = agg;
-    const auto r = net::simulate_sensor_network(cfg);
-    e.add_row({agg ? "merge-at-relay" : "store-and-forward",
+    e_cfgs.push_back(cfg);
+  }
+  const auto e_res = simulate_all(e_cfgs);
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    const auto& r = e_res[i];
+    e.add_row({aggs[i] ? "merge-at-relay" : "store-and-forward",
                r.first_node_death.value() / 86400.0,
                r.half_network_death.value() / 86400.0, r.hotspot_factor});
   }
@@ -124,6 +169,39 @@ void BM_network_lifetime(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_network_lifetime)->Arg(25)->Arg(50)->Arg(100);
+
+// The parallel fan-out itself: 8 independent 25-node networks per
+// iteration, serial loop vs the sweep runner at hardware width.
+void BM_lifetime_sweep_serial(benchmark::State& state) {
+  std::vector<net::SensorNetworkConfig> cfgs(8, base_config());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    cfgs[i].node_count = 25;
+    cfgs[i].seed = static_cast<unsigned>(i + 1);
+  }
+  for (auto _ : state) {
+    for (const auto& c : cfgs) {
+      auto r = net::simulate_sensor_network(c);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+BENCHMARK(BM_lifetime_sweep_serial);
+
+void BM_lifetime_sweep_parallel(benchmark::State& state) {
+  std::vector<net::SensorNetworkConfig> cfgs(8, base_config());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    cfgs[i].node_count = 25;
+    cfgs[i].seed = static_cast<unsigned>(i + 1);
+  }
+  exec::ParallelSweepRunner runner;
+  for (auto _ : state) {
+    auto r = runner.run(cfgs, [](const net::SensorNetworkConfig& c) {
+      return net::simulate_sensor_network(c);
+    });
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_lifetime_sweep_parallel);
 
 }  // namespace
 

@@ -6,8 +6,12 @@
 // delivered bit is flat inside range and cliffs at the edge; the optimal
 // radiated power grows ~d^n once the link leaves the electronics-dominated
 // regime.
+//
+// Each table's rows are independent design points, evaluated through
+// dse::parallel_sweep and printed in input order.
 #include <iostream>
 
+#include "ambisim/dse/sweep.hpp"
 #include "ambisim/radio/ber.hpp"
 #include "ambisim/sim/table.hpp"
 #include "bench_util.hpp"
@@ -27,42 +31,61 @@ void print_figure() {
 
   sim::Table a("F9a: packet error rate vs distance (512-bit packets)",
                {"distance_m", "ber_fsk", "per_fsk", "per_bpsk_equiv"});
-  for (double frac : {0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.4}) {
+  const std::vector<double> a_fracs{0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1,
+                                    1.2, 1.4};
+  struct RowA {
+    double distance = 0.0, ber = 0.0, per = 0.0, per_bpsk = 0.0;
+  };
+  const auto a_rows = dse::parallel_sweep(a_fracs, [&](double frac) {
     const u::Length d = reach * frac;
     const double ber =
         bit_error_rate_at(ulp.link_budget(), Modulation::fsk(), d);
     const double ber_bpsk =
         bit_error_rate_at(ulp.link_budget(), Modulation::bpsk(), d);
-    a.add_row({d.value(), ber, packet_error_rate(ber, 512.0),
-               packet_error_rate(ber_bpsk, 512.0)});
-  }
+    return RowA{d.value(), ber, packet_error_rate(ber, 512.0),
+                packet_error_rate(ber_bpsk, 512.0)};
+  });
+  for (const RowA& r : a_rows)
+    a.add_row({r.distance, r.ber, r.per, r.per_bpsk});
   std::cout << a << '\n';
 
   sim::Table b("F9b: energy per delivered bit vs distance (ARQ, 8 tries)",
                {"distance_m", "nJ_per_delivered_bit", "expected_attempts"});
   const ArqModel arq;
-  for (double frac : {0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}) {
+  const std::vector<double> b_fracs{0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3};
+  struct RowB {
+    double distance = 0.0, nj_per_bit = 0.0, attempts = 0.0;
+  };
+  const auto b_rows = dse::parallel_sweep(b_fracs, [&](double frac) {
     const u::Length d = reach * frac;
     const double ber =
         bit_error_rate_at(ulp.link_budget(), Modulation::fsk(), d);
     const double per = packet_error_rate(ber, 512.0);
-    b.add_row({d.value(),
-               energy_per_delivered_bit(ulp, d, 512_bit).value() * 1e9,
-               arq.expected_attempts(per)});
-  }
+    return RowB{d.value(),
+                energy_per_delivered_bit(ulp, d, 512_bit).value() * 1e9,
+                arq.expected_attempts(per)};
+  });
+  for (const RowB& r : b_rows)
+    b.add_row({r.distance, r.nj_per_bit, r.attempts});
   std::cout << b << '\n';
 
   sim::Table c("F9c: optimal radiated power vs distance",
                {"distance_m", "optimal_dbm", "resulting_nJ_per_bit"});
-  for (double dist : {2.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
+  const std::vector<double> c_dists{2.0, 5.0, 10.0, 20.0, 40.0, 80.0};
+  struct RowC {
+    double distance = 0.0, dbm = 0.0, nj_per_bit = 0.0;
+  };
+  const auto c_rows = dse::parallel_sweep(c_dists, [](double dist) {
     const u::Length d{dist};
     const u::Power p = optimal_radiated_power(ulp_radio(), d, 512_bit);
     RadioParams tuned = ulp_radio();
     tuned.tx_radiated = p;
     const RadioModel r(tuned);
-    c.add_row({dist, watt_to_dbm(p),
-               energy_per_delivered_bit(r, d, 512_bit).value() * 1e9});
-  }
+    return RowC{dist, watt_to_dbm(p),
+                energy_per_delivered_bit(r, d, 512_bit).value() * 1e9};
+  });
+  for (const RowC& r : c_rows)
+    c.add_row({r.distance, r.dbm, r.nj_per_bit});
   std::cout << c << '\n';
 }
 

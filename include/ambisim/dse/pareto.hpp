@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "ambisim/exec/runner.hpp"
+
 namespace ambisim::dse {
 
 struct ParetoPoint {
@@ -23,5 +25,13 @@ std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
 
 /// True if no point in `front` dominates any other (validity check).
 bool is_pareto_front(const std::vector<ParetoPoint>& front);
+
+/// pareto_front for large candidate sets: fixed-size blocks reduce to local
+/// fronts in parallel, then one serial pass over the (much smaller)
+/// concatenation.  Blocks are cut by index and merged in index order, so
+/// the result is identical for any thread count — and identical to
+/// pareto_front on the same input.
+std::vector<ParetoPoint> pareto_front_parallel(std::vector<ParetoPoint> points,
+                                               exec::ExecConfig cfg = {});
 
 }  // namespace ambisim::dse

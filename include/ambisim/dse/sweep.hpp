@@ -1,7 +1,16 @@
 // Parameter-sweep helpers for the benchmark harnesses.
+//
+// Axis generators (linspace/logspace/grid) build design-point vectors;
+// parallel_sweep fans the evaluation of those points across a worker pool
+// via ambisim::exec, returning results in input order and bit-identical to
+// the serial loop for any thread count.
 #pragma once
 
+#include <cstddef>
+#include <utility>
 #include <vector>
+
+#include "ambisim/exec/runner.hpp"
 
 namespace ambisim::dse {
 
@@ -10,5 +19,20 @@ std::vector<double> linspace(double lo, double hi, int n);
 
 /// `n` log-spaced values from lo to hi inclusive (lo, hi > 0).
 std::vector<double> logspace(double lo, double hi, int n);
+
+/// Row-major cartesian product of two axes: (xs[i], ys[j]) with j fastest.
+std::vector<std::pair<double, double>> grid(const std::vector<double>& xs,
+                                            const std::vector<double>& ys);
+
+/// Evaluate `fn(point)` or `fn(point, index)` over every design point on a
+/// worker pool; results come back in input order.  `fn` must be safe to
+/// invoke concurrently for distinct points — derive any per-point
+/// randomness from exec::derive_seed(root, index), never a shared Rng.
+template <typename Point, typename Fn>
+auto parallel_sweep(const std::vector<Point>& points, Fn&& fn,
+                    exec::ExecConfig cfg = {}) {
+  exec::ParallelSweepRunner runner(cfg);
+  return runner.run(points, std::forward<Fn>(fn));
+}
 
 }  // namespace ambisim::dse

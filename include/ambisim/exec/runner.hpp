@@ -1,0 +1,138 @@
+// Deterministic parallel runners for design-point sweeps and Monte-Carlo
+// replications.
+//
+// ParallelSweepRunner fans a vector of independent design points across a
+// ThreadPool; ReplicationRunner fans N replications of one stochastic
+// experiment, handing replication `i` a sim::Rng seeded with
+// derive_seed(root_seed, i).  Both collect into pre-sized result vectors —
+// task `i` writes slot `i` and nothing else — so for a given input and root
+// seed the output is bit-identical for any thread count, chunking, or
+// scheduling order.  That is the contract the determinism tier-1 tests
+// assert at pool sizes 1, 2, and 8.
+//
+// Observability: when probes are armed and `shard_obs` is set (the
+// default), a run gives each worker its own obs::Context shard and merges
+// the shards into the global context after the join, so counters and
+// histograms collected inside simulate_* calls stay exact under
+// concurrency instead of racing on the global registry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ambisim/exec/seed.hpp"
+#include "ambisim/exec/thread_pool.hpp"
+#include "ambisim/obs/obs.hpp"
+#include "ambisim/sim/random.hpp"
+
+namespace ambisim::exec {
+
+struct ExecConfig {
+  unsigned threads = 0;   ///< worker count; 0 -> hardware_threads()
+  std::size_t grain = 0;  ///< indices per task; 0 -> ~4 chunks per worker
+  bool shard_obs = true;  ///< per-worker obs buffers + post-join merge
+};
+
+namespace detail {
+
+/// Owns the per-worker obs shards of one parallel region.  Inert when obs
+/// is disarmed or sharding is off; otherwise the destructor merges every
+/// shard into the global context in shard order (after the join — declare
+/// the guard above the parallel loop).
+class ObsShardGuard {
+ public:
+  ObsShardGuard(bool shard_obs, unsigned workers);
+  ~ObsShardGuard();
+  ObsShardGuard(const ObsShardGuard&) = delete;
+  ObsShardGuard& operator=(const ObsShardGuard&) = delete;
+
+  /// Shard of the calling pool worker, or nullptr when inert / not called
+  /// from a pool worker.
+  [[nodiscard]] obs::Context* shard_for_current_worker();
+
+ private:
+  std::unique_ptr<obs::ShardSet> shards_;
+};
+
+template <typename Fn, typename Point>
+decltype(auto) invoke_point(Fn& fn, const Point& p, std::size_t i) {
+  if constexpr (std::is_invocable_v<Fn&, const Point&, std::size_t>)
+    return fn(p, i);
+  else
+    return fn(p);
+}
+
+}  // namespace detail
+
+/// Fans independent design points across a worker pool.
+class ParallelSweepRunner {
+ public:
+  explicit ParallelSweepRunner(ExecConfig cfg = {})
+      : cfg_(cfg), pool_(cfg.threads) {}
+
+  [[nodiscard]] unsigned threads() const { return pool_.size(); }
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+  /// Evaluate `fn(point)` or `fn(point, index)` for every design point and
+  /// return the results in input order.  The result type must be default-
+  /// constructible (slots are pre-sized); `fn` must be safe to invoke
+  /// concurrently for distinct points.
+  template <typename Point, typename Fn>
+  auto run(const std::vector<Point>& points, Fn&& fn) {
+    using R = std::decay_t<decltype(detail::invoke_point(
+        fn, points.front(), std::size_t{0}))>;
+    std::vector<R> out(points.size());
+    detail::ObsShardGuard shards(cfg_.shard_obs, pool_.size());
+    parallel_for(
+        pool_, points.size(),
+        [&](std::size_t i) {
+          obs::ContextBinding bind(shards.shard_for_current_worker());
+          out[i] = detail::invoke_point(fn, points[i], i);
+        },
+        cfg_.grain);
+    return out;
+  }
+
+ private:
+  ExecConfig cfg_;
+  ThreadPool pool_;
+};
+
+/// Fans Monte-Carlo replications of one experiment across a worker pool.
+class ReplicationRunner {
+ public:
+  explicit ReplicationRunner(ExecConfig cfg = {})
+      : cfg_(cfg), pool_(cfg.threads) {}
+
+  [[nodiscard]] unsigned threads() const { return pool_.size(); }
+
+  /// Run `fn(rng, index)` for every replication in [0, replications), each
+  /// with its own sim::Rng seeded by derive_seed(root_seed, index), and
+  /// return the results in replication order.  Replication `i` sees the
+  /// same stream no matter how many workers execute the batch.
+  template <typename Fn>
+  auto run(std::size_t replications, std::uint64_t root_seed, Fn&& fn) {
+    using R = std::decay_t<std::invoke_result_t<Fn&, sim::Rng&, std::size_t>>;
+    std::vector<R> out(replications);
+    detail::ObsShardGuard shards(cfg_.shard_obs, pool_.size());
+    parallel_for(
+        pool_, replications,
+        [&](std::size_t i) {
+          obs::ContextBinding bind(shards.shard_for_current_worker());
+          sim::Rng rng(derive_seed(root_seed, i));
+          out[i] = fn(rng, i);
+        },
+        cfg_.grain);
+    return out;
+  }
+
+ private:
+  ExecConfig cfg_;
+  ThreadPool pool_;
+};
+
+}  // namespace ambisim::exec

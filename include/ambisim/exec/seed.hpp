@@ -1,0 +1,41 @@
+// Deterministic per-task seed derivation (SplitMix64).
+//
+// Parallel sweeps and Monte-Carlo replications must produce bit-identical
+// results for any thread count, so per-task randomness can never be drawn
+// from a shared generator whose consumption order depends on scheduling.
+// Instead task `i` of a run rooted at `root_seed` derives its own seed as
+// the i-th output of a SplitMix64 stream: a pure function of
+// (root_seed, task_index) that any worker, on any thread, at any time
+// computes identically.
+//
+// SplitMix64 (Steele, Lea, Flood — "Fast splittable pseudorandom number
+// generators", OOPSLA 2014) walks a Weyl sequence with the golden-ratio
+// increment and applies a bijective multiply-xorshift finalizer, which is
+// the standard construction for decorrelating adjacent indices into
+// independent-looking 64-bit seeds (here: mt19937_64 seeds for sim::Rng).
+#pragma once
+
+#include <cstdint>
+
+namespace ambisim::exec {
+
+/// Weyl increment of the SplitMix64 stream (2^64 / golden ratio, odd).
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9E3779B97F4A7C15ULL;
+
+/// The SplitMix64 output finalizer: bijective avalanche mix of 64 bits.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed for task `task_index` of a run rooted at `root_seed`: the
+/// (task_index + 1)-th output of the SplitMix64 stream whose state starts
+/// at `root_seed`.  Pure in both arguments, so every scheduling of the same
+/// run hands task `i` the same independent substream.
+[[nodiscard]] constexpr std::uint64_t derive_seed(
+    std::uint64_t root_seed, std::uint64_t task_index) noexcept {
+  return splitmix64(root_seed + (task_index + 1) * kSplitMix64Gamma);
+}
+
+}  // namespace ambisim::exec

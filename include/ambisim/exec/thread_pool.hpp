@@ -1,0 +1,111 @@
+// Fixed-size worker pool, join handles, and a chunked parallel_for.
+//
+// The pool is the substrate of ambisim::exec: a fixed set of workers pulls
+// type-erased tasks from a single queue.  Determinism is never provided by
+// the scheduler — completion order is arbitrary — it is provided by the
+// callers, who pre-size result vectors so task `i` writes slot `i` only,
+// and by exec::derive_seed, which gives task `i` an RNG substream that does
+// not depend on thread count or interleaving.
+//
+// TaskSet is the future-like join handle: submit closures against a pool,
+// then `wait()` blocks until all of them finished and rethrows the first
+// captured exception.  Do not submit pool work from inside a pool task of
+// the same pool and wait on it — with every worker blocked in `wait()` the
+// nested tasks can never run.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ambisim::exec {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_threads().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one task; never blocks, the task may start immediately.
+  void submit(std::function<void()> task);
+
+  /// Index of the calling pool worker in [0, size()), or -1 when called
+  /// from a thread that does not belong to any ThreadPool.  Runners use it
+  /// to address per-worker observability shards.
+  [[nodiscard]] static int current_worker_index();
+
+  /// std::thread::hardware_concurrency, clamped to at least 1.
+  [[nodiscard]] static unsigned hardware_threads();
+
+ private:
+  void worker_loop(unsigned index);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Join handle for a batch of tasks submitted to a ThreadPool.
+class TaskSet {
+ public:
+  explicit TaskSet(ThreadPool& pool) : pool_(pool) {}
+  /// Blocks until every submitted task finished.  Exceptions captured from
+  /// tasks are dropped here — call wait() to observe them.
+  ~TaskSet();
+  TaskSet(const TaskSet&) = delete;
+  TaskSet& operator=(const TaskSet&) = delete;
+
+  void submit(std::function<void()> fn);
+
+  /// Block until all submitted tasks completed, then rethrow the first
+  /// exception any of them threw (the remaining tasks still ran to
+  /// completion or threw into the void).
+  void wait();
+
+  /// Tasks submitted but not yet finished.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  ThreadPool& pool_;
+  mutable std::mutex mu_;
+  std::condition_variable done_;
+  std::size_t pending_count_ = 0;
+  std::exception_ptr first_error_;
+};
+
+/// Chunked parallel loop: invokes `fn(i)` for every i in [0, n) on the
+/// pool's workers and joins.  `fn` must tolerate concurrent invocation for
+/// distinct indices; with slot-per-index writes the outcome is independent
+/// of chunking and scheduling.  `grain == 0` picks ~4 chunks per worker so
+/// uneven per-index cost still load-balances.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
+                  std::size_t grain = 0) {
+  if (n == 0) return;
+  if (grain == 0)
+    grain = std::max<std::size_t>(1, n / (std::size_t{pool.size()} * 4));
+  TaskSet tasks(pool);
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(n, begin + grain);
+    tasks.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  tasks.wait();
+}
+
+}  // namespace ambisim::exec

@@ -66,7 +66,13 @@ class Histogram {
   }
   /// Upper bound of bucket `i`; the overflow bucket reports +infinity.
   [[nodiscard]] double upper_bound(std::size_t i) const;
+  /// The finite upper bounds (excludes the implicit overflow bucket).
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   [[nodiscard]] const sim::Accumulator& moments() const { return moments_; }
+  /// Fold another histogram with identical bounds into this one: bucket
+  /// counts add exactly, moments combine via the parallel Welford update.
+  /// Throws std::invalid_argument on a bounds mismatch.
+  void merge_from(const Histogram& other);
   /// Interpolated quantile, q in [0, 1].  Requires count() > 0.
   [[nodiscard]] double quantile(double q) const;
   void reset();
@@ -105,6 +111,15 @@ class MetricsRegistry {
   /// histograms (count/mean/stddev/min/max/p50/p99).  Sorted by name so the
   /// dump is deterministic.
   void write_csv(std::ostream& os) const;
+
+  /// Fold another registry into this one: counters add, gauges add (the
+  /// instruments a parallel run shards are additive in practice), and
+  /// histograms merge bucket-by-bucket (absent entries are created with the
+  /// source's bounds).  Counter and bucket totals combine exactly; merged
+  /// histogram moments are correct but, being floating-point sums taken in
+  /// merge order, are only bit-stable when the merge order is fixed — which
+  /// is why ShardSet::merge_into folds shards in index order.
+  void merge_from(const MetricsRegistry& other);
 
   /// Zero every instrument but keep the entries (cached references survive).
   void reset_values();

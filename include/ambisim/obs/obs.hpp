@@ -10,8 +10,20 @@
 //    a disarmed probe costs a single predictable branch on a global flag,
 //    cheap enough to leave compiled into release benches.
 //
-// Like the simulator itself, the subsystem is single-threaded by design.
+// Concurrency model: the registry and tracer themselves are unsynchronized,
+// but `context()` resolves through a thread-local binding.  Parallel
+// sections (ambisim::exec runners) give each worker its own Context shard
+// via ShardSet + ContextBinding, so every probe writes thread-private
+// storage, and merge the shards into the global context — in shard order,
+// so the merged aggregates do not depend on scheduling — after the join.
+// `set_enabled` must not race a parallel section; arm the probes before
+// fanning work out.
 #pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "ambisim/obs/metrics.hpp"
 #include "ambisim/obs/trace.hpp"
@@ -29,17 +41,22 @@ struct Context {
   Tracer tracer;
 };
 
-/// The process-wide context (constructed on first use).
+/// The context probes write to: the calling thread's bound shard when one
+/// is set (see ContextBinding), else the process-wide context (constructed
+/// on first use).
 Context& context();
 
 namespace detail {
-extern bool g_enabled;
+extern std::atomic<bool> g_enabled;
+/// Rebind the calling thread's context; returns the previous binding
+/// (nullptr = the global context).
+Context* bind_context(Context* ctx);
 }  // namespace detail
 
 /// True when probes are both compiled in and armed at runtime.
 inline bool enabled() {
 #if AMBISIM_OBS_COMPILED
-  return detail::g_enabled;
+  return detail::g_enabled.load(std::memory_order_relaxed);
 #else
   return false;
 #endif
@@ -48,11 +65,50 @@ inline bool enabled() {
 /// Arm or disarm the runtime switch (a no-op when compiled out).
 void set_enabled(bool on);
 
-/// Zero all metrics and drop all trace events; the enabled flag and the
-/// registered metric entries are preserved.
+/// Zero all metrics and drop all trace events in the *global* context; the
+/// enabled flag and the registered metric entries are preserved.
 void reset();
 
 /// Convert simulated seconds to trace-timestamp microseconds.
 inline double to_us(double seconds) { return seconds * 1e6; }
+
+/// RAII thread-local context binding.  While alive, `context()` on this
+/// thread resolves to the given shard; a nullptr binding is a no-op (the
+/// thread keeps its previous resolution).
+class ContextBinding {
+ public:
+  explicit ContextBinding(Context* shard)
+      : active_(shard != nullptr),
+        prev_(active_ ? detail::bind_context(shard) : nullptr) {}
+  ~ContextBinding() {
+    if (active_) detail::bind_context(prev_);
+  }
+  ContextBinding(const ContextBinding&) = delete;
+  ContextBinding& operator=(const ContextBinding&) = delete;
+
+ private:
+  bool active_;
+  Context* prev_;
+};
+
+/// A fixed set of per-worker Context shards for one parallel section.
+/// Workers bind their own shard, record freely without synchronization,
+/// and after the join `merge_into` folds every shard into a destination
+/// context in shard order — counters and histogram buckets combine
+/// exactly; trace events are appended shard by shard.
+class ShardSet {
+ public:
+  explicit ShardSet(std::size_t shards,
+                    std::size_t tracer_capacity = Tracer::kDefaultCapacity);
+
+  [[nodiscard]] std::size_t size() const { return shards_.size(); }
+  [[nodiscard]] Context& shard(std::size_t i) { return *shards_.at(i); }
+
+  /// Fold every shard into `dst` (shard 0 first) and clear the shards.
+  void merge_into(Context& dst);
+
+ private:
+  std::vector<std::unique_ptr<Context>> shards_;
+};
 
 }  // namespace ambisim::obs

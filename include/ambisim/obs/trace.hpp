@@ -62,6 +62,12 @@ class Tracer {
   [[nodiscard]] bool empty() const { return recorded_ == 0; }
   void clear();
 
+  /// Append another tracer's surviving events (oldest first) to this ring.
+  /// Used to fold per-worker shards back into the global tracer; merged in
+  /// a fixed shard order the result is scheduling-independent up to the
+  /// per-shard interleaving, and every event carries its own timestamp.
+  void merge_from(const Tracer& other);
+
   /// Snapshot in recording order, oldest surviving event first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 

@@ -28,6 +28,26 @@ class Accumulator {
     m2_ += delta * (x - mean_);
   }
 
+  /// Fold another accumulator into this one (Chan et al. pairwise update):
+  /// counts/sums/extrema combine exactly, mean and M2 via the parallel
+  /// Welford formula.  Lets per-worker accumulators merge after a join.
+  void merge(const Accumulator& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   /// Sample variance (n-1).

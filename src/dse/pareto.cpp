@@ -29,6 +29,31 @@ std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
   return front;
 }
 
+std::vector<ParetoPoint> pareto_front_parallel(std::vector<ParetoPoint> points,
+                                               exec::ExecConfig cfg) {
+  constexpr std::size_t kBlock = 1024;
+  if (points.size() <= kBlock) return pareto_front(std::move(points));
+
+  const std::size_t blocks = (points.size() + kBlock - 1) / kBlock;
+  std::vector<std::vector<ParetoPoint>> local(blocks);
+  exec::ThreadPool pool(cfg.threads);
+  exec::parallel_for(
+      pool, blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * kBlock;
+        const std::size_t hi = std::min(points.size(), lo + kBlock);
+        local[b] = pareto_front(std::vector<ParetoPoint>(
+            points.begin() + static_cast<std::ptrdiff_t>(lo),
+            points.begin() + static_cast<std::ptrdiff_t>(hi)));
+      },
+      /*grain=*/1);
+
+  std::vector<ParetoPoint> survivors;
+  for (const auto& front : local)
+    survivors.insert(survivors.end(), front.begin(), front.end());
+  return pareto_front(std::move(survivors));
+}
+
 bool is_pareto_front(const std::vector<ParetoPoint>& front) {
   for (std::size_t i = 0; i < front.size(); ++i) {
     for (std::size_t j = 0; j < front.size(); ++j) {

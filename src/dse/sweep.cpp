@@ -30,4 +30,13 @@ std::vector<double> logspace(double lo, double hi, int n) {
   return out;
 }
 
+std::vector<std::pair<double, double>> grid(const std::vector<double>& xs,
+                                            const std::vector<double>& ys) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(xs.size() * ys.size());
+  for (double x : xs)
+    for (double y : ys) out.emplace_back(x, y);
+  return out;
+}
+
 }  // namespace ambisim::dse

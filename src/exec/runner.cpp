@@ -1,0 +1,36 @@
+#include "ambisim/exec/runner.hpp"
+
+#include <algorithm>
+
+namespace ambisim::exec::detail {
+
+namespace {
+
+// Shard tracer rings share the global tracer's budget across workers so a
+// heavily traced parallel region does not multiply memory by thread count.
+std::size_t shard_tracer_capacity(unsigned workers) {
+  return std::max<std::size_t>(
+      1024, obs::Tracer::kDefaultCapacity / std::max(1u, workers));
+}
+
+}  // namespace
+
+ObsShardGuard::ObsShardGuard(bool shard_obs, unsigned workers) {
+  if (shard_obs && workers > 0 && obs::enabled())
+    shards_ = std::make_unique<obs::ShardSet>(workers,
+                                              shard_tracer_capacity(workers));
+}
+
+ObsShardGuard::~ObsShardGuard() {
+  if (shards_) shards_->merge_into(obs::context());
+}
+
+obs::Context* ObsShardGuard::shard_for_current_worker() {
+  if (!shards_) return nullptr;
+  const int worker = ThreadPool::current_worker_index();
+  if (worker < 0 || static_cast<std::size_t>(worker) >= shards_->size())
+    return nullptr;
+  return &shards_->shard(static_cast<std::size_t>(worker));
+}
+
+}  // namespace ambisim::exec::detail

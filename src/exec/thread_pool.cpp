@@ -1,0 +1,93 @@
+#include "ambisim/exec/thread_pool.hpp"
+
+namespace ambisim::exec {
+
+namespace {
+thread_local int t_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int ThreadPool::current_worker_index() { return t_worker_index; }
+
+unsigned ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  t_worker_index = static_cast<int>(index);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+TaskSet::~TaskSet() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_.wait(lk, [this] { return pending_count_ == 0; });
+}
+
+void TaskSet::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_count_;
+  }
+  pool_.submit([this, fn = std::move(fn)] {
+    std::exception_ptr err;
+    try {
+      fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if (err && !first_error_) first_error_ = err;
+    if (--pending_count_ == 0) done_.notify_all();
+  });
+}
+
+void TaskSet::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_.wait(lk, [this] { return pending_count_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t TaskSet::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_count_;
+}
+
+}  // namespace ambisim::exec

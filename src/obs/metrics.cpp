@@ -80,6 +80,14 @@ double Histogram::quantile(double q) const {
   return moments_.max();
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_)
+    throw std::invalid_argument("histogram merge: bounds mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  moments_.merge(other.moments_);
+}
+
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   moments_ = sim::Accumulator{};
@@ -171,6 +179,13 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
   for (const Row& r : rows)
     os << r.metric << ',' << r.kind << ',' << r.field << ',' << r.value
        << '\n';
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [n, c] : other.counters_) counter(n).inc(c->value());
+  for (const auto& [n, g] : other.gauges_) gauge(n).add(g->value());
+  for (const auto& [n, h] : other.histograms_)
+    histogram(n, h->bounds()).merge_from(*h);
 }
 
 void MetricsRegistry::reset_values() {

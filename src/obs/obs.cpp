@@ -1,19 +1,34 @@
 #include "ambisim/obs/obs.hpp"
 
+#include <stdexcept>
+
 namespace ambisim::obs {
 
 namespace detail {
-bool g_enabled = false;
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+thread_local Context* t_bound = nullptr;
+}  // namespace
+
+Context* bind_context(Context* ctx) {
+  Context* prev = t_bound;
+  t_bound = ctx;
+  return prev;
+}
+
 }  // namespace detail
 
 Context& context() {
+  if (detail::t_bound != nullptr) return *detail::t_bound;
   static Context ctx;
   return ctx;
 }
 
 void set_enabled(bool on) {
 #if AMBISIM_OBS_COMPILED
-  detail::g_enabled = on;
+  detail::g_enabled.store(on, std::memory_order_relaxed);
 #else
   (void)on;
 #endif
@@ -22,6 +37,26 @@ void set_enabled(bool on) {
 void reset() {
   context().metrics.reset_values();
   context().tracer.clear();
+}
+
+ShardSet::ShardSet(std::size_t shards, std::size_t tracer_capacity) {
+  if (shards == 0)
+    throw std::invalid_argument("shard count must be positive");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto ctx = std::make_unique<Context>();
+    ctx->tracer = Tracer(tracer_capacity);
+    shards_.push_back(std::move(ctx));
+  }
+}
+
+void ShardSet::merge_into(Context& dst) {
+  for (auto& shard : shards_) {
+    dst.metrics.merge_from(shard->metrics);
+    dst.tracer.merge_from(shard->tracer);
+    shard->metrics.clear();
+    shard->tracer.clear();
+  }
 }
 
 }  // namespace ambisim::obs

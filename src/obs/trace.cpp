@@ -61,6 +61,10 @@ void Tracer::clear() {
   recorded_ = 0;
 }
 
+void Tracer::merge_from(const Tracer& other) {
+  for (const TraceEvent& ev : other.events()) push(ev);
+}
+
 std::vector<TraceEvent> Tracer::events() const {
   const std::size_t n = size();
   std::vector<TraceEvent> out;

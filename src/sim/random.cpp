@@ -1,24 +1,38 @@
 #include "ambisim/sim/random.hpp"
 
-#include <numeric>
-
 namespace ambisim::sim {
 
 std::size_t Rng::weighted_index(std::span<const double> weights) {
   if (weights.empty()) throw std::invalid_argument("empty weight vector");
+  // One engine draw up front, then a single fused pass that validates,
+  // accumulates the total, and lazily advances the selection cursor
+  // (formerly validation+total and selection were two full passes).  The
+  // cursor may only advance when its cumulative mass falls below the
+  // current target u * total: the target only grows as total grows, so the
+  // cursor never overshoots the final selection.  The selected index is
+  // the first whose cumulative weight exceeds u * total — the same
+  // criterion, same addition order, and (in libstdc++, which scales one
+  // canonical variate) the same draw as the old uniform(0, total) code
+  // path, keeping seeded experiments bit-identical.
+  const double u = uniform();
   double total = 0.0;
-  for (double w : weights) {
+  double below = 0.0;  // cumulative weight of indices strictly before `sel`
+  std::size_t sel = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
     if (w < 0.0) throw std::invalid_argument("negative weight");
     total += w;
+    while (sel < i && below + weights[sel] <= u * total) {
+      below += weights[sel];
+      ++sel;
+    }
   }
   if (total <= 0.0) throw std::invalid_argument("all weights zero");
-  double u = uniform(0.0, total);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    acc += weights[i];
-    if (u < acc) return i;
+  while (sel + 1 < weights.size() && below + weights[sel] <= u * total) {
+    below += weights[sel];
+    ++sel;
   }
-  return weights.size() - 1;  // float round-off fallback
+  return sel;  // float round-off falls back to the last index
 }
 
 }  // namespace ambisim::sim

@@ -1,0 +1,145 @@
+// ThreadPool / TaskSet / parallel_for edge cases: zero tasks, more tasks
+// than threads, exception propagation, worker identity.
+#include "ambisim/exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using ambisim::exec::parallel_for;
+using ambisim::exec::TaskSet;
+using ambisim::exec::ThreadPool;
+
+TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPoolTest, ZeroTasksJoinsImmediately) {
+  ThreadPool pool(2);
+  TaskSet tasks(pool);
+  EXPECT_EQ(tasks.pending(), 0u);
+  tasks.wait();  // nothing submitted: must not block or throw
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanThreadsAllRunExactlyOnce) {
+  ThreadPool pool(2);
+  constexpr std::size_t kTasks = 997;  // deliberately not a multiple of 2
+  std::vector<int> hits(kTasks, 0);
+  TaskSet tasks(pool);
+  for (std::size_t i = 0; i < kTasks; ++i)
+    tasks.submit([&hits, i] { hits[i] += 1; });
+  tasks.wait();
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::size_t> out(kN, 0);
+  parallel_for(pool, kN, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillRunsEverything) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  TaskSet tasks(pool);
+  for (int i = 0; i < 10; ++i)
+    tasks.submit([&order, i] { order.push_back(i); });
+  tasks.wait();
+  // One worker drains the FIFO queue in submission order.
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  TaskSet tasks(pool);
+  tasks.submit([] { throw std::runtime_error("task blew up"); });
+  EXPECT_THROW(tasks.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, RemainingTasksStillRunWhenOneThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  TaskSet tasks(pool);
+  for (int i = 0; i < 50; ++i)
+    tasks.submit([&completed, i] {
+      if (i == 7) throw std::logic_error("midway failure");
+      completed.fetch_add(1);
+    });
+  EXPECT_THROW(tasks.wait(), std::logic_error);
+  EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ThreadPoolTest, PoolIsUsableAfterAnException) {
+  ThreadPool pool(2);
+  {
+    TaskSet tasks(pool);
+    tasks.submit([] { throw std::runtime_error("first batch fails"); });
+    EXPECT_THROW(tasks.wait(), std::runtime_error);
+  }
+  std::atomic<int> ran{0};
+  parallel_for(pool, 64, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [](std::size_t i) {
+                              if (i == 41) throw std::out_of_range("boom");
+                            }),
+               std::out_of_range);
+}
+
+TEST(ThreadPoolTest, TaskSetDestructorJoinsWithoutThrowing) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  {
+    TaskSet tasks(pool);
+    for (int i = 0; i < 20; ++i)
+      tasks.submit([&ran] {
+        ran.fetch_add(1);
+        throw std::runtime_error("swallowed by the destructor");
+      });
+    // No wait(): the destructor must join and drop the exceptions.
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, WorkerIndexIsStableAndInRange) {
+  ThreadPool pool(4);
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1);  // not a pool thread
+  std::mutex mu;
+  std::set<int> seen;
+  parallel_for(
+      pool, 256,
+      [&](std::size_t) {
+        const int w = ThreadPool::current_worker_index();
+        ASSERT_GE(w, 0);
+        ASSERT_LT(w, 4);
+        std::lock_guard<std::mutex> lk(mu);
+        seen.insert(w);
+      },
+      /*grain=*/1);
+  EXPECT_FALSE(seen.empty());
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Per-thread observability shards: Accumulator/Histogram/registry/tracer
+// merges and the thread-local context binding.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "ambisim/obs/obs.hpp"
+#include "ambisim/sim/statistics.hpp"
+
+namespace {
+
+using namespace ambisim;
+
+TEST(AccumulatorMergeTest, MatchesSingleStreamExactlyOnCountSumExtrema) {
+  sim::Accumulator whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.37 * i - 5.0;
+    whole.add(x);
+    (i < 42 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(AccumulatorMergeTest, MergingEmptySidesIsIdentity) {
+  sim::Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  sim::Accumulator b;
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 1.0);
+  EXPECT_EQ(b.max(), 3.0);
+}
+
+TEST(HistogramMergeTest, BucketCountsAdd) {
+  obs::Histogram a({1.0, 2.0, 4.0});
+  obs::Histogram b({1.0, 2.0, 4.0});
+  a.observe(0.5);
+  a.observe(1.5);
+  b.observe(1.5);
+  b.observe(100.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_EQ(a.bucket(1), 2u);
+  EXPECT_EQ(a.bucket(2), 0u);
+  EXPECT_EQ(a.bucket(3), 1u);  // overflow
+  EXPECT_EQ(a.moments().max(), 100.0);
+}
+
+TEST(HistogramMergeTest, BoundsMismatchThrows) {
+  obs::Histogram a({1.0, 2.0});
+  obs::Histogram b({1.0, 3.0});
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(RegistryMergeTest, CountersGaugesHistogramsFold) {
+  obs::MetricsRegistry dst, src;
+  dst.counter("shared").inc(3);
+  src.counter("shared").inc(4);
+  src.counter("only_src").inc(7);
+  dst.gauge("g").set(1.5);
+  src.gauge("g").set(2.5);
+  src.histogram("h", {1.0, 10.0}).observe(5.0);
+  dst.merge_from(src);
+  EXPECT_EQ(dst.find_counter("shared")->value(), 7u);
+  EXPECT_EQ(dst.find_counter("only_src")->value(), 7u);
+  EXPECT_DOUBLE_EQ(dst.find_gauge("g")->value(), 4.0);  // additive merge
+  const obs::Histogram* h = dst.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  // Created with the source's bounds, not the defaults.
+  EXPECT_EQ(h->bounds(), (std::vector<double>{1.0, 10.0}));
+}
+
+TEST(TracerMergeTest, EventsAppendInShardOrder) {
+  obs::Tracer a(16), b(16);
+  a.instant("a0", "t", 1.0);
+  b.instant("b0", "t", 2.0);
+  b.instant("b1", "t", 3.0);
+  a.merge_from(b);
+  const auto events = a.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "a0");
+  EXPECT_STREQ(events[1].name, "b0");
+  EXPECT_STREQ(events[2].name, "b1");
+}
+
+TEST(ShardSetTest, MergeIntoFoldsEveryShardAndClearsThem) {
+  obs::ShardSet shards(3, /*tracer_capacity=*/32);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards.shard(s).metrics.counter("hits").inc(s + 1);
+    shards.shard(s).tracer.instant("ev", "t", static_cast<double>(s));
+  }
+  obs::Context dst;
+  shards.merge_into(dst);
+  EXPECT_EQ(dst.metrics.find_counter("hits")->value(), 1u + 2u + 3u);
+  EXPECT_EQ(dst.tracer.size(), 3u);
+  // Shards are drained by the merge.
+  EXPECT_TRUE(shards.shard(0).metrics.empty());
+  EXPECT_TRUE(shards.shard(0).tracer.empty());
+}
+
+TEST(ShardSetTest, ZeroShardsRejected) {
+  EXPECT_THROW(obs::ShardSet(0), std::invalid_argument);
+}
+
+TEST(ContextBindingTest, RoutesContextToTheBoundShardAndRestores) {
+  obs::Context shard;
+  obs::Context& global = obs::context();
+  {
+    obs::ContextBinding bind(&shard);
+    EXPECT_EQ(&obs::context(), &shard);
+    {
+      obs::ContextBinding inner(nullptr);  // no-op binding
+      EXPECT_EQ(&obs::context(), &shard);
+    }
+    EXPECT_EQ(&obs::context(), &shard);
+  }
+  EXPECT_EQ(&obs::context(), &global);
+}
+
+}  // namespace
