@@ -1,0 +1,54 @@
+// Per-topology cached link quality tables.
+//
+// Link-level quantities — BER at the edge's distance, packet error rate,
+// expected stop-and-wait ARQ attempts and delivery probability — depend
+// only on (topology, radio, packet size, ARQ policy), yet deriving them
+// through radio::bit_error_rate_at costs an erfc/exp per query.  A packet
+// simulation crosses every directed edge thousands of times per simulated
+// hour, so LinkTable evaluates the whole chain once per edge at build time
+// and the hot path reads a 40-byte row.  Rows are indexed (from, to); the
+// AWGN model is symmetric in distance, but the directed API matches how
+// routing trees and MAC roles consume the table.
+#pragma once
+
+#include <vector>
+
+#include "ambisim/net/topology.hpp"
+#include "ambisim/radio/ber.hpp"
+#include "ambisim/radio/transceiver.hpp"
+
+namespace ambisim::net {
+
+/// Precomputed quality of one directed link.
+struct LinkStats {
+  double distance_m = 0.0;
+  double ber = 0.0;                   ///< AWGN bit error rate at distance
+  double per = 0.0;                   ///< uncoded packet error rate
+  double expected_attempts = 1.0;     ///< truncated-geometric ARQ attempts
+  double delivery_probability = 1.0;  ///< >= 1 attempt succeeds
+};
+
+class LinkTable {
+ public:
+  LinkTable() = default;
+  /// Evaluate every directed edge of `topo` for `packet_bits`-sized packets
+  /// on `radio` under `arq`.  O(n^2) BER evaluations, paid once per
+  /// topology instead of once per hop per packet.
+  LinkTable(const Topology& topo, const radio::RadioModel& radio,
+            u::Information packet_bits,
+            const radio::ArqModel& arq = radio::ArqModel{});
+
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] const LinkStats& edge(int from, int to) const {
+    return stats_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(to)];
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<LinkStats> stats_;
+};
+
+}  // namespace ambisim::net

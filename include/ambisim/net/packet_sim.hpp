@@ -9,9 +9,11 @@
 #pragma once
 
 #include "ambisim/energy/ledger.hpp"
+#include "ambisim/net/link_table.hpp"
 #include "ambisim/net/mac.hpp"
 #include "ambisim/net/routing.hpp"
 #include "ambisim/net/topology.hpp"
+#include "ambisim/radio/ber.hpp"
 #include "ambisim/sim/simulator.hpp"
 #include "ambisim/sim/statistics.hpp"
 
@@ -28,6 +30,15 @@ struct PacketSimConfig {
   RoutingPolicy routing = RoutingPolicy::MinHop;
   u::Time duration{3600.0};
   unsigned seed = 1;
+  /// When true, every hop pays the expected stop-and-wait ARQ cost of its
+  /// directed edge — airtime, startup, and tx/rx energy scale by the
+  /// precomputed expected attempts from the per-topology LinkTable.  The
+  /// expected-value model consumes no extra randomness, so runs stay
+  /// deterministic; leaving it false reproduces the perfect-link kernel
+  /// bit-for-bit.
+  bool model_link_errors = false;
+  /// ARQ policy evaluated per edge when model_link_errors is set.
+  radio::ArqModel arq{};
 };
 
 struct PacketSimResult {
@@ -37,6 +48,9 @@ struct PacketSimResult {
   sim::Samples end_to_end_latency;    ///< seconds, per delivered packet
   sim::Samples queueing_delay;        ///< seconds waited at busy relays
   double mean_hops = 0.0;
+  /// Mean expected ARQ attempts per traversed hop (1.0 exactly when link
+  /// errors are not modeled — every edge then costs a single attempt).
+  double mean_link_attempts = 1.0;
   energy::EnergyLedger ledger;        ///< radio-tx / radio-rx / listen
   u::Energy energy_per_delivered{0.0};
 

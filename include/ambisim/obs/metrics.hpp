@@ -126,6 +126,11 @@ class MetricsRegistry {
   /// Drop every entry; outstanding references become dangling.
   void clear();
 
+  /// Monotonic counter bumped by clear(): callers that cache instrument
+  /// pointers (the sim kernel does) compare epochs to detect that their
+  /// references went dangling and must be re-resolved.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
  private:
   template <class T>
   using Entries = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
@@ -133,6 +138,7 @@ class MetricsRegistry {
   Entries<Counter> counters_;
   Entries<Gauge> gauges_;
   Entries<Histogram> histograms_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace ambisim::obs

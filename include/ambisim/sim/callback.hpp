@@ -1,0 +1,169 @@
+// Small-buffer-optimized type-erased callable for the event kernel.
+//
+// `std::function` costs the hot path twice: copying one out of
+// `priority_queue::top()` may heap-allocate, and libstdc++'s 16-byte inline
+// buffer spills typical simulator closures (a context pointer plus a couple
+// of scalars) to the heap at schedule time.  InplaceCallback is the
+// kernel-shaped replacement: 48 bytes of inline storage (enough for every
+// closure the simulators build, and for a whole `std::function` should a
+// client hand one over), move-only semantics so the kernel never copies a
+// callable, and a heap fallback only for oversized or throwing-move captures
+// so behaviour stays correct for arbitrary clients.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ambisim::sim {
+
+class InplaceCallback {
+ public:
+  /// Inline capture budget.  Closures at or under this size (and alignment)
+  /// with noexcept moves live in the event slot itself; anything bigger
+  /// falls back to one heap cell.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  InplaceCallback() noexcept = default;
+
+  template <typename F,
+            typename D = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceCallback> &&
+                std::is_invocable_r_v<void, D&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  InplaceCallback(F&& f) {
+    // Preserve std::function's null semantics: wrapping an empty function
+    // (or null function pointer) yields an empty InplaceCallback, so
+    // `schedule_*` can keep rejecting it up front instead of crashing at
+    // fire time.
+    if constexpr (std::is_constructible_v<bool, const D&>) {
+      if (!static_cast<bool>(f)) return;
+    }
+    emplace<D>(std::forward<F>(f));
+  }
+
+  InplaceCallback(InplaceCallback&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      // Trivially-relocatable callables (the kernel's own closures, heap
+      // cell pointers) move with a plain copy of the whole buffer — no
+      // indirect call on the hot path.
+      if (vtable_->trivial) {
+        storage_ = other.storage_;
+      } else {
+        vtable_->relocate(&storage_, &other.storage_);
+      }
+      other.vtable_ = nullptr;
+    }
+  }
+
+  InplaceCallback& operator=(InplaceCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        if (vtable_->trivial) {
+          storage_ = other.storage_;
+        } else {
+          vtable_->relocate(&storage_, &other.storage_);
+        }
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceCallback(const InplaceCallback&) = delete;
+  InplaceCallback& operator=(const InplaceCallback&) = delete;
+
+  ~InplaceCallback() { reset(); }
+
+  void operator()() { vtable_->invoke(&storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (!vtable_->trivial_destroy) vtable_->destroy(&storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  /// True when the held callable lives in the inline buffer (test hook for
+  /// the zero-allocation contract).
+  [[nodiscard]] bool inline_stored() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_stored;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* self);
+    /// Move-construct `*dst` from `*src`, then destroy `*src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool inline_stored;
+    /// Relocating is a plain buffer copy (trivially-copyable inline
+    /// callables, and heap cells whose buffer just holds the pointer).
+    bool trivial;
+    /// Destruction is a no-op (trivially-destructible inline callables).
+    bool trivial_destroy;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D, typename F>
+  void emplace(F&& f) {
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+      static constexpr VTable vt{
+          [](void* self) { (*std::launder(static_cast<D*>(self)))(); },
+          [](void* dst, void* src) noexcept {
+            D* from = std::launder(static_cast<D*>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+          },
+          [](void* self) noexcept {
+            std::launder(static_cast<D*>(self))->~D();
+          },
+          /*inline_stored=*/true,
+          /*trivial=*/std::is_trivially_copyable_v<D>,
+          /*trivial_destroy=*/std::is_trivially_destructible_v<D>};
+      vtable_ = &vt;
+    } else {
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(f)));
+      static constexpr VTable vt{
+          [](void* self) { (**std::launder(static_cast<D**>(self)))(); },
+          [](void* dst, void* src) noexcept {
+            // Pointer relocation: copy the cell pointer; the source slot is
+            // trivially destructible.
+            ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+          },
+          [](void* self) noexcept {
+            delete *std::launder(static_cast<D**>(self));
+          },
+          /*inline_stored=*/false,
+          /*trivial=*/true,  // the buffer just holds the cell pointer
+          /*trivial_destroy=*/false};
+      vtable_ = &vt;
+    }
+  }
+
+  // Wrapped in a struct so the trivial-relocate path is one aggregate copy.
+  struct Storage {
+    alignas(kInlineAlign) std::byte bytes[kInlineSize];
+  };
+
+  const VTable* vtable_ = nullptr;
+  Storage storage_;
+};
+
+}  // namespace ambisim::sim

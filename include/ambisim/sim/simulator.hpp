@@ -4,15 +4,24 @@
 // callables scheduled at absolute or relative simulated times; ties are
 // broken by insertion order so runs are fully deterministic.  Handles allow
 // cancellation (used by MAC timers and power-manager timeouts).
+//
+// The hot path is allocation-free in steady state: events live in a slab
+// pool of reusable slots (free-list recycled, generation-counted so stale
+// handles are inert), callables are stored in-place via InplaceCallback
+// (heap fallback only for oversized captures), and ordering is kept by a
+// hand-rolled 4-ary min-heap over pool indices that moves the callable out
+// of the winning slot instead of copying it.  Cancellation is lazy: a
+// cancelled event keeps its queue position until the heap reaches it, at
+// which point it is dropped and counted in `dropped_events()` — exactly the
+// semantics (and `pending_events()` accounting) of the earlier
+// shared_ptr/std::function kernel, at a fraction of the cost.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "ambisim/sim/callback.hpp"
 #include "ambisim/sim/units.hpp"
 
 namespace ambisim::sim {
@@ -21,8 +30,63 @@ using units::Time;
 
 class Simulator;
 
+namespace detail {
+class EventPool;
+
+void pool_add_ref(EventPool* p) noexcept;
+void pool_release(EventPool* p) noexcept;
+
+// Intrusive, non-atomic refcounted pointer to the event pool.  The kernel
+// is single-threaded by contract (the exec layer hands each worker its own
+// Simulator), so handle copies cost a plain increment where a shared_ptr
+// would pay two locked operations per scheduled event.
+class PoolRef {
+ public:
+  PoolRef() = default;
+  /// Adopts `p` (takes over the initial reference).
+  explicit PoolRef(EventPool* p) noexcept : p_(p) {}
+  PoolRef(const PoolRef& o) noexcept : p_(o.p_) {
+    if (p_ != nullptr) pool_add_ref(p_);
+  }
+  PoolRef(PoolRef&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  PoolRef& operator=(const PoolRef& o) noexcept {
+    if (this != &o) {
+      if (o.p_ != nullptr) pool_add_ref(o.p_);
+      if (p_ != nullptr) pool_release(p_);
+      p_ = o.p_;
+    }
+    return *this;
+  }
+  PoolRef& operator=(PoolRef&& o) noexcept {
+    if (this != &o) {
+      if (p_ != nullptr) pool_release(p_);
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~PoolRef() {
+    if (p_ != nullptr) pool_release(p_);
+  }
+
+  [[nodiscard]] EventPool* get() const noexcept { return p_; }
+  EventPool* operator->() const noexcept { return p_; }
+  EventPool& operator*() const noexcept { return *p_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return p_ != nullptr;
+  }
+
+ private:
+  EventPool* p_ = nullptr;
+};
+}  // namespace detail
+
 /// Cancellation handle for a scheduled event.  Copyable; cancelling an
-/// already-fired or already-cancelled event is a no-op.
+/// already-fired or already-cancelled event is a no-op.  Handles reference
+/// their event by pool index + generation: once the event fires (or its
+/// cancelled slot drains) the generation advances and every outstanding
+/// handle for it goes inert, even if the slot is reused.  Handles keep the
+/// pool alive, so they stay safe to query after the Simulator is destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -31,16 +95,21 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(const detail::PoolRef& pool, std::uint32_t index,
+              std::uint32_t generation)
+      : pool_(pool), index_(index), generation_(generation) {}
+
+  detail::PoolRef pool_;
+  std::uint32_t index_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback;
 
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -54,7 +123,8 @@ class Simulator {
   /// Run until the queue is empty or `stop()` is called.
   void run();
   /// Run until simulated time reaches `deadline`; the clock is advanced to
-  /// `deadline` even if the queue empties earlier.
+  /// `deadline` even if the queue empties earlier.  `stop()` from inside a
+  /// callback halts immediately and leaves the clock at the stop point.
   void run_until(Time deadline);
   /// Execute the single next event.  Returns false if the queue is empty.
   bool step();
@@ -62,27 +132,29 @@ class Simulator {
   void stop() { stopped_ = true; }
   [[nodiscard]] bool stopped() const { return stopped_; }
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Scheduled events still in the queue, including cancelled ones whose
+  /// slots have not yet drained (they drop when the heap reaches them).
+  [[nodiscard]] std::size_t pending_events() const;
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  /// Cancelled events removed from the queue without firing (by `step()`
+  /// skipping them or by `run_until`'s head drain).
+  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_; }
+  /// Current slab capacity of the event pool (grows on demand, never
+  /// shrinks); exposed for pool-growth tests and bench reporting.
+  [[nodiscard]] std::size_t event_pool_capacity() const;
+
+  /// Drop the cached observability instrument pointers so the next probe
+  /// re-resolves them.  Only needed if the active registry is `clear()`ed
+  /// mid-run; context switches and `obs::reset()` are detected
+  /// automatically.
+  void refresh_obs_cache();
 
  private:
-  struct Event {
-    Time time;
-    std::uint64_t seq;
-    Callback fn;
-    std::shared_ptr<bool> cancelled;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  detail::PoolRef pool_;
   Time now_{0.0};
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t dropped_ = 0;
   bool stopped_ = false;
 };
 
@@ -93,6 +165,9 @@ class Trace {
   explicit Trace(std::string name) : name_(std::move(name)) {}
 
   void record(Time t, double value) { points_.push_back({t, value}); }
+  /// Pre-size the backing store for `n` points (long recording loops avoid
+  /// doubling reallocations).
+  void reserve(std::size_t n) { points_.reserve(n); }
 
   struct Point {
     Time time;

@@ -78,6 +78,9 @@ class Samples {
     values_.push_back(x);
     sorted_valid_ = false;
   }
+  /// Pre-size the backing store for `n` samples; long collection loops
+  /// (packet simulations, bench sweeps) avoid doubling reallocations.
+  void reserve(std::size_t n) { values_.reserve(n); }
   [[nodiscard]] std::size_t count() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return values_.empty(); }
   [[nodiscard]] double mean() const;

@@ -85,6 +85,13 @@ AmiScenarioResult run_ami_scenario(const AmiScenarioConfig& cfg) {
   sim::Rng rng(cfg.seed);
   const double mean_gap =
       cfg.events_per_hour > 0.0 ? 3600.0 / cfg.events_per_hour : 0.0;
+  if (mean_gap > 0.0) {
+    // Poisson arrivals average duration/mean_gap events; pad the latency
+    // store a little so the event loop almost never reallocates.
+    res.end_to_end_latency.reserve(
+        static_cast<std::size_t>(cfg.duration.value() / mean_gap * 1.25) +
+        16);
+  }
 
   std::function<void()> fire = [&]() {
     ++res.events;

@@ -21,6 +21,9 @@ BufferSimResult simulate_energy_buffer(const BufferSimConfig& cfg) {
   const double dt = cfg.step.value();
   const long long steps =
       static_cast<long long>(std::ceil(cfg.duration.value() / dt));
+  // One SoC sample per step; multi-day horizons at minute resolution run
+  // past 10^5 points, so size the trace up front.
+  res.soc_trace.reserve(static_cast<std::size_t>(steps));
 
   double day_start_soc = buffer.state_of_charge();
   double last_cycle_delta = 0.0;

@@ -1,5 +1,6 @@
 #include "ambisim/net/packet_sim.hpp"
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -16,6 +17,27 @@ struct Packet {
   int hops_taken = 0;
   u::Time created{0.0};
   u::Time queued_total{0.0};
+};
+
+// Everything the per-hop and per-source closures need, gathered behind one
+// pointer: event callbacks then capture {ctx, small scalars, shared packet}
+// and stay inside InplaceCallback's inline buffer instead of spilling a
+// fistful of reference captures to the heap on every scheduled hop.
+struct SimCtx {
+  const PacketSimConfig& cfg;
+  const Topology& topo;
+  const RoutingTree& tree;
+  const LinkTable& links;
+  sim::Simulator& simu;
+  sim::Rng& rng;
+  PacketSimResult& res;
+  std::vector<u::Time>& tx_free;
+  u::Time airtime;
+  u::Energy tx_e;
+  u::Energy rx_e;
+  double attempts_sum = 0.0;
+  long long attempts_hops = 0;
+  std::function<void(int, std::shared_ptr<Packet>)> forward;
 };
 
 }  // namespace
@@ -41,100 +63,131 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
           ? min_hop_routes(topo, range)
           : min_energy_routes(topo, range, link_model);
 
+  // BER/PER/expected-ARQ-attempts per directed edge, evaluated once per
+  // topology; hops then read the cached row instead of re-deriving
+  // bit_error_rate_at per packet.
+  const LinkTable links =
+      cfg.model_link_errors
+          ? LinkTable(topo, radio, cfg.packet_bits, cfg.arq)
+          : LinkTable();
+
   PacketSimResult res;
   sim::Simulator simu;
   const int n = topo.size();
 
+  // Every source emits about duration/period packets (plus its phase
+  // packet); pre-size the sample stores so hot-loop `add`s never reallocate.
+  const std::size_t expected_packets =
+      static_cast<std::size_t>(n - 1) *
+      (static_cast<std::size_t>(cfg.duration.value() /
+                                cfg.report_period.value()) +
+       1);
+  res.end_to_end_latency.reserve(expected_packets);
+  res.queueing_delay.reserve(expected_packets);
+
   // Transmitter FIFO serialization point per node.
   std::vector<u::Time> tx_free(static_cast<std::size_t>(n), u::Time(0.0));
 
-  const u::Time airtime = radio.time_on_air(cfg.packet_bits);
-  const u::Energy tx_e = cfg.mac.tx_packet_energy(radio, cfg.packet_bits);
-  const u::Energy rx_e = cfg.mac.rx_packet_energy(radio, cfg.packet_bits);
+  SimCtx ctx{cfg,  topo, tree, links, simu,
+             rng,  res,  tx_free,
+             /*airtime=*/radio.time_on_air(cfg.packet_bits),
+             /*tx_e=*/cfg.mac.tx_packet_energy(radio, cfg.packet_bits),
+             /*rx_e=*/cfg.mac.rx_packet_energy(radio, cfg.packet_bits)};
 
   // Hop forwarding: node `from` hands `pkt` toward the sink.
-  std::function<void(int, std::shared_ptr<Packet>)> forward =
-      [&](int from, std::shared_ptr<Packet> pkt) {
-        const int to = tree.next_hop[static_cast<std::size_t>(from)];
-        // Wait for the transmitter if it is mid-packet (FIFO).
-        const u::Time start = u::max(simu.now(), tx_free[
-            static_cast<std::size_t>(from)]);
-        const u::Time waited = start - simu.now();
-        if (waited > u::Time(0.0))
-          pkt->queued_total += waited;
-        // Random preamble alignment with the receiver's wake window.
-        const u::Time preamble{
-            rng.uniform(0.0, cfg.mac.wake_interval.value())};
-        const u::Time done = start + preamble + airtime +
-                             cfg.radio.startup;
-        tx_free[static_cast<std::size_t>(from)] = done;
+  ctx.forward = [c = &ctx](int from, std::shared_ptr<Packet> pkt) {
+    const int to = c->tree.next_hop[static_cast<std::size_t>(from)];
+    // Wait for the transmitter if it is mid-packet (FIFO).
+    const u::Time start =
+        u::max(c->simu.now(), c->tx_free[static_cast<std::size_t>(from)]);
+    const u::Time waited = start - c->simu.now();
+    if (waited > u::Time(0.0)) pkt->queued_total += waited;
+    // Random preamble alignment with the receiver's wake window.
+    const u::Time preamble{
+        c->rng.uniform(0.0, c->cfg.mac.wake_interval.value())};
+    // Expected ARQ attempts on this directed edge (exactly 1.0 on perfect
+    // links, so `x * attempts` stays bit-identical to the unscaled path).
+    double attempts = 1.0;
+    if (c->cfg.model_link_errors) {
+      attempts = c->links.edge(from, to).expected_attempts;
+      c->attempts_sum += attempts;
+      ++c->attempts_hops;
+    }
+    const u::Time done = start + preamble + c->airtime * attempts +
+                         c->cfg.radio.startup * attempts;
+    c->tx_free[static_cast<std::size_t>(from)] = done;
 
+#if AMBISIM_OBS_COMPILED
+    if (obs::enabled()) [[unlikely]] {
+      auto& octx = obs::context();
+      octx.metrics.counter("net.hops").inc();
+      octx.metrics.histogram("net.queue_wait_s").observe(waited.value());
+      octx.metrics.histogram("net.preamble_s").observe(preamble.value());
+      // The hop span covers queueing + preamble + airtime on the
+      // sender's timeline lane.
+      octx.tracer.complete("hop", "net", obs::to_us(c->simu.now().value()),
+                           obs::to_us((done - c->simu.now()).value()),
+                           static_cast<std::uint32_t>(from));
+      octx.tracer.counter("energy.radio_uJ", "energy",
+                          obs::to_us(c->simu.now().value()),
+                          (c->tx_e + c->rx_e).value() * attempts * 1e6);
+    }
+#endif
+
+    c->res.ledger.charge("radio-tx", c->tx_e * attempts);
+    c->res.ledger.charge("radio-rx", c->rx_e * attempts);
+
+    c->simu.schedule_at(done, [c, to, pkt]() {
+      pkt->hops_taken += 1;
+      if (to == c->topo.sink()) {
+        ++c->res.delivered;
+        c->res.end_to_end_latency.add(
+            (c->simu.now() - pkt->created).value());
+        c->res.queueing_delay.add(pkt->queued_total.value());
+        c->res.mean_hops += pkt->hops_taken;
 #if AMBISIM_OBS_COMPILED
         if (obs::enabled()) [[unlikely]] {
-          auto& ctx = obs::context();
-          ctx.metrics.counter("net.hops").inc();
-          ctx.metrics.histogram("net.queue_wait_s").observe(waited.value());
-          ctx.metrics.histogram("net.preamble_s").observe(preamble.value());
-          // The hop span covers queueing + preamble + airtime on the
-          // sender's timeline lane.
-          ctx.tracer.complete("hop", "net", obs::to_us(simu.now().value()),
-                              obs::to_us((done - simu.now()).value()),
-                              static_cast<std::uint32_t>(from));
-          ctx.tracer.counter("energy.radio_uJ", "energy",
-                             obs::to_us(simu.now().value()),
-                             (tx_e + rx_e).value() * 1e6);
+          auto& octx = obs::context();
+          octx.metrics.counter("net.packets_delivered").inc();
+          octx.metrics.histogram("net.latency_s")
+              .observe((c->simu.now() - pkt->created).value());
+          octx.tracer.instant("packet.delivered", "net",
+                              obs::to_us(c->simu.now().value()),
+                              static_cast<std::uint32_t>(pkt->origin));
         }
 #endif
+        return;
+      }
+      c->forward(to, pkt);
+    });
+  };
 
-        res.ledger.charge("radio-tx", tx_e);
-        res.ledger.charge("radio-rx", rx_e);
-
-        simu.schedule_at(done, [&, to, pkt]() {
-          pkt->hops_taken += 1;
-          if (to == topo.sink()) {
-            ++res.delivered;
-            res.end_to_end_latency.add((simu.now() - pkt->created).value());
-            res.queueing_delay.add(pkt->queued_total.value());
-            res.mean_hops += pkt->hops_taken;
-#if AMBISIM_OBS_COMPILED
-            if (obs::enabled()) [[unlikely]] {
-              auto& ctx = obs::context();
-              ctx.metrics.counter("net.packets_delivered").inc();
-              ctx.metrics.histogram("net.latency_s")
-                  .observe((simu.now() - pkt->created).value());
-              ctx.tracer.instant("packet.delivered", "net",
-                                 obs::to_us(simu.now().value()),
-                                 static_cast<std::uint32_t>(pkt->origin));
-            }
-#endif
-            return;
-          }
-          forward(to, pkt);
-        });
-      };
-
-  // Periodic sources, phase-staggered.
+  // Periodic sources, phase-staggered.  Each node's emitter lives in this
+  // frame (which outlives the run) rather than in a shared cell captured
+  // by its own closure — the self-capture form is a reference cycle that
+  // never frees the cell.
+  std::vector<std::function<void()>> emitters(static_cast<std::size_t>(n));
   for (int i = 1; i < n; ++i) {
     const bool routable = tree.reachable(i);
     const u::Time phase{rng.uniform(0.0, cfg.report_period.value())};
-    auto emit = std::make_shared<std::function<void()>>();
-    *emit = [&, i, routable, emit]() {
-      ++res.generated;
+    std::function<void()>* emit = &emitters[static_cast<std::size_t>(i)];
+    *emit = [c = &ctx, i, routable, emit]() {
+      ++c->res.generated;
       AMBISIM_OBS_COUNT("net.packets_generated");
       if (!routable) {
-        ++res.undeliverable;
+        ++c->res.undeliverable;
         AMBISIM_OBS_COUNT("net.packets_undeliverable");
       } else {
         auto pkt = std::make_shared<Packet>();
         pkt->origin = i;
-        pkt->created = simu.now();
+        pkt->created = c->simu.now();
         AMBISIM_OBS_INSTANT("packet.generated", "net",
-                            obs::to_us(simu.now().value()),
+                            obs::to_us(c->simu.now().value()),
                             static_cast<std::uint32_t>(i));
-        forward(i, pkt);
+        c->forward(i, pkt);
       }
-      if (simu.now() + cfg.report_period <= cfg.duration)
-        simu.schedule_in(cfg.report_period, *emit);
+      if (c->simu.now() + c->cfg.report_period <= c->cfg.duration)
+        c->simu.schedule_in(c->cfg.report_period, *emit);
     };
     simu.schedule_at(phase, *emit);
   }
@@ -147,6 +200,9 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
                     u::Energy(baseline.value() * cfg.duration.value() *
                               (n - 1)));
 
+  if (ctx.attempts_hops > 0)
+    res.mean_link_attempts =
+        ctx.attempts_sum / static_cast<double>(ctx.attempts_hops);
   if (res.delivered > 0) {
     res.mean_hops /= static_cast<double>(res.delivered);
     res.energy_per_delivered =

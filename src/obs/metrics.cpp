@@ -198,6 +198,7 @@ void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  ++epoch_;
 }
 
 }  // namespace ambisim::obs

@@ -1,19 +1,279 @@
 #include "ambisim/sim/simulator.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 #include "ambisim/obs/probe.hpp"
 
 namespace ambisim::sim {
 
-void EventHandle::cancel() {
-  if (cancelled_ && !*cancelled_) {
-    *cancelled_ = true;
-    AMBISIM_OBS_COUNT("sim.cancelled");
+namespace detail {
+
+// Slab pool of event slots plus the 4-ary min-heap ordering them.
+//
+// Slots are recycled through a LIFO free list; each recycle bumps the
+// slot's generation so outstanding EventHandles referencing the previous
+// occupant go inert.  The heap stores {time, seq, slot index} entries — the
+// ordering key lives *inline* in the heap array, so the ~log4(n) x 4
+// comparisons per push/pop walk contiguous memory and never touch the
+// slots; pushing/popping never copies a callable either, because the
+// kernel moves the winner's InplaceCallback out before releasing the slot.
+// Cancelled events keep their heap position until popped (lazy deletion),
+// which preserves the legacy kernel's pending_events() accounting.
+class EventPool {
+ public:
+  enum class State : std::uint8_t { Free, Pending, Cancelled };
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  struct Slot {
+    InplaceCallback fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNone;
+    State state = State::Free;
+  };
+
+  struct HeapEntry {
+    Time time{0.0};
+    std::uint64_t seq = 0;
+    std::uint32_t idx = kNone;
+  };
+
+  [[nodiscard]] Slot& slot(std::uint32_t idx) { return slots_[idx]; }
+  [[nodiscard]] const Slot& slot(std::uint32_t idx) const {
+    return slots_[idx];
   }
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return slots_.capacity(); }
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+
+  std::uint32_t acquire(InplaceCallback&& fn) {
+    std::uint32_t idx;
+    if (free_head_ != kNone) {
+      idx = free_head_;
+      free_head_ = slots_[idx].next_free;
+    } else {
+      if (slots_.size() == slots_.capacity()) {
+        slots_.reserve(slots_.empty() ? kInitialCapacity
+                                      : slots_.size() * 2);
+        heap_.reserve(slots_.capacity());
+      }
+      idx = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[idx];
+    s.fn = std::move(fn);
+    s.next_free = kNone;
+    s.state = State::Pending;
+    return idx;
+  }
+
+  /// Destroy the slot's callable, advance its generation (stale handles go
+  /// inert), and return it to the free list.
+  void release(std::uint32_t idx) {
+    Slot& s = slots_[idx];
+    s.fn.reset();
+    s.state = State::Free;
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  /// The earliest (time, seq) entry, nullptr when empty.
+  [[nodiscard]] const HeapEntry* peek_min() const {
+    return heap_.empty() ? nullptr : heap_.data();
+  }
+
+  /// Start pulling `idx`'s slot toward the cache.  The winner's slot is a
+  /// likely L2 miss at steady-state populations; issuing the prefetch
+  /// before pop_min() overlaps that latency with the sift-down.
+  void prefetch_slot(std::uint32_t idx) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[idx], /*rw=*/1);
+#else
+    (void)idx;
+#endif
+  }
+
+  void push(Time t, std::uint64_t seq, std::uint32_t idx) {
+    heap_.push_back(HeapEntry{t, seq, idx});
+    std::size_t i = heap_.size() - 1;
+    // Sift up by hole: keep the new entry in registers and only write it
+    // once its final position is known.
+    const HeapEntry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  /// Remove the earliest entry (heap must be non-empty).
+  ///
+  /// Bottom-up delete-min: walk the hole from the root to a leaf along the
+  /// min-child path (no comparison against the displaced last element on
+  /// the way down), then sift that element up from the leaf hole — it was
+  /// a leaf itself, so it almost never moves.  Versus the textbook
+  /// move-last-to-root-and-sift-down this saves one comparison and one
+  /// branch per level.  The resulting heap can differ in internal
+  /// arrangement, but (time, seq) keys are unique, so every pop still
+  /// yields the one global minimum: the observable firing order is
+  /// unchanged.
+  void pop_min() {
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first = 4 * hole + 1;
+      if (first + 4 <= n) {
+        // Full fan-out: tournament-reduce the four children pairwise.  A
+        // linear scan's running-best selection serializes four dependent
+        // compares; pairing makes the two first-round compares
+        // independent.  Keys are unique, so the winner is the same either
+        // way (a NaN time loses every earlier() call in both shapes).
+        const std::size_t m0 = first + (earlier(heap_[first + 1],
+                                                heap_[first]) ? 1 : 0);
+        const std::size_t m1 = first + 2 + (earlier(heap_[first + 3],
+                                                    heap_[first + 2]) ? 1 : 0);
+        const std::size_t m = earlier(heap_[m1], heap_[m0]) ? m1 : m0;
+        heap_[hole] = heap_[m];
+        hole = m;
+      } else if (first < n) {
+        std::size_t m = first;
+        for (std::size_t c = first + 1; c < n; ++c) {
+          if (earlier(heap_[c], heap_[m])) m = c;
+        }
+        heap_[hole] = heap_[m];
+        hole = m;
+      } else {
+        break;
+      }
+    }
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 4;
+      if (!earlier(last, heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = last;
+  }
+
+  /// Destroy every live callable and invalidate every outstanding handle;
+  /// called by ~Simulator so captures don't outlive the run just because a
+  /// handle keeps the pool's slab alive.
+  void drain_all() {
+    for (auto& s : slots_) {
+      if (s.state != State::Free) {
+        s.fn.reset();
+        s.state = State::Free;
+        ++s.generation;
+      }
+    }
+    heap_.clear();
+    free_head_ = kNone;  // the pool is dead; nothing acquires again
+  }
+
+#if AMBISIM_OBS_COMPILED
+  // Cached instrument handles: step()/schedule/cancel would otherwise pay a
+  // string-keyed registry lookup per event when probes are armed.  The
+  // cache keys on (context pointer, registry epoch): a worker rebinding to
+  // its obs shard or a registry clear() re-resolves automatically, and
+  // obs::reset() keeps entries so the cache survives it.
+  obs::Context& bind() {
+    obs::Context& c = obs::context();
+    if (&c != obs_ctx_ || c.metrics.epoch() != obs_epoch_) {
+      obs_ctx_ = &c;
+      obs_epoch_ = c.metrics.epoch();
+      scheduled_ = &c.metrics.counter("sim.scheduled");
+      fired_ = &c.metrics.counter("sim.fired");
+      cancelled_ = &c.metrics.counter("sim.cancelled");
+      callback_hist_ = &c.metrics.histogram("sim.callback_s");
+    }
+    return c;
+  }
+
+  void invalidate_obs_cache() { obs_ctx_ = nullptr; }
+
+  [[nodiscard]] obs::Counter& scheduled() const { return *scheduled_; }
+  [[nodiscard]] obs::Counter& fired() const { return *fired_; }
+  [[nodiscard]] obs::Counter& cancelled() const { return *cancelled_; }
+  [[nodiscard]] obs::Histogram* callback_hist() const {
+    return callback_hist_;
+  }
+#else
+  void invalidate_obs_cache() {}
+#endif
+
+ private:
+  // Branchless (time, seq) comparison: event times are tie-heavy (quantized
+  // periods, simultaneous timers), so a short-circuit comparator
+  // mispredicts constantly in the sift loops.  Evaluating all three flags
+  // and combining lets the compiler emit setcc/cmov instead of jumps.
+  // Semantics match `if (time != time) time < time; else seq < seq`
+  // exactly, including NaN (all flags false) and -0.0 == +0.0 ties.
+  [[nodiscard]] static bool earlier(const HeapEntry& x, const HeapEntry& y) {
+    const bool lt = x.time < y.time;
+    const bool eq = x.time == y.time;
+    const bool sl = x.seq < y.seq;
+    return lt | (eq & sl);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t free_head_ = kNone;
+
+  friend void pool_add_ref(EventPool* p) noexcept;
+  friend void pool_release(EventPool* p) noexcept;
+  std::uint64_t refs_ = 1;  // the creating Simulator holds the first ref
+
+#if AMBISIM_OBS_COMPILED
+  obs::Context* obs_ctx_ = nullptr;
+  std::uint64_t obs_epoch_ = 0;
+  obs::Counter* scheduled_ = nullptr;
+  obs::Counter* fired_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
+  obs::Histogram* callback_hist_ = nullptr;
+#endif
+};
+
+void pool_add_ref(EventPool* p) noexcept { ++p->refs_; }
+
+void pool_release(EventPool* p) noexcept {
+  if (--p->refs_ == 0) delete p;
 }
 
-bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+}  // namespace detail
+
+using detail::EventPool;
+
+void EventHandle::cancel() {
+  if (!pool_) return;
+  EventPool::Slot& s = pool_->slot(index_);
+  if (s.generation != generation_ || s.state != EventPool::State::Pending)
+    return;
+  s.state = EventPool::State::Cancelled;
+#if AMBISIM_OBS_COMPILED
+  if (obs::enabled()) [[unlikely]] {
+    pool_->bind();
+    pool_->cancelled().inc();
+  }
+#endif
+}
+
+bool EventHandle::pending() const {
+  if (!pool_) return false;
+  const EventPool::Slot& s = pool_->slot(index_);
+  return s.generation == generation_ && s.state == EventPool::State::Pending;
+}
+
+Simulator::Simulator() : pool_(detail::PoolRef(new EventPool())) {}
+
+Simulator::~Simulator() { pool_->drain_all(); }
 
 EventHandle Simulator::schedule_at(Time t, Callback fn) {
   if (t < now_)
@@ -21,14 +281,14 @@ EventHandle Simulator::schedule_at(Time t, Callback fn) {
   if (!fn) throw std::invalid_argument("schedule_at: empty callback");
 #if AMBISIM_OBS_COMPILED
   if (obs::enabled()) [[unlikely]] {
-    obs::context().metrics.counter("sim.scheduled").inc();
-    obs::context().tracer.instant("schedule", "kernel",
-                                  obs::to_us(t.value()));
+    obs::Context& ctx = pool_->bind();
+    pool_->scheduled().inc();
+    ctx.tracer.instant("schedule", "kernel", obs::to_us(t.value()));
   }
 #endif
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{t, seq_++, std::move(fn), flag});
-  return EventHandle(flag);
+  const std::uint32_t idx = pool_->acquire(std::move(fn));
+  pool_->push(t, seq_++, idx);
+  return EventHandle(pool_, idx, pool_->slot(idx).generation);
 }
 
 EventHandle Simulator::schedule_in(Time dt, Callback fn) {
@@ -38,28 +298,42 @@ EventHandle Simulator::schedule_in(Time dt, Callback fn) {
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;
-    now_ = ev.time;
-    *ev.cancelled = true;  // mark fired so handles report non-pending
+  EventPool& pool = *pool_;
+  for (;;) {
+    const EventPool::HeapEntry* top = pool.peek_min();
+    if (top == nullptr) return false;
+    const std::uint32_t idx = top->idx;
+    const Time when = top->time;
+    pool.prefetch_slot(idx);
+    pool.pop_min();
+    EventPool::Slot& s = pool.slot(idx);
+    if (s.state == EventPool::State::Cancelled) {
+      pool.release(idx);
+      ++dropped_;
+      continue;
+    }
+    now_ = when;
+    // Move the callable out before releasing: the slot is free (and its
+    // generation advanced, so cancel-from-inside is a no-op) while the
+    // callback runs, letting the callback schedule into the same slab.
+    InplaceCallback fn = std::move(s.fn);
+    pool.release(idx);
     ++executed_;
 #if AMBISIM_OBS_COMPILED
     if (obs::enabled()) [[unlikely]] {
-      obs::context().metrics.counter("sim.fired").inc();
+      pool.bind();
+      pool.fired().inc();
       // Span on the simulated timeline whose duration is the host cost of
       // the callback; histogram of the same cost for profiling.
       obs::ProbeScope span("event", "kernel", obs::to_us(now_.value()), 0);
-      obs::ScopedTimer timer("sim.callback_s");
-      ev.fn();
+      obs::ScopedTimer timer(pool.callback_hist());
+      fn();
       return true;
     }
 #endif
-    ev.fn();
+    fn();
     return true;
   }
-  return false;
 }
 
 void Simulator::run() {
@@ -72,15 +346,33 @@ void Simulator::run_until(Time deadline) {
   if (deadline < now_)
     throw std::invalid_argument("run_until: deadline is in the past");
   stopped_ = false;
+  EventPool& pool = *pool_;
   for (;;) {
     // Drop cancelled events so the live queue head decides whether we are
-    // past the deadline.
-    while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
-    if (stopped_ || queue_.empty() || queue_.top().time > deadline) break;
+    // past the deadline; each drained slot is a dropped, not executed,
+    // event.
+    const EventPool::HeapEntry* head = pool.peek_min();
+    while (head != nullptr &&
+           pool.slot(head->idx).state == EventPool::State::Cancelled) {
+      const std::uint32_t idx = head->idx;
+      pool.pop_min();
+      pool.release(idx);
+      ++dropped_;
+      head = pool.peek_min();
+    }
+    if (stopped_ || head == nullptr || head->time > deadline) break;
     step();
   }
   if (!stopped_) now_ = deadline;
 }
+
+std::size_t Simulator::pending_events() const { return pool_->heap_size(); }
+
+std::size_t Simulator::event_pool_capacity() const {
+  return pool_->capacity();
+}
+
+void Simulator::refresh_obs_cache() { pool_->invalidate_obs_cache(); }
 
 double Trace::integral() const {
   double acc = 0.0;

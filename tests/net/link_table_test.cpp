@@ -1,0 +1,127 @@
+#include "ambisim/net/link_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ambisim/net/packet_sim.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using namespace ambisim::units::literals;
+using net::LinkTable;
+using net::PacketSimConfig;
+using net::simulate_packets;
+using net::Topology;
+
+namespace {
+
+PacketSimConfig small_config() {
+  PacketSimConfig cfg;
+  cfg.node_count = 20;
+  cfg.field_side = u::Length(30.0);
+  cfg.radio_range = u::Length(15.0);
+  cfg.report_period = 10_s;
+  cfg.duration = u::Time(600.0);
+  cfg.seed = 4;
+  return cfg;
+}
+
+TEST(LinkTable, EntriesBitwiseMatchDirectEvaluation) {
+  const Topology topo = Topology::grid(9, u::Length(12.0));
+  const radio::RadioModel radio(radio::ulp_radio());
+  const u::Information bits(512.0);
+  const radio::ArqModel arq;
+  const LinkTable table(topo, radio, bits, arq);
+  ASSERT_EQ(table.size(), 9);
+
+  const radio::LinkBudget budget = radio.link_budget();
+  const radio::Modulation& mod = radio.params().modulation;
+  for (int from = 0; from < topo.size(); ++from) {
+    for (int to = 0; to < topo.size(); ++to) {
+      if (from == to) continue;
+      const auto& s = table.edge(from, to);
+      const u::Length d = topo.node_distance(from, to);
+      // The table is a cache, not an approximation: every field must be
+      // the bitwise result of the direct call chain it replaces.
+      EXPECT_EQ(s.distance_m, d.value());
+      const double ber = radio::bit_error_rate_at(budget, mod, d);
+      EXPECT_EQ(s.ber, ber);
+      const double per = radio::packet_error_rate(ber, bits.value());
+      EXPECT_EQ(s.per, per);
+      EXPECT_EQ(s.expected_attempts, arq.expected_attempts(per));
+      EXPECT_EQ(s.delivery_probability, arq.delivery_probability(per));
+    }
+  }
+}
+
+TEST(LinkTable, SymmetricInDistanceAndMonotoneInRange) {
+  const Topology topo = Topology::star(8, u::Length(40.0));
+  const radio::RadioModel radio(radio::ulp_radio());
+  const LinkTable table(topo, radio, u::Information(512.0));
+  // AWGN quality depends only on distance, so the directed rows agree.
+  EXPECT_EQ(table.edge(0, 3).ber, table.edge(3, 0).ber);
+  EXPECT_EQ(table.edge(0, 3).per, table.edge(3, 0).per);
+  // Spokes sit closer to each other than sink-to-spoke on opposite sides.
+  EXPECT_GE(table.edge(1, 5).expected_attempts, 1.0);
+  EXPECT_LE(table.edge(1, 5).delivery_probability, 1.0);
+}
+
+TEST(LinkTable, SelfEdgesKeepPerfectDefaults) {
+  const Topology topo = Topology::grid(4, u::Length(10.0));
+  const LinkTable table(topo, radio::RadioModel(radio::ulp_radio()),
+                        u::Information(256.0));
+  for (int i = 0; i < table.size(); ++i) {
+    const auto& s = table.edge(i, i);
+    EXPECT_EQ(s.distance_m, 0.0);
+    EXPECT_EQ(s.ber, 0.0);
+    EXPECT_EQ(s.per, 0.0);
+    EXPECT_EQ(s.expected_attempts, 1.0);
+    EXPECT_EQ(s.delivery_probability, 1.0);
+  }
+}
+
+TEST(LinkTable, RejectsNonPositivePacketSize) {
+  const Topology topo = Topology::grid(4, u::Length(10.0));
+  EXPECT_THROW(LinkTable(topo, radio::RadioModel(radio::ulp_radio()),
+                         u::Information(0.0)),
+               std::invalid_argument);
+}
+
+TEST(LinkTable, DefaultPacketSimReportsPerfectLinks) {
+  const auto r = simulate_packets(small_config());
+  EXPECT_DOUBLE_EQ(r.mean_link_attempts, 1.0);
+}
+
+TEST(LinkTable, LinkErrorModelCostsEnergyWithoutChangingDelivery) {
+  const auto base = simulate_packets(small_config());
+  auto cfg = small_config();
+  cfg.model_link_errors = true;
+  const auto lossy = simulate_packets(cfg);
+
+  // The expected-attempts model scales energy and airtime but consumes no
+  // extra randomness, so traffic and routing are untouched.
+  EXPECT_EQ(lossy.generated, base.generated);
+  EXPECT_EQ(lossy.delivered, base.delivered);
+  EXPECT_EQ(lossy.undeliverable, base.undeliverable);
+  EXPECT_DOUBLE_EQ(lossy.mean_hops, base.mean_hops);
+
+  EXPECT_GE(lossy.mean_link_attempts, 1.0);
+  EXPECT_GE(lossy.ledger.of("radio-tx").value(),
+            base.ledger.of("radio-tx").value());
+  EXPECT_GE(lossy.ledger.of("radio-rx").value(),
+            base.ledger.of("radio-rx").value());
+}
+
+TEST(LinkTable, LinkErrorModelIsDeterministic) {
+  auto cfg = small_config();
+  cfg.model_link_errors = true;
+  const auto a = simulate_packets(cfg);
+  const auto b = simulate_packets(cfg);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.mean_link_attempts, b.mean_link_attempts);
+  EXPECT_DOUBLE_EQ(a.end_to_end_latency.mean(), b.end_to_end_latency.mean());
+  EXPECT_DOUBLE_EQ(a.ledger.of("radio-tx").value(),
+                   b.ledger.of("radio-tx").value());
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// InplaceCallback: the SBO callable the event kernel stores in its slots.
+#include "ambisim/sim/callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+
+using ambisim::sim::InplaceCallback;
+
+namespace {
+
+TEST(InplaceCallback, DefaultIsEmpty) {
+  InplaceCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.inline_stored());
+}
+
+TEST(InplaceCallback, SmallLambdaStoresInlineAndInvokes) {
+  int hits = 0;
+  InplaceCallback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.inline_stored());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, CaptureAtInlineBudgetStaysInline) {
+  // 40 bytes of array + an 8-byte reference: exactly the inline budget.
+  std::array<double, 5> payload{1, 2, 3, 4, 5};
+  double sum = 0.0;
+  InplaceCallback cb([payload, &sum]() mutable {
+    for (double v : payload) sum += v;
+  });
+  static_assert(sizeof(payload) + sizeof(&sum) == InplaceCallback::kInlineSize);
+  EXPECT_TRUE(cb.inline_stored());
+  cb();
+  EXPECT_DOUBLE_EQ(sum, 15.0);
+}
+
+TEST(InplaceCallback, OversizedCaptureFallsBackToHeapAndStillWorks) {
+  std::array<double, 16> payload{};
+  payload[0] = 1.0;
+  payload[15] = 2.0;
+  double sum = 0.0;
+  InplaceCallback cb([payload, &sum] { sum = payload[0] + payload[15]; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.inline_stored());
+  cb();
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+}
+
+TEST(InplaceCallback, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  InplaceCallback a([&hits] { ++hits; });
+  InplaceCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InplaceCallback c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, MoveAssignmentDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = token;
+  InplaceCallback holder([token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(alive.expired());
+  holder = InplaceCallback([] {});
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(InplaceCallback, ResetDestroysCapturesImmediately) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  InplaceCallback cb([token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(alive.expired());
+  cb.reset();
+  EXPECT_TRUE(alive.expired());
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InplaceCallback, DestructorReleasesHeapFallbackCaptures) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  {
+    std::array<double, 12> pad{};
+    InplaceCallback cb([token, pad] { (void)*token, (void)pad; });
+    EXPECT_FALSE(cb.inline_stored());
+    token.reset();
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(InplaceCallback, WrappingAnEmptyStdFunctionStaysEmpty) {
+  std::function<void()> none;
+  InplaceCallback cb(none);
+  EXPECT_FALSE(static_cast<bool>(cb));
+
+  void (*fp)() = nullptr;
+  InplaceCallback cb2(fp);
+  EXPECT_FALSE(static_cast<bool>(cb2));
+}
+
+TEST(InplaceCallback, WrapsANonEmptyStdFunction) {
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  InplaceCallback cb(fn);  // copied in; std::function fits inline
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.inline_stored());
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Edge cases of the slab-pooled kernel's generation-counted handles, pool
+// growth, dropped-event accounting, and a randomized differential stress
+// test against the preserved pre-pool reference kernel.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "../support/reference_kernel.hpp"
+#include "ambisim/sim/random.hpp"
+#include "ambisim/sim/simulator.hpp"
+
+using ambisim::sim::EventHandle;
+using ambisim::sim::Rng;
+using ambisim::sim::Simulator;
+using ambisim::sim::reference::ReferenceSimulator;
+using namespace ambisim::units::literals;
+namespace u = ambisim::units;
+
+namespace {
+
+TEST(EventPool, CancelFromInsideOwnCallbackIsANoOp) {
+  Simulator s;
+  int fired = 0;
+  EventHandle self;
+  self = s.schedule_at(1.0_s, [&] {
+    ++fired;
+    EXPECT_FALSE(self.pending());  // firing already consumed the slot
+    self.cancel();                 // stale generation: must do nothing
+  });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.executed_events(), 1u);
+  EXPECT_EQ(s.dropped_events(), 0u);
+}
+
+TEST(EventPool, StaleHandleCannotCancelASlotReusedByALaterEvent) {
+  Simulator s;
+  int first = 0;
+  int second = 0;
+  EventHandle h1 = s.schedule_at(1.0_s, [&] { ++first; });
+  s.run();
+  EXPECT_EQ(first, 1);
+  // The freed slot is recycled (LIFO free list) for the next event; the
+  // stale handle carries the old generation and must not touch it.
+  s.schedule_at(2.0_s, [&] { ++second; });
+  h1.cancel();
+  EXPECT_FALSE(h1.pending());
+  s.run();
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(s.executed_events(), 2u);
+}
+
+TEST(EventPool, HandleOutlivesTheSimulator) {
+  EventHandle h;
+  {
+    Simulator s;
+    h = s.schedule_at(5.0_s, [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  // The simulator is gone; the handle keeps the (drained) pool alive and
+  // must stay inert rather than touch freed state.
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EventHandle copy = h;
+  EXPECT_FALSE(copy.pending());
+}
+
+TEST(EventPool, DestroyingTheSimulatorReleasesPendingCaptures) {
+  auto token = std::make_shared<int>(3);
+  std::weak_ptr<int> alive = token;
+  EventHandle h;
+  {
+    Simulator s;
+    h = s.schedule_at(1.0_s, [token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(alive.expired());
+  }
+  // ~Simulator drains the pool even though `h` still pins the slab.
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(EventPool, GrowsPastInitialCapacityAndFiresEverything) {
+  Simulator s;
+  const std::size_t initial = s.event_pool_capacity();
+  const int n = 5000;
+  ASSERT_GT(static_cast<std::size_t>(n), initial);
+  int fired = 0;
+  double last = -1.0;
+  bool ordered = true;
+  for (int i = 0; i < n; ++i) {
+    const double t = (i * 7919) % n;  // scrambled but collision-rich times
+    s.schedule_at(u::Time(t), [&, t] {
+      if (t < last) ordered = false;
+      last = t;
+      ++fired;
+    });
+  }
+  EXPECT_GE(s.event_pool_capacity(), static_cast<std::size_t>(n));
+  s.run();
+  EXPECT_EQ(fired, n);
+  EXPECT_TRUE(ordered);
+  // The slab never shrinks; a second wave reuses it without growth.
+  const std::size_t grown = s.event_pool_capacity();
+  for (int i = 0; i < n; ++i)
+    s.schedule_in(u::Time(1.0 + i * 1e-3), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2 * n);
+  EXPECT_EQ(s.event_pool_capacity(), grown);
+}
+
+TEST(EventPool, DroppedEventsCountsCancellationsDrainedByStep) {
+  Simulator s;
+  int fired = 0;
+  auto h1 = s.schedule_at(1.0_s, [&] { ++fired; });
+  auto h2 = s.schedule_at(2.0_s, [&] { ++fired; });
+  s.schedule_at(3.0_s, [&] { ++fired; });
+  h1.cancel();
+  h2.cancel();
+  EXPECT_EQ(s.pending_events(), 3u);  // lazy deletion keeps slots queued
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.executed_events(), 1u);
+  EXPECT_EQ(s.dropped_events(), 2u);
+}
+
+TEST(EventPool, RunUntilHeadDrainCountsDroppedNotExecuted) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_at(1.0_s, [&] { ++fired; });
+  s.schedule_at(10.0_s, [&] { ++fired; });
+  h.cancel();
+  s.run_until(5.0_s);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.executed_events(), 0u);
+  EXPECT_EQ(s.dropped_events(), 1u);
+  EXPECT_DOUBLE_EQ(s.now().value(), 5.0);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(EventPool, RunUntilAdvancesClockWhenQueueEmptiesEarly) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0_s, [&] { ++fired; });
+  s.run_until(10.0_s);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now().value(), 10.0);
+  // Entirely empty queue: the clock still advances to the deadline.
+  s.run_until(20.0_s);
+  EXPECT_DOUBLE_EQ(s.now().value(), 20.0);
+}
+
+TEST(EventPool, StopDuringRunUntilHaltsWithoutAdvancingToDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0_s, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule_at(2.0_s, [&] { ++fired; });
+  s.run_until(10.0_s);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.stopped());
+  // Documented stopped_ interaction: the clock stays at the stop point.
+  EXPECT_DOUBLE_EQ(s.now().value(), 1.0);
+  EXPECT_EQ(s.pending_events(), 1u);
+  // A later run_until clears the stop flag and finishes the job.
+  s.run_until(10.0_s);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now().value(), 10.0);
+}
+
+// Replays one randomized workload — collision-rich times, follow-up events
+// scheduled from inside callbacks, a random cancellation wave, and a
+// run_until segment before the final run() — on any kernel with the
+// Simulator API, returning the exact firing order.
+template <typename Sim>
+std::vector<int> differential_trace(unsigned seed) {
+  Sim s;
+  Rng rng(seed);
+  std::vector<int> order;
+  const int n = 2000;
+  order.reserve(2 * n);
+  std::vector<decltype(s.schedule_at(u::Time(0.0), [] {}))> handles;
+  handles.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Quantized times force heavy (time, seq) tie-breaking.
+    const double t = rng.uniform_int(0, 200) * 0.5;
+    const bool spawn_child = rng.bernoulli(0.3);
+    handles.push_back(s.schedule_at(u::Time(t), [&s, &order, i, t,
+                                               spawn_child] {
+      order.push_back(i);
+      if (spawn_child) {
+        s.schedule_in(u::Time(0.25), [&order, i] {
+          order.push_back(100000 + i);
+        });
+      }
+      (void)t;
+    }));
+  }
+  for (auto& h : handles) {
+    if (rng.bernoulli(0.25)) h.cancel();
+  }
+  s.run_until(u::Time(40.0));
+  s.run();
+  return order;
+}
+
+TEST(EventPool, RandomizedFiringOrderMatchesReferenceKernel) {
+  for (unsigned seed : {1u, 7u, 42u, 1234u}) {
+    const std::vector<int> pooled = differential_trace<Simulator>(seed);
+    const std::vector<int> reference =
+        differential_trace<ReferenceSimulator>(seed);
+    ASSERT_FALSE(pooled.empty());
+    ASSERT_EQ(pooled, reference) << "divergence at seed " << seed;
+  }
+}
+
+}  // namespace
