@@ -1,0 +1,205 @@
+// R1: reliability under deterministic fault injection, per device class.
+//
+// For each keynote device class (microWatt autonomous, milliWatt personal,
+// Watt static) the packet network is swept across a fault-intensity scale:
+// every scripted fault process of the class profile — node crashes, radio
+// outages, packet corruption — is intensified by the sweep factor, and the
+// delivered fraction / goodput / availability are averaged over paired
+// Monte-Carlo replications (replication i reuses the same seeds at every
+// intensity, so the sweep is a common-random-numbers comparison).
+//
+// Emits BENCH_fault.json and exits non-zero if the delivered fraction
+// fails to degrade monotonically with the fault rate for any class — the
+// accounting ties delivered fraction to node availability, so a
+// non-monotone sweep means the fault plumbing is broken, not noisy.
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ambisim/fault/reliability.hpp"
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+constexpr std::size_t kReplications = 8;
+constexpr std::uint64_t kRootSeed = 2003;
+const double kRateScale[] = {0.0, 1.0, 2.0, 4.0, 8.0};
+
+/// Fault environment of one device class at unit intensity.
+struct ClassProfile {
+  const char* label;
+  int node_count;
+  double crash_mttf_s;   ///< scaled down by the sweep factor
+  double crash_mttr_s;
+  double link_mtbf_s;    ///< scaled down by the sweep factor
+  double link_mttr_s;
+  double corruption;     ///< scaled up by the sweep factor
+  bool energy_coupled;   ///< microWatt nodes also live off a harvester
+};
+
+// The autonomous node crashes most (marginal energy, no maintenance), the
+// personal node sits in the middle, the mains-powered static node fails
+// rarely but still loses its radio to the shared spectrum.
+const ClassProfile kClasses[] = {
+    {"microwatt-autonomous", 40, 1800.0, 150.0, 1600.0, 45.0, 0.010, true},
+    {"milliwatt-personal", 30, 2400.0, 180.0, 2400.0, 60.0, 0.005, false},
+    {"watt-static", 20, 4800.0, 240.0, 3200.0, 90.0, 0.002, false},
+};
+
+net::PacketSimConfig make_config(const ClassProfile& p, double scale,
+                                 std::size_t rep) {
+  net::PacketSimConfig cfg;
+  cfg.node_count = p.node_count;
+  cfg.field_side = u::Length(10.0 + 5.5 * p.node_count / 5.0);
+  cfg.radio_range = u::Length(16.0);
+  cfg.report_period = u::Time(10.0);
+  cfg.duration = u::Time(1800.0);
+  cfg.seed = static_cast<unsigned>(100 + rep);  // paired across intensities
+
+  net::PacketFaultConfig f;
+  f.schedule.seed = 7000 + rep;
+  if (scale > 0.0) {
+    f.schedule.crash_mttf_s = p.crash_mttf_s / scale;
+    f.schedule.crash_mttr_s = p.crash_mttr_s;
+    f.schedule.link_mtbf_s = p.link_mtbf_s / scale;
+    f.schedule.link_mttr_s = p.link_mttr_s;
+    f.schedule.corruption_rate = p.corruption * scale;
+  }
+  if (p.energy_coupled) {
+    f.energy = fault::EnergyCouplingConfig{};
+    f.energy->battery = energy::Battery::thin_film_1mAh();
+    f.energy->harvest_avg_watt = 40e-6;
+    f.energy->baseline_watt = 30e-6;
+    f.energy->initial_soc = 0.5;
+    f.energy->update_period_s = 5.0;
+  }
+  cfg.faults = f;
+  return cfg;
+}
+
+struct SweepPoint {
+  double scale = 0.0;
+  double delivered_fraction = 0.0;
+  double goodput_fraction = 0.0;
+  double availability = 0.0;
+  double mttf_s = 0.0;
+  double mttr_s = 0.0;
+};
+
+SweepPoint run_point(const ClassProfile& p, double scale) {
+  const auto study = fault::run_availability_study(
+      kReplications, kRootSeed,
+      [&p, scale](sim::Rng&, std::size_t rep) {
+        const auto r = net::simulate_packets(make_config(p, scale, rep));
+        fault::ReliabilitySample s;
+        s.delivered_fraction = r.delivered_fraction();
+        s.goodput_fraction = r.goodput_fraction();
+        s.availability = r.availability;
+        s.mttf_s = r.mttf_s;
+        s.mttr_s = r.mttr_s;
+        s.generated = r.generated;
+        s.delivered = r.delivered;
+        s.lost = r.lost();
+        s.delayed = r.delayed;
+        s.retries = r.retries;
+        return s;
+      });
+  SweepPoint pt;
+  pt.scale = scale;
+  pt.delivered_fraction = study.delivered_fraction.mean();
+  pt.goodput_fraction = study.goodput_fraction.mean();
+  pt.availability = study.availability.mean();
+  pt.mttf_s = study.mttf_s.mean();
+  pt.mttr_s = study.mttr_s.mean();
+  return pt;
+}
+
+void print_r1() {
+  std::vector<std::vector<SweepPoint>> sweeps;
+  bool all_monotone = true;
+
+  for (const ClassProfile& p : kClasses) {
+    std::vector<SweepPoint> sweep;
+    sweep.reserve(std::size(kRateScale));
+    for (double scale : kRateScale) sweep.push_back(run_point(p, scale));
+
+    sim::Table t(std::string("R1: reliability vs fault intensity — ") +
+                     p.label + " (" + std::to_string(kReplications) +
+                     " replications)",
+                 {"fault_scale", "delivered_frac", "goodput_frac",
+                  "availability", "mttf_s", "mttr_s"});
+    bool monotone = true;
+    for (std::size_t k = 0; k < sweep.size(); ++k) {
+      const SweepPoint& pt = sweep[k];
+      t.add_row({pt.scale, pt.delivered_fraction, pt.goodput_fraction,
+                 pt.availability, pt.mttf_s, pt.mttr_s});
+      if (k > 0 &&
+          pt.delivered_fraction >= sweep[k - 1].delivered_fraction)
+        monotone = false;
+    }
+    std::cout << t << "delivered fraction monotone decreasing: "
+              << (monotone ? "YES" : "NO") << "\n\n";
+    all_monotone = all_monotone && monotone;
+    sweeps.push_back(std::move(sweep));
+  }
+
+  std::ofstream json("BENCH_fault.json");
+  json << "{\n"
+       << "  \"bench\": \"fault\",\n"
+       << "  \"replications\": " << kReplications << ",\n"
+       << "  \"root_seed\": " << kRootSeed << ",\n"
+       << "  \"classes\": [\n";
+  for (std::size_t c = 0; c < sweeps.size(); ++c) {
+    json << "    {\n      \"label\": \"" << kClasses[c].label << "\",\n"
+         << "      \"nodes\": " << kClasses[c].node_count << ",\n"
+         << "      \"points\": [\n";
+    for (std::size_t k = 0; k < sweeps[c].size(); ++k) {
+      const SweepPoint& pt = sweeps[c][k];
+      json << "        {\"fault_scale\": " << pt.scale
+           << ", \"delivered_fraction\": " << pt.delivered_fraction
+           << ", \"goodput_fraction\": " << pt.goodput_fraction
+           << ", \"availability\": " << pt.availability
+           << ", \"mttf_s\": " << pt.mttf_s
+           << ", \"mttr_s\": " << pt.mttr_s << "}"
+           << (k + 1 < sweeps[c].size() ? "," : "") << "\n";
+    }
+    json << "      ]\n    }" << (c + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"delivered_fraction_monotone\": "
+       << (all_monotone ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote BENCH_fault.json\n\n";
+
+  if (!all_monotone) {
+    std::cerr << "FATAL: delivered fraction did not degrade monotonically "
+                 "with fault intensity\n";
+    std::exit(1);
+  }
+}
+
+/// Microbenchmark: one faulty replication end to end (schedule generation,
+/// injection, retries, re-routing, stats) at unit intensity.
+void BM_faulty_packet_sim(benchmark::State& state) {
+  const ClassProfile& p = kClasses[1];
+  long long delivered = 0;
+  for (auto _ : state) {
+    const auto r = net::simulate_packets(make_config(p, 1.0, 0));
+    delivered += r.delivered;
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_faulty_packet_sim)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_r1)

@@ -54,6 +54,18 @@ class Battery {
   /// Force the state of charge (test/setup helper; no derating applied).
   void set_state_of_charge(double soc);
 
+  /// Brown-out hysteresis: the supply rail collapses when the state of
+  /// charge falls to `cutoff_soc` and only comes back once recharge lifts
+  /// it to `recovery_soc` (>= cutoff).  The gap is the hysteresis band that
+  /// keeps a node oscillating around the cutoff from flapping up and down.
+  /// Until configured the latch is inert and brown_out() is always false.
+  void configure_brownout(double cutoff_soc, double recovery_soc);
+  /// True while the rail is collapsed (entered at <= cutoff, left at
+  /// >= recovery).  Every draw/recharge/idle/set_state_of_charge updates it.
+  [[nodiscard]] bool brown_out() const { return brown_out_; }
+  [[nodiscard]] double brownout_cutoff() const { return cutoff_soc_; }
+  [[nodiscard]] double brownout_recovery() const { return recovery_soc_; }
+
   /// Apply self-discharge over an idle interval.
   void idle(u::Time dt);
 
@@ -64,9 +76,15 @@ class Battery {
  private:
   /// Multiplier >= 1 applied to the internal drain for a given load power.
   [[nodiscard]] double derating(u::Power p) const;
+  /// Re-evaluate the brown-out latch against the current state of charge.
+  void update_brownout();
 
   Spec spec_;
   u::Energy remaining_;
+  bool brownout_enabled_ = false;
+  double cutoff_soc_ = 0.0;
+  double recovery_soc_ = 0.0;
+  bool brown_out_ = false;
 };
 
 }  // namespace ambisim::energy

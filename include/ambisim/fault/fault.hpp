@@ -1,0 +1,17 @@
+// Umbrella header for ambisim::fault — deterministic fault injection and
+// reliability analysis:
+//
+//   * FaultSchedule  — seed-derived, bit-reproducible stream of timed fault
+//                      events (crash/reboot, radio outage, clock drift);
+//   * FaultInjector  — arms a schedule on a Simulator, drives node
+//                      lifecycle (Up/BrownOut/Dead/Rebooting) coupled to
+//                      battery/harvester energy state, and keeps the
+//                      per-node service timeline;
+//   * RetryPolicy    — exponential-backoff retry discipline for faulty hops;
+//   * reliability    — availability/MTTF/MTTR digests and the Monte-Carlo
+//                      availability study runner on exec::ReplicationRunner.
+#pragma once
+
+#include "ambisim/fault/injector.hpp"
+#include "ambisim/fault/reliability.hpp"
+#include "ambisim/fault/schedule.hpp"

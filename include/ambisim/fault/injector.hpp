@@ -1,0 +1,166 @@
+// Arms a FaultSchedule on a Simulator and drives per-node lifecycle state.
+//
+// The injector owns the authoritative health picture of every node during a
+// run: scripted crashes/reboots and radio outages come from the schedule;
+// energy brown-outs come from per-node Battery models (with cutoff/recovery
+// hysteresis) fed by the simulation itself via account_energy, so microWatt
+// nodes die and recover from *energy*, not just from the script.  Every
+// service transition (Up <-> down for any reason) is timestamped into a
+// per-node timeline, from which availability, MTTF, and MTTR fall out, and
+// is reported to a registered callback — the packet simulator uses that
+// hook to re-converge routing around dead nodes.
+//
+// Determinism: the injector draws no randomness at run time.  Scripted
+// events are replayed verbatim; packet corruption is a counter-based hash
+// (pure in (seed, from, to, attempt)); energy state advances on fixed-step
+// ticks of the deterministic event kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ambisim/energy/battery.hpp"
+#include "ambisim/fault/schedule.hpp"
+#include "ambisim/sim/simulator.hpp"
+
+namespace ambisim::fault {
+
+namespace u = ambisim::units;
+
+/// Node lifecycle.  Dead and Rebooting come from the script, BrownOut from
+/// the energy model; a node is in service ("up") only in state Up *and*
+/// with its radio link intact.
+enum class NodeState : std::uint8_t { Up, BrownOut, Dead, Rebooting };
+
+const char* to_string(NodeState s);
+
+/// Stop-and-wait retry discipline for a faulty hop: exponential backoff
+/// from `timeout_s`, capped, for at most `max_attempts` total tries.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double timeout_s = 0.25;
+  double backoff = 2.0;
+  double max_backoff_s = 4.0;
+
+  /// Delay before attempt `next_attempt` (2 = first retry):
+  /// timeout * backoff^(next_attempt - 2), capped at max_backoff_s.
+  [[nodiscard]] double backoff_delay(int next_attempt) const;
+};
+
+/// Per-node energy model coupled into the lifecycle: a battery with
+/// brown-out hysteresis, recharged by a constant-average harvester and
+/// drained by a baseline draw plus whatever the simulation charges through
+/// account_energy.
+struct EnergyCouplingConfig {
+  energy::Battery::Spec battery = energy::Battery::coin_cell_cr2032();
+  double harvest_avg_watt = 0.0;
+  double baseline_watt = 0.0;
+  double initial_soc = 1.0;
+  /// Brown-out hysteresis thresholds (state of charge).
+  double brownout_cutoff_soc = 0.02;
+  double brownout_recovery_soc = 0.05;
+  /// Fixed integration step of the energy tick.
+  double update_period_s = 1.0;
+};
+
+/// Aggregate service-reliability figures over one run.
+struct ReliabilityStats {
+  double availability = 1.0;  ///< mean over nodes of uptime / horizon
+  double mttf_s = 0.0;        ///< total uptime / failures (horizon if none)
+  double mttr_s = 0.0;        ///< total downtime / repairs (0 if none)
+  std::uint64_t failures = 0;
+  std::uint64_t repairs = 0;
+  std::vector<double> node_availability;
+};
+
+class FaultInjector {
+ public:
+  using TransitionCallback = std::function<void(
+      int node, NodeState prev, NodeState now, double time_s)>;
+
+  explicit FaultInjector(FaultSchedule schedule);
+
+  /// Give every non-immune node a battery + harvester; must precede arm().
+  void enable_energy(const EnergyCouplingConfig& cfg);
+
+  /// Called on every change of a node's lifecycle state, after the
+  /// injector's own bookkeeping; must precede arm().
+  void on_transition(TransitionCallback cb) { callback_ = std::move(cb); }
+
+  /// Schedule the fault script (and the energy tick, if enabled) on `sim`.
+  /// `node_count` fixes the health-vector size; call once per run.
+  void arm(sim::Simulator& sim, int node_count);
+
+  // --- health queries (valid any time after arm) ---
+  [[nodiscard]] NodeState state(int node) const;
+  /// Alive: powered and booted (state Up).  An alive node generates
+  /// traffic and consumes energy even if its radio is out.
+  [[nodiscard]] bool alive(int node) const;
+  /// In service: alive with a working radio — can originate, relay, and
+  /// receive.  This is the predicate routing and availability accounting
+  /// use.
+  [[nodiscard]] bool in_service(int node) const;
+  [[nodiscard]] bool radio_down(int node) const;
+  /// Oscillator multiplier for node-local periods (1.0 + drift ppm * 1e-6).
+  [[nodiscard]] double drift_factor(int node) const;
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(nodes_.size());
+  }
+
+  /// Deterministic per-attempt corruption verdict: a pure hash of
+  /// (schedule seed, from, to, attempt) against the configured rate, so
+  /// verdicts never consume stream state and replays are exact.
+  [[nodiscard]] bool corrupts(int from, int to,
+                              std::uint64_t attempt) const;
+
+  /// Charge event energy (a tx or rx) to `node`'s battery; drained at the
+  /// next energy tick.  No-op unless energy coupling is enabled.
+  void account_energy(int node, u::Energy e);
+
+  /// Battery of `node`, or nullptr when energy coupling is off / immune.
+  [[nodiscard]] const energy::Battery* battery(int node) const;
+
+  /// Service-reliability aggregates with every open interval closed at
+  /// `horizon_s`.  The sink is excluded when the schedule is sink-immune.
+  [[nodiscard]] ReliabilityStats stats(double horizon_s) const;
+
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  struct Node {
+    bool scripted_dead = false;  ///< Dead or Rebooting per the script
+    bool rebooting = false;
+    bool energy_down = false;    ///< battery brown-out latch
+    bool radio_out = false;
+    double drift_ppm = 0.0;
+    NodeState current = NodeState::Up;
+    // Service timeline (in service <-> out of service).
+    bool in_service = true;
+    double last_change_s = 0.0;
+    double uptime_s = 0.0;
+    double downtime_s = 0.0;
+    std::uint64_t failures = 0;
+    std::uint64_t repairs = 0;
+  };
+
+  void apply_event(const FaultEvent& ev, double now_s);
+  void energy_tick(double now_s, double dt_s);
+  /// Recompute node `i`'s effective state; record a timeline edge and fire
+  /// the callback if its service status changed.
+  void refresh(int i, double now_s);
+  [[nodiscard]] NodeState effective_state(const Node& n) const;
+  [[nodiscard]] bool immune(int node) const;
+
+  FaultSchedule schedule_;
+  TransitionCallback callback_;
+  std::vector<Node> nodes_;
+  std::optional<EnergyCouplingConfig> energy_cfg_;
+  std::vector<energy::Battery> batteries_;   ///< empty unless energy coupled
+  std::vector<double> pending_event_joule_;  ///< drained at each tick
+  sim::Simulator* sim_ = nullptr;
+  bool armed_ = false;
+};
+
+}  // namespace ambisim::fault

@@ -1,0 +1,88 @@
+// Deterministic fault schedules for reliability studies.
+//
+// A network of coin-cell and harvester-powered ambient nodes is defined by
+// failure: nodes crash and reboot, radio links fade in and out, packets
+// corrupt in flight, clocks drift.  A FaultSchedule is the scripted half of
+// that story — a seed-derived stream of timed fault events generated as a
+// *pure function* of (config, seed): node `i`'s crash and link processes
+// each draw from their own SplitMix64-derived substream
+// (exec::derive_seed, the same discipline as the parallel runners), so the
+// schedule is bit-reproducible for any thread count, generation order, or
+// host.  The un-scripted half — energy brown-out — lives in the
+// FaultInjector, coupled to energy::Battery hysteresis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ambisim::fault {
+
+enum class FaultKind : std::uint8_t {
+  NodeCrash,    ///< node powers off (enters Dead); magnitude = outage seconds
+  NodeReboot,   ///< node begins its boot sequence (enters Rebooting)
+  NodeRecover,  ///< node is back in service (enters Up)
+  LinkDown,     ///< node's radio is out (deep fade / antenna detune);
+                ///< magnitude = outage seconds
+  LinkUp,       ///< node's radio recovers
+  ClockDrift,   ///< node's oscillator error; magnitude = signed ppm
+};
+
+struct FaultEvent {
+  double time_s = 0.0;
+  FaultKind kind = FaultKind::NodeCrash;
+  int node = -1;
+  double magnitude = 0.0;
+};
+
+struct FaultScheduleConfig {
+  std::uint64_t seed = 1;
+  double horizon_s = 3600.0;  ///< generate events in [0, horizon)
+  int node_count = 0;
+  /// Mean time to failure per node (exponential inter-crash gaps); 0
+  /// disables crashes.
+  double crash_mttf_s = 0.0;
+  /// Mean outage per crash (exponential), floored at `reboot_s`.
+  double crash_mttr_s = 60.0;
+  /// Boot-sequence tail of every outage: the node is Rebooting (still out
+  /// of service) for this long before NodeRecover.
+  double reboot_s = 5.0;
+  /// Mean time between radio-link outages per node; 0 disables them.
+  double link_mtbf_s = 0.0;
+  /// Mean radio outage duration (exponential).
+  double link_mttr_s = 30.0;
+  /// Per-attempt probability that a hop's packet arrives corrupted.
+  /// Consumed by FaultInjector::corrupts via a counter-based hash, never
+  /// from a shared stream.
+  double corruption_rate = 0.0;
+  /// Max |oscillator error|; each node gets a uniform draw in [-ppm, +ppm]
+  /// emitted as a ClockDrift event at t = 0.
+  double clock_drift_ppm = 0.0;
+  /// Never fault node 0 (the sink/gateway is mains powered and maintained).
+  bool sink_immune = true;
+};
+
+/// An immutable, time-sorted stream of fault events.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Generate the schedule for `cfg`.  Pure: same config -> same events,
+  /// independent of thread count or call site.
+  static FaultSchedule generate(const FaultScheduleConfig& cfg);
+
+  [[nodiscard]] const FaultScheduleConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Order-sensitive digest over every event's raw bits; two schedules are
+  /// equal iff their checksums match (determinism tests key on this).
+  [[nodiscard]] std::uint64_t checksum() const;
+
+ private:
+  FaultScheduleConfig cfg_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace ambisim::fault

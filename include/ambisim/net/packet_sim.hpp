@@ -8,7 +8,11 @@
 // produce latency *distributions* rather than bounds (ablation A3).
 #pragma once
 
+#include <optional>
+
 #include "ambisim/energy/ledger.hpp"
+#include "ambisim/fault/injector.hpp"
+#include "ambisim/fault/schedule.hpp"
 #include "ambisim/net/link_table.hpp"
 #include "ambisim/net/mac.hpp"
 #include "ambisim/net/routing.hpp"
@@ -18,6 +22,25 @@
 #include "ambisim/sim/statistics.hpp"
 
 namespace ambisim::net {
+
+/// Fault-injection profile for a packet-level run.  When armed the
+/// simulator drives every node's lifecycle from the (seed-derived,
+/// deterministic) fault schedule — plus per-node battery state when energy
+/// coupling is on — retries failed hops under the retry policy's
+/// exponential backoff, and re-converges routing around down nodes on
+/// every lifecycle transition.
+struct PacketFaultConfig {
+  /// Fault process parameters.  `node_count` and `horizon_s` are filled in
+  /// from the packet-sim config; `seed` is honoured as given.
+  fault::FaultScheduleConfig schedule;
+  fault::RetryPolicy retry;
+  /// Optional energy coupling: per-node batteries with brown-out
+  /// hysteresis, so nodes also die (and recover) from energy state.
+  std::optional<fault::EnergyCouplingConfig> energy;
+  /// Packets delivered later than this after creation count as `delayed`
+  /// (still delivered; the goodput fraction excludes them).
+  u::Time deadline{30.0};
+};
 
 struct PacketSimConfig {
   int node_count = 30;
@@ -39,6 +62,9 @@ struct PacketSimConfig {
   bool model_link_errors = false;
   /// ARQ policy evaluated per edge when model_link_errors is set.
   radio::ArqModel arq{};
+  /// Fault injection; disengaged (std::nullopt) leaves the healthy-network
+  /// kernel bit-identical to a build without the fault subsystem.
+  std::optional<PacketFaultConfig> faults;
 };
 
 struct PacketSimResult {
@@ -53,6 +79,35 @@ struct PacketSimResult {
   double mean_link_attempts = 1.0;
   energy::EnergyLedger ledger;        ///< radio-tx / radio-rx / listen
   u::Energy energy_per_delivered{0.0};
+
+  // --- fault accounting (all zero / defaulted when faults are off) ---
+  long long missed_reports = 0;    ///< source was down at report time
+  long long lost_no_route = 0;     ///< no usable route after re-convergence
+  long long lost_in_flight = 0;    ///< retries exhausted or relay died
+  long long delayed = 0;           ///< delivered past the deadline
+  long long retries = 0;           ///< extra hop attempts beyond the first
+  long long corrupted_attempts = 0;///< attempts failed by corruption
+  long long reroutes = 0;          ///< routing re-convergence passes
+  double availability = 1.0;       ///< mean node service availability
+  double mttf_s = 0.0;
+  double mttr_s = 0.0;
+
+  /// Offered reports that never reached the sink, for any fault reason.
+  [[nodiscard]] long long lost() const {
+    return missed_reports + lost_no_route + lost_in_flight;
+  }
+  /// Delivered / generated over the *whole* offered load, including
+  /// reports a down node failed to produce (the function still asked for
+  /// them); the headline reliability figure under faults.
+  [[nodiscard]] double delivered_fraction() const {
+    return generated > 0 ? static_cast<double>(delivered) / generated : 0.0;
+  }
+  /// In-deadline delivered fraction: lost *and* late traffic excluded.
+  [[nodiscard]] double goodput_fraction() const {
+    return generated > 0
+               ? static_cast<double>(delivered - delayed) / generated
+               : 0.0;
+  }
 
   [[nodiscard]] double delivery_ratio() const {
     return generated > 0 ? static_cast<double>(delivered) / generated : 0.0;

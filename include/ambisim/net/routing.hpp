@@ -4,6 +4,7 @@
 // several short hops over one long one once the path-loss term dominates.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "ambisim/net/topology.hpp"
@@ -41,6 +42,19 @@ RoutingTree min_hop_routes(const Topology& topo, u::Length range);
 /// Dijkstra minimum-energy tree over links of length <= `range`.
 RoutingTree min_energy_routes(const Topology& topo, u::Length range,
                               const LinkEnergyModel& model);
+
+/// Rebuild variants that route *around* down nodes: any node with
+/// `down[i] != 0` neither relays nor terminates a route (its former subtree
+/// re-converges through live neighbours, or becomes unreachable if the
+/// crash partitioned it).  An empty mask means every node is up; a down
+/// sink makes the whole field unreachable.  The fault injector calls these
+/// on every lifecycle transition so traffic is never black-holed through a
+/// dead parent.
+RoutingTree min_hop_routes(const Topology& topo, u::Length range,
+                           const std::vector<std::uint8_t>& down);
+RoutingTree min_energy_routes(const Topology& topo, u::Length range,
+                              const LinkEnergyModel& model,
+                              const std::vector<std::uint8_t>& down);
 
 /// Energy per bit of covering distance `D` in `k` equal hops:
 ///   E(k) = k * k_elec + k_amp * k * (D/k)^n.

@@ -29,6 +29,30 @@ Battery::Spec Battery::thin_film_1mAh() {
           u::Power(0.01e-6)};
 }
 
+void Battery::configure_brownout(double cutoff_soc, double recovery_soc) {
+  if (cutoff_soc < 0.0 || cutoff_soc > 1.0)
+    throw std::invalid_argument("brown-out cutoff outside [0, 1]");
+  if (recovery_soc < cutoff_soc || recovery_soc > 1.0)
+    throw std::invalid_argument("brown-out recovery outside [cutoff, 1]");
+  cutoff_soc_ = cutoff_soc;
+  recovery_soc_ = recovery_soc;
+  brownout_enabled_ = true;
+  update_brownout();
+}
+
+void Battery::update_brownout() {
+  if (!brownout_enabled_) return;
+  const double soc = state_of_charge();
+  if (!brown_out_) {
+    if (soc <= cutoff_soc_) brown_out_ = true;
+  } else if (soc >= recovery_soc_ && soc > cutoff_soc_) {
+    // The latch only opens strictly above the cutoff, so with a degenerate
+    // band (cutoff == recovery) an exact-threshold charge stays browned out
+    // instead of flapping on every update.
+    brown_out_ = false;
+  }
+}
+
 Battery::Battery(Spec spec) : spec_(std::move(spec)) {
   if (spec_.peukert < 1.0)
     throw std::invalid_argument("Peukert exponent must be >= 1");
@@ -66,12 +90,14 @@ u::Energy Battery::draw(u::Power p, u::Time dt) {
   const u::Energy internal_needed = u::Energy(internal.value() * dt.value());
   if (internal_needed <= remaining_) {
     remaining_ -= internal_needed;
+    update_brownout();
     AMBISIM_OBS_GAUGE_SET("energy.battery.soc", state_of_charge());
     return u::Energy(p.value() * dt.value());
   }
   // Battery empties partway through the interval.
   const double frac = remaining_.value() / internal_needed.value();
   remaining_ = u::Energy(0.0);
+  update_brownout();
   AMBISIM_OBS_COUNT("energy.battery.depletions");
   AMBISIM_OBS_GAUGE_SET("energy.battery.soc", 0.0);
   return u::Energy(p.value() * dt.value() * frac);
@@ -82,6 +108,7 @@ u::Energy Battery::recharge(u::Energy e) {
   const u::Energy room = capacity() - remaining_;
   const u::Energy stored = u::min(e, room);
   remaining_ += stored;
+  update_brownout();
   return stored;
 }
 
@@ -89,12 +116,14 @@ void Battery::set_state_of_charge(double soc) {
   if (soc < 0.0 || soc > 1.0)
     throw std::invalid_argument("state of charge outside [0, 1]");
   remaining_ = u::Energy(capacity().value() * soc);
+  update_brownout();
 }
 
 void Battery::idle(u::Time dt) {
   if (dt < u::Time(0.0)) throw std::invalid_argument("negative duration");
   const u::Energy loss = u::Energy(spec_.self_discharge.value() * dt.value());
   remaining_ = u::max(u::Energy(0.0), remaining_ - loss);
+  update_brownout();
 }
 
 u::Time Battery::lifetime_at(u::Power p) const {

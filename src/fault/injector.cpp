@@ -1,0 +1,288 @@
+#include "ambisim/fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ambisim/exec/seed.hpp"
+#include "ambisim/obs/probe.hpp"
+
+namespace ambisim::fault {
+
+namespace {
+constexpr std::uint64_t kCorruptSalt = 0xC0AA'0F7E'0000'0004ULL;
+}  // namespace
+
+const char* to_string(NodeState s) {
+  switch (s) {
+    case NodeState::Up:
+      return "Up";
+    case NodeState::BrownOut:
+      return "BrownOut";
+    case NodeState::Dead:
+      return "Dead";
+    case NodeState::Rebooting:
+      return "Rebooting";
+  }
+  return "?";
+}
+
+double RetryPolicy::backoff_delay(int next_attempt) const {
+  const int retries_before = std::max(0, next_attempt - 2);
+  const double delay =
+      timeout_s * std::pow(backoff, static_cast<double>(retries_before));
+  return std::min(delay, max_backoff_s);
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+void FaultInjector::enable_energy(const EnergyCouplingConfig& cfg) {
+  if (armed_) throw std::logic_error("enable_energy after arm");
+  if (cfg.update_period_s <= 0.0)
+    throw std::invalid_argument("energy update period must be positive");
+  if (cfg.initial_soc < 0.0 || cfg.initial_soc > 1.0)
+    throw std::invalid_argument("initial soc outside [0, 1]");
+  energy_cfg_ = cfg;
+}
+
+bool FaultInjector::immune(int node) const {
+  return schedule_.config().sink_immune && node == 0;
+}
+
+NodeState FaultInjector::effective_state(const Node& n) const {
+  if (n.scripted_dead) return n.rebooting ? NodeState::Rebooting : NodeState::Dead;
+  if (n.energy_down) return NodeState::BrownOut;
+  return NodeState::Up;
+}
+
+void FaultInjector::arm(sim::Simulator& sim, int node_count) {
+  if (armed_) throw std::logic_error("injector already armed");
+  if (node_count <= 0) throw std::invalid_argument("node count must be > 0");
+  armed_ = true;
+  sim_ = &sim;
+  const double t0 = sim.now().value();
+  nodes_.assign(static_cast<std::size_t>(node_count), Node{});
+  for (Node& n : nodes_) n.last_change_s = t0;
+
+  if (energy_cfg_) {
+    batteries_.clear();
+    batteries_.reserve(nodes_.size());
+    pending_event_joule_.assign(nodes_.size(), 0.0);
+    for (int i = 0; i < node_count; ++i) {
+      energy::Battery bat(energy_cfg_->battery);
+      bat.configure_brownout(energy_cfg_->brownout_cutoff_soc,
+                             energy_cfg_->brownout_recovery_soc);
+      bat.set_state_of_charge(energy_cfg_->initial_soc);
+      batteries_.push_back(std::move(bat));
+      if (!immune(i)) {
+        // A node that starts below the cutoff begins out of service; that
+        // is its initial condition, not a counted failure.
+        auto& n = nodes_[static_cast<std::size_t>(i)];
+        n.energy_down = batteries_.back().brown_out();
+        n.in_service = !n.energy_down;
+        n.current = effective_state(n);
+      }
+    }
+    const double dt = energy_cfg_->update_period_s;
+    const double horizon = schedule_.config().horizon_s;
+    // Self-rescheduling energy tick: fixed step, last tick at <= horizon.
+    struct Tick {
+      FaultInjector* inj;
+      double dt;
+      double horizon;
+      void operator()() const {
+        inj->energy_tick(inj->sim_->now().value(), dt);
+        if (inj->sim_->now().value() + dt <= horizon)
+          inj->sim_->schedule_in(u::Time(dt), Tick{inj, dt, horizon});
+      }
+    };
+    if (t0 + dt <= horizon)
+      sim.schedule_in(u::Time(dt), Tick{this, dt, horizon});
+  }
+
+  for (const FaultEvent& ev : schedule_.events()) {
+    if (ev.node < 0 || ev.node >= node_count) continue;
+    if (ev.kind == FaultKind::ClockDrift) {
+      // Oscillator error exists from power-on; apply directly instead of
+      // racing the first scheduled emission.
+      nodes_[static_cast<std::size_t>(ev.node)].drift_ppm = ev.magnitude;
+      continue;
+    }
+    sim.schedule_at(u::Time(ev.time_s), [this, ev]() {
+      apply_event(ev, sim_->now().value());
+    });
+  }
+}
+
+void FaultInjector::apply_event(const FaultEvent& ev, double now_s) {
+  Node& n = nodes_.at(static_cast<std::size_t>(ev.node));
+  switch (ev.kind) {
+    case FaultKind::NodeCrash:
+      n.scripted_dead = true;
+      n.rebooting = false;
+      AMBISIM_OBS_COUNT("fault.crashes");
+      break;
+    case FaultKind::NodeReboot:
+      if (n.scripted_dead) n.rebooting = true;
+      break;
+    case FaultKind::NodeRecover:
+      n.scripted_dead = false;
+      n.rebooting = false;
+      break;
+    case FaultKind::LinkDown:
+      n.radio_out = true;
+      AMBISIM_OBS_COUNT("fault.link_outages");
+      break;
+    case FaultKind::LinkUp:
+      n.radio_out = false;
+      break;
+    case FaultKind::ClockDrift:
+      n.drift_ppm = ev.magnitude;
+      break;
+  }
+  refresh(ev.node, now_s);
+}
+
+void FaultInjector::energy_tick(double now_s, double dt_s) {
+  const double harvest = energy_cfg_->harvest_avg_watt;
+  const double baseline = energy_cfg_->baseline_watt;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (immune(static_cast<int>(i))) continue;
+    Node& n = nodes_[i];
+    energy::Battery& bat = batteries_[i];
+    if (harvest > 0.0) bat.recharge(u::Energy(harvest * dt_s));
+    const double event_j = pending_event_joule_[i];
+    pending_event_joule_[i] = 0.0;
+    if (!n.scripted_dead && !n.energy_down) {
+      bat.draw(u::Power(baseline + event_j / dt_s), u::Time(dt_s));
+    } else {
+      // Dead or browned-out rail: only shelf drain applies.
+      bat.idle(u::Time(dt_s));
+    }
+    const bool down = bat.brown_out();
+    if (down != n.energy_down) {
+      n.energy_down = down;
+      if (down) AMBISIM_OBS_COUNT("fault.brownouts");
+      refresh(static_cast<int>(i), now_s);
+    }
+  }
+}
+
+void FaultInjector::refresh(int i, double now_s) {
+  Node& n = nodes_.at(static_cast<std::size_t>(i));
+  const NodeState prev = n.current;
+  const NodeState ns = effective_state(n);
+  const bool service = ns == NodeState::Up && !n.radio_out;
+  const bool service_changed = service != n.in_service;
+  if (service_changed) {
+    const double span = now_s - n.last_change_s;
+    if (n.in_service) {
+      n.uptime_s += span;
+      ++n.failures;
+      AMBISIM_OBS_OBSERVE("fault.uptime_s", span);
+    } else {
+      n.downtime_s += span;
+      ++n.repairs;
+      AMBISIM_OBS_OBSERVE("fault.downtime_s", span);
+    }
+    n.last_change_s = now_s;
+    n.in_service = service;
+#if AMBISIM_OBS_COMPILED
+    if (obs::enabled()) [[unlikely]] {
+      int up = 0;
+      for (const Node& node : nodes_) up += node.in_service ? 1 : 0;
+      obs::context().metrics.gauge("fault.nodes_in_service").set(up);
+    }
+#endif
+  }
+  n.current = ns;
+  if ((prev != ns || service_changed) && callback_)
+    callback_(i, prev, ns, now_s);
+}
+
+NodeState FaultInjector::state(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).current;
+}
+
+bool FaultInjector::alive(int node) const {
+  return state(node) == NodeState::Up;
+}
+
+bool FaultInjector::in_service(int node) const {
+  const Node& n = nodes_.at(static_cast<std::size_t>(node));
+  return n.in_service;
+}
+
+bool FaultInjector::radio_down(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).radio_out;
+}
+
+double FaultInjector::drift_factor(int node) const {
+  return 1.0 + nodes_.at(static_cast<std::size_t>(node)).drift_ppm * 1e-6;
+}
+
+bool FaultInjector::corrupts(int from, int to,
+                             std::uint64_t attempt) const {
+  const double rate = schedule_.config().corruption_rate;
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  std::uint64_t x = schedule_.config().seed ^ kCorruptSalt;
+  x = exec::splitmix64(
+      x + (static_cast<std::uint64_t>(from) + 1) * exec::kSplitMix64Gamma);
+  x = exec::splitmix64(
+      x ^ (static_cast<std::uint64_t>(to) + 1) * exec::kSplitMix64Gamma);
+  x = exec::splitmix64(x ^ (attempt + 1) * exec::kSplitMix64Gamma);
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < rate;
+}
+
+void FaultInjector::account_energy(int node, u::Energy e) {
+  if (!energy_cfg_ || !armed_) return;
+  if (node < 0 || node >= node_count() || immune(node)) return;
+  pending_event_joule_[static_cast<std::size_t>(node)] += e.value();
+}
+
+const energy::Battery* FaultInjector::battery(int node) const {
+  if (!energy_cfg_ || node < 0 ||
+      node >= static_cast<int>(batteries_.size()) || immune(node))
+    return nullptr;
+  return &batteries_[static_cast<std::size_t>(node)];
+}
+
+ReliabilityStats FaultInjector::stats(double horizon_s) const {
+  ReliabilityStats out;
+  out.node_availability.assign(nodes_.size(), 1.0);
+  double total_up = 0.0;
+  double total_down = 0.0;
+  int counted = 0;
+  double availability_sum = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (immune(static_cast<int>(i))) continue;
+    const Node& n = nodes_[i];
+    const double tail = std::max(0.0, horizon_s - n.last_change_s);
+    const double up = n.uptime_s + (n.in_service ? tail : 0.0);
+    const double down = n.downtime_s + (n.in_service ? 0.0 : tail);
+    const double denom = up + down;
+    const double avail = denom > 0.0 ? up / denom : 1.0;
+    out.node_availability[i] = avail;
+    availability_sum += avail;
+    total_up += up;
+    total_down += down;
+    out.failures += n.failures;
+    out.repairs += n.repairs;
+    ++counted;
+  }
+  out.availability =
+      counted > 0 ? availability_sum / static_cast<double>(counted) : 1.0;
+  out.mttf_s = out.failures > 0
+                   ? total_up / static_cast<double>(out.failures)
+                   : horizon_s;
+  if (out.repairs > 0)
+    out.mttr_s = total_down / static_cast<double>(out.repairs);
+  else if (out.failures > 0)
+    out.mttr_s = total_down / static_cast<double>(out.failures);
+  return out;
+}
+
+}  // namespace ambisim::fault

@@ -1,0 +1,100 @@
+#include "ambisim/fault/schedule.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "ambisim/exec/seed.hpp"
+#include "ambisim/sim/random.hpp"
+
+namespace ambisim::fault {
+
+namespace {
+
+// Domain-separation salts: each fault process of each node derives its
+// substream from (seed ^ salt, node), so the crash and link processes of
+// the same node — and the same process across nodes — never share a stream.
+constexpr std::uint64_t kCrashSalt = 0xC4A5'11FE'0000'0001ULL;
+constexpr std::uint64_t kLinkSalt = 0x714B'0D0E'0000'0002ULL;
+constexpr std::uint64_t kDriftSalt = 0xD21F'7C10'0000'0003ULL;
+
+}  // namespace
+
+FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& cfg) {
+  if (cfg.node_count < 0) throw std::invalid_argument("negative node count");
+  if (cfg.horizon_s < 0.0) throw std::invalid_argument("negative horizon");
+  if (cfg.crash_mttf_s < 0.0 || cfg.crash_mttr_s < 0.0 ||
+      cfg.link_mtbf_s < 0.0 || cfg.link_mttr_s < 0.0 || cfg.reboot_s < 0.0)
+    throw std::invalid_argument("negative fault-process parameter");
+  if (cfg.corruption_rate < 0.0 || cfg.corruption_rate > 1.0)
+    throw std::invalid_argument("corruption rate outside [0, 1]");
+
+  FaultSchedule sched;
+  sched.cfg_ = cfg;
+  const int first = cfg.sink_immune ? 1 : 0;
+
+  for (int node = first; node < cfg.node_count; ++node) {
+    const auto node_idx = static_cast<std::uint64_t>(node);
+
+    if (cfg.crash_mttf_s > 0.0) {
+      sim::Rng rng(exec::derive_seed(cfg.seed ^ kCrashSalt, node_idx));
+      double t = rng.exponential(cfg.crash_mttf_s);
+      while (t < cfg.horizon_s) {
+        // Outage = exponential repair time floored at the boot tail; the
+        // node is Dead until the boot starts and Rebooting through it.
+        const double outage =
+            std::max(rng.exponential(cfg.crash_mttr_s), cfg.reboot_s);
+        sched.events_.push_back(
+            {t, FaultKind::NodeCrash, node, outage});
+        sched.events_.push_back(
+            {t + outage - cfg.reboot_s, FaultKind::NodeReboot, node, 0.0});
+        sched.events_.push_back(
+            {t + outage, FaultKind::NodeRecover, node, 0.0});
+        t += outage + rng.exponential(cfg.crash_mttf_s);
+      }
+    }
+
+    if (cfg.link_mtbf_s > 0.0) {
+      sim::Rng rng(exec::derive_seed(cfg.seed ^ kLinkSalt, node_idx));
+      double t = rng.exponential(cfg.link_mtbf_s);
+      while (t < cfg.horizon_s) {
+        const double outage = rng.exponential(cfg.link_mttr_s);
+        sched.events_.push_back({t, FaultKind::LinkDown, node, outage});
+        sched.events_.push_back(
+            {t + outage, FaultKind::LinkUp, node, 0.0});
+        t += outage + rng.exponential(cfg.link_mtbf_s);
+      }
+    }
+
+    if (cfg.clock_drift_ppm > 0.0) {
+      sim::Rng rng(exec::derive_seed(cfg.seed ^ kDriftSalt, node_idx));
+      sched.events_.push_back(
+          {0.0, FaultKind::ClockDrift, node,
+           rng.uniform(-cfg.clock_drift_ppm, cfg.clock_drift_ppm)});
+    }
+  }
+
+  // Stable sort by time: same-time events keep their generation order
+  // (node-major, process-major), which is itself deterministic.
+  std::stable_sort(sched.events_.begin(), sched.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return sched;
+}
+
+std::uint64_t FaultSchedule::checksum() const {
+  std::uint64_t h = 0;
+  const auto fold = [&h](std::uint64_t v) {
+    h = exec::splitmix64(h ^ (v + exec::kSplitMix64Gamma));
+  };
+  for (const FaultEvent& ev : events_) {
+    fold(std::bit_cast<std::uint64_t>(ev.time_s));
+    fold(static_cast<std::uint64_t>(ev.kind));
+    fold(static_cast<std::uint64_t>(static_cast<std::int64_t>(ev.node)));
+    fold(std::bit_cast<std::uint64_t>(ev.magnitude));
+  }
+  return h;
+}
+
+}  // namespace ambisim::fault

@@ -15,6 +15,7 @@ namespace {
 struct Packet {
   int origin = -1;
   int hops_taken = 0;
+  int attempts = 0;  ///< tries on the current hop (fault mode only)
   u::Time created{0.0};
   u::Time queued_total{0.0};
 };
@@ -38,6 +39,15 @@ struct SimCtx {
   double attempts_sum = 0.0;
   long long attempts_hops = 0;
   std::function<void(int, std::shared_ptr<Packet>)> forward;
+
+  // Fault mode only (all inert when cfg.faults is disengaged).
+  fault::FaultInjector* inj = nullptr;
+  const PacketFaultConfig* fcfg = nullptr;
+  RoutingTree live_tree;          ///< re-converged around down nodes
+  u::Length range{0.0};           ///< for rebuilds
+  LinkEnergyModel link_model;     ///< for MinEnergy rebuilds
+  std::uint64_t attempt_seq = 0;  ///< corruption-hash counter
+  std::function<void(int, std::shared_ptr<Packet>)> try_send;
 };
 
 }  // namespace
@@ -74,6 +84,9 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
   PacketSimResult res;
   sim::Simulator simu;
   const int n = topo.size();
+  // Engaged only when cfg.faults is set; outlives the run loop (pending
+  // fault events still in the pool at scope exit are destroyed unfired).
+  std::optional<fault::FaultInjector> injector;
 
   // Every source emits about duration/period packets (plus its phase
   // packet); pre-size the sample stores so hot-loop `add`s never reallocate.
@@ -162,6 +175,146 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
     });
   };
 
+  // Fault mode: deterministic fault schedule armed on the same kernel,
+  // retry/timeout/backoff per hop, and routing re-convergence around down
+  // nodes.  Nothing here touches the healthy path above — with
+  // cfg.faults disengaged the run is bit-identical to the pre-fault
+  // simulator.
+  if (cfg.faults) {
+    ctx.fcfg = &*cfg.faults;
+    ctx.range = range;
+    ctx.link_model = link_model;
+    ctx.live_tree = tree;
+
+    fault::FaultScheduleConfig scfg = cfg.faults->schedule;
+    scfg.node_count = n;
+    scfg.horizon_s = cfg.duration.value();
+    injector.emplace(fault::FaultSchedule::generate(scfg));
+    if (cfg.faults->energy) injector->enable_energy(*cfg.faults->energy);
+    ctx.inj = &*injector;
+
+    // Any lifecycle edge re-converges the routing tree around the nodes
+    // currently out of service, so subtrees reroute instead of
+    // black-holing through a dead parent.
+    injector->on_transition(
+        [c = &ctx](int, fault::NodeState, fault::NodeState, double) {
+          std::vector<std::uint8_t> down(
+              static_cast<std::size_t>(c->topo.size()), 0);
+          for (int v = 0; v < c->topo.size(); ++v)
+            down[static_cast<std::size_t>(v)] =
+                c->inj->in_service(v) ? 0 : 1;
+          c->live_tree =
+              c->cfg.routing == RoutingPolicy::MinHop
+                  ? min_hop_routes(c->topo, c->range, down)
+                  : min_energy_routes(c->topo, c->range, c->link_model,
+                                      down);
+          ++c->res.reroutes;
+          AMBISIM_OBS_COUNT("net.reroutes");
+        });
+
+    // One transmission attempt of `pkt`'s current hop out of `from`;
+    // failures (dead/faded peer, corruption) retry after exponential
+    // backoff until the policy gives up.
+    ctx.try_send = [c = &ctx](int from, std::shared_ptr<Packet> pkt) {
+      if (!c->inj->alive(from)) {
+        // The relay died holding the packet; its queue died with it.
+        ++c->res.lost_in_flight;
+        AMBISIM_OBS_COUNT("net.packets_lost");
+        return;
+      }
+      const int to = c->live_tree.next_hop[static_cast<std::size_t>(from)];
+      if (to < 0) {
+        ++c->res.lost_no_route;
+        AMBISIM_OBS_COUNT("net.packets_lost");
+        return;
+      }
+      ++pkt->attempts;
+      const u::Time start =
+          u::max(c->simu.now(), c->tx_free[static_cast<std::size_t>(from)]);
+      const u::Time waited = start - c->simu.now();
+      if (waited > u::Time(0.0)) pkt->queued_total += waited;
+      const u::Time preamble{
+          c->rng.uniform(0.0, c->cfg.mac.wake_interval.value())};
+      double attempts = 1.0;
+      if (c->cfg.model_link_errors) {
+        attempts = c->links.edge(from, to).expected_attempts;
+        c->attempts_sum += attempts;
+        ++c->attempts_hops;
+      }
+      const u::Time done = start + preamble + c->airtime * attempts +
+                           c->cfg.radio.startup * attempts;
+      c->tx_free[static_cast<std::size_t>(from)] = done;
+      c->res.ledger.charge("radio-tx", c->tx_e * attempts);
+      c->res.ledger.charge("radio-rx", c->rx_e * attempts);
+      c->inj->account_energy(from, c->tx_e * attempts);
+      c->inj->account_energy(to, c->rx_e * attempts);
+
+#if AMBISIM_OBS_COMPILED
+      if (obs::enabled()) [[unlikely]] {
+        auto& octx = obs::context();
+        octx.metrics.counter("net.hops").inc();
+        octx.metrics.histogram("net.queue_wait_s").observe(waited.value());
+        octx.tracer.complete("hop", "net",
+                             obs::to_us(c->simu.now().value()),
+                             obs::to_us((done - c->simu.now()).value()),
+                             static_cast<std::uint32_t>(from));
+      }
+#endif
+
+      const std::uint64_t attempt_id = ++c->attempt_seq;
+      c->simu.schedule_at(done, [c, from, to, pkt, attempt_id]() {
+        // Judged at completion: either endpoint may have crashed, browned
+        // out, or lost its radio while the packet was on the air.
+        bool ok = c->inj->in_service(from) && c->inj->in_service(to);
+        if (ok && c->inj->corrupts(from, to, attempt_id)) {
+          ok = false;
+          ++c->res.corrupted_attempts;
+          AMBISIM_OBS_COUNT("net.attempts_corrupted");
+        }
+        if (ok) {
+          pkt->attempts = 0;
+          pkt->hops_taken += 1;
+          if (to == c->topo.sink()) {
+            ++c->res.delivered;
+            const u::Time latency = c->simu.now() - pkt->created;
+            c->res.end_to_end_latency.add(latency.value());
+            c->res.queueing_delay.add(pkt->queued_total.value());
+            c->res.mean_hops += pkt->hops_taken;
+            if (latency > c->fcfg->deadline) {
+              ++c->res.delayed;
+              AMBISIM_OBS_COUNT("net.packets_delayed");
+            }
+#if AMBISIM_OBS_COMPILED
+            if (obs::enabled()) [[unlikely]] {
+              auto& octx = obs::context();
+              octx.metrics.counter("net.packets_delivered").inc();
+              octx.metrics.histogram("net.latency_s")
+                  .observe(latency.value());
+            }
+#endif
+            return;
+          }
+          c->try_send(to, pkt);
+          return;
+        }
+        if (pkt->attempts >= c->fcfg->retry.max_attempts) {
+          ++c->res.lost_in_flight;
+          AMBISIM_OBS_COUNT("net.packets_lost");
+          return;
+        }
+        ++c->res.retries;
+        AMBISIM_OBS_COUNT("net.retries");
+        const double delay =
+            c->fcfg->retry.backoff_delay(pkt->attempts + 1);
+        c->simu.schedule_in(u::Time(delay), [c, from, pkt]() {
+          c->try_send(from, pkt);
+        });
+      });
+    };
+
+    injector->arm(simu, n);
+  }
+
   // Periodic sources, phase-staggered.  Each node's emitter lives in this
   // frame (which outlives the run) rather than in a shared cell captured
   // by its own closure — the self-capture form is a reference cycle that
@@ -171,28 +324,71 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
     const bool routable = tree.reachable(i);
     const u::Time phase{rng.uniform(0.0, cfg.report_period.value())};
     std::function<void()>* emit = &emitters[static_cast<std::size_t>(i)];
-    *emit = [c = &ctx, i, routable, emit]() {
-      ++c->res.generated;
-      AMBISIM_OBS_COUNT("net.packets_generated");
-      if (!routable) {
-        ++c->res.undeliverable;
-        AMBISIM_OBS_COUNT("net.packets_undeliverable");
-      } else {
-        auto pkt = std::make_shared<Packet>();
-        pkt->origin = i;
-        pkt->created = c->simu.now();
-        AMBISIM_OBS_INSTANT("packet.generated", "net",
-                            obs::to_us(c->simu.now().value()),
-                            static_cast<std::uint32_t>(i));
-        c->forward(i, pkt);
-      }
-      if (c->simu.now() + c->cfg.report_period <= c->cfg.duration)
-        c->simu.schedule_in(c->cfg.report_period, *emit);
-    };
+    if (!cfg.faults) {
+      *emit = [c = &ctx, i, routable, emit]() {
+        ++c->res.generated;
+        AMBISIM_OBS_COUNT("net.packets_generated");
+        if (!routable) {
+          ++c->res.undeliverable;
+          AMBISIM_OBS_COUNT("net.packets_undeliverable");
+        } else {
+          auto pkt = std::make_shared<Packet>();
+          pkt->origin = i;
+          pkt->created = c->simu.now();
+          AMBISIM_OBS_INSTANT("packet.generated", "net",
+                              obs::to_us(c->simu.now().value()),
+                              static_cast<std::uint32_t>(i));
+          c->forward(i, pkt);
+        }
+        if (c->simu.now() + c->cfg.report_period <= c->cfg.duration)
+          c->simu.schedule_in(c->cfg.report_period, *emit);
+      };
+    } else {
+      // Fault-aware source: a down node's scheduled report still counts
+      // against the offered load (the function asked for it), routes are
+      // read from the live tree, and the local oscillator's drift factor
+      // stretches or shrinks the node's report period.
+      *emit = [c = &ctx, i, routable, emit]() {
+        ++c->res.generated;
+        AMBISIM_OBS_COUNT("net.packets_generated");
+        if (!c->inj->alive(i)) {
+          ++c->res.missed_reports;
+          AMBISIM_OBS_COUNT("net.reports_missed");
+        } else if (!c->live_tree.reachable(i)) {
+          if (!routable) {
+            ++c->res.undeliverable;
+            AMBISIM_OBS_COUNT("net.packets_undeliverable");
+          } else {
+            ++c->res.lost_no_route;
+            AMBISIM_OBS_COUNT("net.packets_lost");
+          }
+        } else {
+          auto pkt = std::make_shared<Packet>();
+          pkt->origin = i;
+          pkt->created = c->simu.now();
+          AMBISIM_OBS_INSTANT("packet.generated", "net",
+                              obs::to_us(c->simu.now().value()),
+                              static_cast<std::uint32_t>(i));
+          c->try_send(i, pkt);
+        }
+        const u::Time period =
+            c->cfg.report_period * c->inj->drift_factor(i);
+        if (c->simu.now() + period <= c->cfg.duration)
+          c->simu.schedule_in(period, *emit);
+      };
+    }
     simu.schedule_at(phase, *emit);
   }
 
   simu.run_until(cfg.duration);
+
+  if (injector) {
+    const fault::ReliabilityStats st =
+        injector->stats(cfg.duration.value());
+    res.availability = st.availability;
+    res.mttf_s = st.mttf_s;
+    res.mttr_s = st.mttr_s;
+  }
 
   // Baseline listening for every sensor over the horizon.
   const u::Power baseline = cfg.mac.baseline_power(radio);

@@ -40,7 +40,19 @@ double LinkEnergyModel::cost(u::Length d) const {
   return k_elec + k_amp * std::pow(d.value(), exponent);
 }
 
-RoutingTree min_hop_routes(const Topology& topo, u::Length range) {
+namespace {
+
+/// True when `node` is marked down in the (possibly empty) exclusion mask.
+bool is_down(const std::vector<std::uint8_t>& down, int node) {
+  return !down.empty() && down[static_cast<std::size_t>(node)] != 0;
+}
+
+}  // namespace
+
+RoutingTree min_hop_routes(const Topology& topo, u::Length range,
+                           const std::vector<std::uint8_t>& down) {
+  if (!down.empty() && down.size() != static_cast<std::size_t>(topo.size()))
+    throw std::invalid_argument("down mask size != node count");
   const auto adj = topo.adjacency(range);
   const int n = topo.size();
   RoutingTree tree;
@@ -48,8 +60,9 @@ RoutingTree min_hop_routes(const Topology& topo, u::Length range) {
   tree.cost.assign(n, std::numeric_limits<double>::infinity());
   tree.hops.assign(n, -1);
 
-  std::queue<int> q;
   const int s = topo.sink();
+  if (is_down(down, s)) return tree;  // dead sink: nothing is reachable
+  std::queue<int> q;
   tree.next_hop[s] = s;
   tree.cost[s] = 0.0;
   tree.hops[s] = 0;
@@ -58,7 +71,7 @@ RoutingTree min_hop_routes(const Topology& topo, u::Length range) {
     const int v = q.front();
     q.pop();
     for (int w : adj[v]) {
-      if (tree.hops[w] < 0) {
+      if (tree.hops[w] < 0 && !is_down(down, w)) {
         tree.hops[w] = tree.hops[v] + 1;
         tree.cost[w] = static_cast<double>(tree.hops[w]);
         tree.next_hop[w] = v;
@@ -69,8 +82,15 @@ RoutingTree min_hop_routes(const Topology& topo, u::Length range) {
   return tree;
 }
 
+RoutingTree min_hop_routes(const Topology& topo, u::Length range) {
+  return min_hop_routes(topo, range, {});
+}
+
 RoutingTree min_energy_routes(const Topology& topo, u::Length range,
-                              const LinkEnergyModel& model) {
+                              const LinkEnergyModel& model,
+                              const std::vector<std::uint8_t>& down) {
+  if (!down.empty() && down.size() != static_cast<std::size_t>(topo.size()))
+    throw std::invalid_argument("down mask size != node count");
   const auto adj = topo.adjacency(range);
   const int n = topo.size();
   RoutingTree tree;
@@ -78,9 +98,10 @@ RoutingTree min_energy_routes(const Topology& topo, u::Length range,
   tree.cost.assign(n, std::numeric_limits<double>::infinity());
   tree.hops.assign(n, -1);
 
+  const int s = topo.sink();
+  if (is_down(down, s)) return tree;  // dead sink: nothing is reachable
   using Item = std::pair<double, int>;  // (cost, node)
   std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  const int s = topo.sink();
   tree.cost[s] = 0.0;
   tree.next_hop[s] = s;
   tree.hops[s] = 0;
@@ -90,6 +111,7 @@ RoutingTree min_energy_routes(const Topology& topo, u::Length range,
     pq.pop();
     if (c > tree.cost[v]) continue;
     for (int w : adj[v]) {
+      if (is_down(down, w)) continue;
       const double link = model.cost(topo.node_distance(v, w));
       const double cand = tree.cost[v] + link;
       if (cand < tree.cost[w]) {
@@ -101,6 +123,11 @@ RoutingTree min_energy_routes(const Topology& topo, u::Length range,
     }
   }
   return tree;
+}
+
+RoutingTree min_energy_routes(const Topology& topo, u::Length range,
+                              const LinkEnergyModel& model) {
+  return min_energy_routes(topo, range, model, {});
 }
 
 double multihop_energy(const LinkEnergyModel& model, u::Length total,

@@ -136,3 +136,88 @@ INSTANTIATE_TEST_SUITE_P(
                                             : info.param.name == "CR2032"
                                                   ? std::string("CR2032")
                                                   : std::string("ThinFilm1"); });
+
+// --- brown-out hysteresis ---
+
+TEST(BatteryBrownOut, EntersAtCutoffRecoversOnlyAtRecovery) {
+  Battery b(Battery::thin_film_1mAh());
+  b.configure_brownout(0.10, 0.30);
+  EXPECT_FALSE(b.brown_out());
+
+  b.set_state_of_charge(0.11);
+  EXPECT_FALSE(b.brown_out());
+  b.set_state_of_charge(0.10);  // at the cutoff: latched
+  EXPECT_TRUE(b.brown_out());
+
+  // Inside the hysteresis band the latch holds, in both directions.
+  b.set_state_of_charge(0.20);
+  EXPECT_TRUE(b.brown_out());
+  b.set_state_of_charge(0.29);
+  EXPECT_TRUE(b.brown_out());
+  b.set_state_of_charge(0.30);  // only at the recovery threshold
+  EXPECT_FALSE(b.brown_out());
+
+  // And once recovered it stays up until the cutoff again.
+  b.set_state_of_charge(0.15);
+  EXPECT_FALSE(b.brown_out());
+  b.set_state_of_charge(0.05);
+  EXPECT_TRUE(b.brown_out());
+}
+
+TEST(BatteryBrownOut, DrawAndRechargeDriveTheLatch) {
+  auto spec = Battery::thin_film_1mAh();
+  spec.self_discharge = u::Power(0.0);
+  Battery b(spec);
+  b.configure_brownout(0.10, 0.30);
+  const double cap = b.capacity().value();
+
+  // Drain to just above the cutoff, then across it.
+  b.draw(u::Power(cap * 0.89), 1_s);
+  EXPECT_FALSE(b.brown_out());
+  b.draw(u::Power(cap * 0.02), 1_s);
+  EXPECT_TRUE(b.brown_out());
+
+  // A partial recharge inside the band must NOT clear the latch (this is
+  // the anti-flapping property: a sagging harvester can't rapid-cycle the
+  // node at the cutoff).
+  b.recharge(u::Energy(cap * 0.15));
+  EXPECT_TRUE(b.brown_out());
+  b.recharge(u::Energy(cap * 0.10));
+  EXPECT_FALSE(b.brown_out());
+}
+
+TEST(BatteryBrownOut, DegenerateEqualThresholdsDoNotFlap) {
+  // cutoff == recovery collapses the band; soc parked exactly on the
+  // threshold must hold one stable state, not oscillate per update.
+  Battery b(Battery::thin_film_1mAh());
+  b.configure_brownout(0.10, 0.10);
+  b.set_state_of_charge(0.10);
+  EXPECT_TRUE(b.brown_out());
+  b.set_state_of_charge(0.10);
+  EXPECT_TRUE(b.brown_out());  // still latched: recovery needs soc > cutoff
+  b.set_state_of_charge(0.11);
+  EXPECT_FALSE(b.brown_out());
+}
+
+TEST(BatteryBrownOut, DisabledByDefaultAndValidated) {
+  Battery b(Battery::thin_film_1mAh());
+  b.set_state_of_charge(0.0);
+  EXPECT_FALSE(b.brown_out());  // unconfigured: never latches
+
+  EXPECT_THROW(b.configure_brownout(-0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(b.configure_brownout(0.5, 0.4), std::invalid_argument);
+  EXPECT_THROW(b.configure_brownout(0.5, 1.1), std::invalid_argument);
+}
+
+TEST(BatteryBrownOut, IdleShelfDrainCanLatch) {
+  auto spec = Battery::thin_film_1mAh();
+  spec.self_discharge = u::Power(1e-3);
+  Battery b(spec);
+  b.configure_brownout(0.50, 0.60);
+  b.set_state_of_charge(0.505);
+  EXPECT_FALSE(b.brown_out());
+  const double cap = b.capacity().value();
+  // Enough idle time for shelf drain to cross the cutoff.
+  b.idle(u::Time(cap * 0.01 / 1e-3));
+  EXPECT_TRUE(b.brown_out());
+}

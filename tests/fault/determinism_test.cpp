@@ -1,0 +1,154 @@
+// Bit-identity guarantees of the fault subsystem:
+//   1. With faults disengaged, simulate_packets produces output
+//      bit-identical to the pre-fault simulator (golden checksums captured
+//      before the subsystem existed).
+//   2. With faults armed, a run is a pure function of its config.
+//   3. A Monte-Carlo availability study is bit-identical across worker-pool
+//      sizes {1, 2, 8}.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ambisim/fault/reliability.hpp"
+#include "ambisim/net/packet_sim.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+namespace {
+
+std::uint64_t packet_sim_checksum(const net::PacketSimConfig& cfg) {
+  const auto r = net::simulate_packets(cfg);
+  fault::Digest d;
+  d.fold(r.generated);
+  d.fold(r.delivered);
+  d.fold(r.undeliverable);
+  d.fold(r.mean_hops);
+  d.fold(r.mean_link_attempts);
+  d.fold(r.energy_per_delivered.value());
+  for (double v : r.end_to_end_latency.values()) d.fold(v);
+  for (double v : r.queueing_delay.values()) d.fold(v);
+  for (const auto& [name, e] : r.ledger.breakdown()) {
+    for (char c : name) d.fold(static_cast<std::uint64_t>(c));
+    d.fold(e.value());
+  }
+  return d.value();
+}
+
+net::PacketFaultConfig stress_faults() {
+  net::PacketFaultConfig f;
+  f.schedule.seed = 42;
+  f.schedule.crash_mttf_s = 900.0;
+  f.schedule.crash_mttr_s = 120.0;
+  f.schedule.link_mtbf_s = 1500.0;
+  f.schedule.link_mttr_s = 60.0;
+  f.schedule.corruption_rate = 0.02;
+  f.schedule.clock_drift_ppm = 40.0;
+  f.energy = fault::EnergyCouplingConfig{};
+  f.energy->harvest_avg_watt = 50e-6;
+  f.energy->baseline_watt = 40e-6;
+  f.energy->initial_soc = 0.04;
+  return f;
+}
+
+fault::ReliabilitySample faulty_replication(sim::Rng&, std::size_t index) {
+  net::PacketSimConfig cfg;
+  cfg.node_count = 25;
+  cfg.field_side = u::Length(38.0);
+  cfg.radio_range = u::Length(15.0);
+  cfg.duration = u::Time(900.0);
+  cfg.seed = static_cast<unsigned>(1000 + index);
+  cfg.faults = stress_faults();
+  cfg.faults->schedule.seed = 5000 + index;
+  const auto r = net::simulate_packets(cfg);
+  fault::ReliabilitySample s;
+  s.delivered_fraction = r.delivered_fraction();
+  s.goodput_fraction = r.goodput_fraction();
+  s.availability = r.availability;
+  s.mttf_s = r.mttf_s;
+  s.mttr_s = r.mttr_s;
+  s.generated = r.generated;
+  s.delivered = r.delivered;
+  s.lost = r.lost();
+  s.delayed = r.delayed;
+  s.retries = r.retries;
+  return s;
+}
+
+}  // namespace
+
+// Golden constants captured from the pre-fault-subsystem build.  A change
+// here means the healthy-network packet simulator no longer produces
+// bit-identical output with faults off — which this PR promised not to do.
+TEST(FaultOffBitIdentity, A3PanelConfigMatchesPreFaultGolden) {
+  net::PacketSimConfig a3;
+  a3.node_count = 40;
+  a3.field_side = u::Length(45.0);
+  a3.radio_range = u::Length(16.0);
+  a3.report_period = u::Time(10.0);
+  a3.duration = u::Time(3600.0);
+  a3.seed = 9;
+  EXPECT_EQ(packet_sim_checksum(a3), 13597430695780601274ULL);
+}
+
+TEST(FaultOffBitIdentity, LinkErrorConfigMatchesPreFaultGolden) {
+  net::PacketSimConfig le;
+  le.duration = u::Time(1200.0);
+  le.seed = 7;
+  le.model_link_errors = true;
+  EXPECT_EQ(packet_sim_checksum(le), 12763965287687888807ULL);
+}
+
+TEST(FaultDeterminism, ArmedRunIsAPureFunctionOfConfig) {
+  net::PacketSimConfig cfg;
+  cfg.node_count = 30;
+  cfg.duration = u::Time(1800.0);
+  cfg.seed = 4;
+  cfg.faults = stress_faults();
+
+  const auto a = net::simulate_packets(cfg);
+  const auto b = net::simulate_packets(cfg);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.missed_reports, b.missed_reports);
+  EXPECT_EQ(a.lost_no_route, b.lost_no_route);
+  EXPECT_EQ(a.lost_in_flight, b.lost_in_flight);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.corrupted_attempts, b.corrupted_attempts);
+  EXPECT_EQ(a.reroutes, b.reroutes);
+  fault::Digest da, db;
+  da.fold(a.availability);
+  da.fold(a.mttf_s);
+  da.fold(a.mttr_s);
+  db.fold(b.availability);
+  db.fold(b.mttf_s);
+  db.fold(b.mttr_s);
+  EXPECT_EQ(da.value(), db.value());
+}
+
+TEST(FaultDeterminism, StudyChecksumIdenticalAcrossPoolSizes) {
+  constexpr std::size_t kReps = 8;
+  constexpr std::uint64_t kRoot = 99;
+
+  exec::ExecConfig one, two, eight;
+  one.threads = 1;
+  two.threads = 2;
+  eight.threads = 8;
+
+  const auto r1 =
+      fault::run_availability_study(kReps, kRoot, faulty_replication, one);
+  const auto r2 =
+      fault::run_availability_study(kReps, kRoot, faulty_replication, two);
+  const auto r8 =
+      fault::run_availability_study(kReps, kRoot, faulty_replication, eight);
+
+  ASSERT_EQ(r1.replications.size(), kReps);
+  EXPECT_EQ(r1.checksum, r2.checksum);
+  EXPECT_EQ(r1.checksum, r8.checksum);
+  // Spot-check the aggregates too, not just the digest.
+  EXPECT_DOUBLE_EQ(r1.delivered_fraction.mean(), r8.delivered_fraction.mean());
+  EXPECT_DOUBLE_EQ(r1.availability.mean(), r2.availability.mean());
+  // The study actually exercised faults.
+  EXPECT_LT(r1.delivered_fraction.mean(), 1.0);
+  EXPECT_GT(r1.delivered_fraction.mean(), 0.0);
+}

@@ -1,0 +1,216 @@
+#include "ambisim/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ambisim/fault/schedule.hpp"
+#include "ambisim/sim/simulator.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using fault::EnergyCouplingConfig;
+using fault::FaultInjector;
+using fault::FaultSchedule;
+using fault::FaultScheduleConfig;
+using fault::NodeState;
+using fault::RetryPolicy;
+
+namespace {
+
+/// A hand-written script: node 1 crashes at t=100 for 50 s (boot tail 5 s),
+/// node 2's radio fades at t=200 for 30 s.
+FaultSchedule scripted() {
+  FaultScheduleConfig cfg;
+  cfg.node_count = 4;
+  cfg.horizon_s = 1000.0;
+  cfg.seed = 5;
+  cfg.crash_mttf_s = 1e12;  // effectively never; we only want the config
+  auto sched = FaultSchedule::generate(cfg);
+  EXPECT_TRUE(sched.empty());
+  return sched;
+}
+
+}  // namespace
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  const RetryPolicy p{/*max_attempts=*/6, /*timeout_s=*/0.25,
+                      /*backoff=*/2.0, /*max_backoff_s=*/1.5};
+  EXPECT_DOUBLE_EQ(p.backoff_delay(2), 0.25);  // first retry
+  EXPECT_DOUBLE_EQ(p.backoff_delay(3), 0.5);
+  EXPECT_DOUBLE_EQ(p.backoff_delay(4), 1.0);
+  EXPECT_DOUBLE_EQ(p.backoff_delay(5), 1.5);   // capped
+  EXPECT_DOUBLE_EQ(p.backoff_delay(6), 1.5);
+}
+
+TEST(FaultInjector, ScriptedCrashDrivesLifecycle) {
+  FaultScheduleConfig cfg;
+  cfg.node_count = 3;
+  cfg.horizon_s = 600.0;
+  cfg.seed = 11;
+  cfg.crash_mttf_s = 150.0;  // a few crashes in the horizon
+  cfg.crash_mttr_s = 40.0;
+  cfg.reboot_s = 5.0;
+  FaultInjector inj(FaultSchedule::generate(cfg));
+
+  std::vector<NodeState> seen;
+  inj.on_transition([&](int, NodeState, NodeState now, double) {
+    seen.push_back(now);
+  });
+
+  sim::Simulator simu;
+  inj.arm(simu, cfg.node_count);
+  simu.run_until(u::Time(cfg.horizon_s));
+
+  // The full cycle Dead -> Rebooting -> Up appears, in that order.
+  bool saw_dead = false, saw_reboot = false, saw_up = false;
+  for (NodeState s : seen) {
+    if (s == NodeState::Dead) saw_dead = true;
+    if (s == NodeState::Rebooting) saw_reboot = saw_dead;
+    if (s == NodeState::Up) saw_up = saw_reboot;
+  }
+  EXPECT_TRUE(saw_dead);
+  EXPECT_TRUE(saw_reboot);
+  EXPECT_TRUE(saw_up);
+
+  const auto st = inj.stats(cfg.horizon_s);
+  EXPECT_GT(st.failures, 0u);
+  EXPECT_GT(st.mttr_s, 0.0);
+  EXPECT_LT(st.availability, 1.0);
+  EXPECT_GT(st.availability, 0.0);
+}
+
+TEST(FaultInjector, RadioOutageLeavesNodeAliveButOutOfService) {
+  FaultScheduleConfig cfg;
+  cfg.node_count = 3;
+  cfg.horizon_s = 500.0;
+  cfg.seed = 3;
+  cfg.link_mtbf_s = 100.0;
+  cfg.link_mttr_s = 50.0;
+  FaultInjector inj(FaultSchedule::generate(cfg));
+
+  bool saw_alive_but_out = false;
+  sim::Simulator simu;
+  inj.on_transition([&](int node, NodeState, NodeState, double) {
+    if (inj.alive(node) && !inj.in_service(node) && inj.radio_down(node))
+      saw_alive_but_out = true;
+  });
+  inj.arm(simu, cfg.node_count);
+  simu.run_until(u::Time(cfg.horizon_s));
+  EXPECT_TRUE(saw_alive_but_out);
+}
+
+TEST(FaultInjector, EnergyCouplingBrownsOutAndRecovers) {
+  // No script at all: the node must die from energy and come back from
+  // harvest, purely through the battery hysteresis.
+  FaultScheduleConfig cfg;
+  cfg.node_count = 2;
+  cfg.horizon_s = 4000.0;
+  auto sched = FaultSchedule::generate(cfg);
+  ASSERT_TRUE(sched.empty());
+  FaultInjector inj(std::move(sched));
+
+  EnergyCouplingConfig ec;
+  ec.battery = energy::Battery::thin_film_1mAh();
+  ec.initial_soc = 0.06;
+  ec.brownout_cutoff_soc = 0.04;
+  ec.brownout_recovery_soc = 0.10;
+  // Draw beats harvest while up (net -1.5 mW empties the 2% band in
+  // ~2.5 min of sim time); once browned out only shelf drain applies and
+  // the 0.5 mW harvest refills to the recovery threshold.
+  ec.baseline_watt = 2e-3;
+  ec.harvest_avg_watt = 0.5e-3;
+  ec.update_period_s = 1.0;
+  inj.enable_energy(ec);
+
+  int brownouts = 0, recoveries = 0;
+  inj.on_transition([&](int node, NodeState prev, NodeState now, double) {
+    EXPECT_EQ(node, 1);  // sink immune
+    if (now == NodeState::BrownOut) ++brownouts;
+    if (prev == NodeState::BrownOut && now == NodeState::Up) ++recoveries;
+  });
+
+  sim::Simulator simu;
+  inj.arm(simu, cfg.node_count);
+  simu.run_until(u::Time(cfg.horizon_s));
+
+  EXPECT_GE(brownouts, 1);
+  EXPECT_GE(recoveries, 1);
+  ASSERT_NE(inj.battery(1), nullptr);
+  EXPECT_EQ(inj.battery(0), nullptr);  // sink carries no battery model
+  const auto st = inj.stats(cfg.horizon_s);
+  EXPECT_LT(st.availability, 1.0);
+}
+
+TEST(FaultInjector, AccountedEventEnergyDrainsTheBattery) {
+  FaultScheduleConfig cfg;
+  cfg.node_count = 2;
+  cfg.horizon_s = 100.0;
+  FaultInjector inj(FaultSchedule::generate(cfg));
+  EnergyCouplingConfig ec;
+  ec.battery = energy::Battery::coin_cell_cr2032();
+  ec.baseline_watt = 0.0;
+  ec.update_period_s = 1.0;
+  inj.enable_energy(ec);
+
+  sim::Simulator simu;
+  inj.arm(simu, cfg.node_count);
+  simu.schedule_at(u::Time(0.5),
+                   [&inj]() { inj.account_energy(1, u::Energy(0.05)); });
+  simu.run_until(u::Time(10.0));
+  const energy::Battery* bat = inj.battery(1);
+  ASSERT_NE(bat, nullptr);
+  // 50 mJ event charge (plus shelf drain) left the pack.
+  EXPECT_LT(bat->remaining().value(), bat->capacity().value() - 0.049);
+}
+
+TEST(FaultInjector, CorruptionHashIsPureAndRateBounded) {
+  FaultScheduleConfig cfg;
+  cfg.node_count = 8;
+  cfg.corruption_rate = 0.1;
+  FaultInjector a(FaultSchedule::generate(cfg));
+  FaultInjector b(FaultSchedule::generate(cfg));
+
+  int corrupted = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const bool va = a.corrupts(1, 2, static_cast<std::uint64_t>(t));
+    EXPECT_EQ(va, b.corrupts(1, 2, static_cast<std::uint64_t>(t)));
+    corrupted += va;
+  }
+  const double rate = static_cast<double>(corrupted) / trials;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+
+  cfg.corruption_rate = 0.0;
+  FaultInjector off(FaultSchedule::generate(cfg));
+  EXPECT_FALSE(off.corrupts(1, 2, 1));
+  cfg.corruption_rate = 1.0;
+  FaultInjector all(FaultSchedule::generate(cfg));
+  EXPECT_TRUE(all.corrupts(1, 2, 1));
+}
+
+TEST(FaultInjector, StatsWithNoFaultsAreClean) {
+  FaultInjector inj(scripted());
+  sim::Simulator simu;
+  inj.arm(simu, 4);
+  simu.run_until(u::Time(1000.0));
+  const auto st = inj.stats(1000.0);
+  EXPECT_DOUBLE_EQ(st.availability, 1.0);
+  EXPECT_EQ(st.failures, 0u);
+  EXPECT_DOUBLE_EQ(st.mttf_s, 1000.0);  // censored at the horizon
+  EXPECT_DOUBLE_EQ(st.mttr_s, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(inj.state(i), NodeState::Up);
+    EXPECT_TRUE(inj.in_service(i));
+    EXPECT_DOUBLE_EQ(inj.drift_factor(i), 1.0);
+  }
+}
+
+TEST(FaultInjector, ArmGuards) {
+  FaultInjector inj(scripted());
+  sim::Simulator simu;
+  EXPECT_THROW(inj.arm(simu, 0), std::invalid_argument);
+  inj.arm(simu, 4);
+  EXPECT_THROW(inj.arm(simu, 4), std::logic_error);
+  EXPECT_THROW(inj.enable_energy(EnergyCouplingConfig{}), std::logic_error);
+}

@@ -1,0 +1,130 @@
+#include "ambisim/fault/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ambisim;
+using fault::FaultEvent;
+using fault::FaultKind;
+using fault::FaultSchedule;
+using fault::FaultScheduleConfig;
+
+namespace {
+
+FaultScheduleConfig busy_config() {
+  FaultScheduleConfig cfg;
+  cfg.seed = 77;
+  cfg.horizon_s = 7200.0;
+  cfg.node_count = 25;
+  cfg.crash_mttf_s = 600.0;
+  cfg.crash_mttr_s = 90.0;
+  cfg.reboot_s = 5.0;
+  cfg.link_mtbf_s = 800.0;
+  cfg.link_mttr_s = 40.0;
+  cfg.corruption_rate = 0.01;
+  cfg.clock_drift_ppm = 50.0;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FaultSchedule, GenerationIsPure) {
+  const auto cfg = busy_config();
+  const auto a = FaultSchedule::generate(cfg);
+  const auto b = FaultSchedule::generate(cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(FaultSchedule, SeedsProduceDistinctStreams) {
+  auto cfg = busy_config();
+  const auto a = FaultSchedule::generate(cfg);
+  cfg.seed = 78;
+  const auto b = FaultSchedule::generate(cfg);
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(FaultSchedule, EventsSortedAndStartInsideHorizon) {
+  const auto sched = FaultSchedule::generate(busy_config());
+  const auto& ev = sched.events();
+  ASSERT_FALSE(ev.empty());
+  EXPECT_TRUE(std::is_sorted(
+      ev.begin(), ev.end(),
+      [](const FaultEvent& a, const FaultEvent& b) {
+        return a.time_s < b.time_s;
+      }));
+  // Every outage *begins* inside the horizon; its recovery tail may spill
+  // past it (the simulator just never reaches those events).
+  for (const FaultEvent& e : ev) {
+    if (e.kind == FaultKind::NodeCrash || e.kind == FaultKind::LinkDown)
+      EXPECT_LT(e.time_s, sched.config().horizon_s);
+    EXPECT_GE(e.time_s, 0.0);
+  }
+}
+
+TEST(FaultSchedule, CrashOutagesCarryFullLifecycle) {
+  const auto sched = FaultSchedule::generate(busy_config());
+  long long crashes = 0, reboots = 0, recovers = 0;
+  for (const FaultEvent& e : sched.events()) {
+    crashes += e.kind == FaultKind::NodeCrash;
+    reboots += e.kind == FaultKind::NodeReboot;
+    recovers += e.kind == FaultKind::NodeRecover;
+    if (e.kind == FaultKind::NodeCrash)
+      EXPECT_GE(e.magnitude, sched.config().reboot_s);
+  }
+  EXPECT_GT(crashes, 0);
+  EXPECT_EQ(crashes, reboots);
+  EXPECT_EQ(crashes, recovers);
+}
+
+TEST(FaultSchedule, SinkImmunityRespected) {
+  const auto sched = FaultSchedule::generate(busy_config());
+  for (const FaultEvent& e : sched.events()) EXPECT_NE(e.node, 0);
+
+  auto cfg = busy_config();
+  cfg.sink_immune = false;
+  const auto mortal = FaultSchedule::generate(cfg);
+  EXPECT_TRUE(std::any_of(
+      mortal.events().begin(), mortal.events().end(),
+      [](const FaultEvent& e) { return e.node == 0; }));
+}
+
+TEST(FaultSchedule, ClockDriftBoundedAndAtTimeZero) {
+  const auto cfg = busy_config();
+  const auto sched = FaultSchedule::generate(cfg);
+  int drifts = 0;
+  for (const FaultEvent& e : sched.events()) {
+    if (e.kind != FaultKind::ClockDrift) continue;
+    ++drifts;
+    EXPECT_DOUBLE_EQ(e.time_s, 0.0);
+    EXPECT_LE(std::abs(e.magnitude), cfg.clock_drift_ppm);
+  }
+  EXPECT_EQ(drifts, cfg.node_count - 1);  // every node but the sink
+}
+
+TEST(FaultSchedule, DisabledProcessesYieldEmptySchedule) {
+  FaultScheduleConfig cfg;
+  cfg.node_count = 10;
+  cfg.horizon_s = 3600.0;
+  // All rates at their zero defaults.
+  const auto sched = FaultSchedule::generate(cfg);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.checksum(), FaultSchedule().checksum());
+}
+
+TEST(FaultSchedule, ValidationRejectsBadConfigs) {
+  FaultScheduleConfig cfg;
+  cfg.node_count = -1;
+  EXPECT_THROW(FaultSchedule::generate(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.horizon_s = -1.0;
+  EXPECT_THROW(FaultSchedule::generate(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.crash_mttf_s = -5.0;
+  EXPECT_THROW(FaultSchedule::generate(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.corruption_rate = 1.5;
+  EXPECT_THROW(FaultSchedule::generate(cfg), std::invalid_argument);
+}

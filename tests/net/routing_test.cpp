@@ -177,3 +177,88 @@ TEST(MultihopEnergy, Validation) {
   EXPECT_THROW(net::optimal_hop_count(m, u::Length(-1.0)),
                std::invalid_argument);
 }
+
+// --- down-mask overloads: routing re-convergence around dead nodes ---
+
+TEST(DownMaskRouting, MidTreeDeathReroutesItsSubtree) {
+  // 3x3 grid, pitch 10, range covers only axis-aligned links:
+  //   6 7 8
+  //   3 4 5
+  //   0 1 2     (sink = 0)
+  // Kill node 1.  Its subtree (2, and anything routing via 1) must come
+  // back through column 0 instead of black-holing.
+  const auto t = Topology::grid(9, u::Length(10.0));
+  const u::Length range(10.5);
+  const auto healthy = net::min_hop_routes(t, range);
+  ASSERT_TRUE(healthy.reachable(2));
+
+  std::vector<std::uint8_t> down(9, 0);
+  down[1] = 1;
+  const auto tree = net::min_hop_routes(t, range, down);
+
+  // The dead node is marked unreachable and nobody routes through it.
+  EXPECT_FALSE(tree.reachable(1));
+  for (int i = 0; i < 9; ++i) EXPECT_NE(tree.next_hop[i], 1);
+  // 2 still reaches the sink, around the hole: 2-5-4-3-0 (4 hops).
+  ASSERT_TRUE(tree.reachable(2));
+  EXPECT_EQ(tree.hops[2], 4);
+  const auto path = tree.path_from(2);
+  EXPECT_EQ(path.front(), 2);
+  EXPECT_EQ(path.back(), 0);
+  for (int v : path) EXPECT_NE(v, 1);
+}
+
+TEST(DownMaskRouting, EmptyMaskMatchesBaseOverload) {
+  sim::Rng rng(99);
+  const auto t = Topology::random_field(30, u::Length(40.0), rng);
+  const u::Length range(15.0);
+  const auto base = net::min_hop_routes(t, range);
+  const auto masked =
+      net::min_hop_routes(t, range, std::vector<std::uint8_t>(30, 0));
+  EXPECT_EQ(base.next_hop, masked.next_hop);
+  EXPECT_EQ(base.hops, masked.hops);
+
+  const LinkEnergyModel m{50e-9, 10e-12, 2.0};
+  const auto ebase = net::min_energy_routes(t, range, m);
+  const auto emasked = net::min_energy_routes(
+      t, range, m, std::vector<std::uint8_t>(30, 0));
+  EXPECT_EQ(ebase.next_hop, emasked.next_hop);
+  EXPECT_EQ(ebase.cost, emasked.cost);
+}
+
+TEST(DownMaskRouting, DeadSinkStrandsEveryone) {
+  const auto t = Topology::star(5, u::Length(5.0));
+  std::vector<std::uint8_t> down(5, 0);
+  down[0] = 1;
+  const auto tree = net::min_hop_routes(t, u::Length(6.0), down);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(tree.reachable(i));
+  const LinkEnergyModel m{50e-9, 10e-12, 2.0};
+  const auto etree = net::min_energy_routes(t, u::Length(6.0), m, down);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(etree.reachable(i));
+}
+
+TEST(DownMaskRouting, MinEnergyAvoidsDeadRelay) {
+  // Three colinear nodes: 0 (sink) -- 1 -- 2, square-law loss makes two
+  // short hops cheaper than one long direct shot.
+  const Topology t({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}});
+  const LinkEnergyModel m{50e-9, 1e-9, 2.0};
+  const u::Length range(25.0);
+  const auto via = net::min_energy_routes(t, range, m);
+  EXPECT_EQ(via.next_hop[2], 1);
+  std::vector<std::uint8_t> down(3, 0);
+  down[1] = 1;
+  const auto direct = net::min_energy_routes(t, range, m, down);
+  EXPECT_EQ(direct.next_hop[2], 0);  // forced onto the long hop
+  EXPECT_GT(direct.cost[2], via.cost[2]);
+}
+
+TEST(DownMaskRouting, MaskSizeMismatchRejected) {
+  const auto t = Topology::star(5, u::Length(5.0));
+  EXPECT_THROW(net::min_hop_routes(t, u::Length(6.0),
+                                   std::vector<std::uint8_t>(4, 0)),
+               std::invalid_argument);
+  const LinkEnergyModel m;
+  EXPECT_THROW(net::min_energy_routes(t, u::Length(6.0), m,
+                                      std::vector<std::uint8_t>(6, 0)),
+               std::invalid_argument);
+}
