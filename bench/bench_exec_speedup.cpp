@@ -116,8 +116,10 @@ void print_figure() {
   std::cout << t << '\n';
 
   std::ofstream json("BENCH_exec_speedup.json");
-  json << "{\n"
-       << "  \"bench\": \"exec_speedup\",\n"
+  json << "{\n";
+  bench_util::manifest_field(json,
+                             bench_util::run_manifest("exec_speedup", 11, hw));
+  json << "  \"bench\": \"exec_speedup\",\n"
        << "  \"design_points\": " << kDesignPoints << ",\n"
        << "  \"hardware_threads\": " << hw << ",\n"
        << "  \"serial_wall_s\": " << serial_s << ",\n"

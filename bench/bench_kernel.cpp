@@ -184,8 +184,10 @@ void print_figure() {
             << " packets generated, " << mres.delivered << " delivered\n";
 
   std::ofstream json("BENCH_kernel.json");
-  json << "{\n"
-       << "  \"bench\": \"kernel\",\n"
+  json << "{\n";
+  bench_util::manifest_field(json,
+                             bench_util::run_manifest("kernel", 1000));
+  json << "  \"bench\": \"kernel\",\n"
        << "  \"roots_per_rep\": " << kRoots << ",\n"
        << "  \"cancel_fraction\": " << kCancelFrac << ",\n"
        << "  \"reps\": " << kReps << ",\n"

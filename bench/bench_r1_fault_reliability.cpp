@@ -153,8 +153,10 @@ void print_r1() {
   }
 
   std::ofstream json("BENCH_fault.json");
-  json << "{\n"
-       << "  \"bench\": \"fault\",\n"
+  json << "{\n";
+  bench_util::manifest_field(json,
+                             bench_util::run_manifest("fault", kRootSeed));
+  json << "  \"bench\": \"fault\",\n"
        << "  \"replications\": " << kReplications << ",\n"
        << "  \"root_seed\": " << kRootSeed << ",\n"
        << "  \"classes\": [\n";

@@ -2,16 +2,27 @@
 // prints the figure/table it regenerates (rows/series exactly as recorded in
 // EXPERIMENTS.md), then runs its google-benchmark microbenchmarks.
 //
-// Set AMBISIM_OBS=1 in the environment to arm the observability probes for
-// the whole binary; the metrics registry is then dumped as CSV on stderr
-// after the benchmarks finish.
+// Observability hooks (all opt-in via the environment):
+//  * AMBISIM_OBS=1 arms the probes for the whole binary; the metrics
+//    registry is dumped as CSV on stderr after the benchmarks finish.
+//  * AMBISIM_OBS_JSON=<path> additionally dumps the whole flight recorder
+//    as one JSON object — run manifest, metrics, per-node timeline series,
+//    and the trace ring (Chrome trace_event array, flow links included).
+//
+// Every BENCH_*.json artifact embeds a RunManifest (via manifest_field) so
+// a stray artifact can always be traced back to the source revision, build
+// flags, seed, and pool size that produced it.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <ostream>
 
+#include "ambisim/obs/manifest.hpp"
 #include "ambisim/obs/obs.hpp"
 
 namespace ambisim::bench_util {
@@ -21,13 +32,74 @@ inline void obs_setup_from_env() {
   if (v != nullptr && *v != '\0' && *v != '0') ::ambisim::obs::set_enabled(true);
 }
 
-inline void obs_report() {
+/// Build-side manifest plus the run-side fields every bench knows.
+inline ::ambisim::obs::RunManifest run_manifest(const char* label,
+                                                std::uint64_t seed = 0,
+                                                unsigned pool_size = 0) {
+  auto m = ::ambisim::obs::RunManifest::collect();
+  m.label = label;
+  m.seed = seed;
+  m.pool_size = pool_size;
+  return m;
+}
+
+/// Emit `  "manifest": {...},` — the provenance stanza every BENCH_*.json
+/// carries right after its opening brace.
+inline void manifest_field(std::ostream& json,
+                           const ::ambisim::obs::RunManifest& m) {
+  json << "  \"manifest\": ";
+  m.write_json(json, 2);
+  json << ",\n";
+}
+
+/// One JSON object with everything the flight recorder holds.  Timeline
+/// series are exported as [t, value] pair arrays keyed by (name, node);
+/// the trace ring uses the Chrome trace_event format so the "trace" value
+/// can be pasted straight into Perfetto.
+inline void write_obs_json(std::ostream& os,
+                           const ::ambisim::obs::RunManifest& m) {
+  const auto& ctx = ::ambisim::obs::context();
+  os << "{\n  \"manifest\": ";
+  m.write_json(os, 2);
+  os << ",\n  \"metrics\": ";
+  ctx.metrics.write_json(os, 2);
+  os << ",\n  \"timeline\": [";
+  const auto entries = ctx.timeline.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    os << (i ? "," : "") << "\n    {\"name\": \"" << *e.name
+       << "\", \"node\": " << e.node << ", \"samples\": [";
+    const auto& samples = e.series->samples();
+    for (std::size_t k = 0; k < samples.size(); ++k)
+      os << (k ? "," : "") << '[' << samples[k].t_s << ','
+         << samples[k].value << ']';
+    os << "]}";
+  }
+  os << "\n  ],\n  \"trace\": ";
+  ctx.tracer.write_chrome_json(os);
+  os << "\n}\n";
+}
+
+inline void obs_report(const char* label = "bench") {
   if (!::ambisim::obs::enabled()) return;
   std::cerr << "\n--- ambisim obs metrics ---\n";
   ::ambisim::obs::context().metrics.write_csv(std::cerr);
   const auto& tracer = ::ambisim::obs::context().tracer;
   std::cerr << "--- trace: " << tracer.size() << " events kept, "
             << tracer.dropped() << " dropped ---\n";
+  const auto& timeline = ::ambisim::obs::context().timeline;
+  std::cerr << "--- timeline: " << timeline.series_count() << " series, "
+            << timeline.sample_count() << " samples ---\n";
+
+  const char* path = std::getenv("AMBISIM_OBS_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "could not open AMBISIM_OBS_JSON path: " << path << '\n';
+    return;
+  }
+  write_obs_json(os, run_manifest(label));
+  std::cerr << "wrote obs dump: " << path << '\n';
 }
 
 }  // namespace ambisim::bench_util
@@ -41,6 +113,6 @@ inline void obs_report() {
       return 1;                                               \
     ::benchmark::RunSpecifiedBenchmarks();                    \
     ::benchmark::Shutdown();                                  \
-    ::ambisim::bench_util::obs_report();                      \
+    ::ambisim::bench_util::obs_report(#print_fn);             \
     return 0;                                                 \
   }

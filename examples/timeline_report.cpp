@@ -1,0 +1,221 @@
+// Flight-recorder CLI: render per-node telemetry timelines and one
+// packet's causal hop/retry chain from a flight-record JSONL file.
+//
+//   timeline_report                 run a small fault-armed collection
+//                                   network, write flight_record.jsonl,
+//                                   then report on it
+//   timeline_report <file.jsonl>    report on an existing flight record
+//
+// The report is built *only* from the JSONL file — the tool re-parses
+// what it just wrote — so it doubles as an end-to-end check that the
+// export carries everything needed for post-mortem analysis: manifest
+// provenance, per-node series (battery SoC, lifecycle, queue depth, duty
+// cycle, retries), and the flow-linked trace events.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/obs/manifest.hpp"
+#include "ambisim/obs/obs.hpp"
+#include "ambisim/sim/ascii_plot.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+namespace {
+
+// ---- minimal JSONL field extraction (flat objects, known keys) ----
+
+bool num_field(const std::string& line, const std::string& key,
+               double* out) {
+  const std::string tag = "\"" + key + "\":";
+  const std::size_t pos = line.find(tag);
+  if (pos == std::string::npos) return false;
+  *out = std::stod(line.substr(pos + tag.size()));
+  return true;
+}
+
+std::string str_field(const std::string& line, const std::string& key) {
+  const std::string tag = "\"" + key + "\":\"";
+  const std::size_t pos = line.find(tag);
+  if (pos == std::string::npos) return {};
+  const std::size_t start = pos + tag.size();
+  return line.substr(start, line.find('"', start) - start);
+}
+
+struct FlightRecord {
+  std::string manifest_line;
+  // (series name, node) -> samples
+  std::map<std::pair<std::string, std::uint32_t>,
+           std::vector<obs::Sample>>
+      series;
+  struct Ev {
+    std::string name;
+    char ph = '?';
+    double ts_us = 0.0;
+    std::uint32_t tid = 0;
+    double value = 0.0;
+  };
+  std::map<std::uint64_t, std::vector<Ev>> flows;  // flow id -> events
+};
+
+FlightRecord parse(std::istream& is) {
+  FlightRecord fr;
+  for (std::string line; std::getline(is, line);) {
+    if (line.empty()) continue;
+    const std::string type = str_field(line, "type");
+    if (type == "manifest") {
+      fr.manifest_line = line;
+    } else if (type == "sample") {
+      double node = 0.0, t = 0.0, v = 0.0;
+      num_field(line, "node", &node);
+      num_field(line, "t_s", &t);
+      num_field(line, "value", &v);
+      fr.series[{str_field(line, "name"),
+                 static_cast<std::uint32_t>(node)}]
+          .push_back({t, v});
+    } else if (type == "event") {
+      const std::string ph = str_field(line, "ph");
+      if (ph != "s" && ph != "t" && ph != "f") continue;
+      double ts = 0.0, tid = 0.0, value = 0.0, flow = 0.0;
+      num_field(line, "ts_us", &ts);
+      num_field(line, "tid", &tid);
+      num_field(line, "value", &value);
+      num_field(line, "flow", &flow);
+      fr.flows[static_cast<std::uint64_t>(flow)].push_back(
+          {str_field(line, "name"), ph[0], ts,
+           static_cast<std::uint32_t>(tid), value});
+    }
+  }
+  return fr;
+}
+
+/// Run a small hostile collection network with probes armed and dump the
+/// flight record; returns the path written.
+std::string self_run(const std::string& path) {
+  obs::set_enabled(true);
+  obs::reset();
+  obs::context().timeline.clear();
+
+  net::PacketSimConfig cfg;
+  cfg.node_count = 16;
+  cfg.field_side = u::Length(30.0);
+  cfg.radio_range = u::Length(14.0);
+  cfg.duration = u::Time(400.0);
+  cfg.seed = 11;
+  net::PacketFaultConfig f;
+  f.schedule.seed = 77;
+  f.schedule.crash_mttf_s = 500.0;
+  f.schedule.crash_mttr_s = 60.0;
+  f.schedule.corruption_rate = 0.2;
+  f.energy = fault::EnergyCouplingConfig{};
+  f.energy->harvest_avg_watt = 40e-6;
+  f.energy->baseline_watt = 45e-6;
+  f.energy->initial_soc = 0.06;
+  cfg.faults = f;
+  net::simulate_packets(cfg);
+  obs::set_enabled(false);
+
+  auto manifest = obs::RunManifest::collect();
+  manifest.label = "timeline_report self-run";
+  manifest.seed = cfg.seed;
+
+  std::ofstream os(path);
+  obs::write_flight_jsonl(os, obs::context(), manifest);
+  return path;
+}
+
+void plot_series(const FlightRecord& fr, const std::string& name,
+                 const std::string& y_label) {
+  // One linear-axis scatter per series name; nodes distinguished by
+  // glyph (0-9, then a-z).
+  sim::AsciiScatter plot(name, 72, 16, /*log_x=*/false, /*log_y=*/false);
+  plot.set_labels("sim time [s]", y_label);
+  int series_seen = 0;
+  for (const auto& [key, samples] : fr.series) {
+    if (key.first != name) continue;
+    const char glyph =
+        key.second < 10 ? static_cast<char>('0' + key.second)
+                        : static_cast<char>('a' + (key.second - 10) % 26);
+    for (const obs::Sample& s : samples) plot.add(s.t_s, s.value, glyph);
+    ++series_seen;
+  }
+  if (series_seen == 0) {
+    std::cout << "(no \"" << name << "\" series in this record)\n\n";
+    return;
+  }
+  std::cout << plot << '\n';
+}
+
+/// Print the full causal history of the first flow that was retried at
+/// least once (fall back to the longest flow).
+void print_causal_chain(const FlightRecord& fr) {
+  const std::vector<FlightRecord::Ev>* best = nullptr;
+  std::uint64_t best_id = 0;
+  for (const auto& [id, evs] : fr.flows) {
+    bool retried = false;
+    for (const auto& e : evs) retried = retried || e.name == "hop.retry";
+    if (retried) {
+      best = &evs;
+      best_id = id;
+      break;
+    }
+    if (best == nullptr || evs.size() > best->size()) {
+      best = &evs;
+      best_id = id;
+    }
+  }
+  if (best == nullptr) {
+    std::cout << "no packet flows in this record\n";
+    return;
+  }
+  std::cout << "causal chain of packet flow " << best_id << ":\n";
+  for (const auto& e : *best) {
+    std::cout << "  t=" << e.ts_us / 1e6 << "s  node " << e.tid << "  "
+              << e.name;
+    if (e.name == "hop.attempt" || e.name == "hop.corrupted")
+      std::cout << " -> node " << static_cast<int>(e.value);
+    else if (e.name == "hop.retry")
+      std::cout << " (attempt " << static_cast<int>(e.value) << ")";
+    else if (e.name == "packet.delivered")
+      std::cout << " after " << static_cast<int>(e.value) << " hops";
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : self_run("flight_record.jsonl");
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "cannot open " << path << '\n';
+    return 1;
+  }
+  const FlightRecord fr = parse(is);
+  if (fr.manifest_line.empty()) {
+    std::cerr << path << " has no manifest line — not a flight record?\n";
+    return 1;
+  }
+
+  std::cout << "flight record: " << path << '\n'
+            << "  produced by: " << str_field(fr.manifest_line, "label")
+            << " @ " << str_field(fr.manifest_line, "git_describe")
+            << " (" << str_field(fr.manifest_line, "build_type") << ")\n"
+            << "  series: " << fr.series.size()
+            << "  packet flows: " << fr.flows.size() << "\n\n";
+
+  plot_series(fr, "energy.soc", "state of charge");
+  plot_series(fr, "fault.nodes_in_service", "nodes up");
+  plot_series(fr, "net.queue_depth", "queued packets");
+  plot_series(fr, "net.radio_duty", "duty cycle");
+  plot_series(fr, "net.retry_count", "retries");
+  print_causal_chain(fr);
+  return 0;
+}

@@ -92,6 +92,9 @@ class ParallelSweepRunner {
         [&](std::size_t i) {
           obs::ContextBinding bind(shards.shard_for_current_worker());
           out[i] = detail::invoke_point(fn, points[i], i);
+          // Each point is its own recording stream: never let on-change
+          // dedup span two points that happen to share a worker shard.
+          if (obs::enabled()) obs::context().timeline.reset_streams();
         },
         cfg_.grain);
     return out;
@@ -125,6 +128,11 @@ class ReplicationRunner {
           obs::ContextBinding bind(shards.shard_for_current_worker());
           sim::Rng rng(derive_seed(root_seed, i));
           out[i] = fn(rng, i);
+          // Replication `i` is one recording stream (see
+          // Timeline::reset_streams): dedup must not leak into `i+1`'s
+          // samples when both land on the same worker shard, or the
+          // merged timeline would depend on the pool size.
+          if (obs::enabled()) obs::context().timeline.reset_streams();
         },
         cfg_.grain);
     return out;

@@ -1,0 +1,52 @@
+// Run provenance: who produced this artifact, from what source, and how.
+//
+// A RunManifest stamps every exported artifact (BENCH_*.json, flight
+// records, timeline dumps) with enough context to reproduce or reject it:
+// the git describe of the source tree, build type and compiler, the root
+// seed and a caller-computed config digest, and the worker-pool size.
+// `collect()` fills the build-side fields from compile definitions baked
+// in by CMake (AMBISIM_GIT_DESCRIBE and friends); run-side fields are
+// assigned by the caller before export.
+//
+// write_flight_jsonl emits the full flight record of one run — manifest
+// line, then every timeline sample, then every trace event — one JSON
+// object per line, the format examples/timeline_report consumes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ambisim::obs {
+
+struct Context;
+
+struct RunManifest {
+  // --- build provenance (filled by collect()) ---
+  std::string git_describe = "unknown";
+  std::string build_type = "unknown";
+  std::string compiler = "unknown";
+  std::string sanitize;        ///< -fsanitize list, empty when none
+  bool obs_compiled = false;   ///< probes compiled in?
+
+  // --- run provenance (filled by the caller) ---
+  std::string label;           ///< bench / experiment name
+  std::uint64_t seed = 0;      ///< root seed of the run
+  std::uint64_t config_digest = 0;  ///< caller's fault::Digest over config
+  unsigned pool_size = 0;      ///< worker threads (0 = serial / unset)
+
+  /// Manifest with every build-side field resolved.
+  static RunManifest collect();
+
+  /// JSON object, pretty-printed with `indent` leading spaces per line
+  /// (the opening brace is not indented, so the object can be embedded
+  /// after a key).
+  void write_json(std::ostream& os, int indent = 0) const;
+};
+
+/// Full flight record of `ctx` as JSONL: one manifest line
+/// ({"type":"manifest",...}), then timeline samples, then trace events.
+void write_flight_jsonl(std::ostream& os, const Context& ctx,
+                        const RunManifest& manifest);
+
+}  // namespace ambisim::obs

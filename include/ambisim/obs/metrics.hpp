@@ -112,6 +112,12 @@ class MetricsRegistry {
   /// dump is deterministic.
   void write_csv(std::ostream& os) const;
 
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{name:
+  /// {count,mean,stddev,min,max,p50,p99}}}, each map sorted by name.
+  /// `indent` leading spaces per line; the opening brace is not indented
+  /// so the object can be embedded after a key.
+  void write_json(std::ostream& os, int indent = 0) const;
+
   /// Fold another registry into this one: counters add, gauges add (the
   /// instruments a parallel run shards are additive in practice), and
   /// histograms merge bucket-by-bucket (absent entries are created with the

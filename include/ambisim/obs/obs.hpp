@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "ambisim/obs/metrics.hpp"
+#include "ambisim/obs/timeline.hpp"
 #include "ambisim/obs/trace.hpp"
 
 #ifdef AMBISIM_OBS_DISABLED
@@ -39,6 +40,7 @@ namespace ambisim::obs {
 struct Context {
   MetricsRegistry metrics;
   Tracer tracer;
+  Timeline timeline;  ///< sim-time flight recorder (per-node series)
 };
 
 /// The context probes write to: the calling thread's bound shard when one
@@ -65,8 +67,9 @@ inline bool enabled() {
 /// Arm or disarm the runtime switch (a no-op when compiled out).
 void set_enabled(bool on);
 
-/// Zero all metrics and drop all trace events in the *global* context; the
-/// enabled flag and the registered metric entries are preserved.
+/// Zero all metrics, drop all trace events, and drop all timeline samples
+/// in the *global* context; the enabled flag and the registered metric /
+/// series entries are preserved.
 void reset();
 
 /// Convert simulated seconds to trace-timestamp microseconds.

@@ -78,6 +78,35 @@ class ProbeScope {
   Clock::time_point start_;
 };
 
+/// Cached handle onto one (name, node) timeline series.  Resolves the
+/// series once at construction when probes are armed (and is wholly inert
+/// otherwise), so per-sample recording on hot paths skips the registry
+/// lookup.  The cached reference is valid until Timeline::clear() on the
+/// owning context — rebuild recorders per run, like the sim kernel does
+/// with its cached instruments.
+class SeriesRecorder {
+ public:
+  SeriesRecorder(const char* name, std::uint32_t node,
+                 std::size_t max_samples = Series::kDefaultMaxSamples)
+      : series_(enabled()
+                    ? &context().timeline.series(name, node, max_samples)
+                    : nullptr) {}
+
+  [[nodiscard]] bool armed() const { return series_ != nullptr; }
+
+  /// Fixed-cadence sample at simulated time `t_s`.
+  void record(double t_s, double value) {
+    if (series_) series_->record(t_s, value);
+  }
+  /// On-change sample at simulated time `t_s`.
+  void record_change(double t_s, double value) {
+    if (series_) series_->record_change(t_s, value);
+  }
+
+ private:
+  Series* series_;
+};
+
 }  // namespace ambisim::obs
 
 #if AMBISIM_OBS_COMPILED
@@ -125,6 +154,28 @@ class ProbeScope {
       ::ambisim::obs::context().tracer.counter(name, cat, ts_us, value); \
   } while (0)
 
+#define AMBISIM_OBS_SERIES(name, node, t_s, v)                       \
+  do {                                                               \
+    if (::ambisim::obs::enabled())                                   \
+      ::ambisim::obs::context().timeline.series(name, node).record(  \
+          t_s, v);                                                   \
+  } while (0)
+
+#define AMBISIM_OBS_SERIES_CHANGE(name, node, t_s, v)           \
+  do {                                                          \
+    if (::ambisim::obs::enabled())                              \
+      ::ambisim::obs::context()                                 \
+          .timeline.series(name, node)                          \
+          .record_change(t_s, v);                               \
+  } while (0)
+
+#define AMBISIM_OBS_FLOW(name, cat, ph, ts_us, tid, flow_id, v)       \
+  do {                                                                \
+    if (::ambisim::obs::enabled())                                    \
+      ::ambisim::obs::context().tracer.flow(name, cat, ph, ts_us,     \
+                                            tid, flow_id, v);         \
+  } while (0)
+
 #else  // AMBISIM_OBS_COMPILED
 
 #define AMBISIM_OBS_COUNT(name) ((void)0)
@@ -134,5 +185,8 @@ class ProbeScope {
 #define AMBISIM_OBS_INSTANT(name, cat, ts_us, tid) ((void)0)
 #define AMBISIM_OBS_COMPLETE(name, cat, ts_us, dur_us, tid) ((void)0)
 #define AMBISIM_OBS_COUNTER_EVENT(name, cat, ts_us, value) ((void)0)
+#define AMBISIM_OBS_SERIES(name, node, t_s, v) ((void)0)
+#define AMBISIM_OBS_SERIES_CHANGE(name, node, t_s, v) ((void)0)
+#define AMBISIM_OBS_FLOW(name, cat, ph, ts_us, tid, flow_id, v) ((void)0)
 
 #endif  // AMBISIM_OBS_COMPILED

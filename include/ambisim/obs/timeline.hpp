@@ -1,0 +1,186 @@
+// Sim-time flight recorder: typed per-node value series.
+//
+// A Timeline is the third leg of the observability context, next to the
+// MetricsRegistry (aggregates) and the Tracer (events): it stores *series*
+// — (name, node) keyed sequences of (sim-time, value) samples — so that the
+// observables ambient-intelligent networks care about (battery state of
+// charge, queue depth, lifecycle state, radio duty cycle, retry counts) can
+// be inspected over simulated time and per node after a run, not just as
+// end-of-run totals.
+//
+// Recording modes: `record` appends unconditionally (fixed-cadence
+// sampling); `record_change` appends only when the value differs from the
+// last admitted sample (lifecycle edges, queue transitions).  Memory is
+// bounded per series: once `max_samples` is reached the series halves
+// itself — every other sample is dropped — and doubles its admission
+// stride, a deterministic decimation that is a pure function of the
+// recorded stream (no clocks, no randomness), so two identical runs always
+// keep identical samples.
+//
+// Determinism under parallel merge: exec runners give every worker its own
+// Context shard, and ShardSet::merge_into folds shard timelines into the
+// global one.  `merge_from` combines series as *sorted multisets* — the
+// merged sample sequence is ordered by (time, value bits) — so the result
+// depends only on which samples were recorded, not on which worker
+// recorded them or in what shard order they were merged.  As long as no
+// series decimates *between* merges (capacity is per recording stream),
+// the merged timeline is bit-identical at any pool size; the tier-1
+// timeline-determinism tests assert this at pools {1, 2, 8}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ambisim::obs {
+
+/// One timeline sample: a value observed at a simulated time.
+struct Sample {
+  double t_s = 0.0;   ///< simulated seconds
+  double value = 0.0;
+};
+
+/// Summary statistics of a [t0, t1] window of one series.
+struct WindowStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// One (name, node) sample sequence with bounded, deterministic storage.
+class Series {
+ public:
+  static constexpr std::size_t kDefaultMaxSamples = 4096;
+
+  /// `max_samples` of 0 means unbounded; otherwise it is rounded up to an
+  /// even floor of 2 so decimation-by-halving stays exact.
+  explicit Series(std::size_t max_samples = kDefaultMaxSamples);
+
+  /// Fixed-cadence recording: admit the sample (subject to the current
+  /// decimation stride).  Timestamps are expected nondecreasing per
+  /// recording stream; an out-of-order append is sorted lazily.
+  void record(double t_s, double value);
+  /// On-change recording: admit only when `value` differs from the last
+  /// admitted sample's value (or the series is empty).
+  void record_change(double t_s, double value);
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t max_samples() const { return max_samples_; }
+  /// Current admission stride: 1 until the first decimation, then doubling.
+  [[nodiscard]] std::uint64_t stride() const { return stride_; }
+  /// Samples offered past the on-change dedup (admitted or dropped by the
+  /// decimation stride; `record_change` drops of an unchanged value do not
+  /// count, so dedup cannot shift the stride phase).
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+
+  /// Samples ordered by (t, value bits).
+  [[nodiscard]] const std::vector<Sample>& samples() const;
+
+  /// Most recently admitted sample.  Requires !empty().
+  [[nodiscard]] Sample last() const;
+  /// Latest sample with t <= t_s, or nullopt-like {false, {}} semantics via
+  /// pointer: nullptr when every sample is later than `t_s`.
+  [[nodiscard]] const Sample* last_before(double t_s) const;
+  /// min/max/mean over samples with t0 <= t <= t1 (count 0 when none).
+  [[nodiscard]] WindowStats window(double t0, double t1) const;
+
+  /// Sorted-multiset union with `other`: the result is a pure function of
+  /// the combined sample multiset, independent of merge grouping or order.
+  /// Merged series are NOT re-decimated (they may exceed max_samples);
+  /// call `compact()` explicitly to re-bound a merged series.
+  void merge_from(const Series& other);
+
+  /// Deterministically decimate down to at most max_samples (keep every
+  /// k-th sample plus the last); a no-op when unbounded or within bounds.
+  void compact();
+
+  /// Mark the end of one recording stream: the next `record_change` is
+  /// admitted regardless of the last value.  Exec runners call this (via
+  /// Timeline::reset_streams) between replications sharing a shard, so the
+  /// on-change dedup never spans replication boundaries and the admitted
+  /// sample multiset is independent of how replications are grouped onto
+  /// workers.
+  void reset_stream();
+
+  void clear();
+
+ private:
+  void admit(double t_s, double value);
+  void ensure_sorted() const;
+
+  mutable std::vector<Sample> samples_;
+  mutable bool sorted_ = true;
+  std::size_t max_samples_;
+  std::uint64_t stride_ = 1;
+  std::uint64_t seen_ = 0;
+  bool has_last_ = false;
+  double last_value_ = 0.0;
+};
+
+/// The per-node series store of one observability context.
+class Timeline {
+ public:
+  /// Find-or-create the series keyed (name, node).  `max_samples` is only
+  /// consulted on first creation.  References stay valid until clear().
+  Series& series(std::string_view name, std::uint32_t node,
+                 std::size_t max_samples = Series::kDefaultMaxSamples);
+  /// Lookup without creating; nullptr when absent.
+  [[nodiscard]] const Series* find(std::string_view name,
+                                   std::uint32_t node) const;
+
+  /// Distinct (name, node) series.
+  [[nodiscard]] std::size_t series_count() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  /// Total samples held across every series.
+  [[nodiscard]] std::size_t sample_count() const;
+
+  struct Entry {
+    const std::string* name;
+    std::uint32_t node;
+    const Series* series;
+  };
+  /// Every series sorted by (name, node) — the canonical iteration order
+  /// used by exports and the digest.
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  /// Fold another timeline in: series are matched by (name, node) and
+  /// merged as sorted multisets (see Series::merge_from), absent series
+  /// are created.  Deterministic for any merge grouping.
+  void merge_from(const Timeline& other);
+
+  /// Order-canonical checksum over every series (SplitMix64 chain folded
+  /// in entries() order): equal digests mean bit-identical timelines.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// `series,node,t_s,value` rows in entries() order.
+  void write_csv(std::ostream& os) const;
+  /// One JSON object per line:
+  ///   {"type":"sample","name":...,"node":N,"t_s":T,"value":V}
+  void write_jsonl(std::ostream& os) const;
+
+  /// End the current recording stream of every series (see
+  /// Series::reset_stream); samples are kept.
+  void reset_streams();
+
+  /// Drop every sample but keep the series entries (references survive).
+  void reset_values();
+  /// Drop every series; outstanding references become dangling.
+  void clear();
+
+ private:
+  struct Keyed {
+    std::string name;
+    std::uint32_t node;
+    std::unique_ptr<Series> series;
+  };
+  // Sorted by (name, node); series() does a binary search + insert.
+  std::vector<Keyed> entries_;
+};
+
+}  // namespace ambisim::obs

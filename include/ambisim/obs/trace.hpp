@@ -22,10 +22,19 @@ namespace ambisim::obs {
 
 /// Chrome trace_event phases used by AmbiSim.
 enum class Phase : char {
-  Instant = 'i',   ///< point event
-  Complete = 'X',  ///< span with duration
-  Counter = 'C',   ///< sampled numeric series
+  Instant = 'i',    ///< point event
+  Complete = 'X',   ///< span with duration
+  Counter = 'C',    ///< sampled numeric series
+  FlowStart = 's',  ///< first event of a causal flow (packet generated)
+  FlowStep = 't',   ///< intermediate flow event (hop, retry)
+  FlowEnd = 'f',    ///< terminal flow event (delivered, lost)
 };
+
+/// True for the three flow phases that carry a flow id.
+constexpr bool is_flow(Phase p) {
+  return p == Phase::FlowStart || p == Phase::FlowStep ||
+         p == Phase::FlowEnd;
+}
 
 struct TraceEvent {
   const char* name = "";      ///< static-storage string
@@ -34,7 +43,8 @@ struct TraceEvent {
   double ts_us = 0.0;   ///< timestamp in microseconds (simulated time)
   double dur_us = 0.0;  ///< Complete spans only
   std::uint32_t tid = 0;  ///< timeline lane (node id, layer id, ...)
-  double value = 0.0;     ///< Counter samples only
+  double value = 0.0;     ///< Counter samples and flow payloads
+  std::uint64_t flow = 0;  ///< causal chain id (flow phases only)
 };
 
 class Tracer {
@@ -49,6 +59,12 @@ class Tracer {
                 double dur_us, std::uint32_t tid = 0);
   void counter(const char* name, const char* category, double ts_us,
                double value);
+  /// Causal flow event: `flow_id` links every event of one causal chain (a
+  /// packet's generation, hops, retries, delivery) across timeline lanes;
+  /// `value` carries a small payload (next hop, attempt count, ...).
+  void flow(const char* name, const char* category, Phase phase,
+            double ts_us, std::uint32_t tid, std::uint64_t flow_id,
+            double value = 0.0);
 
   /// Events currently held (<= capacity()).
   [[nodiscard]] std::size_t size() const;
@@ -72,10 +88,17 @@ class Tracer {
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
   /// Chrome trace_event JSON: a plain array of event objects, each with
-  /// name/cat/ph/ts/pid/tid (+dur for spans, +args.value for counters).
+  /// name/cat/ph/ts/pid/tid (+dur for spans, +args.value for counters,
+  /// +id for linked flow events).
   void write_chrome_json(std::ostream& os, int pid = 1) const;
-  /// Flat CSV: name,category,phase,ts_us,dur_us,tid,value.
+  /// Flat CSV: name,category,phase,ts_us,dur_us,tid,value,flow.
   void write_csv(std::ostream& os) const;
+  /// One JSON object per line (JSONL), every field explicit:
+  ///   {"type":"event","name":...,"cat":...,"ph":"t","ts_us":...,
+  ///    "dur_us":...,"tid":...,"value":...,"flow":...}
+  /// The scripted-analysis export: a causal chain is reconstructed by
+  /// filtering lines on "flow".
+  void write_jsonl(std::ostream& os) const;
 
  private:
   void push(const TraceEvent& ev);

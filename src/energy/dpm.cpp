@@ -78,6 +78,19 @@ DpmResult dpm_timeout(const PowerStateSpec& spec,
   AMBISIM_OBS_COUNT_N(
       "energy.dpm.sleep_transitions",
       static_cast<std::uint64_t>(r.sleep_transitions));
+#if AMBISIM_OBS_COMPILED
+  // Flight recorder: the sleep/idle decision per period against the
+  // cumulative trace clock (1 = slept, 0 = stayed idle).  A second pass so
+  // the policy loop itself stays untouched when obs is disarmed.
+  if (obs::enabled()) [[unlikely]] {
+    auto& s = obs::context().timeline.series("energy.dpm.sleep", 0);
+    double clock_s = 0.0;
+    for (double t : idle_seconds) {
+      s.record_change(clock_s, t > to ? 1.0 : 0.0);
+      clock_s += t;
+    }
+  }
+#endif
   return r;
 }
 
@@ -99,6 +112,16 @@ DpmResult dpm_oracle(const PowerStateSpec& spec,
   AMBISIM_OBS_COUNT_N(
       "energy.dpm.sleep_transitions",
       static_cast<std::uint64_t>(r.sleep_transitions));
+#if AMBISIM_OBS_COMPILED
+  if (obs::enabled()) [[unlikely]] {
+    auto& s = obs::context().timeline.series("energy.dpm.sleep", 0);
+    double clock_s = 0.0;
+    for (double t : idle_seconds) {
+      s.record_change(clock_s, t > be ? 1.0 : 0.0);
+      clock_s += t;
+    }
+  }
+#endif
   return r;
 }
 

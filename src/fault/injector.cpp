@@ -160,6 +160,10 @@ void FaultInjector::energy_tick(double now_s, double dt_s) {
       // Dead or browned-out rail: only shelf drain applies.
       bat.idle(u::Time(dt_s));
     }
+    // Flight recorder: per-node battery state of charge against sim time.
+    // On-change dedup keeps a flat battery from flooding the series.
+    AMBISIM_OBS_SERIES_CHANGE("energy.soc", static_cast<std::uint32_t>(i),
+                              now_s, bat.state_of_charge());
     const bool down = bat.brown_out();
     if (down != n.energy_down) {
       n.energy_down = down;
@@ -190,13 +194,33 @@ void FaultInjector::refresh(int i, double now_s) {
     n.in_service = service;
 #if AMBISIM_OBS_COMPILED
     if (obs::enabled()) [[unlikely]] {
+      auto& octx = obs::context();
       int up = 0;
       for (const Node& node : nodes_) up += node.in_service ? 1 : 0;
-      obs::context().metrics.gauge("fault.nodes_in_service").set(up);
+      octx.metrics.gauge("fault.nodes_in_service").set(up);
+      // Flight recorder: the service edge itself, per node and fleet-wide.
+      octx.timeline.series("fault.in_service",
+                           static_cast<std::uint32_t>(i))
+          .record_change(now_s, service ? 1.0 : 0.0);
+      octx.timeline
+          .series("fault.nodes_in_service", 0)
+          .record(now_s, static_cast<double>(up));
+      octx.tracer.instant(service ? "fault.service_up"
+                                  : "fault.service_down",
+                          "fault", obs::to_us(now_s),
+                          static_cast<std::uint32_t>(i));
     }
 #endif
   }
   n.current = ns;
+#if AMBISIM_OBS_COMPILED
+  // Lifecycle-state series on every edge (Up=0, BrownOut=1, Dead=2,
+  // Rebooting=3), not just service flips: Dead -> Rebooting is visible.
+  if (prev != ns)
+    AMBISIM_OBS_SERIES_CHANGE("fault.state", static_cast<std::uint32_t>(i),
+                              now_s,
+                              static_cast<double>(static_cast<int>(ns)));
+#endif
   if ((prev != ns || service_changed) && callback_)
     callback_(i, prev, ns, now_s);
 }

@@ -18,6 +18,11 @@ struct Packet {
   int attempts = 0;  ///< tries on the current hop (fault mode only)
   u::Time created{0.0};
   u::Time queued_total{0.0};
+  /// Stable per-run flow id (1-based generation order): links every trace
+  /// event of this packet's causal chain — hops, retries, reroutes,
+  /// delivery or loss — across timeline lanes.  Assigned unconditionally
+  /// (a counter bump, no RNG), emitted only when obs is armed.
+  std::uint64_t flow = 0;
 };
 
 // Everything the per-hop and per-source closures need, gathered behind one
@@ -38,6 +43,13 @@ struct SimCtx {
   u::Energy rx_e;
   double attempts_sum = 0.0;
   long long attempts_hops = 0;
+  std::uint64_t packet_seq = 0;  ///< flow-id source (generation order)
+  // Flight-recorder state, written only inside obs::enabled() gates:
+  // per-node outstanding transmissions, cumulative radio-on seconds, and
+  // cumulative retries.
+  std::vector<int> queue_depth;
+  std::vector<double> busy_s;
+  std::vector<long long> retries_by_node;
   std::function<void(int, std::shared_ptr<Packet>)> forward;
 
   // Fault mode only (all inert when cfg.faults is disengaged).
@@ -106,6 +118,9 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
              /*airtime=*/radio.time_on_air(cfg.packet_bits),
              /*tx_e=*/cfg.mac.tx_packet_energy(radio, cfg.packet_bits),
              /*rx_e=*/cfg.mac.rx_packet_energy(radio, cfg.packet_bits)};
+  ctx.queue_depth.assign(static_cast<std::size_t>(n), 0);
+  ctx.busy_s.assign(static_cast<std::size_t>(n), 0.0);
+  ctx.retries_by_node.assign(static_cast<std::size_t>(n), 0);
 
   // Hop forwarding: node `from` hands `pkt` toward the sink.
   ctx.forward = [c = &ctx](int from, std::shared_ptr<Packet> pkt) {
@@ -133,25 +148,50 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
 #if AMBISIM_OBS_COMPILED
     if (obs::enabled()) [[unlikely]] {
       auto& octx = obs::context();
+      const double now_s = c->simu.now().value();
       octx.metrics.counter("net.hops").inc();
       octx.metrics.histogram("net.queue_wait_s").observe(waited.value());
       octx.metrics.histogram("net.preamble_s").observe(preamble.value());
       // The hop span covers queueing + preamble + airtime on the
       // sender's timeline lane.
-      octx.tracer.complete("hop", "net", obs::to_us(c->simu.now().value()),
+      octx.tracer.complete("hop", "net", obs::to_us(now_s),
                            obs::to_us((done - c->simu.now()).value()),
                            static_cast<std::uint32_t>(from));
-      octx.tracer.counter("energy.radio_uJ", "energy",
-                          obs::to_us(c->simu.now().value()),
+      octx.tracer.counter("energy.radio_uJ", "energy", obs::to_us(now_s),
                           (c->tx_e + c->rx_e).value() * attempts * 1e6);
+      // Causal chain: this hop, payload = chosen next hop.
+      octx.tracer.flow("hop", "net", obs::Phase::FlowStep,
+                       obs::to_us(now_s), static_cast<std::uint32_t>(from),
+                       pkt->flow, static_cast<double>(to));
+      // Flight-recorder series: sender queue depth and radio duty cycle.
+      const auto uf = static_cast<std::size_t>(from);
+      c->queue_depth[uf] += 1;
+      octx.timeline.series("net.queue_depth",
+                           static_cast<std::uint32_t>(from))
+          .record_change(now_s, c->queue_depth[uf]);
+      c->busy_s[uf] += (done - start).value();
+      if (done > u::Time(0.0))
+        octx.timeline.series("net.radio_duty",
+                             static_cast<std::uint32_t>(from))
+            .record(done.value(), c->busy_s[uf] / done.value());
     }
 #endif
 
     c->res.ledger.charge("radio-tx", c->tx_e * attempts);
     c->res.ledger.charge("radio-rx", c->rx_e * attempts);
 
-    c->simu.schedule_at(done, [c, to, pkt]() {
+    c->simu.schedule_at(done, [c, from, to, pkt]() {
       pkt->hops_taken += 1;
+#if AMBISIM_OBS_COMPILED
+      if (obs::enabled()) [[unlikely]] {
+        const auto uf = static_cast<std::size_t>(from);
+        c->queue_depth[uf] -= 1;
+        obs::context()
+            .timeline.series("net.queue_depth",
+                             static_cast<std::uint32_t>(from))
+            .record_change(c->simu.now().value(), c->queue_depth[uf]);
+      }
+#endif
       if (to == c->topo.sink()) {
         ++c->res.delivered;
         c->res.end_to_end_latency.add(
@@ -167,6 +207,11 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
           octx.tracer.instant("packet.delivered", "net",
                               obs::to_us(c->simu.now().value()),
                               static_cast<std::uint32_t>(pkt->origin));
+          octx.tracer.flow("packet.delivered", "net", obs::Phase::FlowEnd,
+                           obs::to_us(c->simu.now().value()),
+                           static_cast<std::uint32_t>(pkt->origin),
+                           pkt->flow,
+                           static_cast<double>(pkt->hops_taken));
         }
 #endif
         return;
@@ -197,7 +242,8 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
     // currently out of service, so subtrees reroute instead of
     // black-holing through a dead parent.
     injector->on_transition(
-        [c = &ctx](int, fault::NodeState, fault::NodeState, double) {
+        [c = &ctx](int node, fault::NodeState, fault::NodeState,
+                   double time_s) {
           std::vector<std::uint8_t> down(
               static_cast<std::size_t>(c->topo.size()), 0);
           for (int v = 0; v < c->topo.size(); ++v)
@@ -210,6 +256,11 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
                                       down);
           ++c->res.reroutes;
           AMBISIM_OBS_COUNT("net.reroutes");
+          // The lifecycle edge that re-converged routing, on the lane of
+          // the node that transitioned: packets whose hop.attempt events
+          // change next-hop after this instant were rerouted around it.
+          AMBISIM_OBS_INSTANT("net.reroute", "net", obs::to_us(time_s),
+                              static_cast<std::uint32_t>(node));
         });
 
     // One transmission attempt of `pkt`'s current hop out of `from`;
@@ -220,12 +271,21 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
         // The relay died holding the packet; its queue died with it.
         ++c->res.lost_in_flight;
         AMBISIM_OBS_COUNT("net.packets_lost");
+        AMBISIM_OBS_FLOW("packet.lost_relay_death", "net",
+                         obs::Phase::FlowEnd,
+                         obs::to_us(c->simu.now().value()),
+                         static_cast<std::uint32_t>(from), pkt->flow,
+                         static_cast<double>(pkt->attempts));
         return;
       }
       const int to = c->live_tree.next_hop[static_cast<std::size_t>(from)];
       if (to < 0) {
         ++c->res.lost_no_route;
         AMBISIM_OBS_COUNT("net.packets_lost");
+        AMBISIM_OBS_FLOW("packet.lost_no_route", "net", obs::Phase::FlowEnd,
+                         obs::to_us(c->simu.now().value()),
+                         static_cast<std::uint32_t>(from), pkt->flow,
+                         static_cast<double>(pkt->attempts));
         return;
       }
       ++pkt->attempts;
@@ -252,17 +312,44 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
 #if AMBISIM_OBS_COMPILED
       if (obs::enabled()) [[unlikely]] {
         auto& octx = obs::context();
+        const double now_s = c->simu.now().value();
         octx.metrics.counter("net.hops").inc();
         octx.metrics.histogram("net.queue_wait_s").observe(waited.value());
-        octx.tracer.complete("hop", "net",
-                             obs::to_us(c->simu.now().value()),
+        octx.tracer.complete("hop", "net", obs::to_us(now_s),
                              obs::to_us((done - c->simu.now()).value()),
                              static_cast<std::uint32_t>(from));
+        // Causal chain: one transmission attempt; payload = next hop read
+        // from the *live* tree, so a reroute shows up as a changed
+        // next-hop between consecutive attempts of the same flow.
+        octx.tracer.flow("hop.attempt", "net", obs::Phase::FlowStep,
+                         obs::to_us(now_s),
+                         static_cast<std::uint32_t>(from), pkt->flow,
+                         static_cast<double>(to));
+        const auto uf = static_cast<std::size_t>(from);
+        c->queue_depth[uf] += 1;
+        octx.timeline.series("net.queue_depth",
+                             static_cast<std::uint32_t>(from))
+            .record_change(now_s, c->queue_depth[uf]);
+        c->busy_s[uf] += (done - start).value();
+        if (done > u::Time(0.0))
+          octx.timeline.series("net.radio_duty",
+                               static_cast<std::uint32_t>(from))
+              .record(done.value(), c->busy_s[uf] / done.value());
       }
 #endif
 
       const std::uint64_t attempt_id = ++c->attempt_seq;
       c->simu.schedule_at(done, [c, from, to, pkt, attempt_id]() {
+#if AMBISIM_OBS_COMPILED
+        if (obs::enabled()) [[unlikely]] {
+          const auto uf = static_cast<std::size_t>(from);
+          c->queue_depth[uf] -= 1;
+          obs::context()
+              .timeline.series("net.queue_depth",
+                               static_cast<std::uint32_t>(from))
+              .record_change(c->simu.now().value(), c->queue_depth[uf]);
+        }
+#endif
         // Judged at completion: either endpoint may have crashed, browned
         // out, or lost its radio while the packet was on the air.
         bool ok = c->inj->in_service(from) && c->inj->in_service(to);
@@ -270,6 +357,10 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
           ok = false;
           ++c->res.corrupted_attempts;
           AMBISIM_OBS_COUNT("net.attempts_corrupted");
+          AMBISIM_OBS_FLOW("hop.corrupted", "net", obs::Phase::FlowStep,
+                           obs::to_us(c->simu.now().value()),
+                           static_cast<std::uint32_t>(from), pkt->flow,
+                           static_cast<double>(to));
         }
         if (ok) {
           pkt->attempts = 0;
@@ -290,6 +381,12 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
               octx.metrics.counter("net.packets_delivered").inc();
               octx.metrics.histogram("net.latency_s")
                   .observe(latency.value());
+              octx.tracer.flow("packet.delivered", "net",
+                               obs::Phase::FlowEnd,
+                               obs::to_us(c->simu.now().value()),
+                               static_cast<std::uint32_t>(pkt->origin),
+                               pkt->flow,
+                               static_cast<double>(pkt->hops_taken));
             }
 #endif
             return;
@@ -300,10 +397,32 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
         if (pkt->attempts >= c->fcfg->retry.max_attempts) {
           ++c->res.lost_in_flight;
           AMBISIM_OBS_COUNT("net.packets_lost");
+          AMBISIM_OBS_FLOW("packet.lost_retries_exhausted", "net",
+                           obs::Phase::FlowEnd,
+                           obs::to_us(c->simu.now().value()),
+                           static_cast<std::uint32_t>(from), pkt->flow,
+                           static_cast<double>(pkt->attempts));
           return;
         }
         ++c->res.retries;
         AMBISIM_OBS_COUNT("net.retries");
+#if AMBISIM_OBS_COMPILED
+        if (obs::enabled()) [[unlikely]] {
+          auto& octx = obs::context();
+          const double now_s = c->simu.now().value();
+          // Causal chain: the retry decision, payload = attempts so far.
+          octx.tracer.flow("hop.retry", "net", obs::Phase::FlowStep,
+                           obs::to_us(now_s),
+                           static_cast<std::uint32_t>(from), pkt->flow,
+                           static_cast<double>(pkt->attempts));
+          const auto uf = static_cast<std::size_t>(from);
+          c->retries_by_node[uf] += 1;
+          octx.timeline.series("net.retry_count",
+                               static_cast<std::uint32_t>(from))
+              .record(now_s,
+                      static_cast<double>(c->retries_by_node[uf]));
+        }
+#endif
         const double delay =
             c->fcfg->retry.backoff_delay(pkt->attempts + 1);
         c->simu.schedule_in(u::Time(delay), [c, from, pkt]() {
@@ -335,9 +454,14 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
           auto pkt = std::make_shared<Packet>();
           pkt->origin = i;
           pkt->created = c->simu.now();
+          pkt->flow = ++c->packet_seq;
           AMBISIM_OBS_INSTANT("packet.generated", "net",
                               obs::to_us(c->simu.now().value()),
                               static_cast<std::uint32_t>(i));
+          AMBISIM_OBS_FLOW("packet", "net", obs::Phase::FlowStart,
+                           obs::to_us(c->simu.now().value()),
+                           static_cast<std::uint32_t>(i), pkt->flow,
+                           static_cast<double>(i));
           c->forward(i, pkt);
         }
         if (c->simu.now() + c->cfg.report_period <= c->cfg.duration)
@@ -366,9 +490,14 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
           auto pkt = std::make_shared<Packet>();
           pkt->origin = i;
           pkt->created = c->simu.now();
+          pkt->flow = ++c->packet_seq;
           AMBISIM_OBS_INSTANT("packet.generated", "net",
                               obs::to_us(c->simu.now().value()),
                               static_cast<std::uint32_t>(i));
+          AMBISIM_OBS_FLOW("packet", "net", obs::Phase::FlowStart,
+                           obs::to_us(c->simu.now().value()),
+                           static_cast<std::uint32_t>(i), pkt->flow,
+                           static_cast<double>(i));
           c->try_send(i, pkt);
         }
         const u::Time period =

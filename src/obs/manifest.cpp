@@ -1,0 +1,85 @@
+#include "ambisim/obs/manifest.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "ambisim/obs/obs.hpp"
+
+#ifndef AMBISIM_GIT_DESCRIBE
+#define AMBISIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef AMBISIM_BUILD_TYPE
+#define AMBISIM_BUILD_TYPE "unknown"
+#endif
+#ifndef AMBISIM_SANITIZE_FLAGS
+#define AMBISIM_SANITIZE_FLAGS ""
+#endif
+
+namespace ambisim::obs {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+RunManifest RunManifest::collect() {
+  RunManifest m;
+  m.git_describe = AMBISIM_GIT_DESCRIBE;
+  m.build_type = AMBISIM_BUILD_TYPE;
+#ifdef __VERSION__
+  m.compiler = __VERSION__;
+#endif
+  m.sanitize = AMBISIM_SANITIZE_FLAGS;
+  m.obs_compiled = AMBISIM_OBS_COMPILED != 0;
+  return m;
+}
+
+void RunManifest::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << "{\n" << pad << "  \"git_describe\": ";
+  write_escaped(os, git_describe);
+  os << ",\n" << pad << "  \"build_type\": ";
+  write_escaped(os, build_type);
+  os << ",\n" << pad << "  \"compiler\": ";
+  write_escaped(os, compiler);
+  os << ",\n" << pad << "  \"sanitize\": ";
+  write_escaped(os, sanitize);
+  os << ",\n" << pad << "  \"obs_compiled\": "
+     << (obs_compiled ? "true" : "false");
+  os << ",\n" << pad << "  \"label\": ";
+  write_escaped(os, label);
+  os << ",\n" << pad << "  \"seed\": " << seed;
+  os << ",\n" << pad << "  \"config_digest\": " << config_digest;
+  os << ",\n" << pad << "  \"pool_size\": " << pool_size;
+  os << "\n" << pad << "}";
+}
+
+void write_flight_jsonl(std::ostream& os, const Context& ctx,
+                        const RunManifest& manifest) {
+  os << "{\"type\":\"manifest\",\"git_describe\":";
+  write_escaped(os, manifest.git_describe);
+  os << ",\"build_type\":";
+  write_escaped(os, manifest.build_type);
+  os << ",\"label\":";
+  write_escaped(os, manifest.label);
+  os << ",\"seed\":" << manifest.seed
+     << ",\"config_digest\":" << manifest.config_digest
+     << ",\"pool_size\":" << manifest.pool_size << "}\n";
+  ctx.timeline.write_jsonl(os);
+  ctx.tracer.write_jsonl(os);
+}
+
+}  // namespace ambisim::obs

@@ -181,6 +181,59 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
        << '\n';
 }
 
+void MetricsRegistry::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  // Sorted copies of the entry name lists keep the dump deterministic
+  // regardless of registration order.
+  auto sorted_names = [](const auto& entries) {
+    std::vector<const std::string*> names;
+    names.reserve(entries.size());
+    for (const auto& [n, p] : entries) names.push_back(&n);
+    std::sort(names.begin(), names.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    return names;
+  };
+
+  os << "{\n" << pad << "  \"counters\": {";
+  bool first = true;
+  for (const std::string* n : sorted_names(counters_)) {
+    os << (first ? "" : ",") << "\n" << pad << "    \"" << *n
+       << "\": " << find_counter(*n)->value();
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  os << pad << "  \"gauges\": {";
+  first = true;
+  for (const std::string* n : sorted_names(gauges_)) {
+    os << (first ? "" : ",") << "\n" << pad << "    \"" << *n
+       << "\": " << find_gauge(*n)->value();
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "},\n";
+
+  os << pad << "  \"histograms\": {";
+  first = true;
+  for (const std::string* n : sorted_names(histograms_)) {
+    const Histogram* h = find_histogram(*n);
+    os << (first ? "" : ",") << "\n" << pad << "    \"" << *n
+       << "\": {\"count\": " << h->count();
+    if (h->count() > 0) {
+      os << ", \"mean\": " << h->moments().mean()
+         << ", \"stddev\": " << h->moments().stddev()
+         << ", \"min\": " << h->moments().min()
+         << ", \"max\": " << h->moments().max()
+         << ", \"p50\": " << h->quantile(0.5)
+         << ", \"p99\": " << h->quantile(0.99);
+    }
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad + "  ") << "}\n" << pad << "}";
+}
+
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [n, c] : other.counters_) counter(n).inc(c->value());
   for (const auto& [n, g] : other.gauges_) gauge(n).add(g->value());

@@ -37,6 +37,7 @@ void set_enabled(bool on) {
 void reset() {
   context().metrics.reset_values();
   context().tracer.clear();
+  context().timeline.reset_values();
 }
 
 ShardSet::ShardSet(std::size_t shards, std::size_t tracer_capacity) {
@@ -54,8 +55,13 @@ void ShardSet::merge_into(Context& dst) {
   for (auto& shard : shards_) {
     dst.metrics.merge_from(shard->metrics);
     dst.tracer.merge_from(shard->tracer);
+    // Timelines merge as sorted multisets, so the folded result does not
+    // depend on which replication landed in which shard (pool-size
+    // bit-identity; see timeline.hpp).
+    dst.timeline.merge_from(shard->timeline);
     shard->metrics.clear();
     shard->tracer.clear();
+    shard->timeline.clear();
   }
 }
 

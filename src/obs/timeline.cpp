@@ -1,0 +1,255 @@
+#include "ambisim/obs/timeline.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+namespace ambisim::obs {
+
+namespace {
+
+// Local SplitMix64 finalizer chain for the digest; obs sits below exec in
+// the layering, so the constant is duplicated rather than included.
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ (v + kGamma));
+}
+
+std::uint64_t fold(std::uint64_t h, double v) {
+  return fold(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Total order on samples: by time, ties by value bit pattern.  Samples
+/// carry no other state, so equal (t, value) samples are interchangeable
+/// and any sequence sorted by this order is a pure function of the sample
+/// multiset.
+bool sample_less(const Sample& a, const Sample& b) {
+  if (a.t_s != b.t_s) return a.t_s < b.t_s;
+  return std::bit_cast<std::uint64_t>(a.value) <
+         std::bit_cast<std::uint64_t>(b.value);
+}
+
+}  // namespace
+
+Series::Series(std::size_t max_samples) : max_samples_(max_samples) {
+  if (max_samples_ == 1) max_samples_ = 2;
+  if (max_samples_ % 2 != 0) ++max_samples_;
+}
+
+void Series::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end(), sample_less);
+  sorted_ = true;
+}
+
+void Series::admit(double t_s, double value) {
+  if (!samples_.empty() && t_s < samples_.back().t_s) sorted_ = false;
+  samples_.push_back({t_s, value});
+  has_last_ = true;
+  last_value_ = value;
+  if (max_samples_ != 0 && samples_.size() >= max_samples_) {
+    // Halve: keep even positions of the admitted stream and double the
+    // stride, so the kept set is "every 2*stride-th offered sample" — a
+    // pure function of the stream, never of wall time or allocation.
+    ensure_sorted();
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < samples_.size(); r += 2)
+      samples_[w++] = samples_[r];
+    samples_.resize(w);
+    stride_ *= 2;
+  }
+}
+
+void Series::record(double t_s, double value) {
+  const std::uint64_t index = seen_++;
+  if (index % stride_ != 0) return;
+  admit(t_s, value);
+}
+
+void Series::record_change(double t_s, double value) {
+  if (has_last_ && value == last_value_) return;
+  record(t_s, value);
+}
+
+const std::vector<Sample>& Series::samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+Sample Series::last() const {
+  ensure_sorted();
+  return samples_.back();
+}
+
+const Sample* Series::last_before(double t_s) const {
+  ensure_sorted();
+  // First sample with t > t_s; the one before it (if any) is the answer.
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t_s,
+      [](double t, const Sample& s) { return t < s.t_s; });
+  if (it == samples_.begin()) return nullptr;
+  return &*(it - 1);
+}
+
+WindowStats Series::window(double t0, double t1) const {
+  ensure_sorted();
+  WindowStats w;
+  auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), t0,
+      [](const Sample& s, double t) { return s.t_s < t; });
+  for (auto it = lo; it != samples_.end() && it->t_s <= t1; ++it) {
+    if (w.count == 0) {
+      w.min = w.max = it->value;
+    } else {
+      w.min = std::min(w.min, it->value);
+      w.max = std::max(w.max, it->value);
+    }
+    w.mean += it->value;
+    ++w.count;
+  }
+  if (w.count > 0) w.mean /= static_cast<double>(w.count);
+  return w;
+}
+
+void Series::merge_from(const Series& other) {
+  if (other.samples_.empty()) return;
+  ensure_sorted();
+  other.ensure_sorted();
+  std::vector<Sample> merged;
+  merged.reserve(samples_.size() + other.samples_.size());
+  std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
+             other.samples_.end(), std::back_inserter(merged), sample_less);
+  samples_ = std::move(merged);
+  // Offered counts add; the stride and dedup state follow the larger
+  // contributor so continued recording stays deterministic per stream.
+  seen_ += other.seen_;
+  stride_ = std::max(stride_, other.stride_);
+  if (!samples_.empty()) {
+    has_last_ = true;
+    last_value_ = samples_.back().value;
+  }
+}
+
+void Series::compact() {
+  if (max_samples_ == 0 || samples_.size() <= max_samples_) return;
+  ensure_sorted();
+  // Keep every k-th sample plus the final one; k depends only on the
+  // sample count, so compaction is a pure function of the multiset.
+  const std::size_t k =
+      (samples_.size() + max_samples_ - 1) / max_samples_;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r + 1 < samples_.size() && w + 1 < max_samples_;
+       r += k)
+    samples_[w++] = samples_[r];
+  samples_[w++] = samples_.back();
+  samples_.resize(w);
+}
+
+void Series::reset_stream() { has_last_ = false; }
+
+void Series::clear() {
+  samples_.clear();
+  sorted_ = true;
+  stride_ = 1;
+  seen_ = 0;
+  has_last_ = false;
+  last_value_ = 0.0;
+}
+
+Series& Timeline::series(std::string_view name, std::uint32_t node,
+                         std::size_t max_samples) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(name, node),
+      [](const Keyed& e, const std::pair<std::string_view, std::uint32_t>& k) {
+        if (e.name != k.first) return e.name < k.first;
+        return e.node < k.second;
+      });
+  if (it != entries_.end() && it->name == name && it->node == node)
+    return *it->series;
+  it = entries_.insert(
+      it, Keyed{std::string(name), node,
+                std::make_unique<Series>(max_samples)});
+  return *it->series;
+}
+
+const Series* Timeline::find(std::string_view name,
+                             std::uint32_t node) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(name, node),
+      [](const Keyed& e, const std::pair<std::string_view, std::uint32_t>& k) {
+        if (e.name != k.first) return e.name < k.first;
+        return e.node < k.second;
+      });
+  if (it != entries_.end() && it->name == name && it->node == node)
+    return it->series.get();
+  return nullptr;
+}
+
+std::size_t Timeline::sample_count() const {
+  std::size_t n = 0;
+  for (const Keyed& e : entries_) n += e.series->size();
+  return n;
+}
+
+std::vector<Timeline::Entry> Timeline::entries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const Keyed& e : entries_)
+    out.push_back({&e.name, e.node, e.series.get()});
+  return out;
+}
+
+void Timeline::merge_from(const Timeline& other) {
+  for (const Keyed& e : other.entries_)
+    series(e.name, e.node, e.series->max_samples())
+        .merge_from(*e.series);
+}
+
+std::uint64_t Timeline::digest() const {
+  std::uint64_t h = 0;
+  for (const Keyed& e : entries_) {
+    for (char c : e.name) h = fold(h, static_cast<std::uint64_t>(c));
+    h = fold(h, static_cast<std::uint64_t>(e.node));
+    for (const Sample& s : e.series->samples()) {
+      h = fold(h, s.t_s);
+      h = fold(h, s.value);
+    }
+  }
+  return h;
+}
+
+void Timeline::write_csv(std::ostream& os) const {
+  os << "series,node,t_s,value\n";
+  for (const Keyed& e : entries_)
+    for (const Sample& s : e.series->samples())
+      os << e.name << ',' << e.node << ',' << s.t_s << ',' << s.value
+         << '\n';
+}
+
+void Timeline::write_jsonl(std::ostream& os) const {
+  for (const Keyed& e : entries_)
+    for (const Sample& s : e.series->samples())
+      os << "{\"type\":\"sample\",\"name\":\"" << e.name
+         << "\",\"node\":" << e.node << ",\"t_s\":" << s.t_s
+         << ",\"value\":" << s.value << "}\n";
+}
+
+void Timeline::reset_streams() {
+  for (Keyed& e : entries_) e.series->reset_stream();
+}
+
+void Timeline::reset_values() {
+  for (Keyed& e : entries_) e.series->clear();
+}
+
+void Timeline::clear() { entries_.clear(); }
+
+}  // namespace ambisim::obs

@@ -38,17 +38,23 @@ void Tracer::push(const TraceEvent& ev) {
 
 void Tracer::instant(const char* name, const char* category, double ts_us,
                      std::uint32_t tid) {
-  push({name, category, Phase::Instant, ts_us, 0.0, tid, 0.0});
+  push({name, category, Phase::Instant, ts_us, 0.0, tid, 0.0, 0});
 }
 
 void Tracer::complete(const char* name, const char* category, double ts_us,
                       double dur_us, std::uint32_t tid) {
-  push({name, category, Phase::Complete, ts_us, dur_us, tid, 0.0});
+  push({name, category, Phase::Complete, ts_us, dur_us, tid, 0.0, 0});
 }
 
 void Tracer::counter(const char* name, const char* category, double ts_us,
                      double value) {
-  push({name, category, Phase::Counter, ts_us, 0.0, 0, value});
+  push({name, category, Phase::Counter, ts_us, 0.0, 0, value, 0});
+}
+
+void Tracer::flow(const char* name, const char* category, Phase phase,
+                  double ts_us, std::uint32_t tid, std::uint64_t flow_id,
+                  double value) {
+  push({name, category, phase, ts_us, 0.0, tid, value, flow_id});
 }
 
 std::size_t Tracer::size() const {
@@ -90,7 +96,14 @@ void Tracer::write_chrome_json(std::ostream& os, int pid) const {
        << ",\"ts\":" << ev.ts_us << ",\"pid\":" << pid
        << ",\"tid\":" << ev.tid;
     if (ev.phase == Phase::Complete) os << ",\"dur\":" << ev.dur_us;
+    // Flow events need an id so the viewer links the chain; "bp":"e"
+    // binds each event to its enclosing slice, which Perfetto accepts
+    // even when the lane has no open slice.
+    if (is_flow(ev.phase))
+      os << ",\"id\":" << ev.flow << ",\"bp\":\"e\"";
     if (ev.phase == Phase::Counter)
+      os << ",\"args\":{\"value\":" << ev.value << '}';
+    else if (is_flow(ev.phase))
       os << ",\"args\":{\"value\":" << ev.value << '}';
     else
       os << ",\"args\":{}";
@@ -100,11 +113,24 @@ void Tracer::write_chrome_json(std::ostream& os, int pid) const {
 }
 
 void Tracer::write_csv(std::ostream& os) const {
-  os << "name,category,phase,ts_us,dur_us,tid,value\n";
+  os << "name,category,phase,ts_us,dur_us,tid,value,flow\n";
   for (const TraceEvent& ev : events()) {
     os << ev.name << ',' << ev.category << ','
        << static_cast<char>(ev.phase) << ',' << ev.ts_us << ',' << ev.dur_us
-       << ',' << ev.tid << ',' << ev.value << '\n';
+       << ',' << ev.tid << ',' << ev.value << ',' << ev.flow << '\n';
+  }
+}
+
+void Tracer::write_jsonl(std::ostream& os) const {
+  for (const TraceEvent& ev : events()) {
+    os << "{\"type\":\"event\",\"name\":";
+    write_escaped(os, ev.name);
+    os << ",\"cat\":";
+    write_escaped(os, ev.category);
+    os << ",\"ph\":\"" << static_cast<char>(ev.phase) << '"'
+       << ",\"ts_us\":" << ev.ts_us << ",\"dur_us\":" << ev.dur_us
+       << ",\"tid\":" << ev.tid << ",\"value\":" << ev.value
+       << ",\"flow\":" << ev.flow << "}\n";
   }
 }
 

@@ -140,21 +140,23 @@ TEST(Tracer, CsvRoundTripPreservesEveryField) {
   t.instant("sched", "kernel", 1.5, 2);
   t.complete("hop", "net", 10.0, 250.0, 3);
   t.counter("soc", "energy", 20.0, 0.75);
+  t.flow("pkt", "net", Phase::FlowStep, 30.0, 4, 99, 7.0);
 
   std::ostringstream os;
   t.write_csv(os);
   const auto rows = lines_of(os.str());
-  ASSERT_EQ(rows.size(), 4u);  // header + 3 events
-  EXPECT_EQ(rows[0], "name,category,phase,ts_us,dur_us,tid,value");
-  EXPECT_EQ(rows[1], "sched,kernel,i,1.5,0,2,0");
-  EXPECT_EQ(rows[2], "hop,net,X,10,250,3,0");
-  EXPECT_EQ(rows[3], "soc,energy,C,20,0,0,0.75");
+  ASSERT_EQ(rows.size(), 5u);  // header + 4 events
+  EXPECT_EQ(rows[0], "name,category,phase,ts_us,dur_us,tid,value,flow");
+  EXPECT_EQ(rows[1], "sched,kernel,i,1.5,0,2,0,0");
+  EXPECT_EQ(rows[2], "hop,net,X,10,250,3,0,0");
+  EXPECT_EQ(rows[3], "soc,energy,C,20,0,0,0.75,0");
+  EXPECT_EQ(rows[4], "pkt,net,t,30,0,4,7,99");
 
   // Round trip: parse the CSV back and compare against events().
   const auto evs = t.events();
   for (std::size_t i = 0; i < evs.size(); ++i) {
     std::istringstream row(rows[i + 1]);
-    std::string name, cat, phase, ts, dur, tid, value;
+    std::string name, cat, phase, ts, dur, tid, value, flow;
     std::getline(row, name, ',');
     std::getline(row, cat, ',');
     std::getline(row, phase, ',');
@@ -162,6 +164,7 @@ TEST(Tracer, CsvRoundTripPreservesEveryField) {
     std::getline(row, dur, ',');
     std::getline(row, tid, ',');
     std::getline(row, value, ',');
+    std::getline(row, flow, ',');
     EXPECT_EQ(name, evs[i].name);
     EXPECT_EQ(cat, evs[i].category);
     ASSERT_EQ(phase.size(), 1u);
@@ -170,5 +173,97 @@ TEST(Tracer, CsvRoundTripPreservesEveryField) {
     EXPECT_DOUBLE_EQ(std::stod(dur), evs[i].dur_us);
     EXPECT_EQ(static_cast<std::uint32_t>(std::stoul(tid)), evs[i].tid);
     EXPECT_DOUBLE_EQ(std::stod(value), evs[i].value);
+    EXPECT_EQ(std::stoull(flow), evs[i].flow);
   }
+}
+
+TEST(Tracer, FlowEventsLinkByIdInChromeJson) {
+  Tracer t(8);
+  t.flow("packet", "net", Phase::FlowStart, 1.0, 5, 42, 5.0);
+  t.flow("hop", "net", Phase::FlowStep, 2.0, 5, 42, 7.0);
+  t.flow("packet.delivered", "net", Phase::FlowEnd, 3.0, 7, 42, 2.0);
+
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string json = os.str();
+  // Every flow phase carries the linking id and an enclosing binding
+  // point, which is what makes the chain render as arrows in Perfetto.
+  EXPECT_EQ(count_occurrences(json, "\"id\":42"), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"bp\":\"e\""), 3u);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(Tracer, JsonlEmitsOneObjectPerLineWithFlowIds) {
+  Tracer t(8);
+  t.flow("packet", "net", Phase::FlowStart, 1.0, 3, 9, 3.0);
+  t.instant("sched", "kernel", 2.0, 0);
+  t.flow("packet.delivered", "net", Phase::FlowEnd, 4.0, 3, 9, 1.0);
+
+  std::ostringstream os;
+  t.write_jsonl(os);
+  const auto rows = lines_of(os.str());
+  ASSERT_EQ(rows.size(), 3u);
+  for (const std::string& row : rows) {
+    EXPECT_EQ(row.front(), '{');
+    EXPECT_EQ(row.back(), '}');
+    EXPECT_NE(row.find("\"type\":\"event\""), std::string::npos);
+  }
+  EXPECT_NE(rows[0].find("\"flow\":9"), std::string::npos);
+  EXPECT_NE(rows[1].find("\"flow\":0"), std::string::npos);
+  EXPECT_NE(rows[2].find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(Tracer, MergeFromAppendsSurvivorsOldestFirstAfterWraparound) {
+  // The source ring wrapped: only its newest 4 events survive, and
+  // merge_from must append them oldest-surviving-first.
+  Tracer src(4);
+  for (int i = 0; i < 10; ++i)
+    src.instant("s", "net", static_cast<double>(i), 0);
+  ASSERT_EQ(src.dropped(), 6u);
+
+  Tracer dst(16);
+  dst.instant("d", "net", 100.0, 0);
+  dst.merge_from(src);
+  const auto evs = dst.events();
+  ASSERT_EQ(evs.size(), 5u);
+  EXPECT_STREQ(evs[0].name, "d");
+  for (std::size_t i = 1; i < evs.size(); ++i)
+    EXPECT_DOUBLE_EQ(evs[i].ts_us, static_cast<double>(5 + i));  // 6..9
+}
+
+TEST(Tracer, MergeIntoSmallerRingWrapsAndCountsDropped) {
+  Tracer src(8);
+  for (int i = 0; i < 6; ++i)
+    src.instant("s", "net", static_cast<double>(i), 0);
+
+  Tracer dst(4);
+  dst.merge_from(src);
+  // The destination ring keeps the newest 4 of the 6 merged events and
+  // accounts for the other 2 as dropped.
+  EXPECT_EQ(dst.size(), 4u);
+  EXPECT_EQ(dst.recorded(), 6u);
+  EXPECT_EQ(dst.dropped(), 2u);
+  const auto evs = dst.events();
+  for (std::size_t i = 0; i < evs.size(); ++i)
+    EXPECT_DOUBLE_EQ(evs[i].ts_us, static_cast<double>(2 + i));  // 2..5
+}
+
+TEST(Tracer, MergeOrderIsShardOrderNotTimestampOrder) {
+  // merge_from is an append, not a sort: shard order decides placement,
+  // every event keeps its own timestamp (the documented contract).
+  Tracer a(8);
+  a.instant("a", "net", 50.0, 0);
+  Tracer b(8);
+  b.instant("b", "net", 1.0, 0);
+
+  Tracer dst(8);
+  dst.merge_from(a);
+  dst.merge_from(b);
+  const auto evs = dst.events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_STREQ(evs[0].name, "a");
+  EXPECT_STREQ(evs[1].name, "b");
+  EXPECT_GT(evs[0].ts_us, evs[1].ts_us);
 }

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts within relative tolerances.
+
+Usage:
+    bench_compare.py BASELINE CANDIDATE [--rtol 0.02] [--ignore REGEX ...]
+
+Walks every key present in the baseline and checks the candidate agrees:
+numbers within --rtol relative tolerance, strings/bools exactly.  Keys the
+candidate has but the baseline lacks are fine (baselines are deliberately
+pruned to the deterministic fields), missing keys are a failure.
+
+Machine-dependent fields — wall-clock times, throughputs, speedups, the
+provenance manifest, hardware thread counts — are ignored by default; add
+more patterns with --ignore.  Exits non-zero on any regression so CI can
+gate on it.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+DEFAULT_IGNORES = [
+    r"(^|\.)manifest($|\.)",     # provenance differs per build by design
+    r"wall_s$",
+    r"events_per_s$",
+    r"speedup$",
+    r"hardware_threads$",
+    r"(^|\.)pools($|[.\[])",     # pool list depends on the host's cores
+]
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def compare(base, cand, rtol, ignores, path="", errors=None):
+    if errors is None:
+        errors = []
+    if any(rx.search(path) for rx in ignores):
+        return errors
+
+    if isinstance(base, dict):
+        if not isinstance(cand, dict):
+            errors.append(f"{path or '<root>'}: object vs {type(cand).__name__}")
+            return errors
+        for key, bval in base.items():
+            sub = f"{path}.{key}" if path else key
+            if any(rx.search(sub) for rx in ignores):
+                continue
+            if key not in cand:
+                errors.append(f"{sub}: missing from candidate")
+                continue
+            compare(bval, cand[key], rtol, ignores, sub, errors)
+    elif isinstance(base, list):
+        if not isinstance(cand, list):
+            errors.append(f"{path}: array vs {type(cand).__name__}")
+            return errors
+        if len(base) != len(cand):
+            errors.append(f"{path}: length {len(base)} vs {len(cand)}")
+            return errors
+        for i, (b, c) in enumerate(zip(base, cand)):
+            compare(b, c, rtol, ignores, f"{path}[{i}]", errors)
+    elif is_number(base):
+        if not is_number(cand):
+            errors.append(f"{path}: number vs {type(cand).__name__}")
+        else:
+            scale = max(abs(base), abs(cand))
+            if scale > 0 and abs(base - cand) / scale > rtol:
+                errors.append(
+                    f"{path}: {base} vs {cand} "
+                    f"(rel diff {abs(base - cand) / scale:.3g} > {rtol})"
+                )
+    elif base != cand:
+        errors.append(f"{path}: {base!r} vs {cand!r}")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--rtol", type=float, default=0.02,
+                    help="relative tolerance for numbers (default 0.02)")
+    ap.add_argument("--ignore", action="append", default=[],
+                    metavar="REGEX",
+                    help="extra key-path patterns to skip (repeatable)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+
+    ignores = [re.compile(p) for p in DEFAULT_IGNORES + args.ignore]
+    errors = compare(base, cand, args.rtol, ignores)
+    if errors:
+        print(f"REGRESSION: {args.candidate} diverges from {args.baseline}:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"OK: {args.candidate} matches {args.baseline} "
+          f"(rtol {args.rtol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
