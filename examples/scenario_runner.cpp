@@ -1,0 +1,223 @@
+// scenario_runner: execute declarative .scen.json scenario specs with no
+// recompilation.
+//
+//   scenario_runner spec.scen.json...            run spec(s), print report
+//   scenario_runner --validate spec...           parse + validate only
+//   scenario_runner --print-spec spec            dump the normalized spec
+//   scenario_runner --replications N ...         override run.replications
+//   scenario_runner --pool N ...                 override run.pool
+//   scenario_runner --obs-json out.json ...      arm probes, dump obs state
+//   scenario_runner --fuzz N [--seed S]          run a fuzz campaign
+//                   [--repro-dir DIR]            write shrunken repros there
+//
+// Exit code: 0 when every spec loads, runs, and passes its assertions
+// (or, under --validate, merely loads); 1 otherwise.  A fuzz campaign
+// exits 1 when any generated scenario violates an invariant, after
+// shrinking the first failure to a minimal repro spec on disk.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ambisim/obs/manifest.hpp"
+#include "ambisim/obs/metrics.hpp"
+#include "ambisim/obs/obs.hpp"
+#include "ambisim/obs/timeline.hpp"
+#include "ambisim/obs/trace.hpp"
+#include "ambisim/scen/build.hpp"
+#include "ambisim/scen/fuzzer.hpp"
+#include "ambisim/scen/loader.hpp"
+
+namespace {
+
+using namespace ambisim;
+
+struct Options {
+  bool validate = false;
+  bool print_spec = false;
+  scen::RunOverrides overrides;
+  std::string obs_json;
+  long long fuzz = -1;
+  std::uint64_t fuzz_seed = 1;
+  std::string repro_dir = ".";
+  std::vector<std::string> specs;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] spec.scen.json...\n"
+      << "       " << argv0 << " --fuzz N [--seed S] [--repro-dir DIR]\n"
+      << "  --validate          parse + validate only (exit code reports)\n"
+      << "  --print-spec        dump the normalized spec as canonical JSON\n"
+      << "  --replications N    override run.replications\n"
+      << "  --pool N            override run.pool (0 = serial)\n"
+      << "  --obs-json PATH     arm obs probes and dump metrics/timeline\n"
+      << "  --fuzz N            generate + check N seed-derived scenarios\n"
+      << "  --seed S            fuzz campaign root seed (default 1)\n"
+      << "  --repro-dir DIR     where to write shrunken fuzz repros\n";
+  return 2;
+}
+
+bool parse_int(const char* s, long long& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoll(s, &pos);
+    return pos == std::strlen(s);
+  } catch (...) {
+    return false;
+  }
+}
+
+void dump_obs_json(const std::string& path, const std::string& label,
+                   std::uint64_t seed, unsigned pool) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot open --obs-json path: " << path << '\n';
+    return;
+  }
+  auto manifest = obs::RunManifest::collect();
+  manifest.label = label;
+  manifest.seed = seed;
+  manifest.pool_size = pool;
+  const auto& ctx = obs::context();
+  os << "{\n  \"manifest\": ";
+  manifest.write_json(os, 2);
+  os << ",\n  \"metrics\": ";
+  ctx.metrics.write_json(os, 2);
+  os << ",\n  \"timeline\": [";
+  const auto entries = ctx.timeline.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    os << (i ? "," : "") << "\n    {\"name\": \"" << *e.name
+       << "\", \"node\": " << e.node << ", \"samples\": [";
+    const auto& samples = e.series->samples();
+    for (std::size_t k = 0; k < samples.size(); ++k)
+      os << (k ? "," : "") << '[' << samples[k].t_s << ','
+         << samples[k].value << ']';
+    os << "]}";
+  }
+  os << "\n  ],\n  \"trace\": ";
+  ctx.tracer.write_chrome_json(os);
+  os << "\n}\n";
+  std::cerr << "wrote obs dump: " << path << '\n';
+}
+
+int run_fuzz(const Options& opt) {
+  scen::FuzzConfig cfg;
+  cfg.root_seed = opt.fuzz_seed;
+  scen::Fuzzer fuzzer(cfg);
+  const auto count = static_cast<std::uint64_t>(opt.fuzz);
+  const auto result = fuzzer.run(count);
+  std::cout << "fuzz campaign: seed " << cfg.root_seed << ", "
+            << result.executed << " scenarios, " << result.failures
+            << " failures, generation checksum 0x" << std::hex
+            << result.spec_checksum << std::dec << '\n';
+  if (result.failures == 0) return 0;
+
+  // Shrink the first failure to a minimal repro and write it to disk so a
+  // human (or CI log reader) can re-run it directly.
+  const auto [index, reason] = result.failed.front();
+  std::cerr << "first failure: scenario #" << index << ": " << reason
+            << '\n';
+  const auto spec = fuzzer.generate(index);
+  const auto minimal = scen::Fuzzer::shrink(
+      spec, [&](const scen::ScenarioSpec& s) { return !fuzzer.check(s).ok; });
+  const std::string path =
+      opt.repro_dir + "/repro_" + std::to_string(cfg.root_seed) + "_" +
+      std::to_string(index) + ".scen.json";
+  if (scen::Fuzzer::write_repro(minimal, path))
+    std::cerr << "wrote minimal repro: " << path << '\n';
+  else
+    std::cerr << "error: could not write repro to " << path << '\n';
+  return 1;
+}
+
+int run_one(const std::string& path, const Options& opt) {
+  scen::Loader loader;
+  const auto loaded = loader.load_file(path);
+  if (!loaded.ok()) {
+    std::cerr << path << ": invalid scenario:\n"
+              << loaded.format_diagnostics();
+    return 1;
+  }
+  const auto& spec = *loaded.spec;
+  if (opt.validate) {
+    std::cout << path << ": ok (" << to_string(spec.engine())
+              << " engine, " << spec.sensor_count() << " sensors)\n";
+    return 0;
+  }
+  if (opt.print_spec) {
+    std::cout << to_json(spec);
+    return 0;
+  }
+
+  const bool want_obs = !opt.obs_json.empty();
+  const bool was_enabled = obs::enabled();
+  if (want_obs) {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+
+  const auto summary = scen::run_scenario(spec, opt.overrides);
+  std::cout << "=== " << (spec.name.empty() ? path : spec.name) << " ===\n";
+  summary.write_report(std::cout);
+
+  if (want_obs) {
+    const unsigned pool = opt.overrides.pool >= 0
+                              ? static_cast<unsigned>(opt.overrides.pool)
+                              : static_cast<unsigned>(spec.run.pool);
+    dump_obs_json(opt.obs_json, spec.name.empty() ? path : spec.name,
+                  spec.run.seed, pool);
+    obs::set_enabled(was_enabled);
+  }
+  return summary.assertions_passed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long v = 0;
+    if (arg == "--validate") {
+      opt.validate = true;
+    } else if (arg == "--print-spec") {
+      opt.print_spec = true;
+    } else if (arg == "--replications" && i + 1 < argc) {
+      if (!parse_int(argv[++i], v) || v <= 0) return usage(argv[0]);
+      opt.overrides.replications = static_cast<int>(v);
+    } else if (arg == "--pool" && i + 1 < argc) {
+      if (!parse_int(argv[++i], v) || v < 0) return usage(argv[0]);
+      opt.overrides.pool = static_cast<int>(v);
+    } else if (arg == "--obs-json" && i + 1 < argc) {
+      opt.obs_json = argv[++i];
+    } else if (arg == "--fuzz" && i + 1 < argc) {
+      if (!parse_int(argv[++i], v) || v <= 0) return usage(argv[0]);
+      opt.fuzz = v;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      if (!parse_int(argv[++i], v) || v < 0) return usage(argv[0]);
+      opt.fuzz_seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--repro-dir" && i + 1 < argc) {
+      opt.repro_dir = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      return usage(argv[0]);
+    } else {
+      opt.specs.push_back(arg);
+    }
+  }
+
+  if (opt.fuzz > 0) {
+    if (!opt.specs.empty()) return usage(argv[0]);
+    return run_fuzz(opt);
+  }
+  if (opt.specs.empty()) return usage(argv[0]);
+
+  int rc = 0;
+  for (const auto& path : opt.specs)
+    if (run_one(path, opt) != 0) rc = 1;
+  return rc;
+}

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "ambisim/energy/ledger.hpp"
 #include "ambisim/fault/injector.hpp"
@@ -65,6 +66,11 @@ struct PacketSimConfig {
   /// Fault injection; disengaged (std::nullopt) leaves the healthy-network
   /// kernel bit-identical to a build without the fault subsystem.
   std::optional<PacketFaultConfig> faults;
+  /// Explicit node placement (sink = node 0).  Disengaged, the simulator
+  /// draws a random field from `seed` exactly as before; engaged, the
+  /// given topology is used verbatim (scenario specs use this for grid /
+  /// star / pinned-seed layouts) and must hold `node_count` nodes.
+  std::optional<Topology> placement;
 };
 
 struct PacketSimResult {
@@ -91,6 +97,9 @@ struct PacketSimResult {
   double availability = 1.0;       ///< mean node service availability
   double mttf_s = 0.0;
   double mttr_s = 0.0;
+  /// Final state of charge per node when energy coupling is armed; -1.0
+  /// marks a batteryless node (the immune sink).  Empty otherwise.
+  std::vector<double> final_soc;
 
   /// Offered reports that never reached the sink, for any fault reason.
   [[nodiscard]] long long lost() const {

@@ -1,0 +1,104 @@
+// Lowering and execution: ScenarioSpec -> engine configs -> RunSummary.
+//
+// `build_packet_config` / `build_ami_config` translate a validated spec
+// into the exact C++ config an example would hand-write — a spec ported
+// from an existing example reproduces its numbers bit-for-bit (the build
+// tests assert this).  `run_scenario` executes the spec's replication
+// batch on exec::ReplicationRunner: replication 0 runs the spec's own
+// seed verbatim (so a 1-replication run IS the hand-written example) and
+// replication i > 0 draws from derive_seed(run.seed, i), which makes the
+// whole summary — including its order-sensitive checksum — bit-identical
+// at any pool size.  Assertions are evaluated against the aggregate
+// afterwards; "obs_counter" checks read the merged obs metrics registry,
+// per-node "final_soc" reads replication 0's battery states.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ambisim/core/scenario.hpp"
+#include "ambisim/fault/reliability.hpp"
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/scen/spec.hpp"
+
+namespace ambisim::scen {
+
+/// Spec -> packet-level network config.  Requires engine() == Net;
+/// throws std::invalid_argument otherwise.
+[[nodiscard]] net::PacketSimConfig build_packet_config(
+    const ScenarioSpec& spec);
+
+/// Spec -> ambient-home scenario config.  Requires engine() == Ami.
+[[nodiscard]] core::AmiScenarioConfig build_ami_config(
+    const ScenarioSpec& spec);
+
+/// Engine-neutral per-replication summary (unused engine fields stay 0).
+struct ReplicationOutcome {
+  // net engine
+  double delivered_fraction = 0.0;
+  double goodput_fraction = 0.0;
+  double availability = 1.0;
+  double mttf_s = 0.0;
+  double mttr_s = 0.0;
+  double mean_hops = 0.0;
+  long long generated = 0;
+  long long delivered = 0;
+  long long lost = 0;
+  long long delayed = 0;
+  double mean_final_soc = -1.0;  ///< -1 when energy coupling is off
+  double min_final_soc = -1.0;
+  /// Final state of charge per node; -1 marks a batteryless node (the
+  /// immune sink).  Empty when energy coupling is off.
+  std::vector<double> final_soc;
+  // both engines
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  // ami engine
+  long long events = 0;
+  long long responses = 0;
+  double personal_battery_days = 0.0;
+  double system_power_w = 0.0;
+  double sensor_average_power_w = 0.0;
+
+  void fold_into(fault::Digest& d) const;
+};
+
+struct AssertionResult {
+  AssertionSpec spec;
+  double observed = 0.0;
+  bool passed = false;
+};
+
+struct RunSummary {
+  Engine engine = Engine::Net;
+  std::vector<ReplicationOutcome> replications;
+  /// Means over replications of the headline observables.
+  sim::Accumulator delivered_fraction;
+  sim::Accumulator availability;
+  sim::Accumulator latency_p95_s;
+  sim::Accumulator mean_final_soc;
+  /// Order-sensitive digest over every replication outcome: equal
+  /// checksums mean bit-identical runs (the pool-determinism tests and the
+  /// fuzzer's pool-{1,8} invariant key on this).
+  std::uint64_t checksum = 0;
+  std::vector<AssertionResult> assertions;
+  bool assertions_passed = true;
+
+  /// Observed value an assertion evaluated to (see run_scenario).
+  void write_report(std::ostream& os) const;
+};
+
+/// Overrides the scenario_runner CLI applies on top of the spec.
+struct RunOverrides {
+  int replications = 0;  ///< > 0 replaces run.replications
+  int pool = -1;         ///< >= 0 replaces run.pool
+};
+
+/// Execute the spec end to end and evaluate its assertions.  When any
+/// assertion reads obs state ("obs_counter"), the probes are armed and
+/// the global context reset for the duration of the call.
+[[nodiscard]] RunSummary run_scenario(const ScenarioSpec& spec,
+                                      const RunOverrides& overrides = {});
+
+}  // namespace ambisim::scen

@@ -1,0 +1,91 @@
+// Scenario fuzzing: seed-derived spec generation, invariant checking, and
+// greedy shrinking of failures to minimal repro specs.
+//
+// Generation is a pure function of (root_seed, index) on a private
+// SplitMix64 stream (exec::derive_seed) — no wall clock, no entropy, no
+// std:: distributions (whose draws are implementation-defined) — so the
+// i-th spec is the same bytes on every host and the campaign's generation
+// checksum can be a committed golden.  Every generated spec is valid by
+// construction and re-validated through the Loader as the first invariant.
+//
+// check() runs a spec end to end and holds it against the engine's
+// conservation and determinism contracts: accounting (delivered + lost <=
+// offered, fractions and SoC inside [0, 1]) and bit-identical run
+// checksums at worker pools {1, 8}.  A failure carries a one-line reason;
+// shrink() then greedily applies spec-reduction edits (drop faults, halve
+// the fleet, halve the horizon, ...) while the caller's predicate keeps
+// failing, converging on a minimal `.scen.json` repro to commit next to a
+// bug report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ambisim/scen/spec.hpp"
+
+namespace ambisim::scen {
+
+struct FuzzConfig {
+  std::uint64_t root_seed = 1;
+  int min_sensors = 2;
+  int max_sensors = 12;
+  double min_duration_s = 60.0;
+  double max_duration_s = 300.0;
+  int max_replications = 2;
+  bool with_faults = true;   ///< allow fault sections in generated specs
+  bool with_energy = true;   ///< allow battery/harvester stanzas
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzConfig cfg = {});
+
+  [[nodiscard]] const FuzzConfig& config() const { return cfg_; }
+
+  /// The index-th spec of this root seed.  Pure: same (config, index) ->
+  /// same spec, on any host, in any call order.
+  [[nodiscard]] ScenarioSpec generate(std::uint64_t index) const;
+
+  /// Order-sensitive digest over the canonical JSON bytes of specs
+  /// [0, count): the committed golden of generation bit-identity.
+  [[nodiscard]] std::uint64_t generation_checksum(std::uint64_t count) const;
+
+  struct Verdict {
+    bool ok = true;
+    std::string failure;  ///< one-line reason when !ok
+  };
+  /// Validate, run, and hold `spec` against the invariants (see file
+  /// comment).  Never throws: engine exceptions become failures.
+  [[nodiscard]] Verdict check(const ScenarioSpec& spec) const;
+
+  struct CampaignResult {
+    std::uint64_t executed = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t spec_checksum = 0;  ///< == generation_checksum(executed)
+    /// (index, reason) of every failing scenario.
+    std::vector<std::pair<std::uint64_t, std::string>> failed;
+  };
+  /// Generate + check scenarios [0, count).
+  [[nodiscard]] CampaignResult run(std::uint64_t count) const;
+
+  /// Greedily minimize `spec` while `still_fails` holds: each pass tries
+  /// every reduction edit (replications -> 1, drop faults, halve fleet,
+  /// halve duration, drop energy, zero fault knobs, drop assertions) and
+  /// keeps those that preserve the failure, until a fixpoint.  The result
+  /// still satisfies `still_fails`.
+  [[nodiscard]] static ScenarioSpec shrink(
+      const ScenarioSpec& spec,
+      const std::function<bool(const ScenarioSpec&)>& still_fails);
+
+  /// Serialize `spec` to `path` as canonical JSON; returns false on I/O
+  /// failure.  The written file loads back cleanly (repro discipline).
+  static bool write_repro(const ScenarioSpec& spec, const std::string& path);
+
+ private:
+  FuzzConfig cfg_;
+};
+
+}  // namespace ambisim::scen

@@ -1,0 +1,114 @@
+// Dependency-free JSON for the scenario language.
+//
+// The scenario subsystem wants specs to be *data files*, so it carries its
+// own small parser instead of importing one: a recursive-descent reader
+// that keeps the (line, column) of every value for loader diagnostics, and
+// a writer whose doubles go through std::to_chars (shortest round-trip),
+// so serializing the same spec always yields the same bytes — the fuzzer's
+// generation checksums key on that.
+//
+// Dialect: strict JSON plus two hand-editing tolerances — `//` and
+// `/* */` comments, and trailing commas in arrays and objects.  Everything
+// a spec must never smuggle through is rejected with a positioned error:
+// duplicate object keys, NaN/Infinity (as literals or by numeric
+// overflow), control characters in strings, nesting beyond
+// `kMaxNestingDepth`, and any trailing garbage after the root value.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ambisim::scen::json {
+
+/// Parse depth cap: a spec is shallow; anything deeper is hostile input.
+inline constexpr int kMaxNestingDepth = 64;
+
+enum class Kind : unsigned char { Null, Bool, Number, String, Array, Object };
+
+const char* to_string(Kind k);
+
+/// Positioned parse failure; `what()` embeds "line:col: message".
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line, int col);
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+/// One JSON value.  Objects preserve insertion order (the serializer is a
+/// faithful writer) and reject duplicate keys at parse time.
+class Value {
+ public:
+  using Member = std::pair<std::string, Value>;
+
+  Value() = default;  ///< null
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed access; throws std::runtime_error naming the actual kind on a
+  /// mismatch (the loader converts those into positioned diagnostics).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& items() const;
+  [[nodiscard]] const std::vector<Member>& members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Source position of the value's first token (1-based; 0 for built).
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+
+  // --- builders (for the writer side: spec -> JSON) ---
+  static Value null();
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+  /// Append to an array value (must be an array).
+  void push(Value v);
+  /// Append a member to an object value (must be an object; key must be new).
+  void set(std::string key, Value v);
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<Member> obj_;
+  int line_ = 0;
+  int col_ = 0;
+};
+
+/// Parse `text` as a single JSON document; throws ParseError.
+Value parse(std::string_view text);
+
+/// Serialize with `indent` spaces per level (0 = compact one-line).
+/// Doubles are written with std::to_chars shortest-round-trip form, so the
+/// output is byte-deterministic for a given Value on any host.
+std::string dump(const Value& v, int indent = 2);
+
+/// Format a double exactly as the serializer would (exposed for goldens).
+std::string format_number(double v);
+
+}  // namespace ambisim::scen::json

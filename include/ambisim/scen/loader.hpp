@@ -1,0 +1,48 @@
+// Spec validation: JSON text -> ScenarioSpec or positioned diagnostics.
+//
+// The loader is strict where the parser is tolerant: every key must be
+// known (typos surface as "$.fleet[0]: unknown key ..." instead of being
+// ignored), every value is type- and range-checked, and cross-field rules
+// (engine composition, energy coupling, assertion applicability) are
+// enforced — so anything that loads cleanly also builds and runs.
+// Diagnostics carry the JSON path and the source line, and `load_text`
+// collects *all* of them rather than stopping at the first, so a spec
+// author fixes a file in one pass.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ambisim/scen/spec.hpp"
+
+namespace ambisim::scen {
+
+struct Diagnostic {
+  std::string path;     ///< JSON path, e.g. "$.fleet[0].count"
+  int line = 0;         ///< 1-based source line; 0 when not tied to a token
+  std::string message;
+
+  /// "$.fleet[0].count (line 12): count must be >= 1 (got 0)"
+  [[nodiscard]] std::string format() const;
+};
+
+struct LoadResult {
+  std::optional<ScenarioSpec> spec;  ///< engaged iff no diagnostics
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool ok() const { return spec.has_value(); }
+  /// Every diagnostic formatted, one per line.
+  [[nodiscard]] std::string format_diagnostics() const;
+};
+
+class Loader {
+ public:
+  /// Parse and validate a spec document.
+  [[nodiscard]] LoadResult load_text(std::string_view text) const;
+  /// Read `path` and load it; unreadable files become a diagnostic.
+  [[nodiscard]] LoadResult load_file(const std::string& path) const;
+};
+
+}  // namespace ambisim::scen

@@ -1,0 +1,149 @@
+// The declarative scenario spec: plain data, loaded from `.scen.json`.
+//
+// A spec describes one experiment without naming any C++ type from the
+// engines underneath: a `fleet` of device groups (the paper's Watt /
+// milliWatt / microWatt classes), a `topology`, a `workload`, optional
+// `faults`, a `run` stanza (duration, seed, replications, pool) and a list
+// of `assertions` checked against the run's aggregate metrics.  The fleet
+// composition picks the engine the spec lowers onto (scen/build.hpp):
+//
+//  * all-microWatt fleet  -> the packet-level collection network
+//    (net::simulate_packets, optionally fault-armed and energy-coupled);
+//  * microWatt sensors + one milliWatt personal + one Watt server ->
+//    the end-to-end ambient-home scenario (core::run_ami_scenario).
+//
+// `to_json` is the loader's inverse: it serializes a spec back to the
+// canonical JSON the fuzzer checksums and the shrinker writes as repros.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ambisim::scen {
+
+enum class DeviceClass : unsigned char { MicroWatt, MilliWatt, Watt };
+enum class TopologyKind : unsigned char { Random, Grid, Star };
+enum class Engine : unsigned char { Net, Ami };
+
+const char* to_string(DeviceClass c);
+const char* to_string(TopologyKind k);
+const char* to_string(Engine e);
+
+/// Per-group storage: one of the named energy::Battery specs plus the
+/// brown-out hysteresis band the fault injector arms it with.
+struct BatterySpec {
+  std::string kind = "coin_cell_cr2032";
+  double initial_soc = 1.0;
+  double brownout_cutoff_soc = 0.02;
+  double brownout_recovery_soc = 0.05;
+};
+
+/// Ambient recharge, either given directly or derived from an indoor PV
+/// cell (energy::SolarHarvester average power).
+struct HarvesterSpec {
+  double avg_watt = 0.0;      ///< used when area_cm2 == 0
+  double area_cm2 = 0.0;      ///< > 0 selects the indoor-PV model
+  double efficiency = 0.15;
+};
+
+struct FleetGroup {
+  std::string name;
+  DeviceClass device_class = DeviceClass::MicroWatt;
+  int count = 1;
+  std::optional<BatterySpec> battery;
+  std::optional<HarvesterSpec> harvester;
+  double baseline_watt = 0.0;  ///< constant draw beside the radio traffic
+};
+
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::Random;
+  double field_side_m = 40.0;   ///< random: square field edge
+  double pitch_m = 10.0;        ///< grid: node spacing
+  double radius_m = 12.0;       ///< star: ring radius
+  double radio_range_m = 15.0;
+  /// Random placement seed; < 0 ties placement to the run seed (the
+  /// engine's own draw order), >= 0 pins the layout independently of it.
+  long long seed = -1;
+};
+
+struct WorkloadSpec {
+  // --- net engine ---
+  double report_period_s = 10.0;
+  double packet_bits = 512.0;
+  double mac_wake_interval_s = 0.5;
+  double mac_listen_window_s = 0.005;
+  std::string routing = "min_hop";  ///< "min_hop" | "min_energy"
+  bool model_link_errors = false;
+  // --- ami engine ---
+  double events_per_hour = 12.0;
+  double sensor_report_bits = 128.0;
+  double context_message_bits = 1024.0;
+  std::string technology = "130nm";
+};
+
+struct RetrySpec {
+  int max_attempts = 4;
+  double timeout_s = 0.25;
+  double backoff = 2.0;
+  double max_backoff_s = 4.0;
+};
+
+struct FaultSpec {
+  double crash_mttf_s = 0.0;
+  double crash_mttr_s = 60.0;
+  double reboot_s = 5.0;
+  double link_mtbf_s = 0.0;
+  double link_mttr_s = 30.0;
+  double corruption_rate = 0.0;
+  double clock_drift_ppm = 0.0;
+  bool sink_immune = true;
+  double deadline_s = 30.0;
+  RetrySpec retry;
+};
+
+struct RunSpec {
+  double duration_s = 3600.0;
+  std::uint64_t seed = 1;
+  int replications = 1;
+  /// Worker pool for the replication batch; 0 = hardware threads.  The
+  /// result is bit-identical for any value (exec determinism contract).
+  int pool = 0;
+};
+
+/// One end-of-run check: `check op value`.  `node` qualifies per-node
+/// checks (final_soc); `metric` names the obs counter for check
+/// "obs_counter".  Observables are engine-dependent; scen/build.hpp's
+/// `assertion_observables()` lists them.
+struct AssertionSpec {
+  std::string check;
+  std::string op = ">=";  ///< ">=", ">", "<=", "<", "==", "!="
+  double value = 0.0;
+  int node = -1;
+  std::string metric;
+};
+
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  std::vector<FleetGroup> fleet;
+  TopologySpec topology;
+  WorkloadSpec workload;
+  std::optional<FaultSpec> faults;
+  RunSpec run;
+  std::vector<AssertionSpec> assertions;
+
+  /// Engine selected by fleet composition (see file comment).  Valid only
+  /// on a loader-validated spec.
+  [[nodiscard]] Engine engine() const;
+  /// Total sensor count across microWatt groups (net node count excludes
+  /// the implicit sink node 0, which the engine always adds).
+  [[nodiscard]] int sensor_count() const;
+};
+
+/// Canonical serialization: every field written (defaults included), key
+/// order fixed, doubles in shortest-round-trip form.  parse -> to_json is
+/// a fixpoint: to_json(load(to_json(s))) == to_json(s).
+std::string to_json(const ScenarioSpec& spec);
+
+}  // namespace ambisim::scen

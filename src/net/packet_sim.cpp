@@ -71,8 +71,15 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
     throw std::invalid_argument("period and duration must be positive");
 
   sim::Rng rng(cfg.seed);
+  if (cfg.placement && cfg.placement->size() != cfg.node_count)
+    throw std::invalid_argument("placement size != node_count");
+  // An explicit placement skips the random-field draw entirely (the rng
+  // stream then starts at the source phases); without one the draw order
+  // is unchanged from every earlier release.
   const Topology topo =
-      Topology::random_field(cfg.node_count, cfg.field_side, rng);
+      cfg.placement
+          ? *cfg.placement
+          : Topology::random_field(cfg.node_count, cfg.field_side, rng);
   const radio::RadioModel radio(cfg.radio);
   const u::Length range = u::min(cfg.radio_range, radio.max_range());
 
@@ -517,6 +524,14 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
     res.availability = st.availability;
     res.mttf_s = st.mttf_s;
     res.mttr_s = st.mttr_s;
+    if (cfg.faults->energy) {
+      // End-of-run battery states for scenario assertions (-1 marks the
+      // batteryless immune sink).
+      res.final_soc.resize(static_cast<std::size_t>(n), -1.0);
+      for (int i = 0; i < n; ++i)
+        if (const energy::Battery* b = injector->battery(i))
+          res.final_soc[static_cast<std::size_t>(i)] = b->state_of_charge();
+    }
   }
 
   // Baseline listening for every sensor over the horizon.

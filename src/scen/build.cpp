@@ -1,0 +1,377 @@
+#include "ambisim/scen/build.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "ambisim/energy/harvester.hpp"
+#include "ambisim/exec/runner.hpp"
+#include "ambisim/obs/obs.hpp"
+#include "ambisim/tech/technology.hpp"
+
+namespace ambisim::scen {
+
+namespace u = ambisim::units;
+
+namespace {
+
+energy::Battery::Spec battery_spec(const std::string& kind) {
+  if (kind == "alkaline_aa") return energy::Battery::alkaline_aa();
+  if (kind == "li_ion_1000mAh") return energy::Battery::li_ion_1000mAh();
+  if (kind == "thin_film_1mAh") return energy::Battery::thin_film_1mAh();
+  return energy::Battery::coin_cell_cr2032();
+}
+
+double harvest_watt(const HarvesterSpec& h) {
+  if (h.area_cm2 > 0.0) {
+    const energy::SolarHarvester pv(u::Area(h.area_cm2 * 1e-4), h.efficiency,
+                                    /*indoor=*/true);
+    return pv.average_power().value();
+  }
+  return h.avg_watt;
+}
+
+}  // namespace
+
+net::PacketSimConfig build_packet_config(const ScenarioSpec& spec) {
+  if (spec.engine() != Engine::Net)
+    throw std::invalid_argument(
+        "build_packet_config: spec lowers onto the ami engine");
+
+  const WorkloadSpec& w = spec.workload;
+  net::PacketSimConfig c;
+  c.node_count = spec.sensor_count() + 1;  // + sink node 0
+  c.field_side = u::Length(spec.topology.field_side_m);
+  c.radio_range = u::Length(spec.topology.radio_range_m);
+  c.report_period = u::Time(w.report_period_s);
+  c.packet_bits = u::Information(w.packet_bits);
+  c.mac = net::DutyCycledMac{u::Time(w.mac_wake_interval_s),
+                             u::Time(w.mac_listen_window_s)};
+  c.routing = w.routing == "min_energy" ? net::RoutingPolicy::MinEnergy
+                                        : net::RoutingPolicy::MinHop;
+  c.duration = u::Time(spec.run.duration_s);
+  c.seed = static_cast<unsigned>(spec.run.seed);
+  c.model_link_errors = w.model_link_errors;
+
+  switch (spec.topology.kind) {
+    case TopologyKind::Random:
+      // A pinned topology seed decouples placement from the run seed;
+      // without one the engine draws placement from c.seed, exactly as a
+      // hand-written config would.
+      if (spec.topology.seed >= 0) {
+        sim::Rng trng(static_cast<std::uint64_t>(spec.topology.seed));
+        c.placement = net::Topology::random_field(c.node_count, c.field_side,
+                                                  trng);
+      }
+      break;
+    case TopologyKind::Grid:
+      c.placement =
+          net::Topology::grid(c.node_count, u::Length(spec.topology.pitch_m));
+      break;
+    case TopologyKind::Star:
+      c.placement =
+          net::Topology::star(c.node_count, u::Length(spec.topology.radius_m));
+      break;
+  }
+
+  const FleetGroup* energy_group = nullptr;
+  for (const FleetGroup& g : spec.fleet)
+    if (g.battery) energy_group = &g;
+
+  if (spec.faults || energy_group != nullptr) {
+    net::PacketFaultConfig f;
+    const FaultSpec fs = spec.faults.value_or(FaultSpec{});
+    f.schedule.seed = spec.run.seed;
+    f.schedule.crash_mttf_s = fs.crash_mttf_s;
+    f.schedule.crash_mttr_s = fs.crash_mttr_s;
+    f.schedule.reboot_s = fs.reboot_s;
+    f.schedule.link_mtbf_s = fs.link_mtbf_s;
+    f.schedule.link_mttr_s = fs.link_mttr_s;
+    f.schedule.corruption_rate = fs.corruption_rate;
+    f.schedule.clock_drift_ppm = fs.clock_drift_ppm;
+    f.schedule.sink_immune = fs.sink_immune;
+    f.retry.max_attempts = fs.retry.max_attempts;
+    f.retry.timeout_s = fs.retry.timeout_s;
+    f.retry.backoff = fs.retry.backoff;
+    f.retry.max_backoff_s = fs.retry.max_backoff_s;
+    f.deadline = u::Time(fs.deadline_s);
+    if (energy_group != nullptr) {
+      fault::EnergyCouplingConfig e;
+      e.battery = battery_spec(energy_group->battery->kind);
+      e.initial_soc = energy_group->battery->initial_soc;
+      e.brownout_cutoff_soc = energy_group->battery->brownout_cutoff_soc;
+      e.brownout_recovery_soc = energy_group->battery->brownout_recovery_soc;
+      if (energy_group->harvester)
+        e.harvest_avg_watt = harvest_watt(*energy_group->harvester);
+      e.baseline_watt = energy_group->baseline_watt;
+      f.energy = e;
+    }
+    c.faults = f;
+  }
+  return c;
+}
+
+core::AmiScenarioConfig build_ami_config(const ScenarioSpec& spec) {
+  if (spec.engine() != Engine::Ami)
+    throw std::invalid_argument(
+        "build_ami_config: spec lowers onto the net engine");
+
+  core::AmiScenarioConfig c;
+  c.sensor_count = spec.sensor_count();
+  c.events_per_hour = spec.workload.events_per_hour;
+  c.duration = u::Time(spec.run.duration_s);
+  c.sensor_report = u::Information(spec.workload.sensor_report_bits);
+  c.context_message = u::Information(spec.workload.context_message_bits);
+  c.technology =
+      tech::TechnologyLibrary::standard().node(spec.workload.technology);
+  c.seed = static_cast<unsigned>(spec.run.seed);
+  return c;
+}
+
+void ReplicationOutcome::fold_into(fault::Digest& d) const {
+  d.fold(delivered_fraction);
+  d.fold(goodput_fraction);
+  d.fold(availability);
+  d.fold(mttf_s);
+  d.fold(mttr_s);
+  d.fold(mean_hops);
+  d.fold(generated);
+  d.fold(delivered);
+  d.fold(lost);
+  d.fold(delayed);
+  d.fold(mean_final_soc);
+  d.fold(min_final_soc);
+  for (const double s : final_soc) d.fold(s);
+  d.fold(latency_p50_s);
+  d.fold(latency_p95_s);
+  d.fold(events);
+  d.fold(responses);
+  d.fold(personal_battery_days);
+  d.fold(system_power_w);
+  d.fold(sensor_average_power_w);
+}
+
+namespace {
+
+ReplicationOutcome summarize_net(const net::PacketSimResult& r) {
+  ReplicationOutcome o;
+  o.delivered_fraction = r.delivered_fraction();
+  o.goodput_fraction = r.goodput_fraction();
+  o.availability = r.availability;
+  o.mttf_s = r.mttf_s;
+  o.mttr_s = r.mttr_s;
+  o.mean_hops = r.mean_hops;
+  o.generated = r.generated;
+  o.delivered = r.delivered;
+  o.lost = r.lost();
+  o.delayed = r.delayed;
+  if (!r.end_to_end_latency.empty()) {
+    o.latency_p50_s = r.end_to_end_latency.median();
+    o.latency_p95_s = r.end_to_end_latency.percentile(95.0);
+  }
+  o.final_soc = r.final_soc;
+  double sum = 0.0, mn = 2.0;
+  int batteries = 0;
+  for (const double s : r.final_soc) {
+    if (s < 0.0) continue;  // batteryless node (immune sink)
+    sum += s;
+    mn = std::min(mn, s);
+    ++batteries;
+  }
+  if (batteries > 0) {
+    o.mean_final_soc = sum / batteries;
+    o.min_final_soc = mn;
+  }
+  return o;
+}
+
+ReplicationOutcome summarize_ami(const core::AmiScenarioResult& r) {
+  ReplicationOutcome o;
+  o.events = r.events;
+  o.responses = r.responses_rendered;
+  // The ami engine's "delivered fraction" is the fraction of context
+  // events that came back as rendered responses.
+  o.delivered_fraction =
+      r.events > 0 ? static_cast<double>(r.responses_rendered) / r.events
+                   : 0.0;
+  o.goodput_fraction = o.delivered_fraction;
+  if (!r.end_to_end_latency.empty()) {
+    o.latency_p50_s = r.end_to_end_latency.median();
+    o.latency_p95_s = r.end_to_end_latency.percentile(95.0);
+  }
+  o.personal_battery_days = r.personal_battery_days;
+  o.system_power_w = r.system_power.value();
+  o.sensor_average_power_w = r.sensor_average_power;
+  return o;
+}
+
+double observe(const RunSummary& s, const AssertionSpec& a) {
+  const auto mean = [&](auto get) {
+    if (s.replications.empty()) return 0.0;
+    double sum = 0.0;
+    for (const ReplicationOutcome& r : s.replications) sum += get(r);
+    return sum / static_cast<double>(s.replications.size());
+  };
+  if (a.check == "delivered_fraction")
+    return mean([](const auto& r) { return r.delivered_fraction; });
+  if (a.check == "goodput_fraction" || a.check == "responses_fraction")
+    return mean([](const auto& r) { return r.goodput_fraction; });
+  if (a.check == "availability")
+    return mean([](const auto& r) { return r.availability; });
+  if (a.check == "mttf_s")
+    return mean([](const auto& r) { return r.mttf_s; });
+  if (a.check == "mttr_s")
+    return mean([](const auto& r) { return r.mttr_s; });
+  if (a.check == "latency_p50_s")
+    return mean([](const auto& r) { return r.latency_p50_s; });
+  if (a.check == "latency_p95_s")
+    return mean([](const auto& r) { return r.latency_p95_s; });
+  if (a.check == "mean_hops")
+    return mean([](const auto& r) { return r.mean_hops; });
+  if (a.check == "generated")
+    return mean([](const auto& r) { return double(r.generated); });
+  if (a.check == "delivered")
+    return mean([](const auto& r) { return double(r.delivered); });
+  if (a.check == "mean_final_soc")
+    return mean([](const auto& r) { return r.mean_final_soc; });
+  if (a.check == "min_final_soc")
+    return mean([](const auto& r) { return r.min_final_soc; });
+  if (a.check == "final_soc") {
+    // Per-node checks read replication 0 — the spec's own seed.
+    if (s.replications.empty()) return -1.0;
+    const auto& soc = s.replications.front().final_soc;
+    if (a.node < 0 || static_cast<std::size_t>(a.node) >= soc.size())
+      return -1.0;
+    return soc[static_cast<std::size_t>(a.node)];
+  }
+  if (a.check == "events")
+    return mean([](const auto& r) { return double(r.events); });
+  if (a.check == "responses_rendered")
+    return mean([](const auto& r) { return double(r.responses); });
+  if (a.check == "personal_battery_days")
+    return mean([](const auto& r) { return r.personal_battery_days; });
+  if (a.check == "system_power_w")
+    return mean([](const auto& r) { return r.system_power_w; });
+  if (a.check == "sensor_average_power_w")
+    return mean([](const auto& r) { return r.sensor_average_power_w; });
+  if (a.check == "obs_counter") {
+    const obs::Counter* c = obs::context().metrics.find_counter(a.metric);
+    return c != nullptr ? static_cast<double>(c->value()) : 0.0;
+  }
+  return 0.0;
+}
+
+bool compare(const std::string& op, double observed, double value) {
+  if (op == ">=") return observed >= value;
+  if (op == ">") return observed > value;
+  if (op == "<=") return observed <= value;
+  if (op == "<") return observed < value;
+  if (op == "==") return observed == value;
+  if (op == "!=") return observed != value;
+  return false;
+}
+
+}  // namespace
+
+RunSummary run_scenario(const ScenarioSpec& spec,
+                        const RunOverrides& overrides) {
+  RunSummary out;
+  out.engine = spec.engine();
+
+  const int reps = overrides.replications > 0 ? overrides.replications
+                                              : spec.run.replications;
+  const int pool = overrides.pool >= 0 ? overrides.pool : spec.run.pool;
+
+  bool needs_obs = false;
+  for (const AssertionSpec& a : spec.assertions)
+    if (a.check == "obs_counter") needs_obs = true;
+  const bool was_enabled = obs::enabled();
+  if (needs_obs) {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+
+  exec::ExecConfig ec;
+  ec.threads = static_cast<unsigned>(pool);
+  exec::ReplicationRunner runner(ec);
+
+  if (out.engine == Engine::Net) {
+    const net::PacketSimConfig base = build_packet_config(spec);
+    out.replications = runner.run(
+        static_cast<std::size_t>(reps), spec.run.seed,
+        [&](sim::Rng& rng, std::size_t i) {
+          net::PacketSimConfig c = base;
+          if (i > 0) {
+            // Replication 0 is the spec verbatim; later replications draw
+            // workload and fault-script seeds from their own substream.
+            c.seed = static_cast<unsigned>(rng.engine()());
+            if (c.faults) c.faults->schedule.seed = rng.engine()();
+          }
+          return summarize_net(net::simulate_packets(c));
+        });
+  } else {
+    const core::AmiScenarioConfig base = build_ami_config(spec);
+    out.replications = runner.run(
+        static_cast<std::size_t>(reps), spec.run.seed,
+        [&](sim::Rng& rng, std::size_t i) {
+          core::AmiScenarioConfig c = base;
+          if (i > 0) c.seed = static_cast<unsigned>(rng.engine()());
+          return summarize_ami(core::run_ami_scenario(c));
+        });
+  }
+
+  fault::Digest digest;
+  for (const ReplicationOutcome& r : out.replications) {
+    out.delivered_fraction.add(r.delivered_fraction);
+    out.availability.add(r.availability);
+    out.latency_p95_s.add(r.latency_p95_s);
+    if (r.mean_final_soc >= 0.0) out.mean_final_soc.add(r.mean_final_soc);
+    r.fold_into(digest);
+  }
+  out.checksum = digest.value();
+
+  for (const AssertionSpec& a : spec.assertions) {
+    AssertionResult res;
+    res.spec = a;
+    res.observed = observe(out, a);
+    res.passed = compare(a.op, res.observed, a.value);
+    if (!res.passed) out.assertions_passed = false;
+    out.assertions.push_back(std::move(res));
+  }
+
+  if (needs_obs && !was_enabled) obs::set_enabled(false);
+  return out;
+}
+
+void RunSummary::write_report(std::ostream& os) const {
+  os << "engine: " << to_string(engine) << ", replications "
+     << replications.size() << '\n';
+  if (engine == Engine::Net) {
+    os << "  delivered fraction : " << delivered_fraction.mean();
+    if (replications.size() > 1)
+      os << " +/- " << delivered_fraction.stddev();
+    os << '\n';
+    os << "  availability       : " << availability.mean() << '\n';
+    os << "  latency p95        : " << latency_p95_s.mean() << " s\n";
+    if (mean_final_soc.count() > 0)
+      os << "  mean final SoC     : " << mean_final_soc.mean() << '\n';
+  } else if (!replications.empty()) {
+    const ReplicationOutcome& r = replications.front();
+    os << "  events/responses   : " << r.events << " / " << r.responses
+       << '\n'
+       << "  latency p50/p95    : " << r.latency_p50_s << " / "
+       << r.latency_p95_s << " s\n"
+       << "  personal battery   : " << r.personal_battery_days << " days\n"
+       << "  system power       : " << r.system_power_w << " W\n";
+  }
+  os << "  checksum           : " << checksum << '\n';
+  for (const AssertionResult& a : assertions) {
+    os << "  assert " << a.spec.check;
+    if (a.spec.node >= 0) os << "(" << a.spec.node << ")";
+    if (!a.spec.metric.empty()) os << "[" << a.spec.metric << "]";
+    os << ' ' << a.spec.op << ' ' << a.spec.value << ": observed "
+       << a.observed << " -> " << (a.passed ? "PASS" : "FAIL") << '\n';
+  }
+}
+
+}  // namespace ambisim::scen

@@ -1,0 +1,359 @@
+#include "ambisim/scen/fuzzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <optional>
+
+#include "ambisim/exec/seed.hpp"
+#include "ambisim/fault/reliability.hpp"
+#include "ambisim/scen/build.hpp"
+#include "ambisim/scen/loader.hpp"
+
+namespace ambisim::scen {
+
+namespace {
+
+/// Private SplitMix64 draw stream: portable (unlike std:: distributions)
+/// and stateless across scenarios — scenario `i` never sees scenario
+/// `i-1`'s draws.
+class Stream {
+ public:
+  explicit Stream(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += exec::kSplitMix64Gamma;
+    return exec::splitmix64(state_);
+  }
+  /// Uniform in [0, 1) with 53 random bits.
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  /// Uniform in [lo, hi], rounded to 3 decimals so specs stay readable.
+  double range(double lo, double hi) {
+    const double v = lo + (hi - lo) * unit();
+    return std::round(v * 1000.0) / 1000.0;
+  }
+  int irange(int lo, int hi) {
+    return lo + static_cast<int>(next() %
+                                 static_cast<std::uint64_t>(hi - lo + 1));
+  }
+  bool chance(double p) { return unit() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+void fold_bytes(fault::Digest& d, const std::string& s) {
+  d.fold(static_cast<std::uint64_t>(s.size()));
+  std::uint64_t word = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= s.size(); i += 8) {
+    std::memcpy(&word, s.data() + i, 8);
+    d.fold(word);
+  }
+  word = 0;
+  if (i < s.size()) {
+    std::memcpy(&word, s.data() + i, s.size() - i);
+    d.fold(word);
+  }
+}
+
+}  // namespace
+
+Fuzzer::Fuzzer(FuzzConfig cfg) : cfg_(cfg) {}
+
+ScenarioSpec Fuzzer::generate(std::uint64_t index) const {
+  Stream s(exec::derive_seed(cfg_.root_seed, index));
+  ScenarioSpec spec;
+  spec.name = "fuzz_" + std::to_string(cfg_.root_seed) + "_" +
+              std::to_string(index);
+
+  FleetGroup g;
+  g.name = "sensors";
+  g.device_class = DeviceClass::MicroWatt;
+  g.count = s.irange(cfg_.min_sensors, cfg_.max_sensors);
+  const bool energy = cfg_.with_energy && s.chance(0.5);
+  if (energy) {
+    BatterySpec b;
+    b.kind = s.chance(0.5) ? "coin_cell_cr2032" : "thin_film_1mAh";
+    b.initial_soc = s.range(0.5, 1.0);
+    b.brownout_cutoff_soc = 0.02;
+    b.brownout_recovery_soc = 0.05;
+    g.battery = b;
+    if (s.chance(0.5)) {
+      HarvesterSpec h;
+      if (s.chance(0.5)) {
+        h.avg_watt = s.range(0.0, 0.001);
+      } else {
+        h.area_cm2 = s.range(0.5, 4.0);
+        h.efficiency = s.range(0.05, 0.25);
+      }
+      g.harvester = h;
+    }
+  }
+  spec.fleet.push_back(std::move(g));
+
+  switch (s.irange(0, 2)) {
+    case 0:
+      spec.topology.kind = TopologyKind::Random;
+      spec.topology.field_side_m = s.range(20.0, 60.0);
+      if (s.chance(0.5))
+        spec.topology.seed = s.irange(1, 1 << 20);
+      break;
+    case 1:
+      spec.topology.kind = TopologyKind::Grid;
+      spec.topology.pitch_m = s.range(5.0, 12.0);
+      break;
+    default:
+      spec.topology.kind = TopologyKind::Star;
+      spec.topology.radius_m = s.range(5.0, 12.0);
+      break;
+  }
+  spec.topology.radio_range_m = s.range(10.0, 18.0);
+
+  spec.workload.report_period_s = s.range(2.0, 20.0);
+  spec.workload.packet_bits = static_cast<double>(s.irange(16, 128) * 8);
+  spec.workload.mac_wake_interval_s = s.range(0.1, 1.0);
+  spec.workload.mac_listen_window_s = s.range(0.001, 0.01);
+  spec.workload.routing = s.chance(0.25) ? "min_energy" : "min_hop";
+  spec.workload.model_link_errors = s.chance(0.3);
+
+  if (cfg_.with_faults && s.chance(0.7)) {
+    FaultSpec f;
+    if (s.chance(0.7)) f.crash_mttf_s = s.range(100.0, 1000.0);
+    f.crash_mttr_s = s.range(10.0, 120.0);
+    f.reboot_s = s.range(1.0, 10.0);
+    if (s.chance(0.5)) f.link_mtbf_s = s.range(200.0, 2000.0);
+    f.link_mttr_s = s.range(5.0, 60.0);
+    if (s.chance(0.4)) f.corruption_rate = s.range(0.0, 0.05);
+    if (s.chance(0.3)) f.clock_drift_ppm = s.range(0.0, 50.0);
+    f.deadline_s = s.range(5.0, 60.0);
+    f.retry.max_attempts = s.irange(2, 6);
+    f.retry.timeout_s = s.range(0.05, 0.5);
+    spec.faults = f;
+  }
+
+  spec.run.duration_s =
+      std::round(s.range(cfg_.min_duration_s, cfg_.max_duration_s));
+  spec.run.seed = s.next() & 0xFFFFFFFFULL;
+  spec.run.replications = s.irange(1, cfg_.max_replications);
+  spec.run.pool = 0;
+
+  // Benign tautologies: exercise the assertion machinery without turning
+  // stochastic outcomes into false failures.
+  spec.assertions.push_back({"delivered_fraction", "<=", 1.0, -1, ""});
+  spec.assertions.push_back({"availability", "<=", 1.0, -1, ""});
+  return spec;
+}
+
+std::uint64_t Fuzzer::generation_checksum(std::uint64_t count) const {
+  fault::Digest d;
+  for (std::uint64_t i = 0; i < count; ++i)
+    fold_bytes(d, to_json(generate(i)));
+  return d.value();
+}
+
+Fuzzer::Verdict Fuzzer::check(const ScenarioSpec& spec) const {
+  Verdict v;
+  const auto fail = [&](std::string why) {
+    v.ok = false;
+    v.failure = std::move(why);
+    return v;
+  };
+
+  // Invariant 1: the spec's canonical JSON loads back, and reloading is a
+  // serialization fixpoint.
+  const std::string text = to_json(spec);
+  const LoadResult loaded = Loader{}.load_text(text);
+  if (!loaded.ok())
+    return fail("serialized spec fails validation: " +
+                loaded.format_diagnostics());
+  if (to_json(*loaded.spec) != text)
+    return fail("to_json(load(to_json(spec))) is not a fixpoint");
+
+  // Invariant 2: runs at pools 1 and 8 complete and are bit-identical.
+  RunSummary p1, p8;
+  try {
+    RunOverrides o1;
+    o1.pool = 1;
+    p1 = run_scenario(*loaded.spec, o1);
+    RunOverrides o8;
+    o8.pool = 8;
+    p8 = run_scenario(*loaded.spec, o8);
+  } catch (const std::exception& e) {
+    return fail(std::string("engine threw: ") + e.what());
+  }
+  if (p1.checksum != p8.checksum)
+    return fail("pool-size dependence: checksum(pool=1) != checksum(pool=8)");
+
+  // Invariant 3: conservation and range checks per replication.
+  for (std::size_t i = 0; i < p1.replications.size(); ++i) {
+    const ReplicationOutcome& r = p1.replications[i];
+    const std::string at = " (replication " + std::to_string(i) + ")";
+    if (r.generated < 0 || r.delivered < 0 || r.lost < 0 || r.delayed < 0)
+      return fail("negative packet accounting" + at);
+    if (r.delivered + r.lost > r.generated)
+      return fail("conservation violated: delivered + lost > offered" + at);
+    if (r.delayed > r.delivered)
+      return fail("delayed > delivered" + at);
+    if (r.delivered_fraction < 0.0 || r.delivered_fraction > 1.0)
+      return fail("delivered_fraction outside [0, 1]" + at);
+    if (r.goodput_fraction < 0.0 || r.goodput_fraction > 1.0 + 1e-12)
+      return fail("goodput_fraction outside [0, 1]" + at);
+    if (r.availability < 0.0 || r.availability > 1.0 + 1e-12)
+      return fail("availability outside [0, 1]" + at);
+    if (r.latency_p50_s < 0.0 || r.latency_p95_s < 0.0)
+      return fail("negative latency percentile" + at);
+    for (const double soc : r.final_soc)
+      if (soc > 1.0 + 1e-12 || (soc < 0.0 && soc != -1.0))
+        return fail("final SoC outside [0, 1]" + at);
+  }
+  if (!p1.assertions_passed)
+    return fail("tautological assertion failed");
+  return v;
+}
+
+Fuzzer::CampaignResult Fuzzer::run(std::uint64_t count) const {
+  CampaignResult out;
+  fault::Digest d;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ScenarioSpec spec = generate(i);
+    fold_bytes(d, to_json(spec));
+    const Verdict v = check(spec);
+    ++out.executed;
+    if (!v.ok) {
+      ++out.failures;
+      out.failed.emplace_back(i, v.failure);
+    }
+  }
+  out.spec_checksum = d.value();
+  return out;
+}
+
+namespace {
+
+using Edit = std::function<std::optional<ScenarioSpec>(const ScenarioSpec&)>;
+
+std::vector<Edit> reduction_edits() {
+  std::vector<Edit> edits;
+  // Biggest wins first: each edit returns nullopt when it cannot reduce.
+  edits.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    if (s.run.replications <= 1) return std::nullopt;
+    ScenarioSpec c = s;
+    c.run.replications = 1;
+    return c;
+  });
+  edits.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    if (!s.faults) return std::nullopt;
+    ScenarioSpec c = s;
+    c.faults.reset();
+    return c;
+  });
+  edits.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    bool any = false;
+    ScenarioSpec c = s;
+    for (FleetGroup& g : c.fleet) {
+      if (g.device_class == DeviceClass::MicroWatt && g.count > 1) {
+        g.count = std::max(1, g.count / 2);
+        any = true;
+      }
+    }
+    return any ? std::optional<ScenarioSpec>(std::move(c)) : std::nullopt;
+  });
+  edits.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    if (s.run.duration_s <= 30.0) return std::nullopt;
+    ScenarioSpec c = s;
+    c.run.duration_s = std::max(30.0, std::round(s.run.duration_s / 2.0));
+    return c;
+  });
+  edits.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    bool any = false;
+    ScenarioSpec c = s;
+    for (FleetGroup& g : c.fleet) {
+      // A battery alone is droppable, but dropping only the battery from
+      // under a harvester would produce an invalid spec.
+      if (g.battery || g.harvester) {
+        g.battery.reset();
+        g.harvester.reset();
+        any = true;
+      }
+    }
+    if (!any) return std::nullopt;
+    // Per-node SoC assertions lose their subject with the batteries.
+    std::erase_if(c.assertions, [](const AssertionSpec& a) {
+      return a.check == "final_soc" || a.check == "mean_final_soc" ||
+             a.check == "min_final_soc";
+    });
+    return c;
+  });
+  edits.push_back([](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+    if (!s.workload.model_link_errors) return std::nullopt;
+    ScenarioSpec c = s;
+    c.workload.model_link_errors = false;
+    return c;
+  });
+  // Zero each fault process individually (when the whole section cannot
+  // go, one of its knobs often can).
+  const auto zero_knob = [](double FaultSpec::* knob) {
+    return [knob](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+      if (!s.faults || (*s.faults).*knob == 0.0) return std::nullopt;
+      ScenarioSpec c = s;
+      (*c.faults).*knob = 0.0;
+      return c;
+    };
+  };
+  edits.push_back(zero_knob(&FaultSpec::crash_mttf_s));
+  edits.push_back(zero_knob(&FaultSpec::link_mtbf_s));
+  edits.push_back(zero_knob(&FaultSpec::corruption_rate));
+  edits.push_back(zero_knob(&FaultSpec::clock_drift_ppm));
+  return edits;
+}
+
+/// Drop assertion `i` (a family of edits indexed at call time).
+std::optional<ScenarioSpec> drop_assertion(const ScenarioSpec& s,
+                                           std::size_t i) {
+  if (i >= s.assertions.size()) return std::nullopt;
+  ScenarioSpec c = s;
+  c.assertions.erase(c.assertions.begin() + static_cast<std::ptrdiff_t>(i));
+  return c;
+}
+
+}  // namespace
+
+ScenarioSpec Fuzzer::shrink(
+    const ScenarioSpec& spec,
+    const std::function<bool(const ScenarioSpec&)>& still_fails) {
+  ScenarioSpec cur = spec;
+  const std::vector<Edit> edits = reduction_edits();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const Edit& edit : edits) {
+      if (std::optional<ScenarioSpec> cand = edit(cur);
+          cand && still_fails(*cand)) {
+        cur = std::move(*cand);
+        progress = true;
+      }
+    }
+    for (std::size_t i = 0; i < cur.assertions.size();) {
+      if (std::optional<ScenarioSpec> cand = drop_assertion(cur, i);
+          cand && still_fails(*cand)) {
+        cur = std::move(*cand);
+        progress = true;
+        // Same index now names the next assertion.
+      } else {
+        ++i;
+      }
+    }
+  }
+  return cur;
+}
+
+bool Fuzzer::write_repro(const ScenarioSpec& spec, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json(spec);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ambisim::scen

@@ -1,0 +1,540 @@
+#include "ambisim/scen/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <system_error>
+
+namespace ambisim::scen::json {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return "bool";
+    case Kind::Number: return "number";
+    case Kind::String: return "string";
+    case Kind::Array: return "array";
+    case Kind::Object: return "object";
+  }
+  return "?";
+}
+
+ParseError::ParseError(std::string message, int line, int col)
+    : std::runtime_error(std::to_string(line) + ":" + std::to_string(col) +
+                         ": " + message),
+      line_(line),
+      col_(col) {}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool)
+    throw std::runtime_error(std::string("expected bool, got ") +
+                             to_string(kind_));
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::Number)
+    throw std::runtime_error(std::string("expected number, got ") +
+                             to_string(kind_));
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String)
+    throw std::runtime_error(std::string("expected string, got ") +
+                             to_string(kind_));
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (kind_ != Kind::Array)
+    throw std::runtime_error(std::string("expected array, got ") +
+                             to_string(kind_));
+  return arr_;
+}
+
+const std::vector<Value::Member>& Value::members() const {
+  if (kind_ != Kind::Object)
+    throw std::runtime_error(std::string("expected object, got ") +
+                             to_string(kind_));
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::size_t Value::size() const {
+  switch (kind_) {
+    case Kind::Array: return arr_.size();
+    case Kind::Object: return obj_.size();
+    case Kind::String: return str_.size();
+    default: return 0;
+  }
+}
+
+Value Value::null() { return Value(); }
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double x) {
+  if (!std::isfinite(x))
+    throw std::runtime_error("non-finite number cannot enter a JSON value");
+  Value v;
+  v.kind_ = Kind::Number;
+  v.num_ = x;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+void Value::push(Value v) {
+  if (kind_ != Kind::Array) throw std::runtime_error("push on non-array");
+  arr_.push_back(std::move(v));
+}
+
+void Value::set(std::string key, Value v) {
+  if (kind_ != Kind::Object) throw std::runtime_error("set on non-object");
+  if (find(key) != nullptr)
+    throw std::runtime_error("duplicate key: " + key);
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ < text_.size()) fail("trailing garbage after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, line_, col_);
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else if (c == '/') {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_comment() {
+    // Tolerance: // line and /* block */ comments for hand-edited specs.
+    if (pos_ + 1 >= text_.size()) fail("stray '/'");
+    advance();  // '/'
+    const char c = peek();
+    if (c == '/') {
+      while (pos_ < text_.size() && peek() != '\n') advance();
+    } else if (c == '*') {
+      advance();
+      while (true) {
+        if (pos_ >= text_.size()) fail("unterminated block comment");
+        if (advance() == '*' && peek() == '/') {
+          advance();
+          return;
+        }
+      }
+    } else {
+      fail("stray '/'");
+    }
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxNestingDepth) fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const int vline = line_;
+    const int vcol = col_;
+    Value v = parse_value_inner(depth);
+    v.line_ = vline;
+    v.col_ = vcol;
+    return v;
+  }
+
+  Value parse_value_inner(int depth) {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value::string(parse_string());
+      case 't': expect_word("true"); return Value::boolean(true);
+      case 'f': expect_word("false"); return Value::boolean(false);
+      case 'n':
+        // Reject "nan" with a targeted message before "null" matching.
+        if (text_.substr(pos_, 3) == "nan")
+          fail("NaN is not a valid JSON number");
+        expect_word("null");
+        return Value::null();
+      case 'N': fail("NaN is not a valid JSON number");
+      case 'I': fail("Infinity is not a valid JSON number");
+      case 'i': fail("Infinity is not a valid JSON number");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  void expect_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w)
+      fail("invalid literal (expected '" + std::string(w) + "')");
+    for (std::size_t i = 0; i < w.size(); ++i) advance();
+  }
+
+  Value parse_number() {
+    const int nline = line_;
+    const int ncol = col_;
+    const std::size_t start = pos_;
+    if (peek() == '-') advance();
+    if (peek() == 'I' || peek() == 'i')
+      fail("Infinity is not a valid JSON number");
+    if (!is_digit(peek())) fail("malformed number");
+    if (peek() == '0') {
+      advance();
+      if (is_digit(peek())) fail("leading zeros are not allowed");
+    } else {
+      while (is_digit(peek())) advance();
+    }
+    if (peek() == '.') {
+      advance();
+      if (!is_digit(peek())) fail("malformed number (digit after '.')");
+      while (is_digit(peek())) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      advance();
+      if (peek() == '+' || peek() == '-') advance();
+      if (!is_digit(peek())) fail("malformed number (exponent digits)");
+      while (is_digit(peek())) advance();
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    double out = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out);
+    if (ec == std::errc::result_out_of_range || !std::isfinite(out))
+      throw ParseError("number out of range (overflows to infinity)", nline,
+                       ncol);
+    if (ec != std::errc() || ptr != tok.data() + tok.size())
+      throw ParseError("malformed number", nline, ncol);
+    Value v = Value::number(out);
+    return v;
+  }
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+  static bool is_hex(char c) {
+    return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size() || !is_hex(peek()))
+        fail("invalid \\u escape (expected 4 hex digits)");
+      const char c = advance();
+      v <<= 4;
+      if (is_digit(c))
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else
+        v |= static_cast<unsigned>(c - 'A' + 10);
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    advance();  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated string escape");
+      const char e = advance();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (peek() != '\\') fail("unpaired UTF-16 surrogate");
+            advance();
+            if (peek() != 'u') fail("unpaired UTF-16 surrogate");
+            advance();
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              fail("invalid UTF-16 surrogate pair");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  Value parse_array(int depth) {
+    advance();  // '['
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      advance();
+      return v;
+    }
+    while (true) {
+      v.arr_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        advance();
+        skip_ws();
+        if (peek() == ']') {  // tolerance: trailing comma
+          advance();
+          return v;
+        }
+        continue;
+      }
+      if (c == ']') {
+        advance();
+        return v;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  Value parse_object(int depth) {
+    advance();  // '{'
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      advance();
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected string key in object");
+      const int kline = line_;
+      const int kcol = col_;
+      std::string key = parse_string();
+      if (v.find(key) != nullptr)
+        throw ParseError("duplicate key \"" + key + "\"", kline, kcol);
+      skip_ws();
+      if (peek() != ':') fail("expected ':' after object key");
+      advance();
+      v.obj_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        advance();
+        skip_ws();
+        if (peek() == '}') {  // tolerance: trailing comma
+          advance();
+          return v;
+        }
+        continue;
+      }
+      if (c == '}') {
+        advance();
+        return v;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+// ---------------------------------------------------------------------------
+// Writer
+
+std::string format_number(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xF]);
+          out.push_back(hex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_into(std::string& out, const Value& v, int indent, int depth) {
+  const bool pretty = indent > 0;
+  const auto pad = [&](int d) {
+    if (pretty) out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case Kind::Null: out += "null"; return;
+    case Kind::Bool: out += v.as_bool() ? "true" : "false"; return;
+    case Kind::Number: out += format_number(v.as_number()); return;
+    case Kind::String: escape_into(out, v.as_string()); return;
+    case Kind::Array: {
+      const auto& items = v.items();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      if (pretty) out.push_back('\n');
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        pad(depth + 1);
+        dump_into(out, items[i], indent, depth + 1);
+        if (i + 1 < items.size()) out.push_back(',');
+        if (pretty)
+          out.push_back('\n');
+        else if (i + 1 < items.size())
+          out.push_back(' ');
+      }
+      pad(depth);
+      out.push_back(']');
+      return;
+    }
+    case Kind::Object: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      if (pretty) out.push_back('\n');
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        pad(depth + 1);
+        escape_into(out, members[i].first);
+        out += ": ";
+        dump_into(out, members[i].second, indent, depth + 1);
+        if (i + 1 < members.size()) out.push_back(',');
+        if (pretty)
+          out.push_back('\n');
+        else if (i + 1 < members.size())
+          out.push_back(' ');
+      }
+      pad(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& v, int indent) {
+  std::string out;
+  dump_into(out, v, indent, 0);
+  return out;
+}
+
+}  // namespace ambisim::scen::json

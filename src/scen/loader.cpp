@@ -1,0 +1,574 @@
+#include "ambisim/scen/loader.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "ambisim/scen/json.hpp"
+
+namespace ambisim::scen {
+
+std::string Diagnostic::format() const {
+  std::string out = path;
+  if (line > 0) out += " (line " + std::to_string(line) + ")";
+  out += ": " + message;
+  return out;
+}
+
+std::string LoadResult::format_diagnostics() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.format();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+using json::Value;
+
+/// Seeds travel through JSON numbers; past 2^53 a double stops holding
+/// integers exactly, so the loader rejects anything bigger.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+class Check {
+ public:
+  explicit Check(std::vector<Diagnostic>& diags) : diags_(diags) {}
+
+  void report(const std::string& path, int line, std::string message) {
+    diags_.push_back(Diagnostic{path, line, std::move(message)});
+  }
+
+  /// Validated object view: typed getters that record which keys were
+  /// consumed, so finish() can flag the unknown ones.
+  class Obj {
+   public:
+    Obj(Check& c, const Value& v, std::string path)
+        : check_(c), value_(v), path_(std::move(path)) {}
+
+    /// Raw member access (marks `key` consumed); nullptr when absent.
+    const Value* get(const char* key) {
+      seen_.insert(key);
+      return value_.find(key);
+    }
+
+    bool has(const char* key) { return get(key) != nullptr; }
+
+    double num(const char* key, double dflt, double lo, double hi) {
+      const Value* v = get(key);
+      if (v == nullptr) return dflt;
+      if (!v->is_number()) {
+        type_error(key, *v, "number");
+        return dflt;
+      }
+      const double x = v->as_number();
+      if (x < lo || x > hi) {
+        std::ostringstream os;
+        os << "must be in [" << lo << ", " << hi << "] (got "
+           << json::format_number(x) << ")";
+        check_.report(path_ + "." + key, v->line(), os.str());
+        return dflt;
+      }
+      return x;
+    }
+
+    long long integer(const char* key, long long dflt, long long lo,
+                      long long hi) {
+      const Value* v = get(key);
+      if (v == nullptr) return dflt;
+      if (!v->is_number()) {
+        type_error(key, *v, "integer");
+        return dflt;
+      }
+      const double x = v->as_number();
+      if (x != std::floor(x) || std::fabs(x) > kMaxExactInteger) {
+        check_.report(path_ + "." + key, v->line(),
+                      "must be an integer (got " + json::format_number(x) +
+                          ")");
+        return dflt;
+      }
+      const auto i = static_cast<long long>(x);
+      if (i < lo || i > hi) {
+        check_.report(path_ + "." + key, v->line(),
+                      "must be in [" + std::to_string(lo) + ", " +
+                          std::to_string(hi) + "] (got " +
+                          std::to_string(i) + ")");
+        return dflt;
+      }
+      return i;
+    }
+
+    bool boolean(const char* key, bool dflt) {
+      const Value* v = get(key);
+      if (v == nullptr) return dflt;
+      if (!v->is_bool()) {
+        type_error(key, *v, "bool");
+        return dflt;
+      }
+      return v->as_bool();
+    }
+
+    std::string str(const char* key, std::string dflt) {
+      const Value* v = get(key);
+      if (v == nullptr) return dflt;
+      if (!v->is_string()) {
+        type_error(key, *v, "string");
+        return dflt;
+      }
+      return v->as_string();
+    }
+
+    /// String constrained to a closed set of keywords.
+    std::string keyword(const char* key, std::string dflt,
+                        std::initializer_list<const char*> allowed) {
+      const Value* v = get(key);
+      if (v == nullptr) return dflt;
+      if (!v->is_string()) {
+        type_error(key, *v, "string");
+        return dflt;
+      }
+      for (const char* a : allowed)
+        if (v->as_string() == a) return v->as_string();
+      std::string msg = "must be one of {";
+      bool first = true;
+      for (const char* a : allowed) {
+        if (!first) msg += ", ";
+        msg += std::string("\"") + a + "\"";
+        first = false;
+      }
+      msg += "} (got \"" + v->as_string() + "\")";
+      check_.report(path_ + "." + key, v->line(), std::move(msg));
+      return dflt;
+    }
+
+    /// Flag every key the getters never consumed.
+    void finish() {
+      for (const auto& [k, v] : value_.members())
+        if (seen_.count(k) == 0)
+          check_.report(path_, v.line(), "unknown key \"" + k + "\"");
+    }
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+    [[nodiscard]] int line() const { return value_.line(); }
+    Check& check() { return check_; }
+
+   private:
+    void type_error(const char* key, const Value& v, const char* want) {
+      check_.report(path_ + "." + key, v.line(),
+                    std::string("expected ") + want + ", got " +
+                        json::to_string(v.kind()));
+    }
+
+    Check& check_;
+    const Value& value_;
+    std::string path_;
+    std::set<std::string, std::less<>> seen_;
+  };
+
+  /// Member that must be an object; reports and returns nullptr otherwise.
+  const Value* object_member(Obj& parent, const char* key) {
+    const Value* v = parent.get(key);
+    if (v == nullptr) return nullptr;
+    if (!v->is_object()) {
+      report(parent.path() + "." + key, v->line(),
+             std::string("expected object, got ") + json::to_string(v->kind()));
+      return nullptr;
+    }
+    return v;
+  }
+
+ private:
+  std::vector<Diagnostic>& diags_;
+};
+
+BatterySpec load_battery(Check& c, const Value& v, const std::string& path) {
+  BatterySpec b;
+  Check::Obj o(c, v, path);
+  b.kind = o.keyword("kind", b.kind,
+                     {"coin_cell_cr2032", "alkaline_aa", "li_ion_1000mAh",
+                      "thin_film_1mAh"});
+  b.initial_soc = o.num("initial_soc", b.initial_soc, 0.0, 1.0);
+  b.brownout_cutoff_soc =
+      o.num("brownout_cutoff_soc", b.brownout_cutoff_soc, 0.0, 1.0);
+  b.brownout_recovery_soc =
+      o.num("brownout_recovery_soc", b.brownout_recovery_soc, 0.0, 1.0);
+  if (b.brownout_recovery_soc < b.brownout_cutoff_soc)
+    c.report(path + ".brownout_recovery_soc", v.line(),
+             "recovery threshold must be >= cutoff threshold");
+  o.finish();
+  return b;
+}
+
+HarvesterSpec load_harvester(Check& c, const Value& v,
+                             const std::string& path) {
+  HarvesterSpec h;
+  Check::Obj o(c, v, path);
+  const bool has_avg = o.has("avg_watt");
+  const bool has_area = o.has("area_cm2");
+  h.avg_watt = o.num("avg_watt", 0.0, 0.0, 1e3);
+  h.area_cm2 = o.num("area_cm2", 0.0, 0.0, 1e4);
+  h.efficiency = o.num("efficiency", h.efficiency, 0.0, 1.0);
+  if (has_avg && has_area)
+    c.report(path, v.line(),
+             "give either avg_watt or area_cm2 (indoor PV), not both");
+  else if (!has_avg && !has_area)
+    c.report(path, v.line(), "harvester needs avg_watt or area_cm2");
+  o.finish();
+  return h;
+}
+
+FleetGroup load_group(Check& c, const Value& v, const std::string& path) {
+  FleetGroup g;
+  Check::Obj o(c, v, path);
+  g.name = o.str("group", "");
+  const std::string cls =
+      o.keyword("class", "", {"microwatt", "milliwatt", "watt"});
+  if (cls.empty() && v.find("class") == nullptr)
+    c.report(path, v.line(), "missing required key \"class\"");
+  if (cls == "milliwatt")
+    g.device_class = DeviceClass::MilliWatt;
+  else if (cls == "watt")
+    g.device_class = DeviceClass::Watt;
+  else
+    g.device_class = DeviceClass::MicroWatt;
+  g.count = static_cast<int>(o.integer("count", 1, 1, 1000000));
+  if (const Value* b = c.object_member(o, "battery"))
+    g.battery = load_battery(c, *b, path + ".battery");
+  if (const Value* h = c.object_member(o, "harvester"))
+    g.harvester = load_harvester(c, *h, path + ".harvester");
+  g.baseline_watt = o.num("baseline_watt", 0.0, 0.0, 1e3);
+  o.finish();
+  return g;
+}
+
+TopologySpec load_topology(Check& c, const Value& v,
+                           const std::string& path) {
+  TopologySpec t;
+  Check::Obj o(c, v, path);
+  const std::string kind =
+      o.keyword("kind", "random", {"random", "grid", "star"});
+  if (kind == "grid")
+    t.kind = TopologyKind::Grid;
+  else if (kind == "star")
+    t.kind = TopologyKind::Star;
+  else
+    t.kind = TopologyKind::Random;
+  t.field_side_m = o.num("field_side_m", t.field_side_m, 1e-3, 1e6);
+  t.pitch_m = o.num("pitch_m", t.pitch_m, 1e-3, 1e6);
+  t.radius_m = o.num("radius_m", t.radius_m, 1e-3, 1e6);
+  t.radio_range_m = o.num("radio_range_m", t.radio_range_m, 1e-3, 1e6);
+  t.seed = o.integer("seed", -1, 0, static_cast<long long>(kMaxExactInteger));
+  // Kind-inapplicable geometry keys are accepted-but-checked: warn loudly
+  // by rejecting, so a spec never silently carries a dead knob.
+  if (t.kind != TopologyKind::Random && v.find("field_side_m") != nullptr)
+    c.report(path + ".field_side_m", v.line(),
+             "field_side_m applies only to kind \"random\"");
+  if (t.kind != TopologyKind::Grid && v.find("pitch_m") != nullptr)
+    c.report(path + ".pitch_m", v.line(),
+             "pitch_m applies only to kind \"grid\"");
+  if (t.kind != TopologyKind::Star && v.find("radius_m") != nullptr)
+    c.report(path + ".radius_m", v.line(),
+             "radius_m applies only to kind \"star\"");
+  o.finish();
+  return t;
+}
+
+WorkloadSpec load_workload(Check& c, const Value& v, const std::string& path,
+                           Engine engine) {
+  WorkloadSpec w;
+  Check::Obj o(c, v, path);
+  if (engine == Engine::Net) {
+    w.report_period_s = o.num("report_period_s", w.report_period_s, 1e-3, 1e9);
+    w.packet_bits = o.num("packet_bits", w.packet_bits, 1.0, 1e9);
+    if (const Value* m = c.object_member(o, "mac")) {
+      Check::Obj mo(c, *m, path + ".mac");
+      w.mac_wake_interval_s =
+          mo.num("wake_interval_s", w.mac_wake_interval_s, 1e-6, 1e3);
+      w.mac_listen_window_s =
+          mo.num("listen_window_s", w.mac_listen_window_s, 1e-7, 1e3);
+      if (w.mac_listen_window_s > w.mac_wake_interval_s)
+        c.report(path + ".mac.listen_window_s", m->line(),
+                 "listen window must not exceed the wake interval");
+      mo.finish();
+    }
+    w.routing = o.keyword("routing", w.routing, {"min_hop", "min_energy"});
+    w.model_link_errors =
+        o.boolean("model_link_errors", w.model_link_errors);
+    for (const char* ami_key :
+         {"events_per_hour", "sensor_report_bits", "context_message_bits",
+          "technology"})
+      if (v.find(ami_key) != nullptr)
+        c.report(path + "." + ami_key, v.find(ami_key)->line(),
+                 "applies only to the ami engine (mixed-class fleet)");
+  } else {
+    w.events_per_hour = o.num("events_per_hour", w.events_per_hour, 1e-6, 1e6);
+    w.sensor_report_bits =
+        o.num("sensor_report_bits", w.sensor_report_bits, 1.0, 1e9);
+    w.context_message_bits =
+        o.num("context_message_bits", w.context_message_bits, 1.0, 1e9);
+    w.technology = o.keyword(
+        "technology", w.technology,
+        {"350nm", "250nm", "180nm", "130nm", "90nm", "65nm", "45nm"});
+    for (const char* net_key :
+         {"report_period_s", "packet_bits", "mac", "routing",
+          "model_link_errors"})
+      if (v.find(net_key) != nullptr)
+        c.report(path + "." + net_key, v.find(net_key)->line(),
+                 "applies only to the net engine (all-microwatt fleet)");
+  }
+  o.finish();
+  return w;
+}
+
+FaultSpec load_faults(Check& c, const Value& v, const std::string& path) {
+  FaultSpec f;
+  Check::Obj o(c, v, path);
+  f.crash_mttf_s = o.num("crash_mttf_s", f.crash_mttf_s, 0.0, 1e12);
+  f.crash_mttr_s = o.num("crash_mttr_s", f.crash_mttr_s, 0.0, 1e12);
+  f.reboot_s = o.num("reboot_s", f.reboot_s, 0.0, 1e6);
+  f.link_mtbf_s = o.num("link_mtbf_s", f.link_mtbf_s, 0.0, 1e12);
+  f.link_mttr_s = o.num("link_mttr_s", f.link_mttr_s, 0.0, 1e12);
+  f.corruption_rate = o.num("corruption_rate", f.corruption_rate, 0.0, 1.0);
+  f.clock_drift_ppm = o.num("clock_drift_ppm", f.clock_drift_ppm, 0.0, 1e5);
+  f.sink_immune = o.boolean("sink_immune", f.sink_immune);
+  f.deadline_s = o.num("deadline_s", f.deadline_s, 1e-3, 1e9);
+  if (const Value* r = c.object_member(o, "retry")) {
+    Check::Obj ro(c, *r, path + ".retry");
+    f.retry.max_attempts =
+        static_cast<int>(ro.integer("max_attempts", f.retry.max_attempts,
+                                    1, 64));
+    f.retry.timeout_s = ro.num("timeout_s", f.retry.timeout_s, 1e-6, 1e3);
+    f.retry.backoff = ro.num("backoff", f.retry.backoff, 1.0, 64.0);
+    f.retry.max_backoff_s =
+        ro.num("max_backoff_s", f.retry.max_backoff_s, 1e-6, 1e4);
+    ro.finish();
+  }
+  o.finish();
+  return f;
+}
+
+RunSpec load_run(Check& c, const Value& v, const std::string& path) {
+  RunSpec r;
+  Check::Obj o(c, v, path);
+  r.duration_s = o.num("duration_s", r.duration_s, 1e-3, 1e9);
+  r.seed = static_cast<std::uint64_t>(
+      o.integer("seed", 1, 0, static_cast<long long>(kMaxExactInteger)));
+  r.replications =
+      static_cast<int>(o.integer("replications", 1, 1, 100000));
+  r.pool = static_cast<int>(o.integer("pool", 0, 0, 4096));
+  o.finish();
+  return r;
+}
+
+/// Observables per engine; "obs_counter" additionally needs `metric`,
+/// "final_soc" needs `node` and an energy-coupled fleet.
+bool check_known(Engine engine, const std::string& check) {
+  static const std::set<std::string> net = {
+      "delivered_fraction", "goodput_fraction", "availability",
+      "mttf_s",             "mttr_s",           "latency_p50_s",
+      "latency_p95_s",      "mean_hops",        "generated",
+      "delivered",          "mean_final_soc",   "min_final_soc",
+      "final_soc",          "obs_counter"};
+  static const std::set<std::string> ami = {
+      "delivered_fraction", "responses_fraction",      "events",
+      "responses_rendered", "latency_p50_s",           "latency_p95_s",
+      "personal_battery_days", "system_power_w",
+      "sensor_average_power_w", "obs_counter"};
+  return engine == Engine::Net ? net.count(check) > 0 : ami.count(check) > 0;
+}
+
+AssertionSpec load_assertion(Check& c, const Value& v,
+                             const std::string& path, Engine engine,
+                             bool has_energy) {
+  AssertionSpec a;
+  Check::Obj o(c, v, path);
+  a.check = o.str("check", "");
+  if (a.check.empty())
+    c.report(path, v.line(), "missing required key \"check\"");
+  else if (!check_known(engine, a.check))
+    c.report(path + ".check", v.line(),
+             "unknown check \"" + a.check + "\" for the " +
+                 std::string(to_string(engine)) + " engine");
+  a.op = o.keyword("op", ">=", {">=", ">", "<=", "<", "==", "!="});
+  const Value* val = o.get("value");
+  if (val == nullptr) {
+    c.report(path, v.line(), "missing required key \"value\"");
+  } else if (!val->is_number()) {
+    c.report(path + ".value", val->line(),
+             std::string("expected number, got ") +
+                 json::to_string(val->kind()));
+  } else {
+    a.value = val->as_number();
+  }
+  a.node = static_cast<int>(o.integer("node", -1, 0, 1000000));
+  a.metric = o.str("metric", "");
+  if (a.check == "final_soc" && a.node < 0)
+    c.report(path, v.line(), "check \"final_soc\" needs a \"node\" index");
+  if (a.check == "obs_counter" && a.metric.empty())
+    c.report(path, v.line(),
+             "check \"obs_counter\" needs a \"metric\" name");
+  if ((a.check == "final_soc" || a.check == "mean_final_soc" ||
+       a.check == "min_final_soc") &&
+      !has_energy)
+    c.report(path + ".check", v.line(),
+             "check \"" + a.check +
+                 "\" needs a fleet group with a battery (energy coupling)");
+  o.finish();
+  return a;
+}
+
+}  // namespace
+
+LoadResult Loader::load_text(std::string_view text) const {
+  LoadResult out;
+  Check c(out.diagnostics);
+
+  json::Value root;
+  try {
+    root = json::parse(text);
+  } catch (const json::ParseError& e) {
+    c.report("$", e.line(), e.what());
+    return out;
+  }
+  if (!root.is_object()) {
+    c.report("$", root.line(),
+             std::string("spec must be a JSON object, got ") +
+                 json::to_string(root.kind()));
+    return out;
+  }
+
+  ScenarioSpec spec;
+  Check::Obj o(c, root, "$");
+  spec.name = o.str("name", "unnamed");
+
+  // Fleet first: engine selection drives every later section.
+  const Value* fleet = o.get("fleet");
+  if (fleet == nullptr) {
+    c.report("$", root.line(), "missing required section \"fleet\"");
+    return out;
+  }
+  if (!fleet->is_array() || fleet->items().empty()) {
+    c.report("$.fleet", fleet->line(),
+             "fleet must be a non-empty array of device groups");
+    return out;
+  }
+  for (std::size_t i = 0; i < fleet->items().size(); ++i) {
+    const Value& gv = fleet->items()[i];
+    const std::string gpath = "$.fleet[" + std::to_string(i) + "]";
+    if (!gv.is_object()) {
+      c.report(gpath, gv.line(),
+               std::string("expected object, got ") +
+                   json::to_string(gv.kind()));
+      continue;
+    }
+    spec.fleet.push_back(load_group(c, gv, gpath));
+  }
+
+  const Engine engine = spec.engine();
+
+  // Engine composition rules.
+  if (engine == Engine::Ami) {
+    int milli = 0, watt = 0, micro = 0;
+    for (const FleetGroup& g : spec.fleet) {
+      if (g.device_class == DeviceClass::MilliWatt) milli += g.count;
+      if (g.device_class == DeviceClass::Watt) watt += g.count;
+      if (g.device_class == DeviceClass::MicroWatt) micro += g.count;
+    }
+    if (milli != 1 || watt != 1 || micro < 1)
+      c.report("$.fleet", fleet->line(),
+               "ami engine needs >= 1 microwatt sensors, exactly 1 "
+               "milliwatt personal device, and exactly 1 watt server (got " +
+                   std::to_string(micro) + "/" + std::to_string(milli) +
+                   "/" + std::to_string(watt) + ")");
+    for (std::size_t i = 0; i < spec.fleet.size(); ++i)
+      if (spec.fleet[i].battery || spec.fleet[i].harvester)
+        c.report("$.fleet[" + std::to_string(i) + "]", fleet->line(),
+                 "battery/harvester stanzas apply only to the net engine");
+  } else {
+    if (spec.sensor_count() < 1)
+      c.report("$.fleet", fleet->line(), "net engine needs >= 1 sensor");
+    int with_energy = 0;
+    for (const FleetGroup& g : spec.fleet)
+      if (g.battery || g.harvester) ++with_energy;
+    if (with_energy > 1)
+      c.report("$.fleet", fleet->line(),
+               "energy coupling is fleet-wide: give battery/harvester on "
+               "at most one group");
+    for (std::size_t i = 0; i < spec.fleet.size(); ++i)
+      if (spec.fleet[i].harvester && !spec.fleet[i].battery)
+        c.report("$.fleet[" + std::to_string(i) + "]", fleet->line(),
+                 "a harvester needs a battery to recharge");
+  }
+
+  if (const Value* t = c.object_member(o, "topology")) {
+    if (engine == Engine::Ami)
+      c.report("$.topology", t->line(),
+               "the ami engine has a fixed home topology; remove this "
+               "section");
+    else
+      spec.topology = load_topology(c, *t, "$.topology");
+  }
+
+  if (const Value* w = c.object_member(o, "workload"))
+    spec.workload = load_workload(c, *w, "$.workload", engine);
+
+  if (const Value* f = c.object_member(o, "faults")) {
+    if (engine == Engine::Ami)
+      c.report("$.faults", f->line(),
+               "fault injection is a net-engine feature; remove this "
+               "section");
+    else
+      spec.faults = load_faults(c, *f, "$.faults");
+  }
+
+  if (const Value* r = c.object_member(o, "run"))
+    spec.run = load_run(c, *r, "$.run");
+
+  bool has_energy = false;
+  for (const FleetGroup& g : spec.fleet)
+    if (g.battery) has_energy = true;
+
+  if (const Value* a = o.get("assertions")) {
+    if (!a->is_array()) {
+      c.report("$.assertions", a->line(),
+               std::string("expected array, got ") +
+                   json::to_string(a->kind()));
+    } else {
+      for (std::size_t i = 0; i < a->items().size(); ++i) {
+        const Value& av = a->items()[i];
+        const std::string apath = "$.assertions[" + std::to_string(i) + "]";
+        if (!av.is_object()) {
+          c.report(apath, av.line(),
+                   std::string("expected object, got ") +
+                       json::to_string(av.kind()));
+          continue;
+        }
+        spec.assertions.push_back(
+            load_assertion(c, av, apath, engine, has_energy));
+      }
+    }
+  }
+
+  o.finish();
+
+  if (out.diagnostics.empty()) out.spec = std::move(spec);
+  return out;
+}
+
+LoadResult Loader::load_file(const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LoadResult out;
+    out.diagnostics.push_back(
+        Diagnostic{"$", 0, "cannot open file: " + path});
+    return out;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return load_text(ss.str());
+}
+
+}  // namespace ambisim::scen

@@ -1,0 +1,176 @@
+#include "ambisim/scen/spec.hpp"
+
+#include "ambisim/scen/json.hpp"
+
+namespace ambisim::scen {
+
+const char* to_string(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::MicroWatt: return "microwatt";
+    case DeviceClass::MilliWatt: return "milliwatt";
+    case DeviceClass::Watt: return "watt";
+  }
+  return "?";
+}
+
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::Random: return "random";
+    case TopologyKind::Grid: return "grid";
+    case TopologyKind::Star: return "star";
+  }
+  return "?";
+}
+
+const char* to_string(Engine e) {
+  return e == Engine::Net ? "net" : "ami";
+}
+
+Engine ScenarioSpec::engine() const {
+  for (const FleetGroup& g : fleet)
+    if (g.device_class != DeviceClass::MicroWatt) return Engine::Ami;
+  return Engine::Net;
+}
+
+int ScenarioSpec::sensor_count() const {
+  int n = 0;
+  for (const FleetGroup& g : fleet)
+    if (g.device_class == DeviceClass::MicroWatt) n += g.count;
+  return n;
+}
+
+namespace {
+
+using json::Value;
+
+Value battery_json(const BatterySpec& b) {
+  Value o = Value::object();
+  o.set("kind", Value::string(b.kind));
+  o.set("initial_soc", Value::number(b.initial_soc));
+  o.set("brownout_cutoff_soc", Value::number(b.brownout_cutoff_soc));
+  o.set("brownout_recovery_soc", Value::number(b.brownout_recovery_soc));
+  return o;
+}
+
+Value harvester_json(const HarvesterSpec& h) {
+  Value o = Value::object();
+  if (h.area_cm2 > 0.0) {
+    o.set("area_cm2", Value::number(h.area_cm2));
+    o.set("efficiency", Value::number(h.efficiency));
+  } else {
+    o.set("avg_watt", Value::number(h.avg_watt));
+  }
+  return o;
+}
+
+}  // namespace
+
+std::string to_json(const ScenarioSpec& spec) {
+  Value root = Value::object();
+  root.set("name", Value::string(spec.name));
+
+  Value fleet = Value::array();
+  for (const FleetGroup& g : spec.fleet) {
+    Value go = Value::object();
+    go.set("group", Value::string(g.name));
+    go.set("class", Value::string(to_string(g.device_class)));
+    go.set("count", Value::number(static_cast<double>(g.count)));
+    if (g.battery) go.set("battery", battery_json(*g.battery));
+    if (g.harvester) go.set("harvester", harvester_json(*g.harvester));
+    if (g.baseline_watt > 0.0)
+      go.set("baseline_watt", Value::number(g.baseline_watt));
+    fleet.push(std::move(go));
+  }
+  root.set("fleet", std::move(fleet));
+
+  if (spec.engine() == Engine::Net) {
+    Value topo = Value::object();
+    topo.set("kind", Value::string(to_string(spec.topology.kind)));
+    switch (spec.topology.kind) {
+      case TopologyKind::Random:
+        topo.set("field_side_m", Value::number(spec.topology.field_side_m));
+        break;
+      case TopologyKind::Grid:
+        topo.set("pitch_m", Value::number(spec.topology.pitch_m));
+        break;
+      case TopologyKind::Star:
+        topo.set("radius_m", Value::number(spec.topology.radius_m));
+        break;
+    }
+    topo.set("radio_range_m", Value::number(spec.topology.radio_range_m));
+    if (spec.topology.seed >= 0)
+      topo.set("seed",
+               Value::number(static_cast<double>(spec.topology.seed)));
+    root.set("topology", std::move(topo));
+  }
+
+  Value wl = Value::object();
+  if (spec.engine() == Engine::Net) {
+    wl.set("report_period_s", Value::number(spec.workload.report_period_s));
+    wl.set("packet_bits", Value::number(spec.workload.packet_bits));
+    Value mac = Value::object();
+    mac.set("wake_interval_s",
+            Value::number(spec.workload.mac_wake_interval_s));
+    mac.set("listen_window_s",
+            Value::number(spec.workload.mac_listen_window_s));
+    wl.set("mac", std::move(mac));
+    wl.set("routing", Value::string(spec.workload.routing));
+    wl.set("model_link_errors",
+           Value::boolean(spec.workload.model_link_errors));
+  } else {
+    wl.set("events_per_hour", Value::number(spec.workload.events_per_hour));
+    wl.set("sensor_report_bits",
+           Value::number(spec.workload.sensor_report_bits));
+    wl.set("context_message_bits",
+           Value::number(spec.workload.context_message_bits));
+    wl.set("technology", Value::string(spec.workload.technology));
+  }
+  root.set("workload", std::move(wl));
+
+  if (spec.faults) {
+    const FaultSpec& f = *spec.faults;
+    Value fo = Value::object();
+    fo.set("crash_mttf_s", Value::number(f.crash_mttf_s));
+    fo.set("crash_mttr_s", Value::number(f.crash_mttr_s));
+    fo.set("reboot_s", Value::number(f.reboot_s));
+    fo.set("link_mtbf_s", Value::number(f.link_mtbf_s));
+    fo.set("link_mttr_s", Value::number(f.link_mttr_s));
+    fo.set("corruption_rate", Value::number(f.corruption_rate));
+    fo.set("clock_drift_ppm", Value::number(f.clock_drift_ppm));
+    fo.set("sink_immune", Value::boolean(f.sink_immune));
+    fo.set("deadline_s", Value::number(f.deadline_s));
+    Value ro = Value::object();
+    ro.set("max_attempts",
+           Value::number(static_cast<double>(f.retry.max_attempts)));
+    ro.set("timeout_s", Value::number(f.retry.timeout_s));
+    ro.set("backoff", Value::number(f.retry.backoff));
+    ro.set("max_backoff_s", Value::number(f.retry.max_backoff_s));
+    fo.set("retry", std::move(ro));
+    root.set("faults", std::move(fo));
+  }
+
+  Value run = Value::object();
+  run.set("duration_s", Value::number(spec.run.duration_s));
+  run.set("seed", Value::number(static_cast<double>(spec.run.seed)));
+  run.set("replications",
+          Value::number(static_cast<double>(spec.run.replications)));
+  run.set("pool", Value::number(static_cast<double>(spec.run.pool)));
+  root.set("run", std::move(run));
+
+  Value asserts = Value::array();
+  for (const AssertionSpec& a : spec.assertions) {
+    Value ao = Value::object();
+    ao.set("check", Value::string(a.check));
+    if (a.node >= 0)
+      ao.set("node", Value::number(static_cast<double>(a.node)));
+    if (!a.metric.empty()) ao.set("metric", Value::string(a.metric));
+    ao.set("op", Value::string(a.op));
+    ao.set("value", Value::number(a.value));
+    asserts.push(std::move(ao));
+  }
+  root.set("assertions", std::move(asserts));
+
+  return json::dump(root, 2) + "\n";
+}
+
+}  // namespace ambisim::scen

@@ -1,0 +1,230 @@
+// Lowering and execution: a spec produces the exact config a hand-written
+// example would, replication batches are bit-identical at any pool size,
+// and assertions evaluate against the aggregate.
+#include "ambisim/scen/build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ambisim/core/scenario.hpp"
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/obs/obs.hpp"
+#include "ambisim/scen/loader.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+namespace {
+
+scen::ScenarioSpec load(const char* text) {
+  const auto r = scen::Loader{}.load_text(text);
+  EXPECT_TRUE(r.ok()) << r.format_diagnostics();
+  return *r.spec;
+}
+
+constexpr const char* kNetSpec = R"({
+  "name": "net",
+  "fleet": [ { "class": "microwatt", "count": 24 } ],
+  "topology": { "kind": "random", "field_side_m": 40, "radio_range_m": 15 },
+  "workload": {
+    "report_period_s": 10,
+    "packet_bits": 512,
+    "mac": { "wake_interval_s": 0.5, "listen_window_s": 0.005 },
+  },
+  "run": { "duration_s": 1800, "seed": 42 },
+})";
+
+TEST(ScenBuild, NetSpecReproducesHandWrittenRun) {
+  const auto spec = load(kNetSpec);
+
+  // The config an engineer would write by hand for the same experiment.
+  net::PacketSimConfig hand;
+  hand.node_count = 25;  // 24 sensors + sink
+  hand.field_side = u::Length(40.0);
+  hand.radio_range = u::Length(15.0);
+  hand.report_period = u::Time(10.0);
+  hand.packet_bits = u::Information(512.0);
+  hand.mac = net::DutyCycledMac{u::Time(0.5), u::Time(0.005)};
+  hand.duration = u::Time(1800.0);
+  hand.seed = 42;
+  const auto direct = net::simulate_packets(hand);
+
+  const auto summary = scen::run_scenario(spec);
+  ASSERT_EQ(summary.replications.size(), 1u);
+  const auto& rep = summary.replications[0];
+  EXPECT_EQ(rep.generated, direct.generated);
+  EXPECT_EQ(rep.delivered, direct.delivered);
+  EXPECT_DOUBLE_EQ(rep.mean_hops, direct.mean_hops);
+  EXPECT_DOUBLE_EQ(rep.latency_p95_s,
+                   direct.end_to_end_latency.percentile(95.0));
+}
+
+TEST(ScenBuild, AmiSpecReproducesHandWrittenRun) {
+  const auto spec = load(R"({
+  "fleet": [
+    { "class": "microwatt", "count": 12 },
+    { "class": "milliwatt", "count": 1 },
+    { "class": "watt", "count": 1 },
+  ],
+  "workload": { "events_per_hour": 20 },
+  "run": { "duration_s": 86400, "seed": 7 },
+})");
+
+  core::AmiScenarioConfig hand;
+  hand.sensor_count = 12;
+  hand.events_per_hour = 20.0;
+  const auto direct = core::run_ami_scenario(hand);
+
+  const auto summary = scen::run_scenario(spec);
+  ASSERT_EQ(summary.replications.size(), 1u);
+  const auto& rep = summary.replications[0];
+  EXPECT_EQ(rep.events, direct.events);
+  EXPECT_EQ(rep.responses, direct.responses_rendered);
+  EXPECT_DOUBLE_EQ(rep.personal_battery_days, direct.personal_battery_days);
+  EXPECT_DOUBLE_EQ(rep.system_power_w, direct.system_power.value());
+}
+
+TEST(ScenBuild, BuildRejectsEngineMismatch) {
+  const auto net_spec = load(kNetSpec);
+  EXPECT_THROW((void)scen::build_ami_config(net_spec),
+               std::invalid_argument);
+  const auto ami_spec = load(R"({
+  "fleet": [
+    { "class": "microwatt", "count": 2 },
+    { "class": "milliwatt", "count": 1 },
+    { "class": "watt", "count": 1 },
+  ],
+})");
+  EXPECT_THROW((void)scen::build_packet_config(ami_spec),
+               std::invalid_argument);
+}
+
+TEST(ScenBuild, ChecksumIsPoolInvariant) {
+  auto spec = load(kNetSpec);
+  spec.run.replications = 6;
+  std::uint64_t first = 0;
+  for (const int pool : {1, 2, 8}) {
+    scen::RunOverrides o;
+    o.pool = pool;
+    const auto s = scen::run_scenario(spec, o);
+    if (pool == 1)
+      first = s.checksum;
+    else
+      EXPECT_EQ(s.checksum, first) << "pool " << pool;
+  }
+  EXPECT_NE(first, 0u);
+}
+
+TEST(ScenBuild, RerunIsBitIdentical) {
+  const auto spec = load(kNetSpec);
+  const auto a = scen::run_scenario(spec);
+  const auto b = scen::run_scenario(spec);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+TEST(ScenBuild, OverridesReplaceRunStanza) {
+  const auto spec = load(kNetSpec);
+  scen::RunOverrides o;
+  o.replications = 3;
+  const auto s = scen::run_scenario(spec, o);
+  EXPECT_EQ(s.replications.size(), 3u);
+}
+
+TEST(ScenBuild, PinnedTopologySeedDecouplesPlacementFromRunSeed) {
+  auto pinned = load(R"({
+  "fleet": [ { "class": "microwatt", "count": 12 } ],
+  "topology": { "kind": "random", "field_side_m": 30, "seed": 99 },
+  "run": { "duration_s": 600, "seed": 1 },
+})");
+  const auto cfg = scen::build_packet_config(pinned);
+  ASSERT_TRUE(cfg.placement.has_value());
+  EXPECT_EQ(cfg.placement->size(), 13);
+  // Same layout regardless of the run seed.
+  pinned.run.seed = 2;
+  const auto cfg2 = scen::build_packet_config(pinned);
+  ASSERT_TRUE(cfg2.placement.has_value());
+  EXPECT_EQ(cfg.placement->position(3).x, cfg2.placement->position(3).x);
+}
+
+TEST(ScenBuild, GridAndStarTopologiesLowerToPlacements) {
+  auto spec = load(R"({
+  "fleet": [ { "class": "microwatt", "count": 8 } ],
+  "topology": { "kind": "grid", "pitch_m": 8 },
+  "run": { "duration_s": 600 },
+})");
+  const auto grid = scen::build_packet_config(spec);
+  ASSERT_TRUE(grid.placement.has_value());
+  EXPECT_EQ(grid.placement->size(), 9);
+
+  spec.topology.kind = scen::TopologyKind::Star;
+  const auto star = scen::build_packet_config(spec);
+  ASSERT_TRUE(star.placement.has_value());
+  // Star: every sensor one radius from the hub at node 0.
+  const auto hub = star.placement->position(0);
+  const auto p = star.placement->position(4);
+  const double dx = p.x - hub.x;
+  const double dy = p.y - hub.y;
+  EXPECT_NEAR(std::sqrt(dx * dx + dy * dy), 12.0, 1e-9);
+}
+
+TEST(ScenBuild, EnergyCoupledSpecReportsFinalSoc) {
+  const auto spec = load(R"({
+  "fleet": [ { "class": "microwatt", "count": 10,
+               "battery": { "kind": "thin_film_1mAh" },
+               "harvester": { "area_cm2": 2.0 } } ],
+  "run": { "duration_s": 3600, "seed": 3 },
+})");
+  const auto s = scen::run_scenario(spec);
+  ASSERT_EQ(s.replications.size(), 1u);
+  const auto& rep = s.replications[0];
+  ASSERT_EQ(rep.final_soc.size(), 11u);
+  EXPECT_DOUBLE_EQ(rep.final_soc[0], -1.0);  // immune, batteryless sink
+  EXPECT_GE(rep.mean_final_soc, 0.0);
+  EXPECT_LE(rep.mean_final_soc, 1.0);
+  EXPECT_LE(rep.min_final_soc, rep.mean_final_soc);
+}
+
+TEST(ScenBuild, AssertionsEvaluateAgainstAggregate) {
+  auto spec = load(kNetSpec);
+  spec.assertions.push_back({"delivered_fraction", ">=", 0.5, -1, ""});
+  spec.assertions.push_back({"delivered_fraction", ">=", 1.1, -1, ""});
+  const auto s = scen::run_scenario(spec);
+  ASSERT_EQ(s.assertions.size(), 2u);
+  EXPECT_TRUE(s.assertions[0].passed);
+  EXPECT_FALSE(s.assertions[1].passed);
+  EXPECT_FALSE(s.assertions_passed);
+  EXPECT_DOUBLE_EQ(s.assertions[0].observed, s.assertions[1].observed);
+}
+
+TEST(ScenBuild, PerNodeFinalSocAssertionReadsReplicationZero) {
+  const auto spec = load(R"({
+  "fleet": [ { "class": "microwatt", "count": 6,
+               "battery": { "kind": "coin_cell_cr2032" } } ],
+  "run": { "duration_s": 1200, "seed": 5, "replications": 2 },
+  "assertions": [ { "check": "final_soc", "node": 2, "op": ">",
+                    "value": 0.0 } ],
+})");
+  const auto s = scen::run_scenario(spec);
+  ASSERT_EQ(s.assertions.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.assertions[0].observed,
+                   s.replications.front().final_soc[2]);
+}
+
+#if AMBISIM_OBS_COMPILED
+TEST(ScenBuild, ObsCounterAssertionArmsProbesAndReadsMetric) {
+  const bool was_enabled = obs::enabled();
+  auto spec = load(kNetSpec);
+  spec.assertions.push_back(
+      {"obs_counter", ">", 0.0, -1, "net.packets_generated"});
+  const auto s = scen::run_scenario(spec);
+  ASSERT_EQ(s.assertions.size(), 1u);
+  EXPECT_TRUE(s.assertions[0].passed) << "observed "
+                                      << s.assertions[0].observed;
+  EXPECT_DOUBLE_EQ(s.assertions[0].observed,
+                   static_cast<double>(s.replications[0].generated));
+  EXPECT_EQ(obs::enabled(), was_enabled);
+}
+#endif
+
+}  // namespace

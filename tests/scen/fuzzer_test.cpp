@@ -1,0 +1,137 @@
+// Fuzzer contracts: generation is a pure function of (seed, index) with a
+// committed byte-level golden, every generated scenario satisfies the
+// engine invariants end to end, and shrinking converges on a minimal spec
+// that still fails the caller's predicate.
+#include "ambisim/scen/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "ambisim/scen/build.hpp"
+#include "ambisim/scen/loader.hpp"
+
+using namespace ambisim;
+
+namespace {
+
+TEST(ScenFuzzer, GenerationIsPure) {
+  scen::Fuzzer a, b;
+  for (const std::uint64_t i : {0ull, 1ull, 17ull, 999ull})
+    EXPECT_EQ(to_json(a.generate(i)), to_json(b.generate(i))) << i;
+  // Out-of-order calls see the same specs as in-order ones.
+  const std::string late_first = to_json(a.generate(5));
+  (void)a.generate(0);
+  EXPECT_EQ(to_json(a.generate(5)), late_first);
+}
+
+TEST(ScenFuzzer, GenerationChecksumGolden) {
+  // Committed golden: 50 specs from root seed 1.  A change here means the
+  // generator's byte output moved — deliberate generator changes must
+  // update this constant and say so in the commit message.
+  scen::Fuzzer fuzzer;
+  EXPECT_EQ(fuzzer.generation_checksum(50), 0x991e5d9a508401a3ull);
+}
+
+TEST(ScenFuzzer, DifferentRootSeedsDiverge) {
+  scen::FuzzConfig c2;
+  c2.root_seed = 2;
+  EXPECT_NE(scen::Fuzzer().generation_checksum(10),
+            scen::Fuzzer(c2).generation_checksum(10));
+}
+
+TEST(ScenFuzzer, GeneratedSpecsAreLoaderValid) {
+  scen::Fuzzer fuzzer;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto spec = fuzzer.generate(i);
+    const auto r = scen::Loader{}.load_text(to_json(spec));
+    ASSERT_TRUE(r.ok()) << "spec " << i << ":\n"
+                        << r.format_diagnostics() << to_json(spec);
+  }
+}
+
+// Tier-1 smoke: 50 seed-derived scenarios end to end, every invariant
+// holding, and the campaign checksum matching pure generation.
+TEST(ScenFuzzer, FiftyScenarioCampaignHoldsInvariants) {
+  scen::Fuzzer fuzzer;
+  const auto result = fuzzer.run(50);
+  EXPECT_EQ(result.executed, 50u);
+  for (const auto& [index, reason] : result.failed)
+    ADD_FAILURE() << "scenario " << index << ": " << reason;
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.spec_checksum, fuzzer.generation_checksum(50));
+}
+
+TEST(ScenFuzzer, CheckFlagsPoolDependenceViaBrokenSpec) {
+  // An Ami-composition spec cannot come out of generate(); check() must
+  // still accept hand-made specs, so feed it one with an impossible
+  // tautology replaced — the assertion invariant has to trip.
+  scen::Fuzzer fuzzer;
+  auto spec = fuzzer.generate(0);
+  spec.assertions.clear();
+  spec.assertions.push_back({"delivered_fraction", ">=", 1.1, -1, ""});
+  const auto v = fuzzer.check(spec);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.failure.find("assertion failed"), std::string::npos)
+      << v.failure;
+}
+
+TEST(ScenFuzzer, ShrinkProducesMinimalStillFailingSpec) {
+  scen::Fuzzer fuzzer;
+  // Find a generated spec with faults and several knobs to strip.
+  scen::ScenarioSpec seedspec;
+  bool found = false;
+  for (std::uint64_t i = 0; i < 50 && !found; ++i) {
+    seedspec = fuzzer.generate(i);
+    found = seedspec.faults.has_value() && seedspec.run.replications > 1;
+  }
+  ASSERT_TRUE(found);
+  seedspec.assertions.push_back({"delivered_fraction", ">=", 1.1, -1, ""});
+
+  const auto still_fails = [](const scen::ScenarioSpec& s) {
+    return !scen::run_scenario(s).assertions_passed;
+  };
+  ASSERT_TRUE(still_fails(seedspec));
+  const auto minimal = scen::Fuzzer::shrink(seedspec, still_fails);
+
+  // The impossible assertion keeps failing on the shrunken spec...
+  EXPECT_TRUE(still_fails(minimal));
+  // ...and everything droppable is gone.
+  EXPECT_EQ(minimal.run.replications, 1);
+  EXPECT_FALSE(minimal.faults.has_value());
+  EXPECT_EQ(minimal.fleet.size(), 1u);
+  EXPECT_EQ(minimal.fleet[0].count, 1);
+  EXPECT_LE(minimal.run.duration_s, 60.0);
+  ASSERT_EQ(minimal.assertions.size(), 1u);
+  EXPECT_EQ(minimal.assertions[0].check, "delivered_fraction");
+  // Repro discipline: the minimal spec is still loader-valid.
+  EXPECT_TRUE(scen::Loader{}.load_text(to_json(minimal)).ok());
+}
+
+TEST(ScenFuzzer, ShrinkKeepsSpecWhenNothingReduces) {
+  scen::Fuzzer fuzzer;
+  auto spec = fuzzer.generate(1);
+  // A predicate that rejects every edit: shrink must return the input.
+  const std::string original = to_json(spec);
+  const auto never = [](const scen::ScenarioSpec&) { return false; };
+  // still_fails(spec) is not required to hold for the *input*; shrink only
+  // keeps edits the predicate blesses, so nothing changes here.
+  EXPECT_EQ(to_json(scen::Fuzzer::shrink(spec, never)), original);
+}
+
+TEST(ScenFuzzer, WriteReproRoundTrips) {
+  scen::Fuzzer fuzzer;
+  const auto spec = fuzzer.generate(3);
+  const std::string path =
+      testing::TempDir() + "/ambisim_repro_test.scen.json";
+  ASSERT_TRUE(scen::Fuzzer::write_repro(spec, path));
+  const auto r = scen::Loader{}.load_file(path);
+  ASSERT_TRUE(r.ok()) << r.format_diagnostics();
+  EXPECT_EQ(to_json(*r.spec), to_json(spec));
+  std::remove(path.c_str());
+  EXPECT_FALSE(
+      scen::Fuzzer::write_repro(spec, "/nonexistent/dir/repro.json"));
+}
+
+}  // namespace

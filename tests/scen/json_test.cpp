@@ -1,0 +1,149 @@
+// The scenario JSON dialect: strict JSON + comments + trailing commas,
+// with everything a spec must never smuggle through rejected at a
+// position the loader can point at.
+#include "ambisim/scen/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace json = ambisim::scen::json;
+
+namespace {
+
+json::ParseError capture(const std::string& text) {
+  try {
+    (void)json::parse(text);
+  } catch (const json::ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected ParseError for: " << text;
+  return json::ParseError("unreached", 0, 0);
+}
+
+TEST(ScenJson, ParsesScalarsAndStructure) {
+  const auto v = json::parse(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"d": "x"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.5);
+  ASSERT_TRUE(v.find("b")->is_array());
+  EXPECT_EQ(v.find("b")->items().size(), 3u);
+  EXPECT_TRUE(v.find("b")->items()[0].as_bool());
+  EXPECT_TRUE(v.find("b")->items()[2].is_null());
+  EXPECT_EQ(v.find("c")->find("d")->as_string(), "x");
+}
+
+TEST(ScenJson, AllowsCommentsAndTrailingCommas) {
+  const auto v = json::parse(R"(
+    // line comment
+    {
+      "a": 1, /* block
+                 comment */
+      "b": [1, 2, 3,],
+    }
+  )");
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.0);
+  EXPECT_EQ(v.find("b")->items().size(), 3u);
+}
+
+TEST(ScenJson, TracksLineAndColumn) {
+  const auto v = json::parse("{\n  \"a\": 7\n}");
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->line(), 2);
+  EXPECT_EQ(a->col(), 8);
+}
+
+TEST(ScenJson, RejectsDuplicateKeys) {
+  const auto e = capture(R"({"a": 1, "a": 2})");
+  EXPECT_NE(std::string(e.what()).find("duplicate key"), std::string::npos);
+  EXPECT_EQ(e.line(), 1);
+}
+
+TEST(ScenJson, RejectsTrailingGarbage) {
+  const auto e = capture("{\"a\": 1} {\"b\": 2}");
+  EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+}
+
+TEST(ScenJson, RejectsDeepNesting) {
+  std::string deep(json::kMaxNestingDepth + 1, '[');
+  const auto e = capture(deep);
+  EXPECT_NE(std::string(e.what()).find("nest"), std::string::npos);
+  // Exactly at the cap is still fine.
+  std::string ok;
+  for (int i = 0; i < json::kMaxNestingDepth; ++i) ok += '[';
+  for (int i = 0; i < json::kMaxNestingDepth; ++i) ok += ']';
+  EXPECT_NO_THROW((void)json::parse(ok));
+}
+
+TEST(ScenJson, RejectsNaNAndInfinityLiterals) {
+  EXPECT_THROW((void)json::parse("NaN"), json::ParseError);
+  EXPECT_THROW((void)json::parse("Infinity"), json::ParseError);
+  EXPECT_THROW((void)json::parse("-Infinity"), json::ParseError);
+  EXPECT_THROW((void)json::parse("{\"a\": nan}"), json::ParseError);
+}
+
+TEST(ScenJson, RejectsNumericOverflowToInfinity) {
+  const auto e = capture("{\"a\": 1e999}");
+  EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+}
+
+TEST(ScenJson, RejectsLeadingZerosAndBareSigns) {
+  EXPECT_THROW((void)json::parse("007"), json::ParseError);
+  EXPECT_THROW((void)json::parse("+1"), json::ParseError);
+  EXPECT_THROW((void)json::parse("-"), json::ParseError);
+  EXPECT_THROW((void)json::parse(".5"), json::ParseError);
+  EXPECT_NO_THROW((void)json::parse("0.5"));
+  EXPECT_NO_THROW((void)json::parse("-0.5e-3"));
+}
+
+TEST(ScenJson, RejectsControlCharactersInStrings) {
+  EXPECT_THROW((void)json::parse("\"a\nb\""), json::ParseError);
+  EXPECT_THROW((void)json::parse("\"a\tb\""), json::ParseError);
+  EXPECT_NO_THROW((void)json::parse(R"("a\nb\tc")"));
+}
+
+TEST(ScenJson, DecodesEscapesAndSurrogatePairs) {
+  EXPECT_EQ(json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(json::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+  // A lone surrogate is not a code point.
+  EXPECT_THROW((void)json::parse(R"("\ud83d")"), json::ParseError);
+}
+
+TEST(ScenJson, RejectsTruncatedDocuments) {
+  EXPECT_THROW((void)json::parse(""), json::ParseError);
+  EXPECT_THROW((void)json::parse("{\"a\": "), json::ParseError);
+  EXPECT_THROW((void)json::parse("[1, 2"), json::ParseError);
+  EXPECT_THROW((void)json::parse("\"abc"), json::ParseError);
+  EXPECT_THROW((void)json::parse("/* unterminated"), json::ParseError);
+}
+
+TEST(ScenJson, DumpParsesBackIdentically) {
+  const char* text =
+      R"({"name": "x", "values": [1, 2.5, 1e-9], "flag": true, "none": null})";
+  const auto v = json::parse(text);
+  const std::string once = json::dump(v);
+  const std::string twice = json::dump(json::parse(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ScenJson, FormatNumberIsShortestRoundTrip) {
+  EXPECT_EQ(json::format_number(1.0), "1");
+  EXPECT_EQ(json::format_number(0.5), "0.5");
+  EXPECT_EQ(json::format_number(-3.0), "-3");
+  EXPECT_EQ(json::format_number(0.1), "0.1");
+}
+
+TEST(ScenJson, BuildersEnforceObjectDiscipline) {
+  auto obj = json::Value::object();
+  obj.set("a", json::Value::number(1.0));
+  EXPECT_THROW(obj.set("a", json::Value::number(2.0)), std::runtime_error);
+  EXPECT_THROW(obj.push(json::Value::null()), std::runtime_error);
+  auto arr = json::Value::array();
+  arr.push(json::Value::boolean(true));
+  EXPECT_THROW(arr.set("k", json::Value::null()), std::runtime_error);
+}
+
+}  // namespace

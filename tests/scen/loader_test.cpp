@@ -1,0 +1,249 @@
+// Loader validation: strict unknown-key detection, typed range checks,
+// engine composition rules, and golden error-message formats with JSON
+// path + line context.
+#include "ambisim/scen/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+using ambisim::scen::LoadResult;
+using ambisim::scen::Loader;
+
+namespace {
+
+constexpr const char* kMinimalNet = R"({
+  "fleet": [ { "group": "sensors", "class": "microwatt", "count": 8 } ],
+})";
+
+constexpr const char* kMinimalAmi = R"({
+  "fleet": [
+    { "class": "microwatt", "count": 4 },
+    { "class": "milliwatt", "count": 1 },
+    { "class": "watt", "count": 1 },
+  ],
+})";
+
+bool has_diag(const LoadResult& r, const std::string& needle) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const auto& d) {
+                       return d.format().find(needle) != std::string::npos;
+                     });
+}
+
+TEST(ScenLoader, MinimalNetSpecLoadsWithDefaults) {
+  const auto r = Loader{}.load_text(kMinimalNet);
+  ASSERT_TRUE(r.ok()) << r.format_diagnostics();
+  EXPECT_EQ(r.spec->engine(), ambisim::scen::Engine::Net);
+  EXPECT_EQ(r.spec->sensor_count(), 8);
+  EXPECT_DOUBLE_EQ(r.spec->run.duration_s, 3600.0);
+  EXPECT_EQ(r.spec->run.replications, 1);
+  EXPECT_FALSE(r.spec->faults.has_value());
+}
+
+TEST(ScenLoader, MinimalAmiSpecSelectsAmiEngine) {
+  const auto r = Loader{}.load_text(kMinimalAmi);
+  ASSERT_TRUE(r.ok()) << r.format_diagnostics();
+  EXPECT_EQ(r.spec->engine(), ambisim::scen::Engine::Ami);
+  EXPECT_EQ(r.spec->sensor_count(), 4);
+}
+
+TEST(ScenLoader, UnknownKeyGoldenDiagnostic) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2 } ],
+  "run": {
+    "sed": 3
+  },
+})");
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].format(),
+            "$.run (line 4): unknown key \"sed\"");
+}
+
+TEST(ScenLoader, TypeMismatchGoldenDiagnostic) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2 } ],
+  "run": { "duration_s": "long" },
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diagnostics[0].format(),
+            "$.run.duration_s (line 3): expected number, got string");
+}
+
+TEST(ScenLoader, RangeViolationGoldenDiagnostic) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2,
+               "battery": { "initial_soc": 1.5 } } ],
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diagnostics[0].format(),
+            "$.fleet[0].battery.initial_soc (line 3): "
+            "must be in [0, 1] (got 1.5)");
+}
+
+TEST(ScenLoader, CollectsEveryDiagnosticInOnePass) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 0 } ],
+  "run": { "pool": -1, "bogus": true },
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_GE(r.diagnostics.size(), 3u);
+  EXPECT_TRUE(has_diag(r, "$.fleet[0].count"));
+  EXPECT_TRUE(has_diag(r, "$.run.pool"));
+  EXPECT_TRUE(has_diag(r, "unknown key \"bogus\""));
+}
+
+TEST(ScenLoader, KeywordOutsideClosedSetIsRejected) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2 } ],
+  "workload": { "routing": "shortest_path" },
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "$.workload.routing"));
+  EXPECT_TRUE(has_diag(r, "\"min_hop\", \"min_energy\""));
+}
+
+TEST(ScenLoader, AmiCompositionNeedsExactlyOnePersonalAndOneServer) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "microwatt", "count": 4 },
+    { "class": "milliwatt", "count": 2 },
+    { "class": "watt", "count": 1 },
+  ],
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "exactly 1"));
+}
+
+TEST(ScenLoader, EnergyCouplingLimitedToOneGroup) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "microwatt", "count": 2,
+      "battery": { "kind": "thin_film_1mAh" } },
+    { "class": "microwatt", "count": 2,
+      "battery": { "kind": "coin_cell_cr2032" } },
+  ],
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "at most one group"));
+}
+
+TEST(ScenLoader, HarvesterWithoutBatteryIsRejected) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2,
+               "harvester": { "avg_watt": 0.001 } } ],
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "needs a battery"));
+}
+
+TEST(ScenLoader, HarvesterNeedsExactlyOnePowerSource) {
+  const auto both = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2,
+               "battery": {},
+               "harvester": { "avg_watt": 0.001, "area_cm2": 2.0 } } ],
+})");
+  ASSERT_FALSE(both.ok());
+  EXPECT_TRUE(has_diag(both, "not both"));
+  const auto neither = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2,
+               "battery": {},
+               "harvester": {} } ],
+})");
+  ASSERT_FALSE(neither.ok());
+  EXPECT_TRUE(has_diag(neither, "avg_watt or area_cm2"));
+}
+
+TEST(ScenLoader, TopologyAndFaultsRejectedForAmiEngine) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "microwatt", "count": 4 },
+    { "class": "milliwatt", "count": 1 },
+    { "class": "watt", "count": 1 },
+  ],
+  "topology": { "kind": "grid" },
+  "faults": { "crash_mttf_s": 100 },
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "$.topology"));
+  EXPECT_TRUE(has_diag(r, "$.faults"));
+}
+
+TEST(ScenLoader, KindInapplicableTopologyKeyIsRejected) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2 } ],
+  "topology": { "kind": "grid", "field_side_m": 40 },
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "applies only to kind \"random\""));
+}
+
+TEST(ScenLoader, SeedBeyondExactDoubleRangeIsRejected) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2 } ],
+  "run": { "seed": 1e16 },
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "$.run.seed"));
+}
+
+TEST(ScenLoader, FinalSocAssertionNeedsNodeAndEnergy) {
+  const auto no_node = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2, "battery": {} } ],
+  "assertions": [ { "check": "final_soc", "value": 0.5 } ],
+})");
+  ASSERT_FALSE(no_node.ok());
+  EXPECT_TRUE(has_diag(no_node, "needs a \"node\" index"));
+  const auto no_energy = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2 } ],
+  "assertions": [ { "check": "final_soc", "node": 1, "value": 0.5 } ],
+})");
+  ASSERT_FALSE(no_energy.ok());
+  EXPECT_TRUE(has_diag(no_energy, "energy coupling"));
+}
+
+TEST(ScenLoader, ObsCounterAssertionNeedsMetricName) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2 } ],
+  "assertions": [ { "check": "obs_counter", "value": 1 } ],
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "needs a \"metric\" name"));
+}
+
+TEST(ScenLoader, UnknownCheckNamesTheEngine) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2 } ],
+  "assertions": [ { "check": "personal_battery_days", "value": 5 } ],
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(
+      r, "unknown check \"personal_battery_days\" for the net engine"));
+}
+
+TEST(ScenLoader, ParseErrorSurfacesAsRootDiagnostic) {
+  const auto r = Loader{}.load_text("{\"fleet\": [}");
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].path, "$");
+  EXPECT_EQ(r.diagnostics[0].line, 1);
+}
+
+TEST(ScenLoader, MissingFileReportsCleanly) {
+  const auto r = Loader{}.load_file("/nonexistent/spec.scen.json");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "cannot open file"));
+}
+
+TEST(ScenLoader, AmiWorkloadKeysRejectedOnNetEngine) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [ { "class": "microwatt", "count": 2 } ],
+  "workload": { "events_per_hour": 10 },
+})");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "applies only to the ami engine"));
+}
+
+}  // namespace
