@@ -1,0 +1,157 @@
+// AIOT: wireless-power coverage vs gateway TX power.
+//
+// A field of battery-free backscatter tags is swept across gateway
+// illuminator powers {0.5, 1, 2, 4, 8} W.  Every point runs a paired
+// replication study (replication i redraws the same field layout at every
+// power, so the sweep is a common-random-numbers comparison) and records
+// the delivered fraction, tag coverage, charge latency, and brown-out
+// availability of the charge-then-burst MAC.
+//
+// Emits BENCH_aiot.json and exits non-zero unless (a) the delivered
+// fraction increases strictly monotonically with gateway power — more
+// incident microwatts mean faster charging and a better monostatic uplink,
+// so a non-monotone curve means the power-transfer plumbing is broken, not
+// noisy — and (b) the replication study is checksum-identical at worker
+// pools {1, 2, 8} (the exec determinism contract for the aiot engine).
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "ambisim/aiot/wpt_sim.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+constexpr std::size_t kReplications = 8;
+constexpr std::uint64_t kRootSeed = 2003;
+const double kGatewayWatts[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+
+aiot::WptSimConfig base_config(double tx_w) {
+  aiot::WptSimConfig cfg;
+  cfg.tag_count = 32;
+  cfg.field_side = u::Length(30.0);
+  cfg.seed = 100;  // replication 0; the study reseeds i > 0 from kRootSeed
+  cfg.gateway_tx_w = tx_w;
+  cfg.duration_s = 1800.0;
+  return cfg;
+}
+
+struct SweepPoint {
+  double tx_w = 0.0;
+  double delivered_fraction = 0.0;
+  double coverage_fraction = 0.0;
+  double charge_latency_s = 0.0;
+  double availability = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+SweepPoint run_point(double tx_w) {
+  const auto study = aiot::run_wpt_study(base_config(tx_w), kReplications,
+                                         kRootSeed);
+  SweepPoint pt;
+  pt.tx_w = tx_w;
+  pt.delivered_fraction = study.delivered_fraction.mean();
+  pt.coverage_fraction = study.coverage_fraction.mean();
+  pt.charge_latency_s = study.mean_charge_latency_s.mean();
+  pt.availability = study.availability.mean();
+  pt.checksum = study.checksum;
+  return pt;
+}
+
+void print_aiot() {
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(std::size(kGatewayWatts));
+  for (const double tx : kGatewayWatts) sweep.push_back(run_point(tx));
+
+  sim::Table t("AIOT: coverage vs gateway TX power (32 tags, 30 m field, " +
+                   std::to_string(kReplications) + " replications)",
+               {"gateway_w", "delivered_frac", "coverage_frac",
+                "charge_latency_s", "availability"});
+  bool monotone = true;
+  for (std::size_t k = 0; k < sweep.size(); ++k) {
+    const SweepPoint& pt = sweep[k];
+    t.add_row({pt.tx_w, pt.delivered_fraction, pt.coverage_fraction,
+               pt.charge_latency_s, pt.availability});
+    if (k > 0 && pt.delivered_fraction <= sweep[k - 1].delivered_fraction)
+      monotone = false;
+  }
+  std::cout << t << "delivered fraction monotone increasing: "
+            << (monotone ? "YES" : "NO") << "\n\n";
+
+  // Determinism gate: the 2 W study must be bit-identical at pools 1/2/8.
+  bool pool_identical = true;
+  std::uint64_t pool1 = 0;
+  for (const unsigned pool : {1u, 2u, 8u}) {
+    exec::ExecConfig ec;
+    ec.threads = pool;
+    const auto study =
+        aiot::run_wpt_study(base_config(2.0), kReplications, kRootSeed, ec);
+    if (pool == 1u)
+      pool1 = study.checksum;
+    else if (study.checksum != pool1)
+      pool_identical = false;
+  }
+  std::cout << "replication study checksum-identical at pools {1,2,8}: "
+            << (pool_identical ? "YES" : "NO") << "\n\n";
+
+  std::ofstream json("BENCH_aiot.json");
+  json << "{\n";
+  bench_util::manifest_field(json,
+                             bench_util::run_manifest("aiot", kRootSeed));
+  json << "  \"bench\": \"aiot\",\n"
+       << "  \"replications\": " << kReplications << ",\n"
+       << "  \"root_seed\": " << kRootSeed << ",\n"
+       << "  \"tags\": 32,\n"
+       << "  \"points\": [\n";
+  for (std::size_t k = 0; k < sweep.size(); ++k) {
+    const SweepPoint& pt = sweep[k];
+    json << "    {\"gateway_tx_w\": " << pt.tx_w
+         << ", \"delivered_fraction\": " << pt.delivered_fraction
+         << ", \"coverage_fraction\": " << pt.coverage_fraction
+         << ", \"charge_latency_s\": " << pt.charge_latency_s
+         << ", \"availability\": " << pt.availability
+         << ", \"checksum\": " << pt.checksum << "}"
+         << (k + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"delivered_fraction_monotone\": "
+       << (monotone ? "true" : "false") << ",\n"
+       << "  \"pool_checksum_identical\": "
+       << (pool_identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote BENCH_aiot.json\n\n";
+
+  if (!monotone) {
+    std::cerr << "FATAL: delivered fraction did not increase monotonically "
+                 "with gateway TX power\n";
+    std::exit(1);
+  }
+  if (!pool_identical) {
+    std::cerr << "FATAL: aiot replication study is pool-size dependent\n";
+    std::exit(1);
+  }
+}
+
+/// Microbenchmark: one wireless-power replication end to end (placement,
+/// rectenna chain, link table, charge-then-burst lifecycle, stats).
+void BM_wpt_sim(benchmark::State& state) {
+  long long bursts = 0;
+  for (auto _ : state) {
+    const auto r = aiot::simulate_wpt(base_config(2.0));
+    bursts += r.bursts;
+  }
+  benchmark::DoNotOptimize(bursts);
+}
+BENCHMARK(BM_wpt_sim)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_aiot)

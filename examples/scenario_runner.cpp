@@ -144,8 +144,12 @@ int run_one(const std::string& path, const Options& opt) {
   }
   const auto& spec = *loaded.spec;
   if (opt.validate) {
-    std::cout << path << ": ok (" << to_string(spec.engine())
-              << " engine, " << spec.sensor_count() << " sensors)\n";
+    if (spec.engine() == ambisim::scen::Engine::Aiot)
+      std::cout << path << ": ok (aiot engine, " << spec.tag_count()
+                << " tags)\n";
+    else
+      std::cout << path << ": ok (" << to_string(spec.engine())
+                << " engine, " << spec.sensor_count() << " sensors)\n";
     return 0;
   }
   if (opt.print_spec) {

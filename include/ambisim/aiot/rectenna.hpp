@@ -1,0 +1,59 @@
+// RF energy-harvesting front end: incident power density -> DC microwatts.
+//
+// A battery-free ambient-IoT tag lives entirely on the RF field its gateway
+// radiates.  This module is the power half of that link: the incident power
+// density a Watt-class illuminator produces at a tag's distance (free-space
+// sphere at the reference distance, log-distance excess beyond it), and a
+// rectenna model — antenna aperture plus rectifier efficiency curve — that
+// turns the incident microwatts into harvested DC.  The rectifier is the
+// honest part: below its sensitivity the diodes never turn on and the tag
+// gets *nothing*, which is what puts far tags in an RF shadow instead of
+// merely charging them slowly.
+#pragma once
+
+#include "ambisim/radio/link.hpp"
+#include "ambisim/sim/units.hpp"
+
+namespace ambisim::aiot {
+
+namespace u = ambisim::units;
+
+/// Incident RF power density at distance `d` from an illuminator radiating
+/// `tx` through `loss`.  The free-space sphere fixes the absolute level at
+/// the reference distance — S(d0) = P / (4 pi d0^2) — and the path-loss
+/// excess beyond d0 (loss_db(d) - loss_at_ref_db, exponent n) decays it,
+/// so a denser environment starves tags faster than free space would.
+u::PowerDensity incident_density(u::Power tx, const radio::PathLossModel& loss,
+                                 u::Length d);
+
+/// Rectenna: antenna aperture + rectifier conversion-efficiency curve.
+///
+/// Efficiency rises log-linearly with incident power between the rectifier's
+/// sensitivity (diode turn-on; zero output below) and its saturation point
+/// (peak efficiency above), the standard shape of measured RF-DC curves.
+/// Deterministic and monotone non-decreasing in the incident power — the
+/// property the coverage-vs-gateway-power benchmark gate leans on.
+struct RectennaModel {
+  u::Area aperture{50e-4};       ///< effective capture area (50 cm^2)
+  u::Power sensitivity{1e-6};    ///< below this incident power: zero output
+  u::Power saturation{10e-3};    ///< efficiency plateaus from here up
+  double peak_efficiency = 0.55;
+
+  /// Printed flexible tag: small aperture, modest rectifier.
+  static RectennaModel printed_tag();
+  /// PCB module with a patch antenna: larger aperture, better diodes.
+  static RectennaModel pcb_module();
+
+  /// Throws std::invalid_argument on a non-physical model.
+  void validate() const;
+
+  /// RF-DC conversion efficiency at `incident` captured power.
+  [[nodiscard]] double efficiency(u::Power incident) const;
+  /// DC output for `incident` captured power.
+  [[nodiscard]] u::Power harvested(u::Power incident) const;
+  /// DC output in a field of density `s` (capture through the aperture,
+  /// then the rectifier curve).
+  [[nodiscard]] u::Power harvested_from_density(u::PowerDensity s) const;
+};
+
+}  // namespace ambisim::aiot

@@ -1,0 +1,117 @@
+// Wireless-power network simulation: a Watt-class gateway powering a field
+// of battery-free backscatter tags.
+//
+// The gateway (node 0, mains powered, immune) radiates a continuous RF
+// carrier.  Each tag harvests what its rectenna extracts from the incident
+// power density at its distance (aiot/rectenna.hpp), buffers the microwatts
+// on a storage capacitor, and runs a charge-then-burst MAC: charge until
+// the wake threshold, transmit one report burst over the monostatic
+// backscatter uplink at the next report slot, and go dark again when the
+// burst drains the capacitor below the brown-out cutoff.  The lifecycle is
+// the fault injector's — a tag in RF shadow (rectenna output below the
+// sleep draw) is honestly Dead-until-charged, indistinguishable from a
+// browned-out coin-cell node, and availability/MTTR fall out of the same
+// timeline accounting every other engine uses.
+//
+// Determinism: placement is the only random draw (cfg.seed); harvest,
+// charge trajectories, burst schedule, and link quality are all pure
+// functions of the config, so a replication study is bit-identical at any
+// worker-pool size (run_wpt_study folds every field into the checksum the
+// determinism tests assert on).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ambisim/aiot/rectenna.hpp"
+#include "ambisim/exec/runner.hpp"
+#include "ambisim/fault/reliability.hpp"
+#include "ambisim/net/topology.hpp"
+#include "ambisim/sim/statistics.hpp"
+
+namespace ambisim::aiot {
+
+struct WptSimConfig {
+  int tag_count = 32;          ///< tags; the gateway is node 0 on top
+  u::Length field_side{30.0};  ///< random placement square (gateway center)
+  /// Pinned placement (node 0 = gateway); must hold tag_count + 1 nodes.
+  /// Unset: Topology::random_field drawn from `seed`.
+  std::optional<net::Topology> placement;
+  std::uint64_t seed = 1;
+
+  // --- power downlink (gateway -> tags) ---
+  double gateway_tx_w = 2.0;  ///< radiated carrier power
+  /// Power-carrier propagation; only exponent and reference distance shape
+  /// the density falloff (the free-space sphere sets the absolute level).
+  radio::PathLossModel power_path{2.2, u::Length(1.0), 30.0};
+  RectennaModel rectenna = RectennaModel::printed_tag();
+
+  // --- backscatter uplink (tags -> gateway, monostatic) ---
+  radio::PathLossModel uplink_path{2.0, u::Length(1.0), 30.0};
+  double uplink_bandwidth_hz = 1e6;
+  double tag_loss_db = 15.0;  ///< reflection (conversion + mismatch) loss
+  double packet_bits = 256.0;
+
+  // --- charge-then-burst MAC ---
+  double report_period_s = 60.0;  ///< burst slots at k * period
+  double capacitance_f = 47e-6;   ///< storage capacitor
+  double cap_voltage_v = 2.4;
+  double wake_soc = 0.9;     ///< brown-out recovery = wake threshold
+  double cutoff_soc = 0.25;  ///< brown-out cutoff (burst drains below it)
+  double burst_energy_j = 180e-6;  ///< one report incl. retries
+  double sleep_watt = 1e-6;        ///< retention draw while charging
+  double initial_soc = 0.0;        ///< tags start dark (cold field)
+  double energy_step_s = 1.0;
+
+  double duration_s = 1800.0;
+};
+
+struct WptSimResult {
+  int tag_count = 0;
+  long long offered = 0;  ///< tag_count * report slots in the horizon
+  long long bursts = 0;   ///< bursts actually transmitted (tag was awake)
+  /// Expected reports at the gateway: sum over bursts of the uplink's ARQ
+  /// delivery probability at the tag's distance.
+  double delivered_expect = 0.0;
+  double delivered_fraction = 0.0;  ///< delivered_expect / offered
+  double coverage_fraction = 0.0;   ///< tags with >= 1 burst / tag_count
+  long long dark_tags = 0;          ///< tags that never completed a burst
+  double mean_charge_latency_s = 0.0;  ///< dark -> wake, over all wakes
+  double charge_latency_p50_s = 0.0;
+  double charge_latency_p95_s = 0.0;
+  double availability = 0.0;  ///< injector timeline, tags only
+  double mttf_s = 0.0;
+  double mttr_s = 0.0;
+  double mean_harvest_uw = 0.0;  ///< rectenna DC output over tags
+  double min_harvest_uw = 0.0;
+  /// Final capacitor state of charge per node; -1 marks the gateway.
+  std::vector<double> final_soc;
+
+  void fold_into(fault::Digest& d) const;
+};
+
+/// One deterministic run of the wireless-power field.
+WptSimResult simulate_wpt(const WptSimConfig& cfg);
+
+struct WptStudyResult {
+  std::vector<WptSimResult> replications;
+  sim::Accumulator delivered_fraction;
+  sim::Accumulator coverage_fraction;
+  sim::Accumulator mean_charge_latency_s;
+  sim::Accumulator availability;
+  /// Order-sensitive digest over every replication: equal checksums mean
+  /// bit-identical studies at any pool size.
+  std::uint64_t checksum = 0;
+};
+
+/// Replication study over exec::ReplicationRunner.  Replication 0 runs
+/// `base` verbatim; replication i > 0 redraws placement from
+/// derive_seed(root_seed, i)'s substream.  Bit-identical for any
+/// exec_cfg.threads (the aiot determinism tests assert pools {1, 2, 8}).
+WptStudyResult run_wpt_study(const WptSimConfig& base,
+                             std::size_t replications,
+                             std::uint64_t root_seed,
+                             exec::ExecConfig exec_cfg = {});
+
+}  // namespace ambisim::aiot

@@ -31,6 +31,11 @@ class Battery {
   static Spec li_ion_1000mAh();
   /// Thin-film storage for autonomous nodes, 3 V, 1 mAh.
   static Spec thin_film_1mAh();
+  /// Storage capacitor for battery-free backscatter tags: the linear V*Q
+  /// energy model with Q = C*V (stored energy C*V^2; the constant-voltage
+  /// approximation of the 1/2*C*V^2 curve, consistent with the rest of the
+  /// Battery accounting).  No rate derating, negligible leakage.
+  static Spec storage_capacitor(u::Capacitance c, u::Voltage v);
 
   explicit Battery(Spec spec);
 

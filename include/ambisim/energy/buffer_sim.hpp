@@ -40,6 +40,44 @@ struct BufferSimResult {
 /// Fixed-step simulation of the buffer's state of charge.
 BufferSimResult simulate_energy_buffer(const BufferSimConfig& cfg);
 
+/// Charge-then-burst duty cycle of a battery-free (backscatter) tag: the
+/// storage capacitor charges from the harvester against a sleep draw; when
+/// the state of charge reaches `wake_soc` the tag transmits one burst —
+/// `burst_power` for `burst_duration` — then returns to charging.  A burst
+/// that empties the capacitor mid-way is aborted (counted, not delivered);
+/// a harvester that never beats the sleep draw starves the tag forever.
+struct ChargeBurstConfig {
+  std::shared_ptr<const Harvester> harvester;
+  /// Storage element; Battery::storage_capacitor for the battery-free tag.
+  Battery::Spec buffer = Battery::storage_capacitor(u::Capacitance(47e-6),
+                                                    u::Voltage(2.4));
+  u::Power sleep_load{1e-6};     ///< retention + timer draw while charging
+  u::Power burst_power{2e-3};    ///< active draw during the burst
+  u::Time burst_duration{0.05};
+  double wake_soc = 0.9;         ///< burst starts when SoC reaches this
+  u::Time duration{600.0};
+  u::Time step{0.1};             ///< charge-phase integration step
+  double initial_soc = 0.0;
+};
+
+struct ChargeBurstResult {
+  long long bursts_completed = 0;
+  long long bursts_aborted = 0;    ///< capacitor hit empty mid-burst
+  /// Mean time from entering the charge phase to the wake threshold, over
+  /// every completed charge cycle (0 when the tag never woke).
+  double mean_charge_latency_s = 0.0;
+  u::Time first_burst{0.0};        ///< 0 when the tag never woke
+  /// True when the tag never reached wake_soc (zero-harvest starvation or
+  /// a harvester weaker than the sleep draw).
+  bool starved = false;
+  double final_soc = 0.0;
+  u::Energy harvested{0.0};
+  u::Energy consumed{0.0};
+};
+
+/// Fixed-step simulation of the charge-then-burst cycle.
+ChargeBurstResult simulate_charge_burst(const ChargeBurstConfig& cfg);
+
 /// Smallest buffer capacity (joules) that survives `cfg.duration` with the
 /// given harvester/load, found by bisection on the capacity of
 /// `cfg.buffer`.  Throws std::domain_error if even `max_scale` times the

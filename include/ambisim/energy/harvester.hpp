@@ -6,6 +6,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ambisim/sim/units.hpp"
 
@@ -80,6 +82,45 @@ class ThermalHarvester final : public Harvester {
   u::Area area_;
   double delta_t_;
   double k_;
+};
+
+/// Harvests from an incident power-density field (W/m^2) through a fixed
+/// collection aperture and conversion efficiency: P(t) = S(t) * A * eta.
+/// The profile is a piecewise-constant step function of time — sample k
+/// holds from its timestamp until the next sample (the last one holds
+/// forever, and the first one also covers any earlier time).  A rectenna
+/// under an RF field, a PV cell under a measured irradiance trace, and the
+/// aiot wireless-power network all feed this seam.
+class PowerDensityHarvester final : public Harvester {
+ public:
+  /// One (time, density) breakpoint of the profile.
+  using Sample = std::pair<u::Time, u::PowerDensity>;
+
+  /// `profile` must be non-empty, time-sorted, with non-negative densities;
+  /// `aperture` > 0 and `efficiency` in (0, 1].
+  PowerDensityHarvester(std::vector<Sample> profile, u::Area aperture,
+                        double efficiency, std::string name = "power-density");
+
+  /// Constant-field convenience: a one-sample profile.
+  PowerDensityHarvester(u::PowerDensity density, u::Area aperture,
+                        double efficiency, std::string name = "power-density");
+
+  [[nodiscard]] u::Power power_at(u::Time t) const override;
+  /// Time-weighted mean over the profile span (last sample weightless on
+  /// its own: a single-sample profile is just the constant field).
+  [[nodiscard]] u::Power average_power() const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Incident density at `t` before the aperture/efficiency chain.
+  [[nodiscard]] u::PowerDensity density_at(u::Time t) const;
+  [[nodiscard]] u::Area aperture() const { return aperture_; }
+  [[nodiscard]] double efficiency() const { return efficiency_; }
+
+ private:
+  std::vector<Sample> profile_;
+  u::Area aperture_;
+  double efficiency_;
+  std::string name_;
 };
 
 /// Fixed-power source (mains supply for the Watt-node, or a test stub).

@@ -56,6 +56,11 @@ struct RetryPolicy {
 struct EnergyCouplingConfig {
   energy::Battery::Spec battery = energy::Battery::coin_cell_cr2032();
   double harvest_avg_watt = 0.0;
+  /// Per-node average harvest (watts), indexed by node id.  Empty means
+  /// every node harvests `harvest_avg_watt`; non-empty must cover every
+  /// node and overrides the uniform figure — this is how a wireless-power
+  /// field (distance-dependent rectenna output) reaches the lifecycle.
+  std::vector<double> per_node_harvest_watt;
   double baseline_watt = 0.0;
   double initial_soc = 1.0;
   /// Brown-out hysteresis thresholds (state of charge).

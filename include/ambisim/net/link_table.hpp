@@ -28,6 +28,23 @@ struct LinkStats {
   double delivery_probability = 1.0;  ///< >= 1 attempt succeeds
 };
 
+/// Selects how an edge's BER is priced at build time.
+enum class LinkModel : unsigned char {
+  /// Conventional active radio: one-way AWGN budget at the edge distance.
+  TwoWay,
+  /// Monostatic backscatter: the gateway illuminates and listens, so the
+  /// edge distance is crossed twice and the tag's reflection loss applies
+  /// (radio::backscatter_bit_error_rate_at).  The radio's tx_radiated is
+  /// the *gateway* illuminator power, whatever end of the edge transmits.
+  MonostaticBackscatter,
+};
+
+/// Pricing options beyond the default two-way model.
+struct LinkTableOptions {
+  LinkModel model = LinkModel::TwoWay;
+  double tag_loss_db = 12.0;  ///< backscatter reflection loss (dB)
+};
+
 class LinkTable {
  public:
   LinkTable() = default;
@@ -36,7 +53,8 @@ class LinkTable {
   /// topology instead of once per hop per packet.
   LinkTable(const Topology& topo, const radio::RadioModel& radio,
             u::Information packet_bits,
-            const radio::ArqModel& arq = radio::ArqModel{});
+            const radio::ArqModel& arq = radio::ArqModel{},
+            const LinkTableOptions& options = {});
 
   [[nodiscard]] int size() const { return n_; }
   [[nodiscard]] bool empty() const { return n_ == 0; }

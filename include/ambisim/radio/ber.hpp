@@ -25,6 +25,17 @@ double bit_error_rate(const Modulation& m, double ebn0_linear);
 double bit_error_rate_at(const LinkBudget& budget, const Modulation& m,
                          u::Length d);
 
+/// BER of a *monostatic backscatter* link at tag distance `d`.  The reader
+/// illuminates the tag and listens to its own reflected carrier, so the
+/// signal crosses the channel twice — loss_db(d) is paid out and back —
+/// and the tag's modulator reflects only part of the incident wave
+/// (`tag_loss_db`: conversion + mismatch loss, ~10-15 dB for a passive
+/// tag).  `budget.tx_radiated` is the reader/gateway illuminator power;
+/// the SNR -> Eb/N0 conversion matches bit_error_rate_at.
+double backscatter_bit_error_rate_at(const LinkBudget& budget,
+                                     const Modulation& m, u::Length d,
+                                     double tag_loss_db = 12.0);
+
 /// Packet error rate for an uncoded packet of `bits`: 1 - (1-BER)^bits.
 double packet_error_rate(double ber, double bits);
 

@@ -43,6 +43,14 @@ struct Modulation {
   static Modulation qpsk();
   static Modulation qam16();
   static Modulation qam64();
+  /// Backscatter OOK: the tag modulates its antenna reflection instead of
+  /// radiating.  Detection is noncoherent envelope detection like plain
+  /// OOK, but the illuminator round trip leaves far less signal, so the
+  /// working Eb/N0 requirement is set for the same 1e-3 BER with margin
+  /// for the reflection's residual carrier.  Links built on this entry
+  /// must be priced with backscatter_bit_error_rate_at (monostatic
+  /// round-trip budget), not the one-way bit_error_rate_at.
+  static Modulation backscatter();
 };
 
 struct LinkBudget {

@@ -38,6 +38,12 @@ RadioParams ulp_radio();        ///< microWatt node: 100 kbps, -6 dBm, meters
 RadioParams bluetooth_like();   ///< milliWatt node: 1 Mbps, 0 dBm
 RadioParams wlan_80211b();      ///< Watt/static node: 11 Mbps, +20 dBm
 RadioParams wlan_80211a();      ///< Watt-node backhaul: 54 Mbps OFDM
+/// Battery-free backscatter tag: no PA — the tag modulates its antenna
+/// reflection, so `tx_radiated` stands for the *gateway illuminator*
+/// power (override it per scenario) and pa_efficiency is 1.  Links built
+/// on this preset must be priced monostatically
+/// (radio::backscatter_bit_error_rate_at / net::LinkModel).
+RadioParams backscatter_tag();  ///< sub-microWatt tag: 64 kbps reflected OOK
 
 class RadioModel {
  public:

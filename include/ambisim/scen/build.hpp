@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "ambisim/aiot/wpt_sim.hpp"
 #include "ambisim/core/scenario.hpp"
 #include "ambisim/fault/reliability.hpp"
 #include "ambisim/net/packet_sim.hpp"
@@ -33,7 +34,15 @@ namespace ambisim::scen {
 [[nodiscard]] core::AmiScenarioConfig build_ami_config(
     const ScenarioSpec& spec);
 
+/// Spec -> wireless-power field config (backscatter fleet).  Requires
+/// engine() == Aiot.
+[[nodiscard]] aiot::WptSimConfig build_wpt_config(const ScenarioSpec& spec);
+
 /// Engine-neutral per-replication summary (unused engine fields stay 0).
+/// The aiot engine maps onto the net fields — goodput_fraction carries the
+/// coverage fraction, generated/delivered/lost carry report slots offered /
+/// bursts sent / slots missed dark, and the latency percentiles are charge
+/// latencies — so the digest layout (fold_into) is engine-independent.
 struct ReplicationOutcome {
   // net engine
   double delivered_fraction = 0.0;

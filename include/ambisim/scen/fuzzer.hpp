@@ -37,6 +37,10 @@ struct FuzzConfig {
   int max_replications = 2;
   bool with_faults = true;   ///< allow fault sections in generated specs
   bool with_energy = true;   ///< allow battery/harvester stanzas
+  /// Allow wireless-power (aiot) scenarios: a backscatter fleet under a
+  /// single Watt gateway.  When off, no generation draw is consumed, so
+  /// the remaining stream matches the backscatter-free generator.
+  bool with_backscatter = true;
 };
 
 class Fuzzer {

@@ -10,7 +10,9 @@
 //  * all-microWatt fleet  -> the packet-level collection network
 //    (net::simulate_packets, optionally fault-armed and energy-coupled);
 //  * microWatt sensors + one milliWatt personal + one Watt server ->
-//    the end-to-end ambient-home scenario (core::run_ami_scenario).
+//    the end-to-end ambient-home scenario (core::run_ami_scenario);
+//  * backscatter tags + one Watt gateway -> the battery-free
+//    wireless-power field (aiot::simulate_wpt).
 //
 // `to_json` is the loader's inverse: it serializes a spec back to the
 // canonical JSON the fuzzer checksums and the shrinker writes as repros.
@@ -23,9 +25,16 @@
 
 namespace ambisim::scen {
 
-enum class DeviceClass : unsigned char { MicroWatt, MilliWatt, Watt };
+/// Backscatter is the paper's fourth device point: battery-free tags that
+/// harvest the gateway's carrier and reflect it instead of radiating.
+enum class DeviceClass : unsigned char {
+  MicroWatt,
+  MilliWatt,
+  Watt,
+  Backscatter,
+};
 enum class TopologyKind : unsigned char { Random, Grid, Star };
-enum class Engine : unsigned char { Net, Ami };
+enum class Engine : unsigned char { Net, Ami, Aiot };
 
 const char* to_string(DeviceClass c);
 const char* to_string(TopologyKind k);
@@ -81,6 +90,9 @@ struct WorkloadSpec {
   double sensor_report_bits = 128.0;
   double context_message_bits = 1024.0;
   std::string technology = "130nm";
+  // --- aiot engine (shares report_period_s and packet_bits with net) ---
+  double gateway_tx_w = 2.0;   ///< gateway illuminator power
+  double tag_loss_db = 15.0;   ///< backscatter reflection loss
 };
 
 struct RetrySpec {
@@ -139,6 +151,9 @@ struct ScenarioSpec {
   /// Total sensor count across microWatt groups (net node count excludes
   /// the implicit sink node 0, which the engine always adds).
   [[nodiscard]] int sensor_count() const;
+  /// Total tag count across backscatter groups (the aiot engine adds the
+  /// gateway as node 0 on top).
+  [[nodiscard]] int tag_count() const;
 };
 
 /// Canonical serialization: every field written (defaults included), key

@@ -268,6 +268,24 @@ constexpr Power operator""_nW(unsigned long long v) {
   return Power(double(v) * 1e-9);
 }
 
+// Power density (RF field strength at a rectenna, irradiance on a PV cell).
+// 1 uW/cm^2 = 1e-2 W/m^2 — the customary unit of harvesting papers.
+constexpr PowerDensity operator""_W_m2(long double v) {
+  return PowerDensity(double(v));
+}
+constexpr PowerDensity operator""_W_m2(unsigned long long v) {
+  return PowerDensity(double(v));
+}
+constexpr PowerDensity operator""_mW_cm2(long double v) {
+  return PowerDensity(double(v) * 10.0);
+}
+constexpr PowerDensity operator""_uW_cm2(long double v) {
+  return PowerDensity(double(v) * 1e-2);
+}
+constexpr PowerDensity operator""_uW_cm2(unsigned long long v) {
+  return PowerDensity(double(v) * 1e-2);
+}
+
 // Energy.
 constexpr Energy operator""_J(long double v) { return Energy(double(v)); }
 constexpr Energy operator""_J(unsigned long long v) {
@@ -387,5 +405,31 @@ inline std::string to_string(Frequency f) {
   return si_format(f.value(), "Hz");
 }
 inline std::string to_string(Voltage v) { return si_format(v.value(), "V"); }
+inline std::string to_string(PowerDensity s) {
+  return si_format(s.value(), "W/m^2");
+}
+
+// ---------------------------------------------------------------------------
+// Strong-type helpers for the rectenna chain (power density in, microwatts
+// out).  Kept beside the literals so the dimensional refactor of ROADMAP
+// item 5 finds every scaling constant in one place.
+// ---------------------------------------------------------------------------
+
+/// W/m^2 from the customary uW/cm^2 of the harvesting literature.
+constexpr PowerDensity power_density_from_uw_cm2(double uw_per_cm2) {
+  return PowerDensity(uw_per_cm2 * 1e-2);
+}
+
+/// Numeric value of a power density in uW/cm^2.
+constexpr double as_uw_cm2(PowerDensity s) { return s.value() * 1e2; }
+
+/// Power from a microwatt figure (harvested-power tables are quoted in uW).
+constexpr Power microwatts(double uw) { return Power(uw * 1e-6); }
+
+/// Numeric value of a power in microwatts.
+constexpr double as_microwatts(Power p) { return p.value() * 1e6; }
+
+/// Incident power collected by an aperture: S * A, dimension-checked.
+constexpr Power incident_power(PowerDensity s, Area a) { return s * a; }
 
 }  // namespace ambisim::units

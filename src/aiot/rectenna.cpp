@@ -1,0 +1,58 @@
+#include "ambisim/aiot/rectenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ambisim::aiot {
+
+u::PowerDensity incident_density(u::Power tx, const radio::PathLossModel& loss,
+                                 u::Length d) {
+  if (tx <= u::Power(0.0))
+    throw std::invalid_argument("illuminator power must be positive");
+  const double d0 = loss.ref_distance.value();
+  const double sphere = 4.0 * 3.14159265358979323846 * d0 * d0;
+  const double at_ref = tx.value() / sphere;
+  const double excess_db = loss.loss_db(d) - loss.loss_at_ref_db;
+  return u::PowerDensity(at_ref * std::pow(10.0, -excess_db / 10.0));
+}
+
+RectennaModel RectennaModel::printed_tag() {
+  return {u::Area(50e-4), u::Power(1e-6), u::Power(10e-3), 0.55};
+}
+
+RectennaModel RectennaModel::pcb_module() {
+  return {u::Area(120e-4), u::Power(0.5e-6), u::Power(20e-3), 0.70};
+}
+
+void RectennaModel::validate() const {
+  if (aperture <= u::Area(0.0))
+    throw std::invalid_argument("rectenna aperture must be positive");
+  if (sensitivity <= u::Power(0.0) || saturation <= sensitivity)
+    throw std::invalid_argument(
+        "rectenna needs 0 < sensitivity < saturation");
+  if (peak_efficiency <= 0.0 || peak_efficiency > 1.0)
+    throw std::invalid_argument("rectenna peak efficiency outside (0, 1]");
+}
+
+double RectennaModel::efficiency(u::Power incident) const {
+  validate();
+  if (incident.value() < 0.0)
+    throw std::invalid_argument("negative incident power");
+  if (incident <= sensitivity) return 0.0;  // diodes never turn on
+  const double t = std::log10(incident.value() / sensitivity.value()) /
+                   std::log10(saturation.value() / sensitivity.value());
+  return peak_efficiency * std::clamp(t, 0.0, 1.0);
+}
+
+u::Power RectennaModel::harvested(u::Power incident) const {
+  return u::Power(incident.value() * efficiency(incident));
+}
+
+u::Power RectennaModel::harvested_from_density(u::PowerDensity s) const {
+  validate();
+  if (s.value() < 0.0) throw std::invalid_argument("negative power density");
+  return harvested(u::incident_power(s, aperture));
+}
+
+}  // namespace ambisim::aiot

@@ -1,0 +1,240 @@
+#include "ambisim/aiot/wpt_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ambisim/energy/battery.hpp"
+#include "ambisim/fault/injector.hpp"
+#include "ambisim/net/link_table.hpp"
+#include "ambisim/obs/probe.hpp"
+#include "ambisim/radio/transceiver.hpp"
+#include "ambisim/sim/simulator.hpp"
+
+namespace ambisim::aiot {
+
+namespace {
+
+void validate(const WptSimConfig& cfg) {
+  if (cfg.tag_count < 1)
+    throw std::invalid_argument("wpt sim needs at least one tag");
+  if (cfg.gateway_tx_w <= 0.0)
+    throw std::invalid_argument("gateway TX power must be positive");
+  if (cfg.report_period_s <= 0.0 || cfg.duration_s <= 0.0 ||
+      cfg.energy_step_s <= 0.0)
+    throw std::invalid_argument("periods and duration must be positive");
+  if (cfg.cutoff_soc < 0.0 || cfg.wake_soc <= cfg.cutoff_soc ||
+      cfg.wake_soc > 1.0)
+    throw std::invalid_argument(
+        "charge-then-burst needs 0 <= cutoff < wake <= 1");
+  if (cfg.burst_energy_j <= 0.0)
+    throw std::invalid_argument("burst energy must be positive");
+  if (cfg.sleep_watt < 0.0)
+    throw std::invalid_argument("sleep draw must be >= 0");
+  if (cfg.initial_soc < 0.0 || cfg.initial_soc > 1.0)
+    throw std::invalid_argument("initial soc outside [0, 1]");
+  if (cfg.packet_bits < 1.0 || cfg.uplink_bandwidth_hz <= 0.0 ||
+      cfg.tag_loss_db < 0.0)
+    throw std::invalid_argument("bad uplink parameters");
+  cfg.rectenna.validate();
+  if (cfg.placement && cfg.placement->size() != cfg.tag_count + 1)
+    throw std::invalid_argument(
+        "pinned placement must hold tag_count + 1 nodes (gateway at 0)");
+}
+
+}  // namespace
+
+WptSimResult simulate_wpt(const WptSimConfig& cfg) {
+  validate(cfg);
+  const int n = cfg.tag_count + 1;
+
+  sim::Rng rng(cfg.seed);
+  const net::Topology topo =
+      cfg.placement ? *cfg.placement
+                    : net::Topology::random_field(n, cfg.field_side, rng);
+
+  WptSimResult out;
+  out.tag_count = cfg.tag_count;
+
+  // Downlink: the rectenna's DC output at each tag's distance.  This is
+  // the whole wireless-power transfer chain — carrier power through the
+  // density falloff through the rectifier curve — evaluated once; the
+  // field is static for the run.
+  std::vector<double> harvest(static_cast<std::size_t>(n), 0.0);
+  double sum_uw = 0.0;
+  double min_uw = std::numeric_limits<double>::infinity();
+  for (int i = 1; i < n; ++i) {
+    const u::PowerDensity density = incident_density(
+        u::Power(cfg.gateway_tx_w), cfg.power_path, topo.node_distance(i, 0));
+    const double watt =
+        cfg.rectenna.harvested_from_density(density).value();
+    harvest[static_cast<std::size_t>(i)] = watt;
+    sum_uw += watt * 1e6;
+    min_uw = std::min(min_uw, watt * 1e6);
+  }
+  out.mean_harvest_uw = sum_uw / cfg.tag_count;
+  out.min_harvest_uw = min_uw;
+
+  // Uplink: monostatic backscatter link table priced at the gateway's
+  // illuminator power (the round trip and the tag's reflection loss live
+  // in net::LinkModel::MonostaticBackscatter).
+  radio::RadioParams rp = radio::backscatter_tag();
+  rp.tx_radiated = u::Power(cfg.gateway_tx_w);
+  rp.bandwidth = u::Frequency(cfg.uplink_bandwidth_hz);
+  rp.environment = cfg.uplink_path;
+  const radio::RadioModel tag_radio(rp);
+  net::LinkTableOptions lopt;
+  lopt.model = net::LinkModel::MonostaticBackscatter;
+  lopt.tag_loss_db = cfg.tag_loss_db;
+  const net::LinkTable links(topo, tag_radio,
+                             u::Information(cfg.packet_bits),
+                             radio::ArqModel{}, lopt);
+
+  // Lifecycle: an empty fault script plus capacitor energy coupling.  The
+  // wake threshold IS the brown-out recovery latch, so "charged enough to
+  // burst" and "back in service" are the same edge, and a tag in RF shadow
+  // is Dead-until-charged through exactly the machinery a browned-out
+  // coin-cell node uses.
+  fault::FaultScheduleConfig sc;
+  sc.seed = cfg.seed;
+  sc.horizon_s = cfg.duration_s;
+  sc.node_count = n;
+  sc.sink_immune = true;  // the gateway is mains powered
+  fault::FaultInjector inj(fault::FaultSchedule::generate(sc));
+
+  fault::EnergyCouplingConfig ec;
+  ec.battery = energy::Battery::storage_capacitor(
+      u::Capacitance(cfg.capacitance_f), u::Voltage(cfg.cap_voltage_v));
+  ec.per_node_harvest_watt = harvest;
+  ec.baseline_watt = cfg.sleep_watt;
+  ec.initial_soc = cfg.initial_soc;
+  ec.brownout_cutoff_soc = cfg.cutoff_soc;
+  ec.brownout_recovery_soc = cfg.wake_soc;
+  ec.update_period_s = cfg.energy_step_s;
+  inj.enable_energy(ec);
+
+  // Charge latency off the lifecycle edges: dark -> wake spans.
+  std::vector<double> dark_since(static_cast<std::size_t>(n), 0.0);
+  sim::Samples latencies;
+  inj.on_transition([&](int node, fault::NodeState prev,
+                        fault::NodeState now, double t) {
+    if (node == 0) return;
+    if (now == fault::NodeState::Up && prev == fault::NodeState::BrownOut) {
+      const double span = t - dark_since[static_cast<std::size_t>(node)];
+      latencies.add(span);
+      AMBISIM_OBS_COUNT("aiot.wakes");
+      AMBISIM_OBS_OBSERVE("aiot.charge_latency_s", span);
+    } else if (now == fault::NodeState::BrownOut) {
+      dark_since[static_cast<std::size_t>(node)] = t;
+    }
+  });
+
+  sim::Simulator sim;
+  inj.arm(sim, n);
+
+  // Charge-then-burst MAC: report slots at k * period, offset half an
+  // energy step *before* the mark so each slot reads the lifecycle state
+  // the preceding tick computed instead of racing the tick at the mark.
+  // An awake tag transmits one burst (its expected delivery priced off the
+  // link table) and the burst energy drains at the next tick, pulling the
+  // capacitor back below the cutoff — the tag goes dark until recharged.
+  std::vector<long long> tag_bursts(static_cast<std::size_t>(n), 0);
+  const double offset = cfg.energy_step_s * 0.5;
+  const long long slot_count =
+      static_cast<long long>(std::floor(cfg.duration_s /
+                                        cfg.report_period_s));
+  for (long long k = 1; k <= slot_count; ++k) {
+    const double t = static_cast<double>(k) * cfg.report_period_s - offset;
+    if (t < 0.0) continue;
+    sim.schedule_at(u::Time(t), [&]() {
+      for (int i = 1; i < n; ++i) {
+        if (!inj.in_service(i)) continue;
+        ++tag_bursts[static_cast<std::size_t>(i)];
+        ++out.bursts;
+        out.delivered_expect += links.edge(i, 0).delivery_probability;
+        inj.account_energy(i, u::Energy(cfg.burst_energy_j));
+        AMBISIM_OBS_COUNT("aiot.bursts");
+      }
+    });
+  }
+
+  sim.run_until(u::Time(cfg.duration_s));
+
+  out.offered = slot_count * cfg.tag_count;
+  out.delivered_fraction =
+      out.offered > 0 ? out.delivered_expect / out.offered : 0.0;
+  int covered = 0;
+  for (int i = 1; i < n; ++i)
+    covered += tag_bursts[static_cast<std::size_t>(i)] > 0 ? 1 : 0;
+  out.coverage_fraction =
+      static_cast<double>(covered) / cfg.tag_count;
+  out.dark_tags = cfg.tag_count - covered;
+
+  if (!latencies.empty()) {
+    out.mean_charge_latency_s = latencies.mean();
+    out.charge_latency_p50_s = latencies.median();
+    out.charge_latency_p95_s = latencies.percentile(95.0);
+  }
+
+  const fault::ReliabilityStats stats = inj.stats(cfg.duration_s);
+  out.availability = stats.availability;
+  out.mttf_s = stats.mttf_s;
+  out.mttr_s = stats.mttr_s;
+
+  out.final_soc.assign(static_cast<std::size_t>(n), -1.0);
+  for (int i = 0; i < n; ++i)
+    if (const energy::Battery* bat = inj.battery(i))
+      out.final_soc[static_cast<std::size_t>(i)] = bat->state_of_charge();
+  return out;
+}
+
+void WptSimResult::fold_into(fault::Digest& d) const {
+  d.fold(tag_count);
+  d.fold(offered);
+  d.fold(bursts);
+  d.fold(delivered_expect);
+  d.fold(delivered_fraction);
+  d.fold(coverage_fraction);
+  d.fold(dark_tags);
+  d.fold(mean_charge_latency_s);
+  d.fold(charge_latency_p50_s);
+  d.fold(charge_latency_p95_s);
+  d.fold(availability);
+  d.fold(mttf_s);
+  d.fold(mttr_s);
+  d.fold(mean_harvest_uw);
+  d.fold(min_harvest_uw);
+  for (const double s : final_soc) d.fold(s);
+}
+
+WptStudyResult run_wpt_study(const WptSimConfig& base,
+                             std::size_t replications,
+                             std::uint64_t root_seed,
+                             exec::ExecConfig exec_cfg) {
+  exec::ReplicationRunner runner(exec_cfg);
+  WptStudyResult out;
+  out.replications = runner.run(
+      replications, root_seed, [&](sim::Rng& rng, std::size_t i) {
+        WptSimConfig c = base;
+        if (i > 0) {
+          // Replication 0 is the base verbatim; later replications redraw
+          // the field layout from their own substream.
+          c.seed = rng.engine()();
+          c.placement.reset();
+        }
+        return simulate_wpt(c);
+      });
+  fault::Digest digest;
+  for (const WptSimResult& r : out.replications) {
+    out.delivered_fraction.add(r.delivered_fraction);
+    out.coverage_fraction.add(r.coverage_fraction);
+    out.mean_charge_latency_s.add(r.mean_charge_latency_s);
+    out.availability.add(r.availability);
+    r.fold_into(digest);
+  }
+  out.checksum = digest.value();
+  return out;
+}
+
+}  // namespace ambisim::aiot

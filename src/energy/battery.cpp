@@ -29,6 +29,13 @@ Battery::Spec Battery::thin_film_1mAh() {
           u::Power(0.01e-6)};
 }
 
+Battery::Spec Battery::storage_capacitor(u::Capacitance c, u::Voltage v) {
+  if (c <= u::Capacitance(0.0) || v <= u::Voltage(0.0))
+    throw std::invalid_argument("capacitor needs positive C and V");
+  return {"StorageCap", v, u::Charge(c.value() * v.value()), 1.0,
+          u::Current(1e-3), u::Power(1e-9)};
+}
+
 void Battery::configure_brownout(double cutoff_soc, double recovery_soc) {
   if (cutoff_soc < 0.0 || cutoff_soc > 1.0)
     throw std::invalid_argument("brown-out cutoff outside [0, 1]");

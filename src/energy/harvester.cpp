@@ -83,6 +83,71 @@ u::Power ThermalHarvester::average_power() const {
 
 std::string ThermalHarvester::name() const { return "thermal"; }
 
+PowerDensityHarvester::PowerDensityHarvester(std::vector<Sample> profile,
+                                             u::Area aperture,
+                                             double efficiency,
+                                             std::string name)
+    : profile_(std::move(profile)),
+      aperture_(aperture),
+      efficiency_(efficiency),
+      name_(std::move(name)) {
+  if (profile_.empty()) throw std::invalid_argument("empty density profile");
+  if (aperture.value() <= 0.0)
+    throw std::invalid_argument("non-positive aperture");
+  if (efficiency <= 0.0 || efficiency > 1.0)
+    throw std::invalid_argument("efficiency outside (0, 1]");
+  for (std::size_t i = 0; i < profile_.size(); ++i) {
+    if (profile_[i].second < u::PowerDensity(0.0))
+      throw std::invalid_argument("negative power density");
+    if (i > 0 && profile_[i].first < profile_[i - 1].first)
+      throw std::invalid_argument("density profile not time-sorted");
+  }
+}
+
+PowerDensityHarvester::PowerDensityHarvester(u::PowerDensity density,
+                                             u::Area aperture,
+                                             double efficiency,
+                                             std::string name)
+    : PowerDensityHarvester(std::vector<Sample>{{u::Time(0.0), density}},
+                            aperture, efficiency, std::move(name)) {}
+
+u::PowerDensity PowerDensityHarvester::density_at(u::Time t) const {
+  // Step function: the last sample at or before `t` holds; before the first
+  // sample the first one applies.
+  u::PowerDensity current = profile_.front().second;
+  for (const Sample& s : profile_) {
+    if (s.first > t) break;
+    current = s.second;
+  }
+  return current;
+}
+
+u::Power PowerDensityHarvester::power_at(u::Time t) const {
+  return u::incident_power(density_at(t), aperture_) * efficiency_;
+}
+
+u::Power PowerDensityHarvester::average_power() const {
+  if (profile_.size() == 1)
+    return u::incident_power(profile_.front().second, aperture_) *
+           efficiency_;
+  // Time-weighted mean of the steps over [first, last]; the final step has
+  // zero width inside the span but holds beyond it, so fold it in with the
+  // mean of the span and the terminal density.
+  double weighted = 0.0;
+  const double span =
+      (profile_.back().first - profile_.front().first).value();
+  for (std::size_t i = 0; i + 1 < profile_.size(); ++i) {
+    const double width =
+        (profile_[i + 1].first - profile_[i].first).value();
+    weighted += profile_[i].second.value() * width;
+  }
+  const double mean = span > 0.0 ? weighted / span
+                                 : profile_.back().second.value();
+  return u::Power(mean * aperture_.value() * efficiency_);
+}
+
+std::string PowerDensityHarvester::name() const { return name_; }
+
 ConstantSource::ConstantSource(u::Power p, std::string name)
     : power_(p), name_(std::move(name)) {
   if (p < u::Power(0.0)) throw std::invalid_argument("negative source power");

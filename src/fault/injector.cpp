@@ -43,6 +43,9 @@ void FaultInjector::enable_energy(const EnergyCouplingConfig& cfg) {
     throw std::invalid_argument("energy update period must be positive");
   if (cfg.initial_soc < 0.0 || cfg.initial_soc > 1.0)
     throw std::invalid_argument("initial soc outside [0, 1]");
+  for (double w : cfg.per_node_harvest_watt)
+    if (!(w >= 0.0))
+      throw std::invalid_argument("per-node harvest must be >= 0");
   energy_cfg_ = cfg;
 }
 
@@ -66,6 +69,11 @@ void FaultInjector::arm(sim::Simulator& sim, int node_count) {
   for (Node& n : nodes_) n.last_change_s = t0;
 
   if (energy_cfg_) {
+    if (!energy_cfg_->per_node_harvest_watt.empty() &&
+        static_cast<int>(energy_cfg_->per_node_harvest_watt.size()) !=
+            node_count)
+      throw std::invalid_argument(
+          "per-node harvest vector must cover every node");
     batteries_.clear();
     batteries_.reserve(nodes_.size());
     pending_event_joule_.assign(nodes_.size(), 0.0);
@@ -145,12 +153,14 @@ void FaultInjector::apply_event(const FaultEvent& ev, double now_s) {
 }
 
 void FaultInjector::energy_tick(double now_s, double dt_s) {
-  const double harvest = energy_cfg_->harvest_avg_watt;
+  const std::vector<double>& per_node = energy_cfg_->per_node_harvest_watt;
   const double baseline = energy_cfg_->baseline_watt;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (immune(static_cast<int>(i))) continue;
     Node& n = nodes_[i];
     energy::Battery& bat = batteries_[i];
+    const double harvest =
+        per_node.empty() ? energy_cfg_->harvest_avg_watt : per_node[i];
     if (harvest > 0.0) bat.recharge(u::Energy(harvest * dt_s));
     const double event_j = pending_event_joule_[i];
     pending_event_joule_[i] = 0.0;

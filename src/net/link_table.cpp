@@ -6,13 +6,17 @@ namespace ambisim::net {
 
 LinkTable::LinkTable(const Topology& topo, const radio::RadioModel& radio,
                      u::Information packet_bits,
-                     const radio::ArqModel& arq)
+                     const radio::ArqModel& arq,
+                     const LinkTableOptions& options)
     : n_(topo.size()) {
   if (packet_bits <= u::Information(0.0))
     throw std::invalid_argument("link table needs a positive packet size");
+  if (options.tag_loss_db < 0.0)
+    throw std::invalid_argument("link table needs a non-negative tag loss");
   stats_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
   const radio::LinkBudget budget = radio.link_budget();
   const radio::Modulation& mod = radio.params().modulation;
+  const bool monostatic = options.model == LinkModel::MonostaticBackscatter;
   for (int from = 0; from < n_; ++from) {
     for (int to = 0; to < n_; ++to) {
       LinkStats& s = stats_[static_cast<std::size_t>(from) *
@@ -21,7 +25,10 @@ LinkTable::LinkTable(const Topology& topo, const radio::RadioModel& radio,
       if (from == to) continue;  // self-links keep the perfect defaults
       const u::Length d = topo.node_distance(from, to);
       s.distance_m = d.value();
-      s.ber = radio::bit_error_rate_at(budget, mod, d);
+      s.ber = monostatic
+                  ? radio::backscatter_bit_error_rate_at(budget, mod, d,
+                                                         options.tag_loss_db)
+                  : radio::bit_error_rate_at(budget, mod, d);
       s.per = radio::packet_error_rate(s.ber, packet_bits.value());
       s.expected_attempts = arq.expected_attempts(s.per);
       s.delivery_probability = arq.delivery_probability(s.per);

@@ -19,8 +19,10 @@ double bit_error_rate(const Modulation& m, double ebn0_linear) {
     // Noncoherent binary FSK.
     return 0.5 * std::exp(-e / 2.0);
   }
-  if (m.name == "OOK") {
-    // Noncoherent OOK with optimal threshold (envelope detection).
+  if (m.name == "OOK" || m.name == "BACKSCATTER") {
+    // Noncoherent OOK with optimal threshold (envelope detection); the
+    // backscatter entry detects the same way — its penalty lives in the
+    // round-trip link budget, not in the detector.
     return 0.5 * std::exp(-e / 4.0);
   }
   // Square M-QAM approximation (Gray coding).
@@ -36,6 +38,23 @@ double bit_error_rate_at(const LinkBudget& budget, const Modulation& m,
                          u::Length d) {
   const double snr_linear = std::pow(10.0, budget.snr_db(d) / 10.0);
   // SNR = (Eb/N0) * (Rb/B); at symbol rate == bandwidth, Rb/B = bits/symbol.
+  const double ebn0 = snr_linear / m.bits_per_symbol;
+  return bit_error_rate(m, ebn0);
+}
+
+double backscatter_bit_error_rate_at(const LinkBudget& budget,
+                                     const Modulation& m, u::Length d,
+                                     double tag_loss_db) {
+  if (tag_loss_db < 0.0)
+    throw std::invalid_argument("negative tag loss");
+  // Monostatic round trip: illuminator -> tag -> reader pays the one-way
+  // path loss twice (distance-to-gateway squared twice in linear terms),
+  // plus the tag's reflection loss.
+  const double rx_dbm = watt_to_dbm(budget.tx_radiated) -
+                        2.0 * budget.path_loss.loss_db(d) - tag_loss_db;
+  const double snr_db =
+      rx_dbm - noise_floor_dbm(budget.bandwidth, budget.noise_figure_db);
+  const double snr_linear = std::pow(10.0, snr_db / 10.0);
   const double ebn0 = snr_linear / m.bits_per_symbol;
   return bit_error_rate(m, ebn0);
 }

@@ -43,6 +43,7 @@ Modulation Modulation::bpsk() { return {"BPSK", 1.0, 7.0}; }
 Modulation Modulation::qpsk() { return {"QPSK", 2.0, 7.0}; }
 Modulation Modulation::qam16() { return {"16QAM", 4.0, 11.5}; }
 Modulation Modulation::qam64() { return {"64QAM", 6.0, 16.5}; }
+Modulation Modulation::backscatter() { return {"BACKSCATTER", 1.0, 15.0}; }
 
 double LinkBudget::received_dbm(u::Length distance) const {
   return watt_to_dbm(tx_radiated) - path_loss.loss_db(distance);

@@ -76,6 +76,21 @@ RadioParams wlan_80211a() {
           PathLossModel::indoor()};
 }
 
+RadioParams backscatter_tag() {
+  return {"backscatter-64k",
+          64_kbps,
+          Modulation::backscatter(),
+          1_MHz,
+          0.2_uW,  // antenna switch + encoder, not a PA
+          1_uW,    // envelope detector for downlink commands
+          0.5_uW,
+          0.05_uW,
+          1.0,     // no PA: tx_radiated is the gateway illuminator
+          dbm_to_watt(33.0),
+          10_us,
+          PathLossModel::free_space()};
+}
+
 RadioModel::RadioModel(RadioParams params) : params_(std::move(params)) {
   if (params_.bit_rate <= u::BitRate(0.0))
     throw std::invalid_argument("bit rate must be positive");

@@ -111,6 +111,45 @@ net::PacketSimConfig build_packet_config(const ScenarioSpec& spec) {
   return c;
 }
 
+aiot::WptSimConfig build_wpt_config(const ScenarioSpec& spec) {
+  if (spec.engine() != Engine::Aiot)
+    throw std::invalid_argument(
+        "build_wpt_config: spec has no backscatter fleet");
+
+  aiot::WptSimConfig c;
+  c.tag_count = spec.tag_count();
+  c.seed = spec.run.seed;
+  c.duration_s = spec.run.duration_s;
+  c.gateway_tx_w = spec.workload.gateway_tx_w;
+  c.tag_loss_db = spec.workload.tag_loss_db;
+  c.report_period_s = spec.workload.report_period_s;
+  c.packet_bits = spec.workload.packet_bits;
+
+  const int n = c.tag_count + 1;  // + gateway node 0
+  switch (spec.topology.kind) {
+    case TopologyKind::Random:
+      c.field_side = u::Length(spec.topology.field_side_m);
+      if (spec.topology.seed >= 0) {
+        sim::Rng trng(static_cast<std::uint64_t>(spec.topology.seed));
+        c.placement = net::Topology::random_field(n, c.field_side, trng);
+      }
+      break;
+    case TopologyKind::Grid:
+      c.placement = net::Topology::grid(n, u::Length(spec.topology.pitch_m));
+      break;
+    case TopologyKind::Star:
+      c.placement = net::Topology::star(n, u::Length(spec.topology.radius_m));
+      break;
+  }
+
+  // The tag group's baseline draw, when given, replaces the default
+  // retention draw — the one energy knob a backscatter spec may turn.
+  for (const FleetGroup& g : spec.fleet)
+    if (g.device_class == DeviceClass::Backscatter && g.baseline_watt > 0.0)
+      c.sleep_watt = g.baseline_watt;
+  return c;
+}
+
 core::AmiScenarioConfig build_ami_config(const ScenarioSpec& spec) {
   if (spec.engine() != Engine::Ami)
     throw std::invalid_argument(
@@ -185,6 +224,34 @@ ReplicationOutcome summarize_net(const net::PacketSimResult& r) {
   return o;
 }
 
+ReplicationOutcome summarize_aiot(const aiot::WptSimResult& r) {
+  ReplicationOutcome o;
+  o.delivered_fraction = r.delivered_fraction;
+  o.goodput_fraction = r.coverage_fraction;
+  o.availability = r.availability;
+  o.mttf_s = r.mttf_s;
+  o.mttr_s = r.mttr_s;
+  o.generated = r.offered;
+  o.delivered = r.bursts;
+  o.lost = r.offered - r.bursts;  // slots the tag sat out dark
+  o.latency_p50_s = r.charge_latency_p50_s;
+  o.latency_p95_s = r.charge_latency_p95_s;
+  o.final_soc = r.final_soc;
+  double sum = 0.0, mn = 2.0;
+  int caps = 0;
+  for (const double s : r.final_soc) {
+    if (s < 0.0) continue;  // the mains-powered gateway
+    sum += s;
+    mn = std::min(mn, s);
+    ++caps;
+  }
+  if (caps > 0) {
+    o.mean_final_soc = sum / caps;
+    o.min_final_soc = mn;
+  }
+  return o;
+}
+
 ReplicationOutcome summarize_ami(const core::AmiScenarioResult& r) {
   ReplicationOutcome o;
   o.events = r.events;
@@ -214,7 +281,8 @@ double observe(const RunSummary& s, const AssertionSpec& a) {
   };
   if (a.check == "delivered_fraction")
     return mean([](const auto& r) { return r.delivered_fraction; });
-  if (a.check == "goodput_fraction" || a.check == "responses_fraction")
+  if (a.check == "goodput_fraction" || a.check == "responses_fraction" ||
+      a.check == "coverage_fraction")
     return mean([](const auto& r) { return r.goodput_fraction; });
   if (a.check == "availability")
     return mean([](const auto& r) { return r.availability; });
@@ -309,6 +377,18 @@ RunSummary run_scenario(const ScenarioSpec& spec,
           }
           return summarize_net(net::simulate_packets(c));
         });
+  } else if (out.engine == Engine::Aiot) {
+    const aiot::WptSimConfig base = build_wpt_config(spec);
+    out.replications = runner.run(
+        static_cast<std::size_t>(reps), spec.run.seed,
+        [&](sim::Rng& rng, std::size_t i) {
+          aiot::WptSimConfig c = base;
+          // Replication 0 is the spec verbatim; later replications redraw
+          // an unpinned layout through their own seed (a pinned grid/star
+          // or seeded random placement stays put, like the net engine).
+          if (i > 0) c.seed = rng.engine()();
+          return summarize_aiot(aiot::simulate_wpt(c));
+        });
   } else {
     const core::AmiScenarioConfig base = build_ami_config(spec);
     out.replications = runner.run(
@@ -353,6 +433,19 @@ void RunSummary::write_report(std::ostream& os) const {
     os << '\n';
     os << "  availability       : " << availability.mean() << '\n';
     os << "  latency p95        : " << latency_p95_s.mean() << " s\n";
+    if (mean_final_soc.count() > 0)
+      os << "  mean final SoC     : " << mean_final_soc.mean() << '\n';
+  } else if (engine == Engine::Aiot) {
+    os << "  delivered fraction : " << delivered_fraction.mean();
+    if (replications.size() > 1)
+      os << " +/- " << delivered_fraction.stddev();
+    os << '\n';
+    sim::Accumulator coverage;
+    for (const ReplicationOutcome& r : replications)
+      coverage.add(r.goodput_fraction);
+    os << "  tag coverage       : " << coverage.mean() << '\n';
+    os << "  availability       : " << availability.mean() << '\n';
+    os << "  charge latency p95 : " << latency_p95_s.mean() << " s\n";
     if (mean_final_soc.count() > 0)
       os << "  mean final SoC     : " << mean_final_soc.mean() << '\n';
   } else if (!replications.empty()) {

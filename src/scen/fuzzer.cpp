@@ -68,6 +68,56 @@ ScenarioSpec Fuzzer::generate(std::uint64_t index) const {
   spec.name = "fuzz_" + std::to_string(cfg_.root_seed) + "_" +
               std::to_string(index);
 
+  // ~15% of scenarios exercise the wireless-power field: a backscatter
+  // fleet under a single Watt gateway.  No faults section and no storage
+  // stanzas — the aiot engine owns the tags' whole energy lifecycle, and
+  // the loader rejects both for this composition.
+  if (cfg_.with_backscatter && s.chance(0.15)) {
+    FleetGroup tags;
+    tags.name = "tags";
+    tags.device_class = DeviceClass::Backscatter;
+    tags.count = s.irange(cfg_.min_sensors, cfg_.max_sensors);
+    spec.fleet.push_back(std::move(tags));
+    FleetGroup gw;
+    gw.name = "gateway";
+    gw.device_class = DeviceClass::Watt;
+    gw.count = 1;
+    spec.fleet.push_back(std::move(gw));
+
+    switch (s.irange(0, 2)) {
+      case 0:
+        spec.topology.kind = TopologyKind::Random;
+        spec.topology.field_side_m = s.range(15.0, 40.0);
+        if (s.chance(0.5)) spec.topology.seed = s.irange(1, 1 << 20);
+        break;
+      case 1:
+        spec.topology.kind = TopologyKind::Grid;
+        spec.topology.pitch_m = s.range(3.0, 8.0);
+        break;
+      default:
+        spec.topology.kind = TopologyKind::Star;
+        spec.topology.radius_m = s.range(3.0, 10.0);
+        break;
+    }
+
+    spec.workload.report_period_s = s.range(5.0, 30.0);
+    spec.workload.packet_bits = static_cast<double>(s.irange(16, 64) * 8);
+    spec.workload.gateway_tx_w = s.range(0.5, 4.0);
+    spec.workload.tag_loss_db = s.range(5.0, 25.0);
+
+    spec.run.duration_s =
+        std::round(s.range(cfg_.min_duration_s, cfg_.max_duration_s));
+    spec.run.seed = s.next() & 0xFFFFFFFFULL;
+    spec.run.replications = s.irange(1, cfg_.max_replications);
+    spec.run.pool = 0;
+
+    // Both tautologies are aiot observables too (coverage and brown-out
+    // availability are both fractions).
+    spec.assertions.push_back({"delivered_fraction", "<=", 1.0, -1, ""});
+    spec.assertions.push_back({"availability", "<=", 1.0, -1, ""});
+    return spec;
+  }
+
   FleetGroup g;
   g.name = "sensors";
   g.device_class = DeviceClass::MicroWatt;
@@ -253,7 +303,11 @@ std::vector<Edit> reduction_edits() {
     bool any = false;
     ScenarioSpec c = s;
     for (FleetGroup& g : c.fleet) {
-      if (g.device_class == DeviceClass::MicroWatt && g.count > 1) {
+      // Halve the bulk device groups; singleton roles (gateway, server,
+      // personal) stay put so the composition remains valid.
+      if ((g.device_class == DeviceClass::MicroWatt ||
+           g.device_class == DeviceClass::Backscatter) &&
+          g.count > 1) {
         g.count = std::max(1, g.count / 2);
         any = true;
       }

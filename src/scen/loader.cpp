@@ -224,14 +224,16 @@ FleetGroup load_group(Check& c, const Value& v, const std::string& path) {
   FleetGroup g;
   Check::Obj o(c, v, path);
   g.name = o.str("group", "");
-  const std::string cls =
-      o.keyword("class", "", {"microwatt", "milliwatt", "watt"});
+  const std::string cls = o.keyword(
+      "class", "", {"microwatt", "milliwatt", "watt", "backscatter"});
   if (cls.empty() && v.find("class") == nullptr)
     c.report(path, v.line(), "missing required key \"class\"");
   if (cls == "milliwatt")
     g.device_class = DeviceClass::MilliWatt;
   else if (cls == "watt")
     g.device_class = DeviceClass::Watt;
+  else if (cls == "backscatter")
+    g.device_class = DeviceClass::Backscatter;
   else
     g.device_class = DeviceClass::MicroWatt;
   g.count = static_cast<int>(o.integer("count", 1, 1, 1000000));
@@ -244,8 +246,8 @@ FleetGroup load_group(Check& c, const Value& v, const std::string& path) {
   return g;
 }
 
-TopologySpec load_topology(Check& c, const Value& v,
-                           const std::string& path) {
+TopologySpec load_topology(Check& c, const Value& v, const std::string& path,
+                           Engine engine) {
   TopologySpec t;
   Check::Obj o(c, v, path);
   const std::string kind =
@@ -272,6 +274,11 @@ TopologySpec load_topology(Check& c, const Value& v,
   if (t.kind != TopologyKind::Star && v.find("radius_m") != nullptr)
     c.report(path + ".radius_m", v.line(),
              "radius_m applies only to kind \"star\"");
+  // Backscatter tags are single-hop to the gateway: no multi-hop range.
+  if (engine == Engine::Aiot && v.find("radio_range_m") != nullptr)
+    c.report(path + ".radio_range_m", v.line(),
+             "applies only to the net engine (backscatter tags reach only "
+             "their gateway)");
   o.finish();
   return t;
 }
@@ -297,6 +304,25 @@ WorkloadSpec load_workload(Check& c, const Value& v, const std::string& path,
     w.routing = o.keyword("routing", w.routing, {"min_hop", "min_energy"});
     w.model_link_errors =
         o.boolean("model_link_errors", w.model_link_errors);
+    for (const char* ami_key :
+         {"events_per_hour", "sensor_report_bits", "context_message_bits",
+          "technology"})
+      if (v.find(ami_key) != nullptr)
+        c.report(path + "." + ami_key, v.find(ami_key)->line(),
+                 "applies only to the ami engine (mixed-class fleet)");
+    for (const char* aiot_key : {"gateway_tx_w", "tag_loss_db"})
+      if (v.find(aiot_key) != nullptr)
+        c.report(path + "." + aiot_key, v.find(aiot_key)->line(),
+                 "applies only to the aiot engine (backscatter fleet)");
+  } else if (engine == Engine::Aiot) {
+    w.report_period_s = o.num("report_period_s", w.report_period_s, 1e-3, 1e9);
+    w.packet_bits = o.num("packet_bits", w.packet_bits, 1.0, 1e9);
+    w.gateway_tx_w = o.num("gateway_tx_w", w.gateway_tx_w, 1e-3, 1e3);
+    w.tag_loss_db = o.num("tag_loss_db", w.tag_loss_db, 0.0, 60.0);
+    for (const char* net_key : {"mac", "routing", "model_link_errors"})
+      if (v.find(net_key) != nullptr)
+        c.report(path + "." + net_key, v.find(net_key)->line(),
+                 "applies only to the net engine (all-microwatt fleet)");
     for (const char* ami_key :
          {"events_per_hour", "sensor_report_bits", "context_message_bits",
           "technology"})
@@ -377,6 +403,13 @@ bool check_known(Engine engine, const std::string& check) {
       "responses_rendered", "latency_p50_s",           "latency_p95_s",
       "personal_battery_days", "system_power_w",
       "sensor_average_power_w", "obs_counter"};
+  static const std::set<std::string> aiot = {
+      "delivered_fraction", "coverage_fraction", "availability",
+      "mttf_s",             "mttr_s",            "latency_p50_s",
+      "latency_p95_s",      "generated",         "delivered",
+      "mean_final_soc",     "min_final_soc",     "final_soc",
+      "obs_counter"};
+  if (engine == Engine::Aiot) return aiot.count(check) > 0;
   return engine == Engine::Net ? net.count(check) > 0 : ami.count(check) > 0;
 }
 
@@ -487,6 +520,29 @@ LoadResult Loader::load_text(std::string_view text) const {
       if (spec.fleet[i].battery || spec.fleet[i].harvester)
         c.report("$.fleet[" + std::to_string(i) + "]", fleet->line(),
                  "battery/harvester stanzas apply only to the net engine");
+  } else if (engine == Engine::Aiot) {
+    int tags = 0, watt = 0, milli = 0, micro = 0;
+    for (const FleetGroup& g : spec.fleet) {
+      if (g.device_class == DeviceClass::Backscatter) tags += g.count;
+      if (g.device_class == DeviceClass::Watt) watt += g.count;
+      if (g.device_class == DeviceClass::MilliWatt) milli += g.count;
+      if (g.device_class == DeviceClass::MicroWatt) micro += g.count;
+    }
+    if (tags < 1 || watt != 1 || milli != 0 || micro != 0)
+      c.report("$.fleet", fleet->line(),
+               "aiot engine needs >= 1 backscatter tags and exactly 1 watt "
+               "gateway, nothing else (got " + std::to_string(tags) +
+                   " tags, " + std::to_string(watt) + " watt, " +
+                   std::to_string(milli) + " milliwatt, " +
+                   std::to_string(micro) + " microwatt)");
+    // The tag's storage capacitor and the gateway's mains feed are part of
+    // the engine; a battery or ambient harvester contradicts both.
+    for (std::size_t i = 0; i < spec.fleet.size(); ++i)
+      if (spec.fleet[i].battery || spec.fleet[i].harvester)
+        c.report("$.fleet[" + std::to_string(i) + "]", fleet->line(),
+                 "backscatter tags carry a built-in storage capacitor and "
+                 "RF harvester; battery/harvester stanzas apply only to "
+                 "the net engine");
   } else {
     if (spec.sensor_count() < 1)
       c.report("$.fleet", fleet->line(), "net engine needs >= 1 sensor");
@@ -509,7 +565,7 @@ LoadResult Loader::load_text(std::string_view text) const {
                "the ami engine has a fixed home topology; remove this "
                "section");
     else
-      spec.topology = load_topology(c, *t, "$.topology");
+      spec.topology = load_topology(c, *t, "$.topology", engine);
   }
 
   if (const Value* w = c.object_member(o, "workload"))
@@ -520,6 +576,10 @@ LoadResult Loader::load_text(std::string_view text) const {
       c.report("$.faults", f->line(),
                "fault injection is a net-engine feature; remove this "
                "section");
+    else if (engine == Engine::Aiot)
+      c.report("$.faults", f->line(),
+               "the aiot engine's only fault process is energy brown-out, "
+               "which the wireless-power field drives; remove this section");
     else
       spec.faults = load_faults(c, *f, "$.faults");
   }
@@ -527,7 +587,9 @@ LoadResult Loader::load_text(std::string_view text) const {
   if (const Value* r = c.object_member(o, "run"))
     spec.run = load_run(c, *r, "$.run");
 
-  bool has_energy = false;
+  // Every backscatter tag carries its storage capacitor, so the aiot
+  // engine is always energy-coupled and SoC assertions are valid.
+  bool has_energy = engine == Engine::Aiot;
   for (const FleetGroup& g : spec.fleet)
     if (g.battery) has_energy = true;
 

@@ -9,6 +9,7 @@ const char* to_string(DeviceClass c) {
     case DeviceClass::MicroWatt: return "microwatt";
     case DeviceClass::MilliWatt: return "milliwatt";
     case DeviceClass::Watt: return "watt";
+    case DeviceClass::Backscatter: return "backscatter";
   }
   return "?";
 }
@@ -23,10 +24,19 @@ const char* to_string(TopologyKind k) {
 }
 
 const char* to_string(Engine e) {
-  return e == Engine::Net ? "net" : "ami";
+  switch (e) {
+    case Engine::Net: return "net";
+    case Engine::Ami: return "ami";
+    case Engine::Aiot: return "aiot";
+  }
+  return "?";
 }
 
 Engine ScenarioSpec::engine() const {
+  // Any backscatter group selects the wireless-power field; the Watt group
+  // beside it is the gateway, not the ami server.
+  for (const FleetGroup& g : fleet)
+    if (g.device_class == DeviceClass::Backscatter) return Engine::Aiot;
   for (const FleetGroup& g : fleet)
     if (g.device_class != DeviceClass::MicroWatt) return Engine::Ami;
   return Engine::Net;
@@ -36,6 +46,13 @@ int ScenarioSpec::sensor_count() const {
   int n = 0;
   for (const FleetGroup& g : fleet)
     if (g.device_class == DeviceClass::MicroWatt) n += g.count;
+  return n;
+}
+
+int ScenarioSpec::tag_count() const {
+  int n = 0;
+  for (const FleetGroup& g : fleet)
+    if (g.device_class == DeviceClass::Backscatter) n += g.count;
   return n;
 }
 
@@ -83,7 +100,7 @@ std::string to_json(const ScenarioSpec& spec) {
   }
   root.set("fleet", std::move(fleet));
 
-  if (spec.engine() == Engine::Net) {
+  if (spec.engine() != Engine::Ami) {
     Value topo = Value::object();
     topo.set("kind", Value::string(to_string(spec.topology.kind)));
     switch (spec.topology.kind) {
@@ -97,7 +114,10 @@ std::string to_json(const ScenarioSpec& spec) {
         topo.set("radius_m", Value::number(spec.topology.radius_m));
         break;
     }
-    topo.set("radio_range_m", Value::number(spec.topology.radio_range_m));
+    // Backscatter tags talk only to the gateway; the multi-hop radio range
+    // is a net-engine knob.
+    if (spec.engine() == Engine::Net)
+      topo.set("radio_range_m", Value::number(spec.topology.radio_range_m));
     if (spec.topology.seed >= 0)
       topo.set("seed",
                Value::number(static_cast<double>(spec.topology.seed)));
@@ -117,6 +137,11 @@ std::string to_json(const ScenarioSpec& spec) {
     wl.set("routing", Value::string(spec.workload.routing));
     wl.set("model_link_errors",
            Value::boolean(spec.workload.model_link_errors));
+  } else if (spec.engine() == Engine::Aiot) {
+    wl.set("report_period_s", Value::number(spec.workload.report_period_s));
+    wl.set("packet_bits", Value::number(spec.workload.packet_bits));
+    wl.set("gateway_tx_w", Value::number(spec.workload.gateway_tx_w));
+    wl.set("tag_loss_db", Value::number(spec.workload.tag_loss_db));
   } else {
     wl.set("events_per_hour", Value::number(spec.workload.events_per_hour));
     wl.set("sensor_report_bits",

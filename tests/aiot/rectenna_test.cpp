@@ -1,0 +1,124 @@
+// RF power-transfer front end: incident density physics and the rectenna
+// efficiency curve (the monotone link the coverage benchmark gate rides).
+#include "ambisim/aiot/rectenna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace u = ambisim::units;
+using ambisim::aiot::incident_density;
+using ambisim::aiot::RectennaModel;
+using ambisim::radio::PathLossModel;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(AiotRectenna, DensityAtReferenceIsFreeSpaceSphere) {
+  const PathLossModel loss = PathLossModel::free_space();
+  const u::PowerDensity s =
+      incident_density(u::Power(2.0), loss, loss.ref_distance);
+  EXPECT_NEAR(s.value(), 2.0 / (4.0 * kPi), 1e-12);
+}
+
+TEST(AiotRectenna, FreeSpaceDensityIsInverseSquare) {
+  // With exponent 2 the log-distance excess reduces to 1/d^2 exactly, so
+  // the whole chain must reproduce S = P / (4 pi d^2).
+  const PathLossModel loss = PathLossModel::free_space();
+  for (const double d : {1.0, 2.0, 5.0, 12.5}) {
+    const u::PowerDensity s =
+        incident_density(u::Power(4.0), loss, u::Length(d));
+    EXPECT_NEAR(s.value(), 4.0 / (4.0 * kPi * d * d), 1e-12) << "d=" << d;
+  }
+}
+
+TEST(AiotRectenna, DenserEnvironmentStarvesFaster) {
+  const PathLossModel indoor{3.0, u::Length(1.0), 40.0};
+  const u::Power tx(2.0);
+  const u::Length d(8.0);
+  const double free = incident_density(tx, PathLossModel::free_space(), d)
+                          .value();
+  const double dense = incident_density(tx, indoor, d).value();
+  EXPECT_LT(dense, free);
+  // At the reference distance the environments agree (sphere anchors both).
+  EXPECT_NEAR(
+      incident_density(tx, indoor, u::Length(1.0)).value(),
+      incident_density(tx, PathLossModel::free_space(), u::Length(1.0))
+          .value(),
+      1e-12);
+}
+
+TEST(AiotRectenna, DensityRejectsNonPositiveTx) {
+  EXPECT_THROW(incident_density(u::Power(0.0), PathLossModel::free_space(),
+                                u::Length(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(incident_density(u::Power(-1.0), PathLossModel::free_space(),
+                                u::Length(1.0)),
+               std::invalid_argument);
+}
+
+TEST(AiotRectenna, EfficiencyZeroAtOrBelowSensitivity) {
+  const RectennaModel r = RectennaModel::printed_tag();
+  EXPECT_EQ(r.efficiency(r.sensitivity), 0.0);
+  EXPECT_EQ(r.efficiency(u::Power(r.sensitivity.value() * 0.5)), 0.0);
+  EXPECT_EQ(r.harvested(r.sensitivity).value(), 0.0);
+}
+
+TEST(AiotRectenna, EfficiencyPeaksAtSaturation) {
+  const RectennaModel r = RectennaModel::printed_tag();
+  EXPECT_DOUBLE_EQ(r.efficiency(r.saturation), r.peak_efficiency);
+  EXPECT_DOUBLE_EQ(r.efficiency(u::Power(r.saturation.value() * 100.0)),
+                   r.peak_efficiency);
+}
+
+TEST(AiotRectenna, EfficiencyIsLogLinearBetweenCorners) {
+  const RectennaModel r = RectennaModel::printed_tag();
+  // Geometric midpoint of [sensitivity, saturation] -> half the peak.
+  const double mid =
+      std::sqrt(r.sensitivity.value() * r.saturation.value());
+  EXPECT_NEAR(r.efficiency(u::Power(mid)), 0.5 * r.peak_efficiency, 1e-12);
+}
+
+TEST(AiotRectenna, EfficiencyMonotoneNonDecreasing) {
+  const RectennaModel r = RectennaModel::pcb_module();
+  double prev = -1.0;
+  for (double p = 1e-8; p < 1.0; p *= 1.7) {
+    const double e = r.efficiency(u::Power(p));
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(AiotRectenna, HarvestedFromDensityChainsApertureAndCurve) {
+  const RectennaModel r = RectennaModel::printed_tag();
+  const u::PowerDensity s = u::power_density_from_uw_cm2(50.0);
+  const u::Power captured = u::incident_power(s, r.aperture);
+  EXPECT_DOUBLE_EQ(r.harvested_from_density(s).value(),
+                   r.harvested(captured).value());
+  EXPECT_GT(u::as_microwatts(r.harvested_from_density(s)), 0.0);
+}
+
+TEST(AiotRectenna, ValidateRejectsNonPhysicalModels) {
+  RectennaModel r = RectennaModel::printed_tag();
+  r.aperture = u::Area(0.0);
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = RectennaModel::printed_tag();
+  r.saturation = r.sensitivity;  // curve needs a non-empty log span
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = RectennaModel::printed_tag();
+  r.peak_efficiency = 1.5;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(RectennaModel::printed_tag().validate());
+  EXPECT_NO_THROW(RectennaModel::pcb_module().validate());
+}
+
+TEST(AiotRectenna, PcbModuleOutharvestsPrintedTag) {
+  const u::PowerDensity s = u::power_density_from_uw_cm2(20.0);
+  EXPECT_GT(
+      RectennaModel::pcb_module().harvested_from_density(s).value(),
+      RectennaModel::printed_tag().harvested_from_density(s).value());
+}
+
+}  // namespace

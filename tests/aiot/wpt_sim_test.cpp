@@ -1,0 +1,161 @@
+// Wireless-power network: charge-then-burst accounting, RF-shadow honesty,
+// gateway-power monotonicity, and pool-size determinism of the study.
+#include "ambisim/aiot/wpt_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace u = ambisim::units;
+using ambisim::aiot::run_wpt_study;
+using ambisim::aiot::simulate_wpt;
+using ambisim::aiot::WptSimConfig;
+using ambisim::aiot::WptSimResult;
+using ambisim::aiot::WptStudyResult;
+using ambisim::net::Point;
+using ambisim::net::Topology;
+
+namespace {
+
+/// Gateway at the origin plus one tag per distance on the x axis.
+WptSimConfig pinned_config(std::vector<double> tag_distances) {
+  WptSimConfig cfg;
+  std::vector<Point> pts{{0.0, 0.0}};
+  for (const double d : tag_distances) pts.push_back({d, 0.0});
+  cfg.tag_count = static_cast<int>(tag_distances.size());
+  cfg.placement = Topology(std::move(pts));
+  return cfg;
+}
+
+TEST(AiotWptSim, ValidateRejectsBadConfigs) {
+  WptSimConfig cfg;
+  cfg.tag_count = 0;
+  EXPECT_THROW(simulate_wpt(cfg), std::invalid_argument);
+  cfg = WptSimConfig{};
+  cfg.gateway_tx_w = 0.0;
+  EXPECT_THROW(simulate_wpt(cfg), std::invalid_argument);
+  cfg = WptSimConfig{};
+  cfg.wake_soc = 0.2;  // wake below cutoff: the MAC could never latch
+  cfg.cutoff_soc = 0.25;
+  EXPECT_THROW(simulate_wpt(cfg), std::invalid_argument);
+  cfg = pinned_config({2.0, 4.0});
+  cfg.tag_count = 3;  // placement must hold tag_count + 1 nodes
+  EXPECT_THROW(simulate_wpt(cfg), std::invalid_argument);
+}
+
+TEST(AiotWptSim, NearTagChargesAndBursts) {
+  WptSimConfig cfg = pinned_config({2.0});
+  const WptSimResult r = simulate_wpt(cfg);
+  const long long slots =
+      static_cast<long long>(cfg.duration_s / cfg.report_period_s);
+  EXPECT_EQ(r.offered, slots);
+  EXPECT_GT(r.bursts, 0);
+  EXPECT_LE(r.bursts, r.offered);
+  EXPECT_GT(r.delivered_expect, 0.0);
+  EXPECT_LE(r.delivered_expect, static_cast<double>(r.bursts));
+  EXPECT_DOUBLE_EQ(r.coverage_fraction, 1.0);
+  EXPECT_EQ(r.dark_tags, 0);
+  EXPECT_GT(r.mean_charge_latency_s, 0.0);
+  EXPECT_GT(r.mean_harvest_uw, 0.0);
+}
+
+TEST(AiotWptSim, RfShadowTagStaysHonestlyDark) {
+  // 200 m from a 2 W gateway the incident power sits below the rectenna
+  // sensitivity: zero harvest, so the tag must never wake — Dead-until-
+  // charged for the whole horizon, not slowly charging.
+  WptSimConfig cfg = pinned_config({200.0});
+  const WptSimResult r = simulate_wpt(cfg);
+  EXPECT_EQ(r.bursts, 0);
+  EXPECT_EQ(r.dark_tags, 1);
+  EXPECT_DOUBLE_EQ(r.coverage_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.availability, 0.0);
+  EXPECT_DOUBLE_EQ(r.min_harvest_uw, 0.0);
+  // Starting dark and harvesting nothing, the capacitor stays empty.
+  ASSERT_EQ(r.final_soc.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.final_soc[1], 0.0);
+}
+
+TEST(AiotWptSim, GatewayHasNoCapacitor) {
+  const WptSimResult r = simulate_wpt(pinned_config({2.0, 5.0}));
+  ASSERT_EQ(r.final_soc.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.final_soc[0], -1.0);
+  for (std::size_t i = 1; i < r.final_soc.size(); ++i) {
+    EXPECT_GE(r.final_soc[i], 0.0);
+    EXPECT_LE(r.final_soc[i], 1.0);
+  }
+}
+
+TEST(AiotWptSim, MixedFieldCountsDarkTags) {
+  const WptSimResult r = simulate_wpt(pinned_config({2.0, 3.0, 200.0}));
+  EXPECT_EQ(r.dark_tags, 1);
+  EXPECT_NEAR(r.coverage_fraction, 2.0 / 3.0, 1e-12);
+  // Availability averages over tags, so one shadowed tag caps it.
+  EXPECT_LT(r.availability, 2.0 / 3.0 + 1e-12);
+}
+
+TEST(AiotWptSim, DeliveredFractionMonotoneInGatewayPower) {
+  WptSimConfig cfg;
+  cfg.tag_count = 24;
+  cfg.seed = 42;
+  double prev = -1.0;
+  for (const double tx : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    cfg.gateway_tx_w = tx;
+    const WptSimResult r = simulate_wpt(cfg);
+    EXPECT_GT(r.delivered_fraction, prev) << "tx=" << tx;
+    prev = r.delivered_fraction;
+  }
+}
+
+TEST(AiotWptSim, HigherPowerNeverLosesCoverage) {
+  WptSimConfig cfg;
+  cfg.tag_count = 24;
+  cfg.seed = 7;
+  cfg.gateway_tx_w = 0.5;
+  const WptSimResult lo = simulate_wpt(cfg);
+  cfg.gateway_tx_w = 8.0;
+  const WptSimResult hi = simulate_wpt(cfg);
+  EXPECT_GE(hi.coverage_fraction, lo.coverage_fraction);
+  EXPECT_LE(hi.dark_tags, lo.dark_tags);
+}
+
+TEST(AiotWptSim, SameSeedSameResult) {
+  WptSimConfig cfg;
+  cfg.seed = 99;
+  ambisim::fault::Digest a, b;
+  simulate_wpt(cfg).fold_into(a);
+  simulate_wpt(cfg).fold_into(b);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(AiotWptSim, StudyChecksumIdenticalAtPools128) {
+  WptSimConfig base;
+  base.tag_count = 16;
+  base.duration_s = 600.0;
+  std::uint64_t first = 0;
+  for (const int pool : {1, 2, 8}) {
+    ambisim::exec::ExecConfig ec;
+    ec.threads = static_cast<unsigned>(pool);
+    const WptStudyResult s = run_wpt_study(base, 6, 123, ec);
+    ASSERT_EQ(s.replications.size(), 6u);
+    if (pool == 1)
+      first = s.checksum;
+    else
+      EXPECT_EQ(s.checksum, first) << "pool=" << pool;
+  }
+  EXPECT_NE(first, 0u);
+}
+
+TEST(AiotWptSim, StudyReplicationZeroIsBaseVerbatim) {
+  WptSimConfig base;
+  base.tag_count = 16;
+  base.duration_s = 600.0;
+  const WptStudyResult s = run_wpt_study(base, 3, 123);
+  ambisim::fault::Digest lone, rep0;
+  simulate_wpt(base).fold_into(lone);
+  s.replications.front().fold_into(rep0);
+  EXPECT_EQ(lone.value(), rep0.value());
+  EXPECT_EQ(s.delivered_fraction.count(), 3u);
+}
+
+}  // namespace

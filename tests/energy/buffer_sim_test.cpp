@@ -118,3 +118,65 @@ TEST(Battery, SetStateOfChargeHelper) {
   EXPECT_THROW(b.set_state_of_charge(-0.1), std::invalid_argument);
   EXPECT_THROW(b.set_state_of_charge(1.1), std::invalid_argument);
 }
+
+// --- charge-then-burst edge cases (the battery-free tag MAC) ---
+
+namespace {
+
+/// 47 uF @ 2.4 V storage capacitor, no field: every joule is prepaid.
+ChargeBurstConfig dark_tag_config() {
+  ChargeBurstConfig cfg;
+  cfg.harvester = std::make_shared<ConstantSource>(u::Power(0.0));
+  cfg.duration = u::Time(120.0);
+  cfg.step = u::Time(0.1);
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ChargeBurst, CapacitorEmptyMidBurstAborts) {
+  // A 10 mW x 50 ms burst wants 500 uJ; at wake (90 %) the 47 uF cap holds
+  // ~244 uJ above empty, so the burst must die partway and be counted as
+  // aborted, not completed.
+  ChargeBurstConfig cfg = dark_tag_config();
+  cfg.initial_soc = cfg.wake_soc;
+  cfg.burst_power = u::Power(10e-3);
+  cfg.burst_duration = u::Time(0.05);
+  const ChargeBurstResult r = simulate_charge_burst(cfg);
+  EXPECT_EQ(r.bursts_completed, 0);
+  EXPECT_EQ(r.bursts_aborted, 1);
+  EXPECT_DOUBLE_EQ(r.final_soc, 0.0);
+  // The abort drained whatever was there — no more than the cap held plus
+  // the (requested) sleep draw over the rest of the horizon.
+  EXPECT_LE(r.consumed.value(),
+            0.9 * 47e-6 * 2.4 * 2.4 + 120.0 * 1e-6 + 1e-9);
+}
+
+TEST(ChargeBurst, InitialSocExactlyAtWakeBurstsImmediately) {
+  // SoC exactly at the threshold is awake, not "one ulp short": the burst
+  // fires at t = 0 with zero charge latency.
+  ChargeBurstConfig cfg = dark_tag_config();
+  cfg.initial_soc = cfg.wake_soc;
+  const ChargeBurstResult r = simulate_charge_burst(cfg);
+  EXPECT_EQ(r.bursts_completed, 1);
+  EXPECT_EQ(r.bursts_aborted, 0);
+  EXPECT_FALSE(r.starved);
+  EXPECT_DOUBLE_EQ(r.first_burst.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_charge_latency_s, 0.0);
+  // With no field the single burst is all the tag ever sends.
+  EXPECT_LT(r.final_soc, cfg.wake_soc);
+}
+
+TEST(ChargeBurst, ZeroHarvestNeverReachesWake) {
+  // Starvation must be reported as such: no bursts, zero first_burst,
+  // starved flag set — not a crash and not a phantom wake.
+  ChargeBurstConfig cfg = dark_tag_config();
+  cfg.initial_soc = 0.5;  // below wake, and the sleep draw only sinks it
+  const ChargeBurstResult r = simulate_charge_burst(cfg);
+  EXPECT_TRUE(r.starved);
+  EXPECT_EQ(r.bursts_completed, 0);
+  EXPECT_EQ(r.bursts_aborted, 0);
+  EXPECT_DOUBLE_EQ(r.first_burst.value(), 0.0);
+  EXPECT_LT(r.final_soc, 0.5);
+  EXPECT_DOUBLE_EQ(r.harvested.value(), 0.0);
+}

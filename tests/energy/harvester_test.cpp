@@ -95,3 +95,52 @@ TEST(Harvester, RealisticScaleIsMicrowatts) {
     EXPECT_LT(h->average_power().value(), 5e-3) << h->name();
   }
 }
+
+TEST(PowerDensityHarvester, ConstantFieldMatchesChain) {
+  // 100 uW/cm^2 field, 50 cm^2 aperture, 55 % conversion -> 2.75 mW.
+  const PowerDensityHarvester h(u::power_density_from_uw_cm2(100.0),
+                                u::Area(50e-4), 0.55);
+  EXPECT_NEAR(h.power_at(u::Time(0.0)).value(), 2.75e-3, 1e-12);
+  EXPECT_NEAR(h.average_power().value(), 2.75e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(h.density_at(u::Time(500.0)).value(), 1.0);
+  EXPECT_EQ(h.name(), "power-density");
+}
+
+TEST(PowerDensityHarvester, ProfileStepsBetweenBreakpoints) {
+  // Gateway duty cycle: field on for 60 s, off for 60 s, back on.
+  const PowerDensityHarvester h(
+      {{u::Time(0.0), u::PowerDensity(0.5)},
+       {u::Time(60.0), u::PowerDensity(0.0)},
+       {u::Time(120.0), u::PowerDensity(0.5)}},
+      u::Area(50e-4), 0.5);
+  EXPECT_GT(h.power_at(u::Time(30.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(h.power_at(u::Time(90.0)).value(), 0.0);
+  EXPECT_GT(h.power_at(u::Time(150.0)).value(), 0.0);
+  // Before the first breakpoint the field is the first sample's.
+  EXPECT_DOUBLE_EQ(h.density_at(u::Time(0.0)).value(), 0.5);
+}
+
+TEST(PowerDensityHarvester, AverageIsTimeWeighted) {
+  // 0.4 W/m^2 for 100 s then 0.0 onwards: the span mean is 0.4 * aperture
+  // * efficiency over the first segment only.
+  const PowerDensityHarvester h({{u::Time(0.0), u::PowerDensity(0.4)},
+                                 {u::Time(100.0), u::PowerDensity(0.0)}},
+                                u::Area(1e-2), 1.0);
+  EXPECT_NEAR(h.average_power().value(), 0.4 * 1e-2, 1e-12);
+}
+
+TEST(PowerDensityHarvester, RejectsBadArguments) {
+  EXPECT_THROW(
+      PowerDensityHarvester(std::vector<PowerDensityHarvester::Sample>{},
+                            u::Area(1e-2), 0.5),
+      std::invalid_argument);
+  EXPECT_THROW(PowerDensityHarvester(u::PowerDensity(1.0), u::Area(0.0), 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(PowerDensityHarvester(u::PowerDensity(1.0), u::Area(1e-2),
+                                     1.5),
+               std::invalid_argument);
+  EXPECT_THROW(PowerDensityHarvester({{u::Time(10.0), u::PowerDensity(1.0)},
+                                      {u::Time(5.0), u::PowerDensity(1.0)}},
+                                     u::Area(1e-2), 0.5),
+               std::invalid_argument);
+}

@@ -125,3 +125,71 @@ TEST(LinkTable, LinkErrorModelIsDeterministic) {
 }
 
 }  // namespace
+
+// --- monostatic backscatter pricing (the aiot uplink) ---
+
+TEST(LinkTable, MonostaticOptionMatchesBackscatterChain) {
+  const Topology topo = Topology::star(6, u::Length(8.0));
+  const radio::RadioModel radio(radio::backscatter_tag());
+  const u::Information bits(256.0);
+  const radio::ArqModel arq;
+  net::LinkTableOptions opt;
+  opt.model = net::LinkModel::MonostaticBackscatter;
+  opt.tag_loss_db = 15.0;
+  const LinkTable table(topo, radio, bits, arq, opt);
+
+  const radio::LinkBudget budget = radio.link_budget();
+  const radio::Modulation& mod = radio.params().modulation;
+  for (int tag = 1; tag < topo.size(); ++tag) {
+    const auto& s = table.edge(tag, 0);
+    const u::Length d = topo.node_distance(tag, 0);
+    // Same cache contract as the two-way table: bitwise equal to the
+    // direct monostatic call chain.
+    const double ber =
+        radio::backscatter_bit_error_rate_at(budget, mod, d, 15.0);
+    EXPECT_EQ(s.ber, ber);
+    EXPECT_EQ(s.per, radio::packet_error_rate(ber, bits.value()));
+    EXPECT_EQ(s.delivery_probability,
+              arq.delivery_probability(s.per));
+  }
+}
+
+TEST(LinkTable, MonostaticIsWorseThanTwoWayAtEqualDistance) {
+  const Topology topo = Topology::star(6, u::Length(8.0));
+  const radio::RadioModel radio(radio::backscatter_tag());
+  const u::Information bits(256.0);
+  net::LinkTableOptions mono;
+  mono.model = net::LinkModel::MonostaticBackscatter;
+  const LinkTable round_trip(topo, radio, bits, radio::ArqModel{}, mono);
+  const LinkTable one_way(topo, radio, bits);
+  for (int tag = 1; tag < topo.size(); ++tag) {
+    EXPECT_GE(round_trip.edge(tag, 0).ber, one_way.edge(tag, 0).ber);
+    EXPECT_LE(round_trip.edge(tag, 0).delivery_probability,
+              one_way.edge(tag, 0).delivery_probability);
+  }
+}
+
+TEST(LinkTable, OptionsRejectNegativeTagLoss) {
+  const Topology topo = Topology::star(3, u::Length(5.0));
+  const radio::RadioModel radio(radio::backscatter_tag());
+  net::LinkTableOptions opt;
+  opt.tag_loss_db = -1.0;
+  EXPECT_THROW(LinkTable(topo, radio, u::Information(256.0),
+                         radio::ArqModel{}, opt),
+               std::invalid_argument);
+}
+
+TEST(LinkTable, DefaultOptionsAreTheTwoWayModel) {
+  // The options parameter must be a pure extension: default-constructed
+  // options price identically to the pre-options table.
+  const Topology topo = Topology::grid(9, u::Length(12.0));
+  const radio::RadioModel radio(radio::ulp_radio());
+  const LinkTable legacy(topo, radio, u::Information(512.0));
+  const LinkTable with_opts(topo, radio, u::Information(512.0),
+                            radio::ArqModel{}, net::LinkTableOptions{});
+  for (int a = 0; a < topo.size(); ++a)
+    for (int b = 0; b < topo.size(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(legacy.edge(a, b).ber, with_opts.edge(a, b).ber);
+    }
+}

@@ -129,3 +129,76 @@ TEST(Ber, Validation) {
   const ArqModel arq;
   EXPECT_THROW(arq.expected_attempts(1.5), std::invalid_argument);
 }
+
+// --- monostatic backscatter (the battery-free tag uplink) ---
+
+TEST(Backscatter, RoundTripIsTwiceTheOneWayLossPlusTag) {
+  // With tag_loss_db = 0 the monostatic BER at distance d must equal the
+  // one-way BER of a budget whose path loss is paid twice — same SNR by
+  // construction, same Eb/N0 chain.
+  const LinkBudget b{dbm_to_watt(33.0), PathLossModel::free_space(), 1_MHz,
+                     10.0};
+  const u::Length d(8.0);
+  LinkBudget doubled = b;
+  doubled.path_loss.loss_at_ref_db = 2.0 * b.path_loss.loss_at_ref_db;
+  doubled.path_loss.exponent = 2.0 * b.path_loss.exponent;
+  EXPECT_NEAR(
+      backscatter_bit_error_rate_at(b, Modulation::backscatter(), d, 0.0),
+      bit_error_rate_at(doubled, Modulation::backscatter(), d), 1e-12);
+}
+
+TEST(Backscatter, TagLossDegradesBer) {
+  const LinkBudget b{dbm_to_watt(33.0), PathLossModel::free_space(), 1_MHz,
+                     10.0};
+  const u::Length d(6.0);
+  double prev = 0.0;
+  for (const double loss : {0.0, 6.0, 12.0, 20.0}) {
+    const double ber =
+        backscatter_bit_error_rate_at(b, Modulation::backscatter(), d, loss);
+    EXPECT_GE(ber, prev) << "tag loss " << loss << " dB";
+    prev = ber;
+  }
+  EXPECT_THROW(backscatter_bit_error_rate_at(b, Modulation::backscatter(), d,
+                                             -1.0),
+               std::invalid_argument);
+}
+
+TEST(Backscatter, FallsOffMuchFasterThanOneWay) {
+  // Paying the channel out and back: between 2 m and 10 m the monostatic
+  // link must lose more dB than the one-way link, so its BER crosses the
+  // coin-flip regime while the one-way link still decodes.
+  const LinkBudget b{dbm_to_watt(33.0), PathLossModel::indoor(), 1_MHz, 10.0};
+  const double near = backscatter_bit_error_rate_at(
+      b, Modulation::backscatter(), u::Length(2.0), 12.0);
+  const double far = backscatter_bit_error_rate_at(
+      b, Modulation::backscatter(), u::Length(10.0), 12.0);
+  const double far_one_way =
+      bit_error_rate_at(b, Modulation::ook(), u::Length(10.0));
+  EXPECT_LT(near, 1e-6);
+  EXPECT_GT(far, far_one_way);
+  EXPECT_LE(far, 0.5);
+}
+
+TEST(Backscatter, ModulationEntryDetectsAsNoncoherentOok) {
+  // The BACKSCATTER entry shares OOK's noncoherent detector: same AWGN
+  // curve at equal Eb/N0, but a stiffer required_ebn0_db for link budgets.
+  const double ebn0 = std::pow(10.0, 12.0 / 10.0);
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::backscatter(), ebn0),
+                   bit_error_rate(Modulation::ook(), ebn0));
+  EXPECT_GT(Modulation::backscatter().required_ebn0_db,
+            Modulation::ook().required_ebn0_db);
+  EXPECT_DOUBLE_EQ(Modulation::backscatter().bits_per_symbol, 1.0);
+}
+
+TEST(Backscatter, TagPresetClosesAtRoomRange) {
+  // The backscatter_tag() preset prices a 2 W illuminator monostatically:
+  // usable in a room, dead across a warehouse.
+  const RadioParams tag = backscatter_tag();
+  const LinkBudget b{tag.tx_radiated, tag.environment, tag.bandwidth, 10.0};
+  const double near = backscatter_bit_error_rate_at(
+      b, tag.modulation, u::Length(3.0), 15.0);
+  const double far = backscatter_bit_error_rate_at(
+      b, tag.modulation, u::Length(60.0), 15.0);
+  EXPECT_LT(near, 1e-3);
+  EXPECT_GT(far, 0.1);
+}

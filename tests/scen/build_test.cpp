@@ -228,3 +228,104 @@ TEST(ScenBuild, ObsCounterAssertionArmsProbesAndReadsMetric) {
 #endif
 
 }  // namespace
+
+// --- aiot engine lowering ---
+
+namespace {
+
+constexpr const char* kAiotSpec = R"({
+  "name": "aiot",
+  "fleet": [
+    { "group": "tags",    "class": "backscatter", "count": 12 },
+    { "group": "gateway", "class": "watt",        "count": 1 },
+  ],
+  "topology": { "kind": "random", "field_side_m": 25 },
+  "workload": {
+    "report_period_s": 60,
+    "packet_bits": 256,
+    "gateway_tx_w": 2.0,
+    "tag_loss_db": 15,
+  },
+  "run": { "duration_s": 1200, "seed": 9 },
+})";
+
+}  // namespace
+
+TEST(ScenBuild, AiotSpecReproducesHandWrittenRun) {
+  const auto spec = load(kAiotSpec);
+
+  aiot::WptSimConfig hand;
+  hand.tag_count = 12;
+  hand.field_side = u::Length(25.0);
+  hand.gateway_tx_w = 2.0;
+  hand.tag_loss_db = 15.0;
+  hand.report_period_s = 60.0;
+  hand.packet_bits = 256.0;
+  hand.duration_s = 1200.0;
+  hand.seed = 9;
+  const auto direct = aiot::simulate_wpt(hand);
+
+  const auto summary = scen::run_scenario(spec);
+  ASSERT_EQ(summary.replications.size(), 1u);
+  const auto& rep = summary.replications[0];
+  EXPECT_DOUBLE_EQ(rep.delivered_fraction, direct.delivered_fraction);
+  EXPECT_DOUBLE_EQ(rep.goodput_fraction, direct.coverage_fraction);
+  EXPECT_EQ(rep.generated, direct.offered);
+  EXPECT_EQ(rep.delivered, direct.bursts);
+  EXPECT_EQ(rep.lost, direct.offered - direct.bursts);
+  EXPECT_DOUBLE_EQ(rep.latency_p95_s, direct.charge_latency_p95_s);
+  EXPECT_DOUBLE_EQ(rep.availability, direct.availability);
+  // Gateway is batteryless (-1); tags report capacitor SoC.
+  ASSERT_EQ(rep.final_soc.size(), direct.final_soc.size());
+  EXPECT_DOUBLE_EQ(rep.final_soc[0], -1.0);
+}
+
+TEST(ScenBuild, AiotChecksumIsPoolInvariant) {
+  auto spec = load(kAiotSpec);
+  spec.run.replications = 6;
+  std::uint64_t first = 0;
+  for (const int pool : {1, 2, 8}) {
+    scen::RunOverrides o;
+    o.pool = pool;
+    const auto s = scen::run_scenario(spec, o);
+    if (pool == 1)
+      first = s.checksum;
+    else
+      EXPECT_EQ(s.checksum, first) << "pool " << pool;
+  }
+  EXPECT_NE(first, 0u);
+}
+
+TEST(ScenBuild, AiotGridTopologyLowersToPinnedPlacement) {
+  const auto spec = load(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 1 },
+  ],
+  "topology": { "kind": "grid", "pitch_m": 4 },
+})");
+  const auto cfg = scen::build_wpt_config(spec);
+  ASSERT_TRUE(cfg.placement.has_value());
+  EXPECT_EQ(cfg.placement->size(), 9);
+  // A pinned layout makes every replication identical — the run stays
+  // deterministic rather than degenerate.
+  const auto direct = aiot::simulate_wpt(cfg);
+  EXPECT_GE(direct.coverage_fraction, 0.0);
+}
+
+TEST(ScenBuild, BuildWptConfigRejectsOtherEngines) {
+  const auto spec = load(kNetSpec);
+  EXPECT_THROW((void)scen::build_wpt_config(spec), std::invalid_argument);
+}
+
+TEST(ScenBuild, AiotAssertionsReadMappedObservables) {
+  auto spec = load(kAiotSpec);
+  spec.assertions.push_back({"coverage_fraction", ">=", 0.0, -1, ""});
+  spec.assertions.push_back({"delivered_fraction", "<=", 1.0, -1, ""});
+  spec.assertions.push_back({"mean_final_soc", ">=", 0.0, -1, ""});
+  const auto s = scen::run_scenario(spec);
+  EXPECT_TRUE(s.assertions_passed);
+  ASSERT_EQ(s.assertions.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.assertions[0].observed,
+                   s.replications[0].goodput_fraction);
+}

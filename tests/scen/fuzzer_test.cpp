@@ -29,9 +29,11 @@ TEST(ScenFuzzer, GenerationIsPure) {
 TEST(ScenFuzzer, GenerationChecksumGolden) {
   // Committed golden: 50 specs from root seed 1.  A change here means the
   // generator's byte output moved — deliberate generator changes must
-  // update this constant and say so in the commit message.
+  // update this constant and say so in the commit message.  (Last moved
+  // when the backscatter arm was added; the pre-backscatter stream is
+  // still pinned by BackscatterOffReproducesLegacyStream below.)
   scen::Fuzzer fuzzer;
-  EXPECT_EQ(fuzzer.generation_checksum(50), 0x991e5d9a508401a3ull);
+  EXPECT_EQ(fuzzer.generation_checksum(50), 0x3942c48c07183ca4ull);
 }
 
 TEST(ScenFuzzer, DifferentRootSeedsDiverge) {
@@ -135,3 +137,29 @@ TEST(ScenFuzzer, WriteReproRoundTrips) {
 }
 
 }  // namespace
+
+TEST(ScenFuzzer, GeneratorEmitsBackscatterFleets) {
+  // The aiot arm fires ~15% of the time; 100 specs make a miss
+  // astronomically unlikely, and every hit must be a valid aiot spec.
+  scen::Fuzzer fuzzer;
+  int aiot = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto spec = fuzzer.generate(i);
+    if (spec.engine() != scen::Engine::Aiot) continue;
+    ++aiot;
+    EXPECT_GE(spec.tag_count(), fuzzer.config().min_sensors) << i;
+    EXPECT_FALSE(spec.faults.has_value()) << i;
+  }
+  EXPECT_GT(aiot, 0);
+  EXPECT_LT(aiot, 50);  // it stays an arm, not the main line
+}
+
+TEST(ScenFuzzer, BackscatterOffReproducesLegacyStream) {
+  // with_backscatter=false consumes no generation draw, so the stream —
+  // and therefore the checksum — matches the pre-backscatter generator's
+  // committed golden exactly.
+  scen::FuzzConfig legacy;
+  legacy.with_backscatter = false;
+  EXPECT_EQ(scen::Fuzzer(legacy).generation_checksum(50),
+            0x991e5d9a508401a3ull);
+}

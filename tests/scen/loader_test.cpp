@@ -247,3 +247,133 @@ TEST(ScenLoader, AmiWorkloadKeysRejectedOnNetEngine) {
 }
 
 }  // namespace
+
+// --- aiot engine (backscatter fleet + Watt gateway) ---
+
+namespace {
+
+constexpr const char* kMinimalAiot = R"({
+  "fleet": [
+    { "group": "tags",    "class": "backscatter", "count": 16 },
+    { "group": "gateway", "class": "watt",        "count": 1 },
+  ],
+})";
+
+}  // namespace
+
+TEST(ScenLoader, MinimalAiotSpecSelectsAiotEngine) {
+  const auto r = Loader{}.load_text(kMinimalAiot);
+  ASSERT_TRUE(r.ok()) << r.format_diagnostics();
+  EXPECT_EQ(r.spec->engine(), ambisim::scen::Engine::Aiot);
+  EXPECT_EQ(r.spec->tag_count(), 16);
+  EXPECT_DOUBLE_EQ(r.spec->workload.gateway_tx_w, 2.0);
+  EXPECT_DOUBLE_EQ(r.spec->workload.tag_loss_db, 15.0);
+}
+
+TEST(ScenLoader, AiotCompositionNeedsExactlyOneGateway) {
+  const auto none = Loader{}.load_text(R"({
+  "fleet": [ { "class": "backscatter", "count": 8 } ],
+})");
+  ASSERT_FALSE(none.ok());
+  EXPECT_TRUE(has_diag(none, "gateway"));
+  const auto two = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 2 },
+  ],
+})");
+  ASSERT_FALSE(two.ok());
+  const auto mixed = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 1 },
+    { "class": "microwatt", "count": 4 },
+  ],
+})");
+  EXPECT_FALSE(mixed.ok());
+}
+
+TEST(ScenLoader, AiotRejectsStorageStanzasAndFaults) {
+  const auto battery = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8,
+      "battery": { "kind": "thin_film_1mAh" } },
+    { "class": "watt", "count": 1 },
+  ],
+})");
+  ASSERT_FALSE(battery.ok());
+  const auto faults = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 1 },
+  ],
+  "faults": { "crash_mttf_s": 1000 },
+})");
+  ASSERT_FALSE(faults.ok());
+  EXPECT_TRUE(has_diag(faults, "brown-out"));
+}
+
+TEST(ScenLoader, AiotRejectsNetWorkloadAndRadioRange) {
+  const auto mac = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 1 },
+  ],
+  "workload": { "mac": { "wake_interval_s": 0.5 } },
+})");
+  ASSERT_FALSE(mac.ok());
+  const auto range = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 1 },
+  ],
+  "topology": { "kind": "random", "radio_range_m": 15 },
+})");
+  ASSERT_FALSE(range.ok());
+  EXPECT_TRUE(has_diag(range, "net engine"));
+}
+
+TEST(ScenLoader, AiotWorkloadKnobsLoadAndRangeCheck) {
+  const auto ok = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 1 },
+  ],
+  "workload": { "gateway_tx_w": 4.0, "tag_loss_db": 10 },
+})");
+  ASSERT_TRUE(ok.ok()) << ok.format_diagnostics();
+  EXPECT_DOUBLE_EQ(ok.spec->workload.gateway_tx_w, 4.0);
+  EXPECT_DOUBLE_EQ(ok.spec->workload.tag_loss_db, 10.0);
+  const auto bad = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 1 },
+  ],
+  "workload": { "gateway_tx_w": 0 },
+})");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ScenLoader, AiotAssertionObservablesIncludeCoverage) {
+  const auto r = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 1 },
+  ],
+  "assertions": [
+    { "check": "coverage_fraction", "op": ">=", "value": 0.5 },
+    { "check": "final_soc", "node": 1, "op": "<=", "value": 1.0 },
+  ],
+})");
+  ASSERT_TRUE(r.ok()) << r.format_diagnostics();
+  // net-only observables still name the engine in the rejection.
+  const auto bad = Loader{}.load_text(R"({
+  "fleet": [
+    { "class": "backscatter", "count": 8 },
+    { "class": "watt", "count": 1 },
+  ],
+  "assertions": [ { "check": "mean_hops", "op": ">=", "value": 1 } ],
+})");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(has_diag(bad, "aiot"));
+}

@@ -95,3 +95,24 @@ TEST(Units, ToStringHelpers) {
   EXPECT_EQ(u::to_string(1.0_mW), "1 mW");
   EXPECT_EQ(u::to_string(2.0_Mbps), "2 Mbit/s");
 }
+
+TEST(Units, PowerDensityLiteralsAgree) {
+  // 1 mW/cm^2 = 10 W/m^2; 1 uW/cm^2 = 0.01 W/m^2.
+  EXPECT_DOUBLE_EQ((1.0_mW_cm2).value(), 10.0);
+  EXPECT_DOUBLE_EQ((1000.0_uW_cm2).value(), (1.0_mW_cm2).value());
+  EXPECT_DOUBLE_EQ((1_W_m2).value(), 1.0);
+  EXPECT_DOUBLE_EQ(u::power_density_from_uw_cm2(50.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(u::as_uw_cm2(u::PowerDensity(0.5)), 50.0);
+}
+
+TEST(Units, IncidentPowerIsDensityTimesArea) {
+  // 100 uW/cm^2 over 50 cm^2 captures 5 mW — dimensions close to Power.
+  const u::Power p = u::incident_power(100.0_uW_cm2, u::Area(50e-4));
+  EXPECT_NEAR(p.value(), 5e-3, 1e-15);
+  EXPECT_DOUBLE_EQ(u::as_microwatts(p), 5000.0);
+  EXPECT_DOUBLE_EQ(u::microwatts(2.5).value(), 2.5e-6);
+}
+
+TEST(Units, PowerDensityToString) {
+  EXPECT_EQ(u::to_string(u::PowerDensity(0.5)), "500 mW/m^2");
+}
