@@ -1,0 +1,327 @@
+// CITY: city-scale hot paths — spatial-grid adjacency, sparse CSR link
+// state, batched link evaluation, and routing over the cached neighbor
+// table.
+//
+// Two halves, both load-bearing:
+//
+//  1. Verification gate (<= 512-node topologies, where the O(N^2) oracle
+//     is cheap): the grid-backed Topology::adjacency must be *byte-
+//     identical* to adjacency_bruteforce, and every edge the sparse
+//     LinkTable materializes must carry bitwise the stats of the dense
+//     table.  Any divergence exits non-zero — the fast paths are indexes,
+//     not approximations.
+//
+//  2. Scale sweep (1k / 10k / 50k / 100k nodes on random_field at constant
+//     density: side grows with sqrt(n), so the mean degree stays fixed
+//     while the dense-table footprint would grow with n^2).  Each point
+//     records the adjacency build time, sparse link build time and
+//     evaluation throughput, routing time over the cached table, exact
+//     edge counts, O(edges) bytes-per-node, and an order-sensitive digest
+//     of the whole adjacency + link state.  Wall-clock fields end in
+//     `_wall_s` / `_events_per_s` so the baseline compare ignores them;
+//     everything else is deterministic and gated.
+//
+// Emits BENCH_city.json.  The dense table at 100k nodes would hold 1e10
+// rows (~400 GB) — the sweep is only runnable because of the sparse path,
+// which is the point.
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ambisim/fault/reliability.hpp"
+#include "ambisim/net/link_table.hpp"
+#include "ambisim/net/routing.hpp"
+#include "ambisim/net/sparse_link_table.hpp"
+#include "ambisim/net/spatial_grid.hpp"
+#include "ambisim/net/topology.hpp"
+#include "ambisim/sim/random.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+#include "benchmark/benchmark.h"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using net::Adjacency;
+using net::SparseLinkTable;
+using net::Topology;
+
+constexpr std::uint64_t kSeed = 2008;
+const int kSweepNodes[] = {1000, 10000, 50000, 100000};
+constexpr double kRangeM = 15.0;
+/// side = kDensitySide * sqrt(n): ~0.028 nodes/m^2, mean degree ~20.
+constexpr double kDensitySide = 6.0;
+
+double now_minus(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- half 1: the differential oracle ---------------------------------------
+
+bool verify_adjacency(const Topology& topo, double range_m) {
+  const u::Length range(range_m);
+  if (topo.adjacency(range) != topo.adjacency_bruteforce(range)) {
+    std::cerr << "FATAL: grid adjacency diverged from brute force (n="
+              << topo.size() << ", range=" << range_m << ")\n";
+    return false;
+  }
+  return true;
+}
+
+bool verify_topology(const Topology& topo, double range_m) {
+  if (!verify_adjacency(topo, range_m)) return false;
+  const u::Length range(range_m);
+  const radio::RadioModel radio(radio::ulp_radio());
+  const u::Information bits(512.0);
+  const radio::ArqModel arq;
+  const net::LinkTable dense(topo, radio, bits, arq);
+  const SparseLinkTable sparse(topo, radio, bits, range, arq);
+  for (int from = 0; from < topo.size(); ++from)
+    for (int to = 0; to < topo.size(); ++to) {
+      if (from == to) continue;
+      const bool within =
+          topo.node_distance(from, to).value() <= range_m;
+      if (sparse.has_edge(from, to) != within) {
+        std::cerr << "FATAL: sparse edge set disagrees with the range "
+                  << "cutoff at (" << from << ", " << to << ")\n";
+        return false;
+      }
+      if (!within) continue;
+      const net::LinkStats& d = dense.edge(from, to);
+      const net::LinkStats s = sparse.edge(from, to);
+      if (s.distance_m != d.distance_m || s.ber != d.ber ||
+          s.per != d.per || s.expected_attempts != d.expected_attempts ||
+          s.delivery_probability != d.delivery_probability) {
+        std::cerr << "FATAL: sparse stats diverged from dense at ("
+                  << from << ", " << to << ")\n";
+        return false;
+      }
+    }
+  return true;
+}
+
+int verify_all(bool& ok) {
+  int checked = 0;
+  sim::Rng rng(kSeed);
+  // Random fields across sizes, densities, and range/cell ratios.
+  for (const int n : {1, 2, 33, 128, 512})
+    for (const double side : {8.0, 60.0, 400.0}) {
+      sim::Rng field(rng.engine()());
+      const Topology topo = Topology::random_field(n, u::Length(side), field);
+      for (const double range : {side * 0.05, 15.0, side * 1.5}) {
+        ok = ok && verify_topology(topo, range);
+        ++checked;
+      }
+    }
+  // Structured layouts and the degenerate all-coincident cloud.
+  ok = ok && verify_topology(Topology::grid(256, u::Length(10.0)), 14.2);
+  ok = ok && verify_topology(Topology::star(64, u::Length(20.0)), 25.0);
+  // All-coincident cloud: zero-length edges are unpriceable by the radio
+  // chain (both tables reject them), so this one gates adjacency only.
+  ok = ok && verify_adjacency(
+                 Topology(std::vector<net::Point>(65, net::Point{1.0, 2.0})),
+                 5.0);
+  return checked + 3;
+}
+
+// --- half 2: the scale sweep -----------------------------------------------
+
+struct CityPoint {
+  int nodes = 0;
+  double side_m = 0.0;
+  std::size_t edges = 0;
+  double adjacency_bytes_per_node = 0.0;
+  double links_bytes_per_node = 0.0;
+  std::uint64_t checksum = 0;
+  bool sink_connected = false;
+  // Wall-clock (ignored by the baseline compare).
+  double adjacency_build_wall_s = 0.0;
+  double links_build_wall_s = 0.0;
+  double routing_wall_s = 0.0;
+  double link_eval_events_per_s = 0.0;
+};
+
+CityPoint run_point(int n) {
+  CityPoint pt;
+  pt.nodes = n;
+  pt.side_m = kDensitySide * std::sqrt(static_cast<double>(n));
+  sim::Rng rng(kSeed + static_cast<std::uint64_t>(n));
+  const Topology topo =
+      Topology::random_field(n, u::Length(pt.side_m), rng);
+
+  auto t0 = std::chrono::steady_clock::now();
+  const Adjacency adj = topo.neighbor_table(u::Length(kRangeM));
+  pt.adjacency_build_wall_s = now_minus(t0);
+  pt.edges = adj.edge_count();
+
+  const radio::RadioModel radio(radio::ulp_radio());
+  t0 = std::chrono::steady_clock::now();
+  const SparseLinkTable links(topo, adj, radio, u::Information(512.0));
+  pt.links_build_wall_s = now_minus(t0);
+  pt.link_eval_events_per_s =
+      pt.links_build_wall_s > 0.0
+          ? static_cast<double>(links.edge_count()) / pt.links_build_wall_s
+          : 0.0;
+
+  t0 = std::chrono::steady_clock::now();
+  const net::RoutingTree tree =
+      net::min_energy_routes(topo, adj, net::LinkEnergyModel{});
+  pt.routing_wall_s = now_minus(t0);
+  pt.sink_connected = topo.connected(adj);
+
+  // Exact-size footprint (counts, not vector capacity, so the figure is
+  // reproducible across allocators): CSR offsets + per-edge columns.
+  const double nd = static_cast<double>(n);
+  const double e = static_cast<double>(pt.edges);
+  pt.adjacency_bytes_per_node =
+      ((nd + 1.0) * sizeof(std::int64_t) +
+       e * (sizeof(int) + sizeof(double))) / nd;
+  pt.links_bytes_per_node =
+      ((nd + 1.0) * sizeof(std::int64_t) +
+       e * (sizeof(int) + 5.0 * sizeof(double))) / nd;
+
+  // Order-sensitive digest over the whole adjacency, the sparse link
+  // state, and the routing tree: any reordering or value drift in the
+  // fast paths moves this checksum, and the baseline compare gates it.
+  fault::Digest digest;
+  digest.fold(n);
+  digest.fold(static_cast<long long>(pt.edges));
+  for (int i = 0; i < adj.size(); ++i) {
+    const Adjacency::Row row = adj.row(i);
+    const SparseLinkTable::Row lrow = links.row(i);
+    for (std::size_t k = 0; k < row.count; ++k) {
+      digest.fold(row.ids[k]);
+      digest.fold(row.dist[k]);
+      digest.fold(lrow.delivery_probability[k]);
+      digest.fold(lrow.expected_attempts[k]);
+    }
+    digest.fold(tree.next_hop[static_cast<std::size_t>(i)]);
+    digest.fold(tree.cost[static_cast<std::size_t>(i)]);
+  }
+  pt.checksum = digest.value();
+  return pt;
+}
+
+void print_city() {
+  bool ok = true;
+  const int verified = verify_all(ok);
+  std::cout << "verification topologies (<=512 nodes): " << verified
+            << ", grid == brute force and sparse == dense: "
+            << (ok ? "YES" : "NO") << "\n\n";
+  if (!ok) std::exit(1);
+
+  std::vector<CityPoint> sweep;
+  sweep.reserve(std::size(kSweepNodes));
+  for (const int n : kSweepNodes) sweep.push_back(run_point(n));
+
+  sim::Table t("CITY: adjacency + sparse link state at constant density "
+               "(range 15 m, ~20 neighbors/node)",
+               {"nodes", "edges", "adj_build_s", "links_build_s",
+                "routing_s", "links_B_per_node"});
+  for (const CityPoint& pt : sweep)
+    t.add_row({static_cast<double>(pt.nodes),
+               static_cast<double>(pt.edges), pt.adjacency_build_wall_s,
+               pt.links_build_wall_s, pt.routing_wall_s,
+               pt.links_bytes_per_node});
+  std::cout << t << '\n';
+
+  std::ofstream json("BENCH_city.json");
+  json << "{\n";
+  bench_util::manifest_field(json, bench_util::run_manifest("city", kSeed));
+  json << "  \"bench\": \"city\",\n"
+       << "  \"range_m\": " << kRangeM << ",\n"
+       << "  \"verification_topologies\": " << verified << ",\n"
+       << "  \"grid_matches_bruteforce\": " << (ok ? "true" : "false")
+       << ",\n"
+       << "  \"sparse_matches_dense\": " << (ok ? "true" : "false") << ",\n"
+       << "  \"points\": [\n";
+  for (std::size_t k = 0; k < sweep.size(); ++k) {
+    const CityPoint& pt = sweep[k];
+    json << "    {\"nodes\": " << pt.nodes << ", \"side_m\": " << pt.side_m
+         << ", \"edges\": " << pt.edges
+         << ", \"adjacency_bytes_per_node\": " << pt.adjacency_bytes_per_node
+         << ", \"links_bytes_per_node\": " << pt.links_bytes_per_node
+         << ", \"sink_connected\": "
+         << (pt.sink_connected ? "true" : "false")
+         << ", \"checksum\": " << pt.checksum
+         << ", \"adjacency_build_wall_s\": " << pt.adjacency_build_wall_s
+         << ", \"links_build_wall_s\": " << pt.links_build_wall_s
+         << ", \"routing_wall_s\": " << pt.routing_wall_s
+         << ", \"link_eval_events_per_s\": " << pt.link_eval_events_per_s
+         << "}" << (k + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_city.json\n\n";
+}
+
+// --- microbenchmarks: the fast paths against the oracles they replace ------
+
+Topology micro_field(int n) {
+  sim::Rng rng(kSeed);
+  return Topology::random_field(
+      n, u::Length(kDensitySide * std::sqrt(static_cast<double>(n))), rng);
+}
+
+void BM_adjacency_grid(benchmark::State& state) {
+  const Topology topo = micro_field(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto adj = topo.adjacency(u::Length(kRangeM));
+    benchmark::DoNotOptimize(adj);
+  }
+}
+BENCHMARK(BM_adjacency_grid)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_adjacency_bruteforce(benchmark::State& state) {
+  const Topology topo = micro_field(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto adj = topo.adjacency_bruteforce(u::Length(kRangeM));
+    benchmark::DoNotOptimize(adj);
+  }
+}
+BENCHMARK(BM_adjacency_bruteforce)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_sparse_links_build(benchmark::State& state) {
+  const Topology topo = micro_field(static_cast<int>(state.range(0)));
+  const Adjacency adj = topo.neighbor_table(u::Length(kRangeM));
+  const radio::RadioModel radio(radio::ulp_radio());
+  for (auto _ : state) {
+    SparseLinkTable links(topo, adj, radio, u::Information(512.0));
+    benchmark::DoNotOptimize(links);
+  }
+}
+BENCHMARK(BM_sparse_links_build)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_dense_links_build(benchmark::State& state) {
+  const Topology topo = micro_field(static_cast<int>(state.range(0)));
+  const radio::RadioModel radio(radio::ulp_radio());
+  for (auto _ : state) {
+    net::LinkTable links(topo, radio, u::Information(512.0));
+    benchmark::DoNotOptimize(links);
+  }
+}
+BENCHMARK(BM_dense_links_build)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_min_energy_over_adjacency(benchmark::State& state) {
+  const Topology topo = micro_field(static_cast<int>(state.range(0)));
+  const Adjacency adj = topo.neighbor_table(u::Length(kRangeM));
+  for (auto _ : state) {
+    auto tree = net::min_energy_routes(topo, adj, net::LinkEnergyModel{});
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_min_energy_over_adjacency)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_city)

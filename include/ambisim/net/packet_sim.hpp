@@ -63,6 +63,14 @@ struct PacketSimConfig {
   bool model_link_errors = false;
   /// ARQ policy evaluated per edge when model_link_errors is set.
   radio::ArqModel arq{};
+  /// Opt-in sparse link state: with model_link_errors set, materialize
+  /// only the directed edges within the routing range (CSR, struct-of-
+  /// arrays) instead of the dense n^2 table.  Routing never crosses a
+  /// longer edge, so every hop's stats are present and bitwise equal to
+  /// the dense table's — results are bit-identical either way (the sparse
+  /// tests assert it); memory drops from O(N^2) to O(edges).  Off by
+  /// default: small fleets keep the dense table as the oracle path.
+  bool sparse_links = false;
   /// Fault injection; disengaged (std::nullopt) leaves the healthy-network
   /// kernel bit-identical to a build without the fault subsystem.
   std::optional<PacketFaultConfig> faults;

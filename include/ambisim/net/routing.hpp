@@ -56,6 +56,20 @@ RoutingTree min_energy_routes(const Topology& topo, u::Length range,
                               const LinkEnergyModel& model,
                               const std::vector<std::uint8_t>& down);
 
+/// Variants over a precomputed neighbor table (Topology::neighbor_table).
+/// The range forms above build one internally and delegate here; callers
+/// that reroute repeatedly — the fault injector re-converges on every
+/// lifecycle edge — build the table once and filter it through the down
+/// mask instead of re-running neighbor discovery per transition.  The
+/// min-energy relaxation reads each edge's cached distance rather than
+/// recomputing topo.node_distance per relaxation; trees are bit-identical
+/// to the range forms (asserted by the routing tests).
+RoutingTree min_hop_routes(const Topology& topo, const Adjacency& adj,
+                           const std::vector<std::uint8_t>& down = {});
+RoutingTree min_energy_routes(const Topology& topo, const Adjacency& adj,
+                              const LinkEnergyModel& model,
+                              const std::vector<std::uint8_t>& down = {});
+
 /// Energy per bit of covering distance `D` in `k` equal hops:
 ///   E(k) = k * k_elec + k_amp * k * (D/k)^n.
 double multihop_energy(const LinkEnergyModel& model, u::Length total,

@@ -1,0 +1,118 @@
+// Sparse CSR link-state table for city-scale topologies.
+//
+// The dense LinkTable prices every directed (from, to) pair — O(N^2) rows,
+// 40 bytes each, whether or not the pair can ever exchange a packet.  At
+// 100k nodes that is 400 GB of mostly-unreachable link state.  Radio
+// fields are geometrically local: routing only crosses edges within the
+// radio range, and the wireless-power uplink only crosses tag<->gateway
+// edges.  This table materializes exactly the edge set the caller names
+// (a Topology::neighbor_table within max range, or a gateway star) in CSR
+// form, struct-of-arrays: one contiguous array per quantity (distance,
+// BER, PER, expected ARQ attempts, delivery probability) so the build is
+// a sequence of batched passes over flat rows — the evaluation loop the
+// compiler can unroll/vectorize, and the layout batch consumers read
+// without striding over 40-byte structs.
+//
+// Bit-identity contract: each quantity is computed by the same function,
+// in the same order, on the same double-precision distance the dense path
+// uses, so for every edge both tables hold bitwise-equal stats (the
+// sparse-vs-dense property tests and bench_city's verification gate
+// enforce this).  Sparse is opt-in everywhere; dense stays the default
+// and the differential oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ambisim/net/link_table.hpp"
+#include "ambisim/net/topology.hpp"
+#include "ambisim/radio/ber.hpp"
+#include "ambisim/radio/transceiver.hpp"
+
+namespace ambisim::net {
+
+class SparseLinkTable {
+ public:
+  SparseLinkTable() = default;
+
+  /// Price exactly the directed edges of `adj` (built over `topo`).  The
+  /// cached CSR distances feed the batched BER/PER/ARQ passes directly —
+  /// no per-edge hypot, no bounds-checked node lookups.
+  SparseLinkTable(const Topology& topo, const Adjacency& adj,
+                  const radio::RadioModel& radio, u::Information packet_bits,
+                  const radio::ArqModel& arq = radio::ArqModel{},
+                  const LinkTableOptions& options = {});
+
+  /// Convenience: materialize every edge within `max_range` via the
+  /// spatial grid, then price it.
+  SparseLinkTable(const Topology& topo, const radio::RadioModel& radio,
+                  u::Information packet_bits, u::Length max_range,
+                  const radio::ArqModel& arq = radio::ArqModel{},
+                  const LinkTableOptions& options = {});
+
+  /// Gateway star: only hub<->other edges, whatever their length — the
+  /// Ambient-IoT uplink shape (every tag talks to node `hub` only).
+  /// O(N) rows instead of O(N^2).
+  static SparseLinkTable star(const Topology& topo,
+                              const radio::RadioModel& radio,
+                              u::Information packet_bits,
+                              const radio::ArqModel& arq = radio::ArqModel{},
+                              const LinkTableOptions& options = {},
+                              int hub = 0);
+
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] std::size_t edge_count() const { return to_.size(); }
+  /// Heap footprint of the link state, for bytes-per-node accounting.
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Index of directed edge (from, to) in the SoA arrays, or -1 when the
+  /// edge was not materialized.  Binary search within the sorted row.
+  [[nodiscard]] std::ptrdiff_t find(int from, int to) const;
+  /// True when (from, to) was materialized (self-edges never are).
+  [[nodiscard]] bool has_edge(int from, int to) const {
+    return find(from, to) >= 0;
+  }
+
+  /// Assembled stats of a materialized edge.  Self-edges return the same
+  /// perfect defaults the dense table keeps; any other absent edge throws
+  /// std::out_of_range — sparse callers must never silently read a link
+  /// they chose not to materialize.
+  [[nodiscard]] LinkStats edge(int from, int to) const;
+  [[nodiscard]] double expected_attempts(int from, int to) const {
+    return expected_attempts_[checked_index(from, to)];
+  }
+  [[nodiscard]] double delivery_probability(int from, int to) const {
+    return delivery_probability_[checked_index(from, to)];
+  }
+
+  /// One CSR row as parallel spans, for batch consumers.
+  struct Row {
+    const int* to = nullptr;
+    const double* distance_m = nullptr;
+    const double* ber = nullptr;
+    const double* per = nullptr;
+    const double* expected_attempts = nullptr;
+    const double* delivery_probability = nullptr;
+    std::size_t count = 0;
+  };
+  [[nodiscard]] Row row(int from) const;
+
+ private:
+  void build(const radio::RadioModel& radio, u::Information packet_bits,
+             const radio::ArqModel& arq, const LinkTableOptions& options);
+  [[nodiscard]] std::size_t checked_index(int from, int to) const;
+
+  int n_ = 0;
+  std::vector<std::int64_t> offsets_;  ///< n_ + 1 row starts
+  // Struct-of-arrays edge state, each parallel to `to_`.
+  std::vector<int> to_;
+  std::vector<double> distance_m_;
+  std::vector<double> ber_;
+  std::vector<double> per_;
+  std::vector<double> expected_attempts_;
+  std::vector<double> delivery_probability_;
+};
+
+}  // namespace ambisim::net

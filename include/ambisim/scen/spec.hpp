@@ -85,6 +85,10 @@ struct WorkloadSpec {
   double mac_listen_window_s = 0.005;
   std::string routing = "min_hop";  ///< "min_hop" | "min_energy"
   bool model_link_errors = false;
+  /// Opt-in sparse CSR link state (city-scale fleets): only edges within
+  /// the radio range are materialized.  Results are bit-identical to the
+  /// dense default; effective only with model_link_errors.
+  bool sparse_links = false;
   // --- ami engine ---
   double events_per_hour = 12.0;
   double sensor_report_bits = 128.0;

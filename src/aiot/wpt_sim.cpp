@@ -7,7 +7,7 @@
 
 #include "ambisim/energy/battery.hpp"
 #include "ambisim/fault/injector.hpp"
-#include "ambisim/net/link_table.hpp"
+#include "ambisim/net/sparse_link_table.hpp"
 #include "ambisim/obs/probe.hpp"
 #include "ambisim/radio/transceiver.hpp"
 #include "ambisim/sim/simulator.hpp"
@@ -78,7 +78,9 @@ WptSimResult simulate_wpt(const WptSimConfig& cfg) {
 
   // Uplink: monostatic backscatter link table priced at the gateway's
   // illuminator power (the round trip and the tag's reflection loss live
-  // in net::LinkModel::MonostaticBackscatter).
+  // in net::LinkModel::MonostaticBackscatter).  Tags talk only to the
+  // gateway, so the table is a sparse star — O(N) rows instead of the
+  // dense n^2 grid, with bitwise-equal stats on every materialized edge.
   radio::RadioParams rp = radio::backscatter_tag();
   rp.tx_radiated = u::Power(cfg.gateway_tx_w);
   rp.bandwidth = u::Frequency(cfg.uplink_bandwidth_hz);
@@ -87,9 +89,9 @@ WptSimResult simulate_wpt(const WptSimConfig& cfg) {
   net::LinkTableOptions lopt;
   lopt.model = net::LinkModel::MonostaticBackscatter;
   lopt.tag_loss_db = cfg.tag_loss_db;
-  const net::LinkTable links(topo, tag_radio,
-                             u::Information(cfg.packet_bits),
-                             radio::ArqModel{}, lopt);
+  const net::SparseLinkTable links = net::SparseLinkTable::star(
+      topo, tag_radio, u::Information(cfg.packet_bits), radio::ArqModel{},
+      lopt, topo.sink());
 
   // Lifecycle: an empty fault script plus capacitor energy coupling.  The
   // wake threshold IS the brown-out recovery latch, so "charged enough to
@@ -152,7 +154,7 @@ WptSimResult simulate_wpt(const WptSimConfig& cfg) {
         if (!inj.in_service(i)) continue;
         ++tag_bursts[static_cast<std::size_t>(i)];
         ++out.bursts;
-        out.delivered_expect += links.edge(i, 0).delivery_probability;
+        out.delivered_expect += links.delivery_probability(i, 0);
         inj.account_energy(i, u::Energy(cfg.burst_energy_j));
         AMBISIM_OBS_COUNT("aiot.bursts");
       }

@@ -13,8 +13,9 @@ namespace {
 using namespace ambisim::units::literals;
 
 // Routing over the alive subgraph: dead nodes neither source nor relay.
-RoutingTree routes_on_alive(const Topology& topo,
-                            const std::vector<std::vector<int>>& adj,
+// The neighbor table is built once per run; every epoch's rebuild filters
+// it and reads cached edge distances instead of recomputing hypots.
+RoutingTree routes_on_alive(const Topology& topo, const Adjacency& adj,
                             const std::vector<bool>& alive,
                             RoutingPolicy policy,
                             const LinkEnergyModel& model) {
@@ -34,7 +35,9 @@ RoutingTree routes_on_alive(const Topology& topo,
     while (!q.empty()) {
       const int v = q.front();
       q.pop();
-      for (int w : adj[v]) {
+      const Adjacency::Row row = adj.row(v);
+      for (std::size_t k = 0; k < row.count; ++k) {
+        const int w = row.ids[k];
         if (!alive[w] || tree.hops[w] >= 0) continue;
         tree.hops[w] = tree.hops[v] + 1;
         tree.cost[w] = static_cast<double>(tree.hops[w]);
@@ -50,9 +53,11 @@ RoutingTree routes_on_alive(const Topology& topo,
       const auto [c, v] = pq.top();
       pq.pop();
       if (c > tree.cost[v]) continue;
-      for (int w : adj[v]) {
+      const Adjacency::Row row = adj.row(v);
+      for (std::size_t k = 0; k < row.count; ++k) {
+        const int w = row.ids[k];
         if (!alive[w]) continue;
-        const double cand = c + model.cost(topo.node_distance(v, w));
+        const double cand = c + model.cost(u::Length(row.dist[k]));
         if (cand < tree.cost[w]) {
           tree.cost[w] = cand;
           tree.next_hop[w] = v;
@@ -79,7 +84,7 @@ SensorNetworkResult simulate_sensor_network(const SensorNetworkConfig& cfg) {
   const radio::RadioModel radio(cfg.radio);
   const u::Length range =
       u::min(cfg.radio_range, radio.max_range());
-  const auto adj = topo.adjacency(range);
+  const Adjacency adj = topo.neighbor_table(range);
 
   LinkEnergyModel link_model;
   link_model.k_elec = radio.energy_per_bit_tx().value() +

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ambisim/net/sparse_link_table.hpp"
 #include "ambisim/obs/probe.hpp"
 
 namespace ambisim::net {
@@ -52,6 +53,13 @@ struct SimCtx {
   std::vector<long long> retries_by_node;
   std::function<void(int, std::shared_ptr<Packet>)> forward;
 
+  // Opt-in sparse link state (cfg.sparse_links); null on the dense path.
+  const SparseLinkTable* slinks = nullptr;
+  // Neighbor table of the run's topology at the routing range, built once;
+  // fault-mode re-convergence filters it through the down mask instead of
+  // re-running neighbor discovery on every lifecycle edge.
+  const Adjacency* adj = nullptr;
+
   // Fault mode only (all inert when cfg.faults is disengaged).
   fault::FaultInjector* inj = nullptr;
   const PacketFaultConfig* fcfg = nullptr;
@@ -60,6 +68,12 @@ struct SimCtx {
   LinkEnergyModel link_model;     ///< for MinEnergy rebuilds
   std::uint64_t attempt_seq = 0;  ///< corruption-hash counter
   std::function<void(int, std::shared_ptr<Packet>)> try_send;
+
+  /// Expected ARQ attempts of (from, to) from whichever table is live.
+  [[nodiscard]] double edge_attempts(int from, int to) const {
+    return slinks ? slinks->expected_attempts(from, to)
+                  : links.edge(from, to).expected_attempts;
+  }
 };
 
 }  // namespace
@@ -87,18 +101,27 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
   link_model.k_elec = radio.energy_per_bit_tx().value() +
                       radio.energy_per_bit_rx().value();
   link_model.exponent = cfg.radio.environment.exponent;
+  // Neighbor discovery runs once per topology (spatial-grid backed); the
+  // initial tree, any fault-mode re-convergence, and the sparse link
+  // table all reuse this one table.
+  const Adjacency adj = topo.neighbor_table(range);
   const RoutingTree tree =
       cfg.routing == RoutingPolicy::MinHop
-          ? min_hop_routes(topo, range)
-          : min_energy_routes(topo, range, link_model);
+          ? min_hop_routes(topo, adj)
+          : min_energy_routes(topo, adj, link_model);
 
   // BER/PER/expected-ARQ-attempts per directed edge, evaluated once per
   // topology; hops then read the cached row instead of re-deriving
-  // bit_error_rate_at per packet.
+  // bit_error_rate_at per packet.  Sparse mode prices only the in-range
+  // edges (CSR over `adj`); dense stays the default and the oracle.
+  const bool sparse = cfg.model_link_errors && cfg.sparse_links;
   const LinkTable links =
-      cfg.model_link_errors
+      cfg.model_link_errors && !sparse
           ? LinkTable(topo, radio, cfg.packet_bits, cfg.arq)
           : LinkTable();
+  const SparseLinkTable sparse_links =
+      sparse ? SparseLinkTable(topo, adj, radio, cfg.packet_bits, cfg.arq)
+             : SparseLinkTable();
 
   PacketSimResult res;
   sim::Simulator simu;
@@ -128,6 +151,8 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
   ctx.queue_depth.assign(static_cast<std::size_t>(n), 0);
   ctx.busy_s.assign(static_cast<std::size_t>(n), 0.0);
   ctx.retries_by_node.assign(static_cast<std::size_t>(n), 0);
+  if (sparse) ctx.slinks = &sparse_links;
+  ctx.adj = &adj;
 
   // Hop forwarding: node `from` hands `pkt` toward the sink.
   ctx.forward = [c = &ctx](int from, std::shared_ptr<Packet> pkt) {
@@ -144,7 +169,7 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
     // links, so `x * attempts` stays bit-identical to the unscaled path).
     double attempts = 1.0;
     if (c->cfg.model_link_errors) {
-      attempts = c->links.edge(from, to).expected_attempts;
+      attempts = c->edge_attempts(from, to);
       c->attempts_sum += attempts;
       ++c->attempts_hops;
     }
@@ -247,7 +272,9 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
 
     // Any lifecycle edge re-converges the routing tree around the nodes
     // currently out of service, so subtrees reroute instead of
-    // black-holing through a dead parent.
+    // black-holing through a dead parent.  The cached neighbor table is
+    // filtered through the down mask — re-convergence no longer repeats
+    // neighbor discovery (the old per-transition O(N^2) rebuild).
     injector->on_transition(
         [c = &ctx](int node, fault::NodeState, fault::NodeState,
                    double time_s) {
@@ -258,8 +285,8 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
                 c->inj->in_service(v) ? 0 : 1;
           c->live_tree =
               c->cfg.routing == RoutingPolicy::MinHop
-                  ? min_hop_routes(c->topo, c->range, down)
-                  : min_energy_routes(c->topo, c->range, c->link_model,
+                  ? min_hop_routes(c->topo, *c->adj, down)
+                  : min_energy_routes(c->topo, *c->adj, c->link_model,
                                       down);
           ++c->res.reroutes;
           AMBISIM_OBS_COUNT("net.reroutes");
@@ -304,7 +331,7 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
           c->rng.uniform(0.0, c->cfg.mac.wake_interval.value())};
       double attempts = 1.0;
       if (c->cfg.model_link_errors) {
-        attempts = c->links.edge(from, to).expected_attempts;
+        attempts = c->edge_attempts(from, to);
         c->attempts_sum += attempts;
         ++c->attempts_hops;
       }

@@ -49,11 +49,12 @@ bool is_down(const std::vector<std::uint8_t>& down, int node) {
 
 }  // namespace
 
-RoutingTree min_hop_routes(const Topology& topo, u::Length range,
+RoutingTree min_hop_routes(const Topology& topo, const Adjacency& adj,
                            const std::vector<std::uint8_t>& down) {
+  if (adj.size() != topo.size())
+    throw std::invalid_argument("adjacency size != node count");
   if (!down.empty() && down.size() != static_cast<std::size_t>(topo.size()))
     throw std::invalid_argument("down mask size != node count");
-  const auto adj = topo.adjacency(range);
   const int n = topo.size();
   RoutingTree tree;
   tree.next_hop.assign(n, -1);
@@ -70,7 +71,9 @@ RoutingTree min_hop_routes(const Topology& topo, u::Length range,
   while (!q.empty()) {
     const int v = q.front();
     q.pop();
-    for (int w : adj[v]) {
+    const Adjacency::Row row = adj.row(v);
+    for (std::size_t k = 0; k < row.count; ++k) {
+      const int w = row.ids[k];
       if (tree.hops[w] < 0 && !is_down(down, w)) {
         tree.hops[w] = tree.hops[v] + 1;
         tree.cost[w] = static_cast<double>(tree.hops[w]);
@@ -82,16 +85,22 @@ RoutingTree min_hop_routes(const Topology& topo, u::Length range,
   return tree;
 }
 
+RoutingTree min_hop_routes(const Topology& topo, u::Length range,
+                           const std::vector<std::uint8_t>& down) {
+  return min_hop_routes(topo, topo.neighbor_table(range), down);
+}
+
 RoutingTree min_hop_routes(const Topology& topo, u::Length range) {
   return min_hop_routes(topo, range, {});
 }
 
-RoutingTree min_energy_routes(const Topology& topo, u::Length range,
+RoutingTree min_energy_routes(const Topology& topo, const Adjacency& adj,
                               const LinkEnergyModel& model,
                               const std::vector<std::uint8_t>& down) {
+  if (adj.size() != topo.size())
+    throw std::invalid_argument("adjacency size != node count");
   if (!down.empty() && down.size() != static_cast<std::size_t>(topo.size()))
     throw std::invalid_argument("down mask size != node count");
-  const auto adj = topo.adjacency(range);
   const int n = topo.size();
   RoutingTree tree;
   tree.next_hop.assign(n, -1);
@@ -110,9 +119,13 @@ RoutingTree min_energy_routes(const Topology& topo, u::Length range,
     const auto [c, v] = pq.top();
     pq.pop();
     if (c > tree.cost[v]) continue;
-    for (int w : adj[v]) {
+    const Adjacency::Row row = adj.row(v);
+    for (std::size_t k = 0; k < row.count; ++k) {
+      const int w = row.ids[k];
       if (is_down(down, w)) continue;
-      const double link = model.cost(topo.node_distance(v, w));
+      // The edge length was cached at adjacency build; relaxations no
+      // longer pay a hypot (let alone a bounds-checked one) per edge.
+      const double link = model.cost(u::Length(row.dist[k]));
       const double cand = tree.cost[v] + link;
       if (cand < tree.cost[w]) {
         tree.cost[w] = cand;
@@ -123,6 +136,12 @@ RoutingTree min_energy_routes(const Topology& topo, u::Length range,
     }
   }
   return tree;
+}
+
+RoutingTree min_energy_routes(const Topology& topo, u::Length range,
+                              const LinkEnergyModel& model,
+                              const std::vector<std::uint8_t>& down) {
+  return min_energy_routes(topo, topo.neighbor_table(range), model, down);
 }
 
 RoutingTree min_energy_routes(const Topology& topo, u::Length range,

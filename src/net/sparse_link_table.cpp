@@ -1,0 +1,172 @@
+#include "ambisim/net/sparse_link_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ambisim::net {
+
+namespace {
+
+void validate_build_args(u::Information packet_bits,
+                         const LinkTableOptions& options) {
+  if (packet_bits <= u::Information(0.0))
+    throw std::invalid_argument("link table needs a positive packet size");
+  if (options.tag_loss_db < 0.0)
+    throw std::invalid_argument("link table needs a non-negative tag loss");
+}
+
+}  // namespace
+
+SparseLinkTable::SparseLinkTable(const Topology& topo, const Adjacency& adj,
+                                 const radio::RadioModel& radio,
+                                 u::Information packet_bits,
+                                 const radio::ArqModel& arq,
+                                 const LinkTableOptions& options)
+    : n_(topo.size()) {
+  validate_build_args(packet_bits, options);
+  if (adj.size() != topo.size())
+    throw std::invalid_argument("adjacency size != node count");
+  offsets_ = adj.offsets;
+  to_ = adj.neighbors;
+  distance_m_ = adj.distance_m;
+  build(radio, packet_bits, arq, options);
+}
+
+SparseLinkTable::SparseLinkTable(const Topology& topo,
+                                 const radio::RadioModel& radio,
+                                 u::Information packet_bits,
+                                 u::Length max_range,
+                                 const radio::ArqModel& arq,
+                                 const LinkTableOptions& options)
+    : SparseLinkTable(topo, topo.neighbor_table(max_range), radio,
+                      packet_bits, arq, options) {}
+
+SparseLinkTable SparseLinkTable::star(const Topology& topo,
+                                      const radio::RadioModel& radio,
+                                      u::Information packet_bits,
+                                      const radio::ArqModel& arq,
+                                      const LinkTableOptions& options,
+                                      int hub) {
+  const int n = topo.size();
+  if (hub < 0 || hub >= n) throw std::invalid_argument("star hub out of range");
+  Adjacency adj;
+  adj.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  adj.neighbors.reserve(2 * static_cast<std::size_t>(n) - 2);
+  adj.distance_m.reserve(2 * static_cast<std::size_t>(n) - 2);
+  for (int i = 0; i < n; ++i) {
+    if (i == hub) {
+      for (int j = 0; j < n; ++j) {
+        if (j == hub) continue;
+        adj.neighbors.push_back(j);
+        adj.distance_m.push_back(distance_m(topo.position(hub),
+                                            topo.position(j)));
+      }
+    } else {
+      adj.neighbors.push_back(hub);
+      adj.distance_m.push_back(distance_m(topo.position(i),
+                                          topo.position(hub)));
+    }
+    adj.offsets[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(adj.neighbors.size());
+  }
+  return SparseLinkTable(topo, adj, radio, packet_bits, arq, options);
+}
+
+void SparseLinkTable::build(const radio::RadioModel& radio,
+                            u::Information packet_bits,
+                            const radio::ArqModel& arq,
+                            const LinkTableOptions& options) {
+  const std::size_t edges = to_.size();
+  ber_.resize(edges);
+  per_.resize(edges);
+  expected_attempts_.resize(edges);
+  delivery_probability_.resize(edges);
+
+  const radio::LinkBudget budget = radio.link_budget();
+  const radio::Modulation& mod = radio.params().modulation;
+  const bool monostatic = options.model == LinkModel::MonostaticBackscatter;
+  const double bits = packet_bits.value();
+
+  // Batched struct-of-arrays passes: each quantity sweeps one contiguous
+  // array, in the same evaluation order and through the same functions as
+  // the dense table — per-edge values are bitwise equal to LinkTable's.
+  const double* dist = distance_m_.data();
+  double* ber = ber_.data();
+  double* per = per_.data();
+  double* att = expected_attempts_.data();
+  double* del = delivery_probability_.data();
+  if (monostatic) {
+    for (std::size_t k = 0; k < edges; ++k)
+      ber[k] = radio::backscatter_bit_error_rate_at(
+          budget, mod, u::Length(dist[k]), options.tag_loss_db);
+  } else {
+    for (std::size_t k = 0; k < edges; ++k)
+      ber[k] = radio::bit_error_rate_at(budget, mod, u::Length(dist[k]));
+  }
+  for (std::size_t k = 0; k < edges; ++k)
+    per[k] = radio::packet_error_rate(ber[k], bits);
+  for (std::size_t k = 0; k < edges; ++k)
+    att[k] = arq.expected_attempts(per[k]);
+  for (std::size_t k = 0; k < edges; ++k)
+    del[k] = arq.delivery_probability(per[k]);
+}
+
+std::size_t SparseLinkTable::bytes() const {
+  return offsets_.capacity() * sizeof(std::int64_t) +
+         to_.capacity() * sizeof(int) +
+         (distance_m_.capacity() + ber_.capacity() + per_.capacity() +
+          expected_attempts_.capacity() + delivery_probability_.capacity()) *
+             sizeof(double);
+}
+
+std::ptrdiff_t SparseLinkTable::find(int from, int to) const {
+  if (from < 0 || from >= n_ || to < 0 || to >= n_) return -1;
+  const auto lo = static_cast<std::size_t>(
+      offsets_[static_cast<std::size_t>(from)]);
+  const auto hi = static_cast<std::size_t>(
+      offsets_[static_cast<std::size_t>(from) + 1]);
+  const int* first = to_.data() + lo;
+  const int* last = to_.data() + hi;
+  const int* it = std::lower_bound(first, last, to);
+  if (it == last || *it != to) return -1;
+  return static_cast<std::ptrdiff_t>(lo) + (it - first);
+}
+
+std::size_t SparseLinkTable::checked_index(int from, int to) const {
+  const std::ptrdiff_t k = find(from, to);
+  if (k < 0)
+    throw std::out_of_range("sparse link table: edge not materialized");
+  return static_cast<std::size_t>(k);
+}
+
+LinkStats SparseLinkTable::edge(int from, int to) const {
+  if (from == to && from >= 0 && from < n_) return LinkStats{};
+  const std::size_t k = checked_index(from, to);
+  LinkStats s;
+  s.distance_m = distance_m_[k];
+  s.ber = ber_[k];
+  s.per = per_[k];
+  s.expected_attempts = expected_attempts_[k];
+  s.delivery_probability = delivery_probability_[k];
+  return s;
+}
+
+SparseLinkTable::Row SparseLinkTable::row(int from) const {
+  if (from < 0 || from >= n_)
+    throw std::out_of_range("sparse link table row out of range");
+  const auto lo = static_cast<std::size_t>(
+      offsets_[static_cast<std::size_t>(from)]);
+  const auto hi = static_cast<std::size_t>(
+      offsets_[static_cast<std::size_t>(from) + 1]);
+  Row r;
+  r.to = to_.data() + lo;
+  r.distance_m = distance_m_.data() + lo;
+  r.ber = ber_.data() + lo;
+  r.per = per_.data() + lo;
+  r.expected_attempts = expected_attempts_.data() + lo;
+  r.delivery_probability = delivery_probability_.data() + lo;
+  r.count = hi - lo;
+  return r;
+}
+
+}  // namespace ambisim::net

@@ -1,0 +1,122 @@
+#include "ambisim/net/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ambisim::net {
+
+namespace {
+
+/// Cells per axis for an extent/cell ratio, in [1, kMaxCellsPerAxis].
+int axis_cells(double extent, double cell_size) {
+  if (extent <= 0.0) return 1;
+  const double raw = std::ceil(extent / cell_size);
+  if (raw >= static_cast<double>(SpatialGrid::kMaxCellsPerAxis))
+    return SpatialGrid::kMaxCellsPerAxis;
+  return std::max(1, static_cast<int>(raw));
+}
+
+}  // namespace
+
+SpatialGrid::SpatialGrid(const std::vector<Point>& points, double cell_size)
+    : points_(&points) {
+  if (points.empty()) throw std::invalid_argument("empty point set");
+  if (!(cell_size > 0.0)) throw std::invalid_argument("cell size <= 0");
+
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  min_x_ = std::numeric_limits<double>::infinity();
+  min_y_ = std::numeric_limits<double>::infinity();
+  for (const Point& p : points) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  if (!std::isfinite(min_x_) || !std::isfinite(min_y_) ||
+      !std::isfinite(max_x) || !std::isfinite(max_y))
+    throw std::invalid_argument("non-finite node position");
+
+  nx_ = axis_cells(max_x - min_x_, cell_size);
+  ny_ = axis_cells(max_y - min_y_, cell_size);
+  inv_cell_x_ = nx_ > 1 ? nx_ / (max_x - min_x_) : 0.0;
+  inv_cell_y_ = ny_ > 1 ? ny_ / (max_y - min_y_) : 0.0;
+
+  // Counting sort into cells: histogram, prefix-sum, scatter.  Stable, so
+  // items within a cell keep ascending id order.
+  const int cells = nx_ * ny_;
+  const int n = size();
+  cell_start_.assign(static_cast<std::size_t>(cells) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    const Point& p = points[static_cast<std::size_t>(i)];
+    const int c = cell_y(p.y) * nx_ + cell_x(p.x);
+    ++cell_start_[static_cast<std::size_t>(c) + 1];
+  }
+  for (int c = 0; c < cells; ++c)
+    cell_start_[static_cast<std::size_t>(c) + 1] +=
+        cell_start_[static_cast<std::size_t>(c)];
+  cell_items_.resize(static_cast<std::size_t>(n));
+  std::vector<int> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (int i = 0; i < n; ++i) {
+    const Point& p = points[static_cast<std::size_t>(i)];
+    const int c = cell_y(p.y) * nx_ + cell_x(p.x);
+    cell_items_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(c)]++)] = i;
+  }
+}
+
+int SpatialGrid::cell_x(double x) const {
+  if (inv_cell_x_ == 0.0) return 0;
+  const int c = static_cast<int>((x - min_x_) * inv_cell_x_);
+  return std::clamp(c, 0, nx_ - 1);
+}
+
+int SpatialGrid::cell_y(double y) const {
+  if (inv_cell_y_ == 0.0) return 0;
+  const int c = static_cast<int>((y - min_y_) * inv_cell_y_);
+  return std::clamp(c, 0, ny_ - 1);
+}
+
+std::size_t SpatialGrid::bytes() const {
+  return cell_start_.capacity() * sizeof(int) +
+         cell_items_.capacity() * sizeof(int) + sizeof(*this);
+}
+
+void SpatialGrid::gather(Point center, double radius, int exclude,
+                         std::vector<int>& out) const {
+  const std::vector<Point>& pts = *points_;
+  const int x0 = cell_x(center.x - radius);
+  const int x1 = cell_x(center.x + radius);
+  const int y0 = cell_y(center.y - radius);
+  const int y1 = cell_y(center.y + radius);
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      const int c = cy * nx_ + cx;
+      const int lo = cell_start_[static_cast<std::size_t>(c)];
+      const int hi = cell_start_[static_cast<std::size_t>(c) + 1];
+      for (int k = lo; k < hi; ++k) {
+        const int j = cell_items_[static_cast<std::size_t>(k)];
+        if (j == exclude) continue;
+        const Point& q = pts[static_cast<std::size_t>(j)];
+        // Same predicate as the brute-force scan (hypot is symmetric in
+        // sign, so dx/dy orientation cannot flip a borderline edge).
+        if (distance_m(center, q) <= radius) out.push_back(j);
+      }
+    }
+  }
+}
+
+void SpatialGrid::neighbors_within(int query, double radius,
+                                   std::vector<int>& out) const {
+  const Point& p = points_->at(static_cast<std::size_t>(query));
+  gather(p, radius, query, out);
+}
+
+void SpatialGrid::points_within(Point center, double radius,
+                                std::vector<int>& out) const {
+  gather(center, radius, -1, out);
+}
+
+}  // namespace ambisim::net

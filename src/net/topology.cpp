@@ -1,17 +1,16 @@
 #include "ambisim/net/topology.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <queue>
 #include <stdexcept>
 
+#include "ambisim/net/spatial_grid.hpp"
+
 namespace ambisim::net {
 
-u::Length distance(Point a, Point b) {
-  const double dx = a.x - b.x;
-  const double dy = a.y - b.y;
-  return u::Length(std::hypot(dx, dy));
-}
+u::Length distance(Point a, Point b) { return u::Length(distance_m(a, b)); }
 
 Topology::Topology(std::vector<Point> nodes) : nodes_(std::move(nodes)) {
   if (nodes_.empty()) throw std::invalid_argument("empty topology");
@@ -62,20 +61,67 @@ u::Length Topology::node_distance(int a, int b) const {
 
 std::vector<std::vector<int>> Topology::adjacency(u::Length range) const {
   if (range <= u::Length(0.0)) throw std::invalid_argument("range <= 0");
+  const double r = range.value();
+  const SpatialGrid grid(nodes_, r);
+  std::vector<std::vector<int>> adj(nodes_.size());
+  std::vector<int> buf;
+  for (int i = 0; i < size(); ++i) {
+    buf.clear();
+    grid.neighbors_within(i, r, buf);
+    // The brute-force scan emits each row ascending; restore that order so
+    // the two paths are byte-identical.
+    std::sort(buf.begin(), buf.end());
+    adj[static_cast<std::size_t>(i)].assign(buf.begin(), buf.end());
+  }
+  return adj;
+}
+
+std::vector<std::vector<int>> Topology::adjacency_bruteforce(
+    u::Length range) const {
+  if (range <= u::Length(0.0)) throw std::invalid_argument("range <= 0");
+  const double r = range.value();
   std::vector<std::vector<int>> adj(nodes_.size());
   for (int i = 0; i < size(); ++i) {
     for (int j = i + 1; j < size(); ++j) {
-      if (node_distance(i, j) <= range) {
-        adj[i].push_back(j);
-        adj[j].push_back(i);
+      if (dist_unchecked(i, j) <= r) {
+        adj[static_cast<std::size_t>(i)].push_back(j);
+        adj[static_cast<std::size_t>(j)].push_back(i);
       }
     }
   }
   return adj;
 }
 
+Adjacency Topology::neighbor_table(u::Length range) const {
+  if (range <= u::Length(0.0)) throw std::invalid_argument("range <= 0");
+  const double r = range.value();
+  const SpatialGrid grid(nodes_, r);
+  const int n = size();
+
+  Adjacency adj;
+  adj.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> buf;
+  for (int i = 0; i < n; ++i) {
+    buf.clear();
+    grid.neighbors_within(i, r, buf);
+    std::sort(buf.begin(), buf.end());
+    for (const int j : buf) {
+      adj.neighbors.push_back(j);
+      adj.distance_m.push_back(dist_unchecked(i, j));
+    }
+    adj.offsets[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(adj.neighbors.size());
+  }
+  return adj;
+}
+
 bool Topology::connected(u::Length range) const {
-  const auto adj = adjacency(range);
+  return connected(neighbor_table(range));
+}
+
+bool Topology::connected(const Adjacency& adj) const {
+  if (adj.size() != size())
+    throw std::invalid_argument("adjacency size != node count");
   std::vector<bool> seen(nodes_.size(), false);
   std::queue<int> q;
   q.push(sink());
@@ -85,9 +131,11 @@ bool Topology::connected(u::Length range) const {
     const int v = q.front();
     q.pop();
     ++visited;
-    for (int w : adj[v]) {
-      if (!seen[w]) {
-        seen[w] = true;
+    const Adjacency::Row row = adj.row(v);
+    for (std::size_t k = 0; k < row.count; ++k) {
+      const int w = row.ids[k];
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
         q.push(w);
       }
     }

@@ -52,6 +52,7 @@ net::PacketSimConfig build_packet_config(const ScenarioSpec& spec) {
   c.duration = u::Time(spec.run.duration_s);
   c.seed = static_cast<unsigned>(spec.run.seed);
   c.model_link_errors = w.model_link_errors;
+  c.sparse_links = w.sparse_links;
 
   switch (spec.topology.kind) {
     case TopologyKind::Random:

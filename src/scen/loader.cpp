@@ -304,6 +304,7 @@ WorkloadSpec load_workload(Check& c, const Value& v, const std::string& path,
     w.routing = o.keyword("routing", w.routing, {"min_hop", "min_energy"});
     w.model_link_errors =
         o.boolean("model_link_errors", w.model_link_errors);
+    w.sparse_links = o.boolean("sparse_links", w.sparse_links);
     for (const char* ami_key :
          {"events_per_hour", "sensor_report_bits", "context_message_bits",
           "technology"})
@@ -319,7 +320,8 @@ WorkloadSpec load_workload(Check& c, const Value& v, const std::string& path,
     w.packet_bits = o.num("packet_bits", w.packet_bits, 1.0, 1e9);
     w.gateway_tx_w = o.num("gateway_tx_w", w.gateway_tx_w, 1e-3, 1e3);
     w.tag_loss_db = o.num("tag_loss_db", w.tag_loss_db, 0.0, 60.0);
-    for (const char* net_key : {"mac", "routing", "model_link_errors"})
+    for (const char* net_key :
+         {"mac", "routing", "model_link_errors", "sparse_links"})
       if (v.find(net_key) != nullptr)
         c.report(path + "." + net_key, v.find(net_key)->line(),
                  "applies only to the net engine (all-microwatt fleet)");
@@ -340,7 +342,7 @@ WorkloadSpec load_workload(Check& c, const Value& v, const std::string& path,
         {"350nm", "250nm", "180nm", "130nm", "90nm", "65nm", "45nm"});
     for (const char* net_key :
          {"report_period_s", "packet_bits", "mac", "routing",
-          "model_link_errors"})
+          "model_link_errors", "sparse_links"})
       if (v.find(net_key) != nullptr)
         c.report(path + "." + net_key, v.find(net_key)->line(),
                  "applies only to the net engine (all-microwatt fleet)");

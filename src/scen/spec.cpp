@@ -137,6 +137,10 @@ std::string to_json(const ScenarioSpec& spec) {
     wl.set("routing", Value::string(spec.workload.routing));
     wl.set("model_link_errors",
            Value::boolean(spec.workload.model_link_errors));
+    // Written only when engaged so pre-existing specs (and the fuzzer's
+    // golden generation checksum) serialize unchanged.
+    if (spec.workload.sparse_links)
+      wl.set("sparse_links", Value::boolean(true));
   } else if (spec.engine() == Engine::Aiot) {
     wl.set("report_period_s", Value::number(spec.workload.report_period_s));
     wl.set("packet_bits", Value::number(spec.workload.packet_bits));

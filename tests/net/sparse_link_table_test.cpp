@@ -1,0 +1,195 @@
+#include "ambisim/net/sparse_link_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ambisim/net/link_table.hpp"
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/net/topology.hpp"
+#include "ambisim/sim/random.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using net::LinkTable;
+using net::PacketSimConfig;
+using net::simulate_packets;
+using net::SparseLinkTable;
+using net::Topology;
+
+namespace {
+
+// Every edge the sparse table materializes must carry the bitwise-same
+// stats as the dense oracle; every pair it skips must be out of range.
+TEST(SparseLinkTable, StatsBitwiseEqualDenseWithinRange) {
+  sim::Rng rng(101);
+  const Topology topo = Topology::random_field(60, u::Length(50.0), rng);
+  const radio::RadioModel radio(radio::ulp_radio());
+  const u::Information bits(512.0);
+  const radio::ArqModel arq;
+  const u::Length range(15.0);
+
+  const LinkTable dense(topo, radio, bits, arq);
+  const SparseLinkTable sparse(topo, radio, bits, range, arq);
+  ASSERT_EQ(sparse.size(), topo.size());
+
+  std::size_t in_range = 0;
+  for (int from = 0; from < topo.size(); ++from) {
+    for (int to = 0; to < topo.size(); ++to) {
+      if (from == to) continue;
+      const bool within =
+          topo.node_distance(from, to).value() <= range.value();
+      ASSERT_EQ(sparse.has_edge(from, to), within);
+      if (!within) continue;
+      ++in_range;
+      const net::LinkStats& d = dense.edge(from, to);
+      const net::LinkStats s = sparse.edge(from, to);
+      EXPECT_EQ(s.distance_m, d.distance_m);
+      EXPECT_EQ(s.ber, d.ber);
+      EXPECT_EQ(s.per, d.per);
+      EXPECT_EQ(s.expected_attempts, d.expected_attempts);
+      EXPECT_EQ(s.delivery_probability, d.delivery_probability);
+      EXPECT_EQ(sparse.expected_attempts(from, to), d.expected_attempts);
+      EXPECT_EQ(sparse.delivery_probability(from, to),
+                d.delivery_probability);
+    }
+  }
+  EXPECT_EQ(sparse.edge_count(), in_range);
+  // O(edges) memory, not O(n^2): the footprint must track the edge count.
+  EXPECT_LT(sparse.bytes(),
+            static_cast<std::size_t>(topo.size()) * topo.size() *
+                sizeof(net::LinkStats));
+}
+
+TEST(SparseLinkTable, SelfEdgesPerfectAbsentEdgesThrow) {
+  const Topology topo = Topology::grid(16, u::Length(10.0));
+  const radio::RadioModel radio(radio::ulp_radio());
+  const SparseLinkTable sparse(topo, radio, u::Information(256.0),
+                               u::Length(12.0));
+  const net::LinkStats self = sparse.edge(3, 3);
+  EXPECT_EQ(self.distance_m, 0.0);
+  EXPECT_EQ(self.per, 0.0);
+  EXPECT_EQ(self.expected_attempts, 1.0);
+  EXPECT_EQ(self.delivery_probability, 1.0);
+  // Corner 0 to the far corner is well beyond 12 m: reading an edge the
+  // caller chose not to materialize is a logic error, never a silent 0.
+  const int far = topo.size() - 1;
+  ASSERT_FALSE(sparse.has_edge(0, far));
+  EXPECT_THROW((void)sparse.edge(0, far), std::out_of_range);
+  EXPECT_THROW((void)sparse.expected_attempts(0, far), std::out_of_range);
+  EXPECT_THROW((void)sparse.delivery_probability(0, far),
+               std::out_of_range);
+  EXPECT_EQ(sparse.find(0, far), -1);
+}
+
+TEST(SparseLinkTable, StarMatchesDenseColumnBitwise) {
+  // The aiot uplink shape: tags talk only to the gateway.  The star must
+  // price hub edges exactly as the dense monostatic table does, including
+  // the distance orientation (tag -> gateway and gateway -> tag).
+  sim::Rng rng(7);
+  const Topology topo = Topology::random_field(40, u::Length(25.0), rng);
+  const radio::RadioModel radio(radio::backscatter_tag());
+  const u::Information bits(256.0);
+  const radio::ArqModel arq;
+  net::LinkTableOptions opt;
+  opt.model = net::LinkModel::MonostaticBackscatter;
+  opt.tag_loss_db = 15.0;
+
+  const LinkTable dense(topo, radio, bits, arq, opt);
+  const SparseLinkTable star =
+      SparseLinkTable::star(topo, radio, bits, arq, opt, topo.sink());
+  EXPECT_EQ(star.edge_count(),
+            2u * (static_cast<std::size_t>(topo.size()) - 1u));
+  for (int i = 1; i < topo.size(); ++i) {
+    const net::LinkStats& up = dense.edge(i, 0);
+    const net::LinkStats& down = dense.edge(0, i);
+    EXPECT_EQ(star.edge(i, 0).ber, up.ber);
+    EXPECT_EQ(star.edge(i, 0).per, up.per);
+    EXPECT_EQ(star.delivery_probability(i, 0), up.delivery_probability);
+    EXPECT_EQ(star.expected_attempts(0, i), down.expected_attempts);
+    // Off-hub edges are never materialized, whatever their length.
+    if (i >= 2) {
+      EXPECT_FALSE(star.has_edge(1, i));
+    }
+  }
+}
+
+TEST(SparseLinkTable, RejectsBadArguments) {
+  const Topology topo = Topology::grid(4, u::Length(10.0));
+  const radio::RadioModel radio(radio::ulp_radio());
+  EXPECT_THROW(SparseLinkTable(topo, radio, u::Information(0.0),
+                               u::Length(10.0)),
+               std::invalid_argument);
+  net::LinkTableOptions opt;
+  opt.tag_loss_db = -1.0;
+  EXPECT_THROW(SparseLinkTable(topo, radio, u::Information(256.0),
+                               u::Length(10.0), radio::ArqModel{}, opt),
+               std::invalid_argument);
+}
+
+// --- end-to-end: the sparse_links knob must not move a single bit ---
+
+PacketSimConfig lossy_config() {
+  PacketSimConfig cfg;
+  cfg.node_count = 40;
+  cfg.field_side = u::Length(45.0);
+  cfg.radio_range = u::Length(15.0);
+  cfg.duration = u::Time(1200.0);
+  cfg.seed = 9;
+  cfg.model_link_errors = true;
+  return cfg;
+}
+
+void expect_results_identical(const net::PacketSimResult& a,
+                              const net::PacketSimResult& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.undeliverable, b.undeliverable);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.mean_link_attempts, b.mean_link_attempts);
+  EXPECT_EQ(a.end_to_end_latency.mean(), b.end_to_end_latency.mean());
+  EXPECT_EQ(a.queueing_delay.mean(), b.queueing_delay.mean());
+  EXPECT_EQ(a.ledger.of("radio-tx").value(), b.ledger.of("radio-tx").value());
+  EXPECT_EQ(a.ledger.of("radio-rx").value(), b.ledger.of("radio-rx").value());
+  EXPECT_EQ(a.energy_per_delivered.value(), b.energy_per_delivered.value());
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.lost_in_flight, b.lost_in_flight);
+  EXPECT_EQ(a.lost_no_route, b.lost_no_route);
+  EXPECT_EQ(a.reroutes, b.reroutes);
+  EXPECT_EQ(a.final_soc, b.final_soc);
+}
+
+TEST(SparseLinkTable, PacketSimSparseBitIdenticalToDense) {
+  PacketSimConfig dense_cfg = lossy_config();
+  PacketSimConfig sparse_cfg = lossy_config();
+  sparse_cfg.sparse_links = true;
+  for (const auto routing :
+       {net::RoutingPolicy::MinHop, net::RoutingPolicy::MinEnergy}) {
+    dense_cfg.routing = routing;
+    sparse_cfg.routing = routing;
+    expect_results_identical(simulate_packets(dense_cfg),
+                             simulate_packets(sparse_cfg));
+  }
+}
+
+TEST(SparseLinkTable, PacketSimSparseBitIdenticalToDenseUnderFaults) {
+  // Faults exercise the cached-adjacency reroute path: lifecycle edges
+  // re-converge routing through the down mask, and retried hops read the
+  // sparse stats.  Everything must still match the dense run exactly.
+  PacketSimConfig dense_cfg = lossy_config();
+  net::PacketFaultConfig fc;
+  fc.schedule.crash_mttf_s = 400.0;
+  fc.schedule.crash_mttr_s = 60.0;
+  fc.schedule.link_mtbf_s = 500.0;
+  fc.schedule.link_mttr_s = 30.0;
+  fc.schedule.seed = 77;
+  dense_cfg.faults = fc;
+  PacketSimConfig sparse_cfg = dense_cfg;
+  sparse_cfg.sparse_links = true;
+  const auto dense = simulate_packets(dense_cfg);
+  const auto sparse = simulate_packets(sparse_cfg);
+  expect_results_identical(dense, sparse);
+  EXPECT_GT(dense.reroutes, 0);
+}
+
+}  // namespace

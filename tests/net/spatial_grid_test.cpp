@@ -1,0 +1,181 @@
+#include "ambisim/net/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ambisim/net/routing.hpp"
+#include "ambisim/net/topology.hpp"
+#include "ambisim/sim/random.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+using net::Adjacency;
+using net::Point;
+using net::SpatialGrid;
+using net::Topology;
+
+namespace {
+
+void expect_trees_identical(const net::RoutingTree& a,
+                            const net::RoutingTree& b) {
+  ASSERT_EQ(a.next_hop.size(), b.next_hop.size());
+  EXPECT_EQ(a.next_hop, b.next_hop);
+  EXPECT_EQ(a.hops, b.hops);
+  ASSERT_EQ(a.cost.size(), b.cost.size());
+  // Bitwise, not approximate: the adjacency form must relax the same
+  // doubles in the same order as the range form.
+  for (std::size_t i = 0; i < a.cost.size(); ++i)
+    EXPECT_EQ(a.cost[i], b.cost[i]) << "cost diverges at node " << i;
+}
+
+// The grid is an index, not a model: across random fields of every shape
+// the grid-backed adjacency must be *byte-identical* to the all-pairs
+// oracle — same neighbor sets, same (ascending) order.
+TEST(SpatialGrid, AdjacencyMatchesBruteForceOn200RandomFields) {
+  sim::Rng rng(20260808);
+  auto& eng = rng.engine();
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(eng() % 120);
+    const double side = 1.0 + static_cast<double>(eng() % 400);
+    // Range from a fraction of a cell to spanning the whole field, so the
+    // query disc covers 1, 3x3, and many-cell neighborhoods.
+    const double range =
+        side * (0.02 + 1.2 * rng.uniform());
+    sim::Rng field_rng(eng());
+    const Topology topo =
+        Topology::random_field(n, u::Length(side), field_rng);
+    const auto fast = topo.adjacency(u::Length(range));
+    const auto oracle = topo.adjacency_bruteforce(u::Length(range));
+    ASSERT_EQ(fast, oracle) << "trial " << trial << " n=" << n
+                            << " side=" << side << " range=" << range;
+  }
+}
+
+TEST(SpatialGrid, AllCoincidentCloudCollapsesToOneCell) {
+  // Degenerate extent: every point at the same position.  The grid must
+  // clamp to a single cell and still answer exactly.
+  const Topology topo(std::vector<Point>(17, Point{3.5, -2.0}));
+  const auto fast = topo.adjacency(u::Length(1.0));
+  EXPECT_EQ(fast, topo.adjacency_bruteforce(u::Length(1.0)));
+  for (const auto& row : fast) EXPECT_EQ(row.size(), 16u);
+  // Non-positive ranges are rejected by both paths, as before the grid.
+  EXPECT_THROW((void)topo.adjacency(u::Length(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)topo.adjacency_bruteforce(u::Length(0.0)),
+               std::invalid_argument);
+}
+
+TEST(SpatialGrid, SingleNodeFieldHasEmptyAdjacency) {
+  const Topology topo(std::vector<Point>{{0.0, 0.0}});
+  const auto adj = topo.adjacency(u::Length(10.0));
+  ASSERT_EQ(adj.size(), 1u);
+  EXPECT_TRUE(adj[0].empty());
+  EXPECT_TRUE(topo.connected(u::Length(10.0)));
+}
+
+TEST(SpatialGrid, HugeExtentToRadiusRatioStaysCappedAndExact) {
+  // Points spread over kilometers with a meter-scale range: the naive cell
+  // count would explode, so the per-axis cap must bound the directory
+  // while queries stay exact.
+  sim::Rng rng(7);
+  const Topology topo =
+      Topology::random_field(300, u::Length(50000.0), rng);
+  const SpatialGrid grid(topo.positions(), 1.0);
+  EXPECT_LE(grid.cells_x(), SpatialGrid::kMaxCellsPerAxis);
+  EXPECT_LE(grid.cells_y(), SpatialGrid::kMaxCellsPerAxis);
+  EXPECT_EQ(topo.adjacency(u::Length(2500.0)),
+            topo.adjacency_bruteforce(u::Length(2500.0)));
+}
+
+TEST(SpatialGrid, DiscQueryMatchesLinearScan) {
+  sim::Rng rng(11);
+  const Topology topo = Topology::random_field(80, u::Length(60.0), rng);
+  const SpatialGrid grid(topo.positions(), 9.0);
+  const Point center{31.0, 28.5};
+  std::vector<int> got;
+  grid.points_within(center, 9.0, got);
+  std::vector<int> want;
+  for (int j = 0; j < topo.size(); ++j)
+    if (net::distance_m(center, topo.position(j)) <= 9.0) want.push_back(j);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(SpatialGrid, NeighborTableMirrorsAdjacencyWithBitwiseDistances) {
+  sim::Rng rng(23);
+  const Topology topo = Topology::random_field(150, u::Length(80.0), rng);
+  const u::Length range(14.0);
+  const auto lists = topo.adjacency(range);
+  const Adjacency csr = topo.neighbor_table(range);
+  ASSERT_EQ(csr.size(), topo.size());
+  std::size_t edges = 0;
+  for (int i = 0; i < topo.size(); ++i) {
+    const Adjacency::Row row = csr.row(i);
+    ASSERT_EQ(row.count, lists[static_cast<std::size_t>(i)].size());
+    for (std::size_t k = 0; k < row.count; ++k) {
+      EXPECT_EQ(row.ids[k], lists[static_cast<std::size_t>(i)][k]);
+      // The cached distance must be the same double node_distance returns,
+      // or min-energy trees could tip the other way on a tie.
+      EXPECT_EQ(row.dist[k],
+                topo.node_distance(i, row.ids[k]).value());
+    }
+    edges += row.count;
+  }
+  EXPECT_EQ(csr.edge_count(), edges);
+  EXPECT_GT(csr.bytes(), 0u);
+}
+
+TEST(SpatialGrid, ConnectedOverloadAgreesWithRangeForm) {
+  sim::Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    sim::Rng field_rng(rng.engine()());
+    const Topology topo =
+        Topology::random_field(60, u::Length(70.0), field_rng);
+    const u::Length range(4.0 + 2.0 * trial);
+    EXPECT_EQ(topo.connected(range),
+              topo.connected(topo.neighbor_table(range)));
+  }
+}
+
+// --- routing over a precomputed adjacency (the re-convergence fast path) ---
+
+TEST(SpatialGrid, RoutingOverAdjacencyBitIdenticalToRangeForm) {
+  sim::Rng rng(41);
+  const Topology topo = Topology::random_field(120, u::Length(70.0), rng);
+  const u::Length range(15.0);
+  const Adjacency adj = topo.neighbor_table(range);
+  const net::LinkEnergyModel model;
+
+  expect_trees_identical(net::min_hop_routes(topo, range),
+                         net::min_hop_routes(topo, adj));
+  expect_trees_identical(net::min_energy_routes(topo, range, model),
+                         net::min_energy_routes(topo, adj, model));
+}
+
+TEST(SpatialGrid, RoutingAroundDownNodesBitIdenticalToRangeForm) {
+  sim::Rng rng(43);
+  const Topology topo = Topology::random_field(90, u::Length(60.0), rng);
+  const u::Length range(14.0);
+  const Adjacency adj = topo.neighbor_table(range);
+  const net::LinkEnergyModel model;
+
+  std::vector<std::uint8_t> down(static_cast<std::size_t>(topo.size()), 0);
+  for (int i = 3; i < topo.size(); i += 7) down[static_cast<std::size_t>(i)] = 1;
+
+  expect_trees_identical(net::min_hop_routes(topo, range, down),
+                         net::min_hop_routes(topo, adj, down));
+  expect_trees_identical(net::min_energy_routes(topo, range, model, down),
+                         net::min_energy_routes(topo, adj, model, down));
+}
+
+TEST(SpatialGrid, RejectsBadConstruction) {
+  EXPECT_THROW(SpatialGrid(std::vector<Point>{}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(SpatialGrid(std::vector<Point>{{0.0, 0.0}}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
