@@ -21,6 +21,15 @@
 //     `_wall_s` / `_events_per_s` so the baseline compare ignores them;
 //     everything else is deterministic and gated.
 //
+//  3. Sharded packet engine (ambisim::shard): a short packet workload at
+//     every sweep size, run through the single-kernel serial oracle and
+//     the region-sharded engine at 1 / 2 / 8 regions.  A startup gate on
+//     small topologies (and the checksum at every sweep size) enforces the
+//     engine's contract — sharded runs are *bit-identical* to the oracle,
+//     so the events/s and speedup columns compare equal computations.
+//     Digests and packet counts are gated; `_wall_s` / `_events_per_s` /
+//     `_speedup` fields are ignored by the baseline compare.
+//
 // Emits BENCH_city.json.  The dense table at 100k nodes would hold 1e10
 // rows (~400 GB) — the sweep is only runnable because of the sparse path,
 // which is the point.
@@ -36,10 +45,12 @@
 
 #include "ambisim/fault/reliability.hpp"
 #include "ambisim/net/link_table.hpp"
+#include "ambisim/net/packet_sim.hpp"
 #include "ambisim/net/routing.hpp"
 #include "ambisim/net/sparse_link_table.hpp"
 #include "ambisim/net/spatial_grid.hpp"
 #include "ambisim/net/topology.hpp"
+#include "ambisim/shard/engine.hpp"
 #include "ambisim/sim/random.hpp"
 #include "ambisim/sim/table.hpp"
 #include "bench_util.hpp"
@@ -132,6 +143,40 @@ int verify_all(bool& ok) {
   return checked + 3;
 }
 
+/// Sharded-engine identity gate: on topologies small enough that the
+/// single-kernel oracle is cheap, every (shard count, pool size) pairing
+/// must reproduce the oracle's checksum bit-for-bit.  Runs before the
+/// sweep so a broken sync protocol can never publish speedup numbers.
+int verify_sharded(bool& ok) {
+  int checked = 0;
+  for (const bool errors : {false, true}) {
+    net::PacketSimConfig cfg;
+    cfg.node_count = 48;
+    cfg.field_side = u::Length(50.0);
+    cfg.radio_range = u::Length(kRangeM);
+    cfg.report_period = u::Time(3.0);
+    cfg.duration = u::Time(12.0);
+    cfg.model_link_errors = errors;
+    cfg.sparse_links = errors;
+    cfg.seed = kSeed;
+    const std::uint64_t want =
+        shard::digest_packets(shard::run_serial_oracle(cfg));
+    for (const int shards : {1, 2, 4})
+      for (const int pool : {1, 4}) {
+        const shard::ShardRunResult got =
+            shard::simulate_packets_sharded(cfg, {shards, pool});
+        if (got.checksum != want) {
+          std::cerr << "FATAL: sharded run diverged from the serial oracle "
+                    << "(shards=" << shards << ", pool=" << pool
+                    << ", link_errors=" << errors << ")\n";
+          ok = false;
+        }
+        ++checked;
+      }
+  }
+  return checked;
+}
+
 // --- half 2: the scale sweep -----------------------------------------------
 
 struct CityPoint {
@@ -210,11 +255,109 @@ CityPoint run_point(int n) {
   return pt;
 }
 
+// --- half 3: the sharded packet engine at scale ----------------------------
+
+struct PacketPoint {
+  int nodes = 0;
+  std::uint64_t checksum = 0;  ///< identical across every run below
+  long long generated = 0;
+  long long delivered = 0;
+  double lookahead_s = 0.0;
+  std::uint64_t events = 0;  ///< executed events, single-region run
+  long long shard2_windows = 0, shard2_boundary_msgs = 0;
+  long long shard8_windows = 0, shard8_boundary_msgs = 0;
+  // Wall-clock (ignored by the baseline compare).
+  double serial_wall_s = 0.0, serial_events_per_s = 0.0;
+  double shard2_wall_s = 0.0, shard2_events_per_s = 0.0, shard2_speedup = 0.0;
+  double shard8_wall_s = 0.0, shard8_events_per_s = 0.0, shard8_speedup = 0.0;
+};
+
+/// Short collection burst at the sweep's density: every source reports
+/// once, multi-hop to the sink, expected-ARQ link errors over the sparse
+/// table.  The 20 ms wake interval keeps the hop latency dominated by
+/// airtime rather than preamble alignment so packets actually cross the
+/// field within the 2 s horizon.
+net::PacketSimConfig packet_config(int n) {
+  net::PacketSimConfig cfg;
+  cfg.node_count = n;
+  cfg.field_side =
+      u::Length(kDensitySide * std::sqrt(static_cast<double>(n)));
+  cfg.radio_range = u::Length(kRangeM);
+  cfg.report_period = u::Time(20.0);
+  cfg.duration = u::Time(2.0);
+  cfg.mac = net::DutyCycledMac{u::Time(0.02), u::Time(0.001)};
+  cfg.model_link_errors = true;
+  cfg.sparse_links = true;
+  cfg.seed = static_cast<unsigned>(kSeed) + static_cast<unsigned>(n);
+  return cfg;
+}
+
+double rate(std::uint64_t events, double wall_s) {
+  return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+}
+
+PacketPoint run_packet_point(int n, bool& ok) {
+  PacketPoint pt;
+  pt.nodes = n;
+  const net::PacketSimConfig cfg = packet_config(n);
+
+  const net::PacketSimResult oracle = shard::run_serial_oracle(cfg);
+  pt.checksum = shard::digest_packets(oracle);
+  pt.generated = oracle.generated;
+  pt.delivered = oracle.delivered;
+
+  // Serial baseline for the speedup column: the sharded engine at one
+  // region and one worker, so window overhead is charged to both sides.
+  auto t0 = std::chrono::steady_clock::now();
+  const shard::ShardRunResult one =
+      shard::simulate_packets_sharded(cfg, {1, 1});
+  pt.serial_wall_s = now_minus(t0);
+  pt.events = one.events_executed;
+  pt.lookahead_s = one.lookahead_s;
+  pt.serial_events_per_s = rate(one.events_executed, pt.serial_wall_s);
+  if (one.checksum != pt.checksum) {
+    std::cerr << "FATAL: single-region run diverged from the oracle (n="
+              << n << ")\n";
+    ok = false;
+  }
+
+  for (const int shards : {2, 8}) {
+    t0 = std::chrono::steady_clock::now();
+    const shard::ShardRunResult got =
+        shard::simulate_packets_sharded(cfg, {shards, 0});
+    const double wall = now_minus(t0);
+    if (got.checksum != pt.checksum) {
+      std::cerr << "FATAL: sharded run diverged from the oracle (n=" << n
+                << ", shards=" << shards << ")\n";
+      ok = false;
+    }
+    if (shards == 2) {
+      pt.shard2_windows = got.windows;
+      pt.shard2_boundary_msgs = got.boundary_messages;
+      pt.shard2_wall_s = wall;
+      pt.shard2_events_per_s = rate(got.events_executed, wall);
+      pt.shard2_speedup = wall > 0.0 ? pt.serial_wall_s / wall : 0.0;
+    } else {
+      pt.shard8_windows = got.windows;
+      pt.shard8_boundary_msgs = got.boundary_messages;
+      pt.shard8_wall_s = wall;
+      pt.shard8_events_per_s = rate(got.events_executed, wall);
+      pt.shard8_speedup = wall > 0.0 ? pt.serial_wall_s / wall : 0.0;
+    }
+  }
+  return pt;
+}
+
 void print_city() {
   bool ok = true;
   const int verified = verify_all(ok);
   std::cout << "verification topologies (<=512 nodes): " << verified
             << ", grid == brute force and sparse == dense: "
+            << (ok ? "YES" : "NO") << "\n";
+  if (!ok) std::exit(1);
+  const int sharded_checked = verify_sharded(ok);
+  std::cout << "sharded-engine identity runs: " << sharded_checked
+            << ", every (shards, pool) == serial oracle: "
             << (ok ? "YES" : "NO") << "\n\n";
   if (!ok) std::exit(1);
 
@@ -233,6 +376,23 @@ void print_city() {
                pt.links_bytes_per_node});
   std::cout << t << '\n';
 
+  std::vector<PacketPoint> packets;
+  packets.reserve(std::size(kSweepNodes));
+  for (const int n : kSweepNodes) packets.push_back(run_packet_point(n, ok));
+  if (!ok) std::exit(1);
+
+  sim::Table pk("CITY: sharded packet engine (2 s burst, checksum-gated "
+                "against the serial oracle)",
+                {"nodes", "generated", "delivered", "serial_ev_s",
+                 "shard2_ev_s", "shard8_ev_s", "shard8_speedup"});
+  for (const PacketPoint& pt : packets)
+    pk.add_row({static_cast<double>(pt.nodes),
+                static_cast<double>(pt.generated),
+                static_cast<double>(pt.delivered), pt.serial_events_per_s,
+                pt.shard2_events_per_s, pt.shard8_events_per_s,
+                pt.shard8_speedup});
+  std::cout << pk << '\n';
+
   std::ofstream json("BENCH_city.json");
   json << "{\n";
   bench_util::manifest_field(json, bench_util::run_manifest("city", kSeed));
@@ -242,6 +402,9 @@ void print_city() {
        << "  \"grid_matches_bruteforce\": " << (ok ? "true" : "false")
        << ",\n"
        << "  \"sparse_matches_dense\": " << (ok ? "true" : "false") << ",\n"
+       << "  \"sharded_identity_runs\": " << sharded_checked << ",\n"
+       << "  \"sharded_matches_oracle\": " << (ok ? "true" : "false")
+       << ",\n"
        << "  \"points\": [\n";
   for (std::size_t k = 0; k < sweep.size(); ++k) {
     const CityPoint& pt = sweep[k];
@@ -257,6 +420,29 @@ void print_city() {
          << ", \"routing_wall_s\": " << pt.routing_wall_s
          << ", \"link_eval_events_per_s\": " << pt.link_eval_events_per_s
          << "}" << (k + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"packet_points\": [\n";
+  for (std::size_t k = 0; k < packets.size(); ++k) {
+    const PacketPoint& pt = packets[k];
+    json << "    {\"nodes\": " << pt.nodes
+         << ", \"packets_checksum\": " << pt.checksum
+         << ", \"generated\": " << pt.generated
+         << ", \"delivered\": " << pt.delivered
+         << ", \"lookahead_s\": " << pt.lookahead_s
+         << ", \"events\": " << pt.events
+         << ", \"shard2_windows\": " << pt.shard2_windows
+         << ", \"shard2_boundary_msgs\": " << pt.shard2_boundary_msgs
+         << ", \"shard8_windows\": " << pt.shard8_windows
+         << ", \"shard8_boundary_msgs\": " << pt.shard8_boundary_msgs
+         << ", \"serial_wall_s\": " << pt.serial_wall_s
+         << ", \"serial_events_per_s\": " << pt.serial_events_per_s
+         << ", \"shard2_wall_s\": " << pt.shard2_wall_s
+         << ", \"shard2_events_per_s\": " << pt.shard2_events_per_s
+         << ", \"shard2_speedup\": " << pt.shard2_speedup
+         << ", \"shard8_wall_s\": " << pt.shard8_wall_s
+         << ", \"shard8_events_per_s\": " << pt.shard8_events_per_s
+         << ", \"shard8_speedup\": " << pt.shard8_speedup
+         << "}" << (k + 1 < packets.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::cout << "wrote BENCH_city.json\n\n";

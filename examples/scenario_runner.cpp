@@ -6,6 +6,7 @@
 //   scenario_runner --print-spec spec            dump the normalized spec
 //   scenario_runner --replications N ...         override run.replications
 //   scenario_runner --pool N ...                 override run.pool
+//   scenario_runner --shards N ...               override run.shards (net)
 //   scenario_runner --obs-json out.json ...      arm probes, dump obs state
 //   scenario_runner --fuzz N [--seed S]          run a fuzz campaign
 //                   [--repro-dir DIR]            write shrunken repros there
@@ -53,6 +54,8 @@ int usage(const char* argv0) {
       << "  --print-spec        dump the normalized spec as canonical JSON\n"
       << "  --replications N    override run.replications\n"
       << "  --pool N            override run.pool (0 = serial)\n"
+      << "  --shards N          override run.shards (net engine; 0 = "
+         "single-kernel)\n"
       << "  --obs-json PATH     arm obs probes and dump metrics/timeline\n"
       << "  --fuzz N            generate + check N seed-derived scenarios\n"
       << "  --seed S            fuzz campaign root seed (default 1)\n"
@@ -196,6 +199,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--pool" && i + 1 < argc) {
       if (!parse_int(argv[++i], v) || v < 0) return usage(argv[0]);
       opt.overrides.pool = static_cast<int>(v);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      if (!parse_int(argv[++i], v) || v < 0) return usage(argv[0]);
+      opt.overrides.shards = static_cast<int>(v);
     } else if (arg == "--obs-json" && i + 1 < argc) {
       opt.obs_json = argv[++i];
     } else if (arg == "--fuzz" && i + 1 < argc) {

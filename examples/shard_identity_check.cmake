@@ -1,0 +1,19 @@
+# Smoke for the --shards override: the committed shard spec must print a
+# byte-identical report (checksum included) at --shards 1 and --shards 4.
+# This is the conservative-sync determinism contract exercised end to end
+# through the CLI; the ShardEngine/ShardScen suites cover the full matrix.
+execute_process(COMMAND ${RUNNER} --replications 1 --shards 1 ${SPEC}
+                OUTPUT_VARIABLE report_one RESULT_VARIABLE rc_one)
+execute_process(COMMAND ${RUNNER} --replications 1 --shards 4 ${SPEC}
+                OUTPUT_VARIABLE report_four RESULT_VARIABLE rc_four)
+if(NOT rc_one EQUAL 0)
+  message(FATAL_ERROR "scenario_runner --shards 1 failed (${rc_one}):\n${report_one}")
+endif()
+if(NOT rc_four EQUAL 0)
+  message(FATAL_ERROR "scenario_runner --shards 4 failed (${rc_four}):\n${report_four}")
+endif()
+if(NOT report_one STREQUAL report_four)
+  message(FATAL_ERROR "sharded report diverged from the unsharded run:\n"
+                      "--- shards 1 ---\n${report_one}\n"
+                      "--- shards 4 ---\n${report_four}")
+endif()

@@ -41,6 +41,14 @@ struct SensorNetworkConfig {
   std::optional<double> harvest_avg_watt;
   u::Time max_sim_time{0.0};        ///< 0 -> run to 90% node death
   unsigned seed = 1;
+  /// Shard the per-epoch relay walk across this many contiguous source
+  /// blocks on a worker pool; 0 (and 1) keep the serial walk.  Any value
+  /// is bit-identical to serial: relay counts are integral doubles (far
+  /// below 2^53), so the per-block partial sums merge exactly whatever the
+  /// block boundaries.  This is the epoch simulator's share of the
+  /// ambisim::shard work — the event-driven engine sharding lives in
+  /// shard/engine.hpp.
+  int shards = 0;
 };
 
 struct SensorNetworkResult {

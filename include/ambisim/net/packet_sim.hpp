@@ -79,6 +79,13 @@ struct PacketSimConfig {
   /// given topology is used verbatim (scenario specs use this for grid /
   /// star / pinned-seed layouts) and must hold `node_count` nodes.
   std::optional<Topology> placement;
+  /// Region-sharded execution (ambisim::shard).  0 = this single-kernel
+  /// engine, unchanged.  >= 1 selects the sharded sibling engine with that
+  /// many regions — callers that honour the knob (scen, bench) dispatch to
+  /// shard::simulate_packets_sharded; simulate_packets itself refuses the
+  /// config so a dropped dispatch cannot silently fall back to a kernel
+  /// with different (shared-rng) preamble semantics.
+  int shards = 0;
 };
 
 struct PacketSimResult {

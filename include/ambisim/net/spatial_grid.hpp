@@ -42,6 +42,11 @@ class SpatialGrid {
   [[nodiscard]] int size() const { return static_cast<int>(points_->size()); }
   [[nodiscard]] int cells_x() const { return nx_; }
   [[nodiscard]] int cells_y() const { return ny_; }
+  [[nodiscard]] int cell_count() const { return nx_ * ny_; }
+  /// Row-major cell index of an indexed point, in [0, cell_count()).  The
+  /// region partition (ambisim::shard) groups nodes by this value, so every
+  /// node of one cell always lands in the same region.
+  [[nodiscard]] int cell_of(int point) const;
   /// Directory + bucket memory, for the bytes-per-node accounting.
   [[nodiscard]] std::size_t bytes() const;
 

@@ -102,6 +102,7 @@ struct RunSummary {
 struct RunOverrides {
   int replications = 0;  ///< > 0 replaces run.replications
   int pool = -1;         ///< >= 0 replaces run.pool
+  int shards = -1;       ///< >= 0 replaces run.shards (net engine only)
 };
 
 /// Execute the spec end to end and evaluate its assertions.  When any

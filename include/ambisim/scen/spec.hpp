@@ -126,6 +126,13 @@ struct RunSpec {
   /// Worker pool for the replication batch; 0 = hardware threads.  The
   /// result is bit-identical for any value (exec determinism contract).
   int pool = 0;
+  /// Region-sharded execution (net engine only): >= 1 runs each
+  /// replication on shard::simulate_packets_sharded with that many
+  /// regions.  0 keeps the single-kernel engine and is NOT serialized
+  /// (canonical JSON is unchanged for specs that never set the key, so
+  /// fuzzer goldens hold).  Incompatible with faults and battery-coupled
+  /// fleets; the loader rejects those combinations.
+  int shards = 0;
 };
 
 /// One end-of-run check: `check op value`.  `node` qualifies per-node

@@ -1,0 +1,93 @@
+// Region-sharded packet simulation with conservative time-window sync.
+//
+// One event kernel owns the whole world in net::simulate_packets; city-scale
+// topologies (ROADMAP item 1) need the field split across cores.  This
+// engine partitions the topology into spatial regions (shard/partition.hpp),
+// runs one sim::Simulator per region on exec::ThreadPool workers, and
+// synchronizes with the classic conservative *time-window* protocol
+// (Chandy-Misra-Bryant lookahead, windowed): every hop costs at least
+// `lookahead = airtime + radio startup` of simulated time, so each shard can
+// advance a window [t, t + lookahead) with no input from its peers — any
+// packet a neighbor hands over mid-window completes its flight strictly
+// after the window ends.  At the window barrier, boundary packets are
+// exchanged as (time, flow, dst)-sorted message batches and the next window
+// opens.  Zero lookahead (a radio with no airtime and no startup) would
+// force zero-width windows; the engine rejects it up front.
+//
+// Bit-identity contract.  A sharded run at ANY shard count and ANY pool
+// size produces a PacketSimResult — and therefore a digest_packets checksum
+// — identical to run_serial_oracle on the same config (the tier-1 matrix
+// test and bench_city's startup gate both enforce it).  Three disciplines
+// make that hold:
+//   * Scheduling-free randomness: the per-hop preamble is hashed from
+//     (seed, flow, hop) with exec::derive_seed instead of drawn from a
+//     shared generator, so consumption order cannot leak into values.
+//     Flow ids are (report_index * node_count + origin) — a pure function
+//     of the workload, not of event interleaving.
+//   * Record-based aggregation: shards append integer-keyed hop / end
+//     records; every floating-point reduction (latency samples, ledger
+//     sums, mean hops) happens once, at the end, over the records sorted
+//     by their unique keys.  No partial sum ever depends on which shard —
+//     or which window — computed it.
+//   * Per-shard obs shards (obs::ShardSet) merged in shard-index order.
+//
+// The legacy single-kernel engine draws preambles from a shared rng in
+// event order and accumulates results in global event order, so it cannot
+// be sharded bit-identically; the sharded engine is therefore an opt-in
+// sibling (cfg.shards on PacketSimConfig routes callers here), and its own
+// one-shard serial run *is* the oracle.  Fault injection re-converges
+// global routing on lifecycle edges — a cross-shard side effect with no
+// lookahead — so cfg.faults is rejected; fault studies stay on the legacy
+// kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "ambisim/net/packet_sim.hpp"
+
+namespace ambisim::shard {
+
+struct ShardRunConfig {
+  /// Region count.  1 is legal (and is what the serial smoke compares
+  /// against); must be >= 1.
+  int shards = 1;
+  /// Worker threads for the window barrier's parallel_for; 0 = hardware
+  /// concurrency.  Any value yields the same checksum.
+  int pool = 0;
+};
+
+struct ShardRunResult {
+  net::PacketSimResult packets;
+  /// digest_packets(packets): order-sensitive checksum for identity gates.
+  std::uint64_t checksum = 0;
+  int shard_count = 0;
+  /// Conservative windows executed (ceil(duration / lookahead) plus any
+  /// drain rounds for messages landing exactly on the horizon).
+  long long windows = 0;
+  /// Boundary packets exchanged at window barriers over the whole run.
+  long long boundary_messages = 0;
+  double lookahead_s = 0.0;
+  /// Directed adjacency edges cut by the partition (0 when shards == 1).
+  std::size_t cross_edges = 0;
+  /// Events executed across all shard kernels.
+  std::uint64_t events_executed = 0;
+};
+
+/// Order-sensitive digest of every deterministic field of a packet-sim
+/// result, including each latency / queueing sample in order.  Equal
+/// checksums mean bit-identical runs.
+[[nodiscard]] std::uint64_t digest_packets(const net::PacketSimResult& res);
+
+/// The single-kernel serial oracle: same workload, same hashed preambles,
+/// same record-sorted aggregation, one sim::Simulator, no windows.  Every
+/// sharded run must match its checksum exactly.
+[[nodiscard]] net::PacketSimResult run_serial_oracle(
+    const net::PacketSimConfig& cfg);
+
+/// Run `cfg`'s workload region-sharded.  Ignores cfg.shards (callers that
+/// dispatch on it pass the count via `run`); throws std::invalid_argument
+/// on run.shards < 1, run.pool < 0, cfg.faults engaged, or zero lookahead.
+[[nodiscard]] ShardRunResult simulate_packets_sharded(
+    const net::PacketSimConfig& cfg, const ShardRunConfig& run);
+
+}  // namespace ambisim::shard

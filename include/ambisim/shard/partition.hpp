@@ -1,0 +1,58 @@
+// Region partition: spatial assignment of topology nodes to shards.
+//
+// The sharded engine (shard/engine.hpp) runs one event kernel per region,
+// so the partition decides which kernel owns each node's transmitter state
+// and which hops become cross-shard boundary messages.  Regions are built
+// from the same uniform SpatialGrid that backs neighbor discovery: cells of
+// roughly one radio range per side are walked in row-major order and dealt
+// to shards as contiguous spans balanced by node count.  Nodes sharing a
+// cell always share a shard, so a region is a geometrically compact block
+// of the field and most links (which are shorter than the radio range by
+// construction) stay internal to one shard.
+//
+// The partition is a pure function of (positions, shard_count, cell_size):
+// no RNG, no iteration-order dependence, so every run of the same topology
+// deals the same regions — a precondition for the engine's bit-identity
+// contract.  Degenerate inputs produce *empty shards*, not errors: an
+// all-coincident cloud collapses to one cell (every node lands in shard 0)
+// and asking for more shards than occupied cells leaves the surplus shards
+// with zero nodes.  Empty shards run zero events and cost one idle kernel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ambisim/net/routing.hpp"
+#include "ambisim/net/topology.hpp"
+
+namespace ambisim::shard {
+
+struct RegionPartition {
+  int shard_count = 0;
+  /// Owning shard per node, in [0, shard_count).
+  std::vector<int> owner;
+  /// Node ids per shard, ascending within each shard.
+  std::vector<std::vector<int>> nodes;
+
+  /// Partition `topo` into `shard_count` regions with grid cells of
+  /// `cell_size_m` meters (callers pass the radio range so intra-cell
+  /// links can never span shards).  Throws std::invalid_argument on
+  /// shard_count < 1 or a non-positive cell size.
+  [[nodiscard]] static RegionPartition build(const net::Topology& topo,
+                                             int shard_count,
+                                             double cell_size_m);
+
+  [[nodiscard]] bool is_cross(int a, int b) const {
+    return owner[static_cast<std::size_t>(a)] !=
+           owner[static_cast<std::size_t>(b)];
+  }
+  /// Shards that own zero nodes (degenerate layouts; see file comment).
+  [[nodiscard]] int empty_shards() const;
+  /// Directed adjacency edges whose endpoints live in different shards —
+  /// the traffic that must cross the conservative sync barrier.
+  [[nodiscard]] std::size_t cross_edge_count(const net::Adjacency& adj) const;
+  /// Routing-tree edges (node -> next_hop) cut by the partition.
+  [[nodiscard]] std::size_t cut_tree_edges(const net::RoutingTree& tree) const;
+};
+
+}  // namespace ambisim::shard

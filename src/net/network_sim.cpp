@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <stdexcept>
+
+#include "ambisim/exec/thread_pool.hpp"
 
 namespace ambisim::net {
 
@@ -77,6 +81,8 @@ SensorNetworkResult simulate_sensor_network(const SensorNetworkConfig& cfg) {
     throw std::invalid_argument("network needs a sink and >= 1 sensor");
   if (cfg.report_period <= u::Time(0.0))
     throw std::invalid_argument("report period must be positive");
+  if (cfg.shards < 0)
+    throw std::invalid_argument("shards must be >= 0 (0 = serial walk)");
 
   sim::Rng rng(cfg.seed);
   const Topology topo =
@@ -123,22 +129,77 @@ SensorNetworkResult simulate_sensor_network(const SensorNetworkConfig& cfg) {
   int alive_sensors = n - 1;
   const int death_target = (n - 1) / 10;  // stop at 90 % sensor death
 
+  // Sharded relay walk (cfg.shards >= 2): contiguous source blocks walk
+  // their paths into per-block scratch rows in parallel, then the rows
+  // merge in block order.  Relay counts are integral doubles, so the merge
+  // is exact and the epoch stays bit-identical to the serial walk.
+  const int blocks = cfg.shards;
+  std::optional<exec::ThreadPool> walk_pool;
+  std::vector<double> walk_scratch;
+  std::vector<int> walk_counts;
+  if (blocks >= 2) {
+    walk_pool.emplace(0);
+    walk_scratch.resize(static_cast<std::size_t>(blocks) *
+                        static_cast<std::size_t>(n));
+    walk_counts.resize(static_cast<std::size_t>(blocks));
+  }
+
   while (now < horizon && alive_sensors > death_target) {
     const RoutingTree tree =
         routes_on_alive(topo, adj, alive, cfg.routing, link_model);
 
-    // Per-node steady-state drain in the current epoch.
+    // Per-node steady-state drain in the current epoch.  `sourcing` is
+    // bytes, not vector<bool>: block workers each write their own index
+    // range, which packed bits would turn into a word-level data race.
     std::vector<double> relays(n, 0.0);
-    std::vector<bool> sourcing(n, false);
+    std::vector<std::uint8_t> sourcing(n, 0);
     int reachable_sources = 0;
-    for (int i = 1; i < n; ++i) {
-      if (!alive[i] || !tree.reachable(i)) continue;
-      sourcing[i] = true;
-      ++reachable_sources;
-      int v = tree.next_hop[i];
-      while (v != topo.sink()) {
-        relays[v] += 1.0;
-        v = tree.next_hop[v];
+    if (blocks < 2) {
+      for (int i = 1; i < n; ++i) {
+        if (!alive[i] || !tree.reachable(i)) continue;
+        sourcing[i] = 1;
+        ++reachable_sources;
+        int v = tree.next_hop[i];
+        while (v != topo.sink()) {
+          relays[v] += 1.0;
+          v = tree.next_hop[v];
+        }
+      }
+    } else {
+      std::fill(walk_scratch.begin(), walk_scratch.end(), 0.0);
+      std::fill(walk_counts.begin(), walk_counts.end(), 0);
+      exec::parallel_for(
+          *walk_pool, static_cast<std::size_t>(blocks),
+          [&](std::size_t b) {
+            // Sources [1, n) split into `blocks` contiguous ranges.
+            const int lo =
+                1 + static_cast<int>((static_cast<long long>(n - 1) *
+                                      static_cast<long long>(b)) /
+                                     blocks);
+            const int hi =
+                1 + static_cast<int>((static_cast<long long>(n - 1) *
+                                      static_cast<long long>(b + 1)) /
+                                     blocks);
+            double* row = walk_scratch.data() +
+                          b * static_cast<std::size_t>(n);
+            for (int i = lo; i < hi; ++i) {
+              if (!alive[i] || !tree.reachable(i)) continue;
+              sourcing[static_cast<std::size_t>(i)] = 1;
+              ++walk_counts[b];
+              int v = tree.next_hop[i];
+              while (v != topo.sink()) {
+                row[v] += 1.0;
+                v = tree.next_hop[v];
+              }
+            }
+          },
+          /*grain=*/1);
+      for (int b = 0; b < blocks; ++b) {
+        reachable_sources += walk_counts[static_cast<std::size_t>(b)];
+        const double* row = walk_scratch.data() +
+                            static_cast<std::size_t>(b) *
+                                static_cast<std::size_t>(n);
+        for (int v = 0; v < n; ++v) relays[static_cast<std::size_t>(v)] += row[v];
       }
     }
 

@@ -83,6 +83,11 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
     throw std::invalid_argument("network needs a sink and >= 1 sensor");
   if (cfg.report_period <= u::Time(0.0) || cfg.duration <= u::Time(0.0))
     throw std::invalid_argument("period and duration must be positive");
+  if (cfg.shards >= 1)
+    throw std::invalid_argument(
+        "cfg.shards selects the region-sharded engine; call "
+        "shard::simulate_packets_sharded (this kernel's shared-rng "
+        "preambles cannot honour the sharded determinism contract)");
 
   sim::Rng rng(cfg.seed);
   if (cfg.placement && cfg.placement->size() != cfg.node_count)

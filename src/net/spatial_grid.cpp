@@ -79,6 +79,11 @@ int SpatialGrid::cell_y(double y) const {
   return std::clamp(c, 0, ny_ - 1);
 }
 
+int SpatialGrid::cell_of(int point) const {
+  const Point& p = points_->at(static_cast<std::size_t>(point));
+  return cell_y(p.y) * nx_ + cell_x(p.x);
+}
+
 std::size_t SpatialGrid::bytes() const {
   return cell_start_.capacity() * sizeof(int) +
          cell_items_.capacity() * sizeof(int) + sizeof(*this);

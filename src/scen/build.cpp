@@ -7,6 +7,7 @@
 #include "ambisim/energy/harvester.hpp"
 #include "ambisim/exec/runner.hpp"
 #include "ambisim/obs/obs.hpp"
+#include "ambisim/shard/engine.hpp"
 #include "ambisim/tech/technology.hpp"
 
 namespace ambisim::scen {
@@ -53,6 +54,7 @@ net::PacketSimConfig build_packet_config(const ScenarioSpec& spec) {
   c.seed = static_cast<unsigned>(spec.run.seed);
   c.model_link_errors = w.model_link_errors;
   c.sparse_links = w.sparse_links;
+  c.shards = spec.run.shards;
 
   switch (spec.topology.kind) {
     case TopologyKind::Random:
@@ -365,7 +367,8 @@ RunSummary run_scenario(const ScenarioSpec& spec,
   exec::ReplicationRunner runner(ec);
 
   if (out.engine == Engine::Net) {
-    const net::PacketSimConfig base = build_packet_config(spec);
+    net::PacketSimConfig base = build_packet_config(spec);
+    if (overrides.shards >= 0) base.shards = overrides.shards;
     out.replications = runner.run(
         static_cast<std::size_t>(reps), spec.run.seed,
         [&](sim::Rng& rng, std::size_t i) {
@@ -375,6 +378,13 @@ RunSummary run_scenario(const ScenarioSpec& spec,
             // workload and fault-script seeds from their own substream.
             c.seed = static_cast<unsigned>(rng.engine()());
             if (c.faults) c.faults->schedule.seed = rng.engine()();
+          }
+          if (c.shards >= 1) {
+            // Region-sharded engine with a single-threaded inner pool:
+            // the replication batch already owns the workers, and the
+            // checksum is pool-size independent anyway.
+            return summarize_net(
+                shard::simulate_packets_sharded(c, {c.shards, 1}).packets);
           }
           return summarize_net(net::simulate_packets(c));
         });

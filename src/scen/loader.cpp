@@ -387,6 +387,7 @@ RunSpec load_run(Check& c, const Value& v, const std::string& path) {
   r.replications =
       static_cast<int>(o.integer("replications", 1, 1, 100000));
   r.pool = static_cast<int>(o.integer("pool", 0, 0, 4096));
+  r.shards = static_cast<int>(o.integer("shards", 0, 0, 4096));
   o.finish();
   return r;
 }
@@ -586,8 +587,27 @@ LoadResult Loader::load_text(std::string_view text) const {
       spec.faults = load_faults(c, *f, "$.faults");
   }
 
-  if (const Value* r = c.object_member(o, "run"))
+  if (const Value* r = c.object_member(o, "run")) {
     spec.run = load_run(c, *r, "$.run");
+    if (spec.run.shards != 0) {
+      bool battery_fleet = false;
+      for (const FleetGroup& g : spec.fleet)
+        if (g.battery) battery_fleet = true;
+      if (engine != Engine::Net)
+        c.report("$.run.shards", r->line(),
+                 "sharded execution is a net-engine feature; remove the "
+                 "key or the non-sensor fleet groups");
+      else if (spec.faults)
+        c.report("$.run.shards", r->line(),
+                 "the sharded engine does not support fault injection "
+                 "(routing re-convergence is global); remove $.faults or "
+                 "run unsharded");
+      else if (battery_fleet)
+        c.report("$.run.shards", r->line(),
+                 "the sharded engine does not support battery-coupled "
+                 "fleets; drop the battery or run unsharded");
+    }
+  }
 
   // Every backscatter tag carries its storage capacitor, so the aiot
   // engine is always energy-coupled and SoC assertions are valid.

@@ -184,6 +184,10 @@ std::string to_json(const ScenarioSpec& spec) {
   run.set("replications",
           Value::number(static_cast<double>(spec.run.replications)));
   run.set("pool", Value::number(static_cast<double>(spec.run.pool)));
+  // Opt-in like sparse_links: absent unless set, so canonical JSON (and
+  // the fuzzer goldens hashed from it) is unchanged for unsharded specs.
+  if (spec.run.shards != 0)
+    run.set("shards", Value::number(static_cast<double>(spec.run.shards)));
   root.set("run", std::move(run));
 
   Value asserts = Value::array();

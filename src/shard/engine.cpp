@@ -1,0 +1,502 @@
+#include "ambisim/shard/engine.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "ambisim/exec/seed.hpp"
+#include "ambisim/exec/thread_pool.hpp"
+#include "ambisim/fault/reliability.hpp"
+#include "ambisim/net/sparse_link_table.hpp"
+#include "ambisim/obs/obs.hpp"
+#include "ambisim/obs/probe.hpp"
+#include "ambisim/shard/partition.hpp"
+
+namespace ambisim::shard {
+
+namespace u = ambisim::units;
+
+namespace {
+
+/// A packet in flight, passed by value across shard boundaries: a boundary
+/// hand-off carries everything the next hop needs, so shards share no
+/// mutable packet state.
+struct LivePacket {
+  std::uint64_t flow = 0;
+  int origin = -1;
+  int hops_taken = 0;
+  double created_s = 0.0;
+  double queued_s = 0.0;
+};
+
+/// One transmission of one hop, recorded when the hop *starts* — matching
+/// the legacy kernel, which charges tx/rx energy at forward time, so a
+/// packet still in flight at the horizon has paid for its hops.
+struct HopRecord {
+  std::uint64_t flow = 0;
+  int hop = 0;            ///< hop index within the flow (0 = first hop)
+  double attempts = 1.0;  ///< expected ARQ attempts of the edge
+};
+
+/// A flow's terminal outcome.
+struct EndRecord {
+  std::uint64_t flow = 0;
+  int origin = -1;
+  bool delivered = false;  ///< false = undeliverable at generation
+  int hops_taken = 0;
+  double created_s = 0.0;
+  double delivered_s = 0.0;
+  double queued_s = 0.0;
+};
+
+/// A boundary packet awaiting the window barrier: arrival `pkt` at `node`
+/// (owned by a peer shard) at absolute time `time_s`.
+struct Boundary {
+  double time_s = 0.0;
+  int node = -1;
+  LivePacket pkt;
+};
+
+/// Uniform [0, 1) hash of (seed, flow, hop) — the sharded engine's preamble
+/// source.  A pure function of the packet's identity, so the value cannot
+/// depend on which shard, window, or thread evaluates the hop (the shared
+/// rng the legacy kernel draws from would leak event order into values).
+/// Same 53-bit mantissa construction sim::Rng's uniform uses.
+[[nodiscard]] double hash_unit(std::uint64_t seed, std::uint64_t flow,
+                               int hop) {
+  const std::uint64_t h = exec::derive_seed(
+      exec::derive_seed(seed, flow), static_cast<std::uint64_t>(hop));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Workload state shared (read-only after setup) by every shard kernel:
+/// the same topology / routing / link tables the legacy engine builds, in
+/// the same RNG draw order (placement first, then per-source phases), so
+/// scenario-pinned topologies line up exactly.
+struct Workload {
+  std::optional<net::Topology> topo;
+  net::Adjacency adj;
+  net::RoutingTree tree;
+  net::LinkTable links;
+  net::SparseLinkTable sparse;
+  bool use_sparse = false;
+  bool model_link_errors = false;
+  u::Length range{0.0};
+  u::Time airtime{0.0};
+  u::Time startup{0.0};
+  u::Time lookahead{0.0};
+  u::Time period{0.0};
+  u::Time duration{0.0};
+  u::Energy tx_e{0.0};
+  u::Energy rx_e{0.0};
+  u::Power baseline{0.0};
+  double wake_s = 0.0;
+  std::uint64_t seed = 0;
+  int n = 0;
+  int sink = 0;
+  std::vector<u::Time> phase;   ///< per-source start offset; [0] unused
+  std::vector<char> routable;   ///< per-source reachability; [0] unused
+  std::size_t expected_packets = 0;
+
+  [[nodiscard]] double edge_attempts(int from, int to) const {
+    return use_sparse ? sparse.expected_attempts(from, to)
+                      : links.edge(from, to).expected_attempts;
+  }
+};
+
+Workload build_workload(const net::PacketSimConfig& cfg) {
+  if (cfg.node_count < 2)
+    throw std::invalid_argument("network needs a sink and >= 1 sensor");
+  if (cfg.report_period <= u::Time(0.0) || cfg.duration <= u::Time(0.0))
+    throw std::invalid_argument("period and duration must be positive");
+  if (cfg.faults)
+    throw std::invalid_argument(
+        "sharded engine does not support fault injection: lifecycle edges "
+        "re-converge global routing, a cross-shard side effect with no "
+        "lookahead; run fault studies on net::simulate_packets");
+  if (cfg.placement &&
+      cfg.placement->size() != cfg.node_count)
+    throw std::invalid_argument("placement size != node_count");
+
+  sim::Rng rng(cfg.seed);
+  Workload w;
+  w.topo = cfg.placement ? *cfg.placement
+                         : net::Topology::random_field(cfg.node_count,
+                                                       cfg.field_side, rng);
+  const radio::RadioModel radio(cfg.radio);
+  w.range = u::min(cfg.radio_range, radio.max_range());
+
+  net::LinkEnergyModel link_model;
+  link_model.k_elec = radio.energy_per_bit_tx().value() +
+                      radio.energy_per_bit_rx().value();
+  link_model.exponent = cfg.radio.environment.exponent;
+  w.adj = w.topo->neighbor_table(w.range);
+  w.tree = cfg.routing == net::RoutingPolicy::MinHop
+               ? net::min_hop_routes(*w.topo, w.adj)
+               : net::min_energy_routes(*w.topo, w.adj, link_model);
+
+  w.model_link_errors = cfg.model_link_errors;
+  w.use_sparse = cfg.model_link_errors && cfg.sparse_links;
+  if (cfg.model_link_errors && !w.use_sparse)
+    w.links = net::LinkTable(*w.topo, radio, cfg.packet_bits, cfg.arq);
+  if (w.use_sparse)
+    w.sparse =
+        net::SparseLinkTable(*w.topo, w.adj, radio, cfg.packet_bits, cfg.arq);
+
+  w.airtime = radio.time_on_air(cfg.packet_bits);
+  w.startup = cfg.radio.startup;
+  // Every hop occupies the kernel for at least airtime + startup (attempts
+  // scale it up, never down), so that sum is the conservative lookahead: a
+  // packet handed over mid-window cannot arrive inside the same window.
+  w.lookahead = w.airtime + w.startup;
+  if (!(w.lookahead > u::Time(0.0)))
+    throw std::invalid_argument(
+        "sharded engine needs positive lookahead (airtime + radio startup "
+        "are both zero, which admits only zero-width sync windows)");
+
+  w.period = cfg.report_period;
+  w.duration = cfg.duration;
+  w.tx_e = cfg.mac.tx_packet_energy(radio, cfg.packet_bits);
+  w.rx_e = cfg.mac.rx_packet_energy(radio, cfg.packet_bits);
+  w.baseline = cfg.mac.baseline_power(radio);
+  w.wake_s = cfg.mac.wake_interval.value();
+  w.seed = cfg.seed;
+  w.n = w.topo->size();
+  w.sink = w.topo->sink();
+
+  w.phase.assign(static_cast<std::size_t>(w.n), u::Time(0.0));
+  w.routable.assign(static_cast<std::size_t>(w.n), 0);
+  for (int i = 1; i < w.n; ++i) {
+    w.routable[static_cast<std::size_t>(i)] = w.tree.reachable(i) ? 1 : 0;
+    w.phase[static_cast<std::size_t>(i)] =
+        u::Time(rng.uniform(0.0, cfg.report_period.value()));
+  }
+  w.expected_packets =
+      static_cast<std::size_t>(w.n - 1) *
+      (static_cast<std::size_t>(w.duration.value() / w.period.value()) + 1);
+  return w;
+}
+
+/// One region's event kernel: its own simulator, its outbox for boundary
+/// packets, and append-only record logs the final aggregation consumes.
+/// `part == nullptr` marks the serial oracle (everything is local).
+struct Kernel {
+  int id = 0;
+  const Workload* w = nullptr;
+  const RegionPartition* part = nullptr;
+  /// Shared across kernels, but element `i` is only ever touched by node
+  /// i's owner shard — per-element ownership, no synchronization needed.
+  std::vector<u::Time>* tx_free = nullptr;
+  std::vector<long long>* report_idx = nullptr;
+  sim::Simulator simu;
+  std::vector<Boundary> outbox;
+  std::vector<HopRecord> hops;
+  std::vector<EndRecord> ends;
+  long long generated = 0;
+
+  /// Node `from` (owned by this shard) transmits `pkt` toward the sink.
+  void forward(int from, LivePacket pkt) {
+    const Workload& wl = *w;
+    const int to = wl.tree.next_hop[static_cast<std::size_t>(from)];
+    // Wait for the transmitter if it is mid-packet (FIFO).
+    const u::Time start =
+        u::max(simu.now(), (*tx_free)[static_cast<std::size_t>(from)]);
+    const u::Time waited = start - simu.now();
+    if (waited > u::Time(0.0)) pkt.queued_s += waited.value();
+    // Hashed preamble alignment — see hash_unit for why not a shared rng.
+    const u::Time preamble{hash_unit(wl.seed, pkt.flow, pkt.hops_taken) *
+                           wl.wake_s};
+    double attempts = 1.0;
+    if (wl.model_link_errors) attempts = wl.edge_attempts(from, to);
+    const u::Time done = start + preamble + wl.airtime * attempts +
+                         wl.startup * attempts;
+    (*tx_free)[static_cast<std::size_t>(from)] = done;
+    hops.push_back({pkt.flow, pkt.hops_taken, attempts});
+
+    AMBISIM_OBS_COUNT("net.hops");
+#if AMBISIM_OBS_COMPILED
+    if (obs::enabled()) [[unlikely]] {
+      auto& octx = obs::context();
+      octx.metrics.histogram("net.queue_wait_s").observe(waited.value());
+      octx.metrics.histogram("net.preamble_s").observe(preamble.value());
+    }
+#endif
+
+    if (part != nullptr &&
+        part->owner[static_cast<std::size_t>(to)] != id) {
+      // Cross-shard hop: hand the arrival to the window barrier.  done >=
+      // now + lookahead, so the receiver is guaranteed not to have passed
+      // this time yet.
+      outbox.push_back({done.value(), to, pkt});
+      return;
+    }
+    simu.schedule_at(done, [this, to, pkt]() { arrive(to, pkt); });
+  }
+
+  /// `pkt` completes its hop into `to` (owned by this shard).
+  void arrive(int to, LivePacket pkt) {
+    pkt.hops_taken += 1;
+    if (to == w->sink) {
+      const double now_s = simu.now().value();
+      ends.push_back({pkt.flow, pkt.origin, true, pkt.hops_taken,
+                      pkt.created_s, now_s, pkt.queued_s});
+      AMBISIM_OBS_COUNT("net.packets_delivered");
+#if AMBISIM_OBS_COMPILED
+      if (obs::enabled()) [[unlikely]]
+        obs::context().metrics.histogram("net.latency_s")
+            .observe(now_s - pkt.created_s);
+#endif
+      return;
+    }
+    forward(to, pkt);
+  }
+
+  /// Source `i` (owned by this shard) emits its next periodic report and
+  /// reschedules itself while the horizon allows.
+  void emit(int i) {
+    const Workload& wl = *w;
+    ++generated;
+    // Flow id = (report index, origin) flattened: unique per packet and a
+    // pure function of the workload, never of event interleaving.
+    const auto k = static_cast<std::uint64_t>(
+        (*report_idx)[static_cast<std::size_t>(i)]++);
+    const std::uint64_t flow =
+        k * static_cast<std::uint64_t>(wl.n) + static_cast<std::uint64_t>(i);
+    AMBISIM_OBS_COUNT("net.packets_generated");
+    if (!wl.routable[static_cast<std::size_t>(i)]) {
+      ends.push_back(
+          {flow, i, false, 0, simu.now().value(), 0.0, 0.0});
+      AMBISIM_OBS_COUNT("net.packets_undeliverable");
+    } else {
+      LivePacket pkt;
+      pkt.flow = flow;
+      pkt.origin = i;
+      pkt.created_s = simu.now().value();
+      forward(i, pkt);
+    }
+    if (simu.now() + wl.period <= wl.duration)
+      simu.schedule_in(wl.period, [this, i]() { emit(i); });
+  }
+};
+
+/// Deterministic aggregation: concatenate every kernel's records, sort by
+/// unique integer keys, then run every floating-point reduction once in
+/// that order.  Identical for the serial oracle and any shard/pool count —
+/// this is where the bit-identity contract is discharged.
+net::PacketSimResult finalize(const Workload& w,
+                              const std::vector<Kernel*>& kernels) {
+  std::vector<EndRecord> ends;
+  std::vector<HopRecord> hops;
+  std::size_t n_ends = 0, n_hops = 0;
+  for (const Kernel* k : kernels) {
+    n_ends += k->ends.size();
+    n_hops += k->hops.size();
+  }
+  ends.reserve(n_ends);
+  hops.reserve(n_hops);
+
+  net::PacketSimResult res;
+  for (const Kernel* k : kernels) {
+    res.generated += k->generated;
+    ends.insert(ends.end(), k->ends.begin(), k->ends.end());
+    hops.insert(hops.end(), k->hops.begin(), k->hops.end());
+  }
+  // Flow ids are unique; (flow, hop) pairs are unique.  Sorting by them
+  // yields one canonical order whatever sharding produced the records.
+  std::sort(ends.begin(), ends.end(),
+            [](const EndRecord& a, const EndRecord& b) {
+              return a.flow < b.flow;
+            });
+  std::sort(hops.begin(), hops.end(),
+            [](const HopRecord& a, const HopRecord& b) {
+              return a.flow != b.flow ? a.flow < b.flow : a.hop < b.hop;
+            });
+
+  res.end_to_end_latency.reserve(w.expected_packets);
+  res.queueing_delay.reserve(w.expected_packets);
+  for (const EndRecord& e : ends) {
+    if (!e.delivered) {
+      ++res.undeliverable;
+      continue;
+    }
+    ++res.delivered;
+    res.end_to_end_latency.add(e.delivered_s - e.created_s);
+    res.queueing_delay.add(e.queued_s);
+    res.mean_hops += e.hops_taken;
+  }
+
+  double attempts_sum = 0.0;
+  long long attempts_hops = 0;
+  for (const HopRecord& h : hops) {
+    if (w.model_link_errors) {
+      attempts_sum += h.attempts;
+      ++attempts_hops;
+    }
+    res.ledger.charge("radio-tx", w.tx_e * h.attempts);
+    res.ledger.charge("radio-rx", w.rx_e * h.attempts);
+  }
+  // Baseline listening for every sensor over the horizon.
+  res.ledger.charge(
+      "listen-baseline",
+      u::Energy(w.baseline.value() * w.duration.value() * (w.n - 1)));
+
+  if (attempts_hops > 0)
+    res.mean_link_attempts =
+        attempts_sum / static_cast<double>(attempts_hops);
+  if (res.delivered > 0) {
+    res.mean_hops /= static_cast<double>(res.delivered);
+    res.energy_per_delivered =
+        u::Energy((res.ledger.of("radio-tx") + res.ledger.of("radio-rx"))
+                      .value() /
+                  static_cast<double>(res.delivered));
+  }
+  return res;
+}
+
+}  // namespace
+
+std::uint64_t digest_packets(const net::PacketSimResult& res) {
+  fault::Digest d;
+  d.fold(res.generated);
+  d.fold(res.delivered);
+  d.fold(res.undeliverable);
+  for (const double v : res.end_to_end_latency.values()) d.fold(v);
+  for (const double v : res.queueing_delay.values()) d.fold(v);
+  d.fold(res.mean_hops);
+  d.fold(res.mean_link_attempts);
+  d.fold(res.ledger.of("radio-tx").value());
+  d.fold(res.ledger.of("radio-rx").value());
+  d.fold(res.ledger.of("listen-baseline").value());
+  d.fold(res.energy_per_delivered.value());
+  return d.value();
+}
+
+net::PacketSimResult run_serial_oracle(const net::PacketSimConfig& cfg) {
+  const Workload w = build_workload(cfg);
+  std::vector<u::Time> tx_free(static_cast<std::size_t>(w.n), u::Time(0.0));
+  std::vector<long long> report_idx(static_cast<std::size_t>(w.n), 0);
+
+  Kernel k;
+  k.w = &w;
+  k.tx_free = &tx_free;
+  k.report_idx = &report_idx;
+  for (int i = 1; i < w.n; ++i)
+    k.simu.schedule_at(w.phase[static_cast<std::size_t>(i)],
+                       [kp = &k, i]() { kp->emit(i); });
+  k.simu.run_until(w.duration);
+  return finalize(w, {&k});
+}
+
+ShardRunResult simulate_packets_sharded(const net::PacketSimConfig& cfg,
+                                        const ShardRunConfig& run) {
+  if (run.shards < 1)
+    throw std::invalid_argument("shard count must be >= 1");
+  if (run.pool < 0)
+    throw std::invalid_argument("pool size must be >= 0 (0 = hardware)");
+
+  const Workload w = build_workload(cfg);
+  // Cells of one radio range per side keep most links intra-shard; a
+  // degenerate zero range (nothing is in range anyway) still partitions.
+  const double cell_m = w.range.value() > 0.0 ? w.range.value() : 1.0;
+  const RegionPartition part =
+      RegionPartition::build(*w.topo, run.shards, cell_m);
+  const int S = run.shards;
+
+  std::vector<u::Time> tx_free(static_cast<std::size_t>(w.n), u::Time(0.0));
+  std::vector<long long> report_idx(static_cast<std::size_t>(w.n), 0);
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  kernels.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    auto k = std::make_unique<Kernel>();
+    k->id = s;
+    k->w = &w;
+    k->part = &part;
+    k->tx_free = &tx_free;
+    k->report_idx = &report_idx;
+    kernels.push_back(std::move(k));
+  }
+  for (int i = 1; i < w.n; ++i) {
+    Kernel* k = kernels[static_cast<std::size_t>(
+                            part.owner[static_cast<std::size_t>(i)])]
+                    .get();
+    k->simu.schedule_at(w.phase[static_cast<std::size_t>(i)],
+                        [k, i]() { k->emit(i); });
+  }
+
+  exec::ThreadPool pool(static_cast<unsigned>(run.pool));
+  // Per-shard obs shards, merged in shard order after the run so recorded
+  // metrics are pool-size independent (trace event order then follows
+  // shard id, not thread schedule).
+  std::unique_ptr<obs::ShardSet> oshards;
+  if (obs::enabled())
+    oshards = std::make_unique<obs::ShardSet>(static_cast<std::size_t>(S));
+
+  ShardRunResult out;
+  out.shard_count = S;
+  out.lookahead_s = w.lookahead.value();
+  if (S > 1) out.cross_edges = part.cross_edge_count(w.adj);
+
+  const double dur = w.duration.value();
+  std::vector<Boundary> inbox;
+  double t = 0.0;
+  for (;;) {
+    // Conservative window [t, wend): every in-window transmission lands at
+    // >= t + lookahead >= wend, so shards advance with no peer input.
+    const double wend = std::min(t + w.lookahead.value(), dur);
+    exec::parallel_for(
+        pool, static_cast<std::size_t>(S),
+        [&](std::size_t s) {
+          obs::ContextBinding bind(oshards ? &oshards->shard(s) : nullptr);
+          kernels[s]->simu.run_until(u::Time(wend));
+        },
+        /*grain=*/1);
+    ++out.windows;
+
+    // Barrier: gather boundary packets, order them by a key that no shard
+    // schedule can perturb, and deliver into the receivers' futures.
+    inbox.clear();
+    for (const std::unique_ptr<Kernel>& k : kernels) {
+      inbox.insert(inbox.end(), k->outbox.begin(), k->outbox.end());
+      k->outbox.clear();
+    }
+    // Arrivals past the horizon never execute (the serial kernel stops at
+    // `duration` too); drop them so the drain loop terminates.
+    std::erase_if(inbox,
+                  [dur](const Boundary& b) { return b.time_s > dur; });
+    std::sort(inbox.begin(), inbox.end(),
+              [](const Boundary& a, const Boundary& b) {
+                if (a.time_s != b.time_s) return a.time_s < b.time_s;
+                if (a.pkt.flow != b.pkt.flow) return a.pkt.flow < b.pkt.flow;
+                return a.node < b.node;
+              });
+    out.boundary_messages += static_cast<long long>(inbox.size());
+    for (const Boundary& b : inbox) {
+      Kernel* k = kernels[static_cast<std::size_t>(
+                              part.owner[static_cast<std::size_t>(b.node)])]
+                      .get();
+      k->simu.schedule_at(u::Time(b.time_s),
+                          [k, b]() { k->arrive(b.node, b.pkt); });
+    }
+
+    t = wend;
+    // Messages landing exactly on the horizon still need a drain round.
+    if (wend >= dur && inbox.empty()) break;
+  }
+
+  if (oshards) oshards->merge_into(obs::context());
+  for (const std::unique_ptr<Kernel>& k : kernels)
+    out.events_executed += k->simu.executed_events();
+
+  std::vector<Kernel*> ks;
+  ks.reserve(kernels.size());
+  for (const std::unique_ptr<Kernel>& k : kernels) ks.push_back(k.get());
+  out.packets = finalize(w, ks);
+  out.checksum = digest_packets(out.packets);
+  return out;
+}
+
+}  // namespace ambisim::shard

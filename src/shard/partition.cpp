@@ -1,0 +1,84 @@
+#include "ambisim/shard/partition.hpp"
+
+#include <stdexcept>
+
+#include "ambisim/net/spatial_grid.hpp"
+
+namespace ambisim::shard {
+
+RegionPartition RegionPartition::build(const net::Topology& topo,
+                                       int shard_count, double cell_size_m) {
+  if (shard_count < 1)
+    throw std::invalid_argument("RegionPartition: shard_count < 1");
+  if (!(cell_size_m > 0.0))
+    throw std::invalid_argument("RegionPartition: cell size <= 0");
+
+  const int n = topo.size();
+  const net::SpatialGrid grid(topo.positions(), cell_size_m);
+
+  // Nodes per cell, then deal cells (row-major, so neighboring cells tend
+  // to stay together) to shards as contiguous spans balanced by node
+  // count: cell c goes to the shard whose quota the nodes dealt so far
+  // have reached.  Empty cells ride along without advancing the cursor.
+  std::vector<int> cell_of(static_cast<std::size_t>(n));
+  std::vector<long long> cell_nodes(
+      static_cast<std::size_t>(grid.cell_count()), 0);
+  for (int i = 0; i < n; ++i) {
+    const int c = grid.cell_of(i);
+    cell_of[static_cast<std::size_t>(i)] = c;
+    ++cell_nodes[static_cast<std::size_t>(c)];
+  }
+
+  std::vector<int> shard_of_cell(static_cast<std::size_t>(grid.cell_count()),
+                                 0);
+  long long dealt = 0;
+  for (int c = 0; c < grid.cell_count(); ++c) {
+    const long long s = dealt * shard_count / n;
+    shard_of_cell[static_cast<std::size_t>(c)] =
+        static_cast<int>(s < shard_count ? s : shard_count - 1);
+    dealt += cell_nodes[static_cast<std::size_t>(c)];
+  }
+
+  RegionPartition part;
+  part.shard_count = shard_count;
+  part.owner.resize(static_cast<std::size_t>(n));
+  part.nodes.assign(static_cast<std::size_t>(shard_count), {});
+  for (int i = 0; i < n; ++i) {
+    const int s =
+        shard_of_cell[static_cast<std::size_t>(cell_of[static_cast<std::size_t>(i)])];
+    part.owner[static_cast<std::size_t>(i)] = s;
+    part.nodes[static_cast<std::size_t>(s)].push_back(i);
+  }
+  return part;
+}
+
+int RegionPartition::empty_shards() const {
+  int empty = 0;
+  for (const std::vector<int>& ns : nodes)
+    if (ns.empty()) ++empty;
+  return empty;
+}
+
+std::size_t RegionPartition::cross_edge_count(
+    const net::Adjacency& adj) const {
+  std::size_t cross = 0;
+  for (int i = 0; i < adj.size(); ++i) {
+    const net::Adjacency::Row row = adj.row(i);
+    for (std::size_t k = 0; k < row.count; ++k)
+      if (is_cross(i, row.ids[k])) ++cross;
+  }
+  return cross;
+}
+
+std::size_t RegionPartition::cut_tree_edges(
+    const net::RoutingTree& tree) const {
+  std::size_t cut = 0;
+  for (std::size_t i = 0; i < tree.next_hop.size(); ++i) {
+    const int hop = tree.next_hop[i];
+    if (hop < 0 || hop == static_cast<int>(i)) continue;
+    if (is_cross(static_cast<int>(i), hop)) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace ambisim::shard

@@ -1,0 +1,198 @@
+// The sharded engine's bit-identity contract: every (shard count, pool
+// size) combination must checksum-match the single-kernel serial oracle,
+// across routing policies, link-error models, and placements — plus the
+// rejection paths (faults, zero lookahead, the legacy kernel's knob).
+#include "ambisim/shard/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/shard/partition.hpp"
+
+namespace {
+
+using ambisim::net::PacketSimConfig;
+using ambisim::net::PacketSimResult;
+using ambisim::shard::digest_packets;
+using ambisim::shard::run_serial_oracle;
+using ambisim::shard::ShardRunConfig;
+using ambisim::shard::ShardRunResult;
+using ambisim::shard::simulate_packets_sharded;
+namespace u = ambisim::units;
+
+/// Small but multi-hop workload: ~4 reports per source over the horizon.
+PacketSimConfig base_config() {
+  PacketSimConfig cfg;
+  cfg.node_count = 30;
+  cfg.field_side = u::Length(40.0);
+  cfg.radio_range = u::Length(15.0);
+  cfg.report_period = u::Time(3.0);
+  cfg.duration = u::Time(12.0);
+  cfg.seed = 42;
+  return cfg;
+}
+
+void expect_matches_oracle(const PacketSimConfig& cfg,
+                           const std::string& label) {
+  const PacketSimResult oracle = run_serial_oracle(cfg);
+  const std::uint64_t want = digest_packets(oracle);
+  for (const int shards : {1, 2, 4, 8}) {
+    for (const int pool : {1, 2, 8}) {
+      const ShardRunResult got =
+          simulate_packets_sharded(cfg, {shards, pool});
+      EXPECT_EQ(got.checksum, want)
+          << label << ": shards " << shards << ", pool " << pool;
+      EXPECT_EQ(got.packets.generated, oracle.generated) << label;
+      EXPECT_EQ(got.packets.delivered, oracle.delivered) << label;
+      EXPECT_EQ(got.packets.undeliverable, oracle.undeliverable) << label;
+      EXPECT_EQ(got.shard_count, shards);
+      EXPECT_GT(got.windows, 0) << label;
+      EXPECT_GT(got.lookahead_s, 0.0) << label;
+    }
+  }
+}
+
+TEST(ShardEngineTest, MatchesOracleAcrossShardAndPoolMatrix) {
+  expect_matches_oracle(base_config(), "min_hop");
+}
+
+TEST(ShardEngineTest, MatchesOracleWithMinEnergyRouting) {
+  PacketSimConfig cfg = base_config();
+  cfg.routing = ambisim::net::RoutingPolicy::MinEnergy;
+  expect_matches_oracle(cfg, "min_energy");
+}
+
+TEST(ShardEngineTest, MatchesOracleWithLinkErrors) {
+  PacketSimConfig cfg = base_config();
+  cfg.model_link_errors = true;
+  expect_matches_oracle(cfg, "link_errors");
+}
+
+TEST(ShardEngineTest, MatchesOracleWithSparseLinks) {
+  PacketSimConfig cfg = base_config();
+  cfg.model_link_errors = true;
+  cfg.sparse_links = true;
+  expect_matches_oracle(cfg, "sparse_links");
+}
+
+TEST(ShardEngineTest, MatchesOracleOnGridPlacement) {
+  PacketSimConfig cfg = base_config();
+  cfg.node_count = 36;
+  cfg.placement =
+      ambisim::net::Topology::grid(cfg.node_count, u::Length(8.0));
+  expect_matches_oracle(cfg, "grid");
+}
+
+TEST(ShardEngineTest, PartitionCutsRoutingTreeAndStillMatches) {
+  // A 6x6 grid at 8 m pitch with 15 m range routes multi-hop; any 4-way
+  // spatial split must cut tree edges, and the windows must carry real
+  // boundary traffic without perturbing the checksum.
+  PacketSimConfig cfg = base_config();
+  cfg.node_count = 36;
+  cfg.placement =
+      ambisim::net::Topology::grid(cfg.node_count, u::Length(8.0));
+
+  const ambisim::shard::RegionPartition part =
+      ambisim::shard::RegionPartition::build(*cfg.placement, 4, 15.0);
+  const ambisim::net::Adjacency adj =
+      cfg.placement->neighbor_table(u::Length(15.0));
+  const ambisim::net::RoutingTree tree =
+      ambisim::net::min_hop_routes(*cfg.placement, adj);
+  EXPECT_GT(part.cut_tree_edges(tree), 0u);
+
+  const ShardRunResult got = simulate_packets_sharded(cfg, {4, 2});
+  EXPECT_EQ(got.checksum, digest_packets(run_serial_oracle(cfg)));
+  EXPECT_GT(got.boundary_messages, 0);
+  EXPECT_GT(got.cross_edges, 0u);
+}
+
+TEST(ShardEngineTest, MoreShardsThanOccupiedCellsStillMatches) {
+  // Empty regions idle through every window without disturbing identity.
+  PacketSimConfig cfg = base_config();
+  cfg.node_count = 6;
+  const PacketSimResult oracle = run_serial_oracle(cfg);
+  const ShardRunResult got = simulate_packets_sharded(cfg, {8, 2});
+  EXPECT_EQ(got.checksum, digest_packets(oracle));
+}
+
+TEST(ShardEngineTest, CoincidentPlacementCollapsesToOneRegion) {
+  PacketSimConfig cfg = base_config();
+  cfg.node_count = 10;
+  cfg.placement = ambisim::net::Topology(std::vector<ambisim::net::Point>(
+      10, ambisim::net::Point{1.0, 1.0}));
+  const ShardRunResult got = simulate_packets_sharded(cfg, {4, 2});
+  EXPECT_EQ(got.checksum, digest_packets(run_serial_oracle(cfg)));
+  EXPECT_EQ(got.boundary_messages, 0);
+}
+
+TEST(ShardEngineTest, SerialOracleMatchesResultFieldsExactly) {
+  const PacketSimConfig cfg = base_config();
+  const PacketSimResult oracle = run_serial_oracle(cfg);
+  const ShardRunResult got = simulate_packets_sharded(cfg, {4, 8});
+  EXPECT_EQ(got.packets.end_to_end_latency.count(),
+            oracle.end_to_end_latency.count());
+  EXPECT_EQ(got.packets.end_to_end_latency.values(),
+            oracle.end_to_end_latency.values());
+  EXPECT_EQ(got.packets.queueing_delay.values(),
+            oracle.queueing_delay.values());
+  EXPECT_EQ(got.packets.mean_hops, oracle.mean_hops);
+  EXPECT_EQ(got.packets.mean_link_attempts, oracle.mean_link_attempts);
+  EXPECT_EQ(got.packets.ledger.of("radio-tx").value(),
+            oracle.ledger.of("radio-tx").value());
+  EXPECT_EQ(got.packets.ledger.of("radio-rx").value(),
+            oracle.ledger.of("radio-rx").value());
+  EXPECT_EQ(got.packets.energy_per_delivered.value(),
+            oracle.energy_per_delivered.value());
+}
+
+TEST(ShardEngineTest, RejectsFaultInjection) {
+  PacketSimConfig cfg = base_config();
+  cfg.faults.emplace();
+  EXPECT_THROW(simulate_packets_sharded(cfg, {2, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(run_serial_oracle(cfg), std::invalid_argument);
+}
+
+TEST(ShardEngineTest, LegacyKernelRefusesShardKnob) {
+  PacketSimConfig cfg = base_config();
+  cfg.shards = 2;
+  EXPECT_THROW(ambisim::net::simulate_packets(cfg), std::invalid_argument);
+}
+
+TEST(ShardEngineTest, RejectsZeroLookaheadWithClearError) {
+  PacketSimConfig cfg = base_config();
+  cfg.packet_bits = u::Information(0.0);  // zero airtime...
+  cfg.radio.startup = u::Time(0.0);       // ...and zero turnaround
+  try {
+    (void)simulate_packets_sharded(cfg, {2, 1});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lookahead"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShardEngineTest, RejectsBadRunConfig) {
+  const PacketSimConfig cfg = base_config();
+  EXPECT_THROW(simulate_packets_sharded(cfg, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_packets_sharded(cfg, {-1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_packets_sharded(cfg, {2, -1}),
+               std::invalid_argument);
+}
+
+TEST(ShardEngineTest, RunIsRepeatable) {
+  const PacketSimConfig cfg = base_config();
+  const ShardRunResult a = simulate_packets_sharded(cfg, {4, 8});
+  const ShardRunResult b = simulate_packets_sharded(cfg, {4, 8});
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.boundary_messages, b.boundary_messages);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// The epoch simulator's relay-walk sharding: any block count must be
+// bit-identical to the serial walk (relay counts are integral doubles, so
+// the per-block merge is exact), across routing policies and aggregation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ambisim/net/network_sim.hpp"
+
+namespace {
+
+using ambisim::net::SensorNetworkConfig;
+using ambisim::net::SensorNetworkResult;
+using ambisim::net::simulate_sensor_network;
+namespace u = ambisim::units;
+
+SensorNetworkConfig base_config() {
+  SensorNetworkConfig cfg;
+  cfg.node_count = 40;
+  cfg.seed = 5;
+  return cfg;
+}
+
+void expect_identical(const SensorNetworkResult& a,
+                      const SensorNetworkResult& b, int shards) {
+  EXPECT_EQ(a.first_node_death.value(), b.first_node_death.value())
+      << "shards " << shards;
+  EXPECT_EQ(a.half_network_death.value(), b.half_network_death.value());
+  EXPECT_EQ(a.simulated.value(), b.simulated.value());
+  EXPECT_EQ(a.packets_generated, b.packets_generated);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.hotspot_factor, b.hotspot_factor);
+  EXPECT_EQ(a.unreachable_nodes, b.unreachable_nodes);
+  EXPECT_EQ(a.energy_spent, b.energy_spent);
+  EXPECT_EQ(a.node_lifetimes.values(), b.node_lifetimes.values());
+  EXPECT_EQ(a.ledger.of("listen-baseline").value(),
+            b.ledger.of("listen-baseline").value());
+  EXPECT_EQ(a.ledger.of("source-tx").value(),
+            b.ledger.of("source-tx").value());
+  EXPECT_EQ(a.ledger.of("relay-fwd").value(),
+            b.ledger.of("relay-fwd").value());
+  EXPECT_EQ(a.ledger.of("sink-rx").value(),
+            b.ledger.of("sink-rx").value());
+}
+
+TEST(ShardNetworkSimTest, ShardedWalkBitIdenticalToSerial) {
+  const SensorNetworkConfig cfg = base_config();
+  SensorNetworkConfig serial = cfg;
+  serial.shards = 0;
+  const SensorNetworkResult want = simulate_sensor_network(serial);
+  for (const int shards : {1, 3, 8}) {
+    SensorNetworkConfig c = cfg;
+    c.shards = shards;
+    expect_identical(want, simulate_sensor_network(c), shards);
+  }
+}
+
+TEST(ShardNetworkSimTest, HoldsUnderMinEnergyAndAggregation) {
+  SensorNetworkConfig cfg = base_config();
+  cfg.routing = ambisim::net::RoutingPolicy::MinEnergy;
+  cfg.aggregate_at_relays = true;
+  cfg.harvest_avg_watt = 2e-5;
+  cfg.max_sim_time = u::Time(86400.0 * 30);
+  SensorNetworkConfig serial = cfg;
+  serial.shards = 0;
+  const SensorNetworkResult want = simulate_sensor_network(serial);
+  for (const int shards : {2, 7}) {
+    SensorNetworkConfig c = cfg;
+    c.shards = shards;
+    expect_identical(want, simulate_sensor_network(c), shards);
+  }
+}
+
+TEST(ShardNetworkSimTest, MoreBlocksThanSourcesStillIdentical) {
+  SensorNetworkConfig cfg = base_config();
+  cfg.node_count = 6;
+  SensorNetworkConfig serial = cfg;
+  const SensorNetworkResult want = simulate_sensor_network(serial);
+  cfg.shards = 32;
+  expect_identical(want, simulate_sensor_network(cfg), 32);
+}
+
+TEST(ShardNetworkSimTest, RejectsNegativeShards) {
+  SensorNetworkConfig cfg = base_config();
+  cfg.shards = -1;
+  EXPECT_THROW(simulate_sensor_network(cfg), std::invalid_argument);
+}
+
+}  // namespace

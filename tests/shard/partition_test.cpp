@@ -1,0 +1,125 @@
+// Region partition: determinism, node-count balance, degenerate layouts
+// (coincident clouds, more shards than cells), and the cut-edge helpers
+// the engine's sync accounting reads.
+#include "ambisim/shard/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "ambisim/net/topology.hpp"
+#include "ambisim/sim/random.hpp"
+
+namespace {
+
+using ambisim::net::Adjacency;
+using ambisim::net::Point;
+using ambisim::net::RoutingTree;
+using ambisim::net::Topology;
+using ambisim::shard::RegionPartition;
+namespace u = ambisim::units;
+
+Topology random_topo(int n, double side, unsigned seed) {
+  ambisim::sim::Rng rng(seed);
+  return Topology::random_field(n, u::Length(side), rng);
+}
+
+TEST(ShardPartitionTest, OwnerAndNodesAgreeAndCoverEveryNode) {
+  const Topology topo = random_topo(200, 60.0, 11);
+  const RegionPartition part = RegionPartition::build(topo, 4, 15.0);
+  ASSERT_EQ(part.shard_count, 4);
+  ASSERT_EQ(static_cast<int>(part.owner.size()), topo.size());
+  ASSERT_EQ(part.nodes.size(), 4u);
+
+  std::set<int> seen;
+  for (int s = 0; s < 4; ++s) {
+    int prev = -1;
+    for (const int i : part.nodes[static_cast<std::size_t>(s)]) {
+      EXPECT_EQ(part.owner[static_cast<std::size_t>(i)], s);
+      EXPECT_GT(i, prev) << "node lists must be ascending";
+      prev = i;
+      seen.insert(i);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), topo.size());
+}
+
+TEST(ShardPartitionTest, BuildIsDeterministic) {
+  const Topology topo = random_topo(150, 50.0, 7);
+  const RegionPartition a = RegionPartition::build(topo, 8, 15.0);
+  const RegionPartition b = RegionPartition::build(topo, 8, 15.0);
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_EQ(a.nodes, b.nodes);
+}
+
+TEST(ShardPartitionTest, BalancedByNodeCountOnUniformField) {
+  const Topology topo = random_topo(400, 80.0, 3);
+  const RegionPartition part = RegionPartition::build(topo, 4, 10.0);
+  // Quota dealing bounds each shard by (n / shards) plus one cell's worth;
+  // a uniform field at this density keeps every region well populated.
+  for (int s = 0; s < 4; ++s)
+    EXPECT_GT(part.nodes[static_cast<std::size_t>(s)].size(), 40u);
+  EXPECT_EQ(part.empty_shards(), 0);
+}
+
+TEST(ShardPartitionTest, CoincidentCloudCollapsesToOneShard) {
+  // Every node at the same point: one occupied cell, so shard 0 owns all
+  // of them and the rest are empty — a degenerate layout, not an error.
+  const Topology topo(std::vector<Point>(12, Point{5.0, 5.0}));
+  const RegionPartition part = RegionPartition::build(topo, 4, 15.0);
+  EXPECT_EQ(part.nodes[0].size(), 12u);
+  EXPECT_EQ(part.empty_shards(), 3);
+  for (const int o : part.owner) EXPECT_EQ(o, 0);
+}
+
+TEST(ShardPartitionTest, MoreShardsThanNodesLeavesEmptyShards) {
+  const Topology topo = random_topo(5, 40.0, 9);
+  const RegionPartition part = RegionPartition::build(topo, 16, 15.0);
+  EXPECT_EQ(part.shard_count, 16);
+  EXPECT_GE(part.empty_shards(), 11);
+  std::size_t total = 0;
+  for (const auto& ns : part.nodes) total += ns.size();
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(ShardPartitionTest, RejectsInvalidArguments) {
+  const Topology topo = random_topo(10, 40.0, 1);
+  EXPECT_THROW(RegionPartition::build(topo, 0, 15.0),
+               std::invalid_argument);
+  EXPECT_THROW(RegionPartition::build(topo, -2, 15.0),
+               std::invalid_argument);
+  EXPECT_THROW(RegionPartition::build(topo, 2, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(RegionPartition::build(topo, 2, -1.0),
+               std::invalid_argument);
+}
+
+TEST(ShardPartitionTest, CrossEdgeAndTreeCutCountsMatchManualScan) {
+  const Topology topo = random_topo(120, 60.0, 21);
+  const u::Length range(15.0);
+  const Adjacency adj = topo.neighbor_table(range);
+  const RoutingTree tree = ambisim::net::min_hop_routes(topo, adj);
+  const RegionPartition part = RegionPartition::build(topo, 4, 15.0);
+
+  std::size_t cross = 0;
+  for (int i = 0; i < adj.size(); ++i) {
+    const Adjacency::Row row = adj.row(i);
+    for (std::size_t k = 0; k < row.count; ++k)
+      if (part.is_cross(i, row.ids[k])) ++cross;
+  }
+  EXPECT_EQ(part.cross_edge_count(adj), cross);
+
+  std::size_t cut = 0;
+  for (std::size_t i = 0; i < tree.next_hop.size(); ++i) {
+    const int hop = tree.next_hop[i];
+    if (hop < 0 || hop == static_cast<int>(i)) continue;
+    if (part.is_cross(static_cast<int>(i), hop)) ++cut;
+  }
+  EXPECT_EQ(part.cut_tree_edges(tree), cut);
+  // A 60 m field split four ways with 15 m routes must cut something.
+  EXPECT_GT(cut, 0u);
+}
+
+}  // namespace

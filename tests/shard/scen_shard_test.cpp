@@ -1,0 +1,149 @@
+// run.shards through the scenario stack: loader parsing + composition
+// rules, opt-in serialization (canonical JSON unchanged when unset),
+// lowering into PacketSimConfig, and run_scenario checksum identity
+// between sharded and unsharded execution — inline and on the committed
+// spec scenario_runner ships.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "ambisim/scen/build.hpp"
+#include "ambisim/scen/loader.hpp"
+#include "ambisim/scen/spec.hpp"
+
+namespace {
+
+using ambisim::scen::LoadResult;
+using ambisim::scen::Loader;
+using ambisim::scen::RunOverrides;
+using ambisim::scen::to_json;
+
+constexpr const char* kShardedNet = R"({
+  "fleet": [ { "group": "sensors", "class": "microwatt", "count": 20 } ],
+  "topology": { "field_side_m": 40, "radio_range_m": 15 },
+  "workload": { "report_period_s": 4 },
+  "run": { "duration_s": 16, "seed": 3, "shards": 4 },
+})";
+
+bool has_diag(const LoadResult& r, const std::string& needle) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const auto& d) {
+                       return d.format().find(needle) != std::string::npos;
+                     });
+}
+
+TEST(ShardScenTest, LoaderParsesRunShards) {
+  const auto r = Loader{}.load_text(kShardedNet);
+  ASSERT_TRUE(r.ok()) << r.format_diagnostics();
+  EXPECT_EQ(r.spec->run.shards, 4);
+}
+
+TEST(ShardScenTest, ShardsSerializedOnlyWhenSet) {
+  const auto sharded = Loader{}.load_text(kShardedNet);
+  ASSERT_TRUE(sharded.ok()) << sharded.format_diagnostics();
+  EXPECT_NE(to_json(*sharded.spec).find("\"shards\""), std::string::npos);
+
+  // An unsharded spec's canonical JSON must not grow the key (fuzzer
+  // goldens hash this form).
+  const auto plain = Loader{}.load_text(R"({
+    "fleet": [ { "group": "sensors", "class": "microwatt", "count": 8 } ],
+  })");
+  ASSERT_TRUE(plain.ok()) << plain.format_diagnostics();
+  EXPECT_EQ(plain.spec->run.shards, 0);
+  EXPECT_EQ(to_json(*plain.spec).find("\"shards\""), std::string::npos);
+}
+
+TEST(ShardScenTest, CanonicalJsonRoundTripsShards) {
+  const auto first = Loader{}.load_text(kShardedNet);
+  ASSERT_TRUE(first.ok()) << first.format_diagnostics();
+  const std::string json = to_json(*first.spec);
+  const auto second = Loader{}.load_text(json);
+  ASSERT_TRUE(second.ok()) << second.format_diagnostics();
+  EXPECT_EQ(second.spec->run.shards, 4);
+  EXPECT_EQ(to_json(*second.spec), json);
+}
+
+TEST(ShardScenTest, RejectsShardsWithFaults) {
+  const auto r = Loader{}.load_text(R"({
+    "fleet": [ { "group": "sensors", "class": "microwatt", "count": 8 } ],
+    "faults": { "crash_mttf_s": 3600 },
+    "run": { "shards": 2 },
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "$.run.shards")) << r.format_diagnostics();
+  EXPECT_TRUE(has_diag(r, "fault")) << r.format_diagnostics();
+}
+
+TEST(ShardScenTest, RejectsShardsWithBatteryFleet) {
+  const auto r = Loader{}.load_text(R"({
+    "fleet": [
+      {
+        "group": "sensors", "class": "microwatt", "count": 8,
+        "battery": { "kind": "thin_film_1mAh" },
+      },
+    ],
+    "run": { "shards": 2 },
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "$.run.shards")) << r.format_diagnostics();
+  EXPECT_TRUE(has_diag(r, "battery")) << r.format_diagnostics();
+}
+
+TEST(ShardScenTest, RejectsShardsOnAmiEngine) {
+  const auto r = Loader{}.load_text(R"({
+    "fleet": [
+      { "class": "microwatt", "count": 4 },
+      { "class": "milliwatt", "count": 1 },
+      { "class": "watt", "count": 1 },
+    ],
+    "run": { "shards": 2 },
+  })");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_diag(r, "$.run.shards")) << r.format_diagnostics();
+}
+
+TEST(ShardScenTest, BuildLowersShardsIntoPacketConfig) {
+  const auto r = Loader{}.load_text(kShardedNet);
+  ASSERT_TRUE(r.ok()) << r.format_diagnostics();
+  EXPECT_EQ(ambisim::scen::build_packet_config(*r.spec).shards, 4);
+}
+
+TEST(ShardScenTest, RunScenarioChecksumIdenticalAcrossShardCounts) {
+  const auto r = Loader{}.load_text(kShardedNet);
+  ASSERT_TRUE(r.ok()) << r.format_diagnostics();
+
+  RunOverrides one;
+  one.shards = 1;
+  const auto serial = ambisim::scen::run_scenario(*r.spec, one);
+
+  for (const int shards : {2, 4, 8}) {
+    RunOverrides ov;
+    ov.shards = shards;
+    const auto got = ambisim::scen::run_scenario(*r.spec, ov);
+    EXPECT_EQ(got.checksum, serial.checksum) << "shards " << shards;
+  }
+}
+
+TEST(ShardScenTest, CommittedShardSpecIsShardCountInvariant) {
+  const std::string path =
+      std::string(AMBISIM_SCENARIO_DIR) + "/microwatt_shard.scen.json";
+  const auto r = Loader{}.load_file(path);
+  ASSERT_TRUE(r.ok()) << r.format_diagnostics();
+  EXPECT_EQ(r.spec->run.shards, 4);
+
+  RunOverrides one;
+  one.replications = 1;
+  one.shards = 1;
+  const auto serial = ambisim::scen::run_scenario(*r.spec, one);
+
+  RunOverrides four;
+  four.replications = 1;
+  four.shards = 4;
+  const auto sharded = ambisim::scen::run_scenario(*r.spec, four);
+
+  EXPECT_EQ(sharded.checksum, serial.checksum);
+  EXPECT_TRUE(sharded.assertions_passed);
+}
+
+}  // namespace
