@@ -50,6 +50,7 @@
 #include "ambisim/net/sparse_link_table.hpp"
 #include "ambisim/net/spatial_grid.hpp"
 #include "ambisim/net/topology.hpp"
+#include "ambisim/obs/profiler.hpp"
 #include "ambisim/shard/engine.hpp"
 #include "ambisim/sim/random.hpp"
 #include "ambisim/sim/table.hpp"
@@ -264,12 +265,22 @@ struct PacketPoint {
   long long delivered = 0;
   double lookahead_s = 0.0;
   std::uint64_t events = 0;  ///< executed events, single-region run
+  long long serial_windows = 0;
   long long shard2_windows = 0, shard2_boundary_msgs = 0;
   long long shard8_windows = 0, shard8_boundary_msgs = 0;
   // Wall-clock (ignored by the baseline compare).
   double serial_wall_s = 0.0, serial_events_per_s = 0.0;
   double shard2_wall_s = 0.0, shard2_events_per_s = 0.0, shard2_speedup = 0.0;
   double shard8_wall_s = 0.0, shard8_events_per_s = 0.0, shard8_speedup = 0.0;
+  // obs::Profiler attribution: where each run's wall-clock went — shard
+  // advance vs window barrier — and how unevenly the shards advanced
+  // (imbalance = sum of per-window max advance / sum of per-window mean;
+  // 1 = perfectly balanced).  All ignored by the baseline compare.
+  double serial_advance_wall_s = 0.0, serial_barrier_wall_s = 0.0;
+  double shard2_advance_wall_s = 0.0, shard2_barrier_wall_s = 0.0;
+  double shard2_imbalance = 1.0;
+  double shard8_advance_wall_s = 0.0, shard8_barrier_wall_s = 0.0;
+  double shard8_imbalance = 1.0;
 };
 
 /// Short collection burst at the sweep's density: every source reports
@@ -296,7 +307,11 @@ double rate(std::uint64_t events, double wall_s) {
   return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
 }
 
-PacketPoint run_packet_point(int n, bool& ok) {
+/// When `shard8_profile` is non-null the shard-8 run records into it (the
+/// caller keeps the largest size's full profile for PROFILE_city.json);
+/// every other run uses a local profiler just for its aggregates.
+PacketPoint run_packet_point(int n, bool& ok,
+                             obs::Profiler* shard8_profile) {
   PacketPoint pt;
   pt.nodes = n;
   const net::PacketSimConfig cfg = packet_config(n);
@@ -308,13 +323,19 @@ PacketPoint run_packet_point(int n, bool& ok) {
 
   // Serial baseline for the speedup column: the sharded engine at one
   // region and one worker, so window overhead is charged to both sides.
+  obs::Profiler serial_prof;
+  shard::ShardRunConfig serial_rc{1, 1};
+  serial_rc.profiler = &serial_prof;
   auto t0 = std::chrono::steady_clock::now();
   const shard::ShardRunResult one =
-      shard::simulate_packets_sharded(cfg, {1, 1});
+      shard::simulate_packets_sharded(cfg, serial_rc);
   pt.serial_wall_s = now_minus(t0);
   pt.events = one.events_executed;
   pt.lookahead_s = one.lookahead_s;
+  pt.serial_windows = one.windows;
   pt.serial_events_per_s = rate(one.events_executed, pt.serial_wall_s);
+  pt.serial_advance_wall_s = serial_prof.advance_wall_s();
+  pt.serial_barrier_wall_s = serial_prof.barrier_wall_s();
   if (one.checksum != pt.checksum) {
     std::cerr << "FATAL: single-region run diverged from the oracle (n="
               << n << ")\n";
@@ -322,9 +343,14 @@ PacketPoint run_packet_point(int n, bool& ok) {
   }
 
   for (const int shards : {2, 8}) {
+    obs::Profiler local_prof;
+    obs::Profiler* prof = shards == 8 && shard8_profile != nullptr
+                              ? shard8_profile
+                              : &local_prof;
+    shard::ShardRunConfig rc{shards, 0};
+    rc.profiler = prof;
     t0 = std::chrono::steady_clock::now();
-    const shard::ShardRunResult got =
-        shard::simulate_packets_sharded(cfg, {shards, 0});
+    const shard::ShardRunResult got = shard::simulate_packets_sharded(cfg, rc);
     const double wall = now_minus(t0);
     if (got.checksum != pt.checksum) {
       std::cerr << "FATAL: sharded run diverged from the oracle (n=" << n
@@ -337,12 +363,18 @@ PacketPoint run_packet_point(int n, bool& ok) {
       pt.shard2_wall_s = wall;
       pt.shard2_events_per_s = rate(got.events_executed, wall);
       pt.shard2_speedup = wall > 0.0 ? pt.serial_wall_s / wall : 0.0;
+      pt.shard2_advance_wall_s = prof->advance_wall_s();
+      pt.shard2_barrier_wall_s = prof->barrier_wall_s();
+      pt.shard2_imbalance = prof->aggregate_imbalance();
     } else {
       pt.shard8_windows = got.windows;
       pt.shard8_boundary_msgs = got.boundary_messages;
       pt.shard8_wall_s = wall;
       pt.shard8_events_per_s = rate(got.events_executed, wall);
       pt.shard8_speedup = wall > 0.0 ? pt.serial_wall_s / wall : 0.0;
+      pt.shard8_advance_wall_s = prof->advance_wall_s();
+      pt.shard8_barrier_wall_s = prof->barrier_wall_s();
+      pt.shard8_imbalance = prof->aggregate_imbalance();
     }
   }
   return pt;
@@ -376,9 +408,15 @@ void print_city() {
                pt.links_bytes_per_node});
   std::cout << t << '\n';
 
+  // The largest size's shard-8 run records its full per-window profile
+  // here; it becomes PROFILE_city.json (the CI artifact perf_report reads).
+  obs::Profiler city_profile;
   std::vector<PacketPoint> packets;
   packets.reserve(std::size(kSweepNodes));
-  for (const int n : kSweepNodes) packets.push_back(run_packet_point(n, ok));
+  for (std::size_t k = 0; k < std::size(kSweepNodes); ++k)
+    packets.push_back(run_packet_point(
+        kSweepNodes[k], ok,
+        k + 1 == std::size(kSweepNodes) ? &city_profile : nullptr));
   if (!ok) std::exit(1);
 
   sim::Table pk("CITY: sharded packet engine (2 s burst, checksum-gated "
@@ -392,6 +430,26 @@ void print_city() {
                 pt.shard2_events_per_s, pt.shard8_events_per_s,
                 pt.shard8_speedup});
   std::cout << pk << '\n';
+
+  sim::Table at("CITY: packet-phase wall-clock attribution "
+                "(advance = shard event kernels, barrier = window sync; "
+                "imbalance = max/mean shard advance)",
+                {"nodes", "shards", "windows", "advance_s", "barrier_s",
+                 "imbalance"});
+  for (const PacketPoint& pt : packets) {
+    at.add_row({static_cast<double>(pt.nodes), 1.0,
+                static_cast<double>(pt.serial_windows),
+                pt.serial_advance_wall_s, pt.serial_barrier_wall_s, 1.0});
+    at.add_row({static_cast<double>(pt.nodes), 2.0,
+                static_cast<double>(pt.shard2_windows),
+                pt.shard2_advance_wall_s, pt.shard2_barrier_wall_s,
+                pt.shard2_imbalance});
+    at.add_row({static_cast<double>(pt.nodes), 8.0,
+                static_cast<double>(pt.shard8_windows),
+                pt.shard8_advance_wall_s, pt.shard8_barrier_wall_s,
+                pt.shard8_imbalance});
+  }
+  std::cout << at << '\n';
 
   std::ofstream json("BENCH_city.json");
   json << "{\n";
@@ -430,22 +488,42 @@ void print_city() {
          << ", \"delivered\": " << pt.delivered
          << ", \"lookahead_s\": " << pt.lookahead_s
          << ", \"events\": " << pt.events
+         << ", \"serial_windows\": " << pt.serial_windows
          << ", \"shard2_windows\": " << pt.shard2_windows
          << ", \"shard2_boundary_msgs\": " << pt.shard2_boundary_msgs
          << ", \"shard8_windows\": " << pt.shard8_windows
          << ", \"shard8_boundary_msgs\": " << pt.shard8_boundary_msgs
          << ", \"serial_wall_s\": " << pt.serial_wall_s
          << ", \"serial_events_per_s\": " << pt.serial_events_per_s
+         << ", \"serial_advance_wall_s\": " << pt.serial_advance_wall_s
+         << ", \"serial_barrier_wall_s\": " << pt.serial_barrier_wall_s
          << ", \"shard2_wall_s\": " << pt.shard2_wall_s
          << ", \"shard2_events_per_s\": " << pt.shard2_events_per_s
          << ", \"shard2_speedup\": " << pt.shard2_speedup
+         << ", \"shard2_advance_wall_s\": " << pt.shard2_advance_wall_s
+         << ", \"shard2_barrier_wall_s\": " << pt.shard2_barrier_wall_s
+         << ", \"shard2_imbalance\": " << pt.shard2_imbalance
          << ", \"shard8_wall_s\": " << pt.shard8_wall_s
          << ", \"shard8_events_per_s\": " << pt.shard8_events_per_s
          << ", \"shard8_speedup\": " << pt.shard8_speedup
+         << ", \"shard8_advance_wall_s\": " << pt.shard8_advance_wall_s
+         << ", \"shard8_barrier_wall_s\": " << pt.shard8_barrier_wall_s
+         << ", \"shard8_imbalance\": " << pt.shard8_imbalance
          << "}" << (k + 1 < packets.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
-  std::cout << "wrote BENCH_city.json\n\n";
+  json << "  ],\n";
+  bench_util::profile_field(json, city_profile);
+  json << "  \"profiled_nodes\": "
+       << kSweepNodes[std::size(kSweepNodes) - 1] << "\n}\n";
+  std::cout << "wrote BENCH_city.json\n";
+
+  // Standalone profile artifact (shard-8 run at the largest sweep size)
+  // for perf_report and the CI artifact upload.
+  const auto pm = bench_util::run_manifest("city-profile-shard8", kSeed);
+  std::ofstream pf("PROFILE_city.json");
+  city_profile.write_json(pf, 0, &pm);
+  pf << "\n";
+  std::cout << "wrote PROFILE_city.json\n\n";
 }
 
 // --- microbenchmarks: the fast paths against the oracles they replace ------

@@ -1,0 +1,224 @@
+// PROFILE: the obs::Profiler purity and structure gates, plus paired A/B
+// microbenchmarks for its overhead.
+//
+// Two claims are enforced, both load-bearing for the profiling layer:
+//
+//  1. Purity — attaching a Profiler to a sharded packet run changes
+//     nothing: at shards {1, 4} the profiled run's checksum equals the
+//     unprofiled run's checksum equals the serial oracle's.  Any
+//     divergence exits non-zero before a baseline is written.
+//
+//  2. Structure — the profile is internally consistent with the engine's
+//     own counters: windows recorded == result windows, boundary packets
+//     rescheduled == result boundary messages, per-shard executed events
+//     sum to the result total, the pool reports exactly `pool` workers,
+//     and (grain 1) their task counts sum to windows x shards.  These
+//     equalities are machine-independent, so BENCH_profile.json gates
+//     them; every wall-clock quantity lives under `profile` / `*_wall_s`
+//     / `imbalance` and is ignored by tools/bench_compare.py.
+//
+// The structural fields written to JSON are computed from the engine
+// result (identical whether observability is compiled in or out); the
+// profiler-side equalities are asserted only when AMBISIM_OBS_COMPILED,
+// so a -DAMBISIM_OBS_DISABLED build emits byte-compatible gated fields.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/obs/profiler.hpp"
+#include "ambisim/shard/engine.hpp"
+#include "ambisim/sim/table.hpp"
+#include "bench_util.hpp"
+#include "benchmark/benchmark.h"
+
+namespace {
+
+using namespace ambisim;
+namespace u = ambisim::units;
+
+constexpr std::uint64_t kSeed = 2010;
+constexpr int kNodes = 512;
+constexpr int kPool = 4;
+const int kShardCounts[] = {1, 4};
+
+/// Same shape as bench_city's packet phase: one 2 s collection burst,
+/// multi-hop to the sink, sparse expected-ARQ link errors.
+net::PacketSimConfig workload(int n) {
+  net::PacketSimConfig cfg;
+  cfg.node_count = n;
+  cfg.field_side = u::Length(6.0 * 22.7);  // ~constant city density at 512
+  cfg.radio_range = u::Length(15.0);
+  cfg.report_period = u::Time(20.0);
+  cfg.duration = u::Time(2.0);
+  cfg.mac = net::DutyCycledMac{u::Time(0.02), u::Time(0.001)};
+  cfg.model_link_errors = true;
+  cfg.sparse_links = true;
+  cfg.seed = kSeed;
+  return cfg;
+}
+
+struct ProfilePoint {
+  int shards = 0;
+  std::uint64_t checksum = 0;
+  long long windows = 0;
+  long long boundary_msgs = 0;
+  std::uint64_t events = 0;
+  // Structural invariants, computed from the result so they are identical
+  // with observability compiled out (the profiler must agree when it is
+  // compiled in; assert_profile checks that).
+  long long expected_tasks = 0;  ///< windows x shards (grain 1)
+  int worker_count = kPool;
+  // Wall-clock (ignored by the baseline compare).
+  double advance_wall_s = 0.0;
+  double barrier_wall_s = 0.0;
+  double imbalance = 1.0;
+};
+
+#if AMBISIM_OBS_COMPILED
+bool assert_profile(const obs::Profiler& prof,
+                    const shard::ShardRunResult& res, int shards) {
+  bool ok = true;
+  const auto fail = [&](const char* what) {
+    std::cerr << "FATAL: profile inconsistent with the engine (shards="
+              << shards << "): " << what << "\n";
+    ok = false;
+  };
+  if (prof.windows_total() != res.windows)
+    fail("windows_total != result windows");
+  if (prof.boundary_rescheduled() != res.boundary_messages)
+    fail("boundary_rescheduled != result boundary_messages");
+  std::uint64_t events = 0;
+  for (const obs::Profiler::Shard& s : prof.shards()) events += s.events;
+  if (events != res.events_executed)
+    fail("sum of shard events != result events_executed");
+  if (static_cast<int>(prof.workers().size()) != kPool)
+    fail("worker count != pool size");
+  std::uint64_t tasks = 0;
+  for (const obs::Profiler::Worker& w : prof.workers()) tasks += w.tasks;
+  if (tasks != static_cast<std::uint64_t>(res.windows) *
+                   static_cast<std::uint64_t>(shards))
+    fail("sum of worker tasks != windows x shards");
+  for (const std::string_view name :
+       {"net.placement", "net.adjacency_build", "net.routing_build",
+        "net.link_pricing", "net.event_loop"})
+    if (prof.find_phase(name) == nullptr) fail("missing phase");
+  return ok;
+}
+#endif
+
+void print_profile() {
+  const net::PacketSimConfig cfg = workload(kNodes);
+  const std::uint64_t oracle =
+      shard::digest_packets(shard::run_serial_oracle(cfg));
+
+  bool ok = true;
+  std::vector<ProfilePoint> points;
+  obs::Profiler keep;  ///< shards == 4 profile, embedded in the JSON
+  for (const int shards : kShardCounts) {
+    const shard::ShardRunResult plain =
+        shard::simulate_packets_sharded(cfg, {shards, kPool});
+
+    obs::Profiler local;
+    obs::Profiler& prof = shards == 4 ? keep : local;
+    shard::ShardRunConfig rc{shards, kPool};
+    rc.profiler = &prof;
+    const shard::ShardRunResult profiled =
+        shard::simulate_packets_sharded(cfg, rc);
+
+    if (plain.checksum != oracle || profiled.checksum != oracle) {
+      std::cerr << "FATAL: profiling is not a pure observer (shards="
+                << shards << "): plain=" << plain.checksum
+                << " profiled=" << profiled.checksum << " oracle=" << oracle
+                << "\n";
+      ok = false;
+    }
+#if AMBISIM_OBS_COMPILED
+    ok = assert_profile(prof, profiled, shards) && ok;
+#endif
+
+    ProfilePoint pt;
+    pt.shards = shards;
+    pt.checksum = profiled.checksum;
+    pt.windows = profiled.windows;
+    pt.boundary_msgs = profiled.boundary_messages;
+    pt.events = profiled.events_executed;
+    pt.expected_tasks = profiled.windows * shards;
+    pt.advance_wall_s = prof.advance_wall_s();
+    pt.barrier_wall_s = prof.barrier_wall_s();
+    pt.imbalance = prof.aggregate_imbalance();
+    points.push_back(pt);
+  }
+  std::cout << "profiled vs unprofiled vs oracle checksums: "
+            << (ok ? "IDENTICAL" : "DIVERGED") << "\n\n";
+  if (!ok) std::exit(1);
+
+  sim::Table t("PROFILE: sharded packet run under obs::Profiler "
+               "(512 nodes, pool 4, checksum-gated)",
+               {"shards", "windows", "boundary", "advance_s", "barrier_s",
+                "imbalance"});
+  for (const ProfilePoint& pt : points)
+    t.add_row({static_cast<double>(pt.shards),
+               static_cast<double>(pt.windows),
+               static_cast<double>(pt.boundary_msgs), pt.advance_wall_s,
+               pt.barrier_wall_s, pt.imbalance});
+  std::cout << t << '\n';
+
+  const auto manifest = bench_util::run_manifest("profile", kSeed, kPool);
+  std::ofstream json("BENCH_profile.json");
+  json << "{\n";
+  bench_util::manifest_field(json, manifest);
+  bench_util::profile_field(json, keep, &manifest);
+  json << "  \"bench\": \"profile\",\n"
+       << "  \"nodes\": " << kNodes << ",\n"
+       << "  \"purity_ok\": " << (ok ? "true" : "false") << ",\n"
+       << "  \"points\": [\n";
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    const ProfilePoint& pt = points[k];
+    json << "    {\"shards\": " << pt.shards
+         << ", \"checksum\": " << pt.checksum
+         << ", \"windows\": " << pt.windows
+         << ", \"boundary_msgs\": " << pt.boundary_msgs
+         << ", \"events\": " << pt.events
+         << ", \"expected_tasks\": " << pt.expected_tasks
+         << ", \"worker_count\": " << pt.worker_count
+         << ", \"advance_wall_s\": " << pt.advance_wall_s
+         << ", \"barrier_wall_s\": " << pt.barrier_wall_s
+         << ", \"imbalance\": " << pt.imbalance << "}"
+         << (k + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_profile.json\n\n";
+}
+
+// --- microbenchmarks: the observer's own cost ------------------------------
+
+void BM_sharded_unprofiled(benchmark::State& state) {
+  const net::PacketSimConfig cfg = workload(256);
+  for (auto _ : state) {
+    auto res = shard::simulate_packets_sharded(cfg, {4, kPool});
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_sharded_unprofiled)->Unit(benchmark::kMillisecond);
+
+void BM_sharded_profiled(benchmark::State& state) {
+  const net::PacketSimConfig cfg = workload(256);
+  obs::Profiler prof;
+  for (auto _ : state) {
+    prof.clear();
+    shard::ShardRunConfig rc{4, kPool};
+    rc.profiler = &prof;
+    auto res = shard::simulate_packets_sharded(cfg, rc);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_sharded_profiled)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AMBISIM_BENCH_MAIN(print_profile)

@@ -24,6 +24,7 @@
 
 #include "ambisim/obs/manifest.hpp"
 #include "ambisim/obs/obs.hpp"
+#include "ambisim/obs/profiler.hpp"
 
 namespace ambisim::bench_util {
 
@@ -49,6 +50,18 @@ inline void manifest_field(std::ostream& json,
                            const ::ambisim::obs::RunManifest& m) {
   json << "  \"manifest\": ";
   m.write_json(json, 2);
+  json << ",\n";
+}
+
+/// Emit `  "profile": {...},` — the wall-clock execution profile stanza.
+/// tools/bench_compare.py quarantines the whole "profile" subtree from
+/// baseline gating, so a bench can embed timing attribution next to its
+/// gated fields without destabilizing the baseline.
+inline void profile_field(std::ostream& json,
+                          const ::ambisim::obs::Profiler& prof,
+                          const ::ambisim::obs::RunManifest* m = nullptr) {
+  json << "  \"profile\": ";
+  prof.write_json(json, 2, m);
   json << ",\n";
 }
 

@@ -1,0 +1,285 @@
+// Execution-profile CLI: render an obs::Profiler JSON dump as an ASCII
+// breakdown — top phases, per-worker utilization bars, and per-window
+// advance-vs-barrier attribution.
+//
+//   perf_report                  run a small sharded packet workload under
+//                                a Profiler, write perf_profile.json, then
+//                                report on it
+//   perf_report <profile.json>   report on an existing profile (e.g. the
+//                                PROFILE_city.json bench_city emits, or a
+//                                scenario_runner --profile dump)
+//
+// Like timeline_report, the report is built *only* from the JSON file —
+// the self-run mode re-parses what it just wrote — so the tool doubles as
+// an end-to-end check that Profiler::write_json carries everything needed
+// to explain where a run's wall-clock went.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/obs/manifest.hpp"
+#include "ambisim/obs/profiler.hpp"
+#include "ambisim/scen/json.hpp"
+#include "ambisim/shard/engine.hpp"
+
+using namespace ambisim;
+namespace u = ambisim::units;
+namespace js = ambisim::scen::json;
+
+namespace {
+
+constexpr int kTopPhases = 8;
+constexpr int kWindowRows = 12;
+constexpr int kBarWidth = 40;
+
+double num_or(const js::Value& obj, const char* key, double fallback = 0.0) {
+  const js::Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string str_or(const js::Value& obj, const char* key) {
+  const js::Value* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+/// `####----` bar: `frac` of `width` filled.
+std::string bar(double frac, int width, char fill = '#', char rest = '-') {
+  frac = std::clamp(frac, 0.0, 1.0);
+  const int filled = static_cast<int>(frac * width + 0.5);
+  return std::string(static_cast<std::size_t>(filled), fill) +
+         std::string(static_cast<std::size_t>(width - filled), rest);
+}
+
+std::string seconds(double s) {
+  std::ostringstream os;
+  if (s >= 1.0)
+    os << s << " s";
+  else if (s >= 1e-3)
+    os << s * 1e3 << " ms";
+  else
+    os << s * 1e6 << " us";
+  return os.str();
+}
+
+void print_phases(const js::Value& root) {
+  const js::Value* phases = root.find("phases");
+  if (phases == nullptr || !phases->is_array() || phases->size() == 0) {
+    std::cout << "(no phases in this profile)\n\n";
+    return;
+  }
+  struct Row {
+    std::string name;
+    double wall_s = 0.0;
+    double count = 0.0;
+  };
+  std::vector<Row> rows;
+  double total = 0.0;
+  for (const js::Value& p : phases->items()) {
+    rows.push_back({str_or(p, "name"), num_or(p, "wall_s"),
+                    num_or(p, "count")});
+    total += rows.back().wall_s;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.wall_s > b.wall_s; });
+  std::cout << "top phases (" << std::min<std::size_t>(rows.size(),
+                                                       kTopPhases)
+            << " of " << rows.size() << ", total " << seconds(total)
+            << "):\n";
+  for (std::size_t i = 0;
+       i < rows.size() && i < static_cast<std::size_t>(kTopPhases); ++i) {
+    const double frac = total > 0.0 ? rows[i].wall_s / total : 0.0;
+    std::cout << "  " << bar(frac, kBarWidth) << "  ";
+    std::cout.width(22);
+    std::cout << std::left << rows[i].name << std::right << "  "
+              << seconds(rows[i].wall_s) << " ("
+              << static_cast<int>(frac * 100.0 + 0.5) << "%, x"
+              << static_cast<long long>(rows[i].count) << ")\n";
+  }
+  std::cout << '\n';
+}
+
+void print_workers(const js::Value& root) {
+  const js::Value* workers = root.find("workers");
+  if (workers == nullptr || !workers->is_array() || workers->size() == 0) {
+    std::cout << "(no worker accounting in this profile)\n\n";
+    return;
+  }
+  std::cout << "pool workers (run / queue-wait / idle share of lifetime):\n";
+  for (const js::Value& w : workers->items()) {
+    const double life = num_or(w, "lifetime_s");
+    const double run = num_or(w, "run_s");
+    const double wait = num_or(w, "queue_wait_s");
+    const double util = num_or(w, "utilization");
+    // Stacked bar: '#' run, '+' queue wait, '-' idle.
+    std::string b(kBarWidth, '-');
+    if (life > 0.0) {
+      const int nrun = static_cast<int>(run / life * kBarWidth + 0.5);
+      const int nwait = static_cast<int>(wait / life * kBarWidth + 0.5);
+      for (int i = 0; i < kBarWidth; ++i) {
+        if (i < nrun)
+          b[static_cast<std::size_t>(i)] = '#';
+        else if (i < nrun + nwait)
+          b[static_cast<std::size_t>(i)] = '+';
+      }
+    }
+    std::cout << "  worker " << static_cast<int>(num_or(w, "index")) << "  "
+              << b << "  " << static_cast<int>(util * 100.0 + 0.5)
+              << "% busy, " << static_cast<long long>(num_or(w, "tasks"))
+              << " tasks, lifetime " << seconds(life) << "\n";
+  }
+  std::cout << '\n';
+}
+
+void print_windows(const js::Value& root) {
+  const double adv = num_or(root, "advance_wall_s");
+  const double bar_s = num_or(root, "barrier_wall_s");
+  const double imb = num_or(root, "imbalance", 1.0);
+  const long long total =
+      static_cast<long long>(num_or(root, "windows_total"));
+  if (total == 0) {
+    std::cout << "(no window records — serial run or profiling off)\n";
+    return;
+  }
+  const long long recorded =
+      static_cast<long long>(num_or(root, "windows_recorded"));
+  std::cout << "windows: " << total << " (" << recorded
+            << " recorded), boundary gathered "
+            << static_cast<long long>(num_or(root, "boundary_gathered"))
+            << " / rescheduled "
+            << static_cast<long long>(num_or(root, "boundary_rescheduled"))
+            << "\n"
+            << "attribution: advance " << seconds(adv) << " vs barrier "
+            << seconds(bar_s) << ", time-weighted imbalance " << imb
+            << " (max/mean shard advance; 1 = balanced)\n\n";
+
+  const js::Value* windows = root.find("windows");
+  if (windows == nullptr || !windows->is_array() || windows->size() == 0)
+    return;
+  // Stacked per-window bars over the first rows: '#' = the critical
+  // shard's advance, '+' = barrier, scaled to the largest window.
+  double wmax = 0.0;
+  for (const js::Value& w : windows->items())
+    wmax = std::max(wmax, num_or(w, "advance_max_s") +
+                              num_or(w, "barrier_wall_s"));
+  const std::size_t rows =
+      std::min<std::size_t>(windows->size(), kWindowRows);
+  std::cout << "first " << rows << " windows (# advance, + barrier; bar = "
+            << seconds(wmax) << "):\n";
+  for (std::size_t i = 0; i < rows; ++i) {
+    const js::Value& w = windows->items()[i];
+    const double a = num_or(w, "advance_max_s");
+    const double b = num_or(w, "barrier_wall_s");
+    std::string line(kBarWidth, ' ');
+    if (wmax > 0.0) {
+      const int na = static_cast<int>(a / wmax * kBarWidth + 0.5);
+      const int nb = static_cast<int>(b / wmax * kBarWidth + 0.5);
+      for (int k = 0; k < kBarWidth; ++k) {
+        if (k < na)
+          line[static_cast<std::size_t>(k)] = '#';
+        else if (k < na + nb)
+          line[static_cast<std::size_t>(k)] = '+';
+      }
+    }
+    std::cout << "  w" << static_cast<long long>(num_or(w, "index")) << "\t"
+              << line << "  imb " << num_or(w, "imbalance", 1.0)
+              << ", gathered "
+              << static_cast<long long>(num_or(w, "gathered")) << "\n";
+  }
+  if (windows->size() > rows)
+    std::cout << "  ... " << windows->size() - rows << " more recorded\n";
+  std::cout << '\n';
+}
+
+void print_shards(const js::Value& root) {
+  const js::Value* shards = root.find("shards");
+  if (shards == nullptr || !shards->is_array() || shards->size() < 2) return;
+  double amax = 0.0;
+  for (const js::Value& s : shards->items())
+    amax = std::max(amax, num_or(s, "advance_wall_s"));
+  std::cout << "per-shard advance (load balance across regions):\n";
+  for (const js::Value& s : shards->items()) {
+    const double a = num_or(s, "advance_wall_s");
+    std::cout << "  shard " << static_cast<int>(num_or(s, "index")) << "  "
+              << bar(amax > 0.0 ? a / amax : 0.0, kBarWidth) << "  "
+              << seconds(a) << ", "
+              << static_cast<long long>(num_or(s, "events")) << " events\n";
+  }
+  std::cout << '\n';
+}
+
+/// Run a small sharded collection burst under a Profiler and dump the
+/// profile; returns the path written.
+std::string self_run(const std::string& path) {
+  net::PacketSimConfig cfg;
+  cfg.node_count = 256;
+  cfg.field_side = u::Length(96.0);
+  cfg.radio_range = u::Length(15.0);
+  cfg.report_period = u::Time(20.0);
+  cfg.duration = u::Time(2.0);
+  cfg.mac = net::DutyCycledMac{u::Time(0.02), u::Time(0.001)};
+  cfg.model_link_errors = true;
+  cfg.sparse_links = true;
+  cfg.seed = 2026;
+
+  obs::Profiler prof;
+  shard::ShardRunConfig rc{4, 4};
+  rc.profiler = &prof;
+  (void)shard::simulate_packets_sharded(cfg, rc);
+
+  auto manifest = obs::RunManifest::collect();
+  manifest.label = "perf_report self-run";
+  manifest.seed = cfg.seed;
+  manifest.pool_size = 4;
+
+  std::ofstream os(path);
+  prof.write_json(os, 0, &manifest);
+  os << "\n";
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : self_run("perf_profile.json");
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "cannot open " << path << '\n';
+    return 1;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+
+  js::Value root;
+  try {
+    root = js::parse(buf.str());
+  } catch (const js::ParseError& e) {
+    std::cerr << path << ": " << e.what() << '\n';
+    return 1;
+  }
+  // Accept both a bare profile and a BENCH_*.json embedding one.
+  if (const js::Value* nested = root.find("profile")) root = *nested;
+  if (root.find("phases") == nullptr && root.find("windows") == nullptr) {
+    std::cerr << path << " has no phases or windows — not a profile?\n";
+    return 1;
+  }
+
+  std::cout << "execution profile: " << path << '\n';
+  if (const js::Value* m = root.find("manifest"))
+    std::cout << "  produced by: " << str_or(*m, "label") << " @ "
+              << str_or(*m, "git_describe") << " ("
+              << str_or(*m, "build_type") << ", pool "
+              << static_cast<int>(num_or(*m, "pool_size")) << ")\n";
+  std::cout << "  total wall: " << seconds(num_or(root, "total_wall_s"))
+            << "\n\n";
+
+  print_phases(root);
+  print_workers(root);
+  print_shards(root);
+  print_windows(root);
+  return 0;
+}

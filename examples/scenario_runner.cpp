@@ -8,6 +8,8 @@
 //   scenario_runner --pool N ...                 override run.pool
 //   scenario_runner --shards N ...               override run.shards (net)
 //   scenario_runner --obs-json out.json ...      arm probes, dump obs state
+//   scenario_runner --profile out.json spec      profile replication 0's
+//                                                wall clock (obs::Profiler)
 //   scenario_runner --fuzz N [--seed S]          run a fuzz campaign
 //                   [--repro-dir DIR]            write shrunken repros there
 //
@@ -25,6 +27,7 @@
 #include "ambisim/obs/manifest.hpp"
 #include "ambisim/obs/metrics.hpp"
 #include "ambisim/obs/obs.hpp"
+#include "ambisim/obs/profiler.hpp"
 #include "ambisim/obs/timeline.hpp"
 #include "ambisim/obs/trace.hpp"
 #include "ambisim/scen/build.hpp"
@@ -40,6 +43,7 @@ struct Options {
   bool print_spec = false;
   scen::RunOverrides overrides;
   std::string obs_json;
+  std::string profile_json;
   long long fuzz = -1;
   std::uint64_t fuzz_seed = 1;
   std::string repro_dir = ".";
@@ -57,6 +61,8 @@ int usage(const char* argv0) {
       << "  --shards N          override run.shards (net engine; 0 = "
          "single-kernel)\n"
       << "  --obs-json PATH     arm obs probes and dump metrics/timeline\n"
+      << "  --profile PATH      write replication 0's wall-clock execution "
+         "profile\n"
       << "  --fuzz N            generate + check N seed-derived scenarios\n"
       << "  --seed S            fuzz campaign root seed (default 1)\n"
       << "  --repro-dir DIR     where to write shrunken fuzz repros\n";
@@ -105,6 +111,23 @@ void dump_obs_json(const std::string& path, const std::string& label,
   ctx.tracer.write_chrome_json(os);
   os << "\n}\n";
   std::cerr << "wrote obs dump: " << path << '\n';
+}
+
+void write_profile_json(const std::string& path, const obs::Profiler& prof,
+                        const std::string& label, std::uint64_t seed,
+                        unsigned pool) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot open --profile path: " << path << '\n';
+    return;
+  }
+  auto manifest = obs::RunManifest::collect();
+  manifest.label = label;
+  manifest.seed = seed;
+  manifest.pool_size = pool;
+  prof.write_json(os, 0, &manifest);
+  os << '\n';
+  std::cerr << "wrote execution profile: " << path << '\n';
 }
 
 int run_fuzz(const Options& opt) {
@@ -161,20 +184,33 @@ int run_one(const std::string& path, const Options& opt) {
   }
 
   const bool want_obs = !opt.obs_json.empty();
+  const bool want_profile = !opt.profile_json.empty();
   const bool was_enabled = obs::enabled();
   if (want_obs) {
     obs::set_enabled(true);
     obs::reset();
   }
 
-  const auto summary = scen::run_scenario(spec, opt.overrides);
+  obs::Profiler profiler;
+  scen::RunOverrides overrides = opt.overrides;
+  if (want_profile) overrides.profiler = &profiler;
+
+  const auto summary = scen::run_scenario(spec, overrides);
   std::cout << "=== " << (spec.name.empty() ? path : spec.name) << " ===\n";
   summary.write_report(std::cout);
 
+  const unsigned pool = opt.overrides.pool >= 0
+                            ? static_cast<unsigned>(opt.overrides.pool)
+                            : static_cast<unsigned>(spec.run.pool);
+  if (want_profile) {
+    // When both dumps are requested, mirror the profile's spans into the
+    // obs tracer first so the trace dump shows them alongside the probes.
+    if (want_obs) profiler.export_trace(obs::context().tracer);
+    write_profile_json(opt.profile_json, profiler,
+                       spec.name.empty() ? path : spec.name, spec.run.seed,
+                       pool);
+  }
   if (want_obs) {
-    const unsigned pool = opt.overrides.pool >= 0
-                              ? static_cast<unsigned>(opt.overrides.pool)
-                              : static_cast<unsigned>(spec.run.pool);
     dump_obs_json(opt.obs_json, spec.name.empty() ? path : spec.name,
                   spec.run.seed, pool);
     obs::set_enabled(was_enabled);
@@ -204,6 +240,8 @@ int main(int argc, char** argv) {
       opt.overrides.shards = static_cast<int>(v);
     } else if (arg == "--obs-json" && i + 1 < argc) {
       opt.obs_json = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      opt.profile_json = argv[++i];
     } else if (arg == "--fuzz" && i + 1 < argc) {
       if (!parse_int(argv[++i], v) || v <= 0) return usage(argv[0]);
       opt.fuzz = v;
@@ -217,6 +255,22 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     } else {
       opt.specs.push_back(arg);
+    }
+  }
+
+  if (!opt.profile_json.empty()) {
+    if (opt.validate || opt.print_spec) {
+      std::cerr << "error: --profile cannot be combined with --validate or "
+                   "--print-spec (no simulation runs under those flags)\n";
+      return usage(argv[0]);
+    }
+    if (opt.fuzz > 0) {
+      std::cerr << "error: --profile cannot be combined with --fuzz\n";
+      return usage(argv[0]);
+    }
+    if (opt.specs.size() != 1) {
+      std::cerr << "error: --profile expects exactly one spec\n";
+      return usage(argv[0]);
     }
   }
 

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -28,6 +30,27 @@ namespace ambisim::exec {
 
 class ThreadPool {
  public:
+  /// Per-worker wall-clock task accounting, collected while
+  /// `set_accounting(true)` is active.  The three time buckets partition a
+  /// worker's lifetime since accounting was enabled:
+  ///
+  ///   * idle_s       — no runnable task existed for the worker,
+  ///   * queue_wait_s — a task was enqueued but the worker had not yet
+  ///                    dequeued it (queueing delay, charged to the worker
+  ///                    that eventually ran the task),
+  ///   * run_s        — the worker was executing task bodies.
+  ///
+  /// queue + run + idle == lifetime by construction when the snapshot is
+  /// taken while the pool is quiescent (e.g. after TaskSet::wait()); a
+  /// snapshot taken mid-task attributes the open interval to run_s.
+  struct WorkerStats {
+    std::uint64_t tasks = 0;
+    double queue_wait_s = 0.0;
+    double run_s = 0.0;
+    double idle_s = 0.0;
+    double lifetime_s = 0.0;
+  };
+
   /// `threads == 0` selects hardware_threads().
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
@@ -41,6 +64,17 @@ class ThreadPool {
   /// Enqueue one task; never blocks, the task may start immediately.
   void submit(std::function<void()> task);
 
+  /// Enable or disable per-worker accounting.  Enabling (re)zeroes all
+  /// worker stats and restarts every worker's lifetime clock; disabling
+  /// freezes nothing — stats simply stop accumulating and remain readable.
+  /// Costs one bool test per submit/dequeue when off.
+  void set_accounting(bool enabled);
+  [[nodiscard]] bool accounting_enabled() const;
+
+  /// Snapshot of each worker's accounting (index == worker index).  Exact
+  /// bucket partition requires a quiescent pool; see WorkerStats.
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
   /// Index of the calling pool worker in [0, size()), or -1 when called
   /// from a thread that does not belong to any ThreadPool.  Runners use it
   /// to address per-worker observability shards.
@@ -50,13 +84,35 @@ class ThreadPool {
   [[nodiscard]] static unsigned hardware_threads();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Queue element: the closure plus its enqueue stamp (only taken while
+  /// accounting is on; a default-constructed stamp means "unstamped" and
+  /// the dequeue-side clamp charges the whole wait to idle).
+  struct Task {
+    std::function<void()> fn;
+    Clock::time_point enqueued{};
+  };
+
+  /// Accounting slot for one worker.  All fields are guarded by `mu_` —
+  /// workers publish transitions under the queue lock they already hold,
+  /// so accounting adds no new synchronization.
+  struct WorkerSlot {
+    WorkerStats stats;
+    Clock::time_point anchor{};      ///< lifetime start (set_accounting)
+    Clock::time_point last_event{};  ///< end of the last attributed interval
+    bool running = false;            ///< inside a task body right now
+  };
+
   void worker_loop(unsigned index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  std::deque<Task> queue_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  bool accounting_ = false;
+  std::vector<WorkerSlot> slots_;
 };
 
 /// Join handle for a batch of tasks submitted to a ThreadPool.

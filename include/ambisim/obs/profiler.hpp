@@ -1,0 +1,292 @@
+// Wall-clock execution profiler with per-worker / per-shard / per-window
+// attribution.
+//
+// Everything else in the obs stack measures *simulated* time; the Profiler
+// measures where the *host's* wall clock goes while the simulator runs —
+// the instrument that explains why a sharded run is barrier-bound or a
+// serial run is adjacency-bound.  Three record kinds:
+//
+//  * phases — named serial scopes ("net.adjacency_build", "net.routing_
+//    build", "net.link_pricing", "net.event_loop") accumulated by RAII
+//    PhaseScope timers, so serial and sharded runs break down over the
+//    same vocabulary;
+//  * workers — per-worker task accounting imported from
+//    exec::ThreadPool::worker_stats(): tasks executed, queue-wait vs run
+//    vs idle seconds, lifetime, utilization;
+//  * windows × shards — one record per conservative sync window of
+//    shard::simulate_packets_sharded: max/mean shard advance wall time,
+//    imbalance (max/mean), barrier wall time, boundary messages gathered
+//    and rescheduled.  Per-shard advance totals and executed-event counts
+//    accumulate beside them.
+//
+// Discipline: the profiler is a *pure observer*.  It only ever reads the
+// steady clock; it never draws randomness, never touches simulation state,
+// and is never folded into any gated digest — runs with profiling on, off,
+// or compiled out (AMBISIM_OBS_DISABLED) are bit-identical.  Wall-clock
+// values exported into BENCH_*.json live under a "profile" key (or end in
+// `_wall_s` / `imbalance` / `utilization`) so tools/bench_compare.py
+// quarantines them from baseline gating.
+//
+// Ownership: a Profiler is an explicit object owned by the caller (a
+// bench, scenario_runner --profile, a test).  Engines find it either via
+// an explicit config pointer (shard::ShardRunConfig::profiler) or via the
+// thread-local ProfilerBinding, mirroring obs::ContextBinding; a null
+// profiler costs one pointer test per instrumentation site and reads no
+// clocks.  The object is not thread-safe: record from one thread at a
+// time (the shard engine writes per-shard slots inside the join and
+// records windows from the coordinating thread only).
+//
+// Window records are bounded: past `max_window_records` only the
+// aggregates keep accumulating and `windows_total()` keeps counting, so a
+// long run cannot grow the profile without bound — and the truncation is
+// explicit in the export (windows_total vs windows_recorded), never
+// silent.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ambisim/obs/obs.hpp"
+
+namespace ambisim::obs {
+
+class Tracer;
+struct RunManifest;
+
+class Profiler {
+ public:
+  /// Accumulated wall time of one named serial scope.
+  struct Phase {
+    std::string name;
+    std::uint64_t count = 0;     ///< scopes recorded under this name
+    double wall_s = 0.0;         ///< total wall seconds across scopes
+    double first_start_s = 0.0;  ///< first scope's start, profiler-relative
+  };
+
+  /// One ThreadPool worker's task accounting (see exec::ThreadPool::
+  /// worker_stats for the bucket definitions; queue + run + idle sums to
+  /// lifetime by construction).
+  struct Worker {
+    int index = 0;
+    std::uint64_t tasks = 0;
+    double queue_wait_s = 0.0;
+    double run_s = 0.0;
+    double idle_s = 0.0;
+    double lifetime_s = 0.0;
+    [[nodiscard]] double utilization() const {
+      return lifetime_s > 0.0 ? run_s / lifetime_s : 0.0;
+    }
+  };
+
+  /// One conservative sync window of the sharded engine.
+  struct Window {
+    long long index = 0;
+    double start_s = 0.0;  ///< window start, profiler-relative wall seconds
+    double advance_max_s = 0.0;   ///< slowest shard's advance wall time
+    double advance_mean_s = 0.0;  ///< mean shard advance wall time
+    double imbalance = 1.0;       ///< max / mean (1 = perfectly balanced)
+    double barrier_wall_s = 0.0;  ///< gather + sort + reschedule
+    long long gathered = 0;       ///< boundary packets collected at the barrier
+    long long rescheduled = 0;    ///< delivered into peer futures (<= gathered)
+  };
+
+  /// Per-shard totals across all windows.
+  struct Shard {
+    int index = 0;
+    double advance_wall_s = 0.0;
+    std::uint64_t events = 0;  ///< events executed by this shard's kernel
+  };
+
+  static constexpr std::size_t kDefaultMaxWindowRecords = 4096;
+
+  Profiler() : epoch_(Clock::now()) {}
+
+  /// Wall seconds since this profiler was constructed (or clear()ed).
+  /// Const and side-effect free, so worker threads may call it to stamp
+  /// their own slots.
+  [[nodiscard]] double now_s() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  // --- phases ---
+
+  /// Accumulate `wall_s` seconds under `name` (find-or-create).
+  void add_phase(std::string_view name, double start_s, double wall_s);
+
+  /// Null-safe RAII phase timer: inert (no clock read) when `prof` is
+  /// nullptr.  `name` should be a string literal; it is copied, but trace
+  /// export hands the stored copy's pointer to the Tracer, so write traces
+  /// before mutating the profiler.
+  class PhaseScope {
+   public:
+    PhaseScope(Profiler* prof, const char* name) : prof_(prof), name_(name) {
+      if (prof_ != nullptr) start_ = prof_->now_s();
+    }
+    ~PhaseScope() {
+      if (prof_ != nullptr)
+        prof_->add_phase(name_, start_, prof_->now_s() - start_);
+    }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    Profiler* prof_;
+    const char* name_;
+    double start_ = 0.0;
+  };
+
+  /// Run `fn()` under a PhaseScope and return its result — the idiom for
+  /// timing a const initializer without restructuring the caller.
+  template <typename Fn>
+  static auto timed(Profiler* prof, const char* name, Fn&& fn) {
+    PhaseScope scope(prof, name);
+    return std::forward<Fn>(fn)();
+  }
+
+  // --- windows / shards ---
+
+  /// Reset window/shard state for a run over `shard_count` regions.
+  void begin_windows(int shard_count,
+                     std::size_t max_records = kDefaultMaxWindowRecords);
+
+  /// Record one window: `advance_s[i]` is shard i's advance wall time.
+  /// Aggregates (totals, per-shard advance sums) always accumulate; the
+  /// per-window record itself is kept only while under the record cap.
+  void record_window(double start_s, const std::vector<double>& advance_s,
+                     double barrier_wall_s, long long gathered,
+                     long long rescheduled);
+
+  /// Attach the executed-event count of one shard's kernel.
+  void set_shard_events(int shard, std::uint64_t events);
+
+  // --- workers ---
+
+  void set_workers(std::vector<Worker> workers);
+
+  // --- accessors ---
+
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+  [[nodiscard]] const Phase* find_phase(std::string_view name) const;
+  [[nodiscard]] const std::vector<Worker>& workers() const {
+    return workers_;
+  }
+  [[nodiscard]] const std::vector<Window>& windows() const {
+    return windows_;
+  }
+  [[nodiscard]] const std::vector<Shard>& shards() const { return shards_; }
+
+  /// Windows recorded vs windows seen (they differ once the cap bites).
+  [[nodiscard]] long long windows_total() const { return windows_total_; }
+  [[nodiscard]] long long windows_dropped() const {
+    return windows_total_ - static_cast<long long>(windows_.size());
+  }
+  [[nodiscard]] long long boundary_gathered() const { return gathered_; }
+  [[nodiscard]] long long boundary_rescheduled() const {
+    return rescheduled_;
+  }
+
+  /// Total wall seconds shards spent advancing (sum over shards).
+  [[nodiscard]] double advance_wall_s() const;
+  /// Total wall seconds spent in window barriers.
+  [[nodiscard]] double barrier_wall_s() const { return barrier_total_s_; }
+  /// Time-weighted imbalance across all windows: sum of per-window max
+  /// advance over sum of per-window mean advance (1 = balanced).
+  [[nodiscard]] double aggregate_imbalance() const;
+
+  [[nodiscard]] bool empty() const {
+    return phases_.empty() && workers_.empty() && windows_total_ == 0;
+  }
+
+  /// Drop everything and restart the wall-clock epoch.
+  void clear();
+
+  // --- export ---
+
+  /// One JSON object: manifest (when given), total_wall_s, phases,
+  /// workers, shards, window aggregates, then the per-window records.
+  /// `indent` leading spaces per nesting level; the opening brace is not
+  /// indented so the object can be embedded after a key (bench_util::
+  /// profile_field does exactly that).
+  void write_json(std::ostream& os, int indent = 0,
+                  const RunManifest* manifest = nullptr) const;
+
+  /// Chrome trace_event spans into `tracer` (category "prof"), timestamps
+  /// in wall microseconds since the profiler epoch: each phase as one
+  /// Complete span on tid 0, each recorded window as an "window.advance"
+  /// span (tid 1, duration = max advance) followed by a "window.barrier"
+  /// span (tid 0).  Profiles therefore open in the same viewer as flight
+  /// records.  Phase-name pointers reference this profiler's storage —
+  /// export the tracer before mutating or destroying the profiler.
+  void export_trace(Tracer& tracer) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point epoch_;
+  std::vector<Phase> phases_;
+  std::vector<Worker> workers_;
+  std::vector<Window> windows_;
+  std::vector<Shard> shards_;
+  std::size_t max_window_records_ = kDefaultMaxWindowRecords;
+  long long windows_total_ = 0;
+  long long gathered_ = 0;
+  long long rescheduled_ = 0;
+  double barrier_total_s_ = 0.0;
+  double advance_max_total_s_ = 0.0;
+  double advance_mean_total_s_ = 0.0;
+};
+
+namespace detail {
+/// Rebind the calling thread's profiler; returns the previous binding.
+Profiler* bind_profiler(Profiler* prof);
+/// The calling thread's bound profiler (nullptr when none).
+Profiler* bound_profiler();
+}  // namespace detail
+
+/// The profiler instrumentation sites should record into, or nullptr when
+/// none is bound (or observability is compiled out — the whole profiling
+/// layer then folds to nothing).
+inline Profiler* current_profiler() {
+#if AMBISIM_OBS_COMPILED
+  return detail::bound_profiler();
+#else
+  return nullptr;
+#endif
+}
+
+/// RAII thread-local profiler binding, mirroring ContextBinding: while
+/// alive, current_profiler() on this thread resolves to `prof`; a nullptr
+/// binding is a no-op (the thread keeps its previous resolution).
+class ProfilerBinding {
+ public:
+  explicit ProfilerBinding(Profiler* prof)
+#if AMBISIM_OBS_COMPILED
+      : active_(prof != nullptr),
+        prev_(active_ ? detail::bind_profiler(prof) : nullptr) {
+  }
+  ~ProfilerBinding() {
+    if (active_) detail::bind_profiler(prev_);
+  }
+#else
+  {
+    (void)prof;
+  }
+  ~ProfilerBinding() = default;
+#endif
+  ProfilerBinding(const ProfilerBinding&) = delete;
+  ProfilerBinding& operator=(const ProfilerBinding&) = delete;
+
+#if AMBISIM_OBS_COMPILED
+ private:
+  bool active_;
+  Profiler* prev_;
+#endif
+};
+
+}  // namespace ambisim::obs

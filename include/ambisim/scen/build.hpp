@@ -23,6 +23,10 @@
 #include "ambisim/net/packet_sim.hpp"
 #include "ambisim/scen/spec.hpp"
 
+namespace ambisim::obs {
+class Profiler;
+}  // namespace ambisim::obs
+
 namespace ambisim::scen {
 
 /// Spec -> packet-level network config.  Requires engine() == Net;
@@ -103,6 +107,11 @@ struct RunOverrides {
   int replications = 0;  ///< > 0 replaces run.replications
   int pool = -1;         ///< >= 0 replaces run.pool
   int shards = -1;       ///< >= 0 replaces run.shards (net engine only)
+  /// Wall-clock profiler attached to replication 0 only — the run that is
+  /// the spec verbatim — so profile records never race across pool
+  /// workers.  Pure observer: the summary checksum is identical with or
+  /// without it.  Ignored under AMBISIM_OBS_DISABLED.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Execute the spec end to end and evaluate its assertions.  When any

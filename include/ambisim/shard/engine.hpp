@@ -45,6 +45,10 @@
 
 #include "ambisim/net/packet_sim.hpp"
 
+namespace ambisim::obs {
+class Profiler;
+}  // namespace ambisim::obs
+
 namespace ambisim::shard {
 
 struct ShardRunConfig {
@@ -54,6 +58,11 @@ struct ShardRunConfig {
   /// Worker threads for the window barrier's parallel_for; 0 = hardware
   /// concurrency.  Any value yields the same checksum.
   int pool = 0;
+  /// Optional wall-clock profiler (pure observer: attaching one never
+  /// changes the checksum).  nullptr falls back to the thread-local
+  /// obs::current_profiler(); under AMBISIM_OBS_DISABLED the field is
+  /// ignored entirely.
+  obs::Profiler* profiler = nullptr;
 };
 
 struct ShardRunResult {

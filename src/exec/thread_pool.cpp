@@ -9,6 +9,7 @@ thread_local int t_worker_index = -1;
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = hardware_threads();
   workers_.reserve(threads);
+  slots_.resize(threads);
   for (unsigned i = 0; i < threads; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
 }
@@ -25,9 +26,53 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    queue_.push_back(std::move(task));
+    Task t;
+    t.fn = std::move(task);
+    if (accounting_) t.enqueued = Clock::now();
+    queue_.push_back(std::move(t));
   }
   cv_.notify_one();
+}
+
+void ThreadPool::set_accounting(bool enabled) {
+  std::lock_guard<std::mutex> lk(mu_);
+  accounting_ = enabled;
+  if (!enabled) return;
+  const Clock::time_point now = Clock::now();
+  for (WorkerSlot& slot : slots_) {
+    slot.stats = WorkerStats{};
+    slot.anchor = now;
+    slot.last_event = now;
+    slot.running = false;
+  }
+}
+
+bool ThreadPool::accounting_enabled() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return accounting_;
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Clock::time_point now = Clock::now();
+  std::vector<WorkerStats> out;
+  out.reserve(slots_.size());
+  for (const WorkerSlot& slot : slots_) {
+    WorkerStats s = slot.stats;
+    if (slot.anchor != Clock::time_point{}) {
+      // Attribute the open interval since the last recorded transition so
+      // the buckets partition the lifetime.
+      const double tail =
+          std::chrono::duration<double>(now - slot.last_event).count();
+      if (slot.running)
+        s.run_s += tail;
+      else
+        s.idle_s += tail;
+      s.lifetime_s = std::chrono::duration<double>(now - slot.anchor).count();
+    }
+    out.push_back(s);
+  }
+  return out;
 }
 
 int ThreadPool::current_worker_index() { return t_worker_index; }
@@ -39,16 +84,46 @@ unsigned ThreadPool::hardware_threads() {
 
 void ThreadPool::worker_loop(unsigned index) {
   t_worker_index = static_cast<int>(index);
+  WorkerSlot& slot = slots_[index];
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    bool acct = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      acct = accounting_;
+      if (acct) {
+        const Clock::time_point d = Clock::now();
+        // Split [last_event, d) at the task's enqueue stamp: before it the
+        // worker was idle (nothing runnable for it); after it the task sat
+        // in the queue.  Unstamped tasks (enqueued before accounting was
+        // enabled) clamp to last_event and charge the whole gap to idle.
+        Clock::time_point avail = task.enqueued;
+        if (avail < slot.last_event) avail = slot.last_event;
+        if (avail > d) avail = d;
+        slot.stats.idle_s +=
+            std::chrono::duration<double>(avail - slot.last_event).count();
+        slot.stats.queue_wait_s +=
+            std::chrono::duration<double>(d - avail).count();
+        slot.stats.tasks += 1;
+        slot.last_event = d;
+        slot.running = true;
+      }
     }
-    task();
+    task.fn();
+    if (acct) {
+      // Publish immediately so a worker_stats() snapshot taken right after
+      // TaskSet::wait() already sees this task's run time.
+      std::lock_guard<std::mutex> lk(mu_);
+      const Clock::time_point f = Clock::now();
+      slot.stats.run_s +=
+          std::chrono::duration<double>(f - slot.last_event).count();
+      slot.last_event = f;
+      slot.running = false;
+    }
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include "ambisim/net/sparse_link_table.hpp"
 #include "ambisim/obs/probe.hpp"
+#include "ambisim/obs/profiler.hpp"
 
 namespace ambisim::net {
 
@@ -89,16 +90,21 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
         "shard::simulate_packets_sharded (this kernel's shared-rng "
         "preambles cannot honour the sharded determinism contract)");
 
+  // Pure wall-clock observer; nullptr (the common case) costs one pointer
+  // test per phase boundary and changes nothing else.
+  obs::Profiler* prof = obs::current_profiler();
+
   sim::Rng rng(cfg.seed);
   if (cfg.placement && cfg.placement->size() != cfg.node_count)
     throw std::invalid_argument("placement size != node_count");
   // An explicit placement skips the random-field draw entirely (the rng
   // stream then starts at the source phases); without one the draw order
   // is unchanged from every earlier release.
-  const Topology topo =
-      cfg.placement
-          ? *cfg.placement
-          : Topology::random_field(cfg.node_count, cfg.field_side, rng);
+  const Topology topo = obs::Profiler::timed(prof, "net.placement", [&] {
+    return cfg.placement
+               ? *cfg.placement
+               : Topology::random_field(cfg.node_count, cfg.field_side, rng);
+  });
   const radio::RadioModel radio(cfg.radio);
   const u::Length range = u::min(cfg.radio_range, radio.max_range());
 
@@ -109,11 +115,14 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
   // Neighbor discovery runs once per topology (spatial-grid backed); the
   // initial tree, any fault-mode re-convergence, and the sparse link
   // table all reuse this one table.
-  const Adjacency adj = topo.neighbor_table(range);
+  const Adjacency adj = obs::Profiler::timed(
+      prof, "net.adjacency_build", [&] { return topo.neighbor_table(range); });
   const RoutingTree tree =
-      cfg.routing == RoutingPolicy::MinHop
-          ? min_hop_routes(topo, adj)
-          : min_energy_routes(topo, adj, link_model);
+      obs::Profiler::timed(prof, "net.routing_build", [&] {
+        return cfg.routing == RoutingPolicy::MinHop
+                   ? min_hop_routes(topo, adj)
+                   : min_energy_routes(topo, adj, link_model);
+      });
 
   // BER/PER/expected-ARQ-attempts per directed edge, evaluated once per
   // topology; hops then read the cached row instead of re-deriving
@@ -121,12 +130,18 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
   // edges (CSR over `adj`); dense stays the default and the oracle.
   const bool sparse = cfg.model_link_errors && cfg.sparse_links;
   const LinkTable links =
-      cfg.model_link_errors && !sparse
-          ? LinkTable(topo, radio, cfg.packet_bits, cfg.arq)
-          : LinkTable();
+      obs::Profiler::timed(prof, "net.link_pricing", [&] {
+        return cfg.model_link_errors && !sparse
+                   ? LinkTable(topo, radio, cfg.packet_bits, cfg.arq)
+                   : LinkTable();
+      });
   const SparseLinkTable sparse_links =
-      sparse ? SparseLinkTable(topo, adj, radio, cfg.packet_bits, cfg.arq)
-             : SparseLinkTable();
+      obs::Profiler::timed(prof, "net.link_pricing", [&] {
+        return sparse
+                   ? SparseLinkTable(topo, adj, radio, cfg.packet_bits,
+                                     cfg.arq)
+                   : SparseLinkTable();
+      });
 
   PacketSimResult res;
   sim::Simulator simu;
@@ -548,7 +563,10 @@ PacketSimResult simulate_packets(const PacketSimConfig& cfg) {
     simu.schedule_at(phase, *emit);
   }
 
-  simu.run_until(cfg.duration);
+  {
+    obs::Profiler::PhaseScope scope(prof, "net.event_loop");
+    simu.run_until(cfg.duration);
+  }
 
   if (injector) {
     const fault::ReliabilityStats st =

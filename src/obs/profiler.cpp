@@ -1,0 +1,232 @@
+#include "ambisim/obs/profiler.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "ambisim/obs/manifest.hpp"
+#include "ambisim/obs/trace.hpp"
+
+namespace ambisim::obs {
+
+namespace detail {
+
+namespace {
+thread_local Profiler* t_profiler = nullptr;
+}  // namespace
+
+Profiler* bind_profiler(Profiler* prof) {
+  Profiler* prev = t_profiler;
+  t_profiler = prof;
+  return prev;
+}
+
+Profiler* bound_profiler() { return t_profiler; }
+
+}  // namespace detail
+
+void Profiler::add_phase(std::string_view name, double start_s,
+                         double wall_s) {
+  for (Phase& p : phases_) {
+    if (p.name == name) {
+      p.count += 1;
+      p.wall_s += wall_s;
+      return;
+    }
+  }
+  Phase p;
+  p.name.assign(name.data(), name.size());
+  p.count = 1;
+  p.wall_s = wall_s;
+  p.first_start_s = start_s;
+  phases_.push_back(std::move(p));
+}
+
+const Profiler::Phase* Profiler::find_phase(std::string_view name) const {
+  for (const Phase& p : phases_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+void Profiler::begin_windows(int shard_count, std::size_t max_records) {
+  if (shard_count < 1)
+    throw std::invalid_argument("profiler needs >= 1 shard");
+  windows_.clear();
+  shards_.assign(static_cast<std::size_t>(shard_count), Shard{});
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    shards_[s].index = static_cast<int>(s);
+  max_window_records_ = max_records;
+  windows_total_ = 0;
+  gathered_ = 0;
+  rescheduled_ = 0;
+  barrier_total_s_ = 0.0;
+  advance_max_total_s_ = 0.0;
+  advance_mean_total_s_ = 0.0;
+}
+
+void Profiler::record_window(double start_s,
+                             const std::vector<double>& advance_s,
+                             double barrier_wall_s, long long gathered,
+                             long long rescheduled) {
+  if (advance_s.size() != shards_.size())
+    throw std::invalid_argument(
+        "record_window: advance vector size != shard count");
+  double max_adv = 0.0, sum_adv = 0.0;
+  for (std::size_t s = 0; s < advance_s.size(); ++s) {
+    shards_[s].advance_wall_s += advance_s[s];
+    max_adv = std::max(max_adv, advance_s[s]);
+    sum_adv += advance_s[s];
+  }
+  const double mean_adv = sum_adv / static_cast<double>(advance_s.size());
+
+  // Aggregates always accumulate, whether or not the per-window record
+  // survives the cap below.
+  barrier_total_s_ += barrier_wall_s;
+  advance_max_total_s_ += max_adv;
+  advance_mean_total_s_ += mean_adv;
+  gathered_ += gathered;
+  rescheduled_ += rescheduled;
+
+  const long long index = windows_total_++;
+  if (windows_.size() >= max_window_records_) return;
+  Window w;
+  w.index = index;
+  w.start_s = start_s;
+  w.advance_max_s = max_adv;
+  w.advance_mean_s = mean_adv;
+  w.imbalance = mean_adv > 0.0 ? max_adv / mean_adv : 1.0;
+  w.barrier_wall_s = barrier_wall_s;
+  w.gathered = gathered;
+  w.rescheduled = rescheduled;
+  windows_.push_back(w);
+}
+
+void Profiler::set_shard_events(int shard, std::uint64_t events) {
+  shards_.at(static_cast<std::size_t>(shard)).events = events;
+}
+
+void Profiler::set_workers(std::vector<Worker> workers) {
+  workers_ = std::move(workers);
+}
+
+double Profiler::advance_wall_s() const {
+  double sum = 0.0;
+  for (const Shard& s : shards_) sum += s.advance_wall_s;
+  return sum;
+}
+
+double Profiler::aggregate_imbalance() const {
+  return advance_mean_total_s_ > 0.0
+             ? advance_max_total_s_ / advance_mean_total_s_
+             : 1.0;
+}
+
+void Profiler::clear() {
+  epoch_ = Clock::now();
+  phases_.clear();
+  workers_.clear();
+  windows_.clear();
+  shards_.clear();
+  max_window_records_ = kDefaultMaxWindowRecords;
+  windows_total_ = 0;
+  gathered_ = 0;
+  rescheduled_ = 0;
+  barrier_total_s_ = 0.0;
+  advance_max_total_s_ = 0.0;
+  advance_mean_total_s_ = 0.0;
+}
+
+namespace {
+
+void escape_into(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void Profiler::write_json(std::ostream& os, int indent,
+                          const RunManifest* manifest) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2 = pad + "  ";
+  os << "{\n";
+  if (manifest != nullptr) {
+    os << pad2 << "\"manifest\": ";
+    manifest->write_json(os, indent + 2);
+    os << ",\n";
+  }
+  os << pad2 << "\"total_wall_s\": " << now_s() << ",\n";
+
+  os << pad2 << "\"phases\": [";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const Phase& p = phases_[i];
+    os << (i ? "," : "") << "\n" << pad2 << "  {\"name\": \"";
+    escape_into(os, p.name);
+    os << "\", \"count\": " << p.count << ", \"wall_s\": " << p.wall_s
+       << ", \"start_wall_s\": " << p.first_start_s << "}";
+  }
+  os << (phases_.empty() ? "" : "\n" + pad2) << "],\n";
+
+  os << pad2 << "\"workers\": [";
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = workers_[i];
+    os << (i ? "," : "") << "\n"
+       << pad2 << "  {\"index\": " << w.index << ", \"tasks\": " << w.tasks
+       << ", \"queue_wait_s\": " << w.queue_wait_s
+       << ", \"run_s\": " << w.run_s << ", \"idle_s\": " << w.idle_s
+       << ", \"lifetime_s\": " << w.lifetime_s
+       << ", \"utilization\": " << w.utilization() << "}";
+  }
+  os << (workers_.empty() ? "" : "\n" + pad2) << "],\n";
+
+  os << pad2 << "\"shards\": [";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = shards_[i];
+    os << (i ? "," : "") << "\n"
+       << pad2 << "  {\"index\": " << s.index
+       << ", \"advance_wall_s\": " << s.advance_wall_s
+       << ", \"events\": " << s.events << "}";
+  }
+  os << (shards_.empty() ? "" : "\n" + pad2) << "],\n";
+
+  os << pad2 << "\"windows_total\": " << windows_total_ << ",\n"
+     << pad2 << "\"windows_recorded\": " << windows_.size() << ",\n"
+     << pad2 << "\"boundary_gathered\": " << gathered_ << ",\n"
+     << pad2 << "\"boundary_rescheduled\": " << rescheduled_ << ",\n"
+     << pad2 << "\"advance_wall_s\": " << advance_wall_s() << ",\n"
+     << pad2 << "\"barrier_wall_s\": " << barrier_total_s_ << ",\n"
+     << pad2 << "\"imbalance\": " << aggregate_imbalance() << ",\n";
+
+  os << pad2 << "\"windows\": [";
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const Window& w = windows_[i];
+    os << (i ? "," : "") << "\n"
+       << pad2 << "  {\"index\": " << w.index
+       << ", \"start_wall_s\": " << w.start_s
+       << ", \"advance_max_s\": " << w.advance_max_s
+       << ", \"advance_mean_s\": " << w.advance_mean_s
+       << ", \"imbalance\": " << w.imbalance
+       << ", \"barrier_wall_s\": " << w.barrier_wall_s
+       << ", \"gathered\": " << w.gathered
+       << ", \"rescheduled\": " << w.rescheduled << "}";
+  }
+  os << (windows_.empty() ? "" : "\n" + pad2) << "]\n";
+  os << pad << "}";
+}
+
+void Profiler::export_trace(Tracer& tracer) const {
+  for (const Phase& p : phases_)
+    tracer.complete(p.name.c_str(), "prof", p.first_start_s * 1e6,
+                    p.wall_s * 1e6, /*tid=*/0);
+  for (const Window& w : windows_) {
+    tracer.complete("window.advance", "prof", w.start_s * 1e6,
+                    w.advance_max_s * 1e6, /*tid=*/1);
+    tracer.complete("window.barrier", "prof",
+                    (w.start_s + w.advance_max_s) * 1e6,
+                    w.barrier_wall_s * 1e6, /*tid=*/0);
+  }
+}
+
+}  // namespace ambisim::obs

@@ -7,6 +7,7 @@
 #include "ambisim/energy/harvester.hpp"
 #include "ambisim/exec/runner.hpp"
 #include "ambisim/obs/obs.hpp"
+#include "ambisim/obs/profiler.hpp"
 #include "ambisim/shard/engine.hpp"
 #include "ambisim/tech/technology.hpp"
 
@@ -372,6 +373,10 @@ RunSummary run_scenario(const ScenarioSpec& spec,
     out.replications = runner.run(
         static_cast<std::size_t>(reps), spec.run.seed,
         [&](sim::Rng& rng, std::size_t i) {
+          // Replication 0 — the spec verbatim — is the profiled run; the
+          // binding is a no-op for every other replication, so only one
+          // worker ever records.
+          obs::ProfilerBinding pbind(i == 0 ? overrides.profiler : nullptr);
           net::PacketSimConfig c = base;
           if (i > 0) {
             // Replication 0 is the spec verbatim; later replications draw
@@ -393,6 +398,7 @@ RunSummary run_scenario(const ScenarioSpec& spec,
     out.replications = runner.run(
         static_cast<std::size_t>(reps), spec.run.seed,
         [&](sim::Rng& rng, std::size_t i) {
+          obs::ProfilerBinding pbind(i == 0 ? overrides.profiler : nullptr);
           aiot::WptSimConfig c = base;
           // Replication 0 is the spec verbatim; later replications redraw
           // an unpinned layout through their own seed (a pinned grid/star
@@ -405,6 +411,7 @@ RunSummary run_scenario(const ScenarioSpec& spec,
     out.replications = runner.run(
         static_cast<std::size_t>(reps), spec.run.seed,
         [&](sim::Rng& rng, std::size_t i) {
+          obs::ProfilerBinding pbind(i == 0 ? overrides.profiler : nullptr);
           core::AmiScenarioConfig c = base;
           if (i > 0) c.seed = static_cast<unsigned>(rng.engine()());
           return summarize_ami(core::run_ami_scenario(c));

@@ -14,6 +14,7 @@
 #include "ambisim/net/sparse_link_table.hpp"
 #include "ambisim/obs/obs.hpp"
 #include "ambisim/obs/probe.hpp"
+#include "ambisim/obs/profiler.hpp"
 #include "ambisim/shard/partition.hpp"
 
 namespace ambisim::shard {
@@ -108,7 +109,8 @@ struct Workload {
   }
 };
 
-Workload build_workload(const net::PacketSimConfig& cfg) {
+Workload build_workload(const net::PacketSimConfig& cfg,
+                        obs::Profiler* prof) {
   if (cfg.node_count < 2)
     throw std::invalid_argument("network needs a sink and >= 1 sensor");
   if (cfg.report_period <= u::Time(0.0) || cfg.duration <= u::Time(0.0))
@@ -124,9 +126,11 @@ Workload build_workload(const net::PacketSimConfig& cfg) {
 
   sim::Rng rng(cfg.seed);
   Workload w;
-  w.topo = cfg.placement ? *cfg.placement
+  w.topo = obs::Profiler::timed(prof, "net.placement", [&] {
+    return cfg.placement ? *cfg.placement
                          : net::Topology::random_field(cfg.node_count,
                                                        cfg.field_side, rng);
+  });
   const radio::RadioModel radio(cfg.radio);
   w.range = u::min(cfg.radio_range, radio.max_range());
 
@@ -134,18 +138,25 @@ Workload build_workload(const net::PacketSimConfig& cfg) {
   link_model.k_elec = radio.energy_per_bit_tx().value() +
                       radio.energy_per_bit_rx().value();
   link_model.exponent = cfg.radio.environment.exponent;
-  w.adj = w.topo->neighbor_table(w.range);
-  w.tree = cfg.routing == net::RoutingPolicy::MinHop
+  w.adj = obs::Profiler::timed(prof, "net.adjacency_build", [&] {
+    return w.topo->neighbor_table(w.range);
+  });
+  w.tree = obs::Profiler::timed(prof, "net.routing_build", [&] {
+    return cfg.routing == net::RoutingPolicy::MinHop
                ? net::min_hop_routes(*w.topo, w.adj)
                : net::min_energy_routes(*w.topo, w.adj, link_model);
+  });
 
   w.model_link_errors = cfg.model_link_errors;
   w.use_sparse = cfg.model_link_errors && cfg.sparse_links;
-  if (cfg.model_link_errors && !w.use_sparse)
-    w.links = net::LinkTable(*w.topo, radio, cfg.packet_bits, cfg.arq);
-  if (w.use_sparse)
-    w.sparse =
-        net::SparseLinkTable(*w.topo, w.adj, radio, cfg.packet_bits, cfg.arq);
+  {
+    obs::Profiler::PhaseScope scope(prof, "net.link_pricing");
+    if (cfg.model_link_errors && !w.use_sparse)
+      w.links = net::LinkTable(*w.topo, radio, cfg.packet_bits, cfg.arq);
+    if (w.use_sparse)
+      w.sparse = net::SparseLinkTable(*w.topo, w.adj, radio, cfg.packet_bits,
+                                      cfg.arq);
+  }
 
   w.airtime = radio.time_on_air(cfg.packet_bits);
   w.startup = cfg.radio.startup;
@@ -376,7 +387,8 @@ std::uint64_t digest_packets(const net::PacketSimResult& res) {
 }
 
 net::PacketSimResult run_serial_oracle(const net::PacketSimConfig& cfg) {
-  const Workload w = build_workload(cfg);
+  obs::Profiler* prof = obs::current_profiler();
+  const Workload w = build_workload(cfg, prof);
   std::vector<u::Time> tx_free(static_cast<std::size_t>(w.n), u::Time(0.0));
   std::vector<long long> report_idx(static_cast<std::size_t>(w.n), 0);
 
@@ -387,7 +399,10 @@ net::PacketSimResult run_serial_oracle(const net::PacketSimConfig& cfg) {
   for (int i = 1; i < w.n; ++i)
     k.simu.schedule_at(w.phase[static_cast<std::size_t>(i)],
                        [kp = &k, i]() { kp->emit(i); });
-  k.simu.run_until(w.duration);
+  {
+    obs::Profiler::PhaseScope scope(prof, "net.event_loop");
+    k.simu.run_until(w.duration);
+  }
   return finalize(w, {&k});
 }
 
@@ -398,7 +413,14 @@ ShardRunResult simulate_packets_sharded(const net::PacketSimConfig& cfg,
   if (run.pool < 0)
     throw std::invalid_argument("pool size must be >= 0 (0 = hardware)");
 
-  const Workload w = build_workload(cfg);
+#if AMBISIM_OBS_COMPILED
+  obs::Profiler* prof =
+      run.profiler != nullptr ? run.profiler : obs::current_profiler();
+#else
+  obs::Profiler* prof = nullptr;
+#endif
+
+  const Workload w = build_workload(cfg, prof);
   // Cells of one radio range per side keep most links intra-shard; a
   // degenerate zero range (nothing is in range anyway) still partitions.
   const double cell_m = w.range.value() > 0.0 ? w.range.value() : 1.0;
@@ -440,56 +462,104 @@ ShardRunResult simulate_packets_sharded(const net::PacketSimConfig& cfg,
   out.lookahead_s = w.lookahead.value();
   if (S > 1) out.cross_edges = part.cross_edge_count(w.adj);
 
+  // Per-window advance wall times, slot per shard: each parallel_for task
+  // (grain 1) writes its own slot, the coordinator reads after the join.
+  std::vector<double> advance_s;
+  if (prof != nullptr) {
+    prof->begin_windows(S);
+    advance_s.assign(static_cast<std::size_t>(S), 0.0);
+    pool.set_accounting(true);
+  }
+
   const double dur = w.duration.value();
   std::vector<Boundary> inbox;
   double t = 0.0;
-  for (;;) {
-    // Conservative window [t, wend): every in-window transmission lands at
-    // >= t + lookahead >= wend, so shards advance with no peer input.
-    const double wend = std::min(t + w.lookahead.value(), dur);
-    exec::parallel_for(
-        pool, static_cast<std::size_t>(S),
-        [&](std::size_t s) {
-          obs::ContextBinding bind(oshards ? &oshards->shard(s) : nullptr);
-          kernels[s]->simu.run_until(u::Time(wend));
-        },
-        /*grain=*/1);
-    ++out.windows;
+  {
+    obs::Profiler::PhaseScope loop_scope(prof, "net.event_loop");
+    for (;;) {
+      // Conservative window [t, wend): every in-window transmission lands
+      // at >= t + lookahead >= wend, so shards advance with no peer input.
+      const double wend = std::min(t + w.lookahead.value(), dur);
+      const double wstart = prof != nullptr ? prof->now_s() : 0.0;
+      exec::parallel_for(
+          pool, static_cast<std::size_t>(S),
+          [&](std::size_t s) {
+            obs::ContextBinding bind(oshards ? &oshards->shard(s) : nullptr);
+            if (prof != nullptr) {
+              const double a0 = prof->now_s();
+              kernels[s]->simu.run_until(u::Time(wend));
+              advance_s[s] = prof->now_s() - a0;
+            } else {
+              kernels[s]->simu.run_until(u::Time(wend));
+            }
+          },
+          /*grain=*/1);
+      ++out.windows;
+      const double b0 = prof != nullptr ? prof->now_s() : 0.0;
 
-    // Barrier: gather boundary packets, order them by a key that no shard
-    // schedule can perturb, and deliver into the receivers' futures.
-    inbox.clear();
-    for (const std::unique_ptr<Kernel>& k : kernels) {
-      inbox.insert(inbox.end(), k->outbox.begin(), k->outbox.end());
-      k->outbox.clear();
-    }
-    // Arrivals past the horizon never execute (the serial kernel stops at
-    // `duration` too); drop them so the drain loop terminates.
-    std::erase_if(inbox,
-                  [dur](const Boundary& b) { return b.time_s > dur; });
-    std::sort(inbox.begin(), inbox.end(),
-              [](const Boundary& a, const Boundary& b) {
-                if (a.time_s != b.time_s) return a.time_s < b.time_s;
-                if (a.pkt.flow != b.pkt.flow) return a.pkt.flow < b.pkt.flow;
-                return a.node < b.node;
-              });
-    out.boundary_messages += static_cast<long long>(inbox.size());
-    for (const Boundary& b : inbox) {
-      Kernel* k = kernels[static_cast<std::size_t>(
-                              part.owner[static_cast<std::size_t>(b.node)])]
-                      .get();
-      k->simu.schedule_at(u::Time(b.time_s),
-                          [k, b]() { k->arrive(b.node, b.pkt); });
-    }
+      // Barrier: gather boundary packets, order them by a key that no
+      // shard schedule can perturb, and deliver into the receivers'
+      // futures.
+      inbox.clear();
+      for (const std::unique_ptr<Kernel>& k : kernels) {
+        inbox.insert(inbox.end(), k->outbox.begin(), k->outbox.end());
+        k->outbox.clear();
+      }
+      const long long gathered = static_cast<long long>(inbox.size());
+      // Arrivals past the horizon never execute (the serial kernel stops
+      // at `duration` too); drop them so the drain loop terminates.
+      std::erase_if(inbox,
+                    [dur](const Boundary& b) { return b.time_s > dur; });
+      std::sort(inbox.begin(), inbox.end(),
+                [](const Boundary& a, const Boundary& b) {
+                  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+                  if (a.pkt.flow != b.pkt.flow)
+                    return a.pkt.flow < b.pkt.flow;
+                  return a.node < b.node;
+                });
+      out.boundary_messages += static_cast<long long>(inbox.size());
+      for (const Boundary& b : inbox) {
+        Kernel* k =
+            kernels[static_cast<std::size_t>(
+                        part.owner[static_cast<std::size_t>(b.node)])]
+                .get();
+        k->simu.schedule_at(u::Time(b.time_s),
+                            [k, b]() { k->arrive(b.node, b.pkt); });
+      }
+      if (prof != nullptr)
+        prof->record_window(wstart, advance_s, prof->now_s() - b0, gathered,
+                            static_cast<long long>(inbox.size()));
 
-    t = wend;
-    // Messages landing exactly on the horizon still need a drain round.
-    if (wend >= dur && inbox.empty()) break;
+      t = wend;
+      // Messages landing exactly on the horizon still need a drain round.
+      if (wend >= dur && inbox.empty()) break;
+    }
   }
 
   if (oshards) oshards->merge_into(obs::context());
   for (const std::unique_ptr<Kernel>& k : kernels)
     out.events_executed += k->simu.executed_events();
+
+  if (prof != nullptr) {
+    for (int s = 0; s < S; ++s)
+      prof->set_shard_events(
+          s, kernels[static_cast<std::size_t>(s)]->simu.executed_events());
+    const std::vector<exec::ThreadPool::WorkerStats> stats =
+        pool.worker_stats();
+    std::vector<obs::Profiler::Worker> pw;
+    pw.reserve(stats.size());
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      obs::Profiler::Worker wk;
+      wk.index = static_cast<int>(i);
+      wk.tasks = stats[i].tasks;
+      wk.queue_wait_s = stats[i].queue_wait_s;
+      wk.run_s = stats[i].run_s;
+      wk.idle_s = stats[i].idle_s;
+      wk.lifetime_s = stats[i].lifetime_s;
+      pw.push_back(wk);
+    }
+    prof->set_workers(std::move(pw));
+  }
 
   std::vector<Kernel*> ks;
   ks.reserve(kernels.size());

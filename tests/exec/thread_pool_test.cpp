@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -122,6 +123,80 @@ TEST(ThreadPoolTest, TaskSetDestructorJoinsWithoutThrowing) {
     // No wait(): the destructor must join and drop the exceptions.
   }
   EXPECT_EQ(ran.load(), 20);
+}
+
+// --- per-worker task accounting (obs::Profiler's data source) -------------
+
+TEST(ThreadPoolAccounting, DisabledByDefaultAndStatsStayZero) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.accounting_enabled());
+  parallel_for(pool, 64, [](std::size_t) {});
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.tasks, 0u);
+    EXPECT_EQ(s.queue_wait_s, 0.0);
+    EXPECT_EQ(s.run_s, 0.0);
+    EXPECT_EQ(s.idle_s, 0.0);
+  }
+}
+
+TEST(ThreadPoolAccounting, TaskCountsSumToSubmitted) {
+  ThreadPool pool(4);
+  pool.set_accounting(true);
+  constexpr std::size_t kTasks = 331;  // not a multiple of the pool size
+  parallel_for(pool, kTasks, [](std::size_t) {}, /*grain=*/1);
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& s : stats) total += s.tasks;
+  EXPECT_EQ(total, kTasks);
+}
+
+TEST(ThreadPoolAccounting, BucketsPartitionTheLifetime) {
+  ThreadPool pool(3);
+  pool.set_accounting(true);
+  std::atomic<int> spins{0};
+  parallel_for(
+      pool, 96,
+      [&](std::size_t) {
+        // A little real work so run_s is not pure noise.
+        for (volatile int i = 0; i < 2000; ++i) spins.fetch_add(0);
+      },
+      /*grain=*/1);
+  // The pool is quiescent after parallel_for returns, so the three
+  // buckets (queue wait + run + idle, plus the snapshot's open tail)
+  // must partition each worker's lifetime.
+  for (const auto& s : pool.worker_stats()) {
+    EXPECT_GT(s.lifetime_s, 0.0);
+    const double parts = s.queue_wait_s + s.run_s + s.idle_s;
+    EXPECT_NEAR(parts, s.lifetime_s, 0.02 * s.lifetime_s + 1e-4);
+    EXPECT_GE(s.queue_wait_s, 0.0);
+    EXPECT_GE(s.run_s, 0.0);
+    EXPECT_GE(s.idle_s, 0.0);
+  }
+}
+
+TEST(ThreadPoolAccounting, ReenablingResetsTheCounters) {
+  ThreadPool pool(2);
+  pool.set_accounting(true);
+  parallel_for(pool, 32, [](std::size_t) {}, /*grain=*/1);
+  std::uint64_t first = 0;
+  for (const auto& s : pool.worker_stats()) first += s.tasks;
+  EXPECT_EQ(first, 32u);
+
+  pool.set_accounting(true);  // re-arm: a fresh measurement epoch
+  parallel_for(pool, 8, [](std::size_t) {}, /*grain=*/1);
+  std::uint64_t second = 0;
+  for (const auto& s : pool.worker_stats()) second += s.tasks;
+  EXPECT_EQ(second, 8u);
+
+  pool.set_accounting(false);
+  EXPECT_FALSE(pool.accounting_enabled());
+  parallel_for(pool, 16, [](std::size_t) {}, /*grain=*/1);
+  std::uint64_t after_off = 0;
+  for (const auto& s : pool.worker_stats()) after_off += s.tasks;
+  EXPECT_EQ(after_off, 8u);  // disabled: counters freeze, new work unseen
 }
 
 TEST(ThreadPoolTest, WorkerIndexIsStableAndInRange) {

@@ -1,0 +1,268 @@
+// obs::Profiler unit contract: phase accumulation, window records and the
+// record cap, imbalance arithmetic, worker import, JSON export (validated
+// by re-parsing with scen::json), trace export, and the thread-local
+// binding.  Everything here is wall-clock bookkeeping — no simulation.
+#include "ambisim/obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ambisim/obs/manifest.hpp"
+#include "ambisim/obs/trace.hpp"
+#include "ambisim/scen/json.hpp"
+
+namespace {
+
+using ambisim::obs::Profiler;
+using ambisim::obs::ProfilerBinding;
+using ambisim::obs::Tracer;
+namespace js = ambisim::scen::json;
+
+TEST(ProfilerTest, StartsEmpty) {
+  Profiler prof;
+  EXPECT_TRUE(prof.empty());
+  EXPECT_EQ(prof.windows_total(), 0);
+  EXPECT_EQ(prof.windows_dropped(), 0);
+  EXPECT_DOUBLE_EQ(prof.advance_wall_s(), 0.0);
+  EXPECT_DOUBLE_EQ(prof.barrier_wall_s(), 0.0);
+  EXPECT_DOUBLE_EQ(prof.aggregate_imbalance(), 1.0);
+}
+
+TEST(ProfilerTest, PhasesAccumulateByName) {
+  Profiler prof;
+  prof.add_phase("build", 0.0, 1.5);
+  prof.add_phase("run", 1.5, 2.0);
+  prof.add_phase("build", 3.5, 0.5);
+  ASSERT_EQ(prof.phases().size(), 2u);
+  const Profiler::Phase* build = prof.find_phase("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->count, 2u);
+  EXPECT_DOUBLE_EQ(build->wall_s, 2.0);
+  EXPECT_DOUBLE_EQ(build->first_start_s, 0.0);  // first scope's start wins
+  EXPECT_EQ(prof.find_phase("missing"), nullptr);
+}
+
+TEST(ProfilerTest, PhaseScopeRecordsElapsedTime) {
+  Profiler prof;
+  {
+    Profiler::PhaseScope scope(&prof, "scoped");
+  }
+  const Profiler::Phase* p = prof.find_phase("scoped");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->count, 1u);
+  EXPECT_GE(p->wall_s, 0.0);
+}
+
+TEST(ProfilerTest, NullProfilerScopesAreInert) {
+  // Both the RAII scope and the timed() helper must be no-ops on nullptr.
+  Profiler::PhaseScope scope(nullptr, "ignored");
+  const int got = Profiler::timed(nullptr, "ignored", [] { return 41 + 1; });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(ProfilerTest, TimedReturnsTheCallableResultAndRecords) {
+  Profiler prof;
+  const std::string got =
+      Profiler::timed(&prof, "compute", [] { return std::string("x"); });
+  EXPECT_EQ(got, "x");
+  ASSERT_NE(prof.find_phase("compute"), nullptr);
+  EXPECT_EQ(prof.find_phase("compute")->count, 1u);
+}
+
+TEST(ProfilerTest, WindowRecordsImbalanceAsMaxOverMean) {
+  Profiler prof;
+  prof.begin_windows(2);
+  prof.record_window(0.0, {3.0, 1.0}, 0.25, 5, 4);
+  ASSERT_EQ(prof.windows().size(), 1u);
+  const Profiler::Window& w = prof.windows().front();
+  EXPECT_DOUBLE_EQ(w.advance_max_s, 3.0);
+  EXPECT_DOUBLE_EQ(w.advance_mean_s, 2.0);
+  EXPECT_DOUBLE_EQ(w.imbalance, 1.5);
+  EXPECT_DOUBLE_EQ(w.barrier_wall_s, 0.25);
+  EXPECT_EQ(w.gathered, 5);
+  EXPECT_EQ(w.rescheduled, 4);
+  // Aggregates track the same record.
+  EXPECT_EQ(prof.windows_total(), 1);
+  EXPECT_EQ(prof.boundary_gathered(), 5);
+  EXPECT_EQ(prof.boundary_rescheduled(), 4);
+  EXPECT_DOUBLE_EQ(prof.advance_wall_s(), 4.0);  // per-shard sum
+  EXPECT_DOUBLE_EQ(prof.barrier_wall_s(), 0.25);
+  EXPECT_DOUBLE_EQ(prof.aggregate_imbalance(), 1.5);
+}
+
+TEST(ProfilerTest, AggregateImbalanceIsTimeWeighted) {
+  Profiler prof;
+  prof.begin_windows(2);
+  // A long imbalanced window must dominate a short balanced one:
+  // sums are max 10+1 = 11, mean 5.5+1 = 6.5.
+  prof.record_window(0.0, {10.0, 1.0}, 0.0, 0, 0);
+  prof.record_window(1.0, {1.0, 1.0}, 0.0, 0, 0);
+  EXPECT_NEAR(prof.aggregate_imbalance(), 11.0 / 6.5, 1e-12);
+}
+
+TEST(ProfilerTest, WindowCapKeepsAggregatesExact) {
+  Profiler prof;
+  prof.begin_windows(1, /*max_records=*/4);
+  for (int i = 0; i < 10; ++i)
+    prof.record_window(static_cast<double>(i), {1.0}, 0.5, 2, 1);
+  EXPECT_EQ(prof.windows().size(), 4u);  // record cap bites...
+  EXPECT_EQ(prof.windows_total(), 10);   // ...but the totals do not lie
+  EXPECT_EQ(prof.windows_dropped(), 6);
+  EXPECT_EQ(prof.boundary_gathered(), 20);
+  EXPECT_EQ(prof.boundary_rescheduled(), 10);
+  EXPECT_DOUBLE_EQ(prof.advance_wall_s(), 10.0);
+  EXPECT_DOUBLE_EQ(prof.barrier_wall_s(), 5.0);
+}
+
+TEST(ProfilerTest, PerShardTotalsAccumulateAcrossWindows) {
+  Profiler prof;
+  prof.begin_windows(2);
+  prof.record_window(0.0, {2.0, 1.0}, 0.0, 0, 0);
+  prof.record_window(2.0, {1.0, 3.0}, 0.0, 0, 0);
+  prof.set_shard_events(0, 100);
+  prof.set_shard_events(1, 250);
+  ASSERT_EQ(prof.shards().size(), 2u);
+  EXPECT_DOUBLE_EQ(prof.shards()[0].advance_wall_s, 3.0);
+  EXPECT_DOUBLE_EQ(prof.shards()[1].advance_wall_s, 4.0);
+  EXPECT_EQ(prof.shards()[0].events, 100u);
+  EXPECT_EQ(prof.shards()[1].events, 250u);
+}
+
+TEST(ProfilerTest, BeginWindowsResetsPriorRun) {
+  Profiler prof;
+  prof.begin_windows(2);
+  prof.record_window(0.0, {1.0, 1.0}, 0.5, 3, 3);
+  prof.begin_windows(4);
+  EXPECT_EQ(prof.windows_total(), 0);
+  EXPECT_TRUE(prof.windows().empty());
+  EXPECT_EQ(prof.boundary_gathered(), 0);
+  EXPECT_EQ(prof.shards().size(), 4u);
+  EXPECT_DOUBLE_EQ(prof.advance_wall_s(), 0.0);
+}
+
+TEST(ProfilerTest, WorkerUtilizationIsRunOverLifetime) {
+  Profiler::Worker w;
+  w.run_s = 3.0;
+  w.lifetime_s = 4.0;
+  EXPECT_DOUBLE_EQ(w.utilization(), 0.75);
+  EXPECT_DOUBLE_EQ(Profiler::Worker{}.utilization(), 0.0);  // no div by 0
+}
+
+TEST(ProfilerTest, ClearDropsEverything) {
+  Profiler prof;
+  prof.add_phase("p", 0.0, 1.0);
+  prof.begin_windows(1);
+  prof.record_window(0.0, {1.0}, 0.1, 1, 1);
+  prof.set_workers({Profiler::Worker{0, 5, 0.1, 0.2, 0.3, 0.6}});
+  prof.clear();
+  EXPECT_TRUE(prof.empty());
+  EXPECT_TRUE(prof.phases().empty());
+  EXPECT_TRUE(prof.workers().empty());
+  EXPECT_TRUE(prof.shards().empty());
+  EXPECT_EQ(prof.windows_total(), 0);
+}
+
+TEST(ProfilerTest, WriteJsonRoundTripsThroughTheScenParser) {
+  Profiler prof;
+  prof.add_phase("net.event_loop", 0.0, 2.0);
+  prof.begin_windows(2);
+  prof.record_window(0.0, {2.0, 1.0}, 0.25, 5, 4);
+  prof.set_shard_events(0, 10);
+  prof.set_shard_events(1, 20);
+  prof.set_workers({Profiler::Worker{0, 7, 0.1, 0.3, 0.2, 0.6}});
+
+  std::ostringstream os;
+  prof.write_json(os, 2);
+  const js::Value root = js::parse(os.str());
+
+  ASSERT_NE(root.find("phases"), nullptr);
+  EXPECT_EQ(root.find("phases")->size(), 1u);
+  EXPECT_EQ((*root.find("phases")->items().begin()).find("name")->as_string(),
+            "net.event_loop");
+  ASSERT_NE(root.find("workers"), nullptr);
+  const js::Value& worker = root.find("workers")->items()[0];
+  EXPECT_EQ(worker.find("tasks")->as_number(), 7.0);
+  // JSON floats print at default stream precision: compare loosely.
+  EXPECT_NEAR(worker.find("utilization")->as_number(), 0.5, 1e-4);
+  ASSERT_NE(root.find("shards"), nullptr);
+  EXPECT_EQ(root.find("shards")->size(), 2u);
+  EXPECT_EQ(root.find("windows_total")->as_number(), 1.0);
+  EXPECT_EQ(root.find("windows_recorded")->as_number(), 1.0);
+  EXPECT_EQ(root.find("boundary_gathered")->as_number(), 5.0);
+  EXPECT_EQ(root.find("boundary_rescheduled")->as_number(), 4.0);
+  EXPECT_NEAR(root.find("imbalance")->as_number(), 4.0 / 3.0, 1e-4);
+  ASSERT_NE(root.find("windows"), nullptr);
+  EXPECT_EQ(root.find("windows")->size(), 1u);
+  EXPECT_EQ(root.find("manifest"), nullptr);  // none passed
+}
+
+TEST(ProfilerTest, WriteJsonEmbedsTheManifestWhenGiven) {
+  Profiler prof;
+  prof.add_phase("p", 0.0, 1.0);
+  auto manifest = ambisim::obs::RunManifest::collect();
+  manifest.label = "profiler-test";
+  manifest.seed = 7;
+
+  std::ostringstream os;
+  prof.write_json(os, 2, &manifest);
+  const js::Value root = js::parse(os.str());
+  ASSERT_NE(root.find("manifest"), nullptr);
+  EXPECT_EQ(root.find("manifest")->find("label")->as_string(),
+            "profiler-test");
+  EXPECT_EQ(root.find("manifest")->find("seed")->as_number(), 7.0);
+}
+
+TEST(ProfilerTest, ExportTraceEmitsPhaseAndWindowSpans) {
+  Profiler prof;
+  prof.add_phase("a", 0.0, 1.0);
+  prof.add_phase("b", 1.0, 0.5);
+  prof.begin_windows(1);
+  prof.record_window(0.0, {1.0}, 0.1, 0, 0);
+  prof.record_window(1.1, {1.0}, 0.1, 0, 0);
+
+  Tracer tracer;
+  prof.export_trace(tracer);
+  // 2 phases + 2 windows x (advance span + barrier span).
+  EXPECT_EQ(tracer.size(), 2u + 2u * 2u);
+  const auto events = tracer.events();
+  int advance = 0, barrier = 0;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "window.advance") ++advance;
+    if (std::string(e.name) == "window.barrier") ++barrier;
+  }
+  EXPECT_EQ(advance, 2);
+  EXPECT_EQ(barrier, 2);
+}
+
+#if AMBISIM_OBS_COMPILED
+TEST(ProfilerTest, BindingResolvesAndRestores) {
+  EXPECT_EQ(ambisim::obs::current_profiler(), nullptr);
+  Profiler outer;
+  {
+    ProfilerBinding bind(&outer);
+    EXPECT_EQ(ambisim::obs::current_profiler(), &outer);
+    Profiler inner;
+    {
+      ProfilerBinding nested(&inner);
+      EXPECT_EQ(ambisim::obs::current_profiler(), &inner);
+    }
+    EXPECT_EQ(ambisim::obs::current_profiler(), &outer);
+    {
+      ProfilerBinding noop(nullptr);  // null binding keeps the outer one
+      EXPECT_EQ(ambisim::obs::current_profiler(), &outer);
+    }
+  }
+  EXPECT_EQ(ambisim::obs::current_profiler(), nullptr);
+}
+#else
+TEST(ProfilerTest, CurrentProfilerIsNullWhenCompiledOut) {
+  Profiler prof;
+  ProfilerBinding bind(&prof);
+  EXPECT_EQ(ambisim::obs::current_profiler(), nullptr);
+}
+#endif
+
+}  // namespace

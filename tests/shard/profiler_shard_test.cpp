@@ -1,0 +1,170 @@
+// The profiling layer's two engine-facing contracts:
+//
+//  * ProfilerPurity — attaching an obs::Profiler (by config pointer or by
+//    thread-local binding) to a sharded or legacy packet run changes no
+//    digest, at every shard x pool combination the bench gates.  This is
+//    the test-suite form of bench_profile's purity gate, and it holds
+//    whether observability is compiled in or out.
+//
+//  * ProfilerShard — when observability IS compiled in, the profile the
+//    engine fills agrees with the engine's own result counters: windows,
+//    boundary reschedules, executed events, worker count, task totals,
+//    and the shared phase vocabulary.
+#include <cstdint>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "ambisim/net/packet_sim.hpp"
+#include "ambisim/obs/profiler.hpp"
+#include "ambisim/shard/engine.hpp"
+
+namespace {
+
+using ambisim::net::PacketSimConfig;
+using ambisim::net::PacketSimResult;
+using ambisim::obs::Profiler;
+using ambisim::obs::ProfilerBinding;
+using ambisim::shard::digest_packets;
+using ambisim::shard::run_serial_oracle;
+using ambisim::shard::ShardRunConfig;
+using ambisim::shard::ShardRunResult;
+using ambisim::shard::simulate_packets_sharded;
+namespace u = ambisim::units;
+
+/// Multi-hop workload with boundary traffic at every shard count.
+PacketSimConfig base_config() {
+  PacketSimConfig cfg;
+  cfg.node_count = 48;
+  cfg.field_side = u::Length(50.0);
+  cfg.radio_range = u::Length(15.0);
+  cfg.report_period = u::Time(3.0);
+  cfg.duration = u::Time(12.0);
+  cfg.model_link_errors = true;
+  cfg.seed = 913;
+  return cfg;
+}
+
+TEST(ProfilerPurity, ShardedDigestsIdenticalWithAndWithoutProfiler) {
+  const PacketSimConfig cfg = base_config();
+  const std::uint64_t want = digest_packets(run_serial_oracle(cfg));
+  for (const int shards : {1, 4}) {
+    for (const int pool : {1, 8}) {
+      const ShardRunResult plain =
+          simulate_packets_sharded(cfg, {shards, pool});
+      Profiler prof;
+      ShardRunConfig rc{shards, pool};
+      rc.profiler = &prof;
+      const ShardRunResult profiled = simulate_packets_sharded(cfg, rc);
+      EXPECT_EQ(plain.checksum, want)
+          << "shards " << shards << ", pool " << pool;
+      EXPECT_EQ(profiled.checksum, want)
+          << "profiled: shards " << shards << ", pool " << pool;
+      EXPECT_EQ(profiled.events_executed, plain.events_executed);
+      EXPECT_EQ(profiled.boundary_messages, plain.boundary_messages);
+      EXPECT_EQ(profiled.windows, plain.windows);
+    }
+  }
+}
+
+TEST(ProfilerPurity, ThreadLocalBindingIsAlsoPure) {
+  const PacketSimConfig cfg = base_config();
+  const std::uint64_t want = digest_packets(run_serial_oracle(cfg));
+  Profiler prof;
+  ProfilerBinding bind(&prof);
+  // The engines resolve current_profiler() when no config pointer is set.
+  const ShardRunResult sharded = simulate_packets_sharded(cfg, {4, 2});
+  EXPECT_EQ(sharded.checksum, want);
+}
+
+TEST(ProfilerPurity, LegacySerialSimulatorUnchangedUnderBinding) {
+  const PacketSimConfig cfg = base_config();
+  const PacketSimResult plain = ambisim::net::simulate_packets(cfg);
+  Profiler prof;
+  ProfilerBinding bind(&prof);
+  const PacketSimResult profiled = ambisim::net::simulate_packets(cfg);
+  EXPECT_EQ(digest_packets(profiled), digest_packets(plain));
+  EXPECT_EQ(profiled.generated, plain.generated);
+  EXPECT_EQ(profiled.delivered, plain.delivered);
+}
+
+#if AMBISIM_OBS_COMPILED
+
+TEST(ProfilerShard, ProfileAgreesWithTheEngineResult) {
+  const PacketSimConfig cfg = base_config();
+  constexpr int kShards = 4;
+  constexpr int kPool = 2;
+  Profiler prof;
+  ShardRunConfig rc{kShards, kPool};
+  rc.profiler = &prof;
+  const ShardRunResult res = simulate_packets_sharded(cfg, rc);
+
+  EXPECT_EQ(prof.windows_total(), res.windows);
+  EXPECT_EQ(static_cast<long long>(prof.windows().size()), res.windows)
+      << "short run should be under the record cap";
+  EXPECT_EQ(prof.boundary_rescheduled(), res.boundary_messages);
+  EXPECT_GE(prof.boundary_gathered(), prof.boundary_rescheduled());
+
+  std::uint64_t events = 0;
+  for (const Profiler::Shard& s : prof.shards()) events += s.events;
+  EXPECT_EQ(events, res.events_executed);
+  EXPECT_EQ(prof.shards().size(), static_cast<std::size_t>(kShards));
+
+  ASSERT_EQ(prof.workers().size(), static_cast<std::size_t>(kPool));
+  std::uint64_t tasks = 0;
+  for (const Profiler::Worker& w : prof.workers()) tasks += w.tasks;
+  EXPECT_EQ(tasks, static_cast<std::uint64_t>(res.windows) * kShards)
+      << "the engine submits one advance task per shard per window";
+}
+
+TEST(ProfilerShard, SerialAndShardedSharePhaseVocabulary) {
+  const PacketSimConfig cfg = base_config();
+  Profiler sharded_prof;
+  ShardRunConfig rc{4, 2};
+  rc.profiler = &sharded_prof;
+  (void)simulate_packets_sharded(cfg, rc);
+
+  Profiler serial_prof;
+  {
+    ProfilerBinding bind(&serial_prof);
+    (void)ambisim::net::simulate_packets(cfg);
+  }
+
+  for (const std::string_view name :
+       {"net.placement", "net.adjacency_build", "net.routing_build",
+        "net.link_pricing", "net.event_loop"}) {
+    EXPECT_NE(sharded_prof.find_phase(name), nullptr)
+        << "sharded missing " << name;
+    EXPECT_NE(serial_prof.find_phase(name), nullptr)
+        << "serial missing " << name;
+  }
+}
+
+TEST(ProfilerShard, ConfigPointerWinsOverTheBinding) {
+  const PacketSimConfig cfg = base_config();
+  Profiler bound, explicit_prof;
+  ProfilerBinding bind(&bound);
+  ShardRunConfig rc{2, 1};
+  rc.profiler = &explicit_prof;
+  (void)simulate_packets_sharded(cfg, rc);
+  EXPECT_GT(explicit_prof.windows_total(), 0);
+  EXPECT_EQ(bound.windows_total(), 0);
+}
+
+TEST(ProfilerShard, ProfilerReusableAcrossRunsAfterClear) {
+  const PacketSimConfig cfg = base_config();
+  Profiler prof;
+  ShardRunConfig rc{2, 1};
+  rc.profiler = &prof;
+  const ShardRunResult first = simulate_packets_sharded(cfg, rc);
+  const long long first_windows = prof.windows_total();
+  prof.clear();
+  EXPECT_TRUE(prof.empty());
+  const ShardRunResult second = simulate_packets_sharded(cfg, rc);
+  EXPECT_EQ(prof.windows_total(), first_windows);
+  EXPECT_EQ(first.checksum, second.checksum);
+}
+
+#endif  // AMBISIM_OBS_COMPILED
+
+}  // namespace

@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE CANDIDATE [--rtol 0.02] [--ignore REGEX ...]
+    bench_compare.py --self-test
 
 Walks every key present in the baseline and checks the candidate agrees:
 numbers within --rtol relative tolerance, strings/bools exactly.  Keys the
@@ -10,9 +11,11 @@ candidate has but the baseline lacks are fine (baselines are deliberately
 pruned to the deterministic fields), missing keys are a failure.
 
 Machine-dependent fields — wall-clock times, throughputs, speedups, the
-provenance manifest, hardware thread counts — are ignored by default; add
-more patterns with --ignore.  Exits non-zero on any regression so CI can
-gate on it.
+provenance manifest, hardware thread counts, the embedded execution
+profile — are ignored by default; add more patterns with --ignore.  The
+summary line lists which baseline keys were skipped that way, so a gate
+that silently ignores everything is visible in the CI log.  Exits non-zero
+on any regression so CI can gate on it.
 """
 
 import argparse
@@ -22,9 +25,12 @@ import sys
 
 DEFAULT_IGNORES = [
     r"(^|\.)manifest($|\.)",     # provenance differs per build by design
+    r"(^|\.)profile($|[.\[])",   # obs::Profiler dump is wall-clock data
     r"wall_s$",
     r"events_per_s$",
     r"speedup$",
+    r"imbalance$",               # max/mean timing ratio: scheduling noise
+    r"utilization$",
     r"hardware_threads$",
     r"(^|\.)pools($|[.\[])",     # pool list depends on the host's cores
 ]
@@ -34,10 +40,13 @@ def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
-def compare(base, cand, rtol, ignores, path="", errors=None):
+def compare(base, cand, rtol, ignores, path="", errors=None, skipped=None):
     if errors is None:
         errors = []
-    if any(rx.search(path) for rx in ignores):
+    if skipped is None:
+        skipped = []
+    if path and any(rx.search(path) for rx in ignores):
+        skipped.append(path)
         return errors
 
     if isinstance(base, dict):
@@ -47,11 +56,12 @@ def compare(base, cand, rtol, ignores, path="", errors=None):
         for key, bval in base.items():
             sub = f"{path}.{key}" if path else key
             if any(rx.search(sub) for rx in ignores):
+                skipped.append(sub)
                 continue
             if key not in cand:
                 errors.append(f"{sub}: missing from candidate")
                 continue
-            compare(bval, cand[key], rtol, ignores, sub, errors)
+            compare(bval, cand[key], rtol, ignores, sub, errors, skipped)
     elif isinstance(base, list):
         if not isinstance(cand, list):
             errors.append(f"{path}: array vs {type(cand).__name__}")
@@ -60,7 +70,7 @@ def compare(base, cand, rtol, ignores, path="", errors=None):
             errors.append(f"{path}: length {len(base)} vs {len(cand)}")
             return errors
         for i, (b, c) in enumerate(zip(base, cand)):
-            compare(b, c, rtol, ignores, f"{path}[{i}]", errors)
+            compare(b, c, rtol, ignores, f"{path}[{i}]", errors, skipped)
     elif is_number(base):
         if not is_number(cand):
             errors.append(f"{path}: number vs {type(cand).__name__}")
@@ -76,16 +86,82 @@ def compare(base, cand, rtol, ignores, path="", errors=None):
     return errors
 
 
+def summarize_skipped(skipped):
+    """Dedupe skipped key paths, collapsing array indices: points[3].x ->
+    points[].x.  Keeps the summary line bounded on long point lists."""
+    return sorted({re.sub(r"\[\d+\]", "[]", p) for p in skipped})
+
+
+def self_test():
+    """Exercise the comparator against synthetic documents; returns the
+    usual exit code so CI can smoke the gate itself."""
+    ignores = [re.compile(p) for p in DEFAULT_IGNORES]
+    failures = []
+
+    def check(name, base, cand, want_errors, want_skipped=None):
+        skipped = []
+        errors = compare(base, cand, 0.02, ignores, skipped=skipped)
+        if bool(errors) != want_errors:
+            failures.append(f"{name}: expected errors={want_errors}, "
+                            f"got {errors or 'none'}")
+        if want_skipped is not None:
+            got = summarize_skipped(skipped)
+            if got != sorted(want_skipped):
+                failures.append(f"{name}: expected skipped={want_skipped}, "
+                                f"got {got}")
+
+    check("equal numbers pass", {"a": 100}, {"a": 100}, False)
+    check("within rtol passes", {"a": 100.0}, {"a": 101.0}, False)
+    check("outside rtol fails", {"a": 100.0}, {"a": 110.0}, True)
+    check("missing key fails", {"a": 1, "b": 2}, {"a": 1}, True)
+    check("extra candidate key ok", {"a": 1}, {"a": 1, "b": 2}, False)
+    check("string mismatch fails", {"s": "x"}, {"s": "y"}, True)
+    check("list length fails", {"l": [1, 2]}, {"l": [1]}, True)
+    check("wall clock ignored",
+          {"run_wall_s": 1.0, "n": 3}, {"run_wall_s": 9.0, "n": 3},
+          False, ["run_wall_s"])
+    check("profile subtree ignored",
+          {"profile": {"total_wall_s": 1.0}, "n": 3}, {"n": 3},
+          False, ["profile"])
+    check("imbalance/utilization ignored",
+          {"points": [{"imbalance": 2.0, "utilization": 0.4, "w": 5}]},
+          {"points": [{"imbalance": 7.0, "utilization": 0.1, "w": 5}]},
+          False, ["points[].imbalance", "points[].utilization"])
+    check("manifest ignored",
+          {"manifest": {"git": "a"}, "n": 1}, {"manifest": {"git": "b"}, "n": 1},
+          False, ["manifest"])
+    check("gated field still gates",
+          {"points": [{"imbalance": 2.0, "windows": 363}]},
+          {"points": [{"imbalance": 2.0, "windows": 400}]},
+          True)
+
+    if failures:
+        print("SELF-TEST FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("SELF-TEST OK: comparator gates structural fields and skips "
+          "machine-dependent ones")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("candidate")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("candidate", nargs="?")
     ap.add_argument("--rtol", type=float, default=0.02,
                     help="relative tolerance for numbers (default 0.02)")
     ap.add_argument("--ignore", action="append", default=[],
                     metavar="REGEX",
                     help="extra key-path patterns to skip (repeatable)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the comparator's built-in checks and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.candidate is None:
+        ap.error("baseline and candidate are required (or use --self-test)")
 
     with open(args.baseline) as f:
         base = json.load(f)
@@ -93,14 +169,20 @@ def main():
         cand = json.load(f)
 
     ignores = [re.compile(p) for p in DEFAULT_IGNORES + args.ignore]
-    errors = compare(base, cand, args.rtol, ignores)
+    skipped = []
+    errors = compare(base, cand, args.rtol, ignores, skipped=skipped)
+    ignored_keys = summarize_skipped(skipped)
+    ignored_note = (
+        f"; ignored {len(ignored_keys)} machine-dependent key(s): "
+        + ", ".join(ignored_keys) if ignored_keys else ""
+    )
     if errors:
         print(f"REGRESSION: {args.candidate} diverges from {args.baseline}:")
         for e in errors:
             print(f"  {e}")
         return 1
     print(f"OK: {args.candidate} matches {args.baseline} "
-          f"(rtol {args.rtol})")
+          f"(rtol {args.rtol}{ignored_note})")
     return 0
 
 
